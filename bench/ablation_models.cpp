@@ -1,0 +1,91 @@
+// ablation_models — kernel-model family ablation (paper §V-B).
+//
+// The paper models kernel times with simple distributions, noting that
+// normal, gamma and log-normal all fit "for all practical purposes, nearly
+// identical" and that constant/uniform models would be worse.  This
+// ablation feeds the same simulation with each family (plus the empirical
+// bootstrap) and reports the resulting makespan error and per-kernel
+// duration KS against the real run.
+#include <cmath>
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/sysinfo.hpp"
+#include "trace/analysis.hpp"
+
+using namespace tasksim;
+
+int main(int argc, char** argv) {
+  int n = 576;
+  int nb = 96;
+  int workers = 4;
+  int repeats = 3;
+  std::string scheduler = "quark";
+  std::string algorithm = "cholesky";
+  CliParser cli("ablation_models", "kernel-model family ablation (paper §V-B)");
+  cli.add_int("n", &n, "matrix dimension");
+  cli.add_int("nb", &nb, "tile size");
+  cli.add_int("workers", &workers, "worker threads");
+  cli.add_int("repeats", &repeats, "simulations per family");
+  cli.add_string("scheduler", &scheduler, "runtime spec");
+  cli.add_string("algorithm", &algorithm, "cholesky or qr");
+  if (!cli.parse(argc, argv)) return 0;
+
+  harness::print_banner("Ablation: kernel execution-time model families");
+  std::printf("%s\n%s, n=%d nb=%d, %d workers, %s\n\n", host_summary().c_str(),
+              algorithm.c_str(), n, nb, workers, scheduler.c_str());
+
+  harness::ExperimentConfig config;
+  config.algorithm = harness::parse_algorithm(algorithm);
+  config.scheduler = scheduler;
+  config.n = n;
+  config.nb = nb;
+  config.workers = workers;
+
+  sim::CalibrationObserver calibration;
+  const harness::RunResult real = harness::run_real(config, &calibration);
+  std::printf("real makespan: %s (%.3f Gflop/s)\n\n",
+              format_duration_us(real.makespan_us).c_str(), real.gflops);
+
+  harness::TextTable table;
+  table.set_headers({"family", "mean |err| %", "worst |err| %",
+                     "mean dominant-kernel KS"});
+  const std::string dominant =
+      config.algorithm == harness::Algorithm::cholesky ? "dgemm" : "dtsmqr";
+  for (sim::ModelFamily family :
+       {sim::ModelFamily::constant, sim::ModelFamily::normal,
+        sim::ModelFamily::gamma, sim::ModelFamily::lognormal,
+        sim::ModelFamily::empirical, sim::ModelFamily::best}) {
+    const sim::KernelModelSet models = calibration.fit(family);
+    double err_sum = 0.0, err_worst = 0.0, ks_sum = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      config.seed = 7 + static_cast<std::uint64_t>(r);
+      const harness::RunResult sim = harness::run_simulated(config, models);
+      const double err = 100.0 *
+                         std::fabs(sim.makespan_us - real.makespan_us) /
+                         real.makespan_us;
+      err_sum += err;
+      err_worst = std::max(err_worst, err);
+      const auto comparison =
+          trace::compare_traces(real.timeline, sim.timeline);
+      if (auto it = comparison.kernels.find(dominant);
+          it != comparison.kernels.end()) {
+        ks_sum += it->second.ks_statistic;
+      }
+    }
+    table.add_row({std::string(to_string(family)),
+                   strprintf("%.2f", err_sum / repeats),
+                   strprintf("%.2f", err_worst),
+                   strprintf("%.3f", ks_sum / repeats)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\npaper's observation to verify: the three simple parametric "
+              "families perform nearly\nidentically; the distribution's "
+              "randomness matters more than its exact family\n(constant "
+              "models lose the per-kernel duration spread: see the KS "
+              "column).\n");
+  return 0;
+}

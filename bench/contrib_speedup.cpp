@@ -1,0 +1,65 @@
+// contrib_speedup — quantifies the paper's "Accelerated Simulation Time"
+// contribution (§III): the wall-clock cost of a simulation vs the real run
+// it predicts.  The paper reports a two-fold speedup as common, growing
+// with task size (longer tasks amortize scheduler overhead in real runs
+// while simulation cost stays roughly constant per task).
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/sysinfo.hpp"
+
+using namespace tasksim;
+
+int main(int argc, char** argv) {
+  std::vector<int> sizes = {384, 576, 768, 960};
+  int nb = 96;
+  int workers = 4;
+  std::string scheduler = "quark";
+  CliParser cli("contrib_speedup", "simulation wall-time speedup vs real runs");
+  cli.add_int_list("sizes", &sizes, "matrix sizes");
+  cli.add_int("nb", &nb, "tile size");
+  cli.add_int("workers", &workers, "worker threads");
+  cli.add_string("scheduler", &scheduler, "runtime spec");
+  if (!cli.parse(argc, argv)) return 0;
+
+  harness::print_banner("Contribution: accelerated simulation time (" +
+                        scheduler + ")");
+  std::printf("%s\n\n", host_summary().c_str());
+
+  harness::TextTable table;
+  table.set_headers({"algorithm", "n", "tasks", "real wall", "sim wall",
+                     "speedup"});
+  for (harness::Algorithm algorithm :
+       {harness::Algorithm::qr, harness::Algorithm::cholesky}) {
+    for (int n : sizes) {
+      if (n % nb != 0) continue;
+      harness::ExperimentConfig config;
+      config.scheduler = scheduler;
+      config.algorithm = algorithm;
+      config.n = n;
+      config.nb = nb;
+      config.workers = workers;
+
+      sim::CalibrationObserver calibration;
+      const harness::RunResult real = harness::run_real(config, &calibration);
+      const harness::RunResult sim = harness::run_simulated(
+          config, calibration.fit(sim::ModelFamily::best));
+
+      table.add_row({harness::to_string(algorithm), std::to_string(n),
+                     std::to_string(real.tasks),
+                     format_duration_us(real.wall_us),
+                     format_duration_us(sim.wall_us),
+                     strprintf("%.2fx", real.wall_us / sim.wall_us)});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\npaper's claim to verify: a >= 2x speedup is not uncommon, "
+              "growing with task size\n(our scratch-built kernels are slower "
+              "than MKL, so the speedup here is larger;\nthe *trend* with "
+              "size is the reproduced property).\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// fig03_dtsmqr_dist — reproduces paper Figure 3: distribution of DTSMQR
+// kernel execution times during a tile QR factorization, with fitted
+// Normal / Gamma / LogNormal candidates.
+#include "fig_dist_common.hpp"
+
+int main(int argc, char** argv) {
+  tasksim::bench::DistFigureConfig figure;
+  figure.figure_id = "Figure 3";
+  figure.kernel = "dtsmqr";
+  figure.algorithm = tasksim::harness::Algorithm::qr;
+  return tasksim::bench::run_distribution_figure(argc, argv, figure);
+}

@@ -1,0 +1,12 @@
+// fig04_dgemm_dist — reproduces paper Figure 4: distribution of DGEMM
+// kernel execution times during a tile Cholesky factorization, with fitted
+// Normal / Gamma / LogNormal candidates.
+#include "fig_dist_common.hpp"
+
+int main(int argc, char** argv) {
+  tasksim::bench::DistFigureConfig figure;
+  figure.figure_id = "Figure 4";
+  figure.kernel = "dgemm";
+  figure.algorithm = tasksim::harness::Algorithm::cholesky;
+  return tasksim::bench::run_distribution_figure(argc, argv, figure);
+}

@@ -1,0 +1,7 @@
+// fig08_ompss_perf — reproduces paper Figure 8: QR and Cholesky, real vs
+// simulated performance under the OmpSs-flavoured scheduler.
+#include "fig_perf_common.hpp"
+
+int main(int argc, char** argv) {
+  return tasksim::bench::run_perf_figure(argc, argv, "Figure 8", "ompss/bf");
+}

@@ -1,0 +1,9 @@
+// fig09_starpu_perf — reproduces paper Figure 9: QR and Cholesky, real vs
+// simulated performance under the StarPU-flavoured scheduler (dmda policy,
+// StarPU's performance-model-driven default for heterogeneous scheduling).
+#include "fig_perf_common.hpp"
+
+int main(int argc, char** argv) {
+  return tasksim::bench::run_perf_figure(argc, argv, "Figure 9",
+                                         "starpu/dmda");
+}

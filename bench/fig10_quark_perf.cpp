@@ -1,0 +1,7 @@
+// fig10_quark_perf — reproduces paper Figure 10: QR and Cholesky, real vs
+// simulated performance under the QUARK-flavoured scheduler.
+#include "fig_perf_common.hpp"
+
+int main(int argc, char** argv) {
+  return tasksim::bench::run_perf_figure(argc, argv, "Figure 10", "quark");
+}

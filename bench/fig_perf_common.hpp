@@ -1,0 +1,90 @@
+// fig_perf_common.hpp — shared driver for Figures 8, 9 and 10: real vs
+// simulated performance of tile QR (blue in the paper) and tile Cholesky
+// (red) across matrix sizes, for one scheduler, with the percentage error
+// series.
+//
+// The paper uses tile size 200 and sweeps the matrix size; the worst error
+// is ~16% at small sizes and most points are within 5%.  Defaults here use
+// a smaller tile/size range so a full sweep finishes in tens of seconds on
+// a 1-core host; the shape (error largest at small sizes, shrinking with
+// size) is the property being reproduced.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/sysinfo.hpp"
+
+namespace tasksim::bench {
+
+inline int run_perf_figure(int argc, char** argv,
+                           const std::string& figure_id,
+                           const std::string& scheduler_default) {
+  std::string scheduler = scheduler_default;
+  // Smallest default point is NT=3: at NT=2 a Cholesky is four tasks and
+  // the calibration sample is too thin to fit meaningful distributions
+  // (the paper's smallest plotted sizes are also several tiles across).
+  std::vector<int> sizes = {288, 480, 768, 1152, 1536, 1920};
+  int nb = 96;  // paper: 200
+  int workers = 4;
+  CliParser cli(figure_id,
+                "real vs simulated QR + Cholesky performance (" +
+                    scheduler_default + ")");
+  cli.add_string("scheduler", &scheduler, "runtime spec");
+  cli.add_int_list("sizes", &sizes, "matrix sizes to sweep");
+  cli.add_int("nb", &nb, "tile size (paper: 200)");
+  cli.add_int("workers", &workers, "worker threads");
+  if (!cli.parse(argc, argv)) return 0;
+
+  harness::print_banner(figure_id + ": QR + Cholesky, real vs simulated (" +
+                        scheduler + ")");
+  std::printf("%s\ntile size %d, %d workers\n\n", host_summary().c_str(), nb,
+              workers);
+
+  harness::TextTable table;
+  table.set_headers({"n", "QR real GF/s", "QR sim GF/s", "QR err %",
+                     "Chol real GF/s", "Chol sim GF/s", "Chol err %"});
+  double worst_qr = 0.0, worst_chol = 0.0;
+  for (int n : sizes) {
+    if (n % nb != 0) {
+      std::printf("skipping n=%d (not a multiple of nb=%d)\n", n, nb);
+      continue;
+    }
+    harness::ExperimentConfig config;
+    config.scheduler = scheduler;
+    config.n = n;
+    config.nb = nb;
+    config.workers = workers;
+    config.real_repeats = 2;  // min-of-2 reference suppresses host jitter
+
+    config.algorithm = harness::Algorithm::qr;
+    const auto qr = harness::compare_real_vs_sim(config,
+                                                 sim::ModelFamily::best);
+    config.algorithm = harness::Algorithm::cholesky;
+    const auto chol = harness::compare_real_vs_sim(config,
+                                                   sim::ModelFamily::best);
+    worst_qr = std::max(worst_qr, std::abs(qr.error_pct));
+    worst_chol = std::max(worst_chol, std::abs(chol.error_pct));
+
+    table.add_row({std::to_string(n), strprintf("%.3f", qr.real_gflops),
+                   strprintf("%.3f", qr.sim_gflops),
+                   strprintf("%+.2f", qr.error_pct),
+                   strprintf("%.3f", chol.real_gflops),
+                   strprintf("%.3f", chol.sim_gflops),
+                   strprintf("%+.2f", chol.error_pct)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nworst |error|: QR %.2f%%, Cholesky %.2f%%\n", worst_qr,
+              worst_chol);
+  std::printf("paper's claims to verify: worst-case error ~16%% (at the "
+              "smallest sizes),\nmost points within a few percent, error "
+              "shrinking as n grows.\n");
+  return 0;
+}
+
+}  // namespace tasksim::bench

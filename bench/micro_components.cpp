@@ -1,0 +1,256 @@
+// micro_components — google-benchmark microbenchmarks of TaskSim's
+// building blocks: dependence tracking, ready pools, the Task Execution
+// Queue, trace recording, distribution sampling/fitting, and the
+// computational kernels.  These quantify the per-task overheads that the
+// paper's scheduler-in-the-loop design pays (and that the simulation
+// avoids by skipping kernel bodies).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "linalg/blas_kernels.hpp"
+#include "linalg/qr_kernels.hpp"
+#include "sched/dependency_tracker.hpp"
+#include "sched/factory.hpp"
+#include "sched/ready_pools.hpp"
+#include "sched/submitter.hpp"
+#include "sim/task_exec_queue.hpp"
+#include "stats/fitting.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace tasksim;
+
+// -------------------------------------------------------- dependency flow
+
+void BM_DependencyTrackerChain(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  double object;
+  for (auto _ : state) {
+    sched::DependencyTracker tracker;
+    std::vector<std::unique_ptr<sched::TaskRecord>> records;
+    records.reserve(static_cast<std::size_t>(chain));
+    for (int i = 0; i < chain; ++i) {
+      auto rec = std::make_unique<sched::TaskRecord>();
+      rec->id = static_cast<sched::TaskId>(i);
+      rec->desc.accesses = {sched::inout(&object)};
+      tracker.register_task(rec.get());
+      records.push_back(std::move(rec));
+    }
+    std::vector<sched::TaskRecord*> released;
+    for (auto& rec : records) {
+      released.clear();
+      tracker.on_complete(rec.get(), released);
+    }
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_DependencyTrackerChain)->Arg(64)->Arg(512);
+
+void BM_DependencyTrackerFanOut(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  double root_obj;
+  std::vector<double> leaves(static_cast<std::size_t>(width));
+  for (auto _ : state) {
+    sched::DependencyTracker tracker;
+    std::vector<std::unique_ptr<sched::TaskRecord>> records;
+    auto root = std::make_unique<sched::TaskRecord>();
+    root->desc.accesses = {sched::out(&root_obj)};
+    tracker.register_task(root.get());
+    for (int i = 0; i < width; ++i) {
+      auto rec = std::make_unique<sched::TaskRecord>();
+      rec->id = static_cast<sched::TaskId>(i + 1);
+      rec->desc.accesses = {sched::in(&root_obj), sched::out(&leaves[i])};
+      tracker.register_task(rec.get());
+      records.push_back(std::move(rec));
+    }
+    std::vector<sched::TaskRecord*> released;
+    tracker.on_complete(root.get(), released);
+    benchmark::DoNotOptimize(released.size());
+  }
+  state.SetItemsProcessed(state.iterations() * (width + 1));
+}
+BENCHMARK(BM_DependencyTrackerFanOut)->Arg(64)->Arg(512);
+
+// ------------------------------------------------------------ ready pools
+
+void BM_CentralQueuePushPop(benchmark::State& state) {
+  sched::CentralQueue queue(sched::QueueDiscipline::fifo);
+  sched::TaskRecord record;
+  for (auto _ : state) {
+    queue.push(&record);
+    benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CentralQueuePushPop);
+
+void BM_PriorityQueuePush(benchmark::State& state) {
+  sched::TaskRecord records[64];
+  for (int i = 0; i < 64; ++i) records[i].desc.priority = i % 7;
+  for (auto _ : state) {
+    sched::CentralQueue queue(sched::QueueDiscipline::priority);
+    for (auto& r : records) queue.push(&r);
+    while (queue.pop() != nullptr) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PriorityQueuePush);
+
+void BM_StealingDequesOwnerPath(benchmark::State& state) {
+  sched::StealingDeques deques(4, 1);
+  sched::TaskRecord record;
+  for (auto _ : state) {
+    deques.push(0, &record);
+    benchmark::DoNotOptimize(deques.pop_own(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StealingDequesOwnerPath);
+
+void BM_StealingDequesStealPath(benchmark::State& state) {
+  sched::StealingDeques deques(4, 1);
+  sched::TaskRecord record;
+  for (auto _ : state) {
+    deques.push(0, &record);
+    benchmark::DoNotOptimize(deques.steal(3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StealingDequesStealPath);
+
+// -------------------------------------------------------- task exec queue
+
+void BM_TaskExecQueueEnterLeave(benchmark::State& state) {
+  sim::TaskExecQueue queue;
+  double t = 0.0;
+  for (auto _ : state) {
+    const auto ticket = queue.enter(t += 1.0);
+    queue.wait_front(ticket);
+    queue.leave(ticket);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskExecQueueEnterLeave);
+
+// ------------------------------------------------------------------ trace
+
+void BM_TraceRecord(benchmark::State& state) {
+  trace::Trace t;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    t.record(id, "dgemm", 0, static_cast<double>(id),
+             static_cast<double>(id + 1));
+    ++id;
+    if (id % 65536 == 0) t.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecord);
+
+// ------------------------------------------------------------------ stats
+
+void BM_LogNormalSample(benchmark::State& state) {
+  stats::LogNormalDist dist(6.0, 0.1);
+  Rng rng(1);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += dist.sample(rng);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogNormalSample);
+
+void BM_GammaFit(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.gamma(50.0, 10.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_gamma(samples));
+  }
+}
+BENCHMARK(BM_GammaFit);
+
+void BM_FitCandidates(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.normal(500.0, 20.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_candidates(samples));
+  }
+}
+BENCHMARK(BM_FitCandidates);
+
+// ---------------------------------------------------------------- kernels
+
+void BM_Dgemm(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  std::vector<double> a(static_cast<std::size_t>(nb) * nb, 1.0);
+  std::vector<double> b(static_cast<std::size_t>(nb) * nb, 2.0);
+  std::vector<double> c(static_cast<std::size_t>(nb) * nb, 0.0);
+  for (auto _ : state) {
+    linalg::dgemm(linalg::Trans::no, linalg::Trans::yes, nb, nb, nb, -1.0,
+                  a.data(), nb, b.data(), nb, 1.0, c.data(), nb);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      state.iterations() * linalg::flops_dgemm(nb, nb, nb) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128);
+
+void BM_Dtsmqr(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<double> r(static_cast<std::size_t>(nb) * nb);
+  std::vector<double> a2(static_cast<std::size_t>(nb) * nb);
+  std::vector<double> t(static_cast<std::size_t>(nb) * nb, 0.0);
+  for (auto& v : r) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : a2) v = rng.uniform(-1.0, 1.0);
+  for (int j = 0; j < nb; ++j) r[static_cast<std::size_t>(j) * nb + j] += 4.0;
+  linalg::dtsqrt(nb, r.data(), nb, a2.data(), nb, t.data(), nb);
+  std::vector<double> c1(static_cast<std::size_t>(nb) * nb, 1.0);
+  std::vector<double> c2(static_cast<std::size_t>(nb) * nb, 2.0);
+  for (auto _ : state) {
+    linalg::dtsmqr(linalg::ApplyTrans::yes, nb, c1.data(), nb, c2.data(), nb,
+                   a2.data(), nb, t.data(), nb);
+    benchmark::DoNotOptimize(c1.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      state.iterations() * linalg::flops_dtsmqr(nb) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dtsmqr)->Arg(64)->Arg(128);
+
+// ------------------------------------------------- end-to-end task churn
+
+void BM_RuntimeTaskThroughput(benchmark::State& state) {
+  // Cost of pushing trivial independent tasks through a scheduler: the
+  // "speed of the scheduler" that the paper names as the only limit on
+  // parallel simulation speed.
+  sched::RuntimeConfig config;
+  config.workers = 2;
+  auto rt = sched::make_runtime("quark", config);
+  double slots[16];
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      sched::TaskDescriptor desc;
+      desc.kernel = "noop";
+      desc.accesses = {sched::inout(&slots[i % 16])};
+      desc.function = [](sched::TaskContext&) {};
+      rt->submit(std::move(desc));
+    }
+    rt->wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_RuntimeTaskThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

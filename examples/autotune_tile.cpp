@@ -1,0 +1,55 @@
+// autotune_tile.cpp — the paper's motivating use case (§VI-B): use the
+// simulator inside an autotuning loop.  For each candidate tile size we
+// calibrate on a small problem, then let the simulation predict full-size
+// performance; only the winner would need a full real run.
+//
+// Run: ./autotune_tile [--n 1920] [--candidates 48,64,96,120,160,240]
+//                      [--workers 4] [--algorithm cholesky|qr]
+#include <cstdio>
+
+#include "harness/autotune.hpp"
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+
+using namespace tasksim;
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig base;
+  base.algorithm = harness::Algorithm::cholesky;
+  base.n = 1920;
+  base.workers = 4;
+  std::vector<int> candidates = {48, 64, 96, 120, 160, 240};
+  std::string algorithm = "cholesky";
+  std::string scheduler = "quark";
+  CliParser cli("autotune_tile", "simulator-driven tile-size autotuning");
+  cli.add_int("n", &base.n, "target matrix dimension");
+  cli.add_int("workers", &base.workers, "worker threads");
+  cli.add_int_list("candidates", &candidates, "tile sizes to evaluate");
+  cli.add_string("algorithm", &algorithm, "cholesky or qr");
+  cli.add_string("scheduler", &scheduler, "runtime spec");
+  if (!cli.parse(argc, argv)) return 0;
+  base.algorithm = harness::parse_algorithm(algorithm);
+  base.scheduler = scheduler;
+
+  std::printf("autotuning %s tile size for n=%d on %s (%d workers)\n",
+              algorithm.c_str(), base.n, scheduler.c_str(), base.workers);
+
+  const harness::AutotuneResult result =
+      harness::autotune_tile_size(base, candidates);
+
+  harness::TextTable table;
+  table.set_headers({"nb", "n used", "predicted Gflop/s", "calibration",
+                     "simulation"});
+  for (const auto& c : result.candidates) {
+    table.add_row({std::to_string(c.nb), std::to_string(c.n_used),
+                   strprintf("%.3f", c.predicted_gflops),
+                   format_duration_us(c.calibration_wall_us),
+                   format_duration_us(c.simulation_wall_us)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nbest tile size: nb=%d (predicted %.3f Gflop/s), tuned in %s\n",
+              result.best_nb, result.best_predicted_gflops,
+              format_duration_us(result.total_wall_us).c_str());
+  return 0;
+}

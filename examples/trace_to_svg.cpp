@@ -1,0 +1,42 @@
+// trace_to_svg.cpp — convert a saved TaskSim trace (text format, paper
+// §V-A) to an SVG visualization, with optional statistics.
+//
+// Run: ./trace_to_svg --input run.trace [--output run.svg] [--stats]
+#include <cstdio>
+
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "trace/analysis.hpp"
+#include "trace/svg_export.hpp"
+#include "trace/text_io.hpp"
+
+using namespace tasksim;
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  bool stats = false;
+  CliParser cli("trace_to_svg", "render a TaskSim trace file as SVG");
+  cli.add_string("input", &input, "trace file to read");
+  cli.add_string("output", &output, "SVG to write (default: <input>.svg)");
+  cli.add_flag("stats", &stats, "also print trace statistics");
+  if (!cli.parse(argc, argv)) return 0;
+  if (input.empty()) {
+    std::fprintf(stderr, "error: --input is required\n%s",
+                 cli.usage().c_str());
+    return 1;
+  }
+  if (output.empty()) output = input + ".svg";
+
+  const trace::Trace trace = trace::load_trace(input);
+  trace::SvgOptions options;
+  options.title = trace.label().empty() ? input : trace.label();
+  trace::write_svg(trace, output, options);
+  std::printf("%s: %zu events, %d workers, makespan %s -> %s\n", input.c_str(),
+              trace.size(), trace.worker_count(),
+              format_duration_us(trace.makespan_us()).c_str(), output.c_str());
+  if (stats) {
+    std::fputs(trace::analyze(trace).to_string().c_str(), stdout);
+  }
+  return 0;
+}

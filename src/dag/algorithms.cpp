@@ -1,0 +1,113 @@
+#include "dag/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::dag {
+
+std::vector<NodeId> topological_order(const TaskGraph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::size_t> in_degree(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    in_degree[id] = graph.predecessors(id).size();
+  }
+  std::deque<NodeId> ready;
+  for (NodeId id = 0; id < n; ++id) {
+    if (in_degree[id] == 0) ready.push_back(id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (NodeId succ : graph.successors(id)) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  TS_ASSERT(order.size() == n, "cycle detected in TaskGraph");
+  return order;
+}
+
+CriticalPath critical_path(const TaskGraph& graph) {
+  CriticalPath cp;
+  const std::size_t n = graph.node_count();
+  if (n == 0) return cp;
+
+  // dist[v] = weight of the heaviest path ending at v (inclusive).
+  std::vector<double> dist(n, 0.0);
+  std::vector<NodeId> best_pred(n, 0);
+  std::vector<bool> has_pred(n, false);
+  for (NodeId id : topological_order(graph)) {
+    dist[id] += graph.node(id).weight_us;
+    for (NodeId succ : graph.successors(id)) {
+      if (dist[id] > dist[succ]) {
+        dist[succ] = dist[id];
+        best_pred[succ] = id;
+        has_pred[succ] = true;
+      }
+    }
+  }
+  NodeId tail = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    if (dist[id] > dist[tail]) tail = id;
+  }
+  cp.length_us = dist[tail];
+  NodeId cur = tail;
+  cp.nodes.push_back(cur);
+  while (has_pred[cur]) {
+    cur = best_pred[cur];
+    cp.nodes.push_back(cur);
+  }
+  std::reverse(cp.nodes.begin(), cp.nodes.end());
+  return cp;
+}
+
+LevelProfile level_profile(const TaskGraph& graph) {
+  LevelProfile p;
+  const std::size_t n = graph.node_count();
+  p.level.assign(n, 0);
+  for (NodeId id : topological_order(graph)) {
+    int lvl = 0;
+    for (NodeId pred : graph.predecessors(id)) {
+      lvl = std::max(lvl, p.level[pred] + 1);
+    }
+    p.level[id] = lvl;
+    p.depth = std::max(p.depth, lvl + 1);
+  }
+  p.width.assign(static_cast<std::size_t>(p.depth), 0);
+  for (NodeId id = 0; id < n; ++id) {
+    ++p.width[static_cast<std::size_t>(p.level[id])];
+  }
+  for (std::size_t w : p.width) p.max_width = std::max(p.max_width, w);
+  return p;
+}
+
+std::string DagMetrics::to_string() const {
+  return strprintf(
+      "nodes=%zu edges=%zu work=%s cp=%s avg-parallelism=%.2f depth=%d "
+      "max-width=%zu",
+      nodes, edges, format_duration_us(total_work_us).c_str(),
+      format_duration_us(critical_path_us).c_str(), average_parallelism, depth,
+      max_width);
+}
+
+DagMetrics compute_metrics(const TaskGraph& graph) {
+  DagMetrics m;
+  m.nodes = graph.node_count();
+  m.edges = graph.edge_count();
+  for (const Node& node : graph.nodes()) m.total_work_us += node.weight_us;
+  m.critical_path_us = critical_path(graph).length_us;
+  if (m.critical_path_us > 0.0) {
+    m.average_parallelism = m.total_work_us / m.critical_path_us;
+  }
+  const LevelProfile p = level_profile(graph);
+  m.depth = p.depth;
+  m.max_width = p.max_width;
+  return m;
+}
+
+}  // namespace tasksim::dag

@@ -1,0 +1,49 @@
+// algorithms.hpp — graph algorithms over the task DAG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace tasksim::dag {
+
+/// Kahn topological order.  Because TaskGraph::add_edge enforces
+/// from < to, every TaskGraph is acyclic by construction; this function is
+/// still the canonical way to obtain a level-consistent order.
+std::vector<NodeId> topological_order(const TaskGraph& graph);
+
+/// Longest weighted path (node weights in microseconds).
+struct CriticalPath {
+  double length_us = 0.0;
+  std::vector<NodeId> nodes;  ///< path from a root to a leaf
+};
+
+CriticalPath critical_path(const TaskGraph& graph);
+
+/// Per-level structure: level of a node = 1 + max(level of predecessors).
+struct LevelProfile {
+  std::vector<int> level;                  ///< per node
+  std::vector<std::size_t> width;          ///< nodes per level
+  int depth = 0;                           ///< number of levels
+  std::size_t max_width = 0;
+};
+
+LevelProfile level_profile(const TaskGraph& graph);
+
+/// Aggregate DAG metrics used by DESIGN/EXPERIMENTS reporting.
+struct DagMetrics {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double total_work_us = 0.0;      ///< sum of node weights
+  double critical_path_us = 0.0;
+  double average_parallelism = 0.0;  ///< total_work / critical_path
+  int depth = 0;
+  std::size_t max_width = 0;
+
+  std::string to_string() const;
+};
+
+DagMetrics compute_metrics(const TaskGraph& graph);
+
+}  // namespace tasksim::dag

@@ -1,0 +1,64 @@
+// builder.hpp — derive the dependence DAG from a serial task-submission
+// stream, exactly as a superscalar scheduler's hazard analysis would
+// (paper §IV-A and Figure 2).
+//
+// For each submitted task the builder records, per data object (identified
+// by address), the last writer and the set of readers since that writer:
+//
+//   * a read  after a write  -> RaW edge from the last writer,
+//   * a write after reads    -> WaR edges from each reader since the last
+//                               writer,
+//   * a write after a write  -> WaW edge from the last writer (only when no
+//                               intervening reader already serializes it).
+//
+// Duplicate edges between the same pair of tasks are coalesced, keeping the
+// strongest kind (RaW > WaW > WaR) — matching Figure 1's note that a vertex
+// pair may be related by more than one data dependence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace tasksim::dag {
+
+/// One data reference of a task, as written by the developer.
+struct DataRef {
+  const void* address = nullptr;
+  bool read = false;
+  bool write = false;
+};
+
+inline DataRef read_ref(const void* addr) { return {addr, true, false}; }
+inline DataRef write_ref(const void* addr) { return {addr, false, true}; }
+inline DataRef rw_ref(const void* addr) { return {addr, true, true}; }
+
+class DagBuilder {
+ public:
+  /// Submit the next task in serial program order; returns its node id.
+  NodeId submit(std::string kernel, std::span<const DataRef> refs,
+                double weight_us = 0.0);
+
+  const TaskGraph& graph() const { return graph_; }
+  TaskGraph& mutable_graph() { return graph_; }
+  TaskGraph take_graph() { return std::move(graph_); }
+
+ private:
+  struct ObjectState {
+    bool has_writer = false;
+    NodeId last_writer = 0;
+    std::vector<NodeId> readers_since_write;
+  };
+
+  void add_edge_coalesced(NodeId from, NodeId to, DepKind kind);
+
+  TaskGraph graph_;
+  std::unordered_map<const void*, ObjectState> objects_;
+  // Edge de-duplication for the most recent target node.
+  std::unordered_map<std::uint64_t, std::size_t> edge_index_;
+};
+
+}  // namespace tasksim::dag

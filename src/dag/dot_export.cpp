@@ -1,0 +1,60 @@
+#include "dag/dot_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::dag {
+
+namespace {
+// Local copy of the kernel palette to keep tasksim_dag independent of
+// tasksim_trace (which links stats); colors match trace/color.cpp for the
+// common kernels.
+std::string node_color(const std::string& kernel) {
+  if (kernel == "dpotrf" || kernel == "dpotf2" || kernel == "dgeqrt")
+    return "#2ca02c";
+  if (kernel == "dtrsm" || kernel == "dormqr") return "#1f77b4";
+  if (kernel == "dsyrk") return "#d62728";
+  if (kernel == "dtsqrt") return "#ff7f0e";
+  if (kernel == "dgemm" || kernel == "dtsmqr") return "#9467bd";
+  return "#cccccc";
+}
+}  // namespace
+
+std::string render_dot(const TaskGraph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=box, style=filled, fontsize=10];\n";
+  for (const Node& node : graph.nodes()) {
+    std::string label = node.kernel;
+    if (options.label_weights && node.weight_us > 0.0) {
+      label += "\\n" + format_duration_us(node.weight_us);
+    }
+    os << strprintf("  n%u [label=\"%s #%u\"", node.id, label.c_str(), node.id);
+    if (options.color_by_kernel) {
+      os << strprintf(", fillcolor=\"%s\"", node_color(node.kernel).c_str());
+    }
+    os << "];\n";
+  }
+  for (const Edge& edge : graph.edges()) {
+    os << strprintf("  n%u -> n%u", edge.from, edge.to);
+    if (options.annotate_edges) {
+      os << strprintf(" [label=\"%s\"]", to_string(edge.kind));
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot(const TaskGraph& graph, const std::string& path,
+               const DotOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << render_dot(graph, options);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace tasksim::dag

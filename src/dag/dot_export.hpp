@@ -1,0 +1,24 @@
+// dot_export.hpp — Graphviz DOT rendering of the task DAG (paper Figure 1:
+// "Developers visualize these DAGs in order to gain a greater understanding
+// of how well their algorithms could perform").
+#pragma once
+
+#include <string>
+
+#include "dag/graph.hpp"
+
+namespace tasksim::dag {
+
+struct DotOptions {
+  bool label_weights = false;   ///< append expected time to node labels
+  bool color_by_kernel = true;  ///< fill nodes with the trace palette color
+  bool annotate_edges = false;  ///< label edges RaW / WaR / WaW
+  std::string graph_name = "taskdag";
+};
+
+std::string render_dot(const TaskGraph& graph, const DotOptions& options = {});
+
+void write_dot(const TaskGraph& graph, const std::string& path,
+               const DotOptions& options = {});
+
+}  // namespace tasksim::dag

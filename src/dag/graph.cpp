@@ -1,0 +1,70 @@
+#include "dag/graph.hpp"
+
+#include "support/error.hpp"
+
+namespace tasksim::dag {
+
+const char* to_string(DepKind kind) {
+  switch (kind) {
+    case DepKind::raw: return "RaW";
+    case DepKind::war: return "WaR";
+    case DepKind::waw: return "WaW";
+  }
+  return "?";
+}
+
+NodeId TaskGraph::add_node(std::string kernel, double weight_us) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, std::move(kernel), weight_us});
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return id;
+}
+
+void TaskGraph::add_edge(NodeId from, NodeId to, DepKind kind) {
+  TS_REQUIRE(from < nodes_.size() && to < nodes_.size(),
+             "edge endpoint out of range");
+  TS_REQUIRE(from < to,
+             "dependence must point forward in submission order (from < to)");
+  edges_.push_back(Edge{from, to, kind});
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+}
+
+const Node& TaskGraph::node(NodeId id) const {
+  TS_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+Node& TaskGraph::mutable_node(NodeId id) {
+  TS_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const std::vector<NodeId>& TaskGraph::successors(NodeId id) const {
+  TS_REQUIRE(id < succ_.size(), "node id out of range");
+  return succ_[id];
+}
+
+const std::vector<NodeId>& TaskGraph::predecessors(NodeId id) const {
+  TS_REQUIRE(id < pred_.size(), "node id out of range");
+  return pred_[id];
+}
+
+std::vector<NodeId> TaskGraph::roots() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (pred_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> TaskGraph::leaves() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (succ_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace tasksim::dag

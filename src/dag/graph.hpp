@@ -1,0 +1,74 @@
+// graph.hpp — the task dependence DAG.
+//
+// Vertices are tasks, edges are data dependences (paper Figure 1).  The DAG
+// is produced either by `DagBuilder` (replaying a serial task-submission
+// stream through hazard analysis, like the schedulers do) or captured live
+// from a running scheduler via its observer hooks.  It feeds DOT export,
+// critical-path analysis, and the pure DAG-replay DES baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tasksim::dag {
+
+using NodeId = std::uint32_t;
+
+/// Data-hazard classification of an edge (paper §IV-A).
+enum class DepKind : std::uint8_t {
+  raw,  ///< read-after-write (true dependence)
+  war,  ///< write-after-read (anti-dependence)
+  waw,  ///< write-after-write (output dependence)
+};
+
+const char* to_string(DepKind kind);
+
+struct Node {
+  NodeId id = 0;
+  std::string kernel;     ///< kernel class, e.g. "dgemm"
+  double weight_us = 0.0; ///< expected execution time (0 when unknown)
+};
+
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  DepKind kind = DepKind::raw;
+};
+
+/// Directed acyclic task graph.  Construction is single-threaded (task
+/// submission is serial in the superscalar model); queries are const.
+class TaskGraph {
+ public:
+  /// Add a task vertex; returns its id (dense, insertion-ordered).
+  NodeId add_node(std::string kernel, double weight_us = 0.0);
+
+  /// Add a dependence edge; both endpoints must exist and from < to is
+  /// required (task submission order is a valid topological order, so a
+  /// dependence can only point forward in insertion order).
+  void add_edge(NodeId from, NodeId to, DepKind kind);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const Node& node(NodeId id) const;
+  Node& mutable_node(NodeId id);
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  const std::vector<NodeId>& successors(NodeId id) const;
+  const std::vector<NodeId>& predecessors(NodeId id) const;
+
+  /// Nodes with no predecessors.
+  std::vector<NodeId> roots() const;
+  /// Nodes with no successors.
+  std::vector<NodeId> leaves() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+};
+
+}  // namespace tasksim::dag

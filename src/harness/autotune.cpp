@@ -1,0 +1,54 @@
+#include "harness/autotune.hpp"
+
+#include "support/error.hpp"
+#include "support/timing.hpp"
+
+namespace tasksim::harness {
+
+AutotuneResult autotune_tile_size(const ExperimentConfig& base,
+                                  const std::vector<int>& candidates,
+                                  const AutotuneOptions& options) {
+  TS_REQUIRE(!candidates.empty(), "no tile-size candidates");
+  AutotuneResult result;
+  Stopwatch total;
+
+  for (int nb : candidates) {
+    TS_REQUIRE(nb > 0, "tile size must be positive");
+    AutotuneCandidate candidate;
+    candidate.nb = nb;
+    candidate.n_used = (base.n / nb) * nb;
+    if (candidate.n_used < nb) {
+      // Tile larger than the matrix: not usable.
+      result.candidates.push_back(candidate);
+      continue;
+    }
+
+    // Calibrate on a small problem with this tile size.
+    ExperimentConfig calib_config = base;
+    calib_config.nb = nb;
+    calib_config.n = nb * options.calibration_tiles;
+    Stopwatch calib_watch;
+    const sim::KernelModelSet models = calibrate(calib_config, options.family);
+    candidate.calibration_wall_us = calib_watch.elapsed_us();
+
+    // Predict full-size performance with the simulator.
+    ExperimentConfig sim_config = base;
+    sim_config.nb = nb;
+    sim_config.n = candidate.n_used;
+    Stopwatch sim_watch;
+    const RunResult sim = run_simulated(sim_config, models);
+    candidate.simulation_wall_us = sim_watch.elapsed_us();
+    candidate.predicted_gflops = sim.gflops;
+
+    if (candidate.predicted_gflops > result.best_predicted_gflops) {
+      result.best_predicted_gflops = candidate.predicted_gflops;
+      result.best_nb = nb;
+    }
+    result.candidates.push_back(candidate);
+  }
+
+  result.total_wall_us = total.elapsed_us();
+  return result;
+}
+
+}  // namespace tasksim::harness

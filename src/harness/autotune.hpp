@@ -1,0 +1,44 @@
+// autotune.hpp — simulator-driven tile-size tuning.
+//
+// The paper's stated end goal (§VI-B): "If it is possible to predict
+// performance of an algorithm running on a particular scheduler
+// configuration in a reduced time period, it will be possible to try a
+// larger number of possible scheduling and algorithmic parameters".  This
+// module is that use case: calibrate each candidate tile size on a small
+// problem, then let the *simulator* predict full-size performance and pick
+// the winner — far cheaper than running every candidate at full size.
+#pragma once
+
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace tasksim::harness {
+
+struct AutotuneCandidate {
+  int nb = 0;
+  int n_used = 0;              ///< target n rounded down to a tile multiple
+  double predicted_gflops = 0.0;
+  double calibration_wall_us = 0.0;
+  double simulation_wall_us = 0.0;
+};
+
+struct AutotuneResult {
+  std::vector<AutotuneCandidate> candidates;  ///< in input order
+  int best_nb = 0;
+  double best_predicted_gflops = 0.0;
+  double total_wall_us = 0.0;
+};
+
+struct AutotuneOptions {
+  /// Tiles per side of the small calibration problem.
+  int calibration_tiles = 4;
+  sim::ModelFamily family = sim::ModelFamily::best;
+};
+
+/// Tune the tile size of `base` (its `nb` is ignored) over `candidates`.
+AutotuneResult autotune_tile_size(const ExperimentConfig& base,
+                                  const std::vector<int>& candidates,
+                                  const AutotuneOptions& options = {});
+
+}  // namespace tasksim::harness

@@ -1,0 +1,214 @@
+#include "harness/experiment.hpp"
+
+#include "linalg/blas_kernels.hpp"
+#include "linalg/tile_cholesky.hpp"
+#include "linalg/tile_lu.hpp"
+#include "linalg/tile_qr.hpp"
+#include "linalg/verify.hpp"
+#include "sched/factory.hpp"
+#include "sched/starpu/starpu_runtime.hpp"
+#include "sched/submitter.hpp"
+#include "sim/sim_submitter.hpp"
+#include "sim/virtual_platform.hpp"
+#include "support/error.hpp"
+#include "support/sysinfo.hpp"
+#include "support/timing.hpp"
+
+namespace tasksim::harness {
+
+const char* to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::cholesky: return "cholesky";
+    case Algorithm::qr: return "qr";
+    case Algorithm::lu: return "lu";
+  }
+  return "?";
+}
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "cholesky" || name == "potrf") return Algorithm::cholesky;
+  if (name == "qr" || name == "geqrf") return Algorithm::qr;
+  if (name == "lu" || name == "getrf") return Algorithm::lu;
+  throw InvalidArgument("unknown algorithm: " + name);
+}
+
+double algorithm_flops(const ExperimentConfig& config) {
+  switch (config.algorithm) {
+    case Algorithm::cholesky: return linalg::flops_cholesky(config.n);
+    case Algorithm::qr: return linalg::flops_qr(config.n);
+    case Algorithm::lu: return linalg::flops_lu(config.n);
+  }
+  return 0.0;
+}
+
+linalg::TileMatrix make_input_matrix(const ExperimentConfig& config) {
+  Rng rng(config.seed);
+  if (config.algorithm == Algorithm::qr) {
+    return linalg::TileMatrix::from_dense(
+        linalg::Matrix::random(config.n, config.n, rng), config.nb);
+  }
+  // Cholesky needs SPD; LU-without-pivoting needs diagonal dominance.
+  return linalg::TileMatrix::from_dense(
+      linalg::Matrix::random_diag_dominant(config.n, rng), config.nb);
+}
+
+namespace {
+
+sched::RuntimeConfig runtime_config(const ExperimentConfig& config,
+                                    bool real_execution) {
+  sched::RuntimeConfig rc;
+  rc.workers = config.workers;
+  rc.window_size = config.window_size;
+  rc.master_participates = config.master_participates;
+  rc.seed = config.seed;
+  // Oversubscribed real runs interleave workers fairly so the schedule the
+  // virtual platform replays resembles a dedicated-core one (DESIGN.md §3).
+  rc.yield_between_tasks =
+      real_execution && config.workers > hardware_threads();
+  return rc;
+}
+
+void finalize(RunResult& result, const ExperimentConfig& config) {
+  result.makespan_us = result.timeline.makespan_us();
+  if (result.makespan_us > 0.0) {
+    // Gflop/s = flops / (us * 1e-6) / 1e9 = flops / (us * 1e3).
+    result.gflops = algorithm_flops(config) / (result.makespan_us * 1e3);
+  }
+}
+
+}  // namespace
+
+RunResult run_real(const ExperimentConfig& config,
+                   sim::CalibrationObserver* calibration) {
+  linalg::TileMatrix a = make_input_matrix(config);
+  std::optional<linalg::Matrix> original;
+  if (config.verify_numerics) original = a.to_dense();
+
+  sim::VirtualPlatform platform;
+  auto runtime =
+      sched::make_runtime(config.scheduler, runtime_config(config, true));
+  runtime->add_observer(&platform);
+  if (calibration != nullptr) runtime->add_observer(calibration);
+
+  sched::RealSubmitter submitter(*runtime);
+  Stopwatch stopwatch;
+  RunResult result;
+
+  if (config.algorithm == Algorithm::cholesky) {
+    const int info = linalg::tile_cholesky(a, submitter);
+    TS_REQUIRE(info == 0, "Cholesky hit a non-SPD diagonal block (info=" +
+                              std::to_string(info) + ")");
+    result.wall_us = stopwatch.elapsed_us();
+    if (config.verify_numerics) {
+      result.residual = linalg::cholesky_residual(*original, a);
+    }
+  } else if (config.algorithm == Algorithm::lu) {
+    const int info = linalg::tile_lu_nopiv(a, submitter);
+    TS_REQUIRE(info == 0,
+               "LU hit a zero pivot (info=" + std::to_string(info) + ")");
+    result.wall_us = stopwatch.elapsed_us();
+    if (config.verify_numerics) {
+      result.residual = linalg::lu_residual(*original, a);
+    }
+  } else {
+    linalg::TileMatrix t = linalg::TileMatrix::zeros_like(a);
+    linalg::tile_qr(a, t, submitter);
+    result.wall_us = stopwatch.elapsed_us();
+    if (config.verify_numerics) {
+      result.residual = linalg::qr_residual(*original, a, t);
+    }
+  }
+
+  result.timeline = platform.replay();
+  result.tasks = platform.task_count();
+  finalize(result, config);
+
+  runtime->remove_observer(&platform);
+  if (calibration != nullptr) runtime->remove_observer(calibration);
+  return result;
+}
+
+RunResult run_simulated(const ExperimentConfig& config,
+                        const sim::KernelModelSet& models,
+                        sim::SimEngineOptions engine_options) {
+  // Data is allocated (the scheduler needs real addresses for dependence
+  // analysis) but never initialized or touched: simulated tasks do no work.
+  linalg::TileMatrix a(config.n, config.nb);
+
+  auto runtime =
+      sched::make_runtime(config.scheduler, runtime_config(config, false));
+  if (auto* starpu = dynamic_cast<sched::StarpuRuntime*>(runtime.get())) {
+    // Prime the history model (StarPU's persisted-history equivalent) and
+    // stop it from learning the meaningless durations of simulated bodies.
+    starpu->set_profiling(false);
+    for (const std::string& kernel : models.kernel_names()) {
+      const double mean = models.mean_us(kernel);
+      for (int i = 0; i < 4; ++i) starpu->perf_model().update(kernel, mean);
+    }
+  }
+
+  engine_options.mitigation = config.mitigation;
+  engine_options.seed = config.seed ^ 0x5157ULL;
+  sim::SimEngine engine(models, engine_options);
+  sim::SimSubmitter submitter(*runtime, engine);
+
+  Stopwatch stopwatch;
+  RunResult result;
+  if (config.algorithm == Algorithm::cholesky) {
+    linalg::tile_cholesky(a, submitter);
+  } else if (config.algorithm == Algorithm::lu) {
+    linalg::tile_lu_nopiv(a, submitter);
+  } else {
+    linalg::TileMatrix t = linalg::TileMatrix::zeros_like(a);
+    linalg::tile_qr(a, t, submitter);
+  }
+  result.wall_us = stopwatch.elapsed_us();
+  result.timeline = engine.trace();
+  result.tasks = engine.executed_tasks();
+  result.quiescence_timeouts = engine.quiescence_timeouts();
+  finalize(result, config);
+  return result;
+}
+
+sim::KernelModelSet calibrate(const ExperimentConfig& config,
+                              sim::ModelFamily family) {
+  sim::CalibrationObserver calibration;
+  (void)run_real(config, &calibration);
+  return calibration.fit(family);
+}
+
+ComparisonRow compare_real_vs_sim(const ExperimentConfig& config,
+                                  sim::ModelFamily family,
+                                  const sim::KernelModelSet* models) {
+  ComparisonRow row;
+  row.n = config.n;
+
+  sim::CalibrationObserver calibration;
+  RunResult real = run_real(config, models ? nullptr : &calibration);
+  for (int r = 1; r < config.real_repeats; ++r) {
+    ExperimentConfig repeat = config;
+    repeat.seed = config.seed + static_cast<std::uint64_t>(r) * 7919;
+    RunResult candidate = run_real(repeat, models ? nullptr : &calibration);
+    if (candidate.makespan_us < real.makespan_us) real = std::move(candidate);
+  }
+  sim::KernelModelSet fitted;
+  if (models == nullptr) {
+    fitted = calibration.fit(family);
+    models = &fitted;
+  }
+  RunResult sim = run_simulated(config, *models);
+
+  row.real_gflops = real.gflops;
+  row.sim_gflops = sim.gflops;
+  row.real_makespan_us = real.makespan_us;
+  row.sim_makespan_us = sim.makespan_us;
+  row.real_wall_us = real.wall_us;
+  row.sim_wall_us = sim.wall_us;
+  if (real.makespan_us > 0.0) {
+    row.error_pct =
+        100.0 * (sim.makespan_us - real.makespan_us) / real.makespan_us;
+  }
+  return row;
+}
+
+}  // namespace tasksim::harness

@@ -1,0 +1,102 @@
+// experiment.hpp — the calibrate → run → simulate → compare pipeline behind
+// every evaluation figure (paper §VI).
+//
+// One ExperimentConfig describes a (scheduler, algorithm, matrix size, tile
+// size, worker count) point.  The harness can:
+//   * run_real       — execute the factorization for real, with the virtual
+//                      platform rebuilding the dedicated-core timeline
+//                      (DESIGN.md §3) and optional calibration sampling,
+//   * run_simulated  — run the paper's simulation against fitted models,
+//   * compare_real_vs_sim — the full pipeline for one point, producing the
+//                      row format Figures 8–10 plot (real Gflop/s,
+//                      simulated Gflop/s, percentage error).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "linalg/tile_matrix.hpp"
+#include "sim/calibration.hpp"
+#include "sim/kernel_model.hpp"
+#include "sim/sim_engine.hpp"
+#include "trace/trace.hpp"
+
+namespace tasksim::harness {
+
+enum class Algorithm { cholesky, qr, lu };
+
+const char* to_string(Algorithm algorithm);
+Algorithm parse_algorithm(const std::string& name);
+
+struct ExperimentConfig {
+  std::string scheduler = "quark";
+  Algorithm algorithm = Algorithm::qr;
+  int n = 960;         ///< matrix dimension
+  int nb = 96;         ///< tile size
+  int workers = 4;     ///< worker lanes (real and simulated runs)
+  std::size_t window_size = 0;
+  bool master_participates = false;
+  sim::RaceMitigation mitigation = sim::RaceMitigation::quiescence;
+  std::uint64_t seed = 42;
+  /// Verify the factorization numerically after a real run (O(n³) dense
+  /// reconstruction — enable for small problems only).
+  bool verify_numerics = false;
+  /// Real executions per comparison point in compare_real_vs_sim; the run
+  /// with the smallest makespan is the reference (standard
+  /// noise-suppression on a shared host: interference only ever inflates
+  /// a run).  Calibration samples pool across all repeats.
+  int real_repeats = 1;
+};
+
+struct RunResult {
+  trace::Trace timeline;      ///< virtual-platform (real) or simulated trace
+  double makespan_us = 0.0;   ///< timeline makespan
+  double wall_us = 0.0;       ///< wall-clock cost of performing the run
+  double gflops = 0.0;        ///< algorithm flops / makespan
+  std::size_t tasks = 0;
+  std::optional<double> residual;  ///< when verify_numerics was on
+  /// Simulated runs: how often the quiescence wait hit its timeout.
+  std::uint64_t quiescence_timeouts = 0;
+};
+
+/// Algorithm flop count for the configured problem size.
+double algorithm_flops(const ExperimentConfig& config);
+
+/// Build the input matrix for the configured algorithm (SPD for Cholesky).
+linalg::TileMatrix make_input_matrix(const ExperimentConfig& config);
+
+/// Execute the factorization for real.  When `calibration` is non-null it
+/// is attached for the duration of the run.
+RunResult run_real(const ExperimentConfig& config,
+                   sim::CalibrationObserver* calibration = nullptr);
+
+/// Run the scheduler-in-the-loop simulation against `models`.
+RunResult run_simulated(const ExperimentConfig& config,
+                        const sim::KernelModelSet& models,
+                        sim::SimEngineOptions engine_options = {});
+
+/// One Figure-8/9/10 row.
+struct ComparisonRow {
+  int n = 0;
+  double real_gflops = 0.0;
+  double sim_gflops = 0.0;
+  double error_pct = 0.0;      ///< 100 * (sim - real) / real, makespan-based
+  double real_makespan_us = 0.0;
+  double sim_makespan_us = 0.0;
+  double real_wall_us = 0.0;   ///< wall cost of the real run
+  double sim_wall_us = 0.0;    ///< wall cost of the simulation
+};
+
+/// Full pipeline: real run (with calibration) at this size, fit `family`
+/// models, simulate, compare.  When `models` is provided the calibration
+/// step is skipped and those models are used instead (e.g. calibrated at a
+/// smaller size, the paper's intended workflow).
+ComparisonRow compare_real_vs_sim(const ExperimentConfig& config,
+                                  sim::ModelFamily family,
+                                  const sim::KernelModelSet* models = nullptr);
+
+/// Calibrate models by running the configured problem for real.
+sim::KernelModelSet calibrate(const ExperimentConfig& config,
+                              sim::ModelFamily family);
+
+}  // namespace tasksim::harness

@@ -1,0 +1,58 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace tasksim::harness {
+
+void TextTable::set_headers(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TS_REQUIRE(headers_.empty() || cells.size() == headers_.size(),
+             "row width does not match headers");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << "  ";
+      os << cells[i];
+      for (std::size_t pad = cells[i].size(); pad < widths[i]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) {
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    total += 2 * (widths.size() - 1);
+    for (std::size_t i = 0; i < total; ++i) os << '-';
+    os << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void print_banner(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  std::printf("\n%s\n= %s =\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+}  // namespace tasksim::harness

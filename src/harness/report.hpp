@@ -1,0 +1,31 @@
+// report.hpp — fixed-width text tables for benchmark output.
+//
+// Every figure bench prints the series the paper plots through this
+// printer, so outputs are uniform and easy to diff into EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tasksim::harness {
+
+class TextTable {
+ public:
+  void set_headers(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with per-column widths, a header underline, and two-space
+  /// column separation.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner: the experiment id and its paper reference.
+void print_banner(const std::string& title);
+
+}  // namespace tasksim::harness

@@ -1,0 +1,227 @@
+#include "linalg/blas_kernels.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace tasksim::linalg {
+
+namespace {
+inline const double* col(const double* a, int lda, int j) {
+  return a + static_cast<std::ptrdiff_t>(j) * lda;
+}
+inline double* col(double* a, int lda, int j) {
+  return a + static_cast<std::ptrdiff_t>(j) * lda;
+}
+}  // namespace
+
+void dgemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
+           const double* a, int lda, const double* b, int ldb, double beta,
+           double* c, int ldc) {
+  TS_REQUIRE(m >= 0 && n >= 0 && k >= 0, "dgemm negative dimension");
+  // Scale C by beta first.
+  for (int j = 0; j < n; ++j) {
+    double* cj = col(c, ldc, j);
+    if (beta == 0.0) {
+      for (int i = 0; i < m; ++i) cj[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  if (trans_a == Trans::no && trans_b == Trans::no) {
+    // C += alpha * A * B, column-major friendly: saxpy along columns of A.
+    for (int j = 0; j < n; ++j) {
+      const double* bj = col(b, ldb, j);
+      double* cj = col(c, ldc, j);
+      for (int p = 0; p < k; ++p) {
+        const double w = alpha * bj[p];
+        if (w == 0.0) continue;
+        const double* ap = col(a, lda, p);
+        for (int i = 0; i < m; ++i) cj[i] += w * ap[i];
+      }
+    }
+  } else if (trans_a == Trans::no && trans_b == Trans::yes) {
+    // C += alpha * A * Bᵀ: B(j, p) read row-wise.
+    for (int j = 0; j < n; ++j) {
+      double* cj = col(c, ldc, j);
+      for (int p = 0; p < k; ++p) {
+        const double w = alpha * col(b, ldb, p)[j];
+        if (w == 0.0) continue;
+        const double* ap = col(a, lda, p);
+        for (int i = 0; i < m; ++i) cj[i] += w * ap[i];
+      }
+    }
+  } else if (trans_a == Trans::yes && trans_b == Trans::no) {
+    // C += alpha * Aᵀ * B: dot products down columns of A.
+    for (int j = 0; j < n; ++j) {
+      const double* bj = col(b, ldb, j);
+      double* cj = col(c, ldc, j);
+      for (int i = 0; i < m; ++i) {
+        const double* ai = col(a, lda, i);
+        double sum = 0.0;
+        for (int p = 0; p < k; ++p) sum += ai[p] * bj[p];
+        cj[i] += alpha * sum;
+      }
+    }
+  } else {
+    // C += alpha * Aᵀ * Bᵀ.
+    for (int j = 0; j < n; ++j) {
+      double* cj = col(c, ldc, j);
+      for (int i = 0; i < m; ++i) {
+        const double* ai = col(a, lda, i);
+        double sum = 0.0;
+        for (int p = 0; p < k; ++p) sum += ai[p] * col(b, ldb, p)[j];
+        cj[i] += alpha * sum;
+      }
+    }
+  }
+}
+
+void dsyrk_lower(int n, int k, double alpha, const double* a, int lda,
+                 double beta, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = col(c, ldc, j);
+    if (beta == 0.0) {
+      for (int i = j; i < n; ++i) cj[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (int i = j; i < n; ++i) cj[i] *= beta;
+    }
+    for (int p = 0; p < k; ++p) {
+      const double w = alpha * col(a, lda, p)[j];
+      if (w == 0.0) continue;
+      const double* ap = col(a, lda, p);
+      for (int i = j; i < n; ++i) cj[i] += w * ap[i];
+    }
+  }
+}
+
+void dtrsm_right_lower_trans(int m, int n, const double* l, int ldl, double* b,
+                             int ldb) {
+  // Solve X * Lᵀ = B in place: Lᵀ is upper triangular with
+  // (Lᵀ)(p, j) = L(j, p), so a forward sweep over columns works.
+  for (int j = 0; j < n; ++j) {
+    double* bj = col(b, ldb, j);
+    for (int p = 0; p < j; ++p) {
+      const double factor = col(l, ldl, p)[j];  // L(j, p)
+      if (factor == 0.0) continue;
+      const double* bp = col(b, ldb, p);
+      for (int i = 0; i < m; ++i) bj[i] -= factor * bp[i];
+    }
+    const double diag = col(l, ldl, j)[j];
+    TS_REQUIRE(diag != 0.0, "dtrsm: singular triangular factor");
+    const double inv = 1.0 / diag;
+    for (int i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+int dpotrf_lower(int n, double* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    double* aj = col(a, lda, j);
+    double diag = aj[j];
+    for (int p = 0; p < j; ++p) {
+      const double v = col(a, lda, p)[j];
+      diag -= v * v;
+    }
+    if (diag <= 0.0 || !std::isfinite(diag)) return j + 1;
+    diag = std::sqrt(diag);
+    aj[j] = diag;
+    const double inv = 1.0 / diag;
+    for (int i = j + 1; i < n; ++i) {
+      double v = aj[i];
+      for (int p = 0; p < j; ++p) {
+        const double* ap = col(a, lda, p);
+        v -= ap[i] * ap[j];
+      }
+      aj[i] = v * inv;
+    }
+  }
+  return 0;
+}
+
+int dgetrf_nopiv(int n, double* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    const double pivot = col(a, lda, j)[j];
+    if (pivot == 0.0 || !std::isfinite(pivot)) return j + 1;
+    const double inv = 1.0 / pivot;
+    double* aj = col(a, lda, j);
+    for (int i = j + 1; i < n; ++i) aj[i] *= inv;  // L column
+    for (int c = j + 1; c < n; ++c) {
+      double* ac = col(a, lda, c);
+      const double u = ac[j];
+      if (u == 0.0) continue;
+      for (int i = j + 1; i < n; ++i) ac[i] -= aj[i] * u;
+    }
+  }
+  return 0;
+}
+
+void dtrsm_left_lower_unit(int n, int m, const double* l, int ldl, double* b,
+                           int ldb) {
+  // Forward substitution per column of B: B(i, c) -= sum_{p<i} L(i,p) B(p,c).
+  for (int c = 0; c < m; ++c) {
+    double* bc = col(b, ldb, c);
+    for (int p = 0; p < n; ++p) {
+      const double bp = bc[p];
+      if (bp == 0.0) continue;
+      const double* lp = col(l, ldl, p);
+      for (int i = p + 1; i < n; ++i) bc[i] -= lp[i] * bp;
+    }
+  }
+}
+
+void dtrsm_right_upper(int m, int n, const double* u, int ldu, double* b,
+                       int ldb) {
+  // X U = B: process columns of X left to right.
+  for (int j = 0; j < n; ++j) {
+    double* bj = col(b, ldb, j);
+    const double* uj = col(u, ldu, j);
+    for (int p = 0; p < j; ++p) {
+      const double factor = uj[p];  // U(p, j)
+      if (factor == 0.0) continue;
+      const double* bp = col(b, ldb, p);
+      for (int i = 0; i < m; ++i) bj[i] -= factor * bp[i];
+    }
+    const double diag = uj[j];
+    TS_REQUIRE(diag != 0.0, "dtrsm: singular upper factor");
+    const double inv = 1.0 / diag;
+    for (int i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+double flops_dgemm(int m, int n, int k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+double flops_dsyrk(int n, int k) {
+  return static_cast<double>(k) * static_cast<double>(n) *
+         (static_cast<double>(n) + 1.0);
+}
+
+double flops_dtrsm(int m, int n) {
+  return static_cast<double>(n) * static_cast<double>(n) *
+         static_cast<double>(m);
+}
+
+double flops_dpotrf(int n) {
+  const double nd = n;
+  return nd * nd * nd / 3.0 + nd * nd / 2.0 + nd / 6.0;
+}
+
+double flops_cholesky(int n) { return flops_dpotrf(n); }
+
+double flops_qr(int n) {
+  const double nd = n;
+  // LAPACK DGEQRF on a square matrix: 4/3 n^3 + O(n^2).
+  return 4.0 / 3.0 * nd * nd * nd;
+}
+
+double flops_lu(int n) {
+  const double nd = n;
+  // LAPACK DGETRF: 2/3 n^3 + O(n^2).
+  return 2.0 / 3.0 * nd * nd * nd;
+}
+
+}  // namespace tasksim::linalg

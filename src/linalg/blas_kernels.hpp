@@ -1,0 +1,62 @@
+// blas_kernels.hpp — BLAS-style computational kernels on column-major
+// blocks, implemented from scratch (the paper links MKL; our substitute is
+// a portable, numerically verified implementation — see DESIGN.md §3).
+//
+// These are the task bodies of the tile Cholesky factorization
+// (paper Algorithm 1): DPOTRF/DPOTF2, DTRSM, DSYRK, DGEMM.
+// Layout: column-major, leading dimension passed explicitly.
+#pragma once
+
+namespace tasksim::linalg {
+
+enum class Trans : char { no = 'N', yes = 'T' };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// op(A) is m×k, op(B) is k×n, C is m×n.
+void dgemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
+           const double* a, int lda, const double* b, int ldb, double beta,
+           double* c, int ldc);
+
+/// C = alpha * A * Aᵀ + beta * C, updating only the lower triangle.
+/// A is n×k, C is n×n (symmetric rank-k update, DSYRK).
+void dsyrk_lower(int n, int k, double alpha, const double* a, int lda,
+                 double beta, double* c, int ldc);
+
+/// B = B * L⁻ᵀ where L is n×n lower triangular (non-unit diagonal) and B is
+/// m×n — the DTRSM variant used by the tile Cholesky trailing solve.
+void dtrsm_right_lower_trans(int m, int n, const double* l, int ldl, double* b,
+                             int ldb);
+
+/// Unblocked lower Cholesky factorization of the n×n block A (DPOTF2).
+/// Returns 0 on success, or j+1 if the leading minor of order j+1 is not
+/// positive definite (LAPACK convention).
+int dpotrf_lower(int n, double* a, int lda);
+
+/// Unblocked LU factorization without pivoting of the n×n block A
+/// (DGETRF-nopiv): A = L·U with L unit lower triangular (unit diagonal not
+/// stored) and U upper triangular.  Returns 0 on success, or j+1 on a zero
+/// (or non-finite) pivot.  Safe on diagonally dominant matrices.
+int dgetrf_nopiv(int n, double* a, int lda);
+
+/// B = L⁻¹ * B with L n×n *unit* lower triangular (diagonal implied 1),
+/// B n×m — the row-panel update of tile LU.
+void dtrsm_left_lower_unit(int n, int m, const double* l, int ldl, double* b,
+                           int ldb);
+
+/// B = B * U⁻¹ with U n×n upper triangular (non-unit), B m×n — the
+/// column-panel update of tile LU.
+void dtrsm_right_upper(int m, int n, const double* u, int ldu, double* b,
+                       int ldb);
+
+/// Tile-level flop counts (used for Gflop/s reporting).
+double flops_dgemm(int m, int n, int k);
+double flops_dsyrk(int n, int k);
+double flops_dtrsm(int m, int n);
+double flops_dpotrf(int n);
+
+/// Whole-factorization flop counts for an n×n matrix (LAPACK formulas).
+double flops_cholesky(int n);
+double flops_qr(int n);
+double flops_lu(int n);
+
+}  // namespace tasksim::linalg

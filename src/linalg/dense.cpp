@@ -1,0 +1,124 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace tasksim::linalg {
+
+Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  TS_REQUIRE(rows >= 0 && cols >= 0, "negative matrix dimension");
+  data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+               0.0);
+}
+
+double& Matrix::operator()(int i, int j) {
+  return data_[static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_) +
+               static_cast<std::size_t>(i)];
+}
+
+double Matrix::operator()(int i, int j) const {
+  return data_[static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_) +
+               static_cast<std::size_t>(i)];
+}
+
+Matrix Matrix::random(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix Matrix::random_spd(int n, Rng& rng) {
+  const Matrix b = random(n, n, rng);
+  Matrix a = matmul(b, b, false, true);
+  for (int i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+Matrix Matrix::random_diag_dominant(int n, Rng& rng) {
+  Matrix a(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+    a(j, j) = static_cast<double>(n);
+  }
+  return a;
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zero(int rows, int cols) { return Matrix(rows, cols); }
+
+Matrix matmul(const Matrix& a, const Matrix& b, bool trans_a, bool trans_b) {
+  const int m = trans_a ? a.cols() : a.rows();
+  const int k = trans_a ? a.rows() : a.cols();
+  const int kb = trans_b ? b.cols() : b.rows();
+  const int n = trans_b ? b.rows() : b.cols();
+  TS_REQUIRE(k == kb, "matmul inner dimensions mismatch");
+  Matrix c(m, n);
+  for (int j = 0; j < n; ++j) {
+    for (int p = 0; p < k; ++p) {
+      const double bval = trans_b ? b(j, p) : b(p, j);
+      if (bval == 0.0) continue;
+      for (int i = 0; i < m; ++i) {
+        const double aval = trans_a ? a(p, i) : a(i, p);
+        c(i, j) += aval * bval;
+      }
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i < a.rows(); ++i) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+double frobenius_norm(const Matrix& a) {
+  double sum = 0.0;
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i < a.rows(); ++i) sum += a(i, j) * a(i, j);
+  }
+  return std::sqrt(sum);
+}
+
+double relative_error(const Matrix& a, const Matrix& b) {
+  TS_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+             "relative_error shape mismatch");
+  Matrix diff(a.rows(), a.cols());
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i < a.rows(); ++i) diff(i, j) = a(i, j) - b(i, j);
+  }
+  const double denom = frobenius_norm(b);
+  const double num = frobenius_norm(diff);
+  if (denom == 0.0) return num == 0.0 ? 0.0 : num;
+  return num / denom;
+}
+
+Matrix lower_triangle(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = j; i < a.rows(); ++i) out(i, j) = a(i, j);
+  }
+  return out;
+}
+
+Matrix upper_triangle(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i <= j && i < a.rows(); ++i) out(i, j) = a(i, j);
+  }
+  return out;
+}
+
+}  // namespace tasksim::linalg

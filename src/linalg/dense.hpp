@@ -1,0 +1,67 @@
+// dense.hpp — plain column-major dense matrices.
+//
+// Used for verification (reference results, norms) and as the source /
+// destination of tile-layout conversions.  Not performance-critical.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace tasksim::linalg {
+
+/// Column-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int i, int j);
+  double operator()(int i, int j) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  int ld() const { return rows_; }
+
+  /// Fill with uniform values in [-1, 1].
+  static Matrix random(int rows, int cols, Rng& rng);
+
+  /// Random symmetric positive definite: B·Bᵀ + n·I.  O(n³) — small
+  /// matrices only.
+  static Matrix random_spd(int n, Rng& rng);
+
+  /// Random symmetric strictly diagonally dominant (hence SPD) matrix:
+  /// off-diagonal uniform in [-1, 1], diagonal = n.  O(n²); used for the
+  /// large Cholesky experiment matrices.
+  static Matrix random_diag_dominant(int n, Rng& rng);
+
+  static Matrix identity(int n);
+  static Matrix zero(int rows, int cols);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = alpha * op(A) * op(B) + beta * C (reference triple loop).
+Matrix matmul(const Matrix& a, const Matrix& b, bool trans_a = false,
+              bool trans_b = false);
+
+Matrix transpose(const Matrix& a);
+
+/// Frobenius norm.
+double frobenius_norm(const Matrix& a);
+
+/// ||a - b||_F / ||b||_F (0 when b is zero and a == b).
+double relative_error(const Matrix& a, const Matrix& b);
+
+/// Extract lower/upper triangle (including diagonal), zeroing the rest.
+Matrix lower_triangle(const Matrix& a);
+Matrix upper_triangle(const Matrix& a);
+
+}  // namespace tasksim::linalg

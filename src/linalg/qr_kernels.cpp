@@ -1,0 +1,231 @@
+#include "linalg/qr_kernels.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace tasksim::linalg {
+
+namespace {
+
+inline const double* col(const double* a, int lda, int j) {
+  return a + static_cast<std::ptrdiff_t>(j) * lda;
+}
+inline double* col(double* a, int lda, int j) {
+  return a + static_cast<std::ptrdiff_t>(j) * lda;
+}
+
+/// Generate a Householder reflector for [alpha; x] (x of length n) such
+/// that H·[alpha; x] = [beta; 0], H = I − tau·v·vᵀ, v = [1; x/(alpha−beta)].
+/// x is scaled in place; returns {beta, tau}.  tau = 0 when x is zero.
+struct Reflector {
+  double beta;
+  double tau;
+};
+
+Reflector make_reflector(double alpha, double* x, int n) {
+  double xnorm2 = 0.0;
+  for (int i = 0; i < n; ++i) xnorm2 += x[i] * x[i];
+  if (xnorm2 == 0.0) {
+    return {alpha, 0.0};
+  }
+  const double norm = std::sqrt(alpha * alpha + xnorm2);
+  const double beta = alpha >= 0.0 ? -norm : norm;
+  const double tau = (beta - alpha) / beta;
+  const double scale = 1.0 / (alpha - beta);
+  for (int i = 0; i < n; ++i) x[i] *= scale;
+  return {beta, tau};
+}
+
+/// Multiply the leading (j×j) upper-triangular block of T into `w` and
+/// scale by -tau: T(0:j-1, j) = -tau * T(0:j-1, 0:j-1) * w.
+void fill_t_column(int j, double tau, const double* w, double* t, int ldt) {
+  for (int i = 0; i < j; ++i) {
+    double sum = 0.0;
+    for (int p = i; p < j; ++p) sum += col(t, ldt, p)[i] * w[p];
+    col(t, ldt, j)[i] = -tau * sum;
+  }
+  col(t, ldt, j)[j] = tau;
+}
+
+/// W2 = op(T) * W where T is upper triangular n×n and W is n×n dense;
+/// result overwrites W.
+void apply_t(ApplyTrans trans, int n, const double* t, int ldt, double* w,
+             int ldw) {
+  if (trans == ApplyTrans::no) {
+    // W = T * W; T upper triangular: process rows top-down.
+    for (int j = 0; j < n; ++j) {
+      double* wj = col(w, ldw, j);
+      for (int i = 0; i < n; ++i) {
+        double sum = 0.0;
+        for (int p = i; p < n; ++p) sum += col(t, ldt, p)[i] * wj[p];
+        wj[i] = sum;  // safe: wj[i] only read at p >= i, already consumed
+      }
+    }
+  } else {
+    // W = Tᵀ * W; Tᵀ lower triangular: process rows bottom-up.
+    for (int j = 0; j < n; ++j) {
+      double* wj = col(w, ldw, j);
+      for (int i = n - 1; i >= 0; --i) {
+        double sum = 0.0;
+        for (int p = 0; p <= i; ++p) sum += col(t, ldt, i)[p] * wj[p];
+        wj[i] = sum;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void dgeqrt(int nb, double* a, int lda, double* t, int ldt) {
+  TS_REQUIRE(nb > 0, "dgeqrt: tile size must be positive");
+  std::vector<double> w(static_cast<std::size_t>(nb));
+  for (int j = 0; j < nb; ++j) {
+    double* aj = col(a, lda, j);
+    const Reflector h = make_reflector(aj[j], aj + j + 1, nb - j - 1);
+    aj[j] = h.beta;
+
+    // Apply H_j to the trailing columns.
+    if (h.tau != 0.0) {
+      for (int c = j + 1; c < nb; ++c) {
+        double* ac = col(a, lda, c);
+        double dot = ac[j];
+        for (int i = j + 1; i < nb; ++i) dot += aj[i] * ac[i];
+        const double tw = h.tau * dot;
+        ac[j] -= tw;
+        for (int i = j + 1; i < nb; ++i) ac[i] -= tw * aj[i];
+      }
+    }
+
+    // Build column j of T: w = V(:, 0:j-1)ᵀ v_j.
+    for (int i = 0; i < j; ++i) {
+      const double* ai = col(a, lda, i);
+      double dot = ai[j];  // V(j, i) * v_j(j) = a(j, i) * 1
+      for (int r = j + 1; r < nb; ++r) dot += ai[r] * aj[r];
+      w[static_cast<std::size_t>(i)] = dot;
+    }
+    fill_t_column(j, h.tau, w.data(), t, ldt);
+  }
+}
+
+void dormqr(ApplyTrans trans, int nb, const double* v, int ldv,
+            const double* t, int ldt, double* c, int ldc) {
+  // W = Vᵀ C  (V unit lower triangular as stored by dgeqrt).
+  std::vector<double> w(static_cast<std::size_t>(nb) *
+                        static_cast<std::size_t>(nb));
+  const int ldw = nb;
+  for (int j = 0; j < nb; ++j) {
+    const double* cj = col(c, ldc, j);
+    double* wj = col(w.data(), ldw, j);
+    for (int i = 0; i < nb; ++i) {
+      const double* vi = col(v, ldv, i);
+      double sum = cj[i];  // diagonal 1 of V
+      for (int r = i + 1; r < nb; ++r) sum += vi[r] * cj[r];
+      wj[i] = sum;
+    }
+  }
+  // W = op(T) W.
+  apply_t(trans, nb, t, ldt, w.data(), ldw);
+  // C -= V W.
+  for (int j = 0; j < nb; ++j) {
+    double* cj = col(c, ldc, j);
+    const double* wj = col(w.data(), ldw, j);
+    for (int i = 0; i < nb; ++i) {
+      double sum = wj[i];  // diagonal 1 of V
+      for (int p = 0; p < i; ++p) sum += col(v, ldv, p)[i] * wj[p];
+      cj[i] -= sum;
+    }
+  }
+}
+
+void dtsqrt(int nb, double* r, int ldr, double* a2, int lda2, double* t,
+            int ldt) {
+  std::vector<double> w(static_cast<std::size_t>(nb));
+  for (int j = 0; j < nb; ++j) {
+    double* rj = col(r, ldr, j);
+    double* vj = col(a2, lda2, j);
+    const Reflector h = make_reflector(rj[j], vj, nb);
+    rj[j] = h.beta;
+
+    // Apply H_j to trailing columns of the stacked pair.  The top part of
+    // v_j is e_j, so the dot picks a single row of R.
+    if (h.tau != 0.0) {
+      for (int c = j + 1; c < nb; ++c) {
+        double* rc = col(r, ldr, c);
+        double* ac = col(a2, lda2, c);
+        double dot = rc[j];
+        for (int i = 0; i < nb; ++i) dot += vj[i] * ac[i];
+        const double tw = h.tau * dot;
+        rc[j] -= tw;
+        for (int i = 0; i < nb; ++i) ac[i] -= tw * vj[i];
+      }
+    }
+
+    // T column j: tops of earlier reflectors are e_i ⟂ e_j, so only the
+    // dense bottom parts contribute.
+    for (int i = 0; i < j; ++i) {
+      const double* vi = col(a2, lda2, i);
+      double dot = 0.0;
+      for (int rr = 0; rr < nb; ++rr) dot += vi[rr] * vj[rr];
+      w[static_cast<std::size_t>(i)] = dot;
+    }
+    fill_t_column(j, h.tau, w.data(), t, ldt);
+  }
+}
+
+void dtsmqr(ApplyTrans trans, int nb, double* c1, int ldc1, double* c2,
+            int ldc2, const double* v2, int ldv2, const double* t, int ldt) {
+  // W = Vᵀ [C1; C2] = C1 + V2ᵀ C2.
+  std::vector<double> w(static_cast<std::size_t>(nb) *
+                        static_cast<std::size_t>(nb));
+  const int ldw = nb;
+  for (int j = 0; j < nb; ++j) {
+    const double* c1j = col(c1, ldc1, j);
+    const double* c2j = col(c2, ldc2, j);
+    double* wj = col(w.data(), ldw, j);
+    for (int i = 0; i < nb; ++i) {
+      const double* vi = col(v2, ldv2, i);
+      double sum = c1j[i];
+      for (int r = 0; r < nb; ++r) sum += vi[r] * c2j[r];
+      wj[i] = sum;
+    }
+  }
+  // W = op(T) W.
+  apply_t(trans, nb, t, ldt, w.data(), ldw);
+  // [C1; C2] -= [W; V2 W].
+  for (int j = 0; j < nb; ++j) {
+    double* c1j = col(c1, ldc1, j);
+    double* c2j = col(c2, ldc2, j);
+    const double* wj = col(w.data(), ldw, j);
+    for (int i = 0; i < nb; ++i) c1j[i] -= wj[i];
+    for (int p = 0; p < nb; ++p) {
+      const double wv = wj[p];
+      if (wv == 0.0) continue;
+      const double* vp = col(v2, ldv2, p);
+      for (int i = 0; i < nb; ++i) c2j[i] -= vp[i] * wv;
+    }
+  }
+}
+
+double flops_dgeqrt(int nb) {
+  const double b = nb;
+  return 4.0 / 3.0 * b * b * b;
+}
+
+double flops_dormqr(int nb) {
+  const double b = nb;
+  return 3.0 * b * b * b;
+}
+
+double flops_dtsqrt(int nb) {
+  const double b = nb;
+  return 2.0 * b * b * b;
+}
+
+double flops_dtsmqr(int nb) {
+  const double b = nb;
+  return 4.0 * b * b * b;
+}
+
+}  // namespace tasksim::linalg

@@ -1,0 +1,46 @@
+// qr_kernels.hpp — the four tile-QR kernels (paper Algorithm 2):
+// DGEQRT, DORMQR, DTSQRT, DTSMQR, implemented from scratch with
+// Householder reflectors in compact WY (block-reflector) form.
+//
+// Conventions (matching PLASMA with inner block size ib = nb):
+//   * DGEQRT factors an nb×nb tile: on exit the upper triangle holds R, the
+//     strict lower triangle holds the Householder vectors V (unit diagonal
+//     implied), and T is the nb×nb upper-triangular block-reflector factor
+//     with Q = I − V·T·Vᵀ.
+//   * DTSQRT factors the 2nb×nb stack [R_top; A_bottom] where R_top is
+//     upper triangular: on exit R_top is the updated R, A_bottom holds the
+//     dense lower parts V2 of the reflectors (the upper parts are identity
+//     columns), and T is the block-reflector factor.
+//   * DORMQR / DTSMQR apply Q or Qᵀ (per `trans`) from the left to one tile
+//     / a stacked tile pair.
+#pragma once
+
+namespace tasksim::linalg {
+
+enum class ApplyTrans : char { no = 'N', yes = 'T' };
+
+/// QR factorization of the nb×nb tile `a` (lda) producing `t` (ldt).
+void dgeqrt(int nb, double* a, int lda, double* t, int ldt);
+
+/// Apply Q (or Qᵀ) of a DGEQRT factorization to the nb×nb tile `c`:
+/// C = op(I − V·T·Vᵀ) · C, with V stored in `v` as by dgeqrt.
+void dormqr(ApplyTrans trans, int nb, const double* v, int ldv,
+            const double* t, int ldt, double* c, int ldc);
+
+/// QR factorization of [R (upper-triangular nb×nb, in `r`); A2 (nb×nb, in
+/// `a2`)], producing `t`.
+void dtsqrt(int nb, double* r, int ldr, double* a2, int lda2, double* t,
+            int ldt);
+
+/// Apply Q (or Qᵀ) of a DTSQRT factorization to the stacked pair
+/// [C1; C2]: with V = [I; V2],  [C1; C2] = op(I − V·T·Vᵀ) · [C1; C2].
+void dtsmqr(ApplyTrans trans, int nb, double* c1, int ldc1, double* c2,
+            int ldc2, const double* v2, int ldv2, const double* t, int ldt);
+
+/// Tile-level flop counts.
+double flops_dgeqrt(int nb);
+double flops_dormqr(int nb);
+double flops_dtsqrt(int nb);
+double flops_dtsmqr(int nb);
+
+}  // namespace tasksim::linalg

@@ -1,0 +1,81 @@
+#include "linalg/tile_cholesky.hpp"
+
+#include <atomic>
+
+#include "linalg/blas_kernels.hpp"
+
+namespace tasksim::linalg {
+
+int tile_cholesky(TileMatrix& a, sched::KernelSubmitter& submitter,
+                  const TileAlgoOptions& options) {
+  const int nt = a.tiles();
+  const int nb = a.tile_size();
+  const int panel_priority = options.prioritize_panel ? 1 : 0;
+  // Shared with the task bodies: records the first failing diagonal block.
+  auto info = std::make_shared<std::atomic<int>>(0);
+
+  for (int k = 0; k < nt; ++k) {
+    {
+      double* akk = a.tile(k, k);
+      submitter.submit(
+          "dpotrf",
+          [akk, nb, k, info] {
+            const int local = dpotrf_lower(nb, akk, nb);
+            if (local != 0) {
+              int expected = 0;
+              info->compare_exchange_strong(expected, k + 1);
+            }
+          },
+          {sched::inout(akk)}, panel_priority);
+    }
+    for (int i = k + 1; i < nt; ++i) {
+      const double* akk = a.tile(k, k);
+      double* aik = a.tile(i, k);
+      submitter.submit(
+          "dtrsm",
+          [akk, aik, nb] { dtrsm_right_lower_trans(nb, nb, akk, nb, aik, nb); },
+          {sched::in(akk), sched::inout(aik)}, panel_priority);
+    }
+    for (int i = k + 1; i < nt; ++i) {
+      const double* aik = a.tile(i, k);
+      double* aii = a.tile(i, i);
+      auto syrk = [aik, aii, nb] {
+        dsyrk_lower(nb, nb, -1.0, aik, nb, 1.0, aii, nb);
+      };
+      sched::AccessList syrk_access{sched::in(aik), sched::inout(aii)};
+      if (options.accel_update_kernels) {
+        submitter.submit_hetero("dsyrk", syrk, syrk, std::move(syrk_access));
+      } else {
+        submitter.submit("dsyrk", syrk, std::move(syrk_access));
+      }
+      for (int j = k + 1; j < i; ++j) {
+        const double* ajk = a.tile(j, k);
+        double* aij = a.tile(i, j);
+        auto gemm = [aik, ajk, aij, nb] {
+          dgemm(Trans::no, Trans::yes, nb, nb, nb, -1.0, aik, nb, ajk, nb, 1.0,
+                aij, nb);
+        };
+        sched::AccessList gemm_access{sched::in(aik), sched::in(ajk),
+                                      sched::inout(aij)};
+        if (options.accel_update_kernels) {
+          submitter.submit_hetero("dgemm", gemm, gemm, std::move(gemm_access));
+        } else {
+          submitter.submit("dgemm", gemm, std::move(gemm_access));
+        }
+      }
+    }
+  }
+  submitter.finish();
+  return info->load();
+}
+
+std::size_t cholesky_task_count(int nt) {
+  std::size_t count = 0;
+  for (int k = 0; k < nt; ++k) {
+    const std::size_t tail = static_cast<std::size_t>(nt - k - 1);
+    count += 1 + tail /*trsm*/ + tail /*syrk*/ + tail * (tail - 1) / 2 /*gemm*/;
+  }
+  return count;
+}
+
+}  // namespace tasksim::linalg

@@ -1,0 +1,36 @@
+// tile_cholesky.hpp — task-based tile Cholesky factorization
+// (paper Algorithm 1), submitted through a KernelSubmitter so the same code
+// drives real execution and simulation.
+#pragma once
+
+#include <memory>
+
+#include "linalg/tile_matrix.hpp"
+#include "sched/submitter.hpp"
+
+namespace tasksim::linalg {
+
+struct TileAlgoOptions {
+  /// Give panel kernels (DPOTRF/DTRSM; DGEQRT/DTSQRT) elevated priority —
+  /// the critical path of both factorizations runs through the panel.
+  bool prioritize_panel = true;
+  /// Submit the trailing-update kernels (DGEMM/DSYRK; DTSMQR/DORMQR) with
+  /// an accelerator implementation so heterogeneous runtimes may place
+  /// them on accelerator lanes (panel kernels stay CPU-only, the usual
+  /// CPU/GPU split in tile solvers).  On this substrate the accelerator
+  /// implementation is the same code; the split matters for scheduling
+  /// and for the simulator's per-resource kernel models.
+  bool accel_update_kernels = false;
+};
+
+/// Submit the tile Cholesky task graph for the lower factorization
+/// A = L·Lᵀ of the SPD matrix held in `a` (overwritten with L in the lower
+/// tiles) and wait for completion.  Returns LAPACK-style info: 0 on
+/// success, >0 if a diagonal block was not positive definite.
+int tile_cholesky(TileMatrix& a, sched::KernelSubmitter& submitter,
+                  const TileAlgoOptions& options = {});
+
+/// Number of tasks the factorization submits for an NT×NT tile matrix.
+std::size_t cholesky_task_count(int nt);
+
+}  // namespace tasksim::linalg

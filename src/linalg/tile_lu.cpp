@@ -1,0 +1,90 @@
+#include "linalg/tile_lu.hpp"
+
+#include <atomic>
+
+#include "linalg/blas_kernels.hpp"
+
+namespace tasksim::linalg {
+
+int tile_lu_nopiv(TileMatrix& a, sched::KernelSubmitter& submitter,
+                  const TileAlgoOptions& options) {
+  const int nt = a.tiles();
+  const int nb = a.tile_size();
+  const int panel_priority = options.prioritize_panel ? 1 : 0;
+  auto info = std::make_shared<std::atomic<int>>(0);
+
+  for (int k = 0; k < nt; ++k) {
+    {
+      double* akk = a.tile(k, k);
+      submitter.submit(
+          "dgetrf",
+          [akk, nb, k, info] {
+            const int local = dgetrf_nopiv(nb, akk, nb);
+            if (local != 0) {
+              int expected = 0;
+              info->compare_exchange_strong(expected, k * nb + local);
+            }
+          },
+          {sched::inout(akk)}, panel_priority);
+    }
+    // Row panel: U_kj = L_kk^{-1} A_kj.
+    for (int j = k + 1; j < nt; ++j) {
+      const double* akk = a.tile(k, k);
+      double* akj = a.tile(k, j);
+      submitter.submit(
+          "dtrsm_l",
+          [akk, akj, nb] { dtrsm_left_lower_unit(nb, nb, akk, nb, akj, nb); },
+          {sched::in(akk), sched::inout(akj)}, panel_priority);
+    }
+    // Column panel: L_ik = A_ik U_kk^{-1}.
+    for (int i = k + 1; i < nt; ++i) {
+      const double* akk = a.tile(k, k);
+      double* aik = a.tile(i, k);
+      submitter.submit(
+          "dtrsm_r",
+          [akk, aik, nb] { dtrsm_right_upper(nb, nb, akk, nb, aik, nb); },
+          {sched::in(akk), sched::inout(aik)}, panel_priority);
+    }
+    // Trailing update: A_ij -= L_ik · U_kj.
+    for (int i = k + 1; i < nt; ++i) {
+      const double* aik = a.tile(i, k);
+      for (int j = k + 1; j < nt; ++j) {
+        const double* akj = a.tile(k, j);
+        double* aij = a.tile(i, j);
+        auto gemm = [aik, akj, aij, nb] {
+          dgemm(Trans::no, Trans::no, nb, nb, nb, -1.0, aik, nb, akj, nb, 1.0,
+                aij, nb);
+        };
+        sched::AccessList access{sched::in(aik), sched::in(akj),
+                                 sched::inout(aij)};
+        if (options.accel_update_kernels) {
+          submitter.submit_hetero("dgemm", gemm, gemm, std::move(access));
+        } else {
+          submitter.submit("dgemm", gemm, std::move(access));
+        }
+      }
+    }
+  }
+  submitter.finish();
+  return info->load();
+}
+
+std::size_t lu_task_count(int nt) {
+  std::size_t count = 0;
+  for (int k = 0; k < nt; ++k) {
+    const std::size_t tail = static_cast<std::size_t>(nt - k - 1);
+    count += 1 + 2 * tail + tail * tail;
+  }
+  return count;
+}
+
+double lu_residual(const Matrix& original, const TileMatrix& factored) {
+  const Matrix dense = factored.to_dense();
+  Matrix l = lower_triangle(dense);
+  for (int i = 0; i < l.rows(); ++i) l(i, i) = 1.0;  // unit diagonal
+  const Matrix u = upper_triangle(dense);
+  const Matrix lu = matmul(l, u);
+  return relative_error(lu, original);
+}
+
+}  // namespace tasksim::linalg

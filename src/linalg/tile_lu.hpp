@@ -1,0 +1,33 @@
+// tile_lu.hpp — task-based tile LU factorization without pivoting.
+//
+// A third tile algorithm beyond the paper's two case studies, following
+// the same structure as tile Cholesky but on general (diagonally dominant)
+// matrices: panel DGETRF, row/column DTRSM updates, DGEMM trailing update.
+// QUARK's siblings in PLASMA ship exactly this kernel set (the paper cites
+// "LU factorization with partial pivoting for a multicore system with
+// accelerators" as a QUARK application); the no-pivoting variant keeps the
+// dependence structure identical per tile without the pivot-interchange
+// tasks, which is what matters for scheduling/simulation studies.
+#pragma once
+
+#include "linalg/tile_cholesky.hpp"  // TileAlgoOptions
+#include "linalg/tile_matrix.hpp"
+#include "sched/submitter.hpp"
+
+namespace tasksim::linalg {
+
+/// Submit the tile LU task graph for A = L·U (no pivoting; the input
+/// should be diagonally dominant or otherwise safely factorizable) and
+/// wait for completion.  On exit the strict lower tiles/triangles hold L
+/// (unit diagonal implied) and the upper triangle holds U.  Returns 0 on
+/// success or the 1-based global index of a zero pivot.
+int tile_lu_nopiv(TileMatrix& a, sched::KernelSubmitter& submitter,
+                  const TileAlgoOptions& options = {});
+
+/// Number of tasks the factorization submits for an NT×NT tile matrix.
+std::size_t lu_task_count(int nt);
+
+/// ‖A − L·U‖_F / ‖A‖_F for a completed factorization.
+double lu_residual(const Matrix& original, const TileMatrix& factored);
+
+}  // namespace tasksim::linalg

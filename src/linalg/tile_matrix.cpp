@@ -1,0 +1,67 @@
+#include "linalg/tile_matrix.hpp"
+
+#include "support/error.hpp"
+
+namespace tasksim::linalg {
+
+TileMatrix::TileMatrix(int n, int tile_size) : n_(n), nb_(tile_size) {
+  TS_REQUIRE(n > 0 && tile_size > 0, "matrix and tile size must be positive");
+  TS_REQUIRE(n % tile_size == 0,
+             "matrix dimension must be a multiple of the tile size");
+  nt_ = n / tile_size;
+  storage_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+                  0.0);
+}
+
+double* TileMatrix::tile(int ti, int tj) {
+  TS_REQUIRE(ti >= 0 && ti < nt_ && tj >= 0 && tj < nt_, "tile out of range");
+  const std::size_t tile_elems =
+      static_cast<std::size_t>(nb_) * static_cast<std::size_t>(nb_);
+  const std::size_t index =
+      (static_cast<std::size_t>(tj) * static_cast<std::size_t>(nt_) +
+       static_cast<std::size_t>(ti)) *
+      tile_elems;
+  return storage_.data() + index;
+}
+
+const double* TileMatrix::tile(int ti, int tj) const {
+  return const_cast<TileMatrix*>(this)->tile(ti, tj);
+}
+
+double& TileMatrix::at(int i, int j) {
+  TS_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "element out of range");
+  double* t = tile(i / nb_, j / nb_);
+  return t[(j % nb_) * nb_ + (i % nb_)];
+}
+
+double TileMatrix::at(int i, int j) const {
+  return const_cast<TileMatrix*>(this)->at(i, j);
+}
+
+TileMatrix TileMatrix::from_dense(const Matrix& dense, int tile_size) {
+  TS_REQUIRE(dense.rows() == dense.cols(),
+             "tile layout requires a square matrix");
+  TileMatrix tiled(dense.rows(), tile_size);
+  for (int j = 0; j < dense.cols(); ++j) {
+    for (int i = 0; i < dense.rows(); ++i) {
+      tiled.at(i, j) = dense(i, j);
+    }
+  }
+  return tiled;
+}
+
+Matrix TileMatrix::to_dense() const {
+  Matrix dense(n_, n_);
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      dense(i, j) = at(i, j);
+    }
+  }
+  return dense;
+}
+
+TileMatrix TileMatrix::zeros_like(const TileMatrix& other) {
+  return TileMatrix(other.n_, other.nb_);
+}
+
+}  // namespace tasksim::linalg

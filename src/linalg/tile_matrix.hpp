@@ -1,0 +1,49 @@
+// tile_matrix.hpp — tile-layout matrix storage (paper §IV-B).
+//
+// The tile algorithms operate on nb×nb tiles stored contiguously (PLASMA's
+// "tile layout"): tile (ti, tj) is one dense column-major nb×nb block at a
+// stable address, which doubles as the data-object identity the schedulers
+// use for hazard analysis.  The matrix dimension must be a multiple of the
+// tile size (the paper's experiments use exact multiples, e.g. 3960 = 22 ×
+// 180); general edge tiles are out of scope and rejected early.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace tasksim::linalg {
+
+class TileMatrix {
+ public:
+  /// n×n matrix of nt×nt tiles with tile size nb, n = nt*nb.
+  TileMatrix(int n, int tile_size);
+
+  int n() const { return n_; }
+  int tile_size() const { return nb_; }
+  int tiles() const { return nt_; }  ///< tiles per dimension (NT)
+
+  /// Pointer to tile (ti, tj); the tile is column-major with ld = nb.
+  double* tile(int ti, int tj);
+  const double* tile(int ti, int tj) const;
+
+  /// Element access through the tile layout (slow; verification only).
+  double& at(int i, int j);
+  double at(int i, int j) const;
+
+  /// Convert from/to a dense column-major matrix.
+  static TileMatrix from_dense(const Matrix& dense, int tile_size);
+  Matrix to_dense() const;
+
+  /// A same-shape matrix of auxiliary nb×nb tiles (the T factors of tile
+  /// QR).  Implemented as an ordinary TileMatrix initialized to zero.
+  static TileMatrix zeros_like(const TileMatrix& other);
+
+ private:
+  int n_;
+  int nb_;
+  int nt_;
+  std::vector<double> storage_;
+};
+
+}  // namespace tasksim::linalg

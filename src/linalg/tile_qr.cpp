@@ -1,0 +1,81 @@
+#include "linalg/tile_qr.hpp"
+
+#include "linalg/qr_kernels.hpp"
+#include "support/error.hpp"
+
+namespace tasksim::linalg {
+
+void tile_qr(TileMatrix& a, TileMatrix& t, sched::KernelSubmitter& submitter,
+             const TileAlgoOptions& options) {
+  TS_REQUIRE(a.tiles() == t.tiles() && a.tile_size() == t.tile_size(),
+             "A and T must have identical tiling");
+  const int nt = a.tiles();
+  const int nb = a.tile_size();
+  const int panel_priority = options.prioritize_panel ? 1 : 0;
+
+  for (int k = 0; k < nt; ++k) {
+    {
+      double* akk = a.tile(k, k);
+      double* tkk = t.tile(k, k);
+      submitter.submit(
+          "dgeqrt", [akk, tkk, nb] { dgeqrt(nb, akk, nb, tkk, nb); },
+          {sched::inout(akk), sched::out(tkk)}, panel_priority);
+    }
+    for (int n = k + 1; n < nt; ++n) {
+      const double* akk = a.tile(k, k);
+      const double* tkk = t.tile(k, k);
+      double* akn = a.tile(k, n);
+      auto ormqr = [akk, tkk, akn, nb] {
+        dormqr(ApplyTrans::yes, nb, akk, nb, tkk, nb, akn, nb);
+      };
+      sched::AccessList access{sched::in(akk), sched::in(tkk),
+                               sched::inout(akn)};
+      if (options.accel_update_kernels) {
+        submitter.submit_hetero("dormqr", ormqr, ormqr, std::move(access));
+      } else {
+        submitter.submit("dormqr", ormqr, std::move(access));
+      }
+    }
+    for (int m = k + 1; m < nt; ++m) {
+      {
+        double* akk = a.tile(k, k);
+        double* amk = a.tile(m, k);
+        double* tmk = t.tile(m, k);
+        submitter.submit(
+            "dtsqrt",
+            [akk, amk, tmk, nb] { dtsqrt(nb, akk, nb, amk, nb, tmk, nb); },
+            {sched::inout(akk), sched::inout(amk), sched::out(tmk)},
+            panel_priority);
+      }
+      for (int n = k + 1; n < nt; ++n) {
+        double* akn = a.tile(k, n);
+        double* amn = a.tile(m, n);
+        const double* amk = a.tile(m, k);
+        const double* tmk = t.tile(m, k);
+        auto tsmqr = [akn, amn, amk, tmk, nb] {
+          dtsmqr(ApplyTrans::yes, nb, akn, nb, amn, nb, amk, nb, tmk, nb);
+        };
+        sched::AccessList access{sched::inout(akn), sched::inout(amn),
+                                 sched::in(amk), sched::in(tmk)};
+        if (options.accel_update_kernels) {
+          submitter.submit_hetero("dtsmqr", tsmqr, tsmqr, std::move(access));
+        } else {
+          submitter.submit("dtsmqr", tsmqr, std::move(access));
+        }
+      }
+    }
+  }
+  submitter.finish();
+}
+
+std::size_t qr_task_count(int nt) {
+  std::size_t count = 0;
+  for (int k = 0; k < nt; ++k) {
+    const std::size_t tail = static_cast<std::size_t>(nt - k - 1);
+    count += 1 /*geqrt*/ + tail /*ormqr*/ + tail /*tsqrt*/ +
+             tail * tail /*tsmqr*/;
+  }
+  return count;
+}
+
+}  // namespace tasksim::linalg

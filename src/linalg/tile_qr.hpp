@@ -1,0 +1,23 @@
+// tile_qr.hpp — task-based tile QR factorization (paper Algorithm 2 and
+// Figure 2), submitted through a KernelSubmitter so the same code drives
+// real execution and simulation.
+//
+// On exit `a` holds R in its upper tiles, the DGEQRT Householder vectors in
+// the strict lower triangles of the diagonal tiles, and the DTSQRT vectors
+// in the below-diagonal tiles; `t` holds the block-reflector T factors
+// (T_kk from DGEQRT, T_mk from DTSQRT).
+#pragma once
+
+#include "linalg/tile_cholesky.hpp"  // TileAlgoOptions
+#include "linalg/tile_matrix.hpp"
+#include "sched/submitter.hpp"
+
+namespace tasksim::linalg {
+
+void tile_qr(TileMatrix& a, TileMatrix& t, sched::KernelSubmitter& submitter,
+             const TileAlgoOptions& options = {});
+
+/// Number of tasks the factorization submits for an NT×NT tile matrix.
+std::size_t qr_task_count(int nt);
+
+}  // namespace tasksim::linalg

@@ -1,0 +1,83 @@
+#include "linalg/verify.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace tasksim::linalg {
+
+double cholesky_residual(const Matrix& original, const TileMatrix& factored) {
+  const Matrix l = lower_triangle(factored.to_dense());
+  const Matrix llt = matmul(l, l, false, true);
+  // The factorization only writes the lower triangle; compare symmetric
+  // lower parts.
+  const int n = original.rows();
+  Matrix a_lower(n, n), llt_lower(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      a_lower(i, j) = original(i, j);
+      llt_lower(i, j) = llt(i, j);
+    }
+  }
+  return relative_error(llt_lower, a_lower);
+}
+
+void qr_apply_q(const TileMatrix& factored, const TileMatrix& t,
+                ApplyTrans trans, TileMatrix& b) {
+  TS_REQUIRE(factored.tiles() == b.tiles() &&
+                 factored.tile_size() == b.tile_size(),
+             "qr_apply_q tiling mismatch");
+  const int nt = factored.tiles();
+  const int nb = factored.tile_size();
+
+  if (trans == ApplyTrans::yes) {
+    // Qᵀ · B: same reflector order as the factorization.
+    for (int k = 0; k < nt; ++k) {
+      for (int n = k; n < nt; ++n) {
+        dormqr(ApplyTrans::yes, nb, factored.tile(k, k), nb, t.tile(k, k), nb,
+               b.tile(k, n), nb);
+      }
+      for (int m = k + 1; m < nt; ++m) {
+        for (int n = k; n < nt; ++n) {
+          dtsmqr(ApplyTrans::yes, nb, b.tile(k, n), nb, b.tile(m, n), nb,
+                 factored.tile(m, k), nb, t.tile(m, k), nb);
+        }
+      }
+    }
+  } else {
+    // Q · B: reverse reflector order.
+    for (int k = nt - 1; k >= 0; --k) {
+      for (int m = nt - 1; m >= k + 1; --m) {
+        for (int n = k; n < nt; ++n) {
+          dtsmqr(ApplyTrans::no, nb, b.tile(k, n), nb, b.tile(m, n), nb,
+                 factored.tile(m, k), nb, t.tile(m, k), nb);
+        }
+      }
+      for (int n = k; n < nt; ++n) {
+        dormqr(ApplyTrans::no, nb, factored.tile(k, k), nb, t.tile(k, k), nb,
+               b.tile(k, n), nb);
+      }
+    }
+  }
+}
+
+double qr_residual(const Matrix& original, const TileMatrix& factored,
+                   const TileMatrix& t) {
+  // B := R (the upper triangle of the factored matrix), then B := Q·B.
+  const Matrix r = upper_triangle(factored.to_dense());
+  TileMatrix b = TileMatrix::from_dense(r, factored.tile_size());
+  qr_apply_q(factored, t, ApplyTrans::no, b);
+  return relative_error(b.to_dense(), original);
+}
+
+double qr_orthogonality(const TileMatrix& factored, const TileMatrix& t) {
+  const int n = factored.n();
+  TileMatrix b =
+      TileMatrix::from_dense(Matrix::identity(n), factored.tile_size());
+  qr_apply_q(factored, t, ApplyTrans::yes, b);
+  qr_apply_q(factored, t, ApplyTrans::no, b);
+  const Matrix qqt = b.to_dense();
+  return relative_error(qqt, Matrix::identity(n));
+}
+
+}  // namespace tasksim::linalg

@@ -1,0 +1,29 @@
+// verify.hpp — numerical verification of the tile factorizations.
+//
+// The simulation library never computes, so the evidence that the *real*
+// execution path (and therefore the dependence structure the schedulers
+// enforce) is correct comes from these residual checks: a wrongly ordered
+// kernel produces a large residual with overwhelming probability.
+#pragma once
+
+#include "linalg/qr_kernels.hpp"
+#include "linalg/tile_matrix.hpp"
+
+namespace tasksim::linalg {
+
+/// ‖A − L·Lᵀ‖_F / ‖A‖_F for a completed tile Cholesky factorization.
+double cholesky_residual(const Matrix& original, const TileMatrix& factored);
+
+/// Apply the Q (or Qᵀ) of a completed tile QR factorization to the tile
+/// matrix `b` in place.  `factored`/`t` are the outputs of tile_qr.
+void qr_apply_q(const TileMatrix& factored, const TileMatrix& t,
+                ApplyTrans trans, TileMatrix& b);
+
+/// ‖A − Q·R‖_F / ‖A‖_F: rebuilds Q·R by applying Q to the R factor.
+double qr_residual(const Matrix& original, const TileMatrix& factored,
+                   const TileMatrix& t);
+
+/// ‖Q·Qᵀ·I − I‖_F / n: orthogonality of the implicit Q.
+double qr_orthogonality(const TileMatrix& factored, const TileMatrix& t);
+
+}  // namespace tasksim::linalg

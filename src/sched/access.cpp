@@ -1,0 +1,14 @@
+#include "sched/access.hpp"
+
+namespace tasksim::sched {
+
+const char* to_string(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::read: return "R";
+    case AccessMode::write: return "W";
+    case AccessMode::read_write: return "RW";
+  }
+  return "?";
+}
+
+}  // namespace tasksim::sched

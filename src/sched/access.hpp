@@ -1,0 +1,54 @@
+// access.hpp — data-access annotations on tasks.
+//
+// In the superscalar model (paper §IV-A) the developer declares, for every
+// task, which data it reads and writes.  The scheduler derives RaW, WaR and
+// WaW hazards from these declarations and serializes conflicting tasks.
+// Data objects are identified by their base address: as in QUARK/StarPU/
+// OmpSs, two references conflict iff they name the same base address (tiles
+// never overlap partially in the tile algorithms, mirroring real usage).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tasksim::sched {
+
+enum class AccessMode : std::uint8_t {
+  read = 1,
+  write = 2,
+  read_write = 3,
+};
+
+inline bool reads(AccessMode mode) {
+  return mode == AccessMode::read || mode == AccessMode::read_write;
+}
+
+inline bool writes(AccessMode mode) {
+  return mode == AccessMode::write || mode == AccessMode::read_write;
+}
+
+const char* to_string(AccessMode mode);
+
+struct Access {
+  const void* address = nullptr;
+  std::size_t size_bytes = 0;  ///< informational (trace/DOT annotations)
+  AccessMode mode = AccessMode::read;
+};
+
+/// Convenience constructors mirroring the pragma-style annotations
+/// (`in`, `out`, `inout`) of OmpSs and the R/W/RW flags of QUARK.
+inline Access in(const void* addr, std::size_t size = 0) {
+  return Access{addr, size, AccessMode::read};
+}
+inline Access out(const void* addr, std::size_t size = 0) {
+  return Access{addr, size, AccessMode::write};
+}
+inline Access inout(const void* addr, std::size_t size = 0) {
+  return Access{addr, size, AccessMode::read_write};
+}
+
+using AccessList = std::vector<Access>;
+
+}  // namespace tasksim::sched

@@ -1,0 +1,119 @@
+#include "sched/dependency_tracker.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace tasksim::sched {
+
+namespace {
+
+/// A task may reference the same address more than once (e.g. a tile passed
+/// as both input and output argument).  Merge such references into a single
+/// effective access mode before hazard analysis.
+struct MergedAccess {
+  const void* address;
+  bool read;
+  bool write;
+};
+
+void merge_accesses(const AccessList& accesses,
+                    std::vector<MergedAccess>& merged) {
+  merged.clear();
+  for (const Access& a : accesses) {
+    TS_REQUIRE(a.address != nullptr, "task access with null address");
+    auto it = std::find_if(merged.begin(), merged.end(),
+                           [&](const MergedAccess& m) {
+                             return m.address == a.address;
+                           });
+    if (it == merged.end()) {
+      merged.push_back(MergedAccess{a.address, reads(a.mode), writes(a.mode)});
+    } else {
+      it->read = it->read || reads(a.mode);
+      it->write = it->write || writes(a.mode);
+    }
+  }
+}
+
+}  // namespace
+
+bool DependencyTracker::add_dependence(TaskRecord* pred, TaskRecord* task) {
+  if (pred == task) return false;
+  if (pred->state.load(std::memory_order_relaxed) == TaskState::finished) {
+    return false;
+  }
+  // Avoid counting the same predecessor twice for one task (e.g. the task
+  // reads two tiles last written by the same predecessor).
+  if (std::find(pred->successors.begin(), pred->successors.end(), task) !=
+      pred->successors.end()) {
+    return false;
+  }
+  pred->successors.push_back(task);
+  task->remaining_deps.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool DependencyTracker::register_task(TaskRecord* task) {
+  std::vector<MergedAccess> merged;
+  merge_accesses(task->desc.accesses, merged);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Pass 1: derive hazards against the current state.  All of this task's
+  // references observe the state left by *previous* tasks.
+  for (const MergedAccess& m : merged) {
+    auto it = objects_.find(m.address);
+    if (it == objects_.end()) continue;
+    ObjectState& state = it->second;
+    if (m.read && state.last_writer != nullptr) {
+      add_dependence(state.last_writer, task);  // RaW
+    }
+    if (m.write) {
+      if (!state.readers_since_write.empty()) {
+        for (TaskRecord* reader : state.readers_since_write) {
+          add_dependence(reader, task);  // WaR
+        }
+      } else if (state.last_writer != nullptr) {
+        add_dependence(state.last_writer, task);  // WaW
+      }
+    }
+  }
+
+  // Pass 2: install this task as the new state.
+  for (const MergedAccess& m : merged) {
+    ObjectState& state = objects_[m.address];
+    if (m.write) {
+      state.last_writer = task;
+      state.readers_since_write.clear();
+    } else {
+      state.readers_since_write.push_back(task);
+    }
+  }
+
+  return task->remaining_deps.load(std::memory_order_relaxed) == 0;
+}
+
+void DependencyTracker::on_complete(TaskRecord* task,
+                                    std::vector<TaskRecord*>& newly_ready) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  task->state.store(TaskState::finished, std::memory_order_relaxed);
+  for (TaskRecord* succ : task->successors) {
+    const int remaining =
+        succ->remaining_deps.fetch_sub(1, std::memory_order_relaxed) - 1;
+    TS_ASSERT(remaining >= 0, "dependence count underflow");
+    if (remaining == 0) newly_ready.push_back(succ);
+  }
+  task->successors.clear();
+}
+
+void DependencyTracker::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  objects_.clear();
+}
+
+std::size_t DependencyTracker::tracked_objects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+}  // namespace tasksim::sched

@@ -1,0 +1,56 @@
+// dependency_tracker.hpp — address-based data-hazard analysis.
+//
+// This is the piece every superscalar scheduler shares (paper §IV-A): tasks
+// arrive in serial order carrying read/write annotations; the tracker
+// derives RaW/WaR/WaW hazards per data object and maintains, for each task,
+// the count of unsatisfied dependences plus the successor lists needed to
+// release dependent tasks on completion.
+//
+// Threading contract: register_task is called by the (single) submitting
+// thread; on_complete is called by worker threads.  Both take the tracker
+// mutex — the coarse lock mirrors QUARK's design and keeps the hazard state
+// and successor lists consistent.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/task.hpp"
+
+namespace tasksim::sched {
+
+class DependencyTracker {
+ public:
+  /// Analyze `task->desc.accesses` against the current hazard state,
+  /// populate predecessor counts / successor lists, and update the state.
+  /// Returns true when the task has no unsatisfied dependences (ready now).
+  bool register_task(TaskRecord* task);
+
+  /// Mark `task` complete and collect the successors whose dependence count
+  /// dropped to zero into `newly_ready`.
+  void on_complete(TaskRecord* task, std::vector<TaskRecord*>& newly_ready);
+
+  /// Forget all hazard state (between algorithm runs).  No tasks may be in
+  /// flight.
+  void reset();
+
+  /// Number of distinct data objects currently tracked.
+  std::size_t tracked_objects() const;
+
+ private:
+  struct ObjectState {
+    TaskRecord* last_writer = nullptr;
+    std::vector<TaskRecord*> readers_since_write;
+  };
+
+  /// Add `pred -> task` unless pred already finished; returns true when a
+  /// live dependence was created.
+  static bool add_dependence(TaskRecord* pred, TaskRecord* task);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<const void*, ObjectState> objects_;
+};
+
+}  // namespace tasksim::sched

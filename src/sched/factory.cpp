@@ -1,0 +1,46 @@
+#include "sched/factory.hpp"
+
+#include "sched/ompss/ompss_runtime.hpp"
+#include "sched/quark/quark_runtime.hpp"
+#include "sched/starpu/starpu_runtime.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::sched {
+
+std::unique_ptr<Runtime> make_runtime(const std::string& spec,
+                                      const RuntimeConfig& config) {
+  const auto parts = split(spec, '/');
+  const std::string family = to_lower(parts[0]);
+  const std::string variant = parts.size() > 1 ? to_lower(parts[1]) : "";
+  TS_REQUIRE(parts.size() <= 2, "malformed runtime spec: " + spec);
+
+  if (family == "quark") {
+    QuarkOptions options;
+    if (variant == "nosteal") {
+      options.steal = false;
+    } else {
+      TS_REQUIRE(variant.empty(), "unknown quark variant: " + variant);
+    }
+    return std::make_unique<QuarkRuntime>(config, options);
+  }
+  if (family == "starpu") {
+    StarpuOptions options;
+    if (!variant.empty()) options.policy = parse_starpu_policy(variant);
+    return std::make_unique<StarpuRuntime>(config, options);
+  }
+  if (family == "ompss") {
+    OmpssOptions options;
+    if (!variant.empty()) options.policy = parse_ompss_policy(variant);
+    return std::make_unique<OmpssRuntime>(config, options);
+  }
+  throw InvalidArgument("unknown runtime family: " + family);
+}
+
+std::vector<std::string> known_runtime_specs() {
+  return {"quark",      "quark/nosteal", "starpu/eager", "starpu/prio",
+          "starpu/ws",  "starpu/dm",     "starpu/dmda",  "ompss/bf",
+          "ompss/wf"};
+}
+
+}  // namespace tasksim::sched

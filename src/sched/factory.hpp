@@ -1,0 +1,27 @@
+// factory.hpp — construct a runtime from a textual spec.
+//
+// Specs: "quark", "quark/nosteal",
+//        "starpu" (= starpu/dmda), "starpu/eager", "starpu/prio",
+//        "starpu/ws", "starpu/dm", "starpu/dmda",
+//        "ompss" (= ompss/bf), "ompss/bf", "ompss/wf".
+//
+// The harness and benches select schedulers by these names, mirroring the
+// paper's three-scheduler evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/runtime.hpp"
+
+namespace tasksim::sched {
+
+std::unique_ptr<Runtime> make_runtime(const std::string& spec,
+                                      const RuntimeConfig& config);
+
+/// Specs accepted by make_runtime, one canonical name per distinct
+/// configuration (used by tests that sweep all schedulers).
+std::vector<std::string> known_runtime_specs();
+
+}  // namespace tasksim::sched

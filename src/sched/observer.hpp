@@ -1,0 +1,48 @@
+// observer.hpp — task lifecycle observation hooks.
+//
+// Observers are how TaskSim instruments a runtime without modifying it:
+// real-trace recording, kernel calibration (src/sim/calibration), DAG
+// capture, and the virtual platform are all observers.  Hooks are invoked
+// synchronously from scheduler threads, so implementations must be
+// thread-safe and cheap.
+#pragma once
+
+#include <string>
+
+#include "sched/task.hpp"
+
+namespace tasksim::sched {
+
+class TaskObserver {
+ public:
+  virtual ~TaskObserver() = default;
+
+  /// Called on the submitting thread, in serial submission order, before
+  /// dependence analysis.
+  virtual void on_submit(TaskId id, const TaskDescriptor& desc) {
+    (void)id;
+    (void)desc;
+  }
+
+  /// Called when the task's last dependence is satisfied (any thread).
+  virtual void on_ready(TaskId id) { (void)id; }
+
+  /// Called on the executing worker immediately before the task function.
+  /// `wall_us` / `cpu_us` are the worker's wall and thread-CPU clocks.
+  virtual void on_start(TaskId id, const std::string& kernel, int worker,
+                        double wall_us, double cpu_us) {
+    (void)id; (void)kernel; (void)worker; (void)wall_us; (void)cpu_us;
+  }
+
+  /// Called on the executing worker immediately after the task function
+  /// returns, before completion bookkeeping.
+  virtual void on_finish(TaskId id, const std::string& kernel, int worker,
+                         double start_wall_us, double end_wall_us,
+                         double start_cpu_us, double end_cpu_us) {
+    (void)id; (void)kernel; (void)worker;
+    (void)start_wall_us; (void)end_wall_us;
+    (void)start_cpu_us; (void)end_cpu_us;
+  }
+};
+
+}  // namespace tasksim::sched

@@ -1,0 +1,48 @@
+#include "sched/observers.hpp"
+
+#include "support/error.hpp"
+
+namespace tasksim::sched {
+
+TracingObserver::TracingObserver(trace::Trace* trace, Clock clock)
+    : trace_(trace), clock_(clock) {
+  TS_REQUIRE(trace != nullptr, "TracingObserver needs a trace");
+}
+
+void TracingObserver::on_finish(TaskId id, const std::string& kernel,
+                                int worker, double start_wall_us,
+                                double end_wall_us, double start_cpu_us,
+                                double end_cpu_us) {
+  if (clock_ == Clock::wall) {
+    trace_->record(id, kernel, worker, start_wall_us, end_wall_us);
+  } else {
+    trace_->record(id, kernel, worker, start_cpu_us, end_cpu_us);
+  }
+}
+
+void DagCaptureObserver::on_submit(TaskId id, const TaskDescriptor& desc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<dag::DataRef> refs;
+  refs.reserve(desc.accesses.size());
+  for (const Access& access : desc.accesses) {
+    refs.push_back(dag::DataRef{access.address, reads(access.mode),
+                                writes(access.mode)});
+  }
+  const dag::NodeId node = builder_.submit(desc.kernel, refs);
+  if (!first_id_) first_id_ = id;
+  TS_ASSERT(id == *first_id_ + node,
+            "task ids must be dense within one capture (serial submission)");
+}
+
+dag::NodeId DagCaptureObserver::node_of(TaskId id) const {
+  TS_REQUIRE(first_id_.has_value() && id >= *first_id_,
+             "task id was not captured");
+  return static_cast<dag::NodeId>(id - *first_id_);
+}
+
+void DagCaptureObserver::set_node_weight(TaskId id, double weight_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  builder_.mutable_graph().mutable_node(node_of(id)).weight_us = weight_us;
+}
+
+}  // namespace tasksim::sched

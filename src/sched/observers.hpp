@@ -1,0 +1,54 @@
+// observers.hpp — stock observers: real-trace recording and DAG capture.
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "dag/builder.hpp"
+#include "sched/observer.hpp"
+#include "trace/trace.hpp"
+
+namespace tasksim::sched {
+
+/// Records every executed task into a trace::Trace using wall-clock or
+/// thread-CPU timestamps.  Wall mode gives the classic real-execution trace
+/// (paper Figure 6); CPU mode feeds the virtual platform's per-kernel
+/// durations.
+class TracingObserver final : public TaskObserver {
+ public:
+  enum class Clock { wall, thread_cpu };
+
+  explicit TracingObserver(trace::Trace* trace, Clock clock = Clock::wall);
+
+  void on_finish(TaskId id, const std::string& kernel, int worker,
+                 double start_wall_us, double end_wall_us, double start_cpu_us,
+                 double end_cpu_us) override;
+
+ private:
+  trace::Trace* trace_;
+  Clock clock_;
+};
+
+/// Rebuilds the dependence DAG from the submission stream, like the DAG
+/// export facilities of QUARK and StarPU (paper Figure 1).  Task ids map
+/// 1:1 to node ids in submission order.
+class DagCaptureObserver final : public TaskObserver {
+ public:
+  void on_submit(TaskId id, const TaskDescriptor& desc) override;
+
+  /// Attach measured durations as node weights (call after the run).
+  void set_node_weight(TaskId id, double weight_us);
+
+  /// DAG node id for a captured task id (ids are dense per capture).
+  dag::NodeId node_of(TaskId id) const;
+
+  const dag::TaskGraph& graph() const { return builder_.graph(); }
+  dag::TaskGraph take_graph() { return builder_.take_graph(); }
+
+ private:
+  std::mutex mutex_;
+  dag::DagBuilder builder_;
+  std::optional<TaskId> first_id_;
+};
+
+}  // namespace tasksim::sched

@@ -1,0 +1,88 @@
+#include "sched/ompss/ompss_runtime.hpp"
+
+#include "support/error.hpp"
+
+namespace tasksim::sched {
+
+const char* to_string(OmpssPolicy policy) {
+  switch (policy) {
+    case OmpssPolicy::breadth_first: return "bf";
+    case OmpssPolicy::work_first: return "wf";
+  }
+  return "?";
+}
+
+OmpssPolicy parse_ompss_policy(const std::string& name) {
+  if (name == "bf" || name == "breadth_first") return OmpssPolicy::breadth_first;
+  if (name == "wf" || name == "work_first") return OmpssPolicy::work_first;
+  throw InvalidArgument("unknown OmpSs policy: " + name);
+}
+
+OmpssRuntime::OmpssRuntime(RuntimeConfig config, OmpssOptions options)
+    : RuntimeBase(config),
+      options_(options),
+      queue_(options.policy == OmpssPolicy::breadth_first
+                 ? QueueDiscipline::fifo
+                 : QueueDiscipline::lifo) {
+  immediate_.reserve(static_cast<std::size_t>(config.workers));
+  for (int i = 0; i < config.workers; ++i) {
+    immediate_.push_back(std::make_unique<std::atomic<TaskRecord*>>(nullptr));
+  }
+  start_workers();
+}
+
+OmpssRuntime::~OmpssRuntime() { stop_workers(); }
+
+std::string OmpssRuntime::name() const {
+  return std::string("ompss/") + to_string(options_.policy);
+}
+
+void OmpssRuntime::push_ready(TaskRecord* task, int /*worker_hint*/) {
+  queue_.push(task);
+}
+
+TaskRecord* OmpssRuntime::pop_ready(int worker) {
+  auto& slot = *immediate_[static_cast<std::size_t>(worker)];
+  if (TaskRecord* task = slot.exchange(nullptr, std::memory_order_acq_rel)) {
+    immediate_count_.fetch_sub(1, std::memory_order_acq_rel);
+    return task;
+  }
+  return queue_.pop();
+}
+
+std::size_t OmpssRuntime::ready_count() const {
+  return queue_.size() + immediate_count_.load(std::memory_order_acquire);
+}
+
+bool OmpssRuntime::ready_task_reachable() const {
+  if (queue_.size() > 0 && any_idle_executor()) return true;
+  for (int lane = 0; lane < worker_count(); ++lane) {
+    if (immediate_[static_cast<std::size_t>(lane)]->load(
+            std::memory_order_acquire) != nullptr &&
+        executor_idle(lane)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void OmpssRuntime::route_released(int worker,
+                                  std::span<TaskRecord*> released) {
+  std::size_t start = 0;
+  if (options_.immediate_successor && !released.empty()) {
+    auto& slot = *immediate_[static_cast<std::size_t>(worker)];
+    if (slot.load(std::memory_order_acquire) == nullptr) {
+      TaskRecord* first = released[0];
+      mark_ready(first);
+      immediate_count_.fetch_add(1, std::memory_order_acq_rel);
+      slot.store(first, std::memory_order_release);
+      start = 1;
+    }
+  }
+  for (std::size_t i = start; i < released.size(); ++i) {
+    mark_ready(released[i]);
+    push_ready(released[i], worker);
+  }
+}
+
+}  // namespace tasksim::sched

@@ -1,0 +1,62 @@
+// ompss_runtime.hpp — OmpSs/Nanos++-flavoured scheduler (paper §IV-A1).
+//
+// OmpSs is the compiler-assisted member of the trio (Mercurium lowers
+// #pragma-annotated code to Nanos++ runtime calls); TaskSim reproduces the
+// runtime side.  Features mirrored from Nanos++:
+//
+//   * in/out/inout dependence clauses — the `in()`/`out()`/`inout()` helpers
+//     in sched/access.hpp are the direct analogue,
+//   * ready-queue policies: breadth-first (FIFO, the Nanos++ default) and
+//     work-first (LIFO),
+//   * the immediate-successor optimization: a worker that finishes a task
+//     directly continues with one of the tasks this completion released,
+//     bypassing the global queue for locality,
+//   * throttling of live tasks (RuntimeConfig::window_size).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "sched/ready_pools.hpp"
+#include "sched/runtime_base.hpp"
+
+namespace tasksim::sched {
+
+enum class OmpssPolicy { breadth_first, work_first };
+
+const char* to_string(OmpssPolicy policy);
+OmpssPolicy parse_ompss_policy(const std::string& name);
+
+struct OmpssOptions {
+  OmpssPolicy policy = OmpssPolicy::breadth_first;
+  bool immediate_successor = true;
+};
+
+class OmpssRuntime final : public RuntimeBase {
+ public:
+  OmpssRuntime(RuntimeConfig config, OmpssOptions options = {});
+  ~OmpssRuntime() override;
+
+  std::string name() const override;
+
+  /// Tasks parked in an immediate-successor slot are only reachable by the
+  /// slot's own (idle) worker.
+  bool ready_task_reachable() const override;
+
+ protected:
+  void push_ready(TaskRecord* task, int worker_hint) override;
+  TaskRecord* pop_ready(int worker) override;
+  std::size_t ready_count() const override;
+  void route_released(int worker, std::span<TaskRecord*> released) override;
+
+ private:
+  OmpssOptions options_;
+  CentralQueue queue_;
+  /// Per-lane immediate-successor slot; owned (set and consumed) by that
+  /// lane's worker, which makes a plain atomic pointer sufficient.
+  std::vector<std::unique_ptr<std::atomic<TaskRecord*>>> immediate_;
+  std::atomic<std::size_t> immediate_count_{0};
+};
+
+}  // namespace tasksim::sched

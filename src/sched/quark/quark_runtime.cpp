@@ -1,0 +1,33 @@
+#include "sched/quark/quark_runtime.hpp"
+
+namespace tasksim::sched {
+
+QuarkRuntime::QuarkRuntime(RuntimeConfig config, QuarkOptions options)
+    : RuntimeBase(config),
+      options_(options),
+      deques_(config.workers, config.seed) {
+  start_workers();
+}
+
+QuarkRuntime::~QuarkRuntime() { stop_workers(); }
+
+void QuarkRuntime::push_ready(TaskRecord* task, int worker_hint) {
+  int lane = worker_hint;
+  if (lane < 0 || lane >= worker_count()) {
+    // No locality preference: spread in submission order, like QUARK's
+    // default assignment of tasks to worker queues.
+    lane = static_cast<int>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                            static_cast<std::uint64_t>(worker_count()));
+  }
+  deques_.push(lane, task);
+}
+
+TaskRecord* QuarkRuntime::pop_ready(int worker) {
+  if (TaskRecord* task = deques_.pop_own(worker)) return task;
+  if (options_.steal) return deques_.steal(worker);
+  return nullptr;
+}
+
+std::size_t QuarkRuntime::ready_count() const { return deques_.size(); }
+
+}  // namespace tasksim::sched

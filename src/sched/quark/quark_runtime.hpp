@@ -1,0 +1,48 @@
+// quark_runtime.hpp — QUARK-flavoured scheduler (paper §IV-A3).
+//
+// QUARK (QUeuing And Runtime for Kernels, the PLASMA scheduler) keeps
+// per-worker ready queues fed in insertion order, with locality-aware
+// assignment and work stealing to balance load.  The master thread inserts
+// tasks and participates in execution (QUARK's behaviour; the paper's
+// Figures 6-7 note that core 0 runs fewer tasks because it also maintains
+// the dependence graph).  This implementation adds the quiescence query the
+// paper contributed to QUARK, generalized through
+// Runtime::bookkeeping_in_flight().
+//
+// Knobs mirroring QUARK:
+//   * task window (RuntimeConfig::window_size) — bounds the unfolded DAG,
+//   * task priority (TaskDescriptor::priority) — jumps the local queue,
+//   * locality hint (TaskDescriptor::locality_hint) — preferred worker,
+//   * stealing on/off (QuarkOptions::steal).
+#pragma once
+
+#include <atomic>
+
+#include "sched/ready_pools.hpp"
+#include "sched/runtime_base.hpp"
+
+namespace tasksim::sched {
+
+struct QuarkOptions {
+  bool steal = true;
+};
+
+class QuarkRuntime final : public RuntimeBase {
+ public:
+  QuarkRuntime(RuntimeConfig config, QuarkOptions options = {});
+  ~QuarkRuntime() override;
+
+  std::string name() const override { return "quark"; }
+
+ protected:
+  void push_ready(TaskRecord* task, int worker_hint) override;
+  TaskRecord* pop_ready(int worker) override;
+  std::size_t ready_count() const override;
+
+ private:
+  QuarkOptions options_;
+  StealingDeques deques_;
+  std::atomic<std::uint64_t> round_robin_{0};
+};
+
+}  // namespace tasksim::sched

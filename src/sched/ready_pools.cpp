@@ -1,0 +1,107 @@
+#include "sched/ready_pools.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace tasksim::sched {
+
+CentralQueue::CentralQueue(QueueDiscipline discipline)
+    : discipline_(discipline) {}
+
+void CentralQueue::push(TaskRecord* task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (discipline_) {
+    case QueueDiscipline::fifo:
+      queue_.push_back(task);
+      break;
+    case QueueDiscipline::lifo:
+      queue_.push_front(task);
+      break;
+    case QueueDiscipline::priority: {
+      // Keep descending by priority; equal priorities stay FIFO by
+      // inserting after the last equal element.
+      auto it = std::upper_bound(
+          queue_.begin(), queue_.end(), task,
+          [](const TaskRecord* a, const TaskRecord* b) {
+            return a->desc.priority > b->desc.priority;
+          });
+      queue_.insert(it, task);
+      break;
+    }
+  }
+  size_.fetch_add(1, std::memory_order_release);
+}
+
+TaskRecord* CentralQueue::pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return nullptr;
+  TaskRecord* task = queue_.front();
+  queue_.pop_front();
+  size_.fetch_sub(1, std::memory_order_release);
+  return task;
+}
+
+StealingDeques::StealingDeques(int lanes, std::uint64_t seed) : rng_(seed) {
+  TS_REQUIRE(lanes >= 1, "need at least one lane");
+  deques_.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    deques_.push_back(std::make_unique<Lane>());
+  }
+}
+
+void StealingDeques::push(int lane, TaskRecord* task) {
+  TS_REQUIRE(lane >= 0 && lane < lanes(), "lane out of range");
+  Lane& l = *deques_[static_cast<std::size_t>(lane)];
+  {
+    std::lock_guard<std::mutex> lock(l.mutex);
+    if (task->desc.priority > 0) {
+      l.deque.push_front(task);
+    } else {
+      l.deque.push_back(task);
+    }
+  }
+  size_.fetch_add(1, std::memory_order_release);
+}
+
+TaskRecord* StealingDeques::pop_own(int lane) {
+  TS_REQUIRE(lane >= 0 && lane < lanes(), "lane out of range");
+  Lane& l = *deques_[static_cast<std::size_t>(lane)];
+  std::lock_guard<std::mutex> lock(l.mutex);
+  if (l.deque.empty()) return nullptr;
+  TaskRecord* task = l.deque.front();
+  l.deque.pop_front();
+  size_.fetch_sub(1, std::memory_order_release);
+  return task;
+}
+
+std::size_t StealingDeques::size_of(int lane) const {
+  TS_REQUIRE(lane >= 0 && lane < lanes(), "lane out of range");
+  Lane& l = *deques_[static_cast<std::size_t>(lane)];
+  std::lock_guard<std::mutex> lock(l.mutex);
+  return l.deque.size();
+}
+
+TaskRecord* StealingDeques::steal(int thief) {
+  if (size_.load(std::memory_order_acquire) == 0) return nullptr;
+  const int n = lanes();
+  int start;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    start = static_cast<int>(rng_.uniform_index(static_cast<std::uint64_t>(n)));
+  }
+  for (int i = 0; i < n; ++i) {
+    const int victim = (start + i) % n;
+    if (victim == thief) continue;
+    Lane& l = *deques_[static_cast<std::size_t>(victim)];
+    std::lock_guard<std::mutex> lock(l.mutex);
+    if (l.deque.empty()) continue;
+    TaskRecord* task = l.deque.back();
+    l.deque.pop_back();
+    size_.fetch_sub(1, std::memory_order_release);
+    return task;
+  }
+  return nullptr;
+}
+
+}  // namespace tasksim::sched

@@ -1,0 +1,87 @@
+// ready_pools.hpp — ready-task containers shared by the scheduler
+// implementations.
+//
+// CentralQueue: one global pool with FIFO, LIFO, or priority discipline
+// (OmpSs breadth-first / work-first, StarPU eager / prio).
+// StealingDeques: per-worker deques with work stealing (QUARK, StarPU ws):
+// owners pop from the front of their own deque, thieves steal from the back
+// of a victim's.
+//
+// Both are internally synchronized and keep an atomic element count so that
+// ready_count() — polled by the simulation layer's race-safety predicate —
+// never takes a lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sched/task.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::sched {
+
+enum class QueueDiscipline {
+  fifo,      ///< breadth-first: oldest ready task first
+  lifo,      ///< work-first: newest ready task first
+  priority,  ///< highest TaskDescriptor::priority first, FIFO within a level
+};
+
+class CentralQueue {
+ public:
+  explicit CentralQueue(QueueDiscipline discipline);
+
+  void push(TaskRecord* task);
+  TaskRecord* pop();
+  std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+ private:
+  QueueDiscipline discipline_;
+  mutable std::mutex mutex_;
+  std::deque<TaskRecord*> queue_;  // priority mode keeps it sorted
+  std::atomic<std::size_t> size_{0};
+};
+
+class StealingDeques {
+ public:
+  /// `lanes` deques; `seed` drives victim selection.
+  StealingDeques(int lanes, std::uint64_t seed);
+
+  /// Push to the given lane; priority tasks (>0) go to the front so the
+  /// owner picks them up next.
+  void push(int lane, TaskRecord* task);
+
+  /// Owner pop (front of own deque); returns nullptr when empty.
+  TaskRecord* pop_own(int lane);
+
+  /// Steal from another lane's back, scanning victims from a random start.
+  /// Returns nullptr when every deque is empty.
+  TaskRecord* steal(int thief);
+
+  std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  /// Tasks currently queued on one lane.
+  std::size_t size_of(int lane) const;
+
+  int lanes() const { return static_cast<int>(deques_.size()); }
+
+ private:
+  struct Lane {
+    mutable std::mutex mutex;
+    std::deque<TaskRecord*> deque;
+  };
+
+  std::vector<std::unique_ptr<Lane>> deques_;
+  std::atomic<std::size_t> size_{0};
+  std::mutex rng_mutex_;
+  Rng rng_;
+};
+
+}  // namespace tasksim::sched

@@ -1,0 +1,111 @@
+// runtime.hpp — the abstract superscalar runtime interface.
+//
+// Everything above the schedulers (tile algorithms, the simulation library,
+// the experiment harness) is written against this interface, which is the
+// concrete form of the paper's portability claim: the simulation layer
+// neither knows nor cares whether the QUARK-, StarPU- or OmpSs-flavoured
+// scheduler is underneath.
+//
+// The three queries at the bottom (`running_task_count`, `ready_task_count`,
+// `bookkeeping_in_flight`) exist for one purpose: they are the portable
+// generalization of the quiescence function the paper added to QUARK to
+// close the scheduling race condition of §V-E.  See
+// sim::RaceMitigation::quiescence for the exact safety predicate.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "sched/observer.hpp"
+#include "sched/task.hpp"
+
+namespace tasksim::sched {
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Human-readable scheduler name, e.g. "quark" or "starpu/dmda".
+  virtual std::string name() const = 0;
+
+  /// Submit a task.  Must be called from a single thread, in serial program
+  /// order (the superscalar model).  May block when the task window /
+  /// throttle is full.  Returns the task's id (dense, submission-ordered).
+  virtual TaskId submit(TaskDescriptor desc) = 0;
+
+  /// Block until every submitted task has finished (barrier).  The runtime
+  /// is reusable afterwards.  If `master_participates` was configured, the
+  /// calling thread executes tasks while it waits.
+  virtual void wait_all() = 0;
+
+  /// Number of worker threads (excluding a participating master).
+  virtual int worker_count() const = 0;
+
+  /// Register an observer (not owned; must outlive the runtime or be
+  /// removed).  Must not be called while tasks are in flight.
+  virtual void add_observer(TaskObserver* observer) = 0;
+  virtual void remove_observer(TaskObserver* observer) = 0;
+
+  // --- scheduler-state queries used by the simulation layer -------------
+
+  /// Tasks currently in TaskState::running (popped by a worker; the task
+  /// function may not have reached the simulation library yet).
+  virtual int running_task_count() const = 0;
+
+  /// Tasks that are ready but not yet picked up by any worker.
+  virtual std::size_t ready_task_count() const = 0;
+
+  /// True when some ready task could be popped *right now* by an idle
+  /// executor.  Differs from `ready_task_count() > 0` for policies that
+  /// commit tasks to specific workers (StarPU dm/dmda, OmpSs immediate
+  /// successor): a task committed to a busy worker cannot start before
+  /// that worker's current task returns, so it cannot race an earlier
+  /// virtual completion.
+  virtual bool ready_task_reachable() const = 0;
+
+  /// Completion-bookkeeping operations currently in progress: a task
+  /// function has returned but its successors have not all been released
+  /// yet.  Zero means the dependence state is quiescent.
+  virtual int bookkeeping_in_flight() const = 0;
+
+  /// Threads currently able to pop ready tasks: the spawned workers plus
+  /// the master while it participates inside wait_all().
+  virtual int active_executor_count() const = 0;
+
+  /// True while the submitting thread is blocked on the task window.
+  /// The simulation layer must not wait for submission to make progress
+  /// when the submitter itself is waiting for completions.
+  virtual bool submitter_waiting() const = 0;
+
+  /// Heterogeneous lanes (StarPU-style accelerator support, paper §VII's
+  /// GPU-task extension): true when `lane` models an accelerator.  The
+  /// default runtime is homogeneous.
+  virtual bool lane_is_accelerator(int lane) const {
+    (void)lane;
+    return false;
+  }
+};
+
+/// Configuration shared by all runtime implementations.
+struct RuntimeConfig {
+  int workers = 2;
+  /// Maximum number of live (submitted but unfinished) tasks before
+  /// submit() blocks; 0 = unbounded.  QUARK calls this the task window,
+  /// OmpSs the throttle limit.
+  std::size_t window_size = 0;
+  /// When true, wait_all() turns the calling thread into an extra worker
+  /// (QUARK's master-participation; the paper notes core 0 runs fewer tasks
+  /// because it also inserts tasks).
+  bool master_participates = false;
+  /// Seed for any scheduler-internal randomness (victim selection).
+  std::uint64_t seed = 0x5eed;
+  /// Yield the CPU after each executed task.  On hosts with fewer cores
+  /// than workers this makes worker threads interleave approximately
+  /// round-robin, so the task-to-worker assignment resembles the one a
+  /// dedicated-core machine would produce — part of the virtual-platform
+  /// substitution (DESIGN.md §3).  Off by default.
+  bool yield_between_tasks = false;
+};
+
+}  // namespace tasksim::sched

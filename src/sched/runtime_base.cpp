@@ -1,0 +1,294 @@
+#include "sched/runtime_base.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/timing.hpp"
+
+namespace tasksim::sched {
+
+RuntimeBase::RuntimeBase(RuntimeConfig config) : config_(config) {
+  TS_REQUIRE(config_.workers >= 1, "runtime needs at least one worker");
+  spawned_workers_ =
+      config_.workers - (config_.master_participates ? 1 : 0);
+  executed_per_lane_.reserve(static_cast<std::size_t>(config_.workers));
+  lane_executing_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    executed_per_lane_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    lane_executing_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+}
+
+bool RuntimeBase::executor_idle(int lane) const {
+  if (lane < 0 || lane >= config_.workers) return false;
+  if (config_.master_participates && lane == 0 &&
+      !master_active_.load(std::memory_order_acquire)) {
+    return false;  // the master is not currently an executor
+  }
+  return !lane_executing_[static_cast<std::size_t>(lane)]->load(
+      std::memory_order_acquire);
+}
+
+bool RuntimeBase::any_idle_executor() const {
+  for (int lane = 0; lane < config_.workers; ++lane) {
+    if (executor_idle(lane)) return true;
+  }
+  return false;
+}
+
+RuntimeBase::~RuntimeBase() {
+  // Derived destructors must already have called stop_workers(); this is a
+  // safety net for exception paths.
+  stop_workers();
+}
+
+int RuntimeBase::worker_count() const { return config_.workers; }
+
+void RuntimeBase::add_observer(TaskObserver* observer) {
+  TS_REQUIRE(observer != nullptr, "null observer");
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  TS_REQUIRE(pending_ == 0, "observers must be added at a barrier");
+  observers_.push_back(observer);
+}
+
+void RuntimeBase::remove_observer(TaskObserver* observer) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  TS_REQUIRE(pending_ == 0, "observers must be removed at a barrier");
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+std::vector<std::uint64_t> RuntimeBase::tasks_per_worker() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(executed_per_lane_.size());
+  for (const auto& counter : executed_per_lane_) {
+    out.push_back(counter->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void RuntimeBase::start_workers() {
+  threads_.reserve(static_cast<std::size_t>(spawned_workers_));
+  const int first = first_spawned_lane();
+  for (int i = 0; i < spawned_workers_; ++i) {
+    threads_.emplace_back([this, lane = first + i] { worker_loop(lane); });
+  }
+}
+
+void RuntimeBase::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (stop_ && threads_.empty()) return;
+    stop_ = true;
+  }
+  worker_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void RuntimeBase::notify_workers() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++ready_version_;
+  }
+  worker_cv_.notify_all();
+}
+
+TaskId RuntimeBase::submit(TaskDescriptor desc) {
+  TS_REQUIRE(static_cast<bool>(desc.function), "task without a function");
+  // Task-window throttling (QUARK window / OmpSs throttle).
+  if (config_.window_size > 0) {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (pending_ >= config_.window_size) {
+      submitter_waiting_.store(true, std::memory_order_release);
+      done_cv_.wait(lock, [&] { return pending_ < config_.window_size; });
+      submitter_waiting_.store(false, std::memory_order_release);
+    }
+  }
+
+  auto record = std::make_unique<TaskRecord>();
+  TaskRecord* task = record.get();
+  task->id = next_id_++;
+  task->desc = std::move(desc);
+
+  for (TaskObserver* obs : observers_) obs->on_submit(task->id, task->desc);
+
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++pending_;
+  }
+  records_.push_back(std::move(record));
+
+  if (tracker_.register_task(task)) {
+    make_ready(task, task->desc.locality_hint);
+  }
+  return task->id;
+}
+
+void RuntimeBase::make_ready(TaskRecord* task, int worker_hint) {
+  task->state.store(TaskState::ready, std::memory_order_release);
+  for (TaskObserver* obs : observers_) obs->on_ready(task->id);
+  push_ready(task, worker_hint);
+  notify_workers();
+}
+
+void RuntimeBase::on_task_finished(TaskRecord* task, int lane,
+                                   double cpu_duration_us) {
+  (void)task;
+  (void)lane;
+  (void)cpu_duration_us;
+}
+
+void RuntimeBase::mark_ready(TaskRecord* task) {
+  task->state.store(TaskState::ready, std::memory_order_release);
+  for (TaskObserver* obs : observers_) obs->on_ready(task->id);
+}
+
+void RuntimeBase::route_released(int worker, std::span<TaskRecord*> released) {
+  for (TaskRecord* task : released) {
+    mark_ready(task);
+    const int hint = task->desc.locality_hint >= 0 ? task->desc.locality_hint
+                                                   : worker;
+    push_ready(task, hint);
+  }
+}
+
+TaskRecord* RuntimeBase::claim_task(int lane) {
+  // The dispatch window (popped from the ready pool but not yet counted as
+  // running) must be visible to the simulation layer's safety predicate;
+  // cover it with the bookkeeping counter.
+  bookkeeping_.fetch_add(1, std::memory_order_acq_rel);
+  TaskRecord* task = pop_ready(lane);
+  if (task != nullptr) {
+    task->state.store(TaskState::running, std::memory_order_release);
+    lane_executing_[static_cast<std::size_t>(lane)]->store(
+        true, std::memory_order_release);
+    running_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  bookkeeping_.fetch_sub(1, std::memory_order_acq_rel);
+  return task;
+}
+
+void RuntimeBase::worker_loop(int lane) {
+  for (;;) {
+    TaskRecord* task = claim_task(lane);
+    if (task != nullptr) {
+      execute_task(task, lane);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (stop_) return;
+    const std::uint64_t version = ready_version_;
+    lock.unlock();
+    // Recheck after capturing the version: a push between our failed pop
+    // and the wait would otherwise be lost.
+    task = claim_task(lane);
+    if (task != nullptr) {
+      execute_task(task, lane);
+      continue;
+    }
+    lock.lock();
+    worker_cv_.wait(lock,
+                    [&] { return stop_ || ready_version_ != version; });
+  }
+}
+
+void RuntimeBase::execute_task(TaskRecord* task, int lane) {
+  const double start_wall = wall_time_us();
+  const double start_cpu = thread_cpu_time_us();
+  for (TaskObserver* obs : observers_) {
+    obs->on_start(task->id, task->desc.kernel, lane, start_wall, start_cpu);
+  }
+
+  TaskContext ctx{task->id, lane, this};
+  if (lane_is_accelerator(lane) && accel_capable(task->desc)) {
+    task->desc.accel_function(ctx);
+  } else {
+    task->desc.function(ctx);
+  }
+
+  const double end_wall = wall_time_us();
+  const double end_cpu = thread_cpu_time_us();
+
+  // Completion bookkeeping: visible through bookkeeping_in_flight() until
+  // every released successor is routed to a ready pool.
+  bookkeeping_.fetch_add(1, std::memory_order_acq_rel);
+
+  for (TaskObserver* obs : observers_) {
+    obs->on_finish(task->id, task->desc.kernel, lane, start_wall, end_wall,
+                   start_cpu, end_cpu);
+  }
+
+  on_task_finished(task, lane, end_cpu - start_cpu);
+
+  std::vector<TaskRecord*> released;
+  tracker_.on_complete(task, released);
+  if (!released.empty()) {
+    route_released(lane, released);
+    notify_workers();
+  }
+
+  executed_per_lane_[static_cast<std::size_t>(lane)]->fetch_add(
+      1, std::memory_order_relaxed);
+
+  bool all_done = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    TS_ASSERT(pending_ > 0, "completion without a pending task");
+    --pending_;
+    all_done = pending_ == 0;
+  }
+  done_cv_.notify_all();
+  if (all_done) worker_cv_.notify_all();  // wake a participating master
+
+  bookkeeping_.fetch_sub(1, std::memory_order_acq_rel);
+  running_.fetch_sub(1, std::memory_order_acq_rel);
+  lane_executing_[static_cast<std::size_t>(lane)]->store(
+      false, std::memory_order_release);
+
+  if (config_.yield_between_tasks) std::this_thread::yield();
+}
+
+void RuntimeBase::wait_all() {
+  if (config_.master_participates) {
+    master_active_.store(true, std::memory_order_release);
+    for (;;) {
+      TaskRecord* task = claim_task(0);
+      if (task != nullptr) {
+        execute_task(task, 0);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      if (pending_ == 0) break;
+      const std::uint64_t version = ready_version_;
+      lock.unlock();
+      task = claim_task(0);
+      if (task != nullptr) {
+        execute_task(task, 0);
+        continue;
+      }
+      lock.lock();
+      worker_cv_.wait(lock, [&] {
+        return stop_ || pending_ == 0 || ready_version_ != version;
+      });
+      if (stop_) break;
+    }
+    master_active_.store(false, std::memory_order_release);
+  } else {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+  // Quiesce the last worker's post-completion instructions before freeing
+  // this generation's records.
+  while (running_.load(std::memory_order_acquire) != 0 ||
+         bookkeeping_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  tracker_.reset();
+  records_.clear();
+}
+
+}  // namespace tasksim::sched

@@ -1,0 +1,155 @@
+// runtime_base.hpp — shared machinery of the three scheduler runtimes.
+//
+// RuntimeBase owns worker threads, task records, the dependency tracker,
+// observers, the task window (submission throttling) and the state counters
+// the simulation layer queries.  Concrete schedulers only decide *where
+// ready tasks wait* and *which one a worker takes next*:
+//
+//    push_ready(task, worker)  — a task just became ready
+//    pop_ready(worker)         — worker asks for its next task
+//    ready_count()             — ready-but-unstarted tasks
+//    route_released(...)       — optional hook for locality shortcuts
+//
+// Derived constructors must call start_workers() as their last statement
+// (worker threads invoke the virtual queue methods, so the vtable must be
+// complete); destructors must call stop_workers() first for the same reason.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "sched/dependency_tracker.hpp"
+#include "sched/runtime.hpp"
+
+namespace tasksim::sched {
+
+class RuntimeBase : public Runtime {
+ public:
+  ~RuntimeBase() override;
+
+  TaskId submit(TaskDescriptor desc) final;
+  void wait_all() final;
+  int worker_count() const final;
+  void add_observer(TaskObserver* observer) final;
+  void remove_observer(TaskObserver* observer) final;
+
+  int running_task_count() const final {
+    return running_.load(std::memory_order_acquire);
+  }
+  std::size_t ready_task_count() const final { return ready_count(); }
+  bool ready_task_reachable() const override {
+    return ready_count() > 0 && any_idle_executor();
+  }
+  int bookkeeping_in_flight() const final {
+    return bookkeeping_.load(std::memory_order_acquire);
+  }
+
+  /// Executors that can currently pop tasks: spawned workers plus the
+  /// master while it participates inside wait_all().  Used by the
+  /// simulation layer's all-busy shortcut.
+  int active_executor_count() const final {
+    return spawned_workers_ +
+           (master_active_.load(std::memory_order_acquire) ? 1 : 0);
+  }
+
+  bool submitter_waiting() const final {
+    return submitter_waiting_.load(std::memory_order_acquire);
+  }
+
+  /// Tasks executed per worker lane (index 0 is the master lane when
+  /// master participation is on).  Snapshot; useful for the paper's
+  /// core-0 observation in Figures 6-7.
+  std::vector<std::uint64_t> tasks_per_worker() const;
+
+ protected:
+  explicit RuntimeBase(RuntimeConfig config);
+
+  // --- scheduler-specific ready pool (must be internally synchronized) ---
+  virtual void push_ready(TaskRecord* task, int worker_hint) = 0;
+  virtual TaskRecord* pop_ready(int worker) = 0;
+  virtual std::size_t ready_count() const = 0;
+
+  /// Hook invoked on the finishing worker with the tasks its completion
+  /// released.  Default routes every task through push_ready.  Overrides
+  /// (OmpSs immediate-successor) may keep some aside but must still account
+  /// for them in ready_count() until popped.
+  virtual void route_released(int worker, std::span<TaskRecord*> released);
+
+  /// Hook invoked on the executing worker right after the task function
+  /// returns, with the measured thread-CPU duration.  StarPU's dm/dmda
+  /// policies use it to feed the history-based performance model and to
+  /// release the load charged at enqueue time.
+  virtual void on_task_finished(TaskRecord* task, int lane,
+                                double cpu_duration_us);
+
+  /// True when the executor owning `lane` exists and is not currently
+  /// executing a task (the master lane counts only while the master is
+  /// inside wait_all).
+  bool executor_idle(int lane) const;
+
+  /// Any executor currently idle?
+  bool any_idle_executor() const;
+
+  /// Transition a released task to ready and fire on_ready observers
+  /// without enqueuing it; for route_released overrides that place the
+  /// task somewhere other than the ready pool (e.g. an immediate slot).
+  void mark_ready(TaskRecord* task);
+
+  void start_workers();
+  void stop_workers();
+
+  const RuntimeConfig& config() const { return config_; }
+
+  /// First index usable by spawned workers (1 when the master occupies
+  /// lane 0, else 0).
+  int first_spawned_lane() const { return config_.master_participates ? 1 : 0; }
+
+  /// Wake parked workers after making tasks available.
+  void notify_workers();
+
+ private:
+  void worker_loop(int lane);
+  /// Atomically (w.r.t. the simulation-safety queries) pop a ready task
+  /// and mark it running; nullptr when none available.  The dispatch
+  /// window is covered by bookkeeping_in_flight so the simulation layer
+  /// never observes a task that is neither ready nor running.
+  TaskRecord* claim_task(int lane);
+  void execute_task(TaskRecord* task, int lane);
+  void make_ready(TaskRecord* task, int worker_hint);
+
+  RuntimeConfig config_;
+  int spawned_workers_ = 0;
+
+  DependencyTracker tracker_;
+
+  // Task records of the current generation (between wait_all barriers).
+  std::vector<std::unique_ptr<TaskRecord>> records_;
+  TaskId next_id_ = 0;
+
+  std::vector<TaskObserver*> observers_;
+
+  // Parking / completion signaling.
+  mutable std::mutex state_mutex_;
+  std::condition_variable worker_cv_;   // new work or stop
+  std::condition_variable done_cv_;     // pending_ changed (barrier/window)
+  std::uint64_t ready_version_ = 0;
+  std::size_t pending_ = 0;             // submitted but unfinished
+  bool stop_ = false;
+
+  std::atomic<int> running_{0};
+  std::atomic<int> bookkeeping_{0};
+  std::atomic<bool> master_active_{false};
+  std::atomic<bool> submitter_waiting_{false};
+
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> executed_per_lane_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> lane_executing_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tasksim::sched

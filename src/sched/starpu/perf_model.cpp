@@ -1,0 +1,33 @@
+#include "sched/starpu/perf_model.hpp"
+
+namespace tasksim::sched {
+
+void PerfModel::update(const std::string& kernel, double duration_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  history_[kernel].add(duration_us);
+}
+
+double PerfModel::expected_us(const std::string& kernel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = history_.find(kernel);
+  if (it == history_.end() || it->second.count() == 0) return prior_us_;
+  return it->second.mean();
+}
+
+std::size_t PerfModel::sample_count(const std::string& kernel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = history_.find(kernel);
+  return it == history_.end() ? 0 : it->second.count();
+}
+
+std::map<std::string, stats::RunningStats> PerfModel::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_;
+}
+
+void PerfModel::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  history_.clear();
+}
+
+}  // namespace tasksim::sched

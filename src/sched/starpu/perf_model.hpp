@@ -1,0 +1,44 @@
+// perf_model.hpp — StarPU-style history-based performance model.
+//
+// StarPU "profiles each task execution and uses historical runtime data to
+// schedule tasks on the appropriate resources" (paper §IV-A2).  This model
+// keeps a running mean/variance of observed execution times per kernel
+// class and answers expected-duration queries for the dm/dmda scheduling
+// policies.  Unknown kernels return a configurable prior so that the very
+// first instances can still be placed.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace tasksim::sched {
+
+class PerfModel {
+ public:
+  explicit PerfModel(double prior_us = 100.0) : prior_us_(prior_us) {}
+
+  /// Record an observed execution time.
+  void update(const std::string& kernel, double duration_us);
+
+  /// Expected duration: historical mean, or the prior when unseen.
+  double expected_us(const std::string& kernel) const;
+
+  /// Number of samples recorded for the kernel.
+  std::size_t sample_count(const std::string& kernel) const;
+
+  /// Snapshot of all per-kernel statistics.
+  std::map<std::string, stats::RunningStats> snapshot() const;
+
+  void clear();
+
+ private:
+  double prior_us_;
+  mutable std::mutex mutex_;
+  std::map<std::string, stats::RunningStats> history_;
+};
+
+}  // namespace tasksim::sched

@@ -1,0 +1,197 @@
+#include "sched/starpu/starpu_runtime.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace tasksim::sched {
+
+const char* to_string(StarpuPolicy policy) {
+  switch (policy) {
+    case StarpuPolicy::eager: return "eager";
+    case StarpuPolicy::prio: return "prio";
+    case StarpuPolicy::ws: return "ws";
+    case StarpuPolicy::dm: return "dm";
+    case StarpuPolicy::dmda: return "dmda";
+  }
+  return "?";
+}
+
+StarpuPolicy parse_starpu_policy(const std::string& name) {
+  if (name == "eager") return StarpuPolicy::eager;
+  if (name == "prio") return StarpuPolicy::prio;
+  if (name == "ws") return StarpuPolicy::ws;
+  if (name == "dm") return StarpuPolicy::dm;
+  if (name == "dmda") return StarpuPolicy::dmda;
+  throw InvalidArgument("unknown StarPU policy: " + name);
+}
+
+std::string accel_model_key(const std::string& kernel) {
+  return kernel + "@accel";
+}
+
+StarpuRuntime::StarpuRuntime(RuntimeConfig config, StarpuOptions options)
+    : RuntimeBase(config),
+      options_(options),
+      model_(options.model_prior_us) {
+  TS_REQUIRE(options_.accelerator_lanes >= 0 &&
+                 options_.accelerator_lanes < config.workers,
+             "accelerator lanes must leave at least one CPU lane");
+  TS_REQUIRE(options_.accelerator_lanes == 0 ||
+                 options_.policy == StarpuPolicy::dm ||
+                 options_.policy == StarpuPolicy::dmda,
+             "heterogeneous lanes require the dm or dmda policy");
+  switch (options_.policy) {
+    case StarpuPolicy::eager:
+      central_ = std::make_unique<CentralQueue>(QueueDiscipline::fifo);
+      break;
+    case StarpuPolicy::prio:
+      central_ = std::make_unique<CentralQueue>(QueueDiscipline::priority);
+      break;
+    case StarpuPolicy::ws:
+    case StarpuPolicy::dm:
+    case StarpuPolicy::dmda:
+      deques_ = std::make_unique<StealingDeques>(config.workers, config.seed);
+      lane_load_us_.assign(static_cast<std::size_t>(config.workers), 0.0);
+      break;
+  }
+  start_workers();
+}
+
+StarpuRuntime::~StarpuRuntime() { stop_workers(); }
+
+std::string StarpuRuntime::name() const {
+  return std::string("starpu/") + to_string(options_.policy);
+}
+
+double StarpuRuntime::expected_on_lane(const TaskRecord* task,
+                                       int lane) const {
+  if (lane_is_accelerator(lane)) {
+    return model_.expected_us(accel_model_key(task->desc.kernel));
+  }
+  return model_.expected_us(task->desc.kernel);
+}
+
+int StarpuRuntime::pick_dm_lane(TaskRecord* task) {
+  std::lock_guard<std::mutex> lock(dm_mutex_);
+  int best = -1;
+  double best_cost = std::numeric_limits<double>::max();
+  double best_expected = 0.0;
+  for (int lane = 0; lane < worker_count(); ++lane) {
+    if (lane_is_accelerator(lane) && !accel_capable(task->desc)) continue;
+    const double expected = expected_on_lane(task, lane);
+    double cost = lane_load_us_[static_cast<std::size_t>(lane)] + expected;
+    if (options_.policy == StarpuPolicy::dmda) {
+      for (const Access& access : task->desc.accesses) {
+        auto it = last_toucher_.find(access.address);
+        if (it != last_toucher_.end() && it->second == lane) {
+          cost -= options_.affinity_bonus * expected;
+          break;
+        }
+      }
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = lane;
+      best_expected = expected;
+    }
+  }
+  TS_ASSERT(best >= 0, "no eligible lane for task");
+  lane_load_us_[static_cast<std::size_t>(best)] += best_expected;
+  task->policy_expected_us = best_expected;
+  return best;
+}
+
+void StarpuRuntime::push_ready(TaskRecord* task, int worker_hint) {
+  switch (options_.policy) {
+    case StarpuPolicy::eager:
+    case StarpuPolicy::prio:
+      central_->push(task);
+      return;
+    case StarpuPolicy::ws: {
+      int lane = worker_hint;
+      if (lane < 0 || lane >= worker_count()) lane = 0;
+      deques_->push(lane, task);
+      return;
+    }
+    case StarpuPolicy::dm:
+    case StarpuPolicy::dmda: {
+      const int lane = pick_dm_lane(task);
+      task->policy_lane = lane;
+      deques_->push(lane, task);
+      return;
+    }
+  }
+}
+
+TaskRecord* StarpuRuntime::pop_ready(int worker) {
+  switch (options_.policy) {
+    case StarpuPolicy::eager:
+    case StarpuPolicy::prio:
+      return central_->pop();
+    case StarpuPolicy::ws:
+      if (TaskRecord* task = deques_->pop_own(worker)) return task;
+      return deques_->steal(worker);
+    case StarpuPolicy::dm:
+    case StarpuPolicy::dmda:
+      // dm queues are placement commitments; no stealing.
+      return deques_->pop_own(worker);
+  }
+  return nullptr;
+}
+
+std::size_t StarpuRuntime::ready_count() const {
+  if (central_) return central_->size();
+  return deques_->size();
+}
+
+bool StarpuRuntime::ready_task_reachable() const {
+  if (options_.policy != StarpuPolicy::dm &&
+      options_.policy != StarpuPolicy::dmda) {
+    return RuntimeBase::ready_task_reachable();
+  }
+  for (int lane = 0; lane < worker_count(); ++lane) {
+    if (deques_->size_of(lane) > 0 && executor_idle(lane)) return true;
+  }
+  return false;
+}
+
+void StarpuRuntime::on_task_finished(TaskRecord* task, int lane,
+                                     double cpu_duration_us) {
+  if (options_.profile_execution) {
+    model_.update(lane_is_accelerator(lane)
+                      ? accel_model_key(task->desc.kernel)
+                      : task->desc.kernel,
+                  cpu_duration_us);
+  }
+  if (options_.policy == StarpuPolicy::dm ||
+      options_.policy == StarpuPolicy::dmda) {
+    std::lock_guard<std::mutex> lock(dm_mutex_);
+    const int charged = task->policy_lane;
+    if (charged >= 0) {
+      auto& load = lane_load_us_[static_cast<std::size_t>(charged)];
+      load = std::max(0.0, load - task->policy_expected_us);
+    }
+    if (options_.policy == StarpuPolicy::dmda) {
+      for (const Access& access : task->desc.accesses) {
+        last_toucher_[access.address] = lane;
+      }
+    }
+  }
+}
+
+TaskId submit_codelet(Runtime& runtime, const Codelet& codelet,
+                      AccessList handles, int priority) {
+  TS_REQUIRE(static_cast<bool>(codelet.cpu_func),
+             "codelet '" + codelet.name + "' has no CPU implementation");
+  TaskDescriptor desc;
+  desc.kernel = codelet.name;
+  desc.function = codelet.cpu_func;
+  desc.accel_function = codelet.accel_func;
+  desc.accesses = std::move(handles);
+  desc.priority = priority != 0 ? priority : codelet.default_priority;
+  return runtime.submit(std::move(desc));
+}
+
+}  // namespace tasksim::sched

@@ -1,0 +1,132 @@
+// starpu_runtime.hpp — StarPU-flavoured scheduler (paper §IV-A2).
+//
+// StarPU's defining features reproduced here:
+//
+//   * codelets — a named kernel abstraction submitted with data handles
+//     (see `Codelet` / `submit_codelet` below),
+//   * implicit data dependences derived from access modes,
+//   * pluggable scheduling policies selected by name, the interesting ones
+//     being the performance-model-driven dm ("deque model": place each
+//     ready task on the worker with the earliest expected finish) and dmda
+//     (dm + data-affinity bonus for the worker that last touched one of the
+//     task's buffers),
+//   * execution profiling feeding the history-based performance model,
+//     which can also be primed from a previous run's fitted kernel models
+//     (StarPU persists history files; priming reproduces that).
+//
+// Policies:
+//   eager — one global FIFO, workers take when free
+//   prio  — one global priority queue
+//   ws    — per-worker deques with stealing
+//   dm    — per-worker queues, earliest-expected-finish placement
+//   dmda  — dm plus data-affinity bonus
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sched/ready_pools.hpp"
+#include "sched/runtime_base.hpp"
+#include "sched/starpu/perf_model.hpp"
+
+namespace tasksim::sched {
+
+enum class StarpuPolicy { eager, prio, ws, dm, dmda };
+
+const char* to_string(StarpuPolicy policy);
+StarpuPolicy parse_starpu_policy(const std::string& name);
+
+struct StarpuOptions {
+  StarpuPolicy policy = StarpuPolicy::dmda;
+  /// Record measured task durations into the performance model (real
+  /// executions).  Simulated executions turn this off and prime the model
+  /// instead — the equivalent of StarPU loading its on-disk history.
+  bool profile_execution = true;
+  /// Prior expected duration for kernels with no history (us).
+  double model_prior_us = 100.0;
+  /// dmda: subtracted from a worker's expected finish when it last touched
+  /// one of the task's buffers, expressed as a fraction of the task's
+  /// expected duration.
+  double affinity_bonus = 0.25;
+  /// Heterogeneous execution (paper §VII's GPU extension, implemented):
+  /// the last `accelerator_lanes` worker lanes model accelerators.  Tasks
+  /// with an accel_function may be placed there (and their durations are
+  /// modeled/profiled under the "<kernel>@accel" key); CPU-only tasks are
+  /// restricted to CPU lanes.  Requires the dm or dmda policy, whose
+  /// expected-finish placement is exactly how StarPU schedules across
+  /// heterogeneous resources.
+  int accelerator_lanes = 0;
+};
+
+/// Performance-model key for a kernel on an accelerator lane.
+std::string accel_model_key(const std::string& kernel);
+
+class StarpuRuntime final : public RuntimeBase {
+ public:
+  StarpuRuntime(RuntimeConfig config, StarpuOptions options = {});
+  ~StarpuRuntime() override;
+
+  std::string name() const override;
+
+  PerfModel& perf_model() { return model_; }
+  const PerfModel& perf_model() const { return model_; }
+
+  /// Toggle execution profiling.  Simulated runs disable it (the measured
+  /// durations of simulated bodies are meaningless) and prime the model
+  /// from fitted kernel models instead — StarPU's history-file reload.
+  void set_profiling(bool on) { options_.profile_execution = on; }
+
+  bool lane_is_accelerator(int lane) const override {
+    return lane >= worker_count() - options_.accelerator_lanes;
+  }
+
+ protected:
+  void push_ready(TaskRecord* task, int worker_hint) override;
+  TaskRecord* pop_ready(int worker) override;
+  std::size_t ready_count() const override;
+  void on_task_finished(TaskRecord* task, int lane,
+                        double cpu_duration_us) override;
+
+ public:
+  /// dm/dmda commit tasks to lanes: a committed task is only reachable
+  /// when its own lane's executor is idle.
+  bool ready_task_reachable() const override;
+
+ private:
+  int pick_dm_lane(TaskRecord* task);
+  /// Expected duration of `task` on `lane` (accelerator lanes use the
+  /// "@accel" model key).
+  double expected_on_lane(const TaskRecord* task, int lane) const;
+
+  StarpuOptions options_;
+  PerfModel model_;
+
+  // eager / prio
+  std::unique_ptr<CentralQueue> central_;
+  // ws / dm / dmda
+  std::unique_ptr<StealingDeques> deques_;
+
+  // dm/dmda expected-load accounting and data affinity.
+  std::mutex dm_mutex_;
+  std::vector<double> lane_load_us_;
+  std::unordered_map<const void*, int> last_toucher_;
+};
+
+/// StarPU-style codelet: a named kernel with per-target implementations.
+/// The CPU implementation is required; the accelerator implementation is
+/// optional and enables placement on accelerator lanes.
+struct Codelet {
+  std::string name;
+  TaskFunction cpu_func;
+  TaskFunction accel_func;  ///< optional
+  int default_priority = 0;
+};
+
+/// Submit `codelet` with the given data handles; the runtime derives the
+/// implicit dependences from the access modes, as StarPU does.
+TaskId submit_codelet(Runtime& runtime, const Codelet& codelet,
+                      AccessList handles, int priority = 0);
+
+}  // namespace tasksim::sched

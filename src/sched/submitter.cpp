@@ -1,0 +1,37 @@
+#include "sched/submitter.hpp"
+
+#include "support/error.hpp"
+
+namespace tasksim::sched {
+
+TaskId RealSubmitter::submit(const std::string& kernel,
+                             std::function<void()> body, AccessList accesses,
+                             int priority) {
+  TS_REQUIRE(static_cast<bool>(body), "real submission requires a body");
+  TaskDescriptor desc;
+  desc.kernel = kernel;
+  desc.function = [body = std::move(body)](TaskContext&) { body(); };
+  desc.accesses = std::move(accesses);
+  desc.priority = priority;
+  return runtime_.submit(std::move(desc));
+}
+
+TaskId RealSubmitter::submit_hetero(const std::string& kernel,
+                                    std::function<void()> body,
+                                    std::function<void()> accel_body,
+                                    AccessList accesses, int priority) {
+  TS_REQUIRE(static_cast<bool>(body), "real submission requires a body");
+  TS_REQUIRE(static_cast<bool>(accel_body),
+             "hetero submission requires an accelerator body");
+  TaskDescriptor desc;
+  desc.kernel = kernel;
+  desc.function = [body = std::move(body)](TaskContext&) { body(); };
+  desc.accel_function = [accel_body = std::move(accel_body)](TaskContext&) {
+    accel_body();
+  };
+  desc.accesses = std::move(accesses);
+  desc.priority = priority;
+  return runtime_.submit(std::move(desc));
+}
+
+}  // namespace tasksim::sched

@@ -1,0 +1,63 @@
+// submitter.hpp — the seam between algorithms and execution mode.
+//
+// Tile algorithms submit kernels through this interface.  RealSubmitter
+// executes kernel bodies on the runtime; the simulation library's
+// SimSubmitter (src/sim/sim_submitter.hpp) submits the same tasks with the
+// body replaced by a call into the simulation engine — the paper's
+// "the programmer simply replaces each task function with a call to the
+// simulation library" (§V).  Algorithm code is identical in both modes.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sched/runtime.hpp"
+
+namespace tasksim::sched {
+
+class KernelSubmitter {
+ public:
+  virtual ~KernelSubmitter() = default;
+
+  /// Submit one kernel invocation.  `body` performs the computation;
+  /// `accesses` declare its data references exactly as for Runtime::submit.
+  virtual TaskId submit(const std::string& kernel, std::function<void()> body,
+                        AccessList accesses, int priority = 0) = 0;
+
+  /// Submit a kernel that also has an accelerator implementation
+  /// (heterogeneous extension).  The default ignores `accel_body` and
+  /// submits CPU-only; submitters targeting heterogeneous runtimes
+  /// override it.
+  virtual TaskId submit_hetero(const std::string& kernel,
+                               std::function<void()> body,
+                               std::function<void()> accel_body,
+                               AccessList accesses, int priority = 0) {
+    (void)accel_body;
+    return submit(kernel, std::move(body), std::move(accesses), priority);
+  }
+
+  /// Barrier: return when all submitted kernels have completed.
+  virtual void finish() = 0;
+
+  /// The runtime that executes (or simulates) the kernels.
+  virtual Runtime& runtime() = 0;
+};
+
+/// Executes kernel bodies for real.
+class RealSubmitter final : public KernelSubmitter {
+ public:
+  explicit RealSubmitter(Runtime& runtime) : runtime_(runtime) {}
+
+  TaskId submit(const std::string& kernel, std::function<void()> body,
+                AccessList accesses, int priority = 0) override;
+  TaskId submit_hetero(const std::string& kernel, std::function<void()> body,
+                       std::function<void()> accel_body, AccessList accesses,
+                       int priority = 0) override;
+  void finish() override { runtime_.wait_all(); }
+  Runtime& runtime() override { return runtime_; }
+
+ private:
+  Runtime& runtime_;
+};
+
+}  // namespace tasksim::sched

@@ -1,0 +1,66 @@
+// task.hpp — task descriptor and runtime-internal task record.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/access.hpp"
+
+namespace tasksim::sched {
+
+using TaskId = std::uint64_t;
+
+class Runtime;
+
+/// Execution context handed to a running task function.
+struct TaskContext {
+  TaskId id = 0;
+  int worker = -1;        ///< index of the executing worker
+  Runtime* runtime = nullptr;
+};
+
+using TaskFunction = std::function<void(TaskContext&)>;
+
+/// What the developer submits: a kernel body plus its data references.
+struct TaskDescriptor {
+  std::string kernel;      ///< kernel class name (trace/model key)
+  TaskFunction function;
+  AccessList accesses;
+  int priority = 0;        ///< larger = more urgent (policy-dependent)
+  int locality_hint = -1;  ///< preferred worker, -1 = none
+  /// Optional accelerator implementation (StarPU codelets, paper §IV-A2).
+  /// When non-empty the task may be placed on an accelerator lane, where
+  /// this function runs instead of `function`.  Empty = CPU-only.
+  TaskFunction accel_function;
+};
+
+inline bool accel_capable(const TaskDescriptor& desc) {
+  return static_cast<bool>(desc.accel_function);
+}
+
+/// Lifecycle of a task inside a runtime.
+enum class TaskState : std::uint8_t {
+  submitted,  ///< registered, waiting on dependences
+  ready,      ///< all dependences satisfied, waiting for a worker
+  running,    ///< a worker is executing the function
+  finished,
+};
+
+/// Internal bookkeeping record.  Created at submit, owned by the runtime,
+/// freed after wait_all() completes a generation.
+struct TaskRecord {
+  TaskId id = 0;
+  TaskDescriptor desc;
+  std::atomic<int> remaining_deps{0};
+  std::atomic<TaskState> state{TaskState::submitted};
+  std::vector<TaskRecord*> successors;  ///< filled under the tracker lock
+  /// Scratch for scheduler policies (e.g. the expected duration StarPU's
+  /// dm policy charged to a worker at enqueue time).
+  double policy_expected_us = 0.0;
+  int policy_lane = -1;
+};
+
+}  // namespace tasksim::sched

@@ -1,0 +1,44 @@
+#include "sched/task_builder.hpp"
+
+#include "support/error.hpp"
+
+namespace tasksim::sched {
+
+TaskBuilder::TaskBuilder(Runtime& runtime, std::string kernel)
+    : runtime_(runtime) {
+  desc_.kernel = std::move(kernel);
+}
+
+TaskBuilder& TaskBuilder::reads(const void* addr, std::size_t bytes) {
+  desc_.accesses.push_back(in(addr, bytes));
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::writes(const void* addr, std::size_t bytes) {
+  desc_.accesses.push_back(out(addr, bytes));
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::readwrites(const void* addr, std::size_t bytes) {
+  desc_.accesses.push_back(inout(addr, bytes));
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::priority(int value) {
+  desc_.priority = value;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::locality(int worker) {
+  desc_.locality_hint = worker;
+  return *this;
+}
+
+TaskId TaskBuilder::run(TaskFunction body) {
+  TS_REQUIRE(!submitted_, "TaskBuilder already submitted");
+  submitted_ = true;
+  desc_.function = std::move(body);
+  return runtime_.submit(std::move(desc_));
+}
+
+}  // namespace tasksim::sched

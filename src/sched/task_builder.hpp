@@ -1,0 +1,39 @@
+// task_builder.hpp — fluent task construction.
+//
+// The veneer that makes application code read like the pragma / flag
+// annotations of the real schedulers:
+//
+//   TaskBuilder(runtime, "dgemm")
+//       .reads(a, bytes).reads(b, bytes).readwrites(c, bytes)
+//       .priority(1)
+//       .run([=](TaskContext&) { dgemm(...); });
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sched/runtime.hpp"
+
+namespace tasksim::sched {
+
+class TaskBuilder {
+ public:
+  TaskBuilder(Runtime& runtime, std::string kernel);
+
+  TaskBuilder& reads(const void* addr, std::size_t bytes = 0);
+  TaskBuilder& writes(const void* addr, std::size_t bytes = 0);
+  TaskBuilder& readwrites(const void* addr, std::size_t bytes = 0);
+  TaskBuilder& priority(int value);
+  TaskBuilder& locality(int worker);
+
+  /// Submit with the given body; returns the task id.  The builder is
+  /// consumed (one submission per builder).
+  TaskId run(TaskFunction body);
+
+ private:
+  Runtime& runtime_;
+  TaskDescriptor desc_;
+  bool submitted_ = false;
+};
+
+}  // namespace tasksim::sched

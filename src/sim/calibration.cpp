@@ -1,0 +1,109 @@
+#include "sim/calibration.hpp"
+
+namespace tasksim::sim {
+
+CalibrationObserver::CalibrationObserver(Options options)
+    : options_(options) {}
+
+void CalibrationObserver::on_finish(sched::TaskId /*id*/,
+                                    const std::string& kernel, int worker,
+                                    double start_wall_us, double end_wall_us,
+                                    double start_cpu_us, double end_cpu_us) {
+  const double duration = options_.clock == Clock::wall
+                              ? end_wall_us - start_wall_us
+                              : end_cpu_us - start_cpu_us;
+  std::lock_guard<std::mutex> lock(mutex_);
+  raw_samples_[kernel].push_back(duration);
+  int& dropped = dropped_[{worker, kernel}];
+  if (dropped < options_.warmup_drop_per_worker) {
+    ++dropped;
+    warmup_samples_[kernel].push_back(duration);
+    return;
+  }
+  samples_[kernel].push_back(duration);
+}
+
+std::map<std::string, std::vector<double>>
+CalibrationObserver::warmup_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return warmup_samples_;
+}
+
+KernelModelSet CalibrationObserver::fit_startup(ModelFamily family) const {
+  const auto warmups = warmup_samples();
+  std::map<std::string, std::vector<double>> fittable;
+  KernelModelSet singles;
+  for (const auto& [kernel, samples] : warmups) {
+    if (samples.size() >= 2) {
+      fittable.emplace(kernel, samples);
+    } else if (samples.size() == 1) {
+      singles.set_model(kernel,
+                        std::make_unique<stats::ConstantDist>(samples[0]));
+    }
+  }
+  KernelModelSet set = fit_models(fittable, family);
+  for (const auto& name : singles.kernel_names()) {
+    set.set_model(name, singles.model(name).clone());
+  }
+  return set;
+}
+
+std::map<std::string, std::vector<double>> CalibrationObserver::raw_samples()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return raw_samples_;
+}
+
+std::map<std::string, std::vector<double>> CalibrationObserver::samples()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::vector<double> CalibrationObserver::samples_for(
+    const std::string& kernel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = samples_.find(kernel);
+  return it == samples_.end() ? std::vector<double>{} : it->second;
+}
+
+std::size_t CalibrationObserver::total_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [kernel, samples] : samples_) total += samples.size();
+  return total;
+}
+
+void CalibrationObserver::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  raw_samples_.clear();
+  dropped_.clear();
+}
+
+KernelModelSet CalibrationObserver::fit(ModelFamily family) const {
+  std::map<std::string, std::vector<double>> filtered = samples();
+  const std::map<std::string, std::vector<double>> raw = raw_samples();
+
+  std::map<std::string, std::vector<double>> fittable;
+  KernelModelSet singles;
+  for (const auto& [kernel, raw_sample] : raw) {
+    auto it = filtered.find(kernel);
+    const std::vector<double>& chosen =
+        (it != filtered.end() && it->second.size() >= 2) ? it->second
+                                                         : raw_sample;
+    if (chosen.size() >= 2) {
+      fittable.emplace(kernel, chosen);
+    } else if (chosen.size() == 1) {
+      singles.set_model(kernel,
+                        std::make_unique<stats::ConstantDist>(chosen[0]));
+    }
+  }
+  KernelModelSet set = fit_models(fittable, family);
+  for (const auto& name : singles.kernel_names()) {
+    set.set_model(name, singles.model(name).clone());
+  }
+  return set;
+}
+
+}  // namespace tasksim::sim

@@ -1,0 +1,81 @@
+// calibration.hpp — collecting kernel-time samples from a real run
+// (paper §V-B1).
+//
+// The paper's key timing insight: timing kernels in isolation (cold or warm
+// cache) misrepresents their in-context behaviour, so the calibrator
+// instead observes "the actual execution of the algorithm ... for a
+// relatively small problem" under the real scheduler.  CalibrationObserver
+// attaches to any runtime and records per-kernel durations; the MKL-style
+// first-invocation outlier is handled by dropping the first
+// `warmup_drop_per_worker` samples of each (worker, kernel) pair, exactly
+// mirroring the paper's per-thread warm-up mitigation.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/observer.hpp"
+#include "sim/kernel_model.hpp"
+
+namespace tasksim::sim {
+
+struct CalibrationOptions {
+  enum class Clock { wall, thread_cpu };
+  Clock clock = Clock::thread_cpu;
+  /// Samples to discard per (worker, kernel) pair before recording.
+  int warmup_drop_per_worker = 1;
+};
+
+class CalibrationObserver final : public sched::TaskObserver {
+ public:
+  using Options = CalibrationOptions;
+  using Clock = CalibrationOptions::Clock;
+
+  explicit CalibrationObserver(Options options = {});
+
+  void on_finish(sched::TaskId id, const std::string& kernel, int worker,
+                 double start_wall_us, double end_wall_us, double start_cpu_us,
+                 double end_cpu_us) override;
+
+  /// Recorded samples per kernel (copy; warm-up samples excluded).
+  std::map<std::string, std::vector<double>> samples() const;
+
+  /// All samples including warm-up ones (fallback for rare kernels whose
+  /// few invocations were all consumed by the warm-up filter).
+  std::map<std::string, std::vector<double>> raw_samples() const;
+
+  /// The warm-up samples themselves (the first invocation(s) of each
+  /// kernel per worker — the MKL-style initialization outliers).  Used by
+  /// the startup-penalty extension (paper §VII suggests modeling the
+  /// start-up penalty to improve small-problem accuracy).
+  std::map<std::string, std::vector<double>> warmup_samples() const;
+
+  /// Fit models of *first-invocation* durations per kernel, for
+  /// SimEngineOptions::startup_models.  Kernels whose warm-up samples were
+  /// never observed are omitted (the engine falls back to the steady-state
+  /// model).
+  KernelModelSet fit_startup(ModelFamily family) const;
+
+  /// Samples recorded for one kernel (empty vector when none).
+  std::vector<double> samples_for(const std::string& kernel) const;
+
+  std::size_t total_samples() const;
+  void clear();
+
+  /// Fit the requested family to every kernel's samples.  Kernels left
+  /// with fewer than 2 post-warm-up samples fall back to their raw
+  /// samples; a kernel observed exactly once gets a constant model.
+  KernelModelSet fit(ModelFamily family) const;
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<double>> samples_;
+  std::map<std::string, std::vector<double>> raw_samples_;
+  std::map<std::string, std::vector<double>> warmup_samples_;
+  std::map<std::pair<int, std::string>, int> dropped_;
+};
+
+}  // namespace tasksim::sim

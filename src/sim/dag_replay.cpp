@@ -1,0 +1,133 @@
+#include "sim/dag_replay.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "dag/algorithms.hpp"
+#include "support/error.hpp"
+
+namespace tasksim::sim {
+
+DurationFn model_duration_fn(const KernelModelSet& models, Rng& rng) {
+  return [&models, &rng](const dag::Node& node) {
+    return models.sample(node.kernel, rng);
+  };
+}
+
+DurationFn weight_duration_fn() {
+  return [](const dag::Node& node) { return node.weight_us; };
+}
+
+DagReplayResult replay_dag(const dag::TaskGraph& graph,
+                           const DurationFn& duration,
+                           const DagReplayOptions& options) {
+  TS_REQUIRE(options.workers >= 1, "need at least one virtual worker");
+  const std::size_t n = graph.node_count();
+
+  // Optional list-scheduling priority: upward rank (critical-path length
+  // from the node to a leaf, inclusive).
+  std::vector<double> rank(n, 0.0);
+  if (options.prioritize_critical_path && n > 0) {
+    const auto order = dag::topological_order(graph);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const dag::NodeId id = *it;
+      double best = 0.0;
+      for (dag::NodeId succ : graph.successors(id)) {
+        best = std::max(best, rank[succ]);
+      }
+      rank[id] = best + graph.node(id).weight_us;
+    }
+  }
+
+  struct ReadyEntry {
+    double ready_time;
+    double neg_rank;  // higher rank first when prioritized
+    dag::NodeId id;
+    bool operator>(const ReadyEntry& other) const {
+      if (ready_time != other.ready_time) return ready_time > other.ready_time;
+      if (neg_rank != other.neg_rank) return neg_rank > other.neg_rank;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                      std::greater<ReadyEntry>>
+      ready;
+
+  struct Running {
+    double finish_time;
+    int worker;
+    dag::NodeId id;
+    bool operator>(const Running& other) const {
+      if (finish_time != other.finish_time)
+        return finish_time > other.finish_time;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
+      running;
+
+  std::vector<std::size_t> in_degree(n, 0);
+  for (dag::NodeId id = 0; id < n; ++id) {
+    in_degree[id] = graph.predecessors(id).size();
+    if (in_degree[id] == 0) {
+      ready.push({0.0, options.prioritize_critical_path ? -rank[id] : 0.0, id});
+    }
+  }
+
+  std::vector<int> free_workers;
+  for (int w = options.workers - 1; w >= 0; --w) free_workers.push_back(w);
+
+  DagReplayResult result;
+  result.timeline.set_label("dag-replay");
+  double now = 0.0;
+  std::size_t completed = 0;
+
+  while (completed < n) {
+    // Dispatch every ready task that can start now onto free workers.
+    while (!free_workers.empty() && !ready.empty() &&
+           ready.top().ready_time <= now) {
+      const ReadyEntry entry = ready.top();
+      ready.pop();
+      const int worker = free_workers.back();
+      free_workers.pop_back();
+      const double dur = std::max(duration(graph.node(entry.id)), 0.0);
+      result.timeline.record(entry.id, graph.node(entry.id).kernel, worker,
+                             now, now + dur);
+      running.push({now + dur, worker, entry.id});
+    }
+
+    // Advance time to the next event: a completion, or a task becoming
+    // ready while workers idle.
+    if (running.empty()) {
+      TS_ASSERT(!ready.empty(), "DES stalled with no events");
+      now = std::max(now, ready.top().ready_time);
+      continue;
+    }
+    double next_event = running.top().finish_time;
+    if (!free_workers.empty() && !ready.empty()) {
+      next_event = std::min(next_event, std::max(now, ready.top().ready_time));
+    }
+    now = next_event;
+
+    // Retire all completions at `now`.
+    while (!running.empty() && running.top().finish_time <= now) {
+      const Running done = running.top();
+      running.pop();
+      free_workers.push_back(done.worker);
+      ++completed;
+      for (dag::NodeId succ : graph.successors(done.id)) {
+        if (--in_degree[succ] == 0) {
+          ready.push({now,
+                      options.prioritize_critical_path ? -rank[succ] : 0.0,
+                      succ});
+        }
+      }
+    }
+  }
+
+  result.makespan_us = result.timeline.makespan_us();
+  return result;
+}
+
+}  // namespace tasksim::sim

@@ -1,0 +1,49 @@
+// dag_replay.hpp — the pure-DES baseline comparator.
+//
+// The classic way to predict task-parallel performance — and what tools in
+// the SimGrid/GridSim family of the paper's related-work section do — is to
+// list-schedule the task DAG on P virtual processors inside a discrete-
+// event simulation, with no real scheduler in the loop.  TaskSim implements
+// this as the baseline: the accuracy gap between DAG replay and the
+// scheduler-in-the-loop simulation is exactly the value the paper's
+// approach adds (scheduler policy, queue discipline, stealing, windows and
+// bookkeeping overheads all disappear in the baseline).
+#pragma once
+
+#include <functional>
+
+#include "dag/graph.hpp"
+#include "sim/kernel_model.hpp"
+#include "trace/trace.hpp"
+
+namespace tasksim::sim {
+
+struct DagReplayOptions {
+  int workers = 2;
+  /// FIFO by ready time (ties by node id).  When true, higher
+  /// TaskDescriptor-style priority is not available (the DAG has no
+  /// priorities), so this orders by critical-path length instead.
+  bool prioritize_critical_path = false;
+};
+
+/// Duration source for a node (sampled model, fixed weight, ...).
+using DurationFn = std::function<double(const dag::Node&)>;
+
+/// Duration function that samples `models` by kernel name with `rng`
+/// (captured by reference; keep both alive).
+DurationFn model_duration_fn(const KernelModelSet& models, Rng& rng);
+
+/// Duration function that uses each node's weight_us.
+DurationFn weight_duration_fn();
+
+struct DagReplayResult {
+  trace::Trace timeline;
+  double makespan_us = 0.0;
+};
+
+/// Event-driven list scheduling of `graph` on `options.workers` processors.
+DagReplayResult replay_dag(const dag::TaskGraph& graph,
+                           const DurationFn& duration,
+                           const DagReplayOptions& options);
+
+}  // namespace tasksim::sim

@@ -1,0 +1,139 @@
+#include "sim/kernel_model.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "stats/fitting.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::sim {
+
+const char* to_string(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::constant: return "constant";
+    case ModelFamily::normal: return "normal";
+    case ModelFamily::gamma: return "gamma";
+    case ModelFamily::lognormal: return "lognormal";
+    case ModelFamily::empirical: return "empirical";
+    case ModelFamily::best: return "best";
+  }
+  return "?";
+}
+
+ModelFamily parse_model_family(const std::string& name) {
+  if (name == "constant") return ModelFamily::constant;
+  if (name == "normal") return ModelFamily::normal;
+  if (name == "gamma") return ModelFamily::gamma;
+  if (name == "lognormal") return ModelFamily::lognormal;
+  if (name == "empirical") return ModelFamily::empirical;
+  if (name == "best") return ModelFamily::best;
+  throw InvalidArgument("unknown model family: " + name);
+}
+
+KernelModelSet::KernelModelSet(const KernelModelSet& other) {
+  for (const auto& [kernel, dist] : other.models_) {
+    models_.emplace(kernel, dist->clone());
+  }
+}
+
+void KernelModelSet::set_model(const std::string& kernel,
+                               std::unique_ptr<stats::Distribution> dist) {
+  TS_REQUIRE(dist != nullptr, "null distribution for kernel " + kernel);
+  models_[kernel] = std::move(dist);
+}
+
+bool KernelModelSet::has_model(const std::string& kernel) const {
+  return models_.count(kernel) != 0;
+}
+
+const stats::Distribution& KernelModelSet::model(
+    const std::string& kernel) const {
+  auto it = models_.find(kernel);
+  TS_REQUIRE(it != models_.end(), "no model for kernel '" + kernel + "'");
+  return *it->second;
+}
+
+double KernelModelSet::sample(const std::string& kernel, Rng& rng,
+                              double min_duration_us) const {
+  // Normal models can produce (rare) non-positive durations; a virtual task
+  // cannot run backwards, so clamp (the paper's models have tiny CV and are
+  // effectively never clamped).
+  return std::max(model(kernel).sample(rng), min_duration_us);
+}
+
+double KernelModelSet::mean_us(const std::string& kernel) const {
+  return model(kernel).mean();
+}
+
+std::vector<std::string> KernelModelSet::kernel_names() const {
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [kernel, dist] : models_) names.push_back(kernel);
+  return names;
+}
+
+void KernelModelSet::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << "# tasksim-kernel-models v1\n";
+  for (const auto& [kernel, dist] : models_) {
+    out << "kernel " << kernel << ' ' << dist->serialize() << "\n";
+  }
+  if (!out) throw IoError("write failed: " + path);
+}
+
+KernelModelSet KernelModelSet::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  std::string line;
+  TS_REQUIRE(static_cast<bool>(std::getline(in, line)) &&
+                 starts_with(line, "# tasksim-kernel-models v1"),
+             "not a kernel-model file: " + path);
+  KernelModelSet set;
+  while (std::getline(in, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto fields = split_whitespace(trimmed);
+    TS_REQUIRE(fields.size() >= 3 && fields[0] == "kernel",
+               "malformed model line: " + trimmed);
+    std::vector<std::string> rest(fields.begin() + 2, fields.end());
+    set.set_model(fields[1], stats::parse_distribution(join(rest, " ")));
+  }
+  return set;
+}
+
+KernelModelSet fit_models(
+    const std::map<std::string, std::vector<double>>& samples_by_kernel,
+    ModelFamily family) {
+  KernelModelSet set;
+  for (const auto& [kernel, samples] : samples_by_kernel) {
+    TS_REQUIRE(samples.size() >= 2,
+               "kernel '" + kernel + "' has fewer than 2 samples");
+    std::unique_ptr<stats::Distribution> dist;
+    switch (family) {
+      case ModelFamily::constant:
+        dist = stats::fit_constant(samples);
+        break;
+      case ModelFamily::normal:
+        dist = stats::fit_normal(samples);
+        break;
+      case ModelFamily::gamma:
+        dist = stats::fit_gamma(samples);
+        break;
+      case ModelFamily::lognormal:
+        dist = stats::fit_lognormal(samples);
+        break;
+      case ModelFamily::empirical:
+        dist = std::make_unique<stats::EmpiricalDist>(samples);
+        break;
+      case ModelFamily::best:
+        dist = stats::fit_best(samples);
+        break;
+    }
+    set.set_model(kernel, std::move(dist));
+  }
+  return set;
+}
+
+}  // namespace tasksim::sim

@@ -1,0 +1,72 @@
+// kernel_model.hpp — per-kernel-class execution-time models (paper §V-B).
+//
+// A KernelModelSet maps kernel names ("dgemm", "dtsmqr", ...) to fitted
+// probability distributions of their execution time.  Sampling is
+// thread-safe and deterministic per seed.  Model files round-trip through
+// save/load so a calibration run can feed many later simulations —
+// including simulations on machines other than the one calibrated on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/distribution.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::sim {
+
+/// Which family the calibrator fits (paper's candidates + ablation extras).
+enum class ModelFamily {
+  constant,   ///< point mass at the sample mean (ablation)
+  normal,
+  gamma,
+  lognormal,
+  empirical,  ///< bootstrap from the raw samples
+  best,       ///< lowest-AIC of {normal, gamma, lognormal}
+};
+
+const char* to_string(ModelFamily family);
+ModelFamily parse_model_family(const std::string& name);
+
+class KernelModelSet {
+ public:
+  KernelModelSet() = default;
+
+  KernelModelSet(const KernelModelSet& other);
+  KernelModelSet& operator=(const KernelModelSet& other) = delete;
+  KernelModelSet(KernelModelSet&&) = default;
+  KernelModelSet& operator=(KernelModelSet&&) = default;
+
+  void set_model(const std::string& kernel,
+                 std::unique_ptr<stats::Distribution> dist);
+  bool has_model(const std::string& kernel) const;
+  const stats::Distribution& model(const std::string& kernel) const;
+
+  /// Draw a duration (us) for the kernel, clamped to min_duration_us.
+  /// Throws InvalidArgument for kernels without a model.
+  double sample(const std::string& kernel, Rng& rng,
+                double min_duration_us = 1e-2) const;
+
+  /// Expected duration (model mean).
+  double mean_us(const std::string& kernel) const;
+
+  std::vector<std::string> kernel_names() const;
+  std::size_t size() const { return models_.size(); }
+
+  /// Text serialization: one `kernel <name> <distribution...>` line each.
+  void save(const std::string& path) const;
+  static KernelModelSet load(const std::string& path);
+
+ private:
+  std::map<std::string, std::unique_ptr<stats::Distribution>> models_;
+};
+
+/// Fit one family to each kernel's samples.
+KernelModelSet fit_models(
+    const std::map<std::string, std::vector<double>>& samples_by_kernel,
+    ModelFamily family);
+
+}  // namespace tasksim::sim

@@ -1,0 +1,23 @@
+#include "sim/sim_clock.hpp"
+
+#include <algorithm>
+
+namespace tasksim::sim {
+
+double SimClock::now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_us_;
+}
+
+double SimClock::advance_to(double time_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_us_ = std::max(now_us_, time_us);
+  return now_us_;
+}
+
+void SimClock::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_us_ = 0.0;
+}
+
+}  // namespace tasksim::sim

@@ -1,0 +1,32 @@
+// sim_clock.hpp — the global simulation clock (paper §V: "the simulation
+// clock ... stored as a double precision floating point number which is of
+// sufficient resolution for the tasks we deal with that operate at the
+// micro-second resolution").
+//
+// The clock is monotone: it only moves forward, to the virtual completion
+// time of whichever simulated task returns, and is read by tasks to obtain
+// their virtual start time.
+#pragma once
+
+#include <mutex>
+
+namespace tasksim::sim {
+
+class SimClock {
+ public:
+  /// Current virtual time in microseconds.
+  double now() const;
+
+  /// Advance to `time_us` if it is later than the current value; returns
+  /// the (possibly unchanged) clock value.
+  double advance_to(double time_us);
+
+  /// Reset to zero (between simulations).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  double now_us_ = 0.0;
+};
+
+}  // namespace tasksim::sim

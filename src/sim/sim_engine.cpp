@@ -1,0 +1,133 @@
+#include "sim/sim_engine.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "sched/runtime.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/timing.hpp"
+
+namespace tasksim::sim {
+
+const char* to_string(RaceMitigation mitigation) {
+  switch (mitigation) {
+    case RaceMitigation::none: return "none";
+    case RaceMitigation::yield_sleep: return "yield_sleep";
+    case RaceMitigation::quiescence: return "quiescence";
+  }
+  return "?";
+}
+
+RaceMitigation parse_race_mitigation(const std::string& name) {
+  if (name == "none") return RaceMitigation::none;
+  if (name == "yield_sleep" || name == "sleep") return RaceMitigation::yield_sleep;
+  if (name == "quiescence") return RaceMitigation::quiescence;
+  throw InvalidArgument("unknown race mitigation: " + name);
+}
+
+SimEngine::SimEngine(const KernelModelSet& models, SimEngineOptions options)
+    : models_(models), options_(options), rng_(options.seed) {
+  trace_.set_label("simulated");
+}
+
+bool SimEngine::scheduler_safe(const sched::TaskContext& ctx) const {
+  const sched::Runtime* rt = ctx.runtime;
+  TS_ASSERT(rt != nullptr, "simulated task without a runtime context");
+  const std::size_t in_queue = queue_.size();
+  // (a) every executor is blocked in the queue: any future task must start
+  // after some queued task returns, i.e. at a later virtual time.
+  if (in_queue >= static_cast<std::size_t>(rt->active_executor_count())) {
+    return true;
+  }
+  // (b) the submitter may still insert a task that would start at the
+  // current (earlier) clock: wait while submission is open — unless the
+  // submitter itself is blocked on the task window, in which case it needs
+  // completions to make progress.
+  if (submission_open() && !rt->submitter_waiting()) return false;
+  // (c) nothing can be racing: no ready task reachable by an idle
+  // executor, no bookkeeping (release or dispatch) in flight, and every
+  // running task has already entered the queue (running > queued would
+  // mean a worker claimed a task whose simulated body has not reached us
+  // yet).
+  return !rt->ready_task_reachable() && rt->bookkeeping_in_flight() == 0 &&
+         static_cast<int>(in_queue) == rt->running_task_count();
+}
+
+double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kernel) {
+  // Accelerator lanes draw from the "<kernel>@accel" model when one exists
+  // (heterogeneous extension; falls back to the CPU model otherwise).
+  std::string kernel = base_kernel;
+  if (ctx.runtime != nullptr && ctx.runtime->lane_is_accelerator(ctx.worker)) {
+    const std::string accel_key = base_kernel + "@accel";
+    if (models_.has_model(accel_key)) kernel = accel_key;
+  }
+
+  // 1. Virtual start time: the clock only advances when simulated tasks
+  // return, so "now" is the time the executing worker became free.
+  const double start = clock_.now();
+
+  // 2. Virtual duration from the kernel's fitted model; the first
+  // invocation per (worker, kernel) uses the startup model when provided.
+  double duration;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    const KernelModelSet* source = &models_;
+    if (options_.startup_models != nullptr &&
+        options_.startup_models->has_model(kernel) &&
+        warmed_up_.emplace(ctx.worker, kernel).second) {
+      source = options_.startup_models;
+    }
+    duration = source->sample(kernel, rng_, options_.min_duration_us);
+  }
+  const double end = start + duration;
+
+  // 3. Enter the Task Execution Queue and wait to become the front.
+  const TaskExecQueue::Ticket ticket = queue_.enter(end);
+
+  if (options_.mitigation == RaceMitigation::yield_sleep) {
+    // Give the scheduler a chance to finish bookkeeping that could insert
+    // an earlier-completing task (paper §V-E's portable mitigation).
+    sched_yield();
+    ::usleep(static_cast<useconds_t>(options_.sleep_us));
+  }
+
+  queue_.wait_front(ticket);
+
+  if (options_.mitigation == RaceMitigation::quiescence) {
+    const double wait_start = wall_time_us();
+    while (!scheduler_safe(ctx)) {
+      if (wall_time_us() - wait_start > options_.quiescence_timeout_us) {
+        quiescence_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        TS_LOG_WARN << "quiescence wait timed out for kernel " << kernel
+                    << " (task " << ctx.id << ")";
+        break;
+      }
+      std::this_thread::yield();
+      // A later-arriving task may have displaced us from the front while we
+      // yielded; re-establish the ordering invariant before re-checking.
+      queue_.wait_front(ticket);
+    }
+  }
+
+  // 4. Record the event, advance the clock, release the queue slot, and
+  // return to the scheduler "as if" the kernel had computed.
+  trace_.record(ctx.id, kernel, ctx.worker, start, end);
+  clock_.advance_to(end);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  queue_.leave(ticket);
+  return duration;
+}
+
+void SimEngine::reset() {
+  TS_REQUIRE(queue_.size() == 0, "cannot reset with simulated tasks in flight");
+  clock_.reset();
+  trace_.clear();
+  executed_.store(0, std::memory_order_relaxed);
+  quiescence_timeouts_.store(0, std::memory_order_relaxed);
+  warmed_up_.clear();
+}
+
+}  // namespace tasksim::sim

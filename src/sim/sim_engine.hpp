@@ -1,0 +1,128 @@
+// sim_engine.hpp — the simulation engine (paper §V).
+//
+// The engine owns the paper's three crucial elements: the simulation clock,
+// the simulated trace, and the Task Execution Queue.  A simulated kernel
+// calls `execute(ctx, kernel)` instead of computing; the call
+//
+//   1. reads the simulation clock — the kernel's virtual start time,
+//   2. samples the kernel's execution-time model — virtual duration,
+//   3. enters the Task Execution Queue with its virtual completion time and
+//      blocks until it is at the front,
+//   4. applies the configured race mitigation (paper §V-E),
+//   5. records the event in the virtual trace, advances the clock to its
+//      completion time, leaves the queue, and returns — at which point the
+//      real scheduler, none the wiser, performs its usual completion
+//      bookkeeping and scheduling decisions.
+//
+// Race mitigations:
+//   none        — return as soon as we are at the queue front (exhibits the
+//                 paper's Figure-5 race; kept for the ablation bench),
+//   yield_sleep — sched_yield + a short sleep before checking the front,
+//                 the paper's portable mitigation,
+//   quiescence  — wait until the scheduler reports a safe state, the
+//                 generalization of the paper's QUARK-specific query:
+//                 return only when (a) every active executor is blocked in
+//                 the queue, or (b) no ready task is waiting, no completion
+//                 bookkeeping is in flight, and every running task has
+//                 arrived in the queue.  Guarded by a timeout to bound
+//                 pathological waits.
+#pragma once
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "sched/task.hpp"
+#include "sim/kernel_model.hpp"
+#include "sim/sim_clock.hpp"
+#include "sim/task_exec_queue.hpp"
+#include "support/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace tasksim::sim {
+
+enum class RaceMitigation { none, yield_sleep, quiescence };
+
+const char* to_string(RaceMitigation mitigation);
+RaceMitigation parse_race_mitigation(const std::string& name);
+
+struct SimEngineOptions {
+  RaceMitigation mitigation = RaceMitigation::quiescence;
+  /// Sleep length for the yield_sleep mitigation.
+  double sleep_us = 50.0;
+  /// Give up waiting for quiescence after this long (wall time) and return
+  /// anyway; a warning counter records how often this fired.
+  double quiescence_timeout_us = 2e5;
+  /// Lower bound on sampled durations.
+  double min_duration_us = 1e-2;
+  std::uint64_t seed = 0x51u;
+  /// Optional first-invocation models (paper §VII's start-up penalty,
+  /// implemented): when set, the *first* execution of each kernel class on
+  /// each worker samples from these models instead of the steady-state
+  /// ones, reproducing the per-thread initialization outliers visible in
+  /// the paper's real traces (Figure 6).  Kernels without a startup model
+  /// fall back to the steady-state model.  Not owned; must outlive the
+  /// engine.
+  const KernelModelSet* startup_models = nullptr;
+};
+
+class SimEngine {
+ public:
+  /// `models` must outlive the engine.
+  SimEngine(const KernelModelSet& models, SimEngineOptions options = {});
+
+  /// The simulated kernel body.  Returns the virtual duration used.
+  double execute(sched::TaskContext& ctx, const std::string& kernel);
+
+  /// Virtual time reached so far (== predicted makespan after finish).
+  double virtual_time_us() const { return clock_.now(); }
+
+  const trace::Trace& trace() const { return trace_; }
+  trace::Trace& trace() { return trace_; }
+
+  /// Number of simulated kernels executed.
+  std::uint64_t executed_tasks() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Times the quiescence wait hit its timeout (should stay 0 in healthy
+  /// runs).
+  std::uint64_t quiescence_timeouts() const {
+    return quiescence_timeouts_.load(std::memory_order_relaxed);
+  }
+
+  /// Submission gate for the quiescence mitigation.  While open (and the
+  /// submitter is not blocked on the task window), a front task must wait:
+  /// a not-yet-submitted task could otherwise be placed later on the
+  /// virtual timeline than it would really start.  SimSubmitter manages
+  /// this automatically; set it manually when driving the engine directly.
+  void set_submission_open(bool open) {
+    submission_open_.store(open, std::memory_order_release);
+  }
+  bool submission_open() const {
+    return submission_open_.load(std::memory_order_acquire);
+  }
+
+  /// Reset clock, trace and counters for a fresh simulation (no simulated
+  /// kernels may be in flight).
+  void reset();
+
+ private:
+  bool scheduler_safe(const sched::TaskContext& ctx) const;
+
+  const KernelModelSet& models_;
+  SimEngineOptions options_;
+  SimClock clock_;
+  TaskExecQueue queue_;
+  trace::Trace trace_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+  /// (worker, kernel) pairs that already executed once (startup modeling).
+  std::set<std::pair<int, std::string>> warmed_up_;
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> quiescence_timeouts_{0};
+  std::atomic<bool> submission_open_{false};
+};
+
+}  // namespace tasksim::sim

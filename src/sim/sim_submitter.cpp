@@ -1,0 +1,42 @@
+#include "sim/sim_submitter.hpp"
+
+namespace tasksim::sim {
+
+sched::TaskId SimSubmitter::submit(const std::string& kernel,
+                                   std::function<void()> body,
+                                   sched::AccessList accesses, int priority) {
+  // The body is deliberately dropped: simulated tasks perform no work
+  // (paper §V: "the tasks no longer contribute useful work").
+  (void)body;
+  engine_.set_submission_open(true);
+  sched::TaskDescriptor desc;
+  desc.kernel = kernel;
+  desc.accesses = std::move(accesses);
+  desc.priority = priority;
+  desc.function = [this, kernel](sched::TaskContext& ctx) {
+    engine_.execute(ctx, kernel);
+  };
+  return runtime_.submit(std::move(desc));
+}
+
+sched::TaskId SimSubmitter::submit_hetero(const std::string& kernel,
+                                          std::function<void()> body,
+                                          std::function<void()> accel_body,
+                                          sched::AccessList accesses,
+                                          int priority) {
+  (void)body;
+  (void)accel_body;
+  engine_.set_submission_open(true);
+  sched::TaskDescriptor desc;
+  desc.kernel = kernel;
+  desc.accesses = std::move(accesses);
+  desc.priority = priority;
+  auto simulate = [this, kernel](sched::TaskContext& ctx) {
+    engine_.execute(ctx, kernel);
+  };
+  desc.function = simulate;
+  desc.accel_function = simulate;
+  return runtime_.submit(std::move(desc));
+}
+
+}  // namespace tasksim::sim

@@ -1,0 +1,48 @@
+// sim_submitter.hpp — the drop-in simulated KernelSubmitter (paper §V-D).
+//
+// "In order to use the simulation library, the developer simply replaces
+// the calls to each computational kernel with a call to the simulated
+// kernel."  SimSubmitter is that replacement at the submitter seam: it
+// accepts the same (kernel, body, accesses) triple as RealSubmitter but
+// discards the body and submits a task whose function calls
+// SimEngine::execute.  The *real* data addresses still flow into the
+// scheduler — as the paper notes, the memory locations are required for the
+// dependence analysis even though the memory is never touched.
+#pragma once
+
+#include "sched/submitter.hpp"
+#include "sim/sim_engine.hpp"
+
+namespace tasksim::sim {
+
+class SimSubmitter final : public sched::KernelSubmitter {
+ public:
+  SimSubmitter(sched::Runtime& runtime, SimEngine& engine)
+      : runtime_(runtime), engine_(engine) {}
+
+  sched::TaskId submit(const std::string& kernel, std::function<void()> body,
+                       sched::AccessList accesses, int priority = 0) override;
+
+  /// Heterogeneous tasks: the simulated body is the same engine call (the
+  /// engine selects the accelerator model by lane); the task is marked
+  /// accel-capable so the scheduler may place it on accelerator lanes.
+  sched::TaskId submit_hetero(const std::string& kernel,
+                              std::function<void()> body,
+                              std::function<void()> accel_body,
+                              sched::AccessList accesses,
+                              int priority = 0) override;
+
+  void finish() override {
+    engine_.set_submission_open(false);
+    runtime_.wait_all();
+  }
+  sched::Runtime& runtime() override { return runtime_; }
+
+  SimEngine& engine() { return engine_; }
+
+ private:
+  sched::Runtime& runtime_;
+  SimEngine& engine_;
+};
+
+}  // namespace tasksim::sim

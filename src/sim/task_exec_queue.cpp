@@ -1,0 +1,43 @@
+#include "sim/task_exec_queue.hpp"
+
+#include "support/error.hpp"
+
+namespace tasksim::sim {
+
+TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Ticket ticket{completion_us, next_seq_++};
+  entries_.insert(key(ticket));
+  // A new entry can become the front, unblocking nobody (the new owner is
+  // not waiting yet) — but it can also *displace* the previous front, whose
+  // waiter must re-evaluate; wake everyone.
+  cv_.notify_all();
+  return ticket;
+}
+
+void TaskExecQueue::wait_front(const Ticket& ticket) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  TS_REQUIRE(entries_.count(key(ticket)) == 1, "ticket not in queue");
+  cv_.wait(lock, [&] { return *entries_.begin() == key(ticket); });
+}
+
+bool TaskExecQueue::is_front(const Ticket& ticket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !entries_.empty() && *entries_.begin() == key(ticket);
+}
+
+void TaskExecQueue::leave(const Ticket& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto erased = entries_.erase(key(ticket));
+    TS_REQUIRE(erased == 1, "leaving with a ticket that is not in the queue");
+  }
+  cv_.notify_all();
+}
+
+std::size_t TaskExecQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace tasksim::sim

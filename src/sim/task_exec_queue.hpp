@@ -1,0 +1,57 @@
+// task_exec_queue.hpp — the Task Execution Queue (paper §V-C).
+//
+// "The key element of the simulation environment": a priority queue ordered
+// by simulated completion time.  Every simulated task enters the queue with
+// its virtual completion time and blocks until it reaches the front, which
+// forces task *functions* to return to the scheduler in virtual-completion
+// order — the property that keeps the scheduler's subsequent decisions
+// consistent with the virtual timeline.
+//
+// Ties in completion time are broken by entry order, so the queue order is
+// total and deterministic given the entry sequence.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+
+namespace tasksim::sim {
+
+class TaskExecQueue {
+ public:
+  /// Identifies one queue occupancy.
+  struct Ticket {
+    double completion_us = 0.0;
+    std::uint64_t seq = 0;
+  };
+
+  /// Enter the queue with the given virtual completion time.
+  Ticket enter(double completion_us);
+
+  /// Block until `ticket` is the front (minimum) entry.
+  void wait_front(const Ticket& ticket) const;
+
+  /// Non-blocking front check.
+  bool is_front(const Ticket& ticket) const;
+
+  /// Remove `ticket` and wake waiters.  The ticket must be in the queue
+  /// (normally the front, but removal of any entry is supported).
+  void leave(const Ticket& ticket);
+
+  /// Entries currently in the queue (== tasks whose functions are inside
+  /// the simulation library right now).
+  std::size_t size() const;
+
+ private:
+  using Key = std::pair<double, std::uint64_t>;
+  static Key key(const Ticket& t) { return {t.completion_us, t.seq}; }
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::set<Key> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tasksim::sim

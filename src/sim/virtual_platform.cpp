@@ -1,0 +1,126 @@
+#include "sim/virtual_platform.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace tasksim::sim {
+
+void VirtualPlatform::on_submit(sched::TaskId id,
+                                const sched::TaskDescriptor& desc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TaskInfo info;
+  info.id = id;
+  info.kernel = desc.kernel;
+
+  auto add_pred = [&](sched::TaskId pred) {
+    if (pred == id) return;
+    auto& preds = info.predecessors;
+    if (std::find(preds.begin(), preds.end(), pred) == preds.end()) {
+      preds.push_back(pred);
+    }
+  };
+
+  // Same hazard analysis as the schedulers (RaW / WaR / WaW).
+  for (const sched::Access& access : desc.accesses) {
+    auto it = objects_.find(access.address);
+    if (it == objects_.end()) continue;
+    const ObjectState& state = it->second;
+    if (sched::reads(access.mode) && state.has_writer) {
+      add_pred(state.last_writer);
+    }
+    if (sched::writes(access.mode)) {
+      if (!state.readers_since_write.empty()) {
+        for (sched::TaskId reader : state.readers_since_write) add_pred(reader);
+      } else if (state.has_writer) {
+        add_pred(state.last_writer);
+      }
+    }
+  }
+  for (const sched::Access& access : desc.accesses) {
+    ObjectState& state = objects_[access.address];
+    if (sched::writes(access.mode)) {
+      state.has_writer = true;
+      state.last_writer = id;
+      state.readers_since_write.clear();
+    } else {
+      state.readers_since_write.push_back(id);
+    }
+  }
+
+  index_.emplace(id, tasks_.size());
+  tasks_.push_back(std::move(info));
+}
+
+void VirtualPlatform::on_finish(sched::TaskId id, const std::string& /*kernel*/,
+                                int worker, double start_wall_us,
+                                double /*end_wall_us*/, double start_cpu_us,
+                                double end_cpu_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(id);
+  TS_ASSERT(it != index_.end(), "finish for a task that was never submitted");
+  TaskInfo& info = tasks_[it->second];
+  info.worker = worker;
+  info.start_wall_us = start_wall_us;
+  info.cpu_duration_us = end_cpu_us - start_cpu_us;
+  info.executed = true;
+}
+
+trace::Trace VirtualPlatform::replay() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace::Trace timeline("virtual-platform");
+
+  // Process tasks in real start order: every predecessor finished (in real
+  // time) before its successor started, so predecessors sort earlier and
+  // their virtual end times are available when needed.
+  std::vector<const TaskInfo*> order;
+  order.reserve(tasks_.size());
+  for (const TaskInfo& info : tasks_) {
+    TS_REQUIRE(info.executed, "replay before all tasks finished");
+    order.push_back(&info);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const TaskInfo* a, const TaskInfo* b) {
+              if (a->start_wall_us != b->start_wall_us) {
+                return a->start_wall_us < b->start_wall_us;
+              }
+              return a->id < b->id;
+            });
+
+  std::unordered_map<int, double> worker_clock;
+  std::unordered_map<sched::TaskId, double> virtual_end;
+  virtual_end.reserve(order.size());
+
+  for (const TaskInfo* info : order) {
+    double start = worker_clock[info->worker];
+    for (sched::TaskId pred : info->predecessors) {
+      auto it = virtual_end.find(pred);
+      TS_ASSERT(it != virtual_end.end(),
+                "predecessor not replayed before successor");
+      start = std::max(start, it->second);
+    }
+    const double end = start + info->cpu_duration_us;
+    worker_clock[info->worker] = end;
+    virtual_end.emplace(info->id, end);
+    timeline.record(info->id, info->kernel, info->worker, start, end);
+  }
+  return timeline;
+}
+
+double VirtualPlatform::virtual_makespan_us() const {
+  return replay().makespan_us();
+}
+
+std::size_t VirtualPlatform::task_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void VirtualPlatform::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tasks_.clear();
+  index_.clear();
+  objects_.clear();
+}
+
+}  // namespace tasksim::sim

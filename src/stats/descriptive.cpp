@@ -1,0 +1,131 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::stats {
+
+std::string Summary::to_string() const {
+  return strprintf(
+      "n=%zu mean=%.4g sd=%.4g min=%.4g q25=%.4g med=%.4g q75=%.4g max=%.4g",
+      count, mean, stddev, min, q25, median, q75, max);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  TS_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  TS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double quantile(std::span<const double> samples, double q) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+Summary summarize(std::span<const double> samples) {
+  TS_REQUIRE(!samples.empty(), "summarize requires a non-empty sample");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  RunningStats acc;
+  for (double x : samples) acc.add(x);
+
+  Summary s;
+  s.count = samples.size();
+  s.mean = acc.mean();
+  s.variance = acc.variance();
+  s.stddev = acc.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  return s;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y) {
+  TS_REQUIRE(x.size() == y.size(), "correlation requires equal sizes");
+  TS_REQUIRE(x.size() >= 2, "correlation requires >= 2 points");
+  RunningStats sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  TS_REQUIRE(sx.stddev() > 0.0 && sy.stddev() > 0.0,
+             "correlation requires nonzero variance");
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  return cov / (sx.stddev() * sy.stddev());
+}
+
+double kendall_tau(std::span<const double> x, std::span<const double> y) {
+  TS_REQUIRE(x.size() == y.size(), "kendall_tau requires equal sizes");
+  TS_REQUIRE(x.size() >= 2, "kendall_tau requires >= 2 points");
+  long long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) { ++ties_x; continue; }
+      if (dy == 0.0) { ++ties_y; continue; }
+      if ((dx > 0.0) == (dy > 0.0)) ++concordant; else ++discordant;
+    }
+  }
+  const double n0 = static_cast<double>(n) * (static_cast<double>(n) - 1) / 2.0;
+  const double denom = std::sqrt((n0 - static_cast<double>(ties_x)) *
+                                 (n0 - static_cast<double>(ties_y)));
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+}  // namespace tasksim::stats

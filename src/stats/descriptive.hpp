@@ -1,0 +1,69 @@
+// descriptive.hpp — descriptive statistics over samples of kernel times.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tasksim::stats {
+
+/// Summary of a sample: moments and order statistics.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) sample variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Compute a full summary.  Requires a non-empty sample.
+Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolated quantile of a *sorted* sample; q in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Quantile of an unsorted sample (copies and sorts).
+double quantile(std::span<const double> samples, double q);
+
+/// Welford online accumulator: numerically stable streaming mean/variance.
+/// Used by scheduler statistics and the StarPU-style performance model where
+/// samples arrive one at a time from concurrent workers (callers provide
+/// their own synchronization).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 when count < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation of two equally sized samples; requires size >= 2 and
+/// nonzero variance in both.
+double pearson_correlation(std::span<const double> x, std::span<const double> y);
+
+/// Kendall rank correlation tau-b (O(n^2); fine for trace-sized inputs).
+/// Used to compare the task start-order of a real trace with a simulated one.
+double kendall_tau(std::span<const double> x, std::span<const double> y);
+
+}  // namespace tasksim::stats

@@ -1,0 +1,321 @@
+#include "stats/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::stats {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double Distribution::log_likelihood(std::span<const double> samples) const {
+  double total = 0.0;
+  for (double x : samples) total += log_pdf(x);
+  return total;
+}
+
+std::string Distribution::serialize() const {
+  std::ostringstream os;
+  os << name();
+  os.precision(17);
+  for (double p : parameters()) os << ' ' << p;
+  return os.str();
+}
+
+// ---------------------------------------------------------------- constant
+
+ConstantDist::ConstantDist(double value) : value_(value) {}
+
+std::string ConstantDist::describe() const {
+  return strprintf("constant(%.6g)", value_);
+}
+
+double ConstantDist::pdf(double x) const {
+  return x == value_ ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double ConstantDist::log_pdf(double x) const {
+  return x == value_ ? std::numeric_limits<double>::infinity() : kNegInf;
+}
+
+double ConstantDist::cdf(double x) const { return x >= value_ ? 1.0 : 0.0; }
+
+double ConstantDist::sample(Rng&) const { return value_; }
+
+std::unique_ptr<Distribution> ConstantDist::clone() const {
+  return std::make_unique<ConstantDist>(*this);
+}
+
+// ----------------------------------------------------------------- uniform
+
+UniformDist::UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {
+  TS_REQUIRE(hi > lo, "uniform requires hi > lo");
+}
+
+std::string UniformDist::describe() const {
+  return strprintf("uniform(%.6g, %.6g)", lo_, hi_);
+}
+
+double UniformDist::pdf(double x) const {
+  return (x >= lo_ && x <= hi_) ? 1.0 / (hi_ - lo_) : 0.0;
+}
+
+double UniformDist::log_pdf(double x) const {
+  return (x >= lo_ && x <= hi_) ? -std::log(hi_ - lo_) : kNegInf;
+}
+
+double UniformDist::cdf(double x) const {
+  if (x < lo_) return 0.0;
+  if (x > hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDist::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+double UniformDist::variance() const {
+  const double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+
+std::unique_ptr<Distribution> UniformDist::clone() const {
+  return std::make_unique<UniformDist>(*this);
+}
+
+// ------------------------------------------------------------- exponential
+
+ExponentialDist::ExponentialDist(double lambda) : lambda_(lambda) {
+  TS_REQUIRE(lambda > 0.0, "exponential requires lambda > 0");
+}
+
+std::string ExponentialDist::describe() const {
+  return strprintf("exponential(lambda=%.6g)", lambda_);
+}
+
+double ExponentialDist::pdf(double x) const {
+  return x < 0.0 ? 0.0 : lambda_ * std::exp(-lambda_ * x);
+}
+
+double ExponentialDist::log_pdf(double x) const {
+  return x < 0.0 ? kNegInf : std::log(lambda_) - lambda_ * x;
+}
+
+double ExponentialDist::cdf(double x) const {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-lambda_ * x);
+}
+
+double ExponentialDist::sample(Rng& rng) const {
+  return rng.exponential(lambda_);
+}
+
+std::unique_ptr<Distribution> ExponentialDist::clone() const {
+  return std::make_unique<ExponentialDist>(*this);
+}
+
+// ------------------------------------------------------------------ normal
+
+NormalDist::NormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  TS_REQUIRE(sigma > 0.0, "normal requires sigma > 0");
+}
+
+std::string NormalDist::describe() const {
+  return strprintf("normal(mu=%.6g, sigma=%.6g)", mu_, sigma_);
+}
+
+double NormalDist::pdf(double x) const { return std::exp(log_pdf(x)); }
+
+double NormalDist::log_pdf(double x) const {
+  const double z = (x - mu_) / sigma_;
+  return -0.5 * z * z - std::log(sigma_) - 0.5 * std::log(2.0 * M_PI);
+}
+
+double NormalDist::cdf(double x) const {
+  return normal_cdf((x - mu_) / sigma_);
+}
+
+double NormalDist::sample(Rng& rng) const { return rng.normal(mu_, sigma_); }
+
+std::unique_ptr<Distribution> NormalDist::clone() const {
+  return std::make_unique<NormalDist>(*this);
+}
+
+// ------------------------------------------------------------------- gamma
+
+GammaDist::GammaDist(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  TS_REQUIRE(shape > 0.0 && scale > 0.0, "gamma requires shape, scale > 0");
+}
+
+std::string GammaDist::describe() const {
+  return strprintf("gamma(shape=%.6g, scale=%.6g)", shape_, scale_);
+}
+
+double GammaDist::pdf(double x) const {
+  return x <= 0.0 ? 0.0 : std::exp(log_pdf(x));
+}
+
+double GammaDist::log_pdf(double x) const {
+  if (x <= 0.0) return kNegInf;
+  return (shape_ - 1.0) * std::log(x) - x / scale_ - std::lgamma(shape_) -
+         shape_ * std::log(scale_);
+}
+
+double GammaDist::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : regularized_gamma_p(shape_, x / scale_);
+}
+
+double GammaDist::sample(Rng& rng) const { return rng.gamma(shape_, scale_); }
+
+std::unique_ptr<Distribution> GammaDist::clone() const {
+  return std::make_unique<GammaDist>(*this);
+}
+
+// --------------------------------------------------------------- lognormal
+
+LogNormalDist::LogNormalDist(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  TS_REQUIRE(sigma > 0.0, "lognormal requires sigma > 0");
+}
+
+std::string LogNormalDist::describe() const {
+  return strprintf("lognormal(mu=%.6g, sigma=%.6g)", mu_, sigma_);
+}
+
+double LogNormalDist::pdf(double x) const {
+  return x <= 0.0 ? 0.0 : std::exp(log_pdf(x));
+}
+
+double LogNormalDist::log_pdf(double x) const {
+  if (x <= 0.0) return kNegInf;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return -0.5 * z * z - std::log(x * sigma_) - 0.5 * std::log(2.0 * M_PI);
+}
+
+double LogNormalDist::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormalDist::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormalDist::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormalDist::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::unique_ptr<Distribution> LogNormalDist::clone() const {
+  return std::make_unique<LogNormalDist>(*this);
+}
+
+// --------------------------------------------------------------- empirical
+
+EmpiricalDist::EmpiricalDist(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  TS_REQUIRE(!sorted_.empty(), "empirical distribution needs samples");
+  std::sort(sorted_.begin(), sorted_.end());
+  RunningStats acc;
+  for (double x : sorted_) acc.add(x);
+  mean_ = acc.mean();
+  variance_ = acc.variance();
+}
+
+std::string EmpiricalDist::describe() const {
+  return strprintf("empirical(n=%zu, mean=%.6g)", sorted_.size(), mean_);
+}
+
+double EmpiricalDist::pdf(double x) const {
+  // Coarse density estimate from the ECDF over a window of +/- one
+  // interquartile-scaled bandwidth; adequate for plotting only.
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  if (x < lo || x > hi) return 0.0;
+  const double bandwidth = std::max((hi - lo) / 50.0, 1e-12);
+  const double c1 = cdf(x + 0.5 * bandwidth);
+  const double c0 = cdf(x - 0.5 * bandwidth);
+  return (c1 - c0) / bandwidth;
+}
+
+double EmpiricalDist::log_pdf(double x) const {
+  const double p = pdf(x);
+  return p > 0.0 ? std::log(p) : kNegInf;
+}
+
+double EmpiricalDist::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDist::sample(Rng& rng) const {
+  return sorted_[rng.uniform_index(sorted_.size())];
+}
+
+std::unique_ptr<Distribution> EmpiricalDist::clone() const {
+  return std::make_unique<EmpiricalDist>(*this);
+}
+
+// ----------------------------------------------------------------- factory
+
+std::unique_ptr<Distribution> make_distribution(
+    const std::string& name, std::span<const double> params) {
+  auto need = [&](std::size_t n) {
+    TS_REQUIRE(params.size() == n,
+               name + " expects " + std::to_string(n) + " parameter(s), got " +
+                   std::to_string(params.size()));
+  };
+  if (name == "constant") {
+    need(1);
+    return std::make_unique<ConstantDist>(params[0]);
+  }
+  if (name == "uniform") {
+    need(2);
+    return std::make_unique<UniformDist>(params[0], params[1]);
+  }
+  if (name == "exponential") {
+    need(1);
+    return std::make_unique<ExponentialDist>(params[0]);
+  }
+  if (name == "normal") {
+    need(2);
+    return std::make_unique<NormalDist>(params[0], params[1]);
+  }
+  if (name == "gamma") {
+    need(2);
+    return std::make_unique<GammaDist>(params[0], params[1]);
+  }
+  if (name == "lognormal") {
+    need(2);
+    return std::make_unique<LogNormalDist>(params[0], params[1]);
+  }
+  if (name == "empirical") {
+    TS_REQUIRE(!params.empty(), "empirical expects at least one sample");
+    return std::make_unique<EmpiricalDist>(
+        std::vector<double>(params.begin(), params.end()));
+  }
+  throw InvalidArgument("unknown distribution family: " + name);
+}
+
+std::unique_ptr<Distribution> parse_distribution(const std::string& line) {
+  const auto fields = split_whitespace(line);
+  TS_REQUIRE(!fields.empty(), "empty distribution line");
+  std::vector<double> params;
+  params.reserve(fields.size() - 1);
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    params.push_back(parse_double(fields[i]));
+  }
+  return make_distribution(fields[0], params);
+}
+
+}  // namespace tasksim::stats

@@ -1,0 +1,204 @@
+// distribution.hpp — probability distributions for kernel execution times.
+//
+// The paper (§V-B) models each kernel class's execution time with a simple
+// distribution — normal, gamma, or log-normal — fitted to samples collected
+// from a calibration run, and notes that the log-normal fit slightly
+// outperformed the others in some cases.  This module provides those
+// distributions (plus constant / uniform / exponential / empirical used by
+// tests, baselines and ablations) behind one polymorphic interface with
+// analytic PDF/CDF, deterministic sampling from a caller-supplied Rng, and a
+// text serialization used by kernel-model files.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace tasksim::stats {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Machine-readable family name: "constant", "uniform", "exponential",
+  /// "normal", "gamma", "lognormal", "empirical".
+  virtual std::string name() const = 0;
+
+  /// Family parameters in canonical order (see each subclass).
+  virtual std::vector<double> parameters() const = 0;
+
+  /// Human-readable description, e.g. "normal(mu=532.1, sigma=12.8)".
+  virtual std::string describe() const = 0;
+
+  virtual double pdf(double x) const = 0;
+  virtual double log_pdf(double x) const = 0;
+  virtual double cdf(double x) const = 0;
+  virtual double sample(Rng& rng) const = 0;
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+
+  virtual std::unique_ptr<Distribution> clone() const = 0;
+
+  /// Sum of log_pdf over the sample (the fit objective used for ranking).
+  double log_likelihood(std::span<const double> samples) const;
+
+  /// One-line serialization: "<name> <p0> <p1> ...".  Empirical
+  /// distributions serialize their full sample.
+  std::string serialize() const;
+};
+
+/// Degenerate point mass at `value`; used for the "constant model" ablation.
+class ConstantDist final : public Distribution {
+ public:
+  explicit ConstantDist(double value);
+  std::string name() const override { return "constant"; }
+  std::vector<double> parameters() const override { return {value_}; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double value_;
+};
+
+/// Uniform on [lo, hi].
+class UniformDist final : public Distribution {
+ public:
+  UniformDist(double lo, double hi);
+  std::string name() const override { return "uniform"; }
+  std::vector<double> parameters() const override { return {lo_, hi_}; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Exponential with rate lambda.
+class ExponentialDist final : public Distribution {
+ public:
+  explicit ExponentialDist(double lambda);
+  std::string name() const override { return "exponential"; }
+  std::vector<double> parameters() const override { return {lambda_}; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override { return 1.0 / lambda_; }
+  double variance() const override { return 1.0 / (lambda_ * lambda_); }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double lambda_;
+};
+
+/// Normal(mu, sigma).
+class NormalDist final : public Distribution {
+ public:
+  NormalDist(double mu, double sigma);
+  std::string name() const override { return "normal"; }
+  std::vector<double> parameters() const override { return {mu_, sigma_}; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override { return mu_; }
+  double variance() const override { return sigma_ * sigma_; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Gamma with shape k and scale theta (mean = k*theta).
+class GammaDist final : public Distribution {
+ public:
+  GammaDist(double shape, double scale);
+  std::string name() const override { return "gamma"; }
+  std::vector<double> parameters() const override { return {shape_, scale_}; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override { return shape_ * scale_; }
+  double variance() const override { return shape_ * scale_ * scale_; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Log-normal: log X ~ Normal(mu, sigma).
+class LogNormalDist final : public Distribution {
+ public:
+  LogNormalDist(double mu, double sigma);
+  std::string name() const override { return "lognormal"; }
+  std::vector<double> parameters() const override { return {mu_, sigma_}; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Empirical distribution: sampling bootstraps from the stored sample; the
+/// CDF is the ECDF.  pdf() is a histogram density estimate (coarse; the
+/// empirical model is excluded from likelihood-based ranking).
+class EmpiricalDist final : public Distribution {
+ public:
+  explicit EmpiricalDist(std::vector<double> samples);
+  std::string name() const override { return "empirical"; }
+  std::vector<double> parameters() const override { return sorted_; }
+  std::string describe() const override;
+  double pdf(double x) const override;
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  std::unique_ptr<Distribution> clone() const override;
+
+  const std::vector<double>& samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_;
+  double variance_;
+};
+
+/// Factory from family name + parameters; throws InvalidArgument on an
+/// unknown family or a wrong parameter count.
+std::unique_ptr<Distribution> make_distribution(const std::string& name,
+                                                std::span<const double> params);
+
+/// Parse the output of Distribution::serialize().
+std::unique_ptr<Distribution> parse_distribution(const std::string& line);
+
+}  // namespace tasksim::stats

@@ -1,0 +1,156 @@
+#include "stats/fitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/special.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::stats {
+
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double biased_variance = 0.0;
+  double mean_log = 0.0;          // only meaningful when all_positive
+  double biased_variance_log = 0.0;
+  bool all_positive = true;
+};
+
+Moments compute_moments(std::span<const double> samples) {
+  TS_REQUIRE(samples.size() >= 2, "fitting requires at least 2 samples");
+  Moments m;
+  const double n = static_cast<double>(samples.size());
+  for (double x : samples) {
+    m.mean += x;
+    if (x <= 0.0) m.all_positive = false;
+  }
+  m.mean /= n;
+  for (double x : samples) {
+    const double d = x - m.mean;
+    m.biased_variance += d * d;
+  }
+  m.biased_variance /= n;
+  if (m.all_positive) {
+    for (double x : samples) m.mean_log += std::log(x);
+    m.mean_log /= n;
+    for (double x : samples) {
+      const double d = std::log(x) - m.mean_log;
+      m.biased_variance_log += d * d;
+    }
+    m.biased_variance_log /= n;
+  }
+  return m;
+}
+
+double positive_sigma(double variance) {
+  return std::sqrt(std::max(variance, 1e-24));
+}
+
+}  // namespace
+
+std::unique_ptr<NormalDist> fit_normal(std::span<const double> samples) {
+  const Moments m = compute_moments(samples);
+  return std::make_unique<NormalDist>(m.mean, positive_sigma(m.biased_variance));
+}
+
+std::unique_ptr<LogNormalDist> fit_lognormal(std::span<const double> samples) {
+  const Moments m = compute_moments(samples);
+  TS_REQUIRE(m.all_positive, "lognormal fit requires positive samples");
+  return std::make_unique<LogNormalDist>(m.mean_log,
+                                         positive_sigma(m.biased_variance_log));
+}
+
+std::unique_ptr<GammaDist> fit_gamma(std::span<const double> samples) {
+  const Moments m = compute_moments(samples);
+  TS_REQUIRE(m.all_positive, "gamma fit requires positive samples");
+  const double s = std::log(m.mean) - m.mean_log;
+  // Degenerate (essentially constant) samples: s -> 0; fall back to the
+  // moment estimate with a very large shape.
+  double shape;
+  if (s < 1e-12) {
+    shape = 1e12;
+  } else {
+    // Minka's closed-form start, then Newton on f(k) = log k - psi(k) - s.
+    shape = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) / (12.0 * s);
+    for (int iter = 0; iter < 50; ++iter) {
+      const double f = std::log(shape) - digamma(shape) - s;
+      const double fp = 1.0 / shape - trigamma(shape);
+      const double step = f / fp;
+      double next = shape - step;
+      if (next <= 0.0) next = shape * 0.5;
+      if (std::fabs(next - shape) < 1e-12 * shape) {
+        shape = next;
+        break;
+      }
+      shape = next;
+    }
+  }
+  return std::make_unique<GammaDist>(shape, m.mean / shape);
+}
+
+std::unique_ptr<ExponentialDist> fit_exponential(
+    std::span<const double> samples) {
+  const Moments m = compute_moments(samples);
+  TS_REQUIRE(m.mean > 0.0, "exponential fit requires positive mean");
+  return std::make_unique<ExponentialDist>(1.0 / m.mean);
+}
+
+std::unique_ptr<ConstantDist> fit_constant(std::span<const double> samples) {
+  const Moments m = compute_moments(samples);
+  return std::make_unique<ConstantDist>(m.mean);
+}
+
+std::unique_ptr<UniformDist> fit_uniform(std::span<const double> samples) {
+  TS_REQUIRE(samples.size() >= 2, "fitting requires at least 2 samples");
+  const auto [lo_it, hi_it] = std::minmax_element(samples.begin(), samples.end());
+  double lo = *lo_it;
+  double hi = *hi_it;
+  const double pad = std::max((hi - lo) * 1e-9, 1e-12);
+  return std::make_unique<UniformDist>(lo - pad, hi + pad);
+}
+
+std::string FitResult::to_string() const {
+  return strprintf("%-38s logL=%12.4f AIC=%12.4f KS=%.4f (p=%.3f)",
+                   dist->describe().c_str(), log_likelihood, aic, ks_statistic,
+                   ks_pvalue);
+}
+
+std::vector<FitResult> fit_candidates(std::span<const double> samples) {
+  const Moments m = compute_moments(samples);
+  std::vector<std::unique_ptr<Distribution>> candidates;
+  candidates.push_back(fit_normal(samples));
+  if (m.all_positive) {
+    candidates.push_back(fit_gamma(samples));
+    candidates.push_back(fit_lognormal(samples));
+  }
+
+  std::vector<FitResult> results;
+  results.reserve(candidates.size());
+  for (auto& dist : candidates) {
+    FitResult r;
+    r.log_likelihood = dist->log_likelihood(samples);
+    const double k = static_cast<double>(dist->parameters().size());
+    r.aic = 2.0 * k - 2.0 * r.log_likelihood;
+    const KsResult ks = ks_test(samples, *dist);
+    r.ks_statistic = ks.statistic;
+    r.ks_pvalue = ks.p_value;
+    r.dist = std::move(dist);
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const FitResult& a, const FitResult& b) { return a.aic < b.aic; });
+  return results;
+}
+
+std::unique_ptr<Distribution> fit_best(std::span<const double> samples) {
+  auto results = fit_candidates(samples);
+  TS_ASSERT(!results.empty(), "fit_candidates returned no results");
+  return std::move(results.front().dist);
+}
+
+}  // namespace tasksim::stats

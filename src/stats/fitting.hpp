@@ -1,0 +1,60 @@
+// fitting.hpp — maximum-likelihood fitting of kernel-time distributions.
+//
+// Mirrors paper §V-B2: the calibration pipeline fits normal, gamma and
+// log-normal candidates to each kernel class's observed execution times and
+// selects among them.  Ranking uses AIC (2k - 2 log L); the KS statistic
+// against each fitted CDF is also reported so benches can print the
+// goodness-of-fit table behind Figures 3 and 4.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace tasksim::stats {
+
+/// Closed-form MLE: mu = sample mean, sigma = sqrt(biased variance).
+std::unique_ptr<NormalDist> fit_normal(std::span<const double> samples);
+
+/// Closed-form MLE on log-transformed data; requires strictly positive
+/// samples.
+std::unique_ptr<LogNormalDist> fit_lognormal(std::span<const double> samples);
+
+/// MLE via Newton iteration on the shape equation
+///   log(k) - digamma(k) = log(mean) - mean(log);
+/// requires strictly positive samples.
+std::unique_ptr<GammaDist> fit_gamma(std::span<const double> samples);
+
+/// MLE: lambda = 1 / mean; requires positive mean.
+std::unique_ptr<ExponentialDist> fit_exponential(std::span<const double> samples);
+
+/// Point mass at the sample mean (the "constant model" ablation).
+std::unique_ptr<ConstantDist> fit_constant(std::span<const double> samples);
+
+/// Uniform over [min, max] widened by half a ULP-equivalent so every sample
+/// has positive density.
+std::unique_ptr<UniformDist> fit_uniform(std::span<const double> samples);
+
+/// One fitted candidate plus its goodness-of-fit scores.
+struct FitResult {
+  std::unique_ptr<Distribution> dist;
+  double log_likelihood = 0.0;
+  double aic = 0.0;
+  double ks_statistic = 0.0;
+  double ks_pvalue = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Fit the paper's candidate families (normal, gamma, lognormal; gamma and
+/// lognormal are skipped when the sample contains non-positive values) and
+/// return them sorted by ascending AIC (best first).
+std::vector<FitResult> fit_candidates(std::span<const double> samples);
+
+/// Convenience: best-AIC candidate from fit_candidates.
+std::unique_ptr<Distribution> fit_best(std::span<const double> samples);
+
+}  // namespace tasksim::stats

@@ -1,0 +1,104 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::stats {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  TS_REQUIRE(bins > 0, "histogram needs at least one bin");
+  TS_REQUIRE(hi > lo, "histogram range must be non-empty");
+  width_ = (hi - lo) / bins;
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+Histogram Histogram::from_data(std::span<const double> samples, int max_bins) {
+  TS_REQUIRE(!samples.empty(), "histogram from empty sample");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  double lo = sorted.front();
+  double hi = sorted.back();
+  if (hi <= lo) hi = lo + std::max(1e-12, std::fabs(lo) * 1e-6);
+  const double pad = (hi - lo) * 0.01;
+  lo -= pad;
+  hi += pad;
+
+  // Freedman–Diaconis rule.
+  const double iqr = quantile_sorted(sorted, 0.75) - quantile_sorted(sorted, 0.25);
+  int bins = max_bins;
+  if (iqr > 0.0) {
+    const double width =
+        2.0 * iqr / std::cbrt(static_cast<double>(sorted.size()));
+    bins = static_cast<int>(std::ceil((hi - lo) / width));
+  }
+  bins = std::clamp(bins, 4, max_bins);
+
+  Histogram h(lo, hi, bins);
+  h.add_all(samples);
+  return h;
+}
+
+void Histogram::add(double value) {
+  int bin = static_cast<int>((value - lo_) / width_);
+  bin = std::clamp(bin, 0, bin_count() - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> samples) {
+  for (double v : samples) add(v);
+}
+
+double Histogram::bin_center(int bin) const {
+  TS_REQUIRE(bin >= 0 && bin < bin_count(), "bin out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) /
+         (static_cast<double>(total_) * width_);
+}
+
+std::string Histogram::ascii_plot(int height,
+                                  std::span<const double> overlay) const {
+  TS_REQUIRE(height >= 2, "plot height too small");
+  TS_REQUIRE(overlay.empty() ||
+                 overlay.size() == static_cast<std::size_t>(bin_count()),
+             "overlay must have one value per bin");
+  double peak = 0.0;
+  for (int b = 0; b < bin_count(); ++b) peak = std::max(peak, density(b));
+  for (double v : overlay) peak = std::max(peak, v);
+  if (peak <= 0.0) peak = 1.0;
+
+  std::ostringstream os;
+  for (int row = height - 1; row >= 0; --row) {
+    const double level = peak * (static_cast<double>(row) + 0.5) /
+                         static_cast<double>(height);
+    os << strprintf("%10.3g |", peak * (row + 1) / height);
+    for (int b = 0; b < bin_count(); ++b) {
+      const bool bar = density(b) >= level;
+      const bool ovl = !overlay.empty() &&
+                       std::fabs(overlay[static_cast<std::size_t>(b)] - level) <
+                           peak / (2.0 * height);
+      if (bar && ovl) os << '@';
+      else if (ovl) os << '*';
+      else if (bar) os << '#';
+      else os << ' ';
+    }
+    os << '\n';
+  }
+  os << strprintf("%10s +", "");
+  for (int b = 0; b < bin_count(); ++b) os << '-';
+  os << '\n';
+  os << strprintf("%10s  %-12.4g%*.4g\n", "", lo_,
+                  std::max(1, bin_count() - 12), hi_);
+  return os.str();
+}
+
+}  // namespace tasksim::stats

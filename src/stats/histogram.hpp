@@ -1,0 +1,49 @@
+// histogram.hpp — fixed-width binned histograms with density normalization
+// and an ASCII rendering used by the Figure 3/4 benches to show kernel-time
+// densities next to their fitted distribution curves.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tasksim::stats {
+
+class Histogram {
+ public:
+  /// Build a histogram with `bins` equal-width bins spanning [lo, hi].
+  /// Values outside the range are clamped into the edge bins.
+  Histogram(double lo, double hi, int bins);
+
+  /// Build from data with automatic range (padded by 1%) and the
+  /// Freedman-Diaconis bin count (clamped to [4, max_bins]).
+  static Histogram from_data(std::span<const double> samples, int max_bins = 60);
+
+  void add(double value);
+  void add_all(std::span<const double> samples);
+
+  int bin_count() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+  std::size_t total() const { return total_; }
+  std::size_t count(int bin) const { return counts_.at(bin); }
+  double bin_center(int bin) const;
+
+  /// Probability density estimate for the given bin (integrates to 1).
+  double density(int bin) const;
+
+  /// Multi-line ASCII plot; `overlay` (optional, one value per bin) draws a
+  /// second series of density markers, e.g. a fitted PDF.
+  std::string ascii_plot(int height = 12,
+                         std::span<const double> overlay = {}) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tasksim::stats

@@ -1,0 +1,71 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/distribution.hpp"
+#include "support/error.hpp"
+
+namespace tasksim::stats {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  // Q(lambda) = 2 * sum_{j>=1} (-1)^(j-1) exp(-2 j^2 lambda^2)
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> samples, const Distribution& dist) {
+  TS_REQUIRE(!samples.empty(), "ks_test on empty sample");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = dist.cdf(sorted[i]);
+    const double ecdf_hi = static_cast<double>(i + 1) / n;
+    const double ecdf_lo = static_cast<double>(i) / n;
+    d = std::max(d, std::max(std::fabs(ecdf_hi - cdf), std::fabs(cdf - ecdf_lo)));
+  }
+  KsResult r;
+  r.statistic = d;
+  const double sqrt_n = std::sqrt(n);
+  r.p_value = kolmogorov_q((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return r;
+}
+
+KsResult ks_test_two_sample(std::span<const double> a,
+                            std::span<const double> b) {
+  TS_REQUIRE(!a.empty() && !b.empty(), "ks_test_two_sample on empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  KsResult r;
+  r.statistic = d;
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  r.p_value = kolmogorov_q((sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d);
+  return r;
+}
+
+}  // namespace tasksim::stats

@@ -1,0 +1,30 @@
+// ks_test.hpp — Kolmogorov-Smirnov goodness-of-fit tests.
+//
+// Used to score fitted kernel-time distributions (Figures 3-4) and to
+// compare real vs simulated per-kernel duration samples in trace analysis.
+#pragma once
+
+#include <span>
+
+namespace tasksim::stats {
+
+class Distribution;
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |ECDF - CDF|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov p-value
+};
+
+/// One-sample KS test of `samples` against the fitted `dist`.
+/// Note: p-values are optimistic when parameters were estimated from the
+/// same sample (the usual Lilliefors caveat); TaskSim uses them for ranking
+/// only.
+KsResult ks_test(std::span<const double> samples, const Distribution& dist);
+
+/// Two-sample KS test (real vs simulated kernel durations).
+KsResult ks_test_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// Asymptotic Kolmogorov complementary CDF Q(lambda).
+double kolmogorov_q(double lambda);
+
+}  // namespace tasksim::stats

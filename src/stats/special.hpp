@@ -1,0 +1,29 @@
+// special.hpp — special functions needed by the distribution library.
+//
+// Only what TaskSim requires: digamma (gamma MLE), the regularized lower
+// incomplete gamma function P(a, x) (gamma CDF), and the standard normal
+// CDF.  Accuracy targets are ~1e-10 over the parameter ranges exercised by
+// kernel-time modeling, verified against high-precision references in the
+// unit tests.
+#pragma once
+
+namespace tasksim::stats {
+
+/// Digamma function psi(x) for x > 0.
+double digamma(double x);
+
+/// Trigamma function psi'(x) for x > 0 (used by Newton steps in gamma MLE).
+double trigamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a),
+/// for a > 0, x >= 0.  Series for x < a + 1, continued fraction otherwise.
+double regularized_gamma_p(double a, double x);
+
+/// Standard normal CDF Phi(z).
+double normal_cdf(double z);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// refined with one Halley step; |error| < 1e-12).
+double normal_quantile(double p);
+
+}  // namespace tasksim::stats

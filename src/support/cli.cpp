@@ -1,0 +1,117 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_option(const std::string& name, std::string default_value,
+                           bool is_flag, std::string help,
+                           std::function<void(const std::string&)> apply) {
+  TS_REQUIRE(!options_.count(name), "duplicate option --" + name);
+  Option opt;
+  opt.help = std::move(help);
+  opt.default_value = std::move(default_value);
+  opt.is_flag = is_flag;
+  opt.apply = std::move(apply);
+  options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+}
+
+void CliParser::add_int(const std::string& name, long long* target,
+                        const std::string& help) {
+  add_option(name, std::to_string(*target), false, help,
+             [target](const std::string& v) { *target = parse_int(v); });
+}
+
+void CliParser::add_int(const std::string& name, int* target,
+                        const std::string& help) {
+  add_option(name, std::to_string(*target), false, help,
+             [target](const std::string& v) {
+               *target = static_cast<int>(parse_int(v));
+             });
+}
+
+void CliParser::add_double(const std::string& name, double* target,
+                           const std::string& help) {
+  add_option(name, std::to_string(*target), false, help,
+             [target](const std::string& v) { *target = parse_double(v); });
+}
+
+void CliParser::add_string(const std::string& name, std::string* target,
+                           const std::string& help) {
+  add_option(name, *target, false, help,
+             [target](const std::string& v) { *target = v; });
+}
+
+void CliParser::add_flag(const std::string& name, bool* target,
+                         const std::string& help) {
+  add_option(name, *target ? "true" : "false", true, help,
+             [target](const std::string& v) {
+               *target = v.empty() ? true : parse_bool(v);
+             });
+}
+
+void CliParser::add_int_list(const std::string& name, std::vector<int>* target,
+                             const std::string& help) {
+  std::vector<std::string> defaults;
+  for (int v : *target) defaults.push_back(std::to_string(v));
+  add_option(name, join(defaults, ","), false, help,
+             [target](const std::string& v) {
+               target->clear();
+               for (const auto& part : split(v, ',')) {
+                 if (!part.empty()) {
+                   target->push_back(static_cast<int>(parse_int(part)));
+                 }
+               }
+             });
+}
+
+bool CliParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    TS_REQUIRE(starts_with(arg, "--"), "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    TS_REQUIRE(it != options_.end(), "unknown option --" + arg);
+    Option& opt = it->second;
+    if (!has_value && !opt.is_flag) {
+      TS_REQUIRE(i + 1 < argc, "option --" + arg + " requires a value");
+      value = argv[++i];
+      has_value = true;
+    }
+    opt.apply(has_value ? value : std::string());
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value>";
+    os << "\n      " << opt.help << " (default: " << opt.default_value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace tasksim

@@ -1,0 +1,61 @@
+// cli.hpp — a small command-line option parser used by the examples and
+// benchmark harness binaries.
+//
+// Usage:
+//   CliParser cli("fig10_quark_perf", "QUARK real-vs-sim performance sweep");
+//   int workers = 4;
+//   cli.add_int("workers", &workers, "number of worker threads");
+//   cli.parse(argc, argv);   // throws InvalidArgument on bad input;
+//                            // prints usage and exits on --help
+//
+// Options are written `--name value` or `--name=value`; boolean flags may be
+// given bare (`--verbose`).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tasksim {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  void add_int(const std::string& name, long long* target, const std::string& help);
+  void add_int(const std::string& name, int* target, const std::string& help);
+  void add_double(const std::string& name, double* target, const std::string& help);
+  void add_string(const std::string& name, std::string* target, const std::string& help);
+  void add_flag(const std::string& name, bool* target, const std::string& help);
+
+  /// Comma-separated list of integers, e.g. "--sizes 1000,2000,4000".
+  void add_int_list(const std::string& name, std::vector<int>* target,
+                    const std::string& help);
+
+  /// Parse argv.  On `--help`, prints usage to stdout and returns false
+  /// (callers should exit 0).  Throws InvalidArgument on unknown options or
+  /// malformed values.
+  bool parse(int argc, char** argv);
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string default_value;
+    bool is_flag = false;
+    std::function<void(const std::string&)> apply;
+  };
+
+  void add_option(const std::string& name, std::string default_value,
+                  bool is_flag, std::string help,
+                  std::function<void(const std::string&)> apply);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace tasksim

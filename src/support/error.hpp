@@ -1,0 +1,67 @@
+// error.hpp — error handling primitives for the TaskSim library.
+//
+// The library reports unrecoverable misuse through exceptions derived from
+// `tasksim::Error`.  Internal invariants are asserted with TS_ASSERT (active
+// in all build types; an invariant violation in a scheduler is never safe to
+// ignore), while user-facing argument validation uses TS_REQUIRE which throws
+// `tasksim::InvalidArgument`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tasksim {
+
+/// Base class of every exception thrown by TaskSim.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller passes an argument that violates a documented
+/// precondition (TS_REQUIRE).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (TS_ASSERT).  Seeing this
+/// exception always indicates a bug in TaskSim itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (trace files, model files).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
+                                         int line, const std::string& msg);
+[[noreturn]] void throw_internal_error(const char* expr, const char* file,
+                                       int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace tasksim
+
+/// Validate a documented precondition; throws tasksim::InvalidArgument.
+#define TS_REQUIRE(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::tasksim::detail::throw_invalid_argument(#expr, __FILE__, __LINE__,  \
+                                                (msg));                     \
+    }                                                                       \
+  } while (false)
+
+/// Assert an internal invariant; throws tasksim::InternalError.  Active in
+/// every build type: schedulers must never run past a broken invariant.
+#define TS_ASSERT(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::tasksim::detail::throw_internal_error(#expr, __FILE__, __LINE__,    \
+                                              (msg));                       \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,52 @@
+#include "support/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace tasksim {
+
+namespace {
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+}  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off") return LogLevel::off;
+  throw InvalidArgument("unknown log level: " + name);
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::warn), start_seconds_(monotonic_seconds()) {}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  const double t = monotonic_seconds() - start_seconds_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%10.6f %-5s] %s\n", t, to_string(level),
+               message.c_str());
+}
+
+}  // namespace tasksim

@@ -1,0 +1,65 @@
+// log.hpp — minimal thread-safe leveled logger.
+//
+// TaskSim components log through this singleton so that multi-threaded
+// scheduler output does not interleave mid-line.  The default level is
+// `warn` to keep test and benchmark output clean; benchmarks raise it to
+// `info` when narrating experiment progress.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tasksim {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Parse "debug" / "info" / "warn" / "error" / "off"; throws InvalidArgument.
+LogLevel parse_log_level(const std::string& name);
+const char* to_string(LogLevel level);
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  /// Write one line atomically; includes a monotonic timestamp and level tag.
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::mutex mutex_;
+  double start_seconds_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace tasksim
+
+#define TS_LOG(level_enum)                                                  \
+  if (static_cast<int>(::tasksim::Logger::instance().level()) <=            \
+      static_cast<int>(::tasksim::LogLevel::level_enum))                    \
+  ::tasksim::detail::LogLine(::tasksim::LogLevel::level_enum)
+
+#define TS_LOG_DEBUG TS_LOG(debug)
+#define TS_LOG_INFO TS_LOG(info)
+#define TS_LOG_WARN TS_LOG(warn)
+#define TS_LOG_ERROR TS_LOG(error)

@@ -1,0 +1,68 @@
+// rng.hpp — deterministic pseudo-random number generation.
+//
+// Every stochastic component in TaskSim (kernel-time sampling, matrix
+// fill, randomized property tests) draws from an explicitly seeded `Rng`
+// so that runs are reproducible.  The engine is xoshiro256** seeded via
+// SplitMix64, which is fast, high quality, and trivially splittable: use
+// `Rng::split()` to derive an independent stream per worker thread.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace tasksim {
+
+/// SplitMix64 step; used for seeding and stream splitting.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** engine.  Satisfies UniformRandomBitGenerator, so it can be
+/// plugged into <random> distributions, but TaskSim's own samplers in
+/// src/stats avoid <random> distribution objects because their sequences are
+/// not portable across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed (expanded through SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).  53 bits of mantissa entropy.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n); n must be > 0.  Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal deviate (polar Box-Muller with caching).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) noexcept;
+
+  /// Exponential with the given rate lambda > 0.
+  double exponential(double lambda) noexcept;
+
+  /// Gamma(shape k > 0, scale theta > 0) via Marsaglia-Tsang.
+  double gamma(double shape, double scale) noexcept;
+
+  /// Derive an independent generator (different stream) deterministically.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tasksim

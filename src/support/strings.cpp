@@ -1,0 +1,130 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace tasksim {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_whitespace(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string format_duration_us(double us) {
+  if (us < 1e3) return strprintf("%.2f us", us);
+  if (us < 1e6) return strprintf("%.2f ms", us * 1e-3);
+  return strprintf("%.3f s", us * 1e-6);
+}
+
+std::string format_with_commas(long long value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+long long parse_int(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  TS_REQUIRE(end != text.c_str() && *end == '\0' && errno == 0,
+             "not an integer: '" + text + "'");
+  return value;
+}
+
+double parse_double(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  TS_REQUIRE(end != text.c_str() && *end == '\0' && errno == 0,
+             "not a number: '" + text + "'");
+  return value;
+}
+
+bool parse_bool(const std::string& text) {
+  const std::string lower = to_lower(text);
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
+  throw InvalidArgument("not a boolean: '" + text + "'");
+}
+
+}  // namespace tasksim

@@ -1,0 +1,42 @@
+// strings.hpp — small string utilities shared across TaskSim modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tasksim {
+
+/// Split `text` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split on arbitrary whitespace, dropping empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Join the elements with the given separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lowercase ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// Render a duration in microseconds with an adaptive unit (us/ms/s).
+std::string format_duration_us(double us);
+
+/// Render e.g. 12345678 as "12,345,678".
+std::string format_with_commas(long long value);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parse helpers: throw tasksim::InvalidArgument on malformed input.
+long long parse_int(const std::string& text);
+double parse_double(const std::string& text);
+bool parse_bool(const std::string& text);
+
+}  // namespace tasksim

@@ -1,0 +1,24 @@
+#include "support/sysinfo.hpp"
+
+#include <thread>
+
+#include "support/strings.hpp"
+
+namespace tasksim {
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::string host_summary() {
+  return strprintf("host: %d hardware thread(s), tasksim %s", hardware_threads(),
+                   "1.0.0");
+}
+
+int default_worker_count(int cap) {
+  const int hw = hardware_threads();
+  return hw < cap ? hw : cap;
+}
+
+}  // namespace tasksim

@@ -1,0 +1,17 @@
+// sysinfo.hpp — host introspection used by benchmark headers and defaults.
+#pragma once
+
+#include <string>
+
+namespace tasksim {
+
+/// Number of hardware threads (>=1).
+int hardware_threads();
+
+/// A short human-readable host summary printed by benchmark binaries.
+std::string host_summary();
+
+/// Default worker-thread count for "real" executions: min(hardware, cap).
+int default_worker_count(int cap = 8);
+
+}  // namespace tasksim

@@ -1,0 +1,26 @@
+#include "support/timing.hpp"
+
+#include <ctime>
+
+namespace tasksim {
+
+namespace {
+inline double to_us(const timespec& ts) {
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) * 1e-3;
+}
+
+inline double clock_us(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return to_us(ts);
+}
+}  // namespace
+
+double wall_time_us() { return clock_us(CLOCK_MONOTONIC); }
+
+double thread_cpu_time_us() { return clock_us(CLOCK_THREAD_CPUTIME_ID); }
+
+double process_cpu_time_us() { return clock_us(CLOCK_PROCESS_CPUTIME_ID); }
+
+}  // namespace tasksim

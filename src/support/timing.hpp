@@ -1,0 +1,46 @@
+// timing.hpp — wall-clock and per-thread CPU clocks.
+//
+// TaskSim distinguishes two clocks:
+//
+//  * `wall_time_us()` — monotonic wall clock; used for end-to-end run timing
+//    and for the paper's "real execution" mode on a machine with enough
+//    cores.
+//  * `thread_cpu_time_us()` — CLOCK_THREAD_CPUTIME_ID; used by the virtual
+//    platform (DESIGN.md §3) to measure per-kernel durations free of
+//    time-slicing effects when worker threads oversubscribe the host.
+//
+// All times in TaskSim are double microseconds, matching the paper's
+// simulation-clock resolution.
+#pragma once
+
+namespace tasksim {
+
+/// Monotonic wall-clock time in microseconds.
+double wall_time_us();
+
+/// CPU time consumed by the calling thread, in microseconds.
+double thread_cpu_time_us();
+
+/// CPU time consumed by the whole process, in microseconds.
+double process_cpu_time_us();
+
+/// Simple stopwatch over an arbitrary time source.
+class Stopwatch {
+ public:
+  using TimeSource = double (*)();
+
+  explicit Stopwatch(TimeSource source = &wall_time_us)
+      : source_(source), start_(source_()) {}
+
+  void reset() { start_ = source_(); }
+
+  /// Microseconds elapsed since construction or the last reset().
+  double elapsed_us() const { return source_() - start_; }
+  double elapsed_seconds() const { return elapsed_us() * 1e-6; }
+
+ private:
+  TimeSource source_;
+  double start_;
+};
+
+}  // namespace tasksim

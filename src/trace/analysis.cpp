@@ -1,0 +1,142 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "stats/ks_test.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::trace {
+
+std::string TraceStats::to_string() const {
+  std::ostringstream os;
+  os << strprintf(
+      "makespan=%s tasks=%zu workers=%d busy=%s utilization=%.1f%%\n",
+      format_duration_us(makespan_us).c_str(), task_count, worker_count,
+      format_duration_us(total_busy_us).c_str(), 100.0 * mean_utilization);
+  for (const auto& [kernel, ks] : kernels) {
+    os << strprintf("  %-10s n=%-6zu total=%-12s %s\n", kernel.c_str(),
+                    ks.count, format_duration_us(ks.total_time_us).c_str(),
+                    ks.duration.to_string().c_str());
+  }
+  return os.str();
+}
+
+TraceStats analyze(const Trace& trace) {
+  TraceStats s;
+  const auto events = trace.events();
+  s.task_count = events.size();
+  s.worker_count = trace.worker_count();
+  s.makespan_us = trace.makespan_us();
+
+  std::map<std::string, std::vector<double>> durations;
+  for (const auto& e : events) {
+    s.total_busy_us += e.duration_us();
+    durations[e.kernel].push_back(e.duration_us());
+  }
+  if (s.makespan_us > 0.0 && s.worker_count > 0) {
+    s.mean_utilization =
+        s.total_busy_us / (s.makespan_us * static_cast<double>(s.worker_count));
+  }
+  for (auto& [kernel, samples] : durations) {
+    KernelStats ks;
+    ks.count = samples.size();
+    ks.duration = stats::summarize(samples);
+    for (double d : samples) ks.total_time_us += d;
+    s.kernels.emplace(kernel, std::move(ks));
+  }
+  return s;
+}
+
+std::string TraceComparison::to_string() const {
+  std::ostringstream os;
+  os << strprintf(
+      "real=%s sim=%s error=%+.2f%% start-order tau=%.3f matched=%zu\n",
+      format_duration_us(real_makespan_us).c_str(),
+      format_duration_us(sim_makespan_us).c_str(), makespan_error_pct,
+      start_order_tau, matched_tasks);
+  for (const auto& [kernel, d] : kernels) {
+    os << strprintf("  %-10s KS=%.3f mean-err=%+.2f%% (n_real=%zu n_sim=%zu)\n",
+                    kernel.c_str(), d.ks_statistic, d.mean_error_pct,
+                    d.real_count, d.sim_count);
+  }
+  return os.str();
+}
+
+TraceComparison compare_traces(const Trace& real, const Trace& simulated) {
+  TraceComparison c;
+  c.real_makespan_us = real.makespan_us();
+  c.sim_makespan_us = simulated.makespan_us();
+  if (c.real_makespan_us > 0.0) {
+    c.makespan_error_pct =
+        100.0 * (c.sim_makespan_us - c.real_makespan_us) / c.real_makespan_us;
+  }
+
+  const auto real_events = real.events();
+  const auto sim_events = simulated.events();
+
+  // Match tasks by id for the start-order correlation.
+  std::unordered_map<std::uint64_t, double> real_start;
+  real_start.reserve(real_events.size());
+  for (const auto& e : real_events) real_start.emplace(e.task_id, e.start_us);
+  std::vector<double> xs, ys;
+  for (const auto& e : sim_events) {
+    if (auto it = real_start.find(e.task_id); it != real_start.end()) {
+      xs.push_back(it->second);
+      ys.push_back(e.start_us);
+    }
+  }
+  c.matched_tasks = xs.size();
+  if (xs.size() >= 2) c.start_order_tau = stats::kendall_tau(xs, ys);
+
+  // Per-kernel duration distribution comparison.
+  std::map<std::string, std::vector<double>> real_dur, sim_dur;
+  for (const auto& e : real_events) real_dur[e.kernel].push_back(e.duration_us());
+  for (const auto& e : sim_events) sim_dur[e.kernel].push_back(e.duration_us());
+  for (const auto& [kernel, rd] : real_dur) {
+    auto it = sim_dur.find(kernel);
+    if (it == sim_dur.end()) continue;
+    TraceComparison::KernelDelta delta;
+    delta.real_count = rd.size();
+    delta.sim_count = it->second.size();
+    delta.ks_statistic = stats::ks_test_two_sample(rd, it->second).statistic;
+    const double real_mean = stats::summarize(rd).mean;
+    const double sim_mean = stats::summarize(it->second).mean;
+    if (real_mean > 0.0) {
+      delta.mean_error_pct = 100.0 * (sim_mean - real_mean) / real_mean;
+    }
+    c.kernels.emplace(kernel, delta);
+  }
+  return c;
+}
+
+std::vector<double> utilization_profile(const Trace& trace, int buckets) {
+  TS_REQUIRE(buckets > 0, "buckets must be positive");
+  std::vector<double> busy(static_cast<std::size_t>(buckets), 0.0);
+  const auto events = trace.events();
+  if (events.empty()) return busy;
+  const double t0 = trace.start_us().value_or(0.0);
+  const double span = trace.makespan_us();
+  if (span <= 0.0) return busy;
+  const double bucket_width = span / buckets;
+  const int workers = std::max(trace.worker_count(), 1);
+  for (const auto& e : events) {
+    // Distribute the event's duration over the buckets it overlaps.
+    const double s = e.start_us - t0;
+    const double t = e.end_us - t0;
+    int b0 = std::clamp(static_cast<int>(s / bucket_width), 0, buckets - 1);
+    int b1 = std::clamp(static_cast<int>(t / bucket_width), 0, buckets - 1);
+    for (int b = b0; b <= b1; ++b) {
+      const double lo = std::max(s, b * bucket_width);
+      const double hi = std::min(t, (b + 1) * bucket_width);
+      if (hi > lo) busy[static_cast<std::size_t>(b)] += hi - lo;
+    }
+  }
+  for (double& v : busy) v /= bucket_width * workers;
+  return busy;
+}
+
+}  // namespace tasksim::trace

@@ -1,0 +1,72 @@
+// analysis.hpp — quantitative trace statistics and real-vs-simulated trace
+// comparison.
+//
+// The paper argues trace fidelity qualitatively (Figures 6-7 "look almost
+// identical").  TaskSim backs that with numbers: makespan error, per-kernel
+// duration distributions (two-sample KS), per-worker utilization, and the
+// rank correlation between the orders in which the two runs started the
+// same tasks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "trace/trace.hpp"
+
+namespace tasksim::trace {
+
+/// Per-kernel-class aggregate over one trace.
+struct KernelStats {
+  std::size_t count = 0;
+  stats::Summary duration;      ///< summary of event durations (us)
+  double total_time_us = 0.0;   ///< sum of durations
+};
+
+struct TraceStats {
+  double makespan_us = 0.0;
+  std::size_t task_count = 0;
+  int worker_count = 0;
+  double total_busy_us = 0.0;       ///< sum of all task durations
+  double mean_utilization = 0.0;    ///< busy / (makespan * workers)
+  std::map<std::string, KernelStats> kernels;
+
+  std::string to_string() const;
+};
+
+TraceStats analyze(const Trace& trace);
+
+/// Comparison of a simulated trace against the real trace of the same
+/// task graph.
+struct TraceComparison {
+  double real_makespan_us = 0.0;
+  double sim_makespan_us = 0.0;
+  /// Signed percentage error of the simulated makespan: 100*(sim-real)/real.
+  double makespan_error_pct = 0.0;
+  /// Kendall tau-b between real and simulated start times of the tasks
+  /// common to both traces (1.0 = same start order).
+  double start_order_tau = 0.0;
+  /// Tasks present in both traces (matched by task_id).
+  std::size_t matched_tasks = 0;
+  /// Per kernel: two-sample KS statistic between real and simulated
+  /// durations, plus mean-duration percentage error.
+  struct KernelDelta {
+    double ks_statistic = 0.0;
+    double mean_error_pct = 0.0;
+    std::size_t real_count = 0;
+    std::size_t sim_count = 0;
+  };
+  std::map<std::string, KernelDelta> kernels;
+
+  std::string to_string() const;
+};
+
+TraceComparison compare_traces(const Trace& real, const Trace& simulated);
+
+/// Utilization profile: fraction of workers busy over `buckets` equal time
+/// slices; used by tests to check that the simulated trace preserves the
+/// characteristic ramp-up / plateau / tail shape of the real one.
+std::vector<double> utilization_profile(const Trace& trace, int buckets);
+
+}  // namespace tasksim::trace

@@ -1,0 +1,70 @@
+#include "trace/chrome_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace tasksim::trace {
+
+namespace {
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_trace(std::ostringstream& os, const Trace& trace, int pid,
+                  bool& first) {
+  const std::string label =
+      trace.label().empty() ? ("trace-" + std::to_string(pid)) : trace.label();
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"args\":{\"name\":\"" << escape_json(label) << "\"}}";
+  for (const auto& e : trace.sorted_events()) {
+    os << ",\n{\"name\":\"" << escape_json(e.kernel) << "\",\"cat\":\"task\""
+       << ",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << e.worker
+       << ",\"ts\":" << e.start_us << ",\"dur\":" << e.duration_us()
+       << ",\"args\":{\"task_id\":" << e.task_id << "}}";
+  }
+}
+}  // namespace
+
+std::string render_chrome_json(const std::vector<const Trace*>& traces) {
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  int pid = 1;
+  for (const Trace* trace : traces) {
+    TS_REQUIRE(trace != nullptr, "null trace");
+    append_trace(os, *trace, pid++, first);
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string render_chrome_json(const Trace& trace) {
+  return render_chrome_json(std::vector<const Trace*>{&trace});
+}
+
+void write_chrome_json(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << render_chrome_json(trace);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace tasksim::trace

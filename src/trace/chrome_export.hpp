@@ -1,0 +1,25 @@
+// chrome_export.hpp — export traces in the Chrome Trace Event format
+// (the JSON consumed by chrome://tracing and https://ui.perfetto.dev).
+//
+// Complements the paper-style SVG: the JSON viewer gives interactive zoom
+// and per-event inspection, which is how one actually debugs a divergence
+// between a real and a simulated trace.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace tasksim::trace {
+
+/// Render as a Chrome Trace Event JSON document ("traceEvents" array of
+/// complete events; one pid per trace label, one tid per worker lane).
+std::string render_chrome_json(const Trace& trace);
+
+/// Render several traces (e.g. real and simulated) into one document so
+/// the viewer shows them as separate processes on one timeline.
+std::string render_chrome_json(const std::vector<const Trace*>& traces);
+
+void write_chrome_json(const Trace& trace, const std::string& path);
+
+}  // namespace tasksim::trace

@@ -1,0 +1,42 @@
+#include "trace/color.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "support/strings.hpp"
+
+namespace tasksim::trace {
+
+namespace {
+// Qualitative fallback palette (ColorBrewer Set3-like, high contrast).
+constexpr std::array<const char*, 12> kPalette = {
+    "#8dd3c7", "#fdb462", "#bebada", "#fb8072", "#80b1d3", "#b3de69",
+    "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f", "#ffffb3",
+};
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+}  // namespace
+
+std::string kernel_color(const std::string& kernel) {
+  const std::string k = to_lower(kernel);
+  // Cholesky kernels.
+  if (k == "dpotrf" || k == "dpotf2") return "#2ca02c";  // green
+  if (k == "dtrsm") return "#1f77b4";                    // blue
+  if (k == "dsyrk") return "#d62728";                    // red
+  if (k == "dgemm") return "#9467bd";                    // purple
+  // QR kernels.
+  if (k == "dgeqrt") return "#2ca02c";
+  if (k == "dormqr" || k == "dunmqr") return "#1f77b4";
+  if (k == "dtsqrt") return "#ff7f0e";                   // orange
+  if (k == "dtsmqr") return "#9467bd";
+  return kPalette[fnv1a(k) % kPalette.size()];
+}
+
+}  // namespace tasksim::trace

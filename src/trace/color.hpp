@@ -1,0 +1,16 @@
+// color.hpp — stable kernel-name -> color mapping for SVG traces.
+//
+// The well-known PLASMA kernels get the palette traditionally used in tile
+// linear-algebra trace plots; any other kernel name hashes to a stable color
+// from a qualitative palette so that the same kernel keeps the same color
+// across the real and simulated trace of one experiment.
+#pragma once
+
+#include <string>
+
+namespace tasksim::trace {
+
+/// "#rrggbb" color for the given kernel class name.
+std::string kernel_color(const std::string& kernel);
+
+}  // namespace tasksim::trace

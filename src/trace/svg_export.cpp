@@ -1,0 +1,145 @@
+#include "trace/svg_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "trace/color.hpp"
+
+namespace tasksim::trace {
+
+namespace {
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string render_svg(const Trace& trace, const SvgOptions& options) {
+  const auto events = trace.sorted_events();
+  const int workers = std::max(trace.worker_count(), 1);
+  const double t0 = trace.start_us().value_or(0.0);
+  double span = options.time_span_us.value_or(trace.makespan_us());
+  if (span <= 0.0) span = 1.0;
+
+  const int margin_left = 70;
+  const int margin_top = options.title.empty() ? 10 : 34;
+  const int axis_height = options.draw_axis ? 28 : 0;
+  const int legend_height = options.draw_legend ? 22 : 0;
+  const int lane_stride = options.lane_height_px + options.lane_gap_px;
+  const int body_height = workers * lane_stride;
+  const int width = margin_left + options.width_px + 20;
+  const int height = margin_top + body_height + axis_height + legend_height + 10;
+
+  const double scale = static_cast<double>(options.width_px) / span;
+
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  os << strprintf(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\">\n",
+      width, height, width, height);
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (!options.title.empty()) {
+    os << strprintf(
+        "<text x=\"%d\" y=\"20\" font-family=\"sans-serif\" font-size=\"14\" "
+        "font-weight=\"bold\">%s</text>\n",
+        margin_left, escape_xml(options.title).c_str());
+  }
+
+  // Worker lane labels and backgrounds.
+  for (int w = 0; w < workers; ++w) {
+    const int y = margin_top + w * lane_stride;
+    os << strprintf(
+        "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#f4f4f4\"/>\n",
+        margin_left, y, options.width_px, options.lane_height_px);
+    os << strprintf(
+        "<text x=\"%d\" y=\"%d\" font-family=\"sans-serif\" font-size=\"9\" "
+        "text-anchor=\"end\" fill=\"#444\">w%d</text>\n",
+        margin_left - 6, y + options.lane_height_px - 4, w);
+  }
+
+  // Task rectangles.
+  std::map<std::string, std::string> legend;  // kernel -> color
+  for (const auto& e : events) {
+    const double x = (e.start_us - t0) * scale;
+    const double w = std::max(e.duration_us() * scale, 0.3);
+    const int y = margin_top + e.worker * lane_stride;
+    const std::string color = kernel_color(e.kernel);
+    legend.emplace(e.kernel, color);
+    os << strprintf(
+        "<rect x=\"%.2f\" y=\"%d\" width=\"%.2f\" height=\"%d\" fill=\"%s\" "
+        "stroke=\"#333\" stroke-width=\"0.2\"><title>%s #%llu [%s, %s]"
+        "</title></rect>\n",
+        margin_left + x, y, w, options.lane_height_px, color.c_str(),
+        escape_xml(e.kernel).c_str(),
+        static_cast<unsigned long long>(e.task_id),
+        format_duration_us(e.start_us - t0).c_str(),
+        format_duration_us(e.end_us - t0).c_str());
+  }
+
+  // Time axis with ~8 ticks.
+  if (options.draw_axis) {
+    const int axis_y = margin_top + body_height + 4;
+    os << strprintf(
+        "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#000\" "
+        "stroke-width=\"1\"/>\n",
+        margin_left, axis_y, margin_left + options.width_px, axis_y);
+    const int ticks = 8;
+    for (int i = 0; i <= ticks; ++i) {
+      const double t = span * i / ticks;
+      const double x = margin_left + t * scale;
+      os << strprintf(
+          "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#000\"/>\n",
+          x, axis_y, x, axis_y + 4);
+      os << strprintf(
+          "<text x=\"%.1f\" y=\"%d\" font-family=\"sans-serif\" font-size=\"9\" "
+          "text-anchor=\"middle\">%s</text>\n",
+          x, axis_y + 15, format_duration_us(t).c_str());
+    }
+  }
+
+  // Legend.
+  if (options.draw_legend) {
+    int x = margin_left;
+    const int y = margin_top + body_height + axis_height + 6;
+    for (const auto& [kernel, color] : legend) {
+      os << strprintf(
+          "<rect x=\"%d\" y=\"%d\" width=\"10\" height=\"10\" fill=\"%s\" "
+          "stroke=\"#333\" stroke-width=\"0.3\"/>\n",
+          x, y, color.c_str());
+      os << strprintf(
+          "<text x=\"%d\" y=\"%d\" font-family=\"sans-serif\" "
+          "font-size=\"10\">%s</text>\n",
+          x + 14, y + 9, escape_xml(kernel).c_str());
+      x += 14 + 8 * static_cast<int>(kernel.size()) + 18;
+    }
+  }
+
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_svg(const Trace& trace, const std::string& path,
+               const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << render_svg(trace, options);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace tasksim::trace

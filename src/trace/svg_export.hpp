@@ -1,0 +1,35 @@
+// svg_export.hpp — Gantt-style SVG rendering of execution traces.
+//
+// Reproduces the paper's trace figures (Figures 6-7): one horizontal lane
+// per worker, one colored rectangle per task, identical time axis across
+// exports so a real trace and a simulated trace can be compared visually.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace tasksim::trace {
+
+struct SvgOptions {
+  int width_px = 1400;          ///< drawing width of the timeline area
+  int lane_height_px = 14;      ///< height of one worker lane
+  int lane_gap_px = 2;
+  bool draw_legend = true;
+  bool draw_axis = true;
+  std::string title;            ///< optional title above the timeline
+  /// Fixed time axis [0, time_span_us]; when unset the trace's own span is
+  /// used.  Figures 6-7 pass the real trace's span to both exports so the
+  /// two SVGs share a time scale, as in the paper.
+  std::optional<double> time_span_us;
+};
+
+/// Render the trace to an SVG document string.
+std::string render_svg(const Trace& trace, const SvgOptions& options = {});
+
+/// Render and write to `path`; throws IoError on failure.
+void write_svg(const Trace& trace, const std::string& path,
+               const SvgOptions& options = {});
+
+}  // namespace tasksim::trace

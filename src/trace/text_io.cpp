@@ -1,0 +1,62 @@
+#include "trace/text_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::trace {
+
+void save_trace(const Trace& trace, std::ostream& out) {
+  out << "# tasksim-trace v1 label=" << trace.label() << "\n";
+  out.precision(17);
+  for (const auto& e : trace.sorted_events()) {
+    out << e.task_id << ' ' << e.worker << ' ' << e.start_us << ' ' << e.end_us
+        << ' ' << e.kernel << "\n";
+  }
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  save_trace(trace, out);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+Trace load_trace(std::istream& in) {
+  std::string line;
+  TS_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty trace file");
+  TS_REQUIRE(starts_with(line, "# tasksim-trace v1"),
+             "not a tasksim trace file: bad header");
+  Trace trace;
+  if (auto pos = line.find("label="); pos != std::string::npos) {
+    trace.set_label(trim(line.substr(pos + 6)));
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto fields = split_whitespace(trimmed);
+    TS_REQUIRE(fields.size() >= 5,
+               "trace line " + std::to_string(line_no) + ": expected 5 fields");
+    const auto task_id = static_cast<std::uint64_t>(parse_int(fields[0]));
+    const int worker = static_cast<int>(parse_int(fields[1]));
+    const double start = parse_double(fields[2]);
+    const double end = parse_double(fields[3]);
+    // Kernel names may not contain whitespace; everything after field 3 is
+    // rejoined defensively in case a name ever does.
+    std::vector<std::string> rest(fields.begin() + 4, fields.end());
+    trace.record(task_id, join(rest, " "), worker, start, end);
+  }
+  return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  return load_trace(in);
+}
+
+}  // namespace tasksim::trace

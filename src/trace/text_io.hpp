@@ -1,0 +1,21 @@
+// text_io.hpp — plain-text trace serialization (paper §V-A: "trace data can
+// also be stored in a plain text file for further processing").
+//
+// Format: a header line `# tasksim-trace v1 label=<label>`, then one line
+// per event: `<task_id> <worker> <start_us> <end_us> <kernel>`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace tasksim::trace {
+
+void save_trace(const Trace& trace, std::ostream& out);
+void save_trace(const Trace& trace, const std::string& path);
+
+Trace load_trace(std::istream& in);
+Trace load_trace(const std::string& path);
+
+}  // namespace tasksim::trace

@@ -1,0 +1,106 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace tasksim::trace {
+
+Trace::Trace(const Trace& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  label_ = other.label_;
+  events_ = other.events_;
+}
+
+Trace& Trace::operator=(const Trace& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  label_ = other.label_;
+  events_ = other.events_;
+  return *this;
+}
+
+Trace::Trace(Trace&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  label_ = std::move(other.label_);
+  events_ = std::move(other.events_);
+}
+
+Trace& Trace::operator=(Trace&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  label_ = std::move(other.label_);
+  events_ = std::move(other.events_);
+  return *this;
+}
+
+void Trace::set_label(std::string label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  label_ = std::move(label);
+}
+
+std::string Trace::label() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return label_;
+}
+
+void Trace::record(std::uint64_t task_id, const std::string& kernel,
+                   int worker, double start_us, double end_us) {
+  TS_REQUIRE(end_us >= start_us, "trace event ends before it starts");
+  TS_REQUIRE(worker >= 0, "negative worker index");
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(TraceEvent{task_id, kernel, worker, start_us, end_us});
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Trace::sorted_events() const {
+  std::vector<TraceEvent> out = events();
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.task_id < b.task_id;
+  });
+  return out;
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+int Trace::worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int max_worker = -1;
+  for (const auto& e : events_) max_worker = std::max(max_worker, e.worker);
+  return max_worker + 1;
+}
+
+double Trace::makespan_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.empty()) return 0.0;
+  double lo = events_.front().start_us;
+  double hi = events_.front().end_us;
+  for (const auto& e : events_) {
+    lo = std::min(lo, e.start_us);
+    hi = std::max(hi, e.end_us);
+  }
+  return hi - lo;
+}
+
+std::optional<double> Trace::start_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.empty()) return std::nullopt;
+  double lo = events_.front().start_us;
+  for (const auto& e : events_) lo = std::min(lo, e.start_us);
+  return lo;
+}
+
+void Trace::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace tasksim::trace

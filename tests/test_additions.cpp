@@ -1,0 +1,260 @@
+// Tests for later additions: tile LU (no pivoting), Chrome trace export,
+// ready pools, and the StarPU performance model.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "harness/experiment.hpp"
+#include "linalg/blas_kernels.hpp"
+#include "linalg/tile_lu.hpp"
+#include "sched/factory.hpp"
+#include "sched/ready_pools.hpp"
+#include "sched/starpu/perf_model.hpp"
+#include "sched/submitter.hpp"
+#include "support/error.hpp"
+#include "trace/chrome_export.hpp"
+
+namespace tasksim {
+namespace {
+
+// ---------------------------------------------------------------- tile LU
+
+TEST(LuKernels, DgetrfFactorsAndDetectsZeroPivot) {
+  Rng rng(1);
+  const int n = 8;
+  const linalg::Matrix a0 = linalg::Matrix::random_diag_dominant(n, rng);
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) a[j * n + i] = a0(i, j);
+  }
+  ASSERT_EQ(linalg::dgetrf_nopiv(n, a.data(), n), 0);
+
+  linalg::Matrix l = linalg::Matrix::identity(n);
+  linalg::Matrix u(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) l(i, j) = a[j * n + i];
+    for (int i = 0; i <= j; ++i) u(i, j) = a[j * n + i];
+  }
+  EXPECT_LT(linalg::relative_error(linalg::matmul(l, u), a0), 1e-12);
+
+  std::vector<double> singular = {0.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(linalg::dgetrf_nopiv(2, singular.data(), 2), 1);
+}
+
+TEST(LuKernels, TrsmLeftLowerUnitSolves) {
+  Rng rng(2);
+  const int n = 6, m = 4;
+  linalg::Matrix l = linalg::Matrix::random(n, n, rng);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) l(i, j) = (i == j) ? 1.0 : 0.0;
+  }
+  const linalg::Matrix b = linalg::Matrix::random(n, m, rng);
+  linalg::Matrix x = b;
+  linalg::dtrsm_left_lower_unit(n, m, l.data(), n, x.data(), n);
+  EXPECT_LT(linalg::relative_error(linalg::matmul(l, x), b), 1e-12);
+}
+
+TEST(LuKernels, TrsmRightUpperSolves) {
+  Rng rng(3);
+  const int m = 5, n = 5;
+  linalg::Matrix u = linalg::upper_triangle(linalg::Matrix::random(n, n, rng));
+  for (int j = 0; j < n; ++j) u(j, j) += 3.0;
+  const linalg::Matrix b = linalg::Matrix::random(m, n, rng);
+  linalg::Matrix x = b;
+  linalg::dtrsm_right_upper(m, n, u.data(), n, x.data(), m);
+  EXPECT_LT(linalg::relative_error(linalg::matmul(x, u), b), 1e-12);
+  linalg::Matrix singular(1, 1);
+  double bb = 1.0;
+  EXPECT_THROW(
+      linalg::dtrsm_right_upper(1, 1, singular.data(), 1, &bb, 1),
+      InvalidArgument);
+}
+
+class TileLuTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, TileLuTest,
+                         ::testing::Values("quark", "starpu/dmda", "ompss/bf"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(TileLuTest, FactorsCorrectly) {
+  Rng rng(4);
+  const int n = 96, nb = 24;
+  const linalg::Matrix original = linalg::Matrix::random_diag_dominant(n, rng);
+  linalg::TileMatrix a = linalg::TileMatrix::from_dense(original, nb);
+  sched::RuntimeConfig config;
+  config.workers = 3;
+  auto rt = sched::make_runtime(GetParam(), config);
+  sched::RealSubmitter submitter(*rt);
+  EXPECT_EQ(linalg::tile_lu_nopiv(a, submitter), 0);
+  EXPECT_LT(linalg::lu_residual(original, a), 1e-12);
+}
+
+TEST(TileLu, TaskCountFormula) {
+  EXPECT_EQ(linalg::lu_task_count(1), 1u);
+  EXPECT_EQ(linalg::lu_task_count(2), 5u);   // getrf, 2 trsm, gemm, getrf
+  EXPECT_EQ(linalg::lu_task_count(3), 14u);
+}
+
+TEST(TileLu, HarnessPipelineSupportsLu) {
+  harness::ExperimentConfig config;
+  config.algorithm = harness::parse_algorithm("lu");
+  config.scheduler = "quark";
+  config.n = 96;
+  config.nb = 24;
+  config.workers = 2;
+  config.verify_numerics = true;
+  const harness::RunResult real = harness::run_real(config);
+  EXPECT_EQ(real.tasks, linalg::lu_task_count(4));
+  ASSERT_TRUE(real.residual.has_value());
+  EXPECT_LT(*real.residual, 1e-12);
+
+  const auto row = harness::compare_real_vs_sim(config,
+                                                sim::ModelFamily::best);
+  EXPECT_GT(row.sim_gflops, 0.0);
+}
+
+// ----------------------------------------------------------- chrome json
+
+TEST(ChromeExport, ContainsEventsAndMetadata) {
+  trace::Trace t("real");
+  t.record(7, "dgemm", 0, 0.0, 100.0);
+  t.record(8, "dtrsm", 1, 50.0, 80.0);
+  const std::string json = trace::render_chrome_json(t);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dgemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"task_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"real\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":100"), std::string::npos);
+}
+
+TEST(ChromeExport, MultipleTracesGetDistinctPids) {
+  trace::Trace a("real"), b("sim");
+  a.record(0, "k", 0, 0.0, 1.0);
+  b.record(0, "k", 0, 0.0, 1.0);
+  const std::string json = trace::render_chrome_json({&a, &b});
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+}
+
+TEST(ChromeExport, EscapesSpecialCharacters) {
+  trace::Trace t("with \"quotes\"");
+  t.record(0, "k\\1", 0, 0.0, 1.0);
+  const std::string json = trace::render_chrome_json(t);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("k\\\\1"), std::string::npos);
+}
+
+TEST(ChromeExport, WritesFile) {
+  trace::Trace t("x");
+  t.record(0, "k", 0, 0.0, 1.0);
+  const std::string path = ::testing::TempDir() + "/tasksim_chrome_test.json";
+  trace::write_chrome_json(t, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+  EXPECT_THROW(trace::write_chrome_json(t, "/no/such/dir/x.json"), IoError);
+}
+
+// ------------------------------------------------------------ ready pools
+
+TEST(CentralQueue, FifoAndLifoOrder) {
+  sched::TaskRecord a, b, c;
+  sched::CentralQueue fifo(sched::QueueDiscipline::fifo);
+  fifo.push(&a);
+  fifo.push(&b);
+  fifo.push(&c);
+  EXPECT_EQ(fifo.pop(), &a);
+  EXPECT_EQ(fifo.pop(), &b);
+  EXPECT_EQ(fifo.pop(), &c);
+  EXPECT_EQ(fifo.pop(), nullptr);
+
+  sched::CentralQueue lifo(sched::QueueDiscipline::lifo);
+  lifo.push(&a);
+  lifo.push(&b);
+  EXPECT_EQ(lifo.pop(), &b);
+  EXPECT_EQ(lifo.pop(), &a);
+}
+
+TEST(CentralQueue, PriorityOrderStableWithinLevel) {
+  sched::TaskRecord lo1, lo2, hi;
+  lo1.desc.priority = 0;
+  lo2.desc.priority = 0;
+  hi.desc.priority = 5;
+  sched::CentralQueue q(sched::QueueDiscipline::priority);
+  q.push(&lo1);
+  q.push(&hi);
+  q.push(&lo2);
+  EXPECT_EQ(q.pop(), &hi);
+  EXPECT_EQ(q.pop(), &lo1);
+  EXPECT_EQ(q.pop(), &lo2);
+}
+
+TEST(StealingDeques, OwnerFrontThiefBack) {
+  sched::StealingDeques deques(2, 1);
+  sched::TaskRecord a, b, c;
+  deques.push(0, &a);
+  deques.push(0, &b);
+  deques.push(0, &c);
+  EXPECT_EQ(deques.size(), 3u);
+  EXPECT_EQ(deques.size_of(0), 3u);
+  EXPECT_EQ(deques.steal(1), &c);    // thief takes the back
+  EXPECT_EQ(deques.pop_own(0), &a);  // owner takes the front
+  EXPECT_EQ(deques.size(), 1u);
+}
+
+TEST(StealingDeques, PriorityTasksJumpTheirLane) {
+  sched::StealingDeques deques(2, 1);
+  sched::TaskRecord normal, urgent;
+  urgent.desc.priority = 3;
+  deques.push(0, &normal);
+  deques.push(0, &urgent);
+  EXPECT_EQ(deques.pop_own(0), &urgent);
+}
+
+TEST(StealingDeques, StealSkipsOwnLane) {
+  sched::StealingDeques deques(2, 1);
+  sched::TaskRecord a;
+  deques.push(0, &a);
+  EXPECT_EQ(deques.steal(0), nullptr);  // only victim is itself
+  EXPECT_EQ(deques.steal(1), &a);
+}
+
+TEST(StealingDeques, BoundsChecked) {
+  sched::StealingDeques deques(2, 1);
+  sched::TaskRecord a;
+  EXPECT_THROW(deques.push(5, &a), InvalidArgument);
+  EXPECT_THROW(deques.pop_own(-1), InvalidArgument);
+}
+
+// -------------------------------------------------------------- perfmodel
+
+TEST(PerfModel, PriorThenHistory) {
+  sched::PerfModel model(250.0);
+  EXPECT_DOUBLE_EQ(model.expected_us("dgemm"), 250.0);  // prior
+  model.update("dgemm", 100.0);
+  model.update("dgemm", 200.0);
+  EXPECT_DOUBLE_EQ(model.expected_us("dgemm"), 150.0);
+  EXPECT_EQ(model.sample_count("dgemm"), 2u);
+  EXPECT_EQ(model.sample_count("other"), 0u);
+}
+
+TEST(PerfModel, SnapshotAndClear) {
+  sched::PerfModel model;
+  model.update("a", 1.0);
+  model.update("b", 2.0);
+  const auto snapshot = model.snapshot();
+  EXPECT_EQ(snapshot.size(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot.at("b").mean(), 2.0);
+  model.clear();
+  EXPECT_EQ(model.sample_count("a"), 0u);
+}
+
+}  // namespace
+}  // namespace tasksim

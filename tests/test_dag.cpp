@@ -1,0 +1,265 @@
+// Tests for the DAG library: hazard-derived construction, algorithms, DOT.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/algorithms.hpp"
+#include "dag/builder.hpp"
+#include "dag/dot_export.hpp"
+#include "dag/graph.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::dag {
+namespace {
+
+// ------------------------------------------------------------------ graph
+
+TEST(Graph, AddNodesAndEdges) {
+  TaskGraph g;
+  const NodeId a = g.add_node("a", 10.0);
+  const NodeId b = g.add_node("b", 20.0);
+  g.add_edge(a, b, DepKind::raw);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.successors(a), std::vector<NodeId>{b});
+  EXPECT_EQ(g.predecessors(b), std::vector<NodeId>{a});
+  EXPECT_EQ(g.roots(), std::vector<NodeId>{a});
+  EXPECT_EQ(g.leaves(), std::vector<NodeId>{b});
+}
+
+TEST(Graph, RejectsBackwardEdges) {
+  TaskGraph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  EXPECT_THROW(g.add_edge(b, a, DepKind::raw), InvalidArgument);
+  EXPECT_THROW(g.add_edge(a, a, DepKind::raw), InvalidArgument);
+  EXPECT_THROW(g.add_edge(a, 99, DepKind::raw), InvalidArgument);
+}
+
+TEST(Graph, DepKindNames) {
+  EXPECT_STREQ(to_string(DepKind::raw), "RaW");
+  EXPECT_STREQ(to_string(DepKind::war), "WaR");
+  EXPECT_STREQ(to_string(DepKind::waw), "WaW");
+}
+
+// ---------------------------------------------------------------- builder
+
+TEST(Builder, ReadAfterWriteCreatesEdge) {
+  DagBuilder b;
+  double x;
+  const DataRef w[] = {write_ref(&x)};
+  const DataRef r[] = {read_ref(&x)};
+  const NodeId writer = b.submit("w", w);
+  const NodeId reader = b.submit("r", r);
+  ASSERT_EQ(b.graph().edge_count(), 1u);
+  EXPECT_EQ(b.graph().edges()[0].from, writer);
+  EXPECT_EQ(b.graph().edges()[0].to, reader);
+  EXPECT_EQ(b.graph().edges()[0].kind, DepKind::raw);
+}
+
+TEST(Builder, ConcurrentReadersShareNoEdges) {
+  DagBuilder b;
+  double x;
+  const DataRef w[] = {write_ref(&x)};
+  const DataRef r[] = {read_ref(&x)};
+  b.submit("w", w);
+  b.submit("r1", r);
+  b.submit("r2", r);
+  b.submit("r3", r);
+  // Three RaW edges from the writer; no reader-to-reader edges.
+  EXPECT_EQ(b.graph().edge_count(), 3u);
+  for (const Edge& e : b.graph().edges()) {
+    EXPECT_EQ(e.from, 0u);
+    EXPECT_EQ(e.kind, DepKind::raw);
+  }
+}
+
+TEST(Builder, WriteAfterReadersCreatesWarEdges) {
+  DagBuilder b;
+  double x;
+  const DataRef w[] = {write_ref(&x)};
+  const DataRef r[] = {read_ref(&x)};
+  b.submit("w0", w);
+  b.submit("r1", r);
+  b.submit("r2", r);
+  const NodeId w2 = b.submit("w3", w);
+  // Edges: w0->r1, w0->r2 (RaW), r1->w3, r2->w3 (WaR).
+  EXPECT_EQ(b.graph().edge_count(), 4u);
+  std::size_t war = 0;
+  for (const Edge& e : b.graph().edges()) {
+    if (e.kind == DepKind::war) {
+      ++war;
+      EXPECT_EQ(e.to, w2);
+    }
+  }
+  EXPECT_EQ(war, 2u);
+}
+
+TEST(Builder, WriteAfterWriteCreatesWawEdge) {
+  DagBuilder b;
+  double x;
+  const DataRef w[] = {write_ref(&x)};
+  b.submit("w0", w);
+  b.submit("w1", w);
+  ASSERT_EQ(b.graph().edge_count(), 1u);
+  EXPECT_EQ(b.graph().edges()[0].kind, DepKind::waw);
+}
+
+TEST(Builder, ReadWriteActsAsBoth) {
+  DagBuilder b;
+  double x;
+  const DataRef rw[] = {rw_ref(&x)};
+  b.submit("t0", rw);
+  b.submit("t1", rw);
+  b.submit("t2", rw);
+  // A chain t0 -> t1 -> t2.
+  EXPECT_EQ(b.graph().edge_count(), 2u);
+  EXPECT_EQ(b.graph().successors(0), std::vector<NodeId>{1});
+  EXPECT_EQ(b.graph().successors(1), std::vector<NodeId>{2});
+}
+
+TEST(Builder, DuplicateEdgesCoalesced) {
+  DagBuilder b;
+  double x, y;
+  const DataRef w[] = {write_ref(&x), write_ref(&y)};
+  const DataRef r[] = {read_ref(&x), read_ref(&y)};
+  b.submit("w", w);
+  b.submit("r", r);
+  // Two RaW hazards between the same pair -> one edge (paper Figure 1
+  // shows such double dependences; the graph keeps a single edge).
+  EXPECT_EQ(b.graph().edge_count(), 1u);
+}
+
+TEST(Builder, RejectsInvalidRefs) {
+  DagBuilder b;
+  const DataRef null_ref[] = {read_ref(nullptr)};
+  EXPECT_THROW(b.submit("bad", null_ref), InvalidArgument);
+  double x;
+  const DataRef no_mode[] = {DataRef{&x, false, false}};
+  EXPECT_THROW(b.submit("bad", no_mode), InvalidArgument);
+}
+
+TEST(Builder, RandomStreamsProduceForwardEdgesOnly) {
+  // Property: any access stream yields edges with from < to and an acyclic
+  // graph (topological_order succeeds).
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    DagBuilder b;
+    double objects[6];
+    for (int task = 0; task < 50; ++task) {
+      std::vector<DataRef> refs;
+      const int nrefs = 1 + static_cast<int>(rng.uniform_index(3));
+      for (int r = 0; r < nrefs; ++r) {
+        DataRef ref;
+        ref.address = &objects[rng.uniform_index(6)];
+        ref.read = rng.uniform() < 0.7;
+        ref.write = !ref.read || rng.uniform() < 0.4;
+        refs.push_back(ref);
+      }
+      b.submit("t", refs);
+    }
+    const TaskGraph& g = b.graph();
+    for (const Edge& e : g.edges()) {
+      EXPECT_LT(e.from, e.to);
+    }
+    EXPECT_EQ(topological_order(g).size(), g.node_count());
+  }
+}
+
+// ------------------------------------------------------------- algorithms
+
+TaskGraph diamond() {
+  // a -> b, a -> c, b -> d, c -> d; weights 1, 2, 5, 1.
+  TaskGraph g;
+  g.add_node("a", 1.0);
+  g.add_node("b", 2.0);
+  g.add_node("c", 5.0);
+  g.add_node("d", 1.0);
+  g.add_edge(0, 1, DepKind::raw);
+  g.add_edge(0, 2, DepKind::raw);
+  g.add_edge(1, 3, DepKind::raw);
+  g.add_edge(2, 3, DepKind::raw);
+  return g;
+}
+
+TEST(Algorithms, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(position[e.from], position[e.to]);
+  }
+}
+
+TEST(Algorithms, CriticalPathOfDiamond) {
+  const CriticalPath cp = critical_path(diamond());
+  EXPECT_DOUBLE_EQ(cp.length_us, 7.0);  // a -> c -> d
+  ASSERT_EQ(cp.nodes.size(), 3u);
+  EXPECT_EQ(cp.nodes[0], 0u);
+  EXPECT_EQ(cp.nodes[1], 2u);
+  EXPECT_EQ(cp.nodes[2], 3u);
+}
+
+TEST(Algorithms, CriticalPathOfChainIsSum) {
+  TaskGraph g;
+  for (int i = 0; i < 5; ++i) g.add_node("n", 2.0);
+  for (NodeId i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1, DepKind::raw);
+  EXPECT_DOUBLE_EQ(critical_path(g).length_us, 10.0);
+  EXPECT_EQ(critical_path(g).nodes.size(), 5u);
+}
+
+TEST(Algorithms, EmptyGraph) {
+  TaskGraph g;
+  EXPECT_DOUBLE_EQ(critical_path(g).length_us, 0.0);
+  EXPECT_TRUE(topological_order(g).empty());
+  const DagMetrics m = compute_metrics(g);
+  EXPECT_EQ(m.nodes, 0u);
+}
+
+TEST(Algorithms, LevelProfileOfDiamond) {
+  const LevelProfile p = level_profile(diamond());
+  EXPECT_EQ(p.depth, 3);
+  ASSERT_EQ(p.width.size(), 3u);
+  EXPECT_EQ(p.width[0], 1u);
+  EXPECT_EQ(p.width[1], 2u);
+  EXPECT_EQ(p.width[2], 1u);
+  EXPECT_EQ(p.max_width, 2u);
+}
+
+TEST(Algorithms, MetricsComputeParallelism) {
+  const DagMetrics m = compute_metrics(diamond());
+  EXPECT_EQ(m.nodes, 4u);
+  EXPECT_EQ(m.edges, 4u);
+  EXPECT_DOUBLE_EQ(m.total_work_us, 9.0);
+  EXPECT_DOUBLE_EQ(m.critical_path_us, 7.0);
+  EXPECT_NEAR(m.average_parallelism, 9.0 / 7.0, 1e-12);
+}
+
+// --------------------------------------------------------------------- dot
+
+TEST(Dot, RendersNodesAndEdges) {
+  DotOptions options;
+  options.annotate_edges = true;
+  options.label_weights = true;
+  const std::string dot = render_dot(diamond(), options);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("RaW"), std::string::npos);
+  // All four nodes present.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(dot.find("n" + std::to_string(i) + " ["), std::string::npos);
+  }
+}
+
+TEST(Dot, KernelColorsApplied) {
+  TaskGraph g;
+  g.add_node("dgemm");
+  const std::string dot = render_dot(g);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tasksim::dag

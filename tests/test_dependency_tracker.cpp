@@ -1,0 +1,223 @@
+// Tests for the shared hazard-analysis engine of the schedulers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sched/dependency_tracker.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::sched {
+namespace {
+
+struct Fixture : ::testing::Test {
+  TaskRecord* make_task(AccessList accesses) {
+    auto rec = std::make_unique<TaskRecord>();
+    rec->id = records.size();
+    rec->desc.kernel = "k";
+    rec->desc.accesses = std::move(accesses);
+    records.push_back(std::move(rec));
+    return records.back().get();
+  }
+
+  /// Completes the task and returns the ids of newly released tasks.
+  std::vector<TaskId> complete(TaskRecord* task) {
+    std::vector<TaskRecord*> released;
+    tracker.on_complete(task, released);
+    std::vector<TaskId> ids;
+    for (TaskRecord* r : released) ids.push_back(r->id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  DependencyTracker tracker;
+  std::vector<std::unique_ptr<TaskRecord>> records;
+};
+
+using DependencyTrackerTest = Fixture;
+
+TEST_F(DependencyTrackerTest, IndependentTasksAreReadyImmediately) {
+  double x, y;
+  EXPECT_TRUE(tracker.register_task(make_task({inout(&x)})));
+  EXPECT_TRUE(tracker.register_task(make_task({inout(&y)})));
+}
+
+TEST_F(DependencyTrackerTest, RawSerializesWriterThenReader) {
+  double x;
+  TaskRecord* writer = make_task({out(&x)});
+  TaskRecord* reader = make_task({in(&x)});
+  EXPECT_TRUE(tracker.register_task(writer));
+  EXPECT_FALSE(tracker.register_task(reader));
+  EXPECT_EQ(complete(writer), std::vector<TaskId>{reader->id});
+}
+
+TEST_F(DependencyTrackerTest, ConcurrentReadersAllReleasedTogether) {
+  double x;
+  TaskRecord* writer = make_task({out(&x)});
+  tracker.register_task(writer);
+  TaskRecord* r1 = make_task({in(&x)});
+  TaskRecord* r2 = make_task({in(&x)});
+  TaskRecord* r3 = make_task({in(&x)});
+  EXPECT_FALSE(tracker.register_task(r1));
+  EXPECT_FALSE(tracker.register_task(r2));
+  EXPECT_FALSE(tracker.register_task(r3));
+  const auto released = complete(writer);
+  EXPECT_EQ(released, (std::vector<TaskId>{r1->id, r2->id, r3->id}));
+}
+
+TEST_F(DependencyTrackerTest, WarWriterWaitsForAllReaders) {
+  double x;
+  TaskRecord* w0 = make_task({out(&x)});
+  tracker.register_task(w0);
+  complete(w0);
+  TaskRecord* r1 = make_task({in(&x)});
+  TaskRecord* r2 = make_task({in(&x)});
+  EXPECT_TRUE(tracker.register_task(r1));  // w0 already finished
+  EXPECT_TRUE(tracker.register_task(r2));
+  TaskRecord* w1 = make_task({out(&x)});
+  EXPECT_FALSE(tracker.register_task(w1));
+  EXPECT_TRUE(complete(r1).empty());  // one reader is not enough
+  EXPECT_EQ(complete(r2), std::vector<TaskId>{w1->id});
+}
+
+TEST_F(DependencyTrackerTest, WawChainsWriters) {
+  double x;
+  TaskRecord* w0 = make_task({out(&x)});
+  TaskRecord* w1 = make_task({out(&x)});
+  TaskRecord* w2 = make_task({out(&x)});
+  EXPECT_TRUE(tracker.register_task(w0));
+  EXPECT_FALSE(tracker.register_task(w1));
+  EXPECT_FALSE(tracker.register_task(w2));
+  EXPECT_EQ(complete(w0), std::vector<TaskId>{w1->id});
+  EXPECT_EQ(complete(w1), std::vector<TaskId>{w2->id});
+}
+
+TEST_F(DependencyTrackerTest, DuplicatePredecessorCountedOnce) {
+  // A task reading two tiles produced by the same predecessor must wait
+  // exactly once for it.
+  double x, y;
+  TaskRecord* producer = make_task({out(&x), out(&y)});
+  tracker.register_task(producer);
+  TaskRecord* consumer = make_task({in(&x), in(&y)});
+  EXPECT_FALSE(tracker.register_task(consumer));
+  EXPECT_EQ(consumer->remaining_deps.load(), 1);
+  EXPECT_EQ(complete(producer), std::vector<TaskId>{consumer->id});
+}
+
+TEST_F(DependencyTrackerTest, SameAddressTwiceInOneTaskMerged) {
+  double x;
+  TaskRecord* t0 = make_task({in(&x), out(&x)});  // merged to RW
+  EXPECT_TRUE(tracker.register_task(t0));
+  TaskRecord* t1 = make_task({in(&x)});
+  EXPECT_FALSE(tracker.register_task(t1));  // RaW on the merged write
+  complete(t0);
+  EXPECT_EQ(t1->remaining_deps.load(), 0);
+}
+
+TEST_F(DependencyTrackerTest, FinishedPredecessorsCreateNoDeps) {
+  double x;
+  TaskRecord* w = make_task({out(&x)});
+  tracker.register_task(w);
+  complete(w);
+  TaskRecord* r = make_task({in(&x)});
+  EXPECT_TRUE(tracker.register_task(r));
+}
+
+TEST_F(DependencyTrackerTest, ResetForgetsState) {
+  double x;
+  TaskRecord* w = make_task({out(&x)});
+  tracker.register_task(w);
+  complete(w);
+  EXPECT_GT(tracker.tracked_objects(), 0u);
+  tracker.reset();
+  EXPECT_EQ(tracker.tracked_objects(), 0u);
+  TaskRecord* r = make_task({in(&x)});
+  EXPECT_TRUE(tracker.register_task(r));  // no memory of the old writer
+}
+
+// Property test: simulate a serial "immediately complete each ready task"
+// executor over random access streams and verify against a brute-force
+// oracle that orders task completion by per-object serial semantics.
+TEST_F(DependencyTrackerTest, RandomStreamsMatchSerialOracle) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    DependencyTracker local;
+    std::vector<std::unique_ptr<TaskRecord>> recs;
+    double objects[5];
+
+    // Oracle state: per object, the ids that must precede a new access.
+    struct OracleObject {
+      bool has_writer = false;
+      TaskId last_writer = 0;
+      std::vector<TaskId> readers;
+    };
+    OracleObject oracle[5];
+
+    std::vector<int> expected_deps;
+    for (int t = 0; t < 60; ++t) {
+      AccessList accesses;
+      std::set<std::size_t> used;
+      const int nrefs = 1 + static_cast<int>(rng.uniform_index(2));
+      for (int r = 0; r < nrefs; ++r) {
+        const std::size_t obj = rng.uniform_index(5);
+        if (used.count(obj)) continue;
+        used.insert(obj);
+        const double p = rng.uniform();
+        AccessMode mode = p < 0.5   ? AccessMode::read
+                          : p < 0.8 ? AccessMode::write
+                                    : AccessMode::read_write;
+        accesses.push_back(Access{&objects[obj], 8, mode});
+      }
+
+      // Oracle: count distinct predecessor ids among unfinished tasks
+      // (here no task ever completes, so all predecessors are live).
+      std::set<TaskId> preds;
+      for (const Access& a : accesses) {
+        const std::size_t obj =
+            static_cast<std::size_t>(static_cast<const double*>(a.address) -
+                                     objects);
+        OracleObject& state = oracle[obj];
+        if (reads(a.mode) && state.has_writer) preds.insert(state.last_writer);
+        if (writes(a.mode)) {
+          if (!state.readers.empty()) {
+            preds.insert(state.readers.begin(), state.readers.end());
+          } else if (state.has_writer) {
+            preds.insert(state.last_writer);
+          }
+        }
+      }
+      for (const Access& a : accesses) {
+        const std::size_t obj =
+            static_cast<std::size_t>(static_cast<const double*>(a.address) -
+                                     objects);
+        OracleObject& state = oracle[obj];
+        if (writes(a.mode)) {
+          state.has_writer = true;
+          state.last_writer = static_cast<TaskId>(t);
+          state.readers.clear();
+        } else {
+          state.readers.push_back(static_cast<TaskId>(t));
+        }
+      }
+      preds.erase(static_cast<TaskId>(t));
+      expected_deps.push_back(static_cast<int>(preds.size()));
+
+      auto rec = std::make_unique<TaskRecord>();
+      rec->id = static_cast<TaskId>(t);
+      rec->desc.accesses = accesses;
+      local.register_task(rec.get());
+      recs.push_back(std::move(rec));
+    }
+
+    for (int t = 0; t < 60; ++t) {
+      EXPECT_EQ(recs[static_cast<std::size_t>(t)]->remaining_deps.load(),
+                expected_deps[static_cast<std::size_t>(t)])
+          << "trial " << trial << " task " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tasksim::sched

@@ -1,0 +1,185 @@
+// Tests for the experiment harness: the calibrate→run→simulate→compare
+// pipeline, report tables, and the autotuner.
+#include <gtest/gtest.h>
+
+#include "harness/autotune.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "linalg/tile_cholesky.hpp"
+#include "support/error.hpp"
+
+namespace tasksim::harness {
+namespace {
+
+ExperimentConfig small_config(Algorithm algorithm, const std::string& sched) {
+  ExperimentConfig config;
+  config.algorithm = algorithm;
+  config.scheduler = sched;
+  config.n = 96;
+  config.nb = 24;
+  config.workers = 2;
+  config.verify_numerics = true;
+  return config;
+}
+
+TEST(Experiment, AlgorithmParseAndNames) {
+  EXPECT_EQ(parse_algorithm("cholesky"), Algorithm::cholesky);
+  EXPECT_EQ(parse_algorithm("qr"), Algorithm::qr);
+  EXPECT_EQ(parse_algorithm("lu"), Algorithm::lu);
+  EXPECT_THROW(parse_algorithm("svd"), InvalidArgument);
+  EXPECT_STREQ(to_string(Algorithm::qr), "qr");
+  EXPECT_STREQ(to_string(Algorithm::lu), "lu");
+}
+
+TEST(Experiment, FlopsFormulas) {
+  ExperimentConfig config;
+  config.n = 100;
+  config.algorithm = Algorithm::cholesky;
+  EXPECT_NEAR(algorithm_flops(config), 100.0 * 100 * 100 / 3.0, 6000.0);
+  config.algorithm = Algorithm::qr;
+  EXPECT_NEAR(algorithm_flops(config), 4.0 / 3.0 * 1e6, 1e3);
+}
+
+TEST(Experiment, InputMatrixShapes) {
+  ExperimentConfig config;
+  config.n = 48;
+  config.nb = 12;
+  config.algorithm = Algorithm::cholesky;
+  const auto spd = make_input_matrix(config);
+  EXPECT_EQ(spd.n(), 48);
+  EXPECT_EQ(spd.tiles(), 4);
+  config.algorithm = Algorithm::qr;
+  const auto general = make_input_matrix(config);
+  EXPECT_EQ(general.tile_size(), 12);
+}
+
+TEST(Experiment, RealRunVerifiesAndProducesTimeline) {
+  const RunResult result =
+      run_real(small_config(Algorithm::cholesky, "quark"));
+  EXPECT_GT(result.makespan_us, 0.0);
+  EXPECT_GT(result.gflops, 0.0);
+  EXPECT_EQ(result.tasks, linalg::cholesky_task_count(4));
+  ASSERT_TRUE(result.residual.has_value());
+  EXPECT_LT(*result.residual, 1e-12);
+  EXPECT_EQ(result.timeline.size(), result.tasks);
+}
+
+TEST(Experiment, SimulatedRunUsesModels) {
+  sim::KernelModelSet models;
+  for (const char* kernel : {"dpotrf", "dtrsm", "dsyrk", "dgemm"}) {
+    models.set_model(kernel, std::make_unique<stats::ConstantDist>(100.0));
+  }
+  ExperimentConfig config = small_config(Algorithm::cholesky, "quark");
+  config.verify_numerics = false;
+  const RunResult result = run_simulated(config, models);
+  EXPECT_EQ(result.tasks, linalg::cholesky_task_count(4));
+  for (const auto& e : result.timeline.events()) {
+    EXPECT_DOUBLE_EQ(e.duration_us(), 100.0);
+  }
+  EXPECT_EQ(result.quiescence_timeouts, 0u);
+}
+
+TEST(Experiment, CalibrateProducesModelsForAllKernels) {
+  ExperimentConfig config = small_config(Algorithm::qr, "quark");
+  config.verify_numerics = false;
+  const sim::KernelModelSet models =
+      calibrate(config, sim::ModelFamily::best);
+  for (const char* kernel : {"dgeqrt", "dormqr", "dtsqrt", "dtsmqr"}) {
+    EXPECT_TRUE(models.has_model(kernel)) << kernel;
+    EXPECT_GT(models.mean_us(kernel), 0.0);
+  }
+}
+
+TEST(Experiment, ComparePipelineProducesBoundedError) {
+  ExperimentConfig config = small_config(Algorithm::cholesky, "ompss/bf");
+  config.n = 144;
+  config.verify_numerics = false;
+  const ComparisonRow row =
+      compare_real_vs_sim(config, sim::ModelFamily::best);
+  EXPECT_EQ(row.n, 144);
+  EXPECT_GT(row.real_gflops, 0.0);
+  EXPECT_GT(row.sim_gflops, 0.0);
+  // Tiny problems are the paper's worst case (~16%); allow generous slack
+  // on a noisy shared host, but a sign-correct, same-order prediction.
+  EXPECT_LT(std::abs(row.error_pct), 60.0);
+  EXPECT_GT(row.sim_makespan_us, 0.0);
+  EXPECT_GT(row.real_wall_us, 0.0);
+}
+
+TEST(Experiment, CompareWithPreCalibratedModels) {
+  ExperimentConfig calib_config = small_config(Algorithm::cholesky, "quark");
+  calib_config.verify_numerics = false;
+  const sim::KernelModelSet models =
+      calibrate(calib_config, sim::ModelFamily::lognormal);
+  ExperimentConfig config = calib_config;
+  config.n = 192;  // predict a larger size from small-problem calibration
+  const ComparisonRow row =
+      compare_real_vs_sim(config, sim::ModelFamily::lognormal, &models);
+  EXPECT_GT(row.sim_gflops, 0.0);
+  EXPECT_LT(std::abs(row.error_pct), 60.0);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Report, TableAlignsColumns) {
+  TextTable table;
+  table.set_headers({"a", "long-header", "c"});
+  table.add_row({"1", "2", "3"});
+  table.add_row({"wide-cell", "x", "y"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // All lines (except the underline) have equal prefix alignment: every
+  // row contains the separator double-space.
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Report, TableRejectsRaggedRows) {
+  TextTable table;
+  table.set_headers({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+// --------------------------------------------------------------- autotune
+
+TEST(Autotune, PicksACandidateAndReportsAll) {
+  ExperimentConfig base;
+  base.algorithm = Algorithm::cholesky;
+  base.scheduler = "quark";
+  base.n = 240;
+  base.workers = 2;
+  AutotuneOptions options;
+  options.calibration_tiles = 3;
+  const AutotuneResult result =
+      autotune_tile_size(base, {24, 48, 80}, options);
+  EXPECT_EQ(result.candidates.size(), 3u);
+  EXPECT_GT(result.best_nb, 0);
+  EXPECT_GT(result.best_predicted_gflops, 0.0);
+  for (const auto& c : result.candidates) {
+    EXPECT_EQ(c.n_used % c.nb, 0);
+    EXPECT_GT(c.predicted_gflops, 0.0);
+  }
+}
+
+TEST(Autotune, SkipsOversizedTiles) {
+  ExperimentConfig base;
+  base.algorithm = Algorithm::cholesky;
+  base.scheduler = "quark";
+  base.n = 64;
+  base.workers = 2;
+  AutotuneOptions options;
+  options.calibration_tiles = 2;
+  const AutotuneResult result = autotune_tile_size(base, {32, 128}, options);
+  ASSERT_EQ(result.candidates.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.candidates[1].predicted_gflops, 0.0);  // 128 > 64
+  EXPECT_EQ(result.best_nb, 32);
+}
+
+TEST(Autotune, RejectsEmptyCandidates) {
+  ExperimentConfig base;
+  EXPECT_THROW(autotune_tile_size(base, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tasksim::harness

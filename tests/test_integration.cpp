@@ -1,0 +1,202 @@
+// End-to-end integration tests: the full paper pipeline (real run →
+// calibrate → simulate → compare) across schedulers and algorithms, plus
+// cross-module consistency checks (DAG capture vs task-count formulas,
+// simulated trace vs captured dependences).
+#include <gtest/gtest.h>
+
+#include "dag/algorithms.hpp"
+#include "harness/experiment.hpp"
+#include "linalg/tile_cholesky.hpp"
+#include "linalg/tile_qr.hpp"
+#include "sched/factory.hpp"
+#include "sched/observers.hpp"
+#include "sched/submitter.hpp"
+#include "sim/dag_replay.hpp"
+#include "sim/sim_submitter.hpp"
+#include "trace/analysis.hpp"
+
+namespace tasksim {
+namespace {
+
+struct Case {
+  const char* scheduler;
+  harness::Algorithm algorithm;
+};
+
+class PipelineTest : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulersAndAlgorithms, PipelineTest,
+    ::testing::Values(Case{"quark", harness::Algorithm::cholesky},
+                      Case{"quark", harness::Algorithm::qr},
+                      Case{"starpu/dmda", harness::Algorithm::cholesky},
+                      Case{"starpu/dmda", harness::Algorithm::qr},
+                      Case{"ompss/bf", harness::Algorithm::cholesky},
+                      Case{"ompss/bf", harness::Algorithm::qr}),
+    [](const auto& info) {
+      std::string name = info.param.scheduler;
+      for (char& c : name) {
+        if (c == '/') c = '_';
+      }
+      return name + "_" + to_string(info.param.algorithm);
+    });
+
+TEST_P(PipelineTest, RealAndSimulatedAgreeInShape) {
+  harness::ExperimentConfig config;
+  config.scheduler = GetParam().scheduler;
+  config.algorithm = GetParam().algorithm;
+  config.n = 160;
+  config.nb = 32;
+  config.workers = 3;
+
+  sim::CalibrationObserver calibration;
+  const harness::RunResult real = harness::run_real(config, &calibration);
+  const sim::KernelModelSet models =
+      calibration.fit(sim::ModelFamily::best);
+  const harness::RunResult sim = harness::run_simulated(config, models);
+
+  ASSERT_EQ(real.tasks, sim.tasks);
+  EXPECT_GT(real.makespan_us, 0.0);
+  EXPECT_GT(sim.makespan_us, 0.0);
+  // Shape agreement on a noisy 1-core host: same order of magnitude and a
+  // bounded relative gap (the realistic-size benches show the few-percent
+  // regime; tiny problems are noisier).
+  const double err =
+      std::abs(sim.makespan_us - real.makespan_us) / real.makespan_us;
+  EXPECT_LT(err, 0.6) << "real=" << real.makespan_us
+                      << " sim=" << sim.makespan_us;
+
+  // Per-kernel task counts in the two traces must match exactly: the
+  // scheduler executed the same task graph.
+  const auto real_stats = trace::analyze(real.timeline);
+  const auto sim_stats = trace::analyze(sim.timeline);
+  ASSERT_EQ(real_stats.kernels.size(), sim_stats.kernels.size());
+  for (const auto& [kernel, ks] : real_stats.kernels) {
+    ASSERT_TRUE(sim_stats.kernels.count(kernel)) << kernel;
+    EXPECT_EQ(ks.count, sim_stats.kernels.at(kernel).count) << kernel;
+  }
+}
+
+TEST_P(PipelineTest, SimulatedTraceRespectsCapturedDag) {
+  harness::ExperimentConfig config;
+  config.scheduler = GetParam().scheduler;
+  config.algorithm = GetParam().algorithm;
+  config.n = 128;
+  config.nb = 32;
+  config.workers = 3;
+
+  sim::KernelModelSet models;
+  for (const char* kernel : {"dpotrf", "dtrsm", "dsyrk", "dgemm", "dgeqrt",
+                             "dormqr", "dtsqrt", "dtsmqr"}) {
+    models.set_model(kernel, std::make_unique<stats::UniformDist>(20.0, 80.0));
+  }
+
+  linalg::TileMatrix a(config.n, config.nb);
+  linalg::TileMatrix t(config.n, config.nb);
+  sched::RuntimeConfig rc;
+  rc.workers = config.workers;
+  auto rt = sched::make_runtime(config.scheduler, rc);
+  sched::DagCaptureObserver capture;
+  rt->add_observer(&capture);
+  sim::SimEngine engine(models);
+  sim::SimSubmitter submitter(*rt, engine);
+  if (config.algorithm == harness::Algorithm::cholesky) {
+    linalg::tile_cholesky(a, submitter);
+  } else {
+    linalg::tile_qr(a, t, submitter);
+  }
+  rt->remove_observer(&capture);
+
+  std::vector<double> start(capture.graph().node_count());
+  std::vector<double> end(capture.graph().node_count());
+  for (const auto& e : engine.trace().events()) {
+    start[e.task_id] = e.start_us;
+    end[e.task_id] = e.end_us;
+  }
+  for (const auto& edge : capture.graph().edges()) {
+    EXPECT_GE(start[edge.to] + 1e-9, end[edge.from]);
+  }
+}
+
+TEST(Integration, DagCaptureMatchesTaskCountFormulas) {
+  for (int nt : {2, 3, 5}) {
+    const int nb = 16;
+    linalg::TileMatrix a(nt * nb, nb);
+    linalg::TileMatrix t(nt * nb, nb);
+    sched::RuntimeConfig rc;
+    rc.workers = 1;
+    {
+      auto rt = sched::make_runtime("quark", rc);
+      sched::DagCaptureObserver capture;
+      rt->add_observer(&capture);
+      sim::KernelModelSet models;
+      for (const char* k : {"dgeqrt", "dormqr", "dtsqrt", "dtsmqr"}) {
+        models.set_model(k, std::make_unique<stats::ConstantDist>(1.0));
+      }
+      sim::SimEngine engine(models);
+      sim::SimSubmitter submitter(*rt, engine);
+      linalg::tile_qr(a, t, submitter);
+      EXPECT_EQ(capture.graph().node_count(), linalg::qr_task_count(nt));
+      rt->remove_observer(&capture);
+    }
+  }
+}
+
+TEST(Integration, SchedulerInLoopBeatsOrMatchesDagReplayStructure) {
+  // Build the Cholesky DAG and compare the baseline pure-DES replay with
+  // the scheduler-in-the-loop simulation under identical constant kernel
+  // times.  With constant times and a greedy scheduler both are valid
+  // schedules; the scheduler-in-the-loop makespan must be at least the
+  // DAG's critical path and at most the serial sum.
+  const int nt = 5, nb = 16;
+  linalg::TileMatrix a(nt * nb, nb);
+  sim::KernelModelSet models;
+  for (const char* k : {"dpotrf", "dtrsm", "dsyrk", "dgemm"}) {
+    models.set_model(k, std::make_unique<stats::ConstantDist>(50.0));
+  }
+
+  sched::RuntimeConfig rc;
+  rc.workers = 3;
+  auto rt = sched::make_runtime("quark", rc);
+  sched::DagCaptureObserver capture;
+  rt->add_observer(&capture);
+  sim::SimEngine engine(models);
+  sim::SimSubmitter submitter(*rt, engine);
+  linalg::tile_cholesky(a, submitter);
+  rt->remove_observer(&capture);
+
+  dag::TaskGraph graph = capture.take_graph();
+  for (dag::NodeId id = 0; id < graph.node_count(); ++id) {
+    graph.mutable_node(id).weight_us = 50.0;
+  }
+  const double critical = dag::critical_path(graph).length_us;
+  const double serial = 50.0 * static_cast<double>(graph.node_count());
+  const double sim_makespan = engine.trace().makespan_us();
+  EXPECT_GE(sim_makespan + 1e-6, critical);
+  EXPECT_LE(sim_makespan, serial + 1e-6);
+
+  sim::DagReplayOptions options;
+  options.workers = 3;
+  const auto baseline = replay_dag(graph, sim::weight_duration_fn(), options);
+  EXPECT_GE(baseline.makespan_us + 1e-6, critical);
+  // Both are within the same structural bounds.
+  EXPECT_LE(baseline.makespan_us, serial + 1e-6);
+}
+
+TEST(Integration, SimulationIsFasterThanRealAtScale) {
+  // The paper's "Accelerated Simulation Time" contribution.
+  harness::ExperimentConfig config;
+  config.scheduler = "quark";
+  config.algorithm = harness::Algorithm::cholesky;
+  config.n = 288;
+  config.nb = 48;
+  config.workers = 2;
+  sim::CalibrationObserver calibration;
+  const harness::RunResult real = harness::run_real(config, &calibration);
+  const harness::RunResult sim =
+      harness::run_simulated(config, calibration.fit(sim::ModelFamily::best));
+  EXPECT_LT(sim.wall_us, real.wall_us);
+}
+
+}  // namespace
+}  // namespace tasksim

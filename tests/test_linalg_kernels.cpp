@@ -1,0 +1,283 @@
+// Numerical tests for the from-scratch BLAS and tile-QR kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas_kernels.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/qr_kernels.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::linalg {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+Matrix to_matrix(const std::vector<double>& data, int rows, int cols) {
+  Matrix m(rows, cols);
+  for (int j = 0; j < cols; ++j) {
+    for (int i = 0; i < rows; ++i) m(i, j) = data[j * rows + i];
+  }
+  return m;
+}
+
+std::vector<double> from_matrix(const Matrix& m) {
+  std::vector<double> data(static_cast<std::size_t>(m.rows()) * m.cols());
+  for (int j = 0; j < m.cols(); ++j) {
+    for (int i = 0; i < m.rows(); ++i) data[j * m.rows() + i] = m(i, j);
+  }
+  return data;
+}
+
+// ------------------------------------------------------------------ dgemm
+
+struct GemmCase {
+  Trans ta;
+  Trans tb;
+  double alpha;
+  double beta;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, GemmTest,
+    ::testing::Values(GemmCase{Trans::no, Trans::no, 1.0, 0.0},
+                      GemmCase{Trans::no, Trans::yes, -1.0, 1.0},
+                      GemmCase{Trans::yes, Trans::no, 2.0, 0.5},
+                      GemmCase{Trans::yes, Trans::yes, 0.5, -1.0},
+                      GemmCase{Trans::no, Trans::no, 0.0, 2.0}));
+
+TEST_P(GemmTest, MatchesDenseReference) {
+  const GemmCase c = GetParam();
+  const int m = 7, n = 5, k = 6;
+  Rng rng(1);
+  const Matrix a = Matrix::random(c.ta == Trans::no ? m : k,
+                                  c.ta == Trans::no ? k : m, rng);
+  const Matrix b = Matrix::random(c.tb == Trans::no ? k : n,
+                                  c.tb == Trans::no ? n : k, rng);
+  const Matrix c0 = Matrix::random(m, n, rng);
+
+  // Reference: alpha*op(A)*op(B) + beta*C via the dense helpers.
+  Matrix expected = matmul(a, b, c.ta == Trans::yes, c.tb == Trans::yes);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      expected(i, j) = c.alpha * expected(i, j) + c.beta * c0(i, j);
+    }
+  }
+
+  std::vector<double> cv = from_matrix(c0);
+  dgemm(c.ta, c.tb, m, n, k, c.alpha, a.data(), a.rows(), b.data(), b.rows(),
+        c.beta, cv.data(), m);
+  EXPECT_LT(relative_error(to_matrix(cv, m, n), expected), kTol);
+}
+
+TEST(Gemm, ZeroDimensionsAreNoOps) {
+  double c = 3.0;
+  dgemm(Trans::no, Trans::no, 1, 1, 0, 1.0, nullptr, 1, nullptr, 1, 1.0, &c, 1);
+  EXPECT_DOUBLE_EQ(c, 3.0);
+  EXPECT_THROW(dgemm(Trans::no, Trans::no, -1, 1, 1, 1.0, nullptr, 1, nullptr,
+                     1, 1.0, &c, 1),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------------ dsyrk
+
+TEST(Dsyrk, MatchesReferenceOnLowerTriangle) {
+  const int n = 6, k = 4;
+  Rng rng(2);
+  const Matrix a = Matrix::random(n, k, rng);
+  const Matrix c0 = Matrix::random(n, n, rng);
+  Matrix expected = matmul(a, a, false, true);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      expected(i, j) = -1.0 * expected(i, j) + 1.0 * c0(i, j);
+    }
+  }
+  std::vector<double> cv = from_matrix(c0);
+  dsyrk_lower(n, k, -1.0, a.data(), n, 1.0, cv.data(), n);
+  const Matrix result = to_matrix(cv, n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      EXPECT_NEAR(result(i, j), expected(i, j), 1e-12);
+    }
+    // Upper triangle untouched.
+    for (int i = 0; i < j; ++i) {
+      EXPECT_DOUBLE_EQ(result(i, j), c0(i, j));
+    }
+  }
+}
+
+// ------------------------------------------------------------------ dtrsm
+
+TEST(Dtrsm, SolvesRightLowerTranspose) {
+  const int m = 5, n = 5;
+  Rng rng(3);
+  Matrix l = Matrix::random(n, n, rng);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < j; ++i) l(i, j) = 0.0;  // lower triangular
+    l(j, j) += 4.0;                             // well conditioned
+  }
+  const Matrix b = Matrix::random(m, n, rng);
+  std::vector<double> xv = from_matrix(b);
+  dtrsm_right_lower_trans(m, n, l.data(), n, xv.data(), m);
+  // Check X * Lᵀ == B.
+  const Matrix x = to_matrix(xv, m, n);
+  const Matrix reconstructed = matmul(x, l, false, true);
+  EXPECT_LT(relative_error(reconstructed, b), 1e-12);
+}
+
+TEST(Dtrsm, RejectsSingularDiagonal) {
+  double l[4] = {0.0, 1.0, 0.0, 1.0};  // L(0,0)=0
+  double b[2] = {1.0, 1.0};
+  EXPECT_THROW(dtrsm_right_lower_trans(1, 2, l, 2, b, 1), InvalidArgument);
+}
+
+// ----------------------------------------------------------------- dpotrf
+
+TEST(Dpotrf, FactorsSpdMatrix) {
+  const int n = 8;
+  Rng rng(4);
+  const Matrix a = Matrix::random_spd(n, rng);
+  std::vector<double> av = from_matrix(a);
+  ASSERT_EQ(dpotrf_lower(n, av.data(), n), 0);
+  const Matrix l = lower_triangle(to_matrix(av, n, n));
+  const Matrix llt = matmul(l, l, false, true);
+  EXPECT_LT(relative_error(llt, a), 1e-12);
+}
+
+TEST(Dpotrf, DetectsNonSpd) {
+  // Indefinite matrix: diag(1, -1).
+  std::vector<double> a = {1.0, 0.0, 0.0, -1.0};
+  EXPECT_EQ(dpotrf_lower(2, a.data(), 2), 2);
+}
+
+TEST(Dpotrf, DiagDominantGeneratorIsSpd) {
+  Rng rng(5);
+  const Matrix a = Matrix::random_diag_dominant(12, rng);
+  std::vector<double> av = from_matrix(a);
+  EXPECT_EQ(dpotrf_lower(12, av.data(), 12), 0);
+}
+
+// --------------------------------------------------------------- tile QR
+
+TEST(Dgeqrt, ProducesUpperTriangularRAndOrthogonalQ) {
+  const int nb = 8;
+  Rng rng(6);
+  const Matrix a0 = Matrix::random(nb, nb, rng);
+  std::vector<double> a = from_matrix(a0);
+  std::vector<double> t(static_cast<std::size_t>(nb) * nb, 0.0);
+  dgeqrt(nb, a.data(), nb, t.data(), nb);
+
+  // Reconstruct Q·R by applying Q (I - V T Vᵀ) to R.
+  const Matrix r = upper_triangle(to_matrix(a, nb, nb));
+  std::vector<double> qr = from_matrix(r);
+  dormqr(ApplyTrans::no, nb, a.data(), nb, t.data(), nb, qr.data(), nb);
+  EXPECT_LT(relative_error(to_matrix(qr, nb, nb), a0), 1e-12);
+}
+
+TEST(Dormqr, TransposeThenNoTransposeIsIdentity) {
+  const int nb = 6;
+  Rng rng(7);
+  const Matrix a0 = Matrix::random(nb, nb, rng);
+  std::vector<double> v = from_matrix(a0);
+  std::vector<double> t(static_cast<std::size_t>(nb) * nb, 0.0);
+  dgeqrt(nb, v.data(), nb, t.data(), nb);
+
+  const Matrix c0 = Matrix::random(nb, nb, rng);
+  std::vector<double> c = from_matrix(c0);
+  dormqr(ApplyTrans::yes, nb, v.data(), nb, t.data(), nb, c.data(), nb);
+  dormqr(ApplyTrans::no, nb, v.data(), nb, t.data(), nb, c.data(), nb);
+  EXPECT_LT(relative_error(to_matrix(c, nb, nb), c0), 1e-12);
+}
+
+TEST(Dtsqrt, FactorsStackedPair) {
+  const int nb = 6;
+  Rng rng(8);
+  // Top block: an upper-triangular R (as after dgeqrt); bottom: dense.
+  Matrix top = upper_triangle(Matrix::random(nb, nb, rng));
+  for (int j = 0; j < nb; ++j) top(j, j) += 2.0;
+  const Matrix bottom = Matrix::random(nb, nb, rng);
+
+  std::vector<double> r = from_matrix(top);
+  std::vector<double> a2 = from_matrix(bottom);
+  std::vector<double> t(static_cast<std::size_t>(nb) * nb, 0.0);
+  dtsqrt(nb, r.data(), nb, a2.data(), nb, t.data(), nb);
+
+  // Apply Q to [R_new; 0] and compare against the original stack.
+  std::vector<double> c1 = r;  // R_new (upper triangular by construction)
+  for (int j = 0; j < nb; ++j) {
+    for (int i = j + 1; i < nb; ++i) c1[j * nb + i] = 0.0;
+  }
+  std::vector<double> c2(static_cast<std::size_t>(nb) * nb, 0.0);
+  dtsmqr(ApplyTrans::no, nb, c1.data(), nb, c2.data(), nb, a2.data(), nb,
+         t.data(), nb);
+  EXPECT_LT(relative_error(to_matrix(c1, nb, nb), top), 1e-11);
+  EXPECT_LT(relative_error(to_matrix(c2, nb, nb), bottom), 1e-11);
+}
+
+TEST(Dtsmqr, TransposeRoundTripIsIdentity) {
+  const int nb = 5;
+  Rng rng(9);
+  Matrix top = upper_triangle(Matrix::random(nb, nb, rng));
+  for (int j = 0; j < nb; ++j) top(j, j) += 2.0;
+  const Matrix bottom = Matrix::random(nb, nb, rng);
+  std::vector<double> r = from_matrix(top);
+  std::vector<double> v2 = from_matrix(bottom);
+  std::vector<double> t(static_cast<std::size_t>(nb) * nb, 0.0);
+  dtsqrt(nb, r.data(), nb, v2.data(), nb, t.data(), nb);
+
+  const Matrix b1_0 = Matrix::random(nb, nb, rng);
+  const Matrix b2_0 = Matrix::random(nb, nb, rng);
+  std::vector<double> b1 = from_matrix(b1_0);
+  std::vector<double> b2 = from_matrix(b2_0);
+  dtsmqr(ApplyTrans::yes, nb, b1.data(), nb, b2.data(), nb, v2.data(), nb,
+         t.data(), nb);
+  dtsmqr(ApplyTrans::no, nb, b1.data(), nb, b2.data(), nb, v2.data(), nb,
+         t.data(), nb);
+  EXPECT_LT(relative_error(to_matrix(b1, nb, nb), b1_0), 1e-11);
+  EXPECT_LT(relative_error(to_matrix(b2, nb, nb), b2_0), 1e-11);
+}
+
+// ------------------------------------------------------------------ flops
+
+TEST(Flops, CountsArePositiveAndScaleCubically) {
+  EXPECT_DOUBLE_EQ(flops_dgemm(2, 3, 4), 48.0);
+  EXPECT_GT(flops_dpotrf(10), 0.0);
+  EXPECT_NEAR(flops_cholesky(300) / flops_cholesky(100), 27.0, 1.0);
+  EXPECT_NEAR(flops_qr(200) / flops_qr(100), 8.0, 0.1);
+  EXPECT_GT(flops_dtsmqr(8), flops_dtsqrt(8));
+}
+
+// ------------------------------------------------------------------ dense
+
+TEST(Dense, TransposeAndNorms) {
+  Rng rng(10);
+  const Matrix a = Matrix::random(4, 3, rng);
+  const Matrix at = transpose(a);
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at.cols(), 4);
+  EXPECT_DOUBLE_EQ(a(1, 2), at(2, 1));
+  EXPECT_NEAR(frobenius_norm(a), frobenius_norm(at), 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(a, a), 0.0);
+}
+
+TEST(Dense, IdentityAndZero) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(Matrix::zero(5, 5)), 0.0);
+}
+
+TEST(Dense, MatmulRejectsMismatchedShapes) {
+  Rng rng(11);
+  const Matrix a = Matrix::random(2, 3, rng);
+  const Matrix b = Matrix::random(4, 3, rng);
+  EXPECT_THROW(matmul(a, b), InvalidArgument);
+  EXPECT_NO_THROW(matmul(a, b, false, true));  // A (2x3) * Bᵀ (3x4)
+}
+
+}  // namespace
+}  // namespace tasksim::linalg

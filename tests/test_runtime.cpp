@@ -1,0 +1,395 @@
+// Cross-scheduler runtime tests, parameterized over every runtime spec
+// (the paper's portability claim, in test form): dependence enforcement,
+// barriers, windows, observers, counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/factory.hpp"
+#include "sched/observers.hpp"
+#include "sched/runtime_base.hpp"
+#include "sched/task_builder.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::sched {
+namespace {
+
+class RuntimeTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Runtime> make(int workers, std::size_t window = 0,
+                                bool master = false) {
+    RuntimeConfig config;
+    config.workers = workers;
+    config.window_size = window;
+    config.master_participates = master;
+    return make_runtime(GetParam(), config);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, RuntimeTest,
+                         ::testing::ValuesIn(known_runtime_specs()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+TaskDescriptor simple_task(std::string kernel, std::function<void()> body,
+                           AccessList accesses) {
+  TaskDescriptor desc;
+  desc.kernel = std::move(kernel);
+  desc.function = [body = std::move(body)](TaskContext&) { body(); };
+  desc.accesses = std::move(accesses);
+  return desc;
+}
+
+TEST_P(RuntimeTest, ExecutesAllTasks) {
+  auto rt = make(3);
+  std::atomic<int> count{0};
+  double objects[8];
+  for (int i = 0; i < 64; ++i) {
+    rt->submit(simple_task("k", [&count] { ++count; },
+                           {inout(&objects[i % 8])}));
+  }
+  rt->wait_all();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST_P(RuntimeTest, EnforcesRawChainOrder) {
+  auto rt = make(4);
+  double x;
+  std::vector<int> order;
+  std::mutex order_mutex;
+  for (int i = 0; i < 32; ++i) {
+    rt->submit(simple_task("k",
+                           [&order, &order_mutex, i] {
+                             std::lock_guard<std::mutex> lock(order_mutex);
+                             order.push_back(i);
+                           },
+                           {inout(&x)}));
+  }
+  rt->wait_all();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_P(RuntimeTest, ConcurrentReadersMayOverlapAndNeverRaceWriter) {
+  auto rt = make(4);
+  double x = 0.0;
+  std::atomic<int> active_readers{0};
+  std::atomic<bool> writer_during_read{false};
+  std::atomic<bool> writer_running{false};
+
+  rt->submit(simple_task("w", [&] {
+    writer_running = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    writer_running = false;
+  }, {out(&x)}));
+  for (int i = 0; i < 8; ++i) {
+    rt->submit(simple_task("r", [&] {
+      active_readers.fetch_add(1);
+      if (writer_running.load()) writer_during_read = true;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      active_readers.fetch_sub(1);
+    }, {in(&x)}));
+  }
+  rt->submit(simple_task("w2", [&] {
+    if (active_readers.load() != 0) writer_during_read = true;
+  }, {out(&x)}));
+  rt->wait_all();
+  EXPECT_FALSE(writer_during_read.load());
+}
+
+TEST_P(RuntimeTest, WaitAllIsReusableBarrier) {
+  auto rt = make(2);
+  std::atomic<int> count{0};
+  double x;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      rt->submit(simple_task("k", [&count] { ++count; }, {inout(&x)}));
+    }
+    rt->wait_all();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST_P(RuntimeTest, EmptyWaitAllReturns) {
+  auto rt = make(2);
+  rt->wait_all();
+  rt->wait_all();
+  SUCCEED();
+}
+
+TEST_P(RuntimeTest, WindowBoundsLiveTasks) {
+  auto rt = make(2, /*window=*/4);
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  double objects[16];
+  for (int i = 0; i < 64; ++i) {
+    rt->submit(simple_task("k",
+                           [&live, &peak] {
+                             const int now = live.fetch_add(1) + 1;
+                             int old = peak.load();
+                             while (old < now &&
+                                    !peak.compare_exchange_weak(old, now)) {
+                             }
+                             std::this_thread::sleep_for(
+                                 std::chrono::microseconds(100));
+                             live.fetch_sub(1);
+                           },
+                           {inout(&objects[i % 16])}));
+  }
+  rt->wait_all();
+  // At most `window` tasks can be live at once, so at most `window` can
+  // execute concurrently.
+  EXPECT_LE(peak.load(), 4);
+}
+
+TEST_P(RuntimeTest, CountersReturnToZeroAtBarrier) {
+  auto rt = make(3);
+  double x, y;
+  for (int i = 0; i < 20; ++i) {
+    rt->submit(simple_task("k", [] {}, {inout(i % 2 ? &x : &y)}));
+  }
+  rt->wait_all();
+  EXPECT_EQ(rt->running_task_count(), 0);
+  EXPECT_EQ(rt->ready_task_count(), 0u);
+  EXPECT_EQ(rt->bookkeeping_in_flight(), 0);
+  EXPECT_FALSE(rt->ready_task_reachable());
+  EXPECT_FALSE(rt->submitter_waiting());
+}
+
+TEST_P(RuntimeTest, ObserverSeesFullLifecycle) {
+  struct Recorder final : TaskObserver {
+    std::mutex mutex;
+    std::vector<std::string> events;
+    void on_submit(TaskId id, const TaskDescriptor&) override {
+      std::lock_guard<std::mutex> lock(mutex);
+      events.push_back("submit" + std::to_string(id));
+    }
+    void on_ready(TaskId id) override {
+      std::lock_guard<std::mutex> lock(mutex);
+      events.push_back("ready" + std::to_string(id));
+    }
+    void on_start(TaskId id, const std::string&, int, double, double) override {
+      std::lock_guard<std::mutex> lock(mutex);
+      events.push_back("start" + std::to_string(id));
+    }
+    void on_finish(TaskId id, const std::string&, int, double, double, double,
+                   double) override {
+      std::lock_guard<std::mutex> lock(mutex);
+      events.push_back("finish" + std::to_string(id));
+    }
+  } recorder;
+
+  auto rt = make(2);
+  rt->add_observer(&recorder);
+  double x;
+  rt->submit(simple_task("k", [] {}, {inout(&x)}));
+  rt->submit(simple_task("k", [] {}, {inout(&x)}));
+  rt->wait_all();
+  rt->remove_observer(&recorder);
+
+  // Each task goes submit -> ready -> start -> finish, in that order.
+  for (TaskId id = 0; id < 2; ++id) {
+    const auto find = [&](const std::string& tag) {
+      const std::string needle = tag + std::to_string(id);
+      for (std::size_t i = 0; i < recorder.events.size(); ++i) {
+        if (recorder.events[i] == needle) return i;
+      }
+      return recorder.events.size();
+    };
+    const std::size_t submit = find("submit");
+    const std::size_t ready = find("ready");
+    const std::size_t start = find("start");
+    const std::size_t finish = find("finish");
+    ASSERT_LT(finish, recorder.events.size()) << "task " << id;
+    EXPECT_LT(submit, ready);
+    EXPECT_LT(ready, start);
+    EXPECT_LT(start, finish);
+  }
+}
+
+TEST_P(RuntimeTest, ObserverWallAndCpuTimesConsistent) {
+  struct Times final : TaskObserver {
+    std::atomic<bool> ok{true};
+    void on_finish(TaskId, const std::string&, int, double sw, double ew,
+                   double sc, double ec) override {
+      if (ew < sw || ec < sc) ok = false;
+    }
+  } times;
+  auto rt = make(2);
+  rt->add_observer(&times);
+  double x;
+  for (int i = 0; i < 10; ++i) {
+    rt->submit(simple_task("k",
+                           [] {
+                             volatile double v = 0;
+                             for (int j = 0; j < 1000; ++j) v += j;
+                           },
+                           {inout(&x)}));
+  }
+  rt->wait_all();
+  rt->remove_observer(&times);
+  EXPECT_TRUE(times.ok.load());
+}
+
+TEST_P(RuntimeTest, TaskContextCarriesRuntimeAndWorker) {
+  auto rt = make(3);
+  std::atomic<bool> ok{true};
+  double x;
+  TaskDescriptor desc;
+  desc.kernel = "k";
+  desc.accesses = {inout(&x)};
+  Runtime* expected = rt.get();
+  desc.function = [&ok, expected](TaskContext& ctx) {
+    if (ctx.runtime != expected) ok = false;
+    if (ctx.worker < 0 || ctx.worker >= expected->worker_count()) ok = false;
+  };
+  rt->submit(std::move(desc));
+  rt->wait_all();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST_P(RuntimeTest, TasksPerWorkerSumsToTotal) {
+  auto rt = make(3);
+  double objects[4];
+  for (int i = 0; i < 40; ++i) {
+    rt->submit(simple_task("k", [] {}, {inout(&objects[i % 4])}));
+  }
+  rt->wait_all();
+  auto* base = dynamic_cast<RuntimeBase*>(rt.get());
+  ASSERT_NE(base, nullptr);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : base->tasks_per_worker()) total += c;
+  EXPECT_EQ(total, 40u);
+}
+
+TEST_P(RuntimeTest, MasterParticipationExecutesTasks) {
+  auto rt = make(2, 0, /*master=*/true);
+  std::atomic<int> count{0};
+  double objects[4];
+  for (int i = 0; i < 30; ++i) {
+    rt->submit(simple_task("k", [&count] { ++count; },
+                           {inout(&objects[i % 4])}));
+  }
+  rt->wait_all();
+  EXPECT_EQ(count.load(), 30);
+}
+
+TEST_P(RuntimeTest, SingleWorkerRunsEverythingInSubmissionOrderPerObject) {
+  auto rt = make(1);
+  double x, y;
+  std::vector<int> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    rt->submit(simple_task("k", [&xs, i] { xs.push_back(i); }, {inout(&x)}));
+    rt->submit(simple_task("k", [&ys, i] { ys.push_back(i); }, {inout(&y)}));
+  }
+  rt->wait_all();
+  ASSERT_EQ(xs.size(), 10u);
+  ASSERT_EQ(ys.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(xs[i], i);
+    EXPECT_EQ(ys[i], i);
+  }
+}
+
+TEST_P(RuntimeTest, RejectsTaskWithoutFunction) {
+  auto rt = make(1);
+  TaskDescriptor desc;
+  desc.kernel = "k";
+  EXPECT_THROW(rt->submit(std::move(desc)), InvalidArgument);
+}
+
+TEST_P(RuntimeTest, DagCaptureMatchesSubmissionCount) {
+  auto rt = make(2);
+  DagCaptureObserver capture;
+  rt->add_observer(&capture);
+  double a, b, c;
+  rt->submit(simple_task("w", [] {}, {out(&a)}));
+  rt->submit(simple_task("r", [] {}, {in(&a), out(&b)}));
+  rt->submit(simple_task("r", [] {}, {in(&a), out(&c)}));
+  rt->submit(simple_task("j", [] {}, {in(&b), in(&c)}));
+  rt->wait_all();
+  rt->remove_observer(&capture);
+  EXPECT_EQ(capture.graph().node_count(), 4u);
+  EXPECT_EQ(capture.graph().edge_count(), 4u);  // fork-join
+}
+
+TEST_P(RuntimeTest, TaskBuilderSubmits) {
+  auto rt = make(2);
+  double x = 0.0;
+  std::atomic<int> runs{0};
+  TaskBuilder(*rt, "inc").readwrites(&x).priority(1).run(
+      [&runs](TaskContext&) { ++runs; });
+  TaskBuilder(*rt, "inc").reads(&x).run([&runs](TaskContext&) { ++runs; });
+  rt->wait_all();
+  EXPECT_EQ(runs.load(), 2);
+}
+
+// Stress: a random DAG executed on every scheduler must respect all data
+// hazards.  Violations are detected with per-object version counters.
+TEST_P(RuntimeTest, RandomDagRespectsHazards) {
+  auto rt = make(4);
+  constexpr int kObjects = 6;
+  struct Obj {
+    std::atomic<int> writers{0};
+    std::atomic<int> readers{0};
+    double payload = 0.0;
+  };
+  Obj objects[kObjects];
+  std::atomic<bool> violation{false};
+  Rng rng(321);
+
+  for (int t = 0; t < 300; ++t) {
+    AccessList accesses;
+    std::vector<std::pair<int, bool>> uses;  // (object, is_write)
+    const int nrefs = 1 + static_cast<int>(rng.uniform_index(2));
+    for (int r = 0; r < nrefs; ++r) {
+      const int obj = static_cast<int>(rng.uniform_index(kObjects));
+      bool duplicate = false;
+      for (const auto& [o, w] : uses) {
+        if (o == obj) duplicate = true;
+      }
+      if (duplicate) continue;
+      const bool write = rng.uniform() < 0.4;
+      uses.emplace_back(obj, write);
+      accesses.push_back(write ? inout(&objects[obj].payload)
+                               : in(&objects[obj].payload));
+    }
+    rt->submit(simple_task(
+        "k",
+        [&objects, &violation, uses] {
+          for (const auto& [obj, write] : uses) {
+            if (write) {
+              if (objects[obj].writers.fetch_add(1) != 0) violation = true;
+              if (objects[obj].readers.load() != 0) violation = true;
+            } else {
+              objects[obj].readers.fetch_add(1);
+              if (objects[obj].writers.load() != 0) violation = true;
+            }
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+          for (const auto& [obj, write] : uses) {
+            if (write) {
+              objects[obj].writers.fetch_sub(1);
+            } else {
+              objects[obj].readers.fetch_sub(1);
+            }
+          }
+        },
+        std::move(accesses)));
+  }
+  rt->wait_all();
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace tasksim::sched

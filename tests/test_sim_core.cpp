@@ -1,0 +1,269 @@
+// Tests for the simulation primitives: SimClock, TaskExecQueue,
+// KernelModelSet, CalibrationObserver.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "sim/calibration.hpp"
+#include "sim/kernel_model.hpp"
+#include "sim/sim_clock.hpp"
+#include "sim/task_exec_queue.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::sim {
+namespace {
+
+// -------------------------------------------------------------- sim clock
+
+TEST(SimClock, StartsAtZeroAndAdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  EXPECT_DOUBLE_EQ(clock.advance_to(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(clock.advance_to(5.0), 10.0);  // never goes backwards
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(SimClock, ConcurrentAdvancesKeepMaximum) {
+  SimClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock, t] {
+      for (int i = 0; i < 1000; ++i) {
+        clock.advance_to(static_cast<double>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(clock.now(), 3999.0);
+}
+
+// ------------------------------------------------------- task exec queue
+
+TEST(TaskExecQueue, FrontIsMinimumCompletionTime) {
+  TaskExecQueue q;
+  const auto late = q.enter(100.0);
+  const auto early = q.enter(50.0);
+  EXPECT_FALSE(q.is_front(late));
+  EXPECT_TRUE(q.is_front(early));
+  EXPECT_EQ(q.size(), 2u);
+  q.leave(early);
+  EXPECT_TRUE(q.is_front(late));
+  q.leave(late);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(TaskExecQueue, TiesBreakByEntryOrder) {
+  TaskExecQueue q;
+  const auto first = q.enter(10.0);
+  const auto second = q.enter(10.0);
+  EXPECT_TRUE(q.is_front(first));
+  EXPECT_FALSE(q.is_front(second));
+  q.leave(first);
+  EXPECT_TRUE(q.is_front(second));
+  q.leave(second);
+}
+
+TEST(TaskExecQueue, LeaveRequiresMembership) {
+  TaskExecQueue q;
+  const auto t = q.enter(1.0);
+  q.leave(t);
+  EXPECT_THROW(q.leave(t), InvalidArgument);
+  TaskExecQueue::Ticket bogus{5.0, 99};
+  EXPECT_THROW(q.wait_front(bogus), InvalidArgument);
+}
+
+TEST(TaskExecQueue, ThreadsLeaveInCompletionOrder) {
+  // Property: N threads entering with random completion times must be
+  // released in sorted order — the paper's §V-C invariant.
+  TaskExecQueue q;
+  Rng rng(7);
+  constexpr int kThreads = 8;
+  std::vector<double> completions;
+  for (int i = 0; i < kThreads; ++i) {
+    completions.push_back(rng.uniform(0.0, 1000.0));
+  }
+  std::mutex order_mutex;
+  std::vector<double> leave_order;
+  std::atomic<int> entered{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      const auto ticket = q.enter(completions[static_cast<std::size_t>(i)]);
+      entered.fetch_add(1);
+      // Hold until everyone is in so the ordering test is meaningful.
+      while (entered.load() < kThreads) std::this_thread::yield();
+      q.wait_front(ticket);
+      {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        leave_order.push_back(ticket.completion_us);
+      }
+      q.leave(ticket);
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(leave_order.size(), static_cast<std::size_t>(kThreads));
+  for (std::size_t i = 1; i < leave_order.size(); ++i) {
+    EXPECT_LE(leave_order[i - 1], leave_order[i]);
+  }
+}
+
+// ------------------------------------------------------------ kernel model
+
+TEST(KernelModelSet, SampleClampsAndIsDeterministic) {
+  KernelModelSet models;
+  models.set_model("neg", std::make_unique<stats::NormalDist>(-100.0, 1.0));
+  models.set_model("pos", std::make_unique<stats::ConstantDist>(5.0));
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(models.sample("neg", rng, 0.5), 0.5);  // clamped
+  EXPECT_DOUBLE_EQ(models.sample("pos", rng), 5.0);
+  Rng a(2), b(2);
+  models.set_model("n", std::make_unique<stats::NormalDist>(10.0, 2.0));
+  EXPECT_DOUBLE_EQ(models.sample("n", a), models.sample("n", b));
+}
+
+TEST(KernelModelSet, UnknownKernelThrows) {
+  KernelModelSet models;
+  Rng rng(1);
+  EXPECT_THROW(models.sample("missing", rng), InvalidArgument);
+  EXPECT_THROW(models.model("missing"), InvalidArgument);
+  EXPECT_FALSE(models.has_model("missing"));
+}
+
+TEST(KernelModelSet, SaveLoadRoundTrip) {
+  KernelModelSet models;
+  models.set_model("dgemm", std::make_unique<stats::LogNormalDist>(6.0, 0.1));
+  models.set_model("dpotrf", std::make_unique<stats::GammaDist>(50.0, 2.0));
+  models.set_model("emp", std::make_unique<stats::EmpiricalDist>(
+                              std::vector<double>{1.0, 2.0, 3.0}));
+  const std::string path = ::testing::TempDir() + "/tasksim_models_test.txt";
+  models.save(path);
+  const KernelModelSet loaded = KernelModelSet::load(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.model("dgemm").name(), "lognormal");
+  EXPECT_NEAR(loaded.mean_us("dgemm"), models.mean_us("dgemm"), 1e-9);
+  EXPECT_EQ(loaded.model("emp").parameters().size(), 3u);
+}
+
+TEST(KernelModelSet, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/tasksim_models_bad.txt";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("nonsense\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(KernelModelSet::load(path), InvalidArgument);
+  std::remove(path.c_str());
+  EXPECT_THROW(KernelModelSet::load("/no/such/file"), IoError);
+}
+
+TEST(KernelModelSet, CopyIsDeep) {
+  KernelModelSet models;
+  models.set_model("k", std::make_unique<stats::ConstantDist>(1.0));
+  KernelModelSet copy(models);
+  copy.set_model("k", std::make_unique<stats::ConstantDist>(2.0));
+  EXPECT_DOUBLE_EQ(models.mean_us("k"), 1.0);
+  EXPECT_DOUBLE_EQ(copy.mean_us("k"), 2.0);
+}
+
+TEST(FitModels, EachFamilyProducesRequestedShape) {
+  Rng rng(3);
+  std::map<std::string, std::vector<double>> samples;
+  for (int i = 0; i < 500; ++i) {
+    samples["k"].push_back(rng.normal(100.0, 5.0));
+  }
+  EXPECT_EQ(fit_models(samples, ModelFamily::constant).model("k").name(),
+            "constant");
+  EXPECT_EQ(fit_models(samples, ModelFamily::normal).model("k").name(),
+            "normal");
+  EXPECT_EQ(fit_models(samples, ModelFamily::gamma).model("k").name(),
+            "gamma");
+  EXPECT_EQ(fit_models(samples, ModelFamily::lognormal).model("k").name(),
+            "lognormal");
+  EXPECT_EQ(fit_models(samples, ModelFamily::empirical).model("k").name(),
+            "empirical");
+  const auto best = fit_models(samples, ModelFamily::best);
+  EXPECT_NEAR(best.model("k").mean(), 100.0, 1.0);
+}
+
+TEST(ModelFamily, ParseRoundTrip) {
+  for (ModelFamily f :
+       {ModelFamily::constant, ModelFamily::normal, ModelFamily::gamma,
+        ModelFamily::lognormal, ModelFamily::empirical, ModelFamily::best}) {
+    EXPECT_EQ(parse_model_family(to_string(f)), f);
+  }
+  EXPECT_THROW(parse_model_family("weibull"), InvalidArgument);
+}
+
+// ------------------------------------------------------------ calibration
+
+TEST(Calibration, RecordsDurationsPerKernel) {
+  CalibrationOptions options;
+  options.warmup_drop_per_worker = 0;
+  CalibrationObserver calib(options);
+  calib.on_finish(0, "dgemm", 0, 0.0, 100.0, 0.0, 90.0);
+  calib.on_finish(1, "dgemm", 1, 0.0, 110.0, 0.0, 95.0);
+  calib.on_finish(2, "dtrsm", 0, 0.0, 50.0, 0.0, 45.0);
+  EXPECT_EQ(calib.total_samples(), 3u);
+  const auto samples = calib.samples_for("dgemm");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0], 90.0);  // thread_cpu clock by default
+}
+
+TEST(Calibration, WallClockOption) {
+  CalibrationOptions options;
+  options.clock = CalibrationOptions::Clock::wall;
+  options.warmup_drop_per_worker = 0;
+  CalibrationObserver calib(options);
+  calib.on_finish(0, "k", 0, 10.0, 110.0, 0.0, 42.0);
+  EXPECT_DOUBLE_EQ(calib.samples_for("k")[0], 100.0);
+}
+
+TEST(Calibration, WarmupDropsFirstSamplePerWorker) {
+  CalibrationObserver calib;  // default drop = 1
+  // Worker 0's first dgemm is the MKL-style outlier; dropped.
+  calib.on_finish(0, "dgemm", 0, 0.0, 0.0, 0.0, 9999.0);
+  calib.on_finish(1, "dgemm", 0, 0.0, 0.0, 0.0, 100.0);
+  calib.on_finish(2, "dgemm", 1, 0.0, 0.0, 0.0, 8888.0);  // worker 1's first
+  calib.on_finish(3, "dgemm", 1, 0.0, 0.0, 0.0, 101.0);
+  const auto samples = calib.samples_for("dgemm");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0], 100.0);
+  EXPECT_DOUBLE_EQ(samples[1], 101.0);
+  // Raw samples keep everything.
+  EXPECT_EQ(calib.raw_samples().at("dgemm").size(), 4u);
+}
+
+TEST(Calibration, FitFallsBackForRareKernels) {
+  CalibrationObserver calib;  // drop = 1 per worker
+  // A kernel that ran exactly once: its only sample is a warm-up, but fit
+  // must still produce a model (constant at the raw value).
+  calib.on_finish(0, "rare", 0, 0.0, 0.0, 0.0, 123.0);
+  // A kernel with plenty of data.
+  for (int i = 0; i < 20; ++i) {
+    calib.on_finish(static_cast<sched::TaskId>(10 + i), "common", 0, 0.0, 0.0,
+                    0.0, 100.0 + i);
+  }
+  const KernelModelSet models = calib.fit(ModelFamily::best);
+  EXPECT_TRUE(models.has_model("rare"));
+  EXPECT_DOUBLE_EQ(models.mean_us("rare"), 123.0);
+  EXPECT_TRUE(models.has_model("common"));
+}
+
+TEST(Calibration, ClearResets) {
+  CalibrationObserver calib;
+  calib.on_finish(0, "k", 0, 0.0, 0.0, 0.0, 1.0);
+  calib.on_finish(1, "k", 0, 0.0, 0.0, 0.0, 2.0);
+  calib.clear();
+  EXPECT_EQ(calib.total_samples(), 0u);
+  EXPECT_TRUE(calib.raw_samples().empty());
+}
+
+}  // namespace
+}  // namespace tasksim::sim

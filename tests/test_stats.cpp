@@ -1,0 +1,215 @@
+// Tests for src/stats: special functions, descriptive statistics,
+// histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/special.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::stats {
+namespace {
+
+// ---------------------------------------------------------------- special
+
+TEST(Special, DigammaReferenceValues) {
+  // psi(1) = -gamma (Euler-Mascheroni), psi(2) = 1 - gamma, psi(0.5) =
+  // -gamma - 2 ln 2.
+  const double euler = 0.5772156649015329;
+  EXPECT_NEAR(digamma(1.0), -euler, 1e-10);
+  EXPECT_NEAR(digamma(2.0), 1.0 - euler, 1e-10);
+  EXPECT_NEAR(digamma(0.5), -euler - 2.0 * std::log(2.0), 1e-10);
+  EXPECT_NEAR(digamma(10.0), 2.2517525890667212, 1e-10);
+}
+
+TEST(Special, DigammaRecurrence) {
+  // psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.3, 1.7, 4.2, 9.9}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-10);
+  }
+}
+
+TEST(Special, TrigammaReferenceValues) {
+  EXPECT_NEAR(trigamma(1.0), M_PI * M_PI / 6.0, 1e-10);
+  // psi'(x+1) = psi'(x) - 1/x^2.
+  for (double x : {0.4, 2.5, 7.0}) {
+    EXPECT_NEAR(trigamma(x + 1.0), trigamma(x) - 1.0 / (x * x), 1e-10);
+  }
+}
+
+TEST(Special, RegularizedGammaEdgeCases) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  // P(a, x) -> 1 as x -> inf.
+  EXPECT_NEAR(regularized_gamma_p(3.0, 100.0), 1.0, 1e-12);
+  EXPECT_THROW(regularized_gamma_p(-1.0, 1.0), InvalidArgument);
+}
+
+TEST(Special, RegularizedGammaKnownValues) {
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(Special, NormalCdfSymmetry) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  for (double z : {0.5, 1.0, 1.96, 3.0}) {
+    EXPECT_NEAR(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-12);
+  }
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+}
+
+TEST(Special, NormalQuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.8, 0.99, 0.9999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+  EXPECT_THROW(normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), InvalidArgument);
+}
+
+// ------------------------------------------------------------ descriptive
+
+TEST(Descriptive, SummaryOfKnownSample) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.variance, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+}
+
+TEST(Descriptive, SummarizeRejectsEmpty) {
+  EXPECT_THROW(summarize({}), InvalidArgument);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Descriptive, RunningStatsMatchesBatch) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStats acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(acc.variance(), s.variance, 1e-6);
+  EXPECT_DOUBLE_EQ(acc.min(), s.min);
+  EXPECT_DOUBLE_EQ(acc.max(), s.max);
+  EXPECT_EQ(acc.count(), s.count);
+}
+
+TEST(Descriptive, RunningStatsMergeEquivalentToCombined) {
+  Rng rng(6);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Descriptive, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Descriptive, PearsonCorrelationKnownCases) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y_pos = {2, 4, 6, 8};
+  const std::vector<double> y_neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Descriptive, KendallTauKnownCases) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> same = {10, 20, 30, 40, 50};
+  const std::vector<double> reversed = {50, 40, 30, 20, 10};
+  EXPECT_DOUBLE_EQ(kendall_tau(x, same), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(x, reversed), -1.0);
+  const std::vector<double> one_swap = {2, 1, 3, 4, 5};
+  const double tau = kendall_tau(x, one_swap);
+  EXPECT_GT(tau, 0.7);
+  EXPECT_LT(tau, 1.0);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(Histogram, CountsAndDensityIntegrateToOne) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  double integral = 0.0;
+  for (int b = 0; b < h.bin_count(); ++b) {
+    integral += h.density(b) * h.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, FromDataCoversSample) {
+  Rng rng(77);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(50.0, 5.0));
+  Histogram h = Histogram::from_data(xs);
+  EXPECT_EQ(h.total(), xs.size());
+  EXPECT_GE(h.bin_count(), 4);
+  EXPECT_LE(h.bin_count(), 60);
+}
+
+TEST(Histogram, AsciiPlotRenders) {
+  Histogram h(0.0, 1.0, 8);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) h.add(rng.uniform());
+  const std::string plot = h.ascii_plot(6);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(Histogram::from_data({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tasksim::stats

@@ -1,0 +1,347 @@
+// Tests for src/support: errors, RNG, strings, CLI, timing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/sysinfo.hpp"
+#include "support/timing.hpp"
+
+namespace tasksim {
+namespace {
+
+// ----------------------------------------------------------------- errors
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(TS_REQUIRE(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(TS_REQUIRE(true, "fine"));
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(TS_ASSERT(false, "bug"), InternalError);
+  EXPECT_NO_THROW(TS_ASSERT(true, "fine"));
+}
+
+TEST(Error, MessagesIncludeContext) {
+  try {
+    TS_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  EXPECT_THROW(
+      { throw IoError("file gone"); }, Error);
+  EXPECT_THROW(
+      { throw InternalError("bug"); }, Error);
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniform_index(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(10);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, GammaMomentsMatch) {
+  Rng rng(12);
+  const double shape = 3.0, scale = 2.0;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape, scale);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(var, shape * scale * scale, 0.5);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(0.5, 1.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.split();
+  // Identical seeds would correlate perfectly; check the streams differ.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  const auto parts = split_whitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("tasksim", "task"));
+  EXPECT_FALSE(starts_with("task", "tasksim"));
+  EXPECT_TRUE(ends_with("trace.svg", ".svg"));
+  EXPECT_FALSE(ends_with(".svg", "trace.svg"));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(join(parts, ","), "a,b,c");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, FormatDurationPicksUnits) {
+  EXPECT_EQ(format_duration_us(12.3456), "12.35 us");
+  EXPECT_EQ(format_duration_us(1234.5), "1.23 ms");
+  EXPECT_EQ(format_duration_us(2.5e6), "2.500 s");
+}
+
+TEST(Strings, FormatWithCommas) {
+  EXPECT_EQ(format_with_commas(0), "0");
+  EXPECT_EQ(format_with_commas(999), "999");
+  EXPECT_EQ(format_with_commas(1000), "1,000");
+  EXPECT_EQ(format_with_commas(1234567), "1,234,567");
+  EXPECT_EQ(format_with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Strings, ParseIntValidAndInvalid) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_THROW(parse_int("4x"), InvalidArgument);
+  EXPECT_THROW(parse_int(""), InvalidArgument);
+  EXPECT_THROW(parse_int("1.5"), InvalidArgument);
+}
+
+TEST(Strings, ParseDoubleValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2e3"), -2000.0);
+  EXPECT_THROW(parse_double("abc"), InvalidArgument);
+}
+
+TEST(Strings, ParseBool) {
+  EXPECT_TRUE(parse_bool("true"));
+  EXPECT_TRUE(parse_bool("1"));
+  EXPECT_TRUE(parse_bool("ON"));
+  EXPECT_FALSE(parse_bool("false"));
+  EXPECT_FALSE(parse_bool("no"));
+  EXPECT_THROW(parse_bool("maybe"), InvalidArgument);
+}
+
+// -------------------------------------------------------------------- cli
+
+TEST(Cli, ParsesAllOptionTypes) {
+  int count = 1;
+  double ratio = 0.5;
+  std::string name = "default";
+  bool flag = false;
+  std::vector<int> sizes = {1, 2};
+  CliParser cli("prog", "test");
+  cli.add_int("count", &count, "a count");
+  cli.add_double("ratio", &ratio, "a ratio");
+  cli.add_string("name", &name, "a name");
+  cli.add_flag("flag", &flag, "a flag");
+  cli.add_int_list("sizes", &sizes, "sizes");
+
+  const char* argv[] = {"prog", "--count", "7",      "--ratio=2.5",
+                        "--name", "x",     "--flag", "--sizes", "3,4,5"};
+  EXPECT_TRUE(cli.parse(9, const_cast<char**>(argv)));
+  EXPECT_EQ(count, 7);
+  EXPECT_DOUBLE_EQ(ratio, 2.5);
+  EXPECT_EQ(name, "x");
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(sizes, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, const_cast<char**>(argv)), InvalidArgument);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  int count = 0;
+  CliParser cli("prog", "test");
+  cli.add_int("count", &count, "a count");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW(cli.parse(2, const_cast<char**>(argv)), InvalidArgument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, FlagAcceptsExplicitValue) {
+  bool flag = true;
+  CliParser cli("prog", "test");
+  cli.add_flag("flag", &flag, "a flag");
+  const char* argv[] = {"prog", "--flag=false"};
+  EXPECT_TRUE(cli.parse(2, const_cast<char**>(argv)));
+  EXPECT_FALSE(flag);
+}
+
+TEST(Cli, UsageMentionsOptionsAndDefaults) {
+  int count = 11;
+  CliParser cli("prog", "does things");
+  cli.add_int("count", &count, "how many");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("11"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- timing
+
+TEST(Timing, WallClockMonotonic) {
+  const double a = wall_time_us();
+  const double b = wall_time_us();
+  EXPECT_GE(b, a);
+}
+
+TEST(Timing, ThreadCpuTimeExcludesSleep) {
+  const double cpu0 = thread_cpu_time_us();
+  const double wall0 = wall_time_us();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double cpu_delta = thread_cpu_time_us() - cpu0;
+  const double wall_delta = wall_time_us() - wall0;
+  EXPECT_GE(wall_delta, 15000.0);
+  EXPECT_LT(cpu_delta, wall_delta / 2.0);
+}
+
+TEST(Timing, StopwatchMeasuresElapsed) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(sw.elapsed_us(), 4000.0);
+  EXPECT_NEAR(sw.elapsed_seconds(), sw.elapsed_us() * 1e-6, 1e-3);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_us(), 4000.0);
+}
+
+// -------------------------------------------------------------------- log
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::debug);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::warn);
+  EXPECT_THROW(parse_log_level("loud"), InvalidArgument);
+  EXPECT_STREQ(to_string(LogLevel::info), "INFO");
+}
+
+// ---------------------------------------------------------------- sysinfo
+
+TEST(Sysinfo, SaneValues) {
+  EXPECT_GE(hardware_threads(), 1);
+  EXPECT_GE(default_worker_count(), 1);
+  EXPECT_LE(default_worker_count(4), 4);
+  EXPECT_NE(host_summary().find("thread"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tasksim

@@ -1,0 +1,168 @@
+// Tests for the tile layout and the task-based Cholesky / QR
+// factorizations running on every scheduler (real execution).
+#include <gtest/gtest.h>
+
+#include "linalg/tile_cholesky.hpp"
+#include "linalg/tile_matrix.hpp"
+#include "linalg/tile_qr.hpp"
+#include "linalg/verify.hpp"
+#include "sched/factory.hpp"
+#include "sched/submitter.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::linalg {
+namespace {
+
+// ------------------------------------------------------------ tile matrix
+
+TEST(TileMatrix, LayoutRoundTripsThroughDense) {
+  Rng rng(1);
+  const Matrix dense = Matrix::random(12, 12, rng);
+  const TileMatrix tiled = TileMatrix::from_dense(dense, 4);
+  EXPECT_EQ(tiled.tiles(), 3);
+  EXPECT_EQ(tiled.tile_size(), 4);
+  EXPECT_LT(relative_error(tiled.to_dense(), dense), 1e-15);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      EXPECT_DOUBLE_EQ(tiled.at(i, j), dense(i, j));
+    }
+  }
+}
+
+TEST(TileMatrix, TilesAreContiguousAndDistinct) {
+  TileMatrix t(8, 4);
+  EXPECT_NE(t.tile(0, 0), t.tile(1, 0));
+  EXPECT_NE(t.tile(0, 0), t.tile(0, 1));
+  // Tile storage is contiguous: writing 16 doubles through the pointer
+  // stays within the tile.
+  double* tile = t.tile(1, 1);
+  for (int i = 0; i < 16; ++i) tile[i] = 7.0;
+  EXPECT_DOUBLE_EQ(t.at(4, 4), 7.0);
+  EXPECT_DOUBLE_EQ(t.at(7, 7), 7.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 0.0);
+}
+
+TEST(TileMatrix, RejectsBadShapes) {
+  EXPECT_THROW(TileMatrix(10, 3), InvalidArgument);  // not a multiple
+  EXPECT_THROW(TileMatrix(0, 4), InvalidArgument);
+  TileMatrix t(8, 4);
+  EXPECT_THROW(t.tile(2, 0), InvalidArgument);
+  EXPECT_THROW(t.at(8, 0), InvalidArgument);
+}
+
+TEST(TileMatrix, ZerosLikeMatchesShape) {
+  TileMatrix a(12, 4);
+  TileMatrix z = TileMatrix::zeros_like(a);
+  EXPECT_EQ(z.n(), 12);
+  EXPECT_EQ(z.tile_size(), 4);
+  EXPECT_DOUBLE_EQ(frobenius_norm(z.to_dense()), 0.0);
+}
+
+// -------------------------------------------------- factorization fixture
+
+class TileAlgoTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<sched::Runtime> make_rt(int workers = 3) {
+    sched::RuntimeConfig config;
+    config.workers = workers;
+    return sched::make_runtime(GetParam(), config);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, TileAlgoTest,
+                         ::testing::Values("quark", "starpu/eager",
+                                           "starpu/dmda", "ompss/bf",
+                                           "ompss/wf"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(TileAlgoTest, CholeskyFactorsCorrectly) {
+  Rng rng(42);
+  const int n = 96, nb = 24;
+  const Matrix original = Matrix::random_spd(n, rng);
+  TileMatrix a = TileMatrix::from_dense(original, nb);
+
+  auto rt = make_rt();
+  sched::RealSubmitter submitter(*rt);
+  EXPECT_EQ(tile_cholesky(a, submitter), 0);
+  EXPECT_LT(cholesky_residual(original, a), 1e-13);
+}
+
+TEST_P(TileAlgoTest, CholeskyDetectsNonSpd) {
+  const int n = 32, nb = 8;
+  Matrix bad = Matrix::identity(n);
+  bad(n - 1, n - 1) = -1.0;  // indefinite in the last tile
+  TileMatrix a = TileMatrix::from_dense(bad, nb);
+  auto rt = make_rt();
+  sched::RealSubmitter submitter(*rt);
+  EXPECT_GT(tile_cholesky(a, submitter), 0);
+}
+
+TEST_P(TileAlgoTest, QrFactorsCorrectly) {
+  Rng rng(43);
+  const int n = 80, nb = 16;
+  const Matrix original = Matrix::random(n, n, rng);
+  TileMatrix a = TileMatrix::from_dense(original, nb);
+  TileMatrix t = TileMatrix::zeros_like(a);
+
+  auto rt = make_rt();
+  sched::RealSubmitter submitter(*rt);
+  tile_qr(a, t, submitter);
+  EXPECT_LT(qr_residual(original, a, t), 1e-12);
+  EXPECT_LT(qr_orthogonality(a, t), 1e-12);
+}
+
+TEST_P(TileAlgoTest, QrRUpperTriangular) {
+  Rng rng(44);
+  const int n = 48, nb = 16;
+  const Matrix original = Matrix::random(n, n, rng);
+  TileMatrix a = TileMatrix::from_dense(original, nb);
+  TileMatrix t = TileMatrix::zeros_like(a);
+  auto rt = make_rt(2);
+  sched::RealSubmitter submitter(*rt);
+  tile_qr(a, t, submitter);
+  // The R factor (upper triangle) must dominate: the Frobenius norm of R
+  // equals the norm of A (orthogonal invariance).
+  const Matrix r = upper_triangle(a.to_dense());
+  EXPECT_NEAR(frobenius_norm(r), frobenius_norm(original),
+              1e-10 * frobenius_norm(original));
+}
+
+TEST_P(TileAlgoTest, RepeatedFactorizationsOnOneRuntime) {
+  Rng rng(45);
+  auto rt = make_rt();
+  for (int round = 0; round < 3; ++round) {
+    const int n = 48, nb = 12;
+    const Matrix original = Matrix::random_spd(n, rng);
+    TileMatrix a = TileMatrix::from_dense(original, nb);
+    sched::RealSubmitter submitter(*rt);
+    ASSERT_EQ(tile_cholesky(a, submitter), 0);
+    EXPECT_LT(cholesky_residual(original, a), 1e-13);
+  }
+}
+
+// ------------------------------------------------------------ task counts
+
+TEST(TaskCounts, CholeskyFormulaMatchesEnumeration) {
+  // NT tiles: sum over k of 1 + 2*(NT-k-1) + C(NT-k-1, 2).
+  EXPECT_EQ(cholesky_task_count(1), 1u);
+  EXPECT_EQ(cholesky_task_count(2), 4u);   // potrf,trsm,syrk,potrf
+  EXPECT_EQ(cholesky_task_count(3), 10u);
+  EXPECT_EQ(cholesky_task_count(4), 20u);  // matches paper Figure-1 scale
+}
+
+TEST(TaskCounts, QrFormulaMatchesEnumeration) {
+  EXPECT_EQ(qr_task_count(1), 1u);
+  EXPECT_EQ(qr_task_count(2), 5u);   // geqrt, ormqr, tsqrt, tsmqr, geqrt
+  EXPECT_EQ(qr_task_count(3), 14u);  // the F0..F13 stream of paper Fig. 2
+  EXPECT_EQ(qr_task_count(4), 30u);  // the 4x4-tile DAG of paper Fig. 1
+}
+
+}  // namespace
+}  // namespace tasksim::linalg

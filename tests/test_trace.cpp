@@ -1,0 +1,247 @@
+// Tests for the trace library: recording, serialization, SVG, analysis.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "support/error.hpp"
+#include "trace/analysis.hpp"
+#include "trace/color.hpp"
+#include "trace/svg_export.hpp"
+#include "trace/text_io.hpp"
+#include "trace/trace.hpp"
+
+namespace tasksim::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace t("sample");
+  t.record(0, "dgemm", 0, 0.0, 100.0);
+  t.record(1, "dtrsm", 1, 10.0, 60.0);
+  t.record(2, "dgemm", 0, 100.0, 250.0);
+  t.record(3, "dpotrf", 1, 60.0, 200.0);
+  return t;
+}
+
+TEST(Trace, RecordsAndCounts) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.worker_count(), 2);
+  EXPECT_DOUBLE_EQ(t.makespan_us(), 250.0);
+  EXPECT_DOUBLE_EQ(*t.start_us(), 0.0);
+}
+
+TEST(Trace, SortedEventsOrderedByStart) {
+  const Trace t = sample_trace();
+  const auto events = t.sorted_events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_us, events[i].start_us);
+  }
+}
+
+TEST(Trace, EmptyTraceBehaviour) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.worker_count(), 0);
+  EXPECT_DOUBLE_EQ(t.makespan_us(), 0.0);
+  EXPECT_FALSE(t.start_us().has_value());
+}
+
+TEST(Trace, RejectsInvalidEvents) {
+  Trace t;
+  EXPECT_THROW(t.record(0, "k", 0, 10.0, 5.0), InvalidArgument);
+  EXPECT_THROW(t.record(0, "k", -1, 0.0, 5.0), InvalidArgument);
+}
+
+TEST(Trace, ConcurrentRecordingIsSafe) {
+  Trace t;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&t, w] {
+      for (int i = 0; i < 500; ++i) {
+        t.record(static_cast<std::uint64_t>(w * 1000 + i), "k", w,
+                 static_cast<double>(i), static_cast<double>(i + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.size(), 2000u);
+  EXPECT_EQ(t.worker_count(), 4);
+}
+
+TEST(Trace, CopyAndMoveSemantics) {
+  Trace t = sample_trace();
+  Trace copy(t);
+  EXPECT_EQ(copy.size(), 4u);
+  EXPECT_EQ(copy.label(), "sample");
+  Trace moved(std::move(copy));
+  EXPECT_EQ(moved.size(), 4u);
+  t = moved;  // copy assign
+  EXPECT_EQ(t.size(), 4u);
+}
+
+// ---------------------------------------------------------------- text io
+
+TEST(TextIo, RoundTripsThroughStream) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  save_trace(t, ss);
+  const Trace loaded = load_trace(ss);
+  EXPECT_EQ(loaded.label(), "sample");
+  ASSERT_EQ(loaded.size(), t.size());
+  const auto a = t.sorted_events();
+  const auto b = loaded.sorted_events();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].task_id, b[i].task_id);
+    EXPECT_EQ(a[i].kernel, b[i].kernel);
+    EXPECT_EQ(a[i].worker, b[i].worker);
+    EXPECT_DOUBLE_EQ(a[i].start_us, b[i].start_us);
+    EXPECT_DOUBLE_EQ(a[i].end_us, b[i].end_us);
+  }
+}
+
+TEST(TextIo, RejectsBadHeader) {
+  std::stringstream ss("not a trace\n");
+  EXPECT_THROW(load_trace(ss), InvalidArgument);
+}
+
+TEST(TextIo, RejectsMalformedLine) {
+  std::stringstream ss("# tasksim-trace v1 label=x\n1 2 3\n");
+  EXPECT_THROW(load_trace(ss), InvalidArgument);
+}
+
+TEST(TextIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# tasksim-trace v1 label=x\n\n# comment\n1 0 0.0 5.0 dgemm\n");
+  const Trace t = load_trace(ss);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TextIo, FileRoundTrip) {
+  const Trace t = sample_trace();
+  const std::string path = ::testing::TempDir() + "/tasksim_trace_test.txt";
+  save_trace(t, path);
+  const Trace loaded = load_trace(path);
+  EXPECT_EQ(loaded.size(), t.size());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_trace("/nonexistent/path/x.trace"), IoError);
+}
+
+// -------------------------------------------------------------------- svg
+
+TEST(Svg, ContainsRectsPerEventAndKernelColors) {
+  const Trace t = sample_trace();
+  const std::string svg = render_svg(t);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per event plus lane backgrounds and legend swatches.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_GE(rects, t.size());
+  EXPECT_NE(svg.find(kernel_color("dgemm")), std::string::npos);
+}
+
+TEST(Svg, SharedTimeAxisScalesConsistently) {
+  const Trace t = sample_trace();
+  SvgOptions narrow;
+  narrow.time_span_us = 250.0;
+  SvgOptions wide;
+  wide.time_span_us = 500.0;  // same trace drawn on a longer axis
+  const std::string a = render_svg(t, narrow);
+  const std::string b = render_svg(t, wide);
+  EXPECT_NE(a, b);
+}
+
+TEST(Svg, TitleAndXmlEscaping) {
+  Trace t;
+  t.record(0, "k<&>", 0, 0.0, 1.0);
+  SvgOptions options;
+  options.title = "a<b>&c";
+  const std::string svg = render_svg(t, options);
+  EXPECT_EQ(svg.find("a<b>"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;c"), std::string::npos);
+}
+
+TEST(Svg, KernelColorsStableAndDistinctForPlasmaKernels) {
+  EXPECT_EQ(kernel_color("dgemm"), kernel_color("DGEMM"));
+  EXPECT_NE(kernel_color("dgemm"), kernel_color("dsyrk"));
+  EXPECT_NE(kernel_color("dtsqrt"), kernel_color("dtsmqr"));
+  EXPECT_EQ(kernel_color("custom_kernel"), kernel_color("custom_kernel"));
+}
+
+// --------------------------------------------------------------- analysis
+
+TEST(Analysis, StatsAggregateCorrectly) {
+  const TraceStats s = analyze(sample_trace());
+  EXPECT_EQ(s.task_count, 4u);
+  EXPECT_EQ(s.worker_count, 2);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 250.0);
+  EXPECT_DOUBLE_EQ(s.total_busy_us, 100.0 + 50.0 + 150.0 + 140.0);
+  ASSERT_EQ(s.kernels.count("dgemm"), 1u);
+  EXPECT_EQ(s.kernels.at("dgemm").count, 2u);
+  EXPECT_DOUBLE_EQ(s.kernels.at("dgemm").total_time_us, 250.0);
+  EXPECT_NEAR(s.mean_utilization, 440.0 / (250.0 * 2), 1e-12);
+}
+
+TEST(Analysis, CompareIdenticalTracesIsPerfect) {
+  const Trace t = sample_trace();
+  const TraceComparison c = compare_traces(t, t);
+  EXPECT_DOUBLE_EQ(c.makespan_error_pct, 0.0);
+  EXPECT_DOUBLE_EQ(c.start_order_tau, 1.0);
+  EXPECT_EQ(c.matched_tasks, 4u);
+  for (const auto& [kernel, delta] : c.kernels) {
+    EXPECT_DOUBLE_EQ(delta.mean_error_pct, 0.0);
+  }
+}
+
+TEST(Analysis, CompareDetectsMakespanError) {
+  const Trace real = sample_trace();
+  Trace sim("sim");
+  for (const auto& e : real.events()) {
+    sim.record(e.task_id, e.kernel, e.worker, e.start_us * 1.2,
+               e.end_us * 1.2);
+  }
+  const TraceComparison c = compare_traces(real, sim);
+  EXPECT_NEAR(c.makespan_error_pct, 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c.start_order_tau, 1.0);  // order preserved
+}
+
+TEST(Analysis, CompareDetectsReversedOrder) {
+  const Trace real = sample_trace();
+  Trace sim("sim");
+  const auto events = real.sorted_events();
+  double t0 = 0.0;
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    sim.record(it->task_id, it->kernel, it->worker, t0, t0 + 1.0);
+    t0 += 1.0;
+  }
+  const TraceComparison c = compare_traces(real, sim);
+  EXPECT_LT(c.start_order_tau, 0.0);
+}
+
+TEST(Analysis, UtilizationProfileFullWhenPacked) {
+  Trace t;
+  t.record(0, "k", 0, 0.0, 100.0);
+  t.record(1, "k", 1, 0.0, 100.0);
+  const auto profile = utilization_profile(t, 4);
+  ASSERT_EQ(profile.size(), 4u);
+  for (double u : profile) EXPECT_NEAR(u, 1.0, 1e-9);
+}
+
+TEST(Analysis, UtilizationProfileDetectsIdleTail) {
+  Trace t;
+  t.record(0, "k", 0, 0.0, 50.0);
+  t.record(1, "k", 1, 0.0, 100.0);
+  const auto profile = utilization_profile(t, 2);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_NEAR(profile[0], 1.0, 1e-9);
+  EXPECT_NEAR(profile[1], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace tasksim::trace

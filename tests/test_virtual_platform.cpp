@@ -1,0 +1,233 @@
+// Tests for the virtual platform (the dedicated-core replay that stands in
+// for the paper's real multicore runs — DESIGN.md §3) and the DAG-replay
+// DES baseline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dag/builder.hpp"
+#include "sched/factory.hpp"
+#include "sched/submitter.hpp"
+#include "sim/dag_replay.hpp"
+#include "sim/virtual_platform.hpp"
+#include "stats/distribution.hpp"
+#include "support/error.hpp"
+
+namespace tasksim::sim {
+namespace {
+
+sched::TaskDescriptor descriptor(std::string kernel, sched::AccessList accesses) {
+  sched::TaskDescriptor desc;
+  desc.kernel = std::move(kernel);
+  desc.accesses = std::move(accesses);
+  desc.function = [](sched::TaskContext&) {};
+  return desc;
+}
+
+// Drive the observer hooks by hand for exact timing control.
+TEST(VirtualPlatform, SerializesTasksOnOneWorker) {
+  VirtualPlatform vp;
+  double x, y;
+  vp.on_submit(0, descriptor("a", {sched::inout(&x)}));
+  vp.on_submit(1, descriptor("b", {sched::inout(&y)}));  // independent
+  // Both ran on worker 0, back to back in wall time, 100us CPU each.
+  vp.on_finish(0, "a", 0, 1000.0, 1100.0, 0.0, 100.0);
+  vp.on_finish(1, "b", 0, 1100.0, 1200.0, 100.0, 200.0);
+  const trace::Trace timeline = vp.replay();
+  EXPECT_DOUBLE_EQ(timeline.makespan_us(), 200.0);  // serialized on worker 0
+}
+
+TEST(VirtualPlatform, IndependentTasksOnDifferentWorkersOverlap) {
+  VirtualPlatform vp;
+  double x, y;
+  vp.on_submit(0, descriptor("a", {sched::inout(&x)}));
+  vp.on_submit(1, descriptor("b", {sched::inout(&y)}));
+  // Time-sliced on one physical core (disjoint wall intervals) but on
+  // different workers: the replay overlaps them.
+  vp.on_finish(0, "a", 0, 1000.0, 1100.0, 0.0, 100.0);
+  vp.on_finish(1, "b", 1, 1100.0, 1200.0, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(vp.virtual_makespan_us(), 100.0);
+}
+
+TEST(VirtualPlatform, DependenceDelaysSuccessor) {
+  VirtualPlatform vp;
+  double x;
+  vp.on_submit(0, descriptor("w", {sched::out(&x)}));
+  vp.on_submit(1, descriptor("r", {sched::in(&x)}));
+  vp.on_finish(0, "w", 0, 1000.0, 1100.0, 0.0, 100.0);
+  vp.on_finish(1, "r", 1, 1100.0, 1150.0, 0.0, 50.0);
+  // Worker 1 is free at virtual 0 but must wait for the writer: 100 + 50.
+  EXPECT_DOUBLE_EQ(vp.virtual_makespan_us(), 150.0);
+}
+
+TEST(VirtualPlatform, WarDependenceAlsoRespected) {
+  VirtualPlatform vp;
+  double x;
+  vp.on_submit(0, descriptor("r", {sched::in(&x)}));
+  vp.on_submit(1, descriptor("w", {sched::out(&x)}));
+  vp.on_finish(0, "r", 0, 0.0, 10.0, 0.0, 80.0);
+  vp.on_finish(1, "w", 1, 10.0, 20.0, 0.0, 30.0);
+  EXPECT_DOUBLE_EQ(vp.virtual_makespan_us(), 110.0);  // 80 + 30
+}
+
+TEST(VirtualPlatform, ReplayRequiresAllTasksFinished) {
+  VirtualPlatform vp;
+  double x;
+  vp.on_submit(0, descriptor("a", {sched::inout(&x)}));
+  EXPECT_THROW(vp.replay(), InvalidArgument);
+}
+
+TEST(VirtualPlatform, ClearResets) {
+  VirtualPlatform vp;
+  double x;
+  vp.on_submit(0, descriptor("a", {sched::inout(&x)}));
+  vp.on_finish(0, "a", 0, 0.0, 1.0, 0.0, 1.0);
+  EXPECT_EQ(vp.task_count(), 1u);
+  vp.clear();
+  EXPECT_EQ(vp.task_count(), 0u);
+  EXPECT_DOUBLE_EQ(vp.replay().makespan_us(), 0.0);
+}
+
+TEST(VirtualPlatform, AttachedToRuntimeProducesConsistentTimeline) {
+  sched::RuntimeConfig config;
+  config.workers = 3;
+  auto rt = sched::make_runtime("quark", config);
+  VirtualPlatform vp;
+  rt->add_observer(&vp);
+  sched::RealSubmitter submitter(*rt);
+  double slots[6];
+  for (int i = 0; i < 30; ++i) {
+    submitter.submit(
+        "k",
+        [] {
+          volatile double v = 0;
+          for (int j = 0; j < 5000; ++j) v += j;
+        },
+        {sched::inout(&slots[i % 6])});
+  }
+  submitter.finish();
+  rt->remove_observer(&vp);
+
+  const trace::Trace timeline = vp.replay();
+  EXPECT_EQ(timeline.size(), 30u);
+  // Lanes never overlap and chains are serialized.
+  std::map<int, std::vector<std::pair<double, double>>> lanes;
+  for (const auto& e : timeline.events()) {
+    lanes[e.worker].emplace_back(e.start_us, e.end_us);
+  }
+  for (auto& [worker, intervals] : lanes) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first + 1e-9, intervals[i - 1].second);
+    }
+  }
+}
+
+// ------------------------------------------------------------- dag replay
+
+dag::TaskGraph chain_graph(int n, double weight) {
+  dag::TaskGraph g;
+  for (int i = 0; i < n; ++i) g.add_node("k", weight);
+  for (dag::NodeId i = 0; i + 1 < static_cast<dag::NodeId>(n); ++i) {
+    g.add_edge(i, i + 1, dag::DepKind::raw);
+  }
+  return g;
+}
+
+TEST(DagReplay, ChainIgnoresExtraWorkers) {
+  DagReplayOptions options;
+  options.workers = 8;
+  const auto result = replay_dag(chain_graph(10, 5.0), weight_duration_fn(),
+                                 options);
+  EXPECT_DOUBLE_EQ(result.makespan_us, 50.0);
+  EXPECT_EQ(result.timeline.size(), 10u);
+}
+
+TEST(DagReplay, SingleWorkerSumsAllWork) {
+  dag::TaskGraph g;
+  for (int i = 0; i < 6; ++i) g.add_node("k", 10.0);  // independent
+  DagReplayOptions options;
+  options.workers = 1;
+  EXPECT_DOUBLE_EQ(replay_dag(g, weight_duration_fn(), options).makespan_us,
+                   60.0);
+}
+
+TEST(DagReplay, ManyWorkersReachCriticalPath) {
+  // Diamond: 1 + max(2, 5) + 1 = 7 with enough workers.
+  dag::TaskGraph g;
+  g.add_node("a", 1.0);
+  g.add_node("b", 2.0);
+  g.add_node("c", 5.0);
+  g.add_node("d", 1.0);
+  g.add_edge(0, 1, dag::DepKind::raw);
+  g.add_edge(0, 2, dag::DepKind::raw);
+  g.add_edge(1, 3, dag::DepKind::raw);
+  g.add_edge(2, 3, dag::DepKind::raw);
+  DagReplayOptions options;
+  options.workers = 4;
+  EXPECT_DOUBLE_EQ(replay_dag(g, weight_duration_fn(), options).makespan_us,
+                   7.0);
+}
+
+TEST(DagReplay, TwoWorkersLoadBalance) {
+  dag::TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_node("k", 10.0);  // independent
+  DagReplayOptions options;
+  options.workers = 2;
+  EXPECT_DOUBLE_EQ(replay_dag(g, weight_duration_fn(), options).makespan_us,
+                   20.0);
+}
+
+TEST(DagReplay, ModelDurationFnSamples) {
+  KernelModelSet models;
+  models.set_model("k", std::make_unique<stats::ConstantDist>(3.0));
+  Rng rng(1);
+  const auto result = replay_dag(chain_graph(5, 0.0),
+                                 model_duration_fn(models, rng),
+                                 DagReplayOptions{2, false});
+  EXPECT_DOUBLE_EQ(result.makespan_us, 15.0);
+}
+
+TEST(DagReplay, DeterministicGivenWeights) {
+  Rng rng(5);
+  dag::DagBuilder builder;
+  double objects[4];
+  for (int t = 0; t < 40; ++t) {
+    std::vector<dag::DataRef> refs;
+    refs.push_back(rng.uniform() < 0.5
+                       ? dag::read_ref(&objects[rng.uniform_index(4)])
+                       : dag::rw_ref(&objects[rng.uniform_index(4)]));
+    builder.submit("k", refs, rng.uniform(1.0, 10.0));
+  }
+  const dag::TaskGraph& g = builder.graph();
+  const auto a = replay_dag(g, weight_duration_fn(), DagReplayOptions{3, false});
+  const auto b = replay_dag(g, weight_duration_fn(), DagReplayOptions{3, false});
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+}
+
+TEST(DagReplay, CriticalPathPriorityNotWorse) {
+  // A wide fork where one branch dominates: prioritizing the critical path
+  // must not produce a longer schedule than FIFO.
+  dag::TaskGraph g;
+  const auto root = g.add_node("r", 1.0);
+  const auto heavy = g.add_node("h", 50.0);
+  g.add_edge(root, heavy, dag::DepKind::raw);
+  for (int i = 0; i < 6; ++i) {
+    g.add_edge(root, g.add_node("l", 10.0), dag::DepKind::raw);
+  }
+  DagReplayOptions fifo{2, false};
+  DagReplayOptions cp{2, true};
+  const double fifo_ms = replay_dag(g, weight_duration_fn(), fifo).makespan_us;
+  const double cp_ms = replay_dag(g, weight_duration_fn(), cp).makespan_us;
+  EXPECT_LE(cp_ms, fifo_ms);
+  EXPECT_DOUBLE_EQ(cp_ms, 61.0);  // 1 + max(50, 60/2 interleaved) => 1+60
+}
+
+TEST(DagReplay, RejectsZeroWorkers) {
+  EXPECT_THROW(replay_dag(chain_graph(2, 1.0), weight_duration_fn(),
+                          DagReplayOptions{0, false}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tasksim::sim
