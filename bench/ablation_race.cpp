@@ -85,5 +85,9 @@ int main(int argc, char** argv) {
   std::printf("\npaper's claim to verify: without mitigation the race "
               "corrupts the virtual timeline;\nthe sleep/yield mitigation "
               "and the (generalized) quiescence query both fix it.\n");
+
+  // Queue waits, displacements and quiescence spins accumulated over all
+  // policies/repeats — the observability the §V-E ablation argues from.
+  harness::print_metrics_snapshot();
   return 0;
 }

@@ -116,12 +116,20 @@ int main(int argc, char** argv) {
   trace::save_trace(sim.timeline, out_prefix + "_sim.trace");
   {
     // Both timelines in one Chrome-tracing document for interactive
-    // inspection (chrome://tracing or ui.perfetto.dev).
+    // inspection (chrome://tracing or ui.perfetto.dev), with in-flight
+    // task-count counter tracks so queue depth renders alongside the bars.
     std::ofstream out(out_prefix + "_both.json");
-    out << trace::render_chrome_json({&real.timeline, &sim.timeline});
+    out << trace::render_chrome_json(
+        {&real.timeline, &sim.timeline},
+        {trace::occupancy_track(real.timeline, "real in-flight", 1),
+         trace::occupancy_track(sim.timeline, "sim queue depth", 2)});
   }
   std::printf("artifacts: %s_real.svg %s_sim.svg %s_both.json "
               "(+ .trace text files)\n",
               out_prefix.c_str(), out_prefix.c_str(), out_prefix.c_str());
+
+  // Counters accumulated across the real and simulated runs: queue waits,
+  // displacements, quiescence spins, steals, calibration sample counts.
+  harness::print_metrics_snapshot();
   return 0;
 }

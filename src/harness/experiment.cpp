@@ -29,7 +29,9 @@ Algorithm parse_algorithm(const std::string& name) {
   if (name == "cholesky" || name == "potrf") return Algorithm::cholesky;
   if (name == "qr" || name == "geqrf") return Algorithm::qr;
   if (name == "lu" || name == "getrf") return Algorithm::lu;
-  throw InvalidArgument("unknown algorithm: " + name);
+  throw InvalidArgument("unknown algorithm: '" + name +
+                        "' (valid: cholesky (alias: potrf), qr (alias: "
+                        "geqrf), lu (alias: getrf))");
 }
 
 double algorithm_flops(const ExperimentConfig& config) {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/strings.hpp"
 
 namespace tasksim::harness {
 
@@ -53,6 +54,33 @@ std::string TextTable::to_string() const {
 void print_banner(const std::string& title) {
   std::string bar(title.size() + 4, '=');
   std::printf("\n%s\n= %s =\n%s\n", bar.c_str(), title.c_str(), bar.c_str());
+}
+
+TextTable metrics_table(const metrics::Snapshot& snapshot, bool include_zero) {
+  TextTable table;
+  table.set_headers({"metric", "kind", "value", "detail"});
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value == 0 && !include_zero) continue;
+    table.add_row({name, "counter", std::to_string(value), ""});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (value == 0.0 && !include_zero) continue;
+    table.add_row({name, "gauge", strprintf("%g", value), ""});
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    if (stats.count == 0 && !include_zero) continue;
+    table.add_row({name, "histogram", std::to_string(stats.count),
+                   strprintf("sum=%.1f mean=%.2f p50<=%.2f p95<=%.2f",
+                             stats.sum, stats.mean(), stats.quantile(0.5),
+                             stats.quantile(0.95))});
+  }
+  return table;
+}
+
+void print_metrics_snapshot(const std::string& title) {
+  const metrics::Snapshot snap = metrics::snapshot();
+  std::printf("\n%s:\n", title.c_str());
+  std::fputs(metrics_table(snap).to_string().c_str(), stdout);
 }
 
 }  // namespace tasksim::harness

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "support/metrics.hpp"
+
 namespace tasksim::harness {
 
 class TextTable {
@@ -27,5 +29,15 @@ class TextTable {
 
 /// Print a section banner: the experiment id and its paper reference.
 void print_banner(const std::string& title);
+
+/// Render a metrics snapshot as a table: one row per counter / gauge /
+/// histogram.  Zero-valued metrics are skipped unless `include_zero` —
+/// benches report what happened, not everything that could have.
+TextTable metrics_table(const metrics::Snapshot& snapshot,
+                        bool include_zero = false);
+
+/// Print the global registry's snapshot (banner + table) to stdout; the
+/// uniform "metrics snapshot" block the benches append to their output.
+void print_metrics_snapshot(const std::string& title = "metrics snapshot");
 
 }  // namespace tasksim::harness

@@ -20,7 +20,8 @@ std::unique_ptr<Runtime> make_runtime(const std::string& spec,
     if (variant == "nosteal") {
       options.steal = false;
     } else {
-      TS_REQUIRE(variant.empty(), "unknown quark variant: " + variant);
+      TS_REQUIRE(variant.empty(),
+                 "unknown quark variant: '" + variant + "' (valid: nosteal)");
     }
     return std::make_unique<QuarkRuntime>(config, options);
   }
@@ -34,7 +35,9 @@ std::unique_ptr<Runtime> make_runtime(const std::string& spec,
     if (!variant.empty()) options.policy = parse_ompss_policy(variant);
     return std::make_unique<OmpssRuntime>(config, options);
   }
-  throw InvalidArgument("unknown runtime family: " + family);
+  throw InvalidArgument("unknown runtime family: '" + family +
+                        "' (valid: " + join(known_runtime_specs(), ", ") +
+                        ")");
 }
 
 std::vector<std::string> known_runtime_specs() {

@@ -15,7 +15,9 @@ const char* to_string(OmpssPolicy policy) {
 OmpssPolicy parse_ompss_policy(const std::string& name) {
   if (name == "bf" || name == "breadth_first") return OmpssPolicy::breadth_first;
   if (name == "wf" || name == "work_first") return OmpssPolicy::work_first;
-  throw InvalidArgument("unknown OmpSs policy: " + name);
+  throw InvalidArgument("unknown OmpSs policy: '" + name +
+                        "' (valid: bf (alias: breadth_first), wf (alias: "
+                        "work_first))");
 }
 
 OmpssRuntime::OmpssRuntime(RuntimeConfig config, OmpssOptions options)
@@ -23,7 +25,8 @@ OmpssRuntime::OmpssRuntime(RuntimeConfig config, OmpssOptions options)
       options_(options),
       queue_(options.policy == OmpssPolicy::breadth_first
                  ? QueueDiscipline::fifo
-                 : QueueDiscipline::lifo) {
+                 : QueueDiscipline::lifo),
+      immediate_hits_(metrics::counter("sched.immediate_successor_hits")) {
   immediate_.reserve(static_cast<std::size_t>(config.workers));
   for (int i = 0; i < config.workers; ++i) {
     immediate_.push_back(std::make_unique<std::atomic<TaskRecord*>>(nullptr));
@@ -76,6 +79,7 @@ void OmpssRuntime::route_released(int worker,
       mark_ready(first);
       immediate_count_.fetch_add(1, std::memory_order_acq_rel);
       slot.store(first, std::memory_order_release);
+      immediate_hits_.inc();
       start = 1;
     }
   }

@@ -57,6 +57,7 @@ class OmpssRuntime final : public RuntimeBase {
   /// lane's worker, which makes a plain atomic pointer sufficient.
   std::vector<std::unique_ptr<std::atomic<TaskRecord*>>> immediate_;
   std::atomic<std::size_t> immediate_count_{0};
+  metrics::Counter immediate_hits_;  ///< sched.immediate_successor_hits
 };
 
 }  // namespace tasksim::sched

@@ -42,7 +42,8 @@ TaskRecord* CentralQueue::pop() {
   return task;
 }
 
-StealingDeques::StealingDeques(int lanes, std::uint64_t seed) : rng_(seed) {
+StealingDeques::StealingDeques(int lanes, std::uint64_t seed)
+    : rng_(seed), steals_(metrics::counter("sched.tasks_stolen")) {
   TS_REQUIRE(lanes >= 1, "need at least one lane");
   deques_.reserve(static_cast<std::size_t>(lanes));
   for (int i = 0; i < lanes; ++i) {
@@ -99,6 +100,7 @@ TaskRecord* StealingDeques::steal(int thief) {
     TaskRecord* task = l.deque.back();
     l.deque.pop_back();
     size_.fetch_sub(1, std::memory_order_release);
+    steals_.inc();
     return task;
   }
   return nullptr;

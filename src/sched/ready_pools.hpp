@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sched/task.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace tasksim::sched {
@@ -82,6 +83,7 @@ class StealingDeques {
   std::atomic<std::size_t> size_{0};
   std::mutex rng_mutex_;
   Rng rng_;
+  metrics::Counter steals_;  ///< sched.tasks_stolen (successful steals)
 };
 
 }  // namespace tasksim::sched

@@ -7,7 +7,14 @@
 
 namespace tasksim::sched {
 
-RuntimeBase::RuntimeBase(RuntimeConfig config) : config_(config) {
+RuntimeBase::RuntimeBase(RuntimeConfig config)
+    : config_(config),
+      tasks_submitted_(metrics::counter("sched.tasks_submitted")),
+      tasks_completed_(metrics::counter("sched.tasks_completed")),
+      window_throttled_(metrics::counter("sched.window_throttled")),
+      window_wait_us_(metrics::histogram("sched.window_wait_us")),
+      ready_depth_(metrics::gauge("sched.ready_pool_depth")),
+      bookkeeping_gauge_(metrics::gauge("sched.bookkeeping_in_flight")) {
   TS_REQUIRE(config_.workers >= 1, "runtime needs at least one worker");
   spawned_workers_ =
       config_.workers - (config_.master_participates ? 1 : 0);
@@ -98,13 +105,17 @@ void RuntimeBase::notify_workers() {
 
 TaskId RuntimeBase::submit(TaskDescriptor desc) {
   TS_REQUIRE(static_cast<bool>(desc.function), "task without a function");
+  tasks_submitted_.inc();
   // Task-window throttling (QUARK window / OmpSs throttle).
   if (config_.window_size > 0) {
     std::unique_lock<std::mutex> lock(state_mutex_);
     if (pending_ >= config_.window_size) {
+      window_throttled_.inc();
+      const double blocked_from = wall_time_us();
       submitter_waiting_.store(true, std::memory_order_release);
       done_cv_.wait(lock, [&] { return pending_ < config_.window_size; });
       submitter_waiting_.store(false, std::memory_order_release);
+      window_wait_us_.observe(wall_time_us() - blocked_from);
     }
   }
 
@@ -131,6 +142,7 @@ void RuntimeBase::make_ready(TaskRecord* task, int worker_hint) {
   task->state.store(TaskState::ready, std::memory_order_release);
   for (TaskObserver* obs : observers_) obs->on_ready(task->id);
   push_ready(task, worker_hint);
+  ready_depth_.set(static_cast<double>(ready_count()));
   notify_workers();
 }
 
@@ -166,6 +178,7 @@ TaskRecord* RuntimeBase::claim_task(int lane) {
     lane_executing_[static_cast<std::size_t>(lane)]->store(
         true, std::memory_order_release);
     running_.fetch_add(1, std::memory_order_acq_rel);
+    ready_depth_.set(static_cast<double>(ready_count()));
   }
   bookkeeping_.fetch_sub(1, std::memory_order_acq_rel);
   return task;
@@ -214,7 +227,8 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
 
   // Completion bookkeeping: visible through bookkeeping_in_flight() until
   // every released successor is routed to a ready pool.
-  bookkeeping_.fetch_add(1, std::memory_order_acq_rel);
+  bookkeeping_gauge_.set(static_cast<double>(
+      bookkeeping_.fetch_add(1, std::memory_order_acq_rel) + 1));
 
   for (TaskObserver* obs : observers_) {
     obs->on_finish(task->id, task->desc.kernel, lane, start_wall, end_wall,
@@ -243,7 +257,9 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
   done_cv_.notify_all();
   if (all_done) worker_cv_.notify_all();  // wake a participating master
 
-  bookkeeping_.fetch_sub(1, std::memory_order_acq_rel);
+  tasks_completed_.inc();
+  bookkeeping_gauge_.set(static_cast<double>(
+      bookkeeping_.fetch_sub(1, std::memory_order_acq_rel) - 1));
   running_.fetch_sub(1, std::memory_order_acq_rel);
   lane_executing_[static_cast<std::size_t>(lane)]->store(
       false, std::memory_order_release);

@@ -26,6 +26,7 @@
 
 #include "sched/dependency_tracker.hpp"
 #include "sched/runtime.hpp"
+#include "support/metrics.hpp"
 
 namespace tasksim::sched {
 
@@ -150,6 +151,14 @@ class RuntimeBase : public Runtime {
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> executed_per_lane_;
   std::vector<std::unique_ptr<std::atomic<bool>>> lane_executing_;
   std::vector<std::thread> threads_;
+
+  // Instrumentation (global metrics registry; see DESIGN.md §2).
+  metrics::Counter tasks_submitted_;      ///< sched.tasks_submitted
+  metrics::Counter tasks_completed_;      ///< sched.tasks_completed
+  metrics::Counter window_throttled_;     ///< sched.window_throttled
+  metrics::Histogram window_wait_us_;     ///< µs the submitter was blocked
+  metrics::Gauge ready_depth_;            ///< sched.ready_pool_depth
+  metrics::Gauge bookkeeping_gauge_;      ///< sched.bookkeeping_in_flight
 };
 
 }  // namespace tasksim::sched

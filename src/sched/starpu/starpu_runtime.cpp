@@ -24,7 +24,8 @@ StarpuPolicy parse_starpu_policy(const std::string& name) {
   if (name == "ws") return StarpuPolicy::ws;
   if (name == "dm") return StarpuPolicy::dm;
   if (name == "dmda") return StarpuPolicy::dmda;
-  throw InvalidArgument("unknown StarPU policy: " + name);
+  throw InvalidArgument("unknown StarPU policy: '" + name +
+                        "' (valid: eager, prio, ws, dm, dmda)");
 }
 
 std::string accel_model_key(const std::string& kernel) {

@@ -3,7 +3,9 @@
 namespace tasksim::sim {
 
 CalibrationObserver::CalibrationObserver(Options options)
-    : options_(options) {}
+    : options_(options),
+      samples_metric_(metrics::counter("sim.calibration.samples")),
+      warmups_metric_(metrics::counter("sim.calibration.warmup_samples")) {}
 
 void CalibrationObserver::on_finish(sched::TaskId /*id*/,
                                     const std::string& kernel, int worker,
@@ -18,9 +20,11 @@ void CalibrationObserver::on_finish(sched::TaskId /*id*/,
   if (dropped < options_.warmup_drop_per_worker) {
     ++dropped;
     warmup_samples_[kernel].push_back(duration);
+    warmups_metric_.inc();
     return;
   }
   samples_[kernel].push_back(duration);
+  samples_metric_.inc();
 }
 
 std::map<std::string, std::vector<double>>
@@ -78,6 +82,7 @@ void CalibrationObserver::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   samples_.clear();
   raw_samples_.clear();
+  warmup_samples_.clear();
   dropped_.clear();
 }
 

@@ -18,6 +18,7 @@
 
 #include "sched/observer.hpp"
 #include "sim/kernel_model.hpp"
+#include "support/metrics.hpp"
 
 namespace tasksim::sim {
 
@@ -76,6 +77,8 @@ class CalibrationObserver final : public sched::TaskObserver {
   std::map<std::string, std::vector<double>> raw_samples_;
   std::map<std::string, std::vector<double>> warmup_samples_;
   std::map<std::pair<int, std::string>, int> dropped_;
+  metrics::Counter samples_metric_;   ///< sim.calibration.samples
+  metrics::Counter warmups_metric_;   ///< sim.calibration.warmup_samples
 };
 
 }  // namespace tasksim::sim

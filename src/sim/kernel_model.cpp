@@ -5,6 +5,7 @@
 
 #include "stats/fitting.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
 
 namespace tasksim::sim {
@@ -28,7 +29,9 @@ ModelFamily parse_model_family(const std::string& name) {
   if (name == "lognormal") return ModelFamily::lognormal;
   if (name == "empirical") return ModelFamily::empirical;
   if (name == "best") return ModelFamily::best;
-  throw InvalidArgument("unknown model family: " + name);
+  throw InvalidArgument("unknown model family: '" + name +
+                        "' (valid: constant, normal, gamma, lognormal, "
+                        "empirical, best)");
 }
 
 KernelModelSet::KernelModelSet(const KernelModelSet& other) {
@@ -131,6 +134,9 @@ KernelModelSet fit_models(
         dist = stats::fit_best(samples);
         break;
     }
+    // Fit-selection accounting: which family actually got chosen per
+    // kernel (under `best` the winner varies with the sample shape).
+    metrics::counter("sim.fit.selected." + dist->name()).inc();
     set.set_model(kernel, std::move(dist));
   }
   return set;

@@ -4,15 +4,24 @@
 
 namespace tasksim::sim {
 
+SimClock::SimClock() : advances_(metrics::counter("sim.clock_advances")) {}
+
 double SimClock::now() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return now_us_;
 }
 
 double SimClock::advance_to(double time_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  now_us_ = std::max(now_us_, time_us);
-  return now_us_;
+  bool advanced = false;
+  double now;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    advanced = time_us > now_us_;
+    now_us_ = std::max(now_us_, time_us);
+    now = now_us_;
+  }
+  if (advanced) advances_.inc();
+  return now;
 }
 
 void SimClock::reset() {

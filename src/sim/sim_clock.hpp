@@ -10,10 +10,14 @@
 
 #include <mutex>
 
+#include "support/metrics.hpp"
+
 namespace tasksim::sim {
 
 class SimClock {
  public:
+  SimClock();
+
   /// Current virtual time in microseconds.
   double now() const;
 
@@ -27,6 +31,7 @@ class SimClock {
  private:
   mutable std::mutex mutex_;
   double now_us_ = 0.0;
+  metrics::Counter advances_;  ///< sim.clock_advances (forward moves only)
 };
 
 }  // namespace tasksim::sim

@@ -23,13 +23,25 @@ const char* to_string(RaceMitigation mitigation) {
 
 RaceMitigation parse_race_mitigation(const std::string& name) {
   if (name == "none") return RaceMitigation::none;
-  if (name == "yield_sleep" || name == "sleep") return RaceMitigation::yield_sleep;
+  if (name == "yield_sleep" || name == "sleep" || name == "yield") {
+    return RaceMitigation::yield_sleep;
+  }
   if (name == "quiescence") return RaceMitigation::quiescence;
-  throw InvalidArgument("unknown race mitigation: " + name);
+  throw InvalidArgument("unknown race mitigation: '" + name +
+                        "' (valid: none, yield_sleep (aliases: yield, "
+                        "sleep), quiescence)");
 }
 
 SimEngine::SimEngine(const KernelModelSet& models, SimEngineOptions options)
-    : models_(models), options_(options), rng_(options.seed) {
+    : models_(models),
+      options_(options),
+      rng_(options.seed),
+      executed_(metrics::counter("sim.tasks_executed")),
+      quiescence_timeouts_(metrics::counter("sim.quiescence_timeouts")),
+      quiescence_spins_(metrics::counter("sim.quiescence_spins")),
+      quiescence_spin_iters_(metrics::histogram("sim.quiescence_spin_iters")),
+      executed_base_(executed_.value()),
+      quiescence_timeouts_base_(quiescence_timeouts_.value()) {
   trace_.set_label("simulated");
 }
 
@@ -98,17 +110,23 @@ double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kerne
 
   if (options_.mitigation == RaceMitigation::quiescence) {
     const double wait_start = wall_time_us();
+    std::uint64_t spins = 0;
     while (!scheduler_safe(ctx)) {
       if (wall_time_us() - wait_start > options_.quiescence_timeout_us) {
-        quiescence_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        quiescence_timeouts_.inc();
         TS_LOG_WARN << "quiescence wait timed out for kernel " << kernel
                     << " (task " << ctx.id << ")";
         break;
       }
+      ++spins;
       std::this_thread::yield();
       // A later-arriving task may have displaced us from the front while we
       // yielded; re-establish the ordering invariant before re-checking.
       queue_.wait_front(ticket);
+    }
+    if (spins > 0) {
+      quiescence_spins_.inc(spins);
+      quiescence_spin_iters_.observe(static_cast<double>(spins));
     }
   }
 
@@ -116,7 +134,7 @@ double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kerne
   // return to the scheduler "as if" the kernel had computed.
   trace_.record(ctx.id, kernel, ctx.worker, start, end);
   clock_.advance_to(end);
-  executed_.fetch_add(1, std::memory_order_relaxed);
+  executed_.inc();
   queue_.leave(ticket);
   return duration;
 }
@@ -125,8 +143,8 @@ void SimEngine::reset() {
   TS_REQUIRE(queue_.size() == 0, "cannot reset with simulated tasks in flight");
   clock_.reset();
   trace_.clear();
-  executed_.store(0, std::memory_order_relaxed);
-  quiescence_timeouts_.store(0, std::memory_order_relaxed);
+  executed_base_ = executed_.value();
+  quiescence_timeouts_base_ = quiescence_timeouts_.value();
   warmed_up_.clear();
 }
 

@@ -37,6 +37,7 @@
 #include "sim/kernel_model.hpp"
 #include "sim/sim_clock.hpp"
 #include "sim/task_exec_queue.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "trace/trace.hpp"
 
@@ -81,15 +82,19 @@ class SimEngine {
   const trace::Trace& trace() const { return trace_; }
   trace::Trace& trace() { return trace_; }
 
-  /// Number of simulated kernels executed.
+  /// Number of simulated kernels executed by *this* engine.  Backed by the
+  /// global "sim.tasks_executed" metric relative to a baseline captured at
+  /// construction/reset, so per-engine accessors and process-wide metrics
+  /// agree; engines are expected to run one at a time (concurrent engines
+  /// would see each other's increments).
   std::uint64_t executed_tasks() const {
-    return executed_.load(std::memory_order_relaxed);
+    return executed_.value() - executed_base_;
   }
 
   /// Times the quiescence wait hit its timeout (should stay 0 in healthy
-  /// runs).
+  /// runs).  Same baseline convention as executed_tasks().
   std::uint64_t quiescence_timeouts() const {
-    return quiescence_timeouts_.load(std::memory_order_relaxed);
+    return quiescence_timeouts_.value() - quiescence_timeouts_base_;
   }
 
   /// Submission gate for the quiescence mitigation.  While open (and the
@@ -120,9 +125,16 @@ class SimEngine {
   Rng rng_;
   /// (worker, kernel) pairs that already executed once (startup modeling).
   std::set<std::pair<int, std::string>> warmed_up_;
-  std::atomic<std::uint64_t> executed_{0};
-  std::atomic<std::uint64_t> quiescence_timeouts_{0};
   std::atomic<bool> submission_open_{false};
+
+  // Instrumentation (global metrics registry; see DESIGN.md §2).  The
+  // *_base_ values anchor the per-engine accessors above.
+  metrics::Counter executed_;             ///< sim.tasks_executed
+  metrics::Counter quiescence_timeouts_;  ///< sim.quiescence_timeouts
+  metrics::Counter quiescence_spins_;     ///< sim.quiescence_spins
+  metrics::Histogram quiescence_spin_iters_;  ///< per-wait spin iterations
+  std::uint64_t executed_base_ = 0;
+  std::uint64_t quiescence_timeouts_base_ = 0;
 };
 
 }  // namespace tasksim::sim

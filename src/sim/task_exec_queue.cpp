@@ -1,13 +1,25 @@
 #include "sim/task_exec_queue.hpp"
 
 #include "support/error.hpp"
+#include "support/timing.hpp"
 
 namespace tasksim::sim {
+
+TaskExecQueue::TaskExecQueue()
+    : enters_(metrics::counter("sim.queue.enters")),
+      displacements_(metrics::counter("sim.queue.displacements")),
+      wait_us_(metrics::histogram("sim.queue.wait_us")) {}
 
 TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
   std::lock_guard<std::mutex> lock(mutex_);
   Ticket ticket{completion_us, next_seq_++};
+  // A later-arriving entry with an earlier completion time displaces the
+  // previous front, whose waiter must re-block (the §V-E race surface).
+  const bool displaces =
+      !entries_.empty() && key(ticket) < *entries_.begin();
   entries_.insert(key(ticket));
+  enters_.inc();
+  if (displaces) displacements_.inc();
   // A new entry can become the front, unblocking nobody (the new owner is
   // not waiting yet) — but it can also *displace* the previous front, whose
   // waiter must re-evaluate; wake everyone.
@@ -18,7 +30,10 @@ TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
 void TaskExecQueue::wait_front(const Ticket& ticket) const {
   std::unique_lock<std::mutex> lock(mutex_);
   TS_REQUIRE(entries_.count(key(ticket)) == 1, "ticket not in queue");
+  if (*entries_.begin() == key(ticket)) return;
+  const double blocked_from = wall_time_us();
   cv_.wait(lock, [&] { return *entries_.begin() == key(ticket); });
+  wait_us_.observe(wall_time_us() - blocked_from);
 }
 
 bool TaskExecQueue::is_front(const Ticket& ticket) const {

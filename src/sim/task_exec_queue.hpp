@@ -17,10 +17,14 @@
 #include <set>
 #include <utility>
 
+#include "support/metrics.hpp"
+
 namespace tasksim::sim {
 
 class TaskExecQueue {
  public:
+  TaskExecQueue();
+
   /// Identifies one queue occupancy.
   struct Ticket {
     double completion_us = 0.0;
@@ -52,6 +56,11 @@ class TaskExecQueue {
   mutable std::condition_variable cv_;
   std::set<Key> entries_;
   std::uint64_t next_seq_ = 0;
+
+  // Instrumentation (global metrics registry; see DESIGN.md §2).
+  metrics::Counter enters_;         ///< sim.queue.enters
+  metrics::Counter displacements_;  ///< sim.queue.displacements
+  metrics::Histogram wait_us_;      ///< sim.queue.wait_us (real µs blocked)
 };
 
 }  // namespace tasksim::sim

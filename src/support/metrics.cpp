@@ -1,0 +1,239 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace tasksim::metrics {
+
+namespace {
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Precomputed bucket upper bounds (last is +inf).
+const std::array<double, kHistogramBuckets>& bucket_bounds() {
+  static const std::array<double, kHistogramBuckets> bounds = [] {
+    std::array<double, kHistogramBuckets> b{};
+    double upper = 0.25;
+    for (std::size_t i = 0; i + 1 < kHistogramBuckets; ++i) {
+      b[i] = upper;
+      upper *= 2.0;
+    }
+    b[kHistogramBuckets - 1] = std::numeric_limits<double>::infinity();
+    return b;
+  }();
+  return bounds;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+double histogram_bucket_upper(std::size_t i) {
+  TS_REQUIRE(i < kHistogramBuckets, "histogram bucket index out of range");
+  return bucket_bounds()[i];
+}
+
+Registry::Registry() : id_(next_registry_id()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // intentionally leaked: metric
+  return *instance;  // handles in static objects may outlive exit-time dtors
+}
+
+namespace {
+// Full per-thread shard map backing the one-entry TlsCache fast path (the
+// cache misses only when a thread alternates between registries).
+thread_local std::unordered_map<std::uint64_t, void*> t_shards;
+}  // namespace
+
+Registry::Shard& Registry::local_shard_slow(TlsCache& cache) {
+  auto it = t_shards.find(id_);
+  Shard* shard;
+  if (it != t_shards.end()) {
+    shard = static_cast<Shard*>(it->second);
+  } else {
+    auto owned = std::make_unique<Shard>();
+    shard = owned.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shards_.push_back(std::move(owned));
+    }
+    t_shards.emplace(id_, shard);
+  }
+  cache = {id_, shard};
+  return *shard;
+}
+
+namespace {
+std::uint32_t register_slot(std::map<std::string, std::uint32_t>& slots,
+                            const std::string& name, std::size_t capacity,
+                            const char* kind) {
+  auto it = slots.find(name);
+  if (it != slots.end()) return it->second;
+  TS_REQUIRE(slots.size() < capacity,
+             std::string("metrics registry out of ") + kind + " slots ('" +
+                 name + "')");
+  const auto slot = static_cast<std::uint32_t>(slots.size());
+  slots.emplace(name, slot);
+  return slot;
+}
+}  // namespace
+
+Counter Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Counter(this, register_slot(counter_slots_, name, kMaxCounters,
+                                     "counter"));
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Gauge(this, register_slot(gauge_slots_, name, kMaxGauges, "gauge"));
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Histogram(this, register_slot(histogram_slots_, name, kMaxHistograms,
+                                       "histogram"));
+}
+
+std::uint64_t Counter::value() const {
+  std::lock_guard<std::mutex> lock(registry_->mutex_);
+  std::uint64_t total = 0;
+  for (const auto& shard : registry_->shards_) {
+    total += shard->counters[slot_].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double HistogramStats::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) return histogram_bucket_upper(i);
+  }
+  return histogram_bucket_upper(kHistogramBuckets - 1);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, slot] : counter_slots_) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[slot].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace(name, total);
+  }
+  for (const auto& [name, slot] : gauge_slots_) {
+    snap.gauges.emplace(name, gauges_[slot].load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, slot] : histogram_slots_) {
+    HistogramStats stats;
+    for (const auto& shard : shards_) {
+      const auto& hist = shard->hists[slot];
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        stats.buckets[i] += hist.buckets[i].load(std::memory_order_relaxed);
+      }
+      stats.sum += hist.sum.load(std::memory_order_relaxed);
+    }
+    for (std::uint64_t n : stats.buckets) stats.count += n;
+    snap.histograms.emplace(name, stats);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->hists) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << json_number(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, stats] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << stats.count
+       << ",\"sum\":" << json_number(stats.sum)
+       << ",\"mean\":" << json_number(stats.mean())
+       << ",\"p50\":" << json_number(stats.quantile(0.5))
+       << ",\"p95\":" << json_number(stats.quantile(0.95)) << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (stats.buckets[i] == 0) continue;
+      if (!first_bucket) os << ',';
+      first_bucket = false;
+      const double upper = histogram_bucket_upper(i);
+      os << "{\"le\":"
+         << (std::isfinite(upper) ? json_number(upper) : "\"inf\"")
+         << ",\"n\":" << stats.buckets[i] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+Counter counter(const std::string& name) {
+  return Registry::global().counter(name);
+}
+Gauge gauge(const std::string& name) { return Registry::global().gauge(name); }
+Histogram histogram(const std::string& name) {
+  return Registry::global().histogram(name);
+}
+Snapshot snapshot() { return Registry::global().snapshot(); }
+void reset() { Registry::global().reset(); }
+
+}  // namespace tasksim::metrics

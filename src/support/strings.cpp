@@ -124,7 +124,8 @@ bool parse_bool(const std::string& text) {
   const std::string lower = to_lower(text);
   if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
   if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
-  throw InvalidArgument("not a boolean: '" + text + "'");
+  throw InvalidArgument("not a boolean: '" + text +
+                        "' (valid: 1/true/yes/on, 0/false/no/off)");
 }
 
 }  // namespace tasksim

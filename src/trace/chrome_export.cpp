@@ -1,6 +1,8 @@
 #include "trace/chrome_export.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -42,7 +44,31 @@ void append_trace(std::ostringstream& os, const Trace& trace, int pid,
 }
 }  // namespace
 
-std::string render_chrome_json(const std::vector<const Trace*>& traces) {
+CounterTrack occupancy_track(const Trace& trace, const std::string& name,
+                             int pid) {
+  // Sum of +1 deltas at starts and -1 deltas at ends, folded into one
+  // sample per distinct timestamp (Chrome counters are step functions).
+  std::map<double, double> deltas;
+  for (const auto& e : trace.events()) {
+    deltas[e.start_us] += 1.0;
+    deltas[e.end_us] -= 1.0;
+  }
+  CounterTrack track;
+  track.name = name;
+  track.pid = pid;
+  track.samples.reserve(deltas.size());
+  double level = 0.0;
+  for (const auto& [ts, delta] : deltas) {
+    level += delta;
+    // Zero-duration events cancel out; still emit the sample so the track
+    // shows activity at that instant's neighbours correctly.
+    track.samples.push_back({ts, std::max(level, 0.0)});
+  }
+  return track;
+}
+
+std::string render_chrome_json(const std::vector<const Trace*>& traces,
+                               const std::vector<CounterTrack>& counters) {
   std::ostringstream os;
   os.precision(15);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -52,8 +78,22 @@ std::string render_chrome_json(const std::vector<const Trace*>& traces) {
     TS_REQUIRE(trace != nullptr, "null trace");
     append_trace(os, *trace, pid++, first);
   }
+  for (const CounterTrack& track : counters) {
+    for (const auto& sample : track.samples) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"" << escape_json(track.name)
+         << "\",\"ph\":\"C\",\"pid\":" << track.pid
+         << ",\"ts\":" << sample.ts_us << ",\"args\":{\"value\":"
+         << sample.value << "}}";
+    }
+  }
   os << "\n]}\n";
   return os.str();
+}
+
+std::string render_chrome_json(const std::vector<const Trace*>& traces) {
+  return render_chrome_json(traces, {});
 }
 
 std::string render_chrome_json(const Trace& trace) {

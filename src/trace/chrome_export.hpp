@@ -7,10 +7,31 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "trace/trace.hpp"
 
 namespace tasksim::trace {
+
+/// One sample of a time-varying counter (Chrome "C" event).
+struct CounterSample {
+  double ts_us = 0.0;
+  double value = 0.0;
+};
+
+/// A named counter series rendered alongside the task bars of the process
+/// `pid` (pids are assigned 1..N in trace order by render_chrome_json).
+struct CounterTrack {
+  std::string name;
+  int pid = 1;
+  std::vector<CounterSample> samples;
+};
+
+/// Derive the number of in-flight tasks over time from a trace (+1 at each
+/// event start, -1 at each end).  For a simulated trace this is exactly the
+/// Task Execution Queue occupancy; for a real trace it is worker busyness.
+CounterTrack occupancy_track(const Trace& trace, const std::string& name,
+                             int pid = 1);
 
 /// Render as a Chrome Trace Event JSON document ("traceEvents" array of
 /// complete events; one pid per trace label, one tid per worker lane).
@@ -19,6 +40,11 @@ std::string render_chrome_json(const Trace& trace);
 /// Render several traces (e.g. real and simulated) into one document so
 /// the viewer shows them as separate processes on one timeline.
 std::string render_chrome_json(const std::vector<const Trace*>& traces);
+
+/// As above, plus counter tracks (queue depth, ready-pool depth, …)
+/// rendered as Chrome counter events on their associated process.
+std::string render_chrome_json(const std::vector<const Trace*>& traces,
+                               const std::vector<CounterTrack>& counters);
 
 void write_chrome_json(const Trace& trace, const std::string& path);
 

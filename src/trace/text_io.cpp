@@ -1,5 +1,6 @@
 #include "trace/text_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -9,12 +10,16 @@
 namespace tasksim::trace {
 
 void save_trace(const Trace& trace, std::ostream& out) {
+  // 17 significant digits round-trip any double exactly; set it before any
+  // output and restore the caller's precision afterwards — the stream is
+  // borrowed, not owned.
+  const std::streamsize saved_precision = out.precision(17);
   out << "# tasksim-trace v1 label=" << trace.label() << "\n";
-  out.precision(17);
   for (const auto& e : trace.sorted_events()) {
     out << e.task_id << ' ' << e.worker << ' ' << e.start_us << ' ' << e.end_us
         << ' ' << e.kernel << "\n";
   }
+  out.precision(saved_precision);
 }
 
 void save_trace(const Trace& trace, const std::string& path) {
@@ -45,6 +50,11 @@ Trace load_trace(std::istream& in) {
     const int worker = static_cast<int>(parse_int(fields[1]));
     const double start = parse_double(fields[2]);
     const double end = parse_double(fields[3]);
+    TS_REQUIRE(std::isfinite(start) && std::isfinite(end),
+               "trace line " + std::to_string(line_no) +
+                   ": non-finite event time");
+    TS_REQUIRE(end >= start, "trace line " + std::to_string(line_no) +
+                                 ": event ends before it starts");
     // Kernel names may not contain whitespace; everything after field 3 is
     // rejoined defensively in case a name ever does.
     std::vector<std::string> rest(fields.begin() + 4, fields.end());

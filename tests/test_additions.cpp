@@ -151,6 +151,47 @@ TEST(ChromeExport, EscapesSpecialCharacters) {
   EXPECT_NE(json.find("k\\\\1"), std::string::npos);
 }
 
+TEST(ChromeExport, OccupancyTrackFoldsStartsAndEnds) {
+  trace::Trace t;
+  t.record(0, "k", 0, 0.0, 100.0);
+  t.record(1, "k", 1, 50.0, 150.0);  // overlaps the first
+  const trace::CounterTrack track = trace::occupancy_track(t, "depth", 3);
+  EXPECT_EQ(track.name, "depth");
+  EXPECT_EQ(track.pid, 3);
+  // Timestamps 0, 50, 100, 150 with occupancy 1, 2, 1, 0.
+  ASSERT_EQ(track.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(track.samples[0].ts_us, 0.0);
+  EXPECT_DOUBLE_EQ(track.samples[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(track.samples[1].ts_us, 50.0);
+  EXPECT_DOUBLE_EQ(track.samples[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(track.samples[2].ts_us, 100.0);
+  EXPECT_DOUBLE_EQ(track.samples[2].value, 1.0);
+  EXPECT_DOUBLE_EQ(track.samples[3].ts_us, 150.0);
+  EXPECT_DOUBLE_EQ(track.samples[3].value, 0.0);
+}
+
+TEST(ChromeExport, CounterTracksRenderAsCounterEvents) {
+  trace::Trace t("sim");
+  t.record(0, "k", 0, 0.0, 10.0);
+  trace::CounterTrack track;
+  track.name = "queue depth";
+  track.pid = 1;
+  track.samples = {{0.0, 1.0}, {10.0, 0.0}};
+  const std::string json = trace::render_chrome_json({&t}, {track});
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":1"), std::string::npos);
+  // The task bars are still there.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ChromeExport, NoCounterEventsWithoutTracks) {
+  trace::Trace t("sim");
+  t.record(0, "k", 0, 0.0, 10.0);
+  const std::string json = trace::render_chrome_json(t);
+  EXPECT_EQ(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
 TEST(ChromeExport, WritesFile) {
   trace::Trace t("x");
   t.record(0, "k", 0, 0.0, 1.0);

@@ -141,6 +141,30 @@ TEST(Report, TableRejectsRaggedRows) {
   EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
 }
 
+TEST(Report, MetricsTableSkipsZeroValuedByDefault) {
+  metrics::Snapshot snap;
+  snap.counters["active"] = 5;
+  snap.counters["idle"] = 0;
+  snap.gauges["depth"] = 2.0;
+  metrics::HistogramStats hist;
+  hist.count = 2;
+  hist.sum = 3.0;
+  hist.buckets[4] = 2;
+  snap.histograms["wait_us"] = hist;
+  snap.histograms["never"] = {};
+
+  const TextTable table = metrics_table(snap);
+  const std::string out = table.to_string();
+  EXPECT_EQ(table.row_count(), 3u);  // idle and never skipped
+  EXPECT_NE(out.find("active"), std::string::npos);
+  EXPECT_EQ(out.find("idle"), std::string::npos);
+  EXPECT_NE(out.find("wait_us"), std::string::npos);
+  EXPECT_NE(out.find("mean=1.50"), std::string::npos);
+
+  const TextTable all = metrics_table(snap, /*include_zero=*/true);
+  EXPECT_EQ(all.row_count(), 5u);
+}
+
 // --------------------------------------------------------------- autotune
 
 TEST(Autotune, PicksACandidateAndReportsAll) {

@@ -1,0 +1,214 @@
+// Tests for the metrics registry: counters, gauges, histograms,
+// thread-local sharding, snapshots, and the JSON dump.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+
+namespace tasksim::metrics {
+namespace {
+
+// ---------------------------------------------------------------- counters
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  Registry reg;
+  Counter c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, SameNameReturnsSameMetric) {
+  Registry reg;
+  Counter a = reg.counter("shared");
+  Counter b = reg.counter("shared");
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(Metrics, CounterMergesAcrossThreads) {
+  Registry reg;
+  Counter c = reg.counter("mt");
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(Metrics, RegistriesAreIndependent) {
+  Registry a, b;
+  a.counter("x").inc(1);
+  b.counter("x").inc(2);
+  EXPECT_EQ(a.counter("x").value(), 1u);
+  EXPECT_EQ(b.counter("x").value(), 2u);
+}
+
+TEST(Metrics, CounterCapacityIsEnforcedAtRegistration) {
+  Registry reg;
+  for (std::size_t i = 0; i < kMaxCounters; ++i) {
+    reg.counter("c" + std::to_string(i));
+  }
+  EXPECT_THROW(reg.counter("one_too_many"), InvalidArgument);
+  // Existing names still resolve.
+  reg.counter("c0").inc();
+  EXPECT_EQ(reg.counter("c0").value(), 1u);
+}
+
+// ------------------------------------------------------------------ gauges
+
+TEST(Metrics, GaugeSetAddValue) {
+  Registry reg;
+  Gauge g = reg.gauge("depth");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+// -------------------------------------------------------------- histograms
+
+TEST(Metrics, HistogramBucketBoundsAreGeometric) {
+  EXPECT_DOUBLE_EQ(histogram_bucket_upper(0), 0.25);
+  EXPECT_DOUBLE_EQ(histogram_bucket_upper(1), 0.5);
+  EXPECT_DOUBLE_EQ(histogram_bucket_upper(2), 1.0);
+  for (std::size_t i = 1; i + 1 < kHistogramBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(histogram_bucket_upper(i),
+                     2.0 * histogram_bucket_upper(i - 1));
+  }
+  EXPECT_TRUE(std::isinf(histogram_bucket_upper(kHistogramBuckets - 1)));
+}
+
+TEST(Metrics, HistogramCountsSumAndBuckets) {
+  Registry reg;
+  Histogram h = reg.histogram("lat");
+  h.observe(0.1);    // bucket 0 (<= 0.25)
+  h.observe(0.75);   // bucket 2 (<= 1.0)
+  h.observe(1e9);    // overflow bucket
+  const auto snap = reg.snapshot();
+  const HistogramStats& stats = snap.histograms.at("lat");
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_NEAR(stats.sum, 0.1 + 0.75 + 1e9, 1e-3);
+  EXPECT_EQ(stats.buckets[0], 1u);
+  EXPECT_EQ(stats.buckets[2], 1u);
+  EXPECT_EQ(stats.buckets[kHistogramBuckets - 1], 1u);
+}
+
+TEST(Metrics, HistogramQuantileIsBucketUpperBound) {
+  HistogramStats stats;
+  stats.count = 4;
+  stats.buckets[0] = 2;  // <= 0.25
+  stats.buckets[3] = 2;  // <= 2.0
+  EXPECT_DOUBLE_EQ(stats.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.75), 2.0);
+  EXPECT_DOUBLE_EQ(stats.quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramStats{}.quantile(0.5), 0.0);  // empty
+}
+
+TEST(Metrics, HistogramMergesAcrossThreads) {
+  Registry reg;
+  Histogram h = reg.histogram("mt");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto stats = reg.snapshot().histograms.at("mt");
+  EXPECT_EQ(stats.count, 4000u);
+  EXPECT_NEAR(stats.sum, 4000.0, 1e-6);
+}
+
+// --------------------------------------------------------- snapshot / reset
+
+TEST(Metrics, SnapshotContainsEverythingRegistered) {
+  Registry reg;
+  reg.counter("a").inc(7);
+  reg.gauge("b").set(1.5);
+  reg.histogram("c").observe(3.0);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("b"), 1.5);
+  EXPECT_EQ(snap.histograms.at("c").count, 1u);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsNames) {
+  Registry reg;
+  Counter c = reg.counter("a");
+  c.inc(5);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h").observe(1.0);
+  reg.reset();
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 0.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+  // Handles issued before the reset keep working.
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Metrics, SnapshotToJsonIsWellFormedEnough) {
+  Registry reg;
+  reg.counter("tasks").inc(12);
+  reg.gauge("depth").set(3.0);
+  reg.histogram("wait_us").observe(0.2);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"tasks\""), std::string::npos);
+  EXPECT_NE(json.find("12"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"wait_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Balanced braces — cheap structural sanity check.
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Metrics, GlobalRegistryFreeFunctions) {
+  // The global registry is shared process state: use unique names and
+  // deltas so this test is independent of everything else that ran.
+  Counter c = counter("test_metrics.global_counter");
+  const std::uint64_t before = c.value();
+  c.inc(3);
+  EXPECT_EQ(c.value(), before + 3);
+  EXPECT_EQ(snapshot().counters.at("test_metrics.global_counter"),
+            before + 3);
+}
+
+// The shard cache is keyed by registry id, not address: a registry created
+// at a reused address must not see the previous registry's shards.
+TEST(Metrics, RegistryAddressReuseDoesNotAliasShards) {
+  for (int round = 0; round < 4; ++round) {
+    auto reg = std::make_unique<Registry>();
+    Counter c = reg->counter("x");
+    c.inc(1);  // touches this thread's shard cache
+    EXPECT_EQ(c.value(), 1u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace tasksim::metrics

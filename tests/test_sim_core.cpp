@@ -12,6 +12,7 @@
 #include "sim/sim_clock.hpp"
 #include "sim/task_exec_queue.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace tasksim::sim {
@@ -111,6 +112,66 @@ TEST(TaskExecQueue, ThreadsLeaveInCompletionOrder) {
   for (std::size_t i = 1; i < leave_order.size(); ++i) {
     EXPECT_LE(leave_order[i - 1], leave_order[i]);
   }
+}
+
+TEST(TaskExecQueue, FrontDisplacementReblocksPreviousFront) {
+  // Property (paper §V-C): a later enter() with an *earlier* virtual
+  // completion time displaces the current front; a thread waiting on the
+  // displaced ticket must not be released while the newcomer is present.
+  // Random times, many rounds.
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    TaskExecQueue q;
+    const double front_time = rng.uniform(100.0, 200.0);
+    const auto front = q.enter(front_time);
+    ASSERT_TRUE(q.is_front(front));
+
+    // A task entering with a strictly earlier completion time takes the
+    // front away.  (Entered before the waiter thread starts: wait_front
+    // legitimately early-returns when its ticket *is* the front, so the
+    // displacement must be in place before anyone waits.)
+    const auto usurper = q.enter(rng.uniform(0.0, front_time - 1.0));
+    EXPECT_TRUE(q.is_front(usurper));
+    EXPECT_FALSE(q.is_front(front));
+
+    std::atomic<bool> front_released{false};
+    std::thread waiter([&] {
+      q.wait_front(front);
+      front_released.store(true);
+      q.leave(front);
+    });
+
+    // While the usurper is in the queue the displaced ticket is not the
+    // front, so its waiter must stay blocked no matter how long we look.
+    std::this_thread::yield();
+    EXPECT_FALSE(front_released.load());
+
+    q.wait_front(usurper);  // returns immediately: it is the front
+    q.leave(usurper);
+    waiter.join();
+    EXPECT_TRUE(front_released.load());
+    EXPECT_EQ(q.size(), 0u);
+  }
+}
+
+TEST(TaskExecQueue, CountsEntersAndDisplacements) {
+  using metrics::snapshot;
+  const std::uint64_t enters0 =
+      snapshot().counters.count("sim.queue.enters")
+          ? snapshot().counters.at("sim.queue.enters") : 0;
+  const std::uint64_t disp0 =
+      snapshot().counters.count("sim.queue.displacements")
+          ? snapshot().counters.at("sim.queue.displacements") : 0;
+  TaskExecQueue q;
+  const auto a = q.enter(100.0);
+  const auto b = q.enter(50.0);   // displaces a
+  const auto c = q.enter(200.0);  // does not displace
+  const auto snap = snapshot();
+  EXPECT_EQ(snap.counters.at("sim.queue.enters"), enters0 + 3);
+  EXPECT_EQ(snap.counters.at("sim.queue.displacements"), disp0 + 1);
+  q.leave(a);
+  q.leave(b);
+  q.leave(c);
 }
 
 // ------------------------------------------------------------ kernel model
@@ -263,6 +324,28 @@ TEST(Calibration, ClearResets) {
   calib.clear();
   EXPECT_EQ(calib.total_samples(), 0u);
   EXPECT_TRUE(calib.raw_samples().empty());
+  EXPECT_TRUE(calib.warmup_samples().empty());
+}
+
+TEST(Calibration, ClearDiscardsWarmupSamplesToo) {
+  // Regression: clear() used to leave warmup_samples_ populated, so an
+  // observer reused across runs leaked the first run's warm-up outliers
+  // into the second run's startup models.
+  CalibrationObserver calib;  // default drop = 1 per (worker, kernel)
+  calib.on_finish(0, "dgemm", 0, 0.0, 0.0, 0.0, 9999.0);  // run 1 warm-up
+  calib.on_finish(1, "dgemm", 0, 0.0, 0.0, 0.0, 100.0);
+  ASSERT_EQ(calib.warmup_samples().at("dgemm").size(), 1u);
+
+  calib.clear();
+  calib.on_finish(2, "dgemm", 0, 0.0, 0.0, 0.0, 5555.0);  // run 2 warm-up
+  calib.on_finish(3, "dgemm", 0, 0.0, 0.0, 0.0, 101.0);
+
+  const auto warmups = calib.warmup_samples();
+  ASSERT_EQ(warmups.at("dgemm").size(), 1u);
+  EXPECT_DOUBLE_EQ(warmups.at("dgemm")[0], 5555.0);  // second run only
+  // And the startup-penalty models fit from them see only run 2.
+  const KernelModelSet startup = calib.fit_startup(ModelFamily::constant);
+  EXPECT_DOUBLE_EQ(startup.mean_us("dgemm"), 5555.0);
 }
 
 }  // namespace

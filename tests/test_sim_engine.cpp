@@ -232,6 +232,27 @@ TEST(SimEngine, MitigationParseRoundTrip) {
   EXPECT_THROW(parse_race_mitigation("hope"), InvalidArgument);
 }
 
+TEST(SimEngine, MitigationParseAcceptsAliases) {
+  // Regression: "yield" (the name the paper's prose uses for the fallback
+  // mitigation) was rejected even though "sleep" was accepted.
+  EXPECT_EQ(parse_race_mitigation("yield"), RaceMitigation::yield_sleep);
+  EXPECT_EQ(parse_race_mitigation("sleep"), RaceMitigation::yield_sleep);
+}
+
+TEST(SimEngine, MitigationParseErrorEnumeratesOptions) {
+  // The error must tell the user what *would* have worked.
+  try {
+    parse_race_mitigation("hope");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'hope'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("none"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("yield_sleep"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("quiescence"), std::string::npos) << msg;
+  }
+}
+
 TEST(SimEngine, MinDurationClampsDegenerateModels) {
   KernelModelSet models;
   models.set_model("k", std::make_unique<stats::NormalDist>(-50.0, 1.0));

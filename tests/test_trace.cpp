@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "trace/analysis.hpp"
 #include "trace/color.hpp"
 #include "trace/svg_export.hpp"
@@ -117,6 +118,78 @@ TEST(TextIo, SkipsCommentsAndBlankLines) {
       "# tasksim-trace v1 label=x\n\n# comment\n1 0 0.0 5.0 dgemm\n");
   const Trace t = load_trace(ss);
   EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TextIo, SaveDoesNotMutateStreamPrecision) {
+  // Regression: save_trace used to set precision(17) *after* writing the
+  // header and never restore it, so the caller's stream kept emitting
+  // 17-digit doubles forever after.
+  std::stringstream ss;
+  ss.precision(3);
+  save_trace(sample_trace(), ss);
+  EXPECT_EQ(ss.precision(), 3);
+  ss << 0.123456789;
+  std::string tail;
+  std::string last;
+  while (ss >> tail) last = tail;
+  EXPECT_EQ(last, "0.123");
+}
+
+TEST(TextIo, SaveSetsPrecisionBeforeAnyOutput) {
+  // Full-precision times must apply to the first data line too, not only
+  // to lines after the header flushed at default precision.
+  Trace t;
+  const double start = 1234567.123456789;  // > 15 significant digits
+  t.record(0, "k", 0, start, start + 1.0);
+  std::stringstream ss;
+  save_trace(t, ss);
+  const Trace loaded = load_trace(ss);
+  EXPECT_EQ(loaded.events()[0].start_us, start);  // bit-exact
+}
+
+TEST(TextIo, RoundTripIsBitExact) {
+  // save -> load -> save: the 17-digit text format must round-trip any
+  // double bit-for-bit, so the second save equals the first.
+  Trace t;
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const double start = rng.uniform(0.0, 1e7);
+    t.record(static_cast<std::uint64_t>(i), "dgemm", i % 4, start,
+             start + rng.uniform(0.0, 1e3));
+  }
+  std::stringstream first;
+  save_trace(t, first);
+  const std::string first_text = first.str();
+  std::stringstream second;
+  save_trace(load_trace(first), second);
+  EXPECT_EQ(first_text, second.str());
+  const Trace reloaded = load_trace(second);
+  const auto a = t.sorted_events();
+  const auto b = reloaded.sorted_events();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_us, b[i].start_us);  // exact, not NEAR
+    EXPECT_EQ(a[i].end_us, b[i].end_us);
+  }
+}
+
+TEST(TextIo, RejectsNonFiniteTimes) {
+  // Regression: ±inf survived Trace::record's end >= start check, so a
+  // corrupt file silently imported events with infinite times.
+  std::stringstream inf_end(
+      "# tasksim-trace v1 label=x\n1 0 0.0 inf dgemm\n");
+  EXPECT_THROW(load_trace(inf_end), InvalidArgument);
+  std::stringstream inf_both(
+      "# tasksim-trace v1 label=x\n1 0 -inf inf dgemm\n");
+  EXPECT_THROW(load_trace(inf_both), InvalidArgument);
+  std::stringstream nan_start(
+      "# tasksim-trace v1 label=x\n1 0 nan 5.0 dgemm\n");
+  EXPECT_THROW(load_trace(nan_start), InvalidArgument);
+}
+
+TEST(TextIo, RejectsReversedInterval) {
+  std::stringstream ss("# tasksim-trace v1 label=x\n1 0 10.0 5.0 dgemm\n");
+  EXPECT_THROW(load_trace(ss), InvalidArgument);
 }
 
 TEST(TextIo, FileRoundTrip) {
