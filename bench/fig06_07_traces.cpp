@@ -59,7 +59,9 @@ int main(int argc, char** argv) {
   const harness::RunResult real = harness::run_real(config, &calibration);
   const sim::KernelModelSet models = calibration.fit(sim::ModelFamily::best);
 
-  // Simulated execution (Figure 7).
+  // Simulated execution (Figure 7), with the flight recorder capturing the
+  // task lifecycles for the race audit / attribution / Chrome spans below.
+  config.record_lifecycle = true;
   const harness::RunResult sim = harness::run_simulated(config, models);
 
   std::printf("real makespan      : %s (%.3f Gflop/s)\n",
@@ -117,16 +119,27 @@ int main(int argc, char** argv) {
   {
     // Both timelines in one Chrome-tracing document for interactive
     // inspection (chrome://tracing or ui.perfetto.dev), with in-flight
-    // task-count counter tracks so queue depth renders alongside the bars.
+    // task-count counter tracks so queue depth renders alongside the bars,
+    // plus the recorded lifecycle layer on the simulated process (pid 2):
+    // one async span per task lifetime and one flow arrow per dependence.
+    std::vector<std::string> lifecycle_events;
+    if (sim.lifecycle) {
+      lifecycle_events = trace::render_lifecycle_events(*sim.lifecycle, 2);
+    }
     std::ofstream out(out_prefix + "_both.json");
     out << trace::render_chrome_json(
         {&real.timeline, &sim.timeline},
         {trace::occupancy_track(real.timeline, "real in-flight", 1),
-         trace::occupancy_track(sim.timeline, "sim queue depth", 2)});
+         trace::occupancy_track(sim.timeline, "sim queue depth", 2)},
+        lifecycle_events);
   }
   std::printf("artifacts: %s_real.svg %s_sim.svg %s_both.json "
               "(+ .trace text files)\n",
               out_prefix.c_str(), out_prefix.c_str(), out_prefix.c_str());
+
+  // Race audit + makespan attribution from the recorded lifecycles — where
+  // the simulated critical path actually went (kernels vs waits).
+  if (sim.lifecycle) harness::print_lifecycle_report(*sim.lifecycle);
 
   // Counters accumulated across the real and simulated runs: queue waits,
   // displacements, quiescence spins, steals, calibration sample counts.

@@ -32,6 +32,7 @@ inline int run_perf_figure(int argc, char** argv,
   std::vector<int> sizes = {288, 480, 768, 1152, 1536, 1920};
   int nb = 96;  // paper: 200
   int workers = 4;
+  bool audit = false;
   CliParser cli(figure_id,
                 "real vs simulated QR + Cholesky performance (" +
                     scheduler_default + ")");
@@ -39,6 +40,9 @@ inline int run_perf_figure(int argc, char** argv,
   cli.add_int_list("sizes", &sizes, "matrix sizes to sweep");
   cli.add_int("nb", &nb, "tile size (paper: 200)");
   cli.add_int("workers", &workers, "worker threads");
+  cli.add_flag("audit", &audit,
+               "record task lifecycles; print the race audit and makespan "
+               "attribution of the largest simulated point");
   if (!cli.parse(argc, argv)) return 0;
 
   harness::print_banner(figure_id + ": QR + Cholesky, real vs simulated (" +
@@ -50,6 +54,8 @@ inline int run_perf_figure(int argc, char** argv,
   table.set_headers({"n", "QR real GF/s", "QR sim GF/s", "QR err %",
                      "Chol real GF/s", "Chol sim GF/s", "Chol err %"});
   double worst_qr = 0.0, worst_chol = 0.0;
+  std::shared_ptr<trace::LifecycleLog> last_lifecycle;
+  int last_lifecycle_n = 0;
   for (int n : sizes) {
     if (n % nb != 0) {
       std::printf("skipping n=%d (not a multiple of nb=%d)\n", n, nb);
@@ -61,6 +67,7 @@ inline int run_perf_figure(int argc, char** argv,
     config.nb = nb;
     config.workers = workers;
     config.real_repeats = 2;  // min-of-2 reference suppresses host jitter
+    config.record_lifecycle = audit;
 
     config.algorithm = harness::Algorithm::qr;
     const auto qr = harness::compare_real_vs_sim(config,
@@ -68,6 +75,10 @@ inline int run_perf_figure(int argc, char** argv,
     config.algorithm = harness::Algorithm::cholesky;
     const auto chol = harness::compare_real_vs_sim(config,
                                                    sim::ModelFamily::best);
+    if (qr.sim_lifecycle) {
+      last_lifecycle = qr.sim_lifecycle;
+      last_lifecycle_n = n;
+    }
     worst_qr = std::max(worst_qr, std::abs(qr.error_pct));
     worst_chol = std::max(worst_chol, std::abs(chol.error_pct));
 
@@ -84,6 +95,11 @@ inline int run_perf_figure(int argc, char** argv,
   std::printf("paper's claims to verify: worst-case error ~16%% (at the "
               "smallest sizes),\nmost points within a few percent, error "
               "shrinking as n grows.\n");
+  if (last_lifecycle) {
+    harness::print_lifecycle_report(
+        *last_lifecycle,
+        strprintf("lifecycle report (simulated QR, n=%d)", last_lifecycle_n));
+  }
   return 0;
 }
 

@@ -17,6 +17,7 @@
 #include "sched/submitter.hpp"
 #include "sim/task_exec_queue.hpp"
 #include "stats/fitting.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -137,6 +138,37 @@ void BM_TaskExecQueueEnterLeave(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TaskExecQueueEnterLeave);
+
+// -------------------------------------------------------- flight recorder
+
+void BM_FlightRecorderDisabled(benchmark::State& state) {
+  // The cost every instrumentation site pays when recording is off: one
+  // relaxed load and a branch.  This is the overhead budget of leaving the
+  // recorder compiled into scheduler and simulator hot paths.
+  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
+  fr.disable();
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    fr.record(flightrec::EventType::task_dispatch, id++, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderDisabled);
+
+void BM_FlightRecorderEnabled(benchmark::State& state) {
+  // Enabled cost: one wall-clock read plus an uncontended per-thread mutex
+  // around the ring-buffer store.
+  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
+  fr.enable(std::size_t{1} << 12);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    fr.record(flightrec::EventType::task_dispatch, id++, 0);
+  }
+  fr.disable();
+  fr.clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderEnabled);
 
 // ---------------------------------------------------------------- metrics
 

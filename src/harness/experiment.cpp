@@ -11,6 +11,7 @@
 #include "sim/sim_submitter.hpp"
 #include "sim/virtual_platform.hpp"
 #include "support/error.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/sysinfo.hpp"
 #include "support/timing.hpp"
 
@@ -76,6 +77,20 @@ void finalize(RunResult& result, const ExperimentConfig& config) {
     // Gflop/s = flops / (us * 1e-6) / 1e9 = flops / (us * 1e3).
     result.gflops = algorithm_flops(config) / (result.makespan_us * 1e3);
   }
+}
+
+/// Per-thread ring capacity for a full recording of the configured run.
+/// The submitting thread carries the heaviest stream (submit + ready +
+/// every dependence edge); ~8 events per task with headroom covers it.
+std::size_t recorder_capacity_for(const ExperimentConfig& config) {
+  if (config.recorder_capacity > 0) return config.recorder_capacity;
+  const std::size_t nt =
+      static_cast<std::size_t>((config.n + config.nb - 1) / config.nb);
+  const std::size_t tasks = nt * nt * nt;  // upper bound across algorithms
+  const std::size_t estimate = tasks * 8 + 4096;
+  const std::size_t lo = std::size_t{1} << 14;
+  const std::size_t hi = std::size_t{1} << 22;
+  return std::min(hi, std::max(lo, estimate));
 }
 
 }  // namespace
@@ -154,6 +169,11 @@ RunResult run_simulated(const ExperimentConfig& config,
   sim::SimEngine engine(models, engine_options);
   sim::SimSubmitter submitter(*runtime, engine);
 
+  flightrec::FlightRecorder& recorder = flightrec::FlightRecorder::global();
+  if (config.record_lifecycle) {
+    recorder.enable(recorder_capacity_for(config));
+  }
+
   Stopwatch stopwatch;
   RunResult result;
   if (config.algorithm == Algorithm::cholesky) {
@@ -165,6 +185,13 @@ RunResult run_simulated(const ExperimentConfig& config,
     linalg::tile_qr(a, t, submitter);
   }
   result.wall_us = stopwatch.elapsed_us();
+  if (config.record_lifecycle) {
+    recorder.disable();
+    result.lifecycle = std::make_shared<trace::LifecycleLog>(
+        trace::build_lifecycle(recorder.drain()));
+    result.lifecycle->worker_lanes = config.workers;
+    result.lifecycle->master_lane0 = config.master_participates;
+  }
   result.timeline = engine.trace();
   result.tasks = engine.executed_tasks();
   result.quiescence_timeouts = engine.quiescence_timeouts();
@@ -200,6 +227,7 @@ ComparisonRow compare_real_vs_sim(const ExperimentConfig& config,
   }
   RunResult sim = run_simulated(config, *models);
 
+  row.sim_lifecycle = sim.lifecycle;
   row.real_gflops = real.gflops;
   row.sim_gflops = sim.gflops;
   row.real_makespan_us = real.makespan_us;

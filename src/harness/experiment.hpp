@@ -12,6 +12,7 @@
 //                      simulated Gflop/s, percentage error).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -19,6 +20,7 @@
 #include "sim/calibration.hpp"
 #include "sim/kernel_model.hpp"
 #include "sim/sim_engine.hpp"
+#include "trace/lifecycle.hpp"
 #include "trace/trace.hpp"
 
 namespace tasksim::harness {
@@ -46,6 +48,15 @@ struct ExperimentConfig {
   /// noise-suppression on a shared host: interference only ever inflates
   /// a run).  Calibration samples pool across all repeats.
   int real_repeats = 1;
+  /// Enable the flight recorder across run_simulated and attach the
+  /// assembled lifecycle log to the result (race audit, makespan
+  /// attribution, Chrome lifecycle spans).  Simulated runs only: real and
+  /// simulated runs reuse the same dense task ids, so recording both would
+  /// conflate their lifecycles.
+  bool record_lifecycle = false;
+  /// Per-thread flight-recorder ring capacity; 0 derives one from the
+  /// task-count estimate for the configured problem.
+  std::size_t recorder_capacity = 0;
 };
 
 struct RunResult {
@@ -57,6 +68,9 @@ struct RunResult {
   std::optional<double> residual;  ///< when verify_numerics was on
   /// Simulated runs: how often the quiescence wait hit its timeout.
   std::uint64_t quiescence_timeouts = 0;
+  /// Simulated runs with record_lifecycle: the assembled lifecycle log
+  /// (shared so RunResult stays cheaply copyable).
+  std::shared_ptr<trace::LifecycleLog> lifecycle;
 };
 
 /// Algorithm flop count for the configured problem size.
@@ -85,6 +99,8 @@ struct ComparisonRow {
   double sim_makespan_us = 0.0;
   double real_wall_us = 0.0;   ///< wall cost of the real run
   double sim_wall_us = 0.0;    ///< wall cost of the simulation
+  /// The simulated run's lifecycle log when record_lifecycle was on.
+  std::shared_ptr<trace::LifecycleLog> sim_lifecycle;
 };
 
 /// Full pipeline: real run (with calibration) at this size, fit `family`

@@ -83,4 +83,40 @@ void print_metrics_snapshot(const std::string& title) {
   std::fputs(metrics_table(snap).to_string().c_str(), stdout);
 }
 
+TextTable attribution_table(const trace::AttributionReport& report) {
+  TextTable table;
+  table.set_headers({"component", "time", "share", "clock"});
+  const double makespan = report.virtual_makespan_us;
+  auto share = [&](double value) {
+    if (makespan <= 0.0) return std::string("-");
+    return strprintf("%5.1f%%", 100.0 * value / makespan);
+  };
+  auto row = [&](const char* name, double value, const char* clock) {
+    table.add_row({name, strprintf("%.1f us", value), share(value), clock});
+  };
+  row("virtual makespan", makespan, "virtual");
+  row("chain kernel time", report.chain_kernel_us, "virtual");
+  row("chain gap (off-chain wait)", report.chain_gap_us, "virtual");
+  row("chain TEQ wait", report.chain_teq_wait_us, "real");
+  row("chain scheduler wait", report.chain_sched_wait_us, "real");
+  row("chain bookkeeping", report.chain_bookkeeping_us, "real");
+  row("window-throttle wait", report.window_wait_us, "real");
+  table.add_row({"binding-chain length",
+                 std::to_string(report.chain_length) + " tasks", "-", "-"});
+  return table;
+}
+
+void print_lifecycle_report(const trace::LifecycleLog& log,
+                            const std::string& title) {
+  std::printf("\n%s:\n", title.c_str());
+  if (log.dropped_events > 0) {
+    std::printf("  warning: %llu events dropped (stream incomplete)\n",
+                static_cast<unsigned long long>(log.dropped_events));
+  }
+  std::fputs(trace::audit_races(log).to_string().c_str(), stdout);
+  std::printf("\n");
+  std::fputs(attribution_table(attribute_makespan(log)).to_string().c_str(),
+             stdout);
+}
+
 }  // namespace tasksim::harness

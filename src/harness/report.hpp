@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "support/metrics.hpp"
+#include "trace/lifecycle.hpp"
 
 namespace tasksim::harness {
 
@@ -39,5 +40,15 @@ TextTable metrics_table(const metrics::Snapshot& snapshot,
 /// Print the global registry's snapshot (banner + table) to stdout; the
 /// uniform "metrics snapshot" block the benches append to their output.
 void print_metrics_snapshot(const std::string& title = "metrics snapshot");
+
+/// Render the makespan attribution (trace/lifecycle) as a component table:
+/// the virtual quantities along the binding chain plus the real wait time
+/// its tasks spent in each lifecycle stage.
+TextTable attribution_table(const trace::AttributionReport& report);
+
+/// Print the race audit and makespan attribution derived from a recorded
+/// lifecycle log; the block benches print next to the metrics table.
+void print_lifecycle_report(const trace::LifecycleLog& log,
+                            const std::string& title = "lifecycle report");
 
 }  // namespace tasksim::harness

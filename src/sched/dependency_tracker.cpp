@@ -53,11 +53,18 @@ bool DependencyTracker::add_dependence(TaskRecord* pred, TaskRecord* task) {
   return true;
 }
 
-bool DependencyTracker::register_task(TaskRecord* task) {
+bool DependencyTracker::register_task(
+    TaskRecord* task, std::vector<TaskRecord*>* new_predecessors) {
   std::vector<MergedAccess> merged;
   merge_accesses(task->desc.accesses, merged);
 
   std::lock_guard<std::mutex> lock(mutex_);
+
+  const auto link = [&](TaskRecord* pred) {
+    if (add_dependence(pred, task) && new_predecessors != nullptr) {
+      new_predecessors->push_back(pred);
+    }
+  };
 
   // Pass 1: derive hazards against the current state.  All of this task's
   // references observe the state left by *previous* tasks.
@@ -66,15 +73,15 @@ bool DependencyTracker::register_task(TaskRecord* task) {
     if (it == objects_.end()) continue;
     ObjectState& state = it->second;
     if (m.read && state.last_writer != nullptr) {
-      add_dependence(state.last_writer, task);  // RaW
+      link(state.last_writer);  // RaW
     }
     if (m.write) {
       if (!state.readers_since_write.empty()) {
         for (TaskRecord* reader : state.readers_since_write) {
-          add_dependence(reader, task);  // WaR
+          link(reader);  // WaR
         }
       } else if (state.last_writer != nullptr) {
-        add_dependence(state.last_writer, task);  // WaW
+        link(state.last_writer);  // WaW
       }
     }
   }

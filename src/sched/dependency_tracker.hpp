@@ -26,7 +26,11 @@ class DependencyTracker {
   /// Analyze `task->desc.accesses` against the current hazard state,
   /// populate predecessor counts / successor lists, and update the state.
   /// Returns true when the task has no unsatisfied dependences (ready now).
-  bool register_task(TaskRecord* task);
+  /// When `new_predecessors` is non-null, every predecessor a live
+  /// dependence was created from is appended to it (for dependence
+  /// observers / the flight recorder's dep_edge events).
+  bool register_task(TaskRecord* task,
+                     std::vector<TaskRecord*>* new_predecessors = nullptr);
 
   /// Mark `task` complete and collect the successors whose dependence count
   /// dropped to zero into `newly_ready`.

@@ -24,6 +24,14 @@ class TaskObserver {
     (void)desc;
   }
 
+  /// Called on the submitting thread for each live dependence the hazard
+  /// analysis derived for the just-submitted task (after on_submit, before
+  /// the task can become ready).
+  virtual void on_dependence(TaskId producer, TaskId consumer) {
+    (void)producer;
+    (void)consumer;
+  }
+
   /// Called when the task's last dependence is satisfied (any thread).
   virtual void on_ready(TaskId id) { (void)id; }
 

@@ -1,5 +1,7 @@
 #include "sched/quark/quark_runtime.hpp"
 
+#include "support/flight_recorder.hpp"
+
 namespace tasksim::sched {
 
 QuarkRuntime::QuarkRuntime(RuntimeConfig config, QuarkOptions options)
@@ -24,7 +26,13 @@ void QuarkRuntime::push_ready(TaskRecord* task, int worker_hint) {
 
 TaskRecord* QuarkRuntime::pop_ready(int worker) {
   if (TaskRecord* task = deques_.pop_own(worker)) return task;
-  if (options_.steal) return deques_.steal(worker);
+  if (options_.steal) {
+    if (TaskRecord* task = deques_.steal(worker)) {
+      flightrec::FlightRecorder::global().record(
+          flightrec::EventType::sched_steal, task->id, worker);
+      return task;
+    }
+  }
   return nullptr;
 }
 

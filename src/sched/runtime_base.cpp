@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/timing.hpp"
 
 namespace tasksim::sched {
@@ -106,16 +107,21 @@ void RuntimeBase::notify_workers() {
 TaskId RuntimeBase::submit(TaskDescriptor desc) {
   TS_REQUIRE(static_cast<bool>(desc.function), "task without a function");
   tasks_submitted_.inc();
+  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
   // Task-window throttling (QUARK window / OmpSs throttle).
   if (config_.window_size > 0) {
     std::unique_lock<std::mutex> lock(state_mutex_);
     if (pending_ >= config_.window_size) {
       window_throttled_.inc();
+      fr.record(flightrec::EventType::window_block);
       const double blocked_from = wall_time_us();
       submitter_waiting_.store(true, std::memory_order_release);
       done_cv_.wait(lock, [&] { return pending_ < config_.window_size; });
       submitter_waiting_.store(false, std::memory_order_release);
-      window_wait_us_.observe(wall_time_us() - blocked_from);
+      const double waited = wall_time_us() - blocked_from;
+      window_wait_us_.observe(waited);
+      fr.record(flightrec::EventType::window_unblock, flightrec::kNoTask, -1,
+                waited);
     }
   }
 
@@ -124,6 +130,10 @@ TaskId RuntimeBase::submit(TaskDescriptor desc) {
   task->id = next_id_++;
   task->desc = std::move(desc);
 
+  if (fr.enabled()) {
+    fr.name_task(task->id, task->desc.kernel);
+    fr.record(flightrec::EventType::task_submit, task->id);
+  }
   for (TaskObserver* obs : observers_) obs->on_submit(task->id, task->desc);
 
   {
@@ -132,7 +142,18 @@ TaskId RuntimeBase::submit(TaskDescriptor desc) {
   }
   records_.push_back(std::move(record));
 
-  if (tracker_.register_task(task)) {
+  // Collect the live predecessors only when someone will consume them: the
+  // extra vector costs a few allocations per task otherwise.
+  const bool want_edges = fr.enabled() || !observers_.empty();
+  std::vector<TaskRecord*> predecessors;
+  const bool ready_now =
+      tracker_.register_task(task, want_edges ? &predecessors : nullptr);
+  for (TaskRecord* pred : predecessors) {
+    fr.record(flightrec::EventType::dep_edge, task->id, -1, 0.0, 0.0,
+              pred->id);
+    for (TaskObserver* obs : observers_) obs->on_dependence(pred->id, task->id);
+  }
+  if (ready_now) {
     make_ready(task, task->desc.locality_hint);
   }
   return task->id;
@@ -140,6 +161,8 @@ TaskId RuntimeBase::submit(TaskDescriptor desc) {
 
 void RuntimeBase::make_ready(TaskRecord* task, int worker_hint) {
   task->state.store(TaskState::ready, std::memory_order_release);
+  flightrec::FlightRecorder::global().record(flightrec::EventType::task_ready,
+                                             task->id);
   for (TaskObserver* obs : observers_) obs->on_ready(task->id);
   push_ready(task, worker_hint);
   ready_depth_.set(static_cast<double>(ready_count()));
@@ -155,6 +178,8 @@ void RuntimeBase::on_task_finished(TaskRecord* task, int lane,
 
 void RuntimeBase::mark_ready(TaskRecord* task) {
   task->state.store(TaskState::ready, std::memory_order_release);
+  flightrec::FlightRecorder::global().record(flightrec::EventType::task_ready,
+                                             task->id);
   for (TaskObserver* obs : observers_) obs->on_ready(task->id);
 }
 
@@ -174,6 +199,8 @@ TaskRecord* RuntimeBase::claim_task(int lane) {
   bookkeeping_.fetch_add(1, std::memory_order_acq_rel);
   TaskRecord* task = pop_ready(lane);
   if (task != nullptr) {
+    flightrec::FlightRecorder::global().record(
+        flightrec::EventType::task_dispatch, task->id, lane);
     task->state.store(TaskState::running, std::memory_order_release);
     lane_executing_[static_cast<std::size_t>(lane)]->store(
         true, std::memory_order_release);
@@ -211,6 +238,8 @@ void RuntimeBase::worker_loop(int lane) {
 void RuntimeBase::execute_task(TaskRecord* task, int lane) {
   const double start_wall = wall_time_us();
   const double start_cpu = thread_cpu_time_us();
+  flightrec::FlightRecorder::global().record(flightrec::EventType::task_start,
+                                             task->id, lane);
   for (TaskObserver* obs : observers_) {
     obs->on_start(task->id, task->desc.kernel, lane, start_wall, start_cpu);
   }
@@ -224,6 +253,8 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
 
   const double end_wall = wall_time_us();
   const double end_cpu = thread_cpu_time_us();
+  flightrec::FlightRecorder::global().record(flightrec::EventType::task_finish,
+                                             task->id, lane);
 
   // Completion bookkeeping: visible through bookkeeping_in_flight() until
   // every released successor is routed to a ready pool.
@@ -260,9 +291,14 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
   tasks_completed_.inc();
   bookkeeping_gauge_.set(static_cast<double>(
       bookkeeping_.fetch_sub(1, std::memory_order_acq_rel) - 1));
-  running_.fetch_sub(1, std::memory_order_acq_rel);
+  // Mark the lane idle BEFORE dropping the running count: the quiescence
+  // predicate treats an executing lane as unreachable for ready tasks, so
+  // between these two stores at least one of "lane busy" (masks ready
+  // tasks bound to it) and "running > queued" must hold or a simulated
+  // return could slip through while this lane is about to pick up work.
   lane_executing_[static_cast<std::size_t>(lane)]->store(
       false, std::memory_order_release);
+  running_.fetch_sub(1, std::memory_order_acq_rel);
 
   if (config_.yield_between_tasks) std::this_thread::yield();
 }

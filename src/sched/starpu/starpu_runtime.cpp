@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "support/error.hpp"
+#include "support/flight_recorder.hpp"
 
 namespace tasksim::sched {
 
@@ -120,6 +121,9 @@ void StarpuRuntime::push_ready(TaskRecord* task, int worker_hint) {
     case StarpuPolicy::dmda: {
       const int lane = pick_dm_lane(task);
       task->policy_lane = lane;
+      flightrec::FlightRecorder::global().record(
+          flightrec::EventType::sched_lane_commit, task->id, lane,
+          task->policy_expected_us);
       deques_->push(lane, task);
       return;
     }

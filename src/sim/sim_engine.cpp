@@ -7,6 +7,7 @@
 
 #include "sched/runtime.hpp"
 #include "support/error.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/log.hpp"
 #include "support/timing.hpp"
 
@@ -98,6 +99,9 @@ double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kerne
 
   // 3. Enter the Task Execution Queue and wait to become the front.
   const TaskExecQueue::Ticket ticket = queue_.enter(end);
+  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
+  fr.record(flightrec::EventType::teq_enter, ctx.id, ctx.worker, start, end,
+            ticket.seq);
 
   if (options_.mitigation == RaceMitigation::yield_sleep) {
     // Give the scheduler a chance to finish bookkeeping that could insert
@@ -107,6 +111,8 @@ double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kerne
   }
 
   queue_.wait_front(ticket);
+  fr.record(flightrec::EventType::teq_front, ctx.id, ctx.worker, start, end,
+            ticket.seq);
 
   if (options_.mitigation == RaceMitigation::quiescence) {
     const double wait_start = wall_time_us();
@@ -127,14 +133,21 @@ double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kerne
     if (spins > 0) {
       quiescence_spins_.inc(spins);
       quiescence_spin_iters_.observe(static_cast<double>(spins));
+      fr.record(flightrec::EventType::quiescence_spin, ctx.id, ctx.worker,
+                static_cast<double>(spins));
     }
   }
 
   // 4. Record the event, advance the clock, release the queue slot, and
   // return to the scheduler "as if" the kernel had computed.
   trace_.record(ctx.id, kernel, ctx.worker, start, end);
+  fr.record(flightrec::EventType::clock_advance, ctx.id, ctx.worker, end);
   clock_.advance_to(end);
   executed_.inc();
+  // task_return is recorded while this task still owns the queue front, so
+  // the returns appear in the recorder in the order the task functions
+  // actually returned — the ordering the race auditor checks.
+  fr.record(flightrec::EventType::task_return, ctx.id, ctx.worker, end);
   queue_.leave(ticket);
   return duration;
 }

@@ -1,6 +1,7 @@
 #include "sim/task_exec_queue.hpp"
 
 #include "support/error.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/timing.hpp"
 
 namespace tasksim::sim {
@@ -17,6 +18,14 @@ TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
   // previous front, whose waiter must re-block (the §V-E race surface).
   const bool displaces =
       !entries_.empty() && key(ticket) < *entries_.begin();
+  if (displaces) {
+    // Identified by ticket sequence numbers (the queue does not know task
+    // ids): `task` = displaced front's seq, `other` = entering seq.
+    const Key front = *entries_.begin();
+    flightrec::FlightRecorder::global().record(
+        flightrec::EventType::teq_displaced, front.second, -1, front.first,
+        ticket.completion_us, ticket.seq);
+  }
   entries_.insert(key(ticket));
   enters_.inc();
   if (displaces) displacements_.inc();

@@ -1,0 +1,150 @@
+#include "support/flight_recorder.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/timing.hpp"
+
+namespace tasksim::flightrec {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::task_submit: return "task_submit";
+    case EventType::task_ready: return "task_ready";
+    case EventType::task_dispatch: return "task_dispatch";
+    case EventType::task_start: return "task_start";
+    case EventType::task_finish: return "task_finish";
+    case EventType::window_block: return "window_block";
+    case EventType::window_unblock: return "window_unblock";
+    case EventType::dep_edge: return "dep_edge";
+    case EventType::teq_enter: return "teq_enter";
+    case EventType::teq_front: return "teq_front";
+    case EventType::teq_displaced: return "teq_displaced";
+    case EventType::task_return: return "task_return";
+    case EventType::clock_advance: return "clock_advance";
+    case EventType::quiescence_spin: return "quiescence_spin";
+    case EventType::sched_steal: return "sched_steal";
+    case EventType::sched_lane_commit: return "sched_lane_commit";
+    case EventType::sched_immediate: return "sched_immediate";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread shard map, keyed by recorder id (same pattern as the metrics
+// registry: a thread resolves its shard once and caches the pointer).
+thread_local std::unordered_map<std::uint64_t, void*> t_shards;
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : id_(next_recorder_id()) {}
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::global() {
+  // Intentionally leaked: instrumentation sites in static objects and
+  // worker threads may record during exit-time destruction.
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void FlightRecorder::enable(std::size_t per_thread_capacity) {
+  TS_REQUIRE(per_thread_capacity > 0, "flight recorder capacity must be > 0");
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = per_thread_capacity;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->ring.assign(capacity_, Event{});
+    shard->head = 0;
+    shard->count = 0;
+    shard->dropped = 0;
+  }
+  names_.clear();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+FlightRecorder::Shard& FlightRecorder::local_shard() {
+  auto it = t_shards.find(id_);
+  if (it != t_shards.end()) return *static_cast<Shard*>(it->second);
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shard->ring.assign(capacity_, Event{});
+    shards_.push_back(std::move(owned));
+  }
+  t_shards.emplace(id_, shard);
+  return *shard;
+}
+
+void FlightRecorder::record_slow(EventType type, std::uint64_t task,
+                                 int worker, double a, double b,
+                                 std::uint64_t other) {
+  Shard& shard = local_shard();
+  const double now = wall_time_us();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.ring.empty()) return;  // disabled+drained concurrently
+  Event& slot = shard.ring[shard.head];
+  slot.wall_us = now;
+  slot.a = a;
+  slot.b = b;
+  slot.task = task;
+  slot.other = other;
+  slot.worker = worker;
+  slot.type = type;
+  shard.head = (shard.head + 1) % shard.ring.size();
+  if (shard.count < shard.ring.size()) {
+    ++shard.count;
+  } else {
+    ++shard.dropped;  // overwrote the oldest live event
+  }
+}
+
+void FlightRecorder::name_task(std::uint64_t task, const std::string& kernel) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  names_[task] = kernel;
+}
+
+Stream FlightRecorder::drain() {
+  Stream stream;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stream.shard_count = shards_.size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> shard_lock(shard.mutex);
+    const std::size_t size = shard.ring.size();
+    // Oldest live event first: the ring wraps at `head`.
+    for (std::size_t i = 0; i < shard.count; ++i) {
+      const std::size_t pos = (shard.head + size - shard.count + i) % size;
+      Event event = shard.ring[pos];
+      event.shard = static_cast<std::uint32_t>(s);
+      stream.events.push_back(event);
+    }
+    stream.dropped += shard.dropped;
+    shard.head = 0;
+    shard.count = 0;
+    shard.dropped = 0;
+  }
+  // Stable: preserves per-shard recording order among equal timestamps.
+  std::stable_sort(stream.events.begin(), stream.events.end(),
+                   [](const Event& x, const Event& y) {
+                     return x.wall_us < y.wall_us;
+                   });
+  stream.kernels = std::move(names_);
+  names_.clear();
+  return stream;
+}
+
+void FlightRecorder::clear() { (void)drain(); }
+
+}  // namespace tasksim::flightrec

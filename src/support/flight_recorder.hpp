@@ -1,0 +1,156 @@
+// flight_recorder.hpp — the task-lifecycle flight recorder.
+//
+// A low-overhead, per-thread ring-buffer event recorder that captures every
+// task state transition (submitted → window-blocked → ready → dispatched →
+// running → TEQ-blocked → returned), the dependency edges discovered at
+// submission (producer → consumer), and the simulation-specific events (TEQ
+// enter / displace / front, clock advances, quiescence spins).  The metrics
+// registry (support/metrics) answers "how often / how long"; the flight
+// recorder answers "which task, when, and caused by whom" — the causal
+// record behind the §V-E race auditor and the makespan attribution report
+// in trace/lifecycle.
+//
+// Cost model: recording is run-time gated.  When disabled (the default),
+// every instrumentation site is a single relaxed atomic load and a branch —
+// cheap enough to leave compiled into scheduler and simulator hot paths.
+// When enabled, an event is one wall-clock read plus an uncontended
+// per-thread mutex around a ring-buffer store; rings overwrite their oldest
+// entry when full and count the overwritten events in `dropped` so analyses
+// can tell a truncated stream from a complete one.
+//
+// Threading: record() may be called from any thread; each thread writes its
+// own shard, so recording threads never contend with each other.  drain()
+// merges every shard into one stream sorted by wall-clock time and tags
+// each event with its shard index (per-shard timestamps are monotone — one
+// writer, one monotonic clock).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tasksim::flightrec {
+
+/// Sentinel task id for events not tied to a task (window throttling,
+/// clock advances, TEQ displacements).
+inline constexpr std::uint64_t kNoTask = ~std::uint64_t{0};
+
+enum class EventType : std::uint8_t {
+  // --- task state transitions (scheduler layer) -------------------------
+  task_submit,     ///< registered with the runtime; task = id
+  task_ready,      ///< last dependence satisfied; task = id
+  task_dispatch,   ///< a worker claimed the task; worker = lane
+  task_start,      ///< task function entered; worker = lane
+  task_finish,     ///< task function returned to the scheduler; a = real µs
+  // --- submitter throttling ---------------------------------------------
+  window_block,    ///< submitter blocked on the task window
+  window_unblock,  ///< submitter resumed; a = µs blocked
+  // --- dependence flow ---------------------------------------------------
+  dep_edge,        ///< task = consumer, other = producer task id
+  // --- simulation (Task Execution Queue, paper §V-C/§V-E) ---------------
+  teq_enter,       ///< a = virtual start, b = virtual completion,
+                   ///< other = queue ticket seq
+  teq_front,       ///< reached the queue front; a = virtual completion
+  teq_displaced,   ///< a later arrival displaced the front: task = displaced
+                   ///< ticket seq, other = entering ticket seq,
+                   ///< a = displaced completion, b = entering completion
+  task_return,     ///< simulated body returns; a = virtual completion
+  clock_advance,   ///< a = new virtual clock value
+  quiescence_spin, ///< quiescence wait spun; a = spin iterations
+  // --- scheduler-policy decisions ---------------------------------------
+  sched_steal,       ///< quark: task stolen; worker = thief lane
+  sched_lane_commit, ///< starpu dm/dmda: task committed to a lane;
+                     ///< worker = lane, a = expected µs charged
+  sched_immediate,   ///< ompss: task taken via the immediate-successor slot
+};
+
+const char* to_string(EventType type);
+
+/// One recorded event.  Fixed-size POD so the ring buffer is a flat array;
+/// field meaning per type is documented on EventType.
+struct Event {
+  double wall_us = 0.0;            ///< monotonic wall clock at record time
+  double a = 0.0;                  ///< payload (virtual times, µs, counts)
+  double b = 0.0;
+  std::uint64_t task = kNoTask;    ///< task id (or seq for teq_displaced)
+  std::uint64_t other = 0;         ///< second id (producer, ticket seq)
+  std::int32_t worker = -1;        ///< worker lane, -1 = not lane-bound
+  std::uint32_t shard = 0;         ///< recording thread index (set at drain)
+  EventType type = EventType::task_submit;
+};
+
+/// The merged result of draining the recorder.
+struct Stream {
+  std::vector<Event> events;  ///< sorted by wall_us (stable across shards)
+  /// Task id → kernel class, captured at submission via name_task().
+  std::unordered_map<std::uint64_t, std::string> kernels;
+  std::uint64_t dropped = 0;  ///< events overwritten by full rings
+  std::size_t shard_count = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  FlightRecorder();
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Start recording with the given per-thread ring capacity.  Clears any
+  /// events and task names left from a previous recording.
+  void enable(std::size_t per_thread_capacity = kDefaultCapacity);
+
+  /// Stop recording; already-recorded events remain drainable.
+  void disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record one event.  The no-op cost when disabled is one relaxed load.
+  void record(EventType type, std::uint64_t task = kNoTask, int worker = -1,
+              double a = 0.0, double b = 0.0, std::uint64_t other = 0) {
+    if (!enabled()) return;
+    record_slow(type, task, worker, a, b, other);
+  }
+
+  /// Associate a task id with its kernel class (called at submission; a
+  /// no-op while disabled).
+  void name_task(std::uint64_t task, const std::string& kernel);
+
+  /// Merge and clear every shard: events sorted by wall time, each tagged
+  /// with its shard index.  Safe to call while disabled or enabled (a
+  /// concurrent recorder thread keeps writing into the cleared rings).
+  Stream drain();
+
+  /// Discard all recorded events and names without building a stream.
+  void clear();
+
+  /// The process-wide recorder every instrumentation site records into.
+  static FlightRecorder& global();
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::vector<Event> ring;
+    std::size_t head = 0;   ///< next write position
+    std::size_t count = 0;  ///< live events (<= ring.size())
+    std::uint64_t dropped = 0;
+  };
+
+  void record_slow(EventType type, std::uint64_t task, int worker, double a,
+                   double b, std::uint64_t other);
+  Shard& local_shard();
+
+  std::uint64_t id_;  ///< unique per instance; keys the thread-local cache
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;  ///< guards shards_ / capacity_ / names_
+  std::size_t capacity_ = kDefaultCapacity;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::uint64_t, std::string> names_;
+};
+
+}  // namespace tasksim::flightrec

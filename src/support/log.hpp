@@ -54,10 +54,17 @@ class LogLine {
 
 }  // namespace tasksim
 
+// The `if (...) ; else LogLine(...)` shape keeps the macro an expression
+// statement a caller can stream into (TS_LOG_WARN << ...) while staying
+// dangling-else-safe: the inner `if` owns its own `else`, so a following
+// `else` in un-braced caller code binds to the caller's `if`, not to the
+// macro's.
 #define TS_LOG(level_enum)                                                  \
-  if (static_cast<int>(::tasksim::Logger::instance().level()) <=            \
+  if (static_cast<int>(::tasksim::Logger::instance().level()) >             \
       static_cast<int>(::tasksim::LogLevel::level_enum))                    \
-  ::tasksim::detail::LogLine(::tasksim::LogLevel::level_enum)
+    ;                                                                       \
+  else                                                                      \
+    ::tasksim::detail::LogLine(::tasksim::LogLevel::level_enum)
 
 #define TS_LOG_DEBUG TS_LOG(debug)
 #define TS_LOG_INFO TS_LOG(info)

@@ -1,15 +1,16 @@
 #include "trace/chrome_export.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/log.hpp"
 
 namespace tasksim::trace {
 
-namespace {
 std::string escape_json(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -19,13 +20,24 @@ std::string escape_json(const std::string& text) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
-        out.push_back(c);
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
   }
   return out;
 }
+
+namespace {
 
 void append_trace(std::ostringstream& os, const Trace& trace, int pid,
                   bool& first) {
@@ -44,12 +56,12 @@ void append_trace(std::ostringstream& os, const Trace& trace, int pid,
 }
 }  // namespace
 
-CounterTrack occupancy_track(const Trace& trace, const std::string& name,
-                             int pid) {
+CounterTrack occupancy_track(const std::vector<TraceEvent>& events,
+                             const std::string& name, int pid) {
   // Sum of +1 deltas at starts and -1 deltas at ends, folded into one
   // sample per distinct timestamp (Chrome counters are step functions).
   std::map<double, double> deltas;
-  for (const auto& e : trace.events()) {
+  for (const auto& e : events) {
     deltas[e.start_us] += 1.0;
     deltas[e.end_us] -= 1.0;
   }
@@ -58,17 +70,35 @@ CounterTrack occupancy_track(const Trace& trace, const std::string& name,
   track.pid = pid;
   track.samples.reserve(deltas.size());
   double level = 0.0;
+  bool warned = false;
   for (const auto& [ts, delta] : deltas) {
     level += delta;
+    // An interval-consistent event set never goes negative (every end is
+    // preceded by its start).  Surface the inconsistency instead of
+    // clamping it away: a negative level means an end event without a
+    // matching start — a malformed or truncated trace.
+    if (level < 0.0 && !warned) {
+      TS_LOG_WARN << "occupancy track '" << name
+                  << "': in-flight count drops to " << level << " at t=" << ts
+                  << " us (end event without a matching start; the input "
+                     "trace is malformed)";
+      warned = true;
+    }
     // Zero-duration events cancel out; still emit the sample so the track
     // shows activity at that instant's neighbours correctly.
-    track.samples.push_back({ts, std::max(level, 0.0)});
+    track.samples.push_back({ts, level});
   }
   return track;
 }
 
+CounterTrack occupancy_track(const Trace& trace, const std::string& name,
+                             int pid) {
+  return occupancy_track(trace.events(), name, pid);
+}
+
 std::string render_chrome_json(const std::vector<const Trace*>& traces,
-                               const std::vector<CounterTrack>& counters) {
+                               const std::vector<CounterTrack>& counters,
+                               const std::vector<std::string>& extra_events) {
   std::ostringstream os;
   os.precision(15);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -88,8 +118,18 @@ std::string render_chrome_json(const std::vector<const Trace*>& traces,
          << sample.value << "}}";
     }
   }
+  for (const std::string& event : extra_events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << event;
+  }
   os << "\n]}\n";
   return os.str();
+}
+
+std::string render_chrome_json(const std::vector<const Trace*>& traces,
+                               const std::vector<CounterTrack>& counters) {
+  return render_chrome_json(traces, counters, {});
 }
 
 std::string render_chrome_json(const std::vector<const Trace*>& traces) {

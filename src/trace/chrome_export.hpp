@@ -27,11 +27,22 @@ struct CounterTrack {
   std::vector<CounterSample> samples;
 };
 
+/// Escape a string for embedding in a JSON string literal: quotes,
+/// backslashes, the short escapes (\n \t \r \b \f) and \uXXXX for the
+/// remaining control characters, so arbitrary kernel/label text survives a
+/// round-trip through the viewer.
+std::string escape_json(const std::string& text);
+
 /// Derive the number of in-flight tasks over time from a trace (+1 at each
 /// event start, -1 at each end).  For a simulated trace this is exactly the
 /// Task Execution Queue occupancy; for a real trace it is worker busyness.
+/// A malformed event set (an end without a matching start) drives the count
+/// negative; the inconsistency is reported via TS_LOG_WARN and the negative
+/// level is emitted as-is rather than clamped away.
 CounterTrack occupancy_track(const Trace& trace, const std::string& name,
                              int pid = 1);
+CounterTrack occupancy_track(const std::vector<TraceEvent>& events,
+                             const std::string& name, int pid = 1);
 
 /// Render as a Chrome Trace Event JSON document ("traceEvents" array of
 /// complete events; one pid per trace label, one tid per worker lane).
@@ -45,6 +56,14 @@ std::string render_chrome_json(const std::vector<const Trace*>& traces);
 /// rendered as Chrome counter events on their associated process.
 std::string render_chrome_json(const std::vector<const Trace*>& traces,
                                const std::vector<CounterTrack>& counters);
+
+/// As above, plus pre-rendered extra events (complete JSON objects, no
+/// separators) appended to the traceEvents array — how the task-lifecycle
+/// spans and dependency flow events of trace/lifecycle merge into one
+/// document with the duration bars and counter tracks.
+std::string render_chrome_json(const std::vector<const Trace*>& traces,
+                               const std::vector<CounterTrack>& counters,
+                               const std::vector<std::string>& extra_events);
 
 void write_chrome_json(const Trace& trace, const std::string& path);
 

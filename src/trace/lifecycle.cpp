@@ -1,0 +1,646 @@
+#include "trace/lifecycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/strings.hpp"
+#include "trace/chrome_export.hpp"
+
+namespace tasksim::trace {
+
+using flightrec::Event;
+using flightrec::EventType;
+
+namespace {
+
+bool is_nan(double v) { return v != v; }
+
+/// First-observation-wins setter: lifecycles keep the earliest timestamp
+/// for each stage (teq_front can be re-reached after a displacement).
+void set_if_unset(double& field, double value) {
+  if (is_nan(field)) field = value;
+}
+
+}  // namespace
+
+LifecycleLog build_lifecycle(flightrec::Stream stream) {
+  LifecycleLog log;
+  log.dropped_events = stream.dropped;
+  for (const Event& e : stream.events) {
+    TaskLifecycle* lc = nullptr;
+    if (e.task != flightrec::kNoTask && e.type != EventType::teq_displaced) {
+      lc = &log.tasks[e.task];
+      lc->id = e.task;
+    }
+    switch (e.type) {
+      case EventType::task_submit:
+        set_if_unset(lc->submit_us, e.wall_us);
+        break;
+      case EventType::task_ready:
+        set_if_unset(lc->ready_us, e.wall_us);
+        break;
+      case EventType::task_dispatch:
+        set_if_unset(lc->dispatch_us, e.wall_us);
+        lc->worker = e.worker;
+        break;
+      case EventType::task_start:
+        set_if_unset(lc->start_us, e.wall_us);
+        if (lc->worker < 0) lc->worker = e.worker;
+        break;
+      case EventType::teq_enter:
+        set_if_unset(lc->teq_enter_us, e.wall_us);
+        lc->virtual_start_us = e.a;
+        lc->virtual_end_us = e.b;
+        break;
+      case EventType::teq_front:
+        set_if_unset(lc->teq_front_us, e.wall_us);
+        break;
+      case EventType::task_return:
+        lc->returned = true;
+        lc->virtual_end_us = e.a;
+        break;
+      case EventType::task_finish:
+        set_if_unset(lc->finish_us, e.wall_us);
+        lc->finished = true;
+        break;
+      case EventType::dep_edge:
+        log.edges.emplace_back(e.other, e.task);  // producer, consumer
+        break;
+      default:
+        break;  // window / clock / displacement / policy events: stream-only
+    }
+    if (lc != nullptr && lc->kernel.empty()) {
+      auto it = stream.kernels.find(e.task);
+      if (it != stream.kernels.end()) lc->kernel = it->second;
+    }
+  }
+  log.events = std::move(stream.events);
+  return log;
+}
+
+std::vector<std::string> validate_stream(const flightrec::Stream& stream) {
+  std::vector<std::string> violations;
+  auto fail = [&](std::string message) {
+    violations.push_back(std::move(message));
+  };
+  if (stream.dropped > 0) {
+    fail(strprintf("%llu events dropped by full ring buffers (stream is "
+                   "incomplete; raise the recorder capacity)",
+                   static_cast<unsigned long long>(stream.dropped)));
+  }
+
+  // Per-thread (per-shard) timestamps must be monotone: one writer per
+  // shard reading one monotonic clock.
+  std::unordered_map<std::uint32_t, double> last_per_shard;
+  for (const Event& e : stream.events) {
+    auto [it, inserted] = last_per_shard.emplace(e.shard, e.wall_us);
+    if (!inserted) {
+      if (e.wall_us < it->second) {
+        fail(strprintf("shard %u timestamps not monotone: %.3f after %.3f",
+                       e.shard, e.wall_us, it->second));
+      }
+      it->second = e.wall_us;
+    }
+  }
+
+  // Per-task protocol: exactly one submit, transitions in lifecycle order,
+  // exactly one terminal (finish) state, TEQ events inside the running
+  // interval.
+  struct TaskCheck {
+    int submits = 0, readies = 0, dispatches = 0, starts = 0, finishes = 0;
+    double submit_us = -1.0, ready_us = -1.0, dispatch_us = -1.0,
+           start_us = -1.0, finish_us = -1.0;
+  };
+  std::map<std::uint64_t, TaskCheck> checks;
+  auto ordered = [&](std::uint64_t task, const char* from, double from_us,
+                     const char* to, double to_us) {
+    if (from_us >= 0.0 && to_us >= 0.0 && to_us < from_us) {
+      fail(strprintf("task %llu: %s at %.3f precedes %s at %.3f",
+                     static_cast<unsigned long long>(task), to, to_us, from,
+                     from_us));
+    }
+  };
+  for (const Event& e : stream.events) {
+    switch (e.type) {
+      case EventType::task_submit: {
+        TaskCheck& c = checks[e.task];
+        ++c.submits;
+        if (c.submit_us < 0.0) c.submit_us = e.wall_us;
+        break;
+      }
+      case EventType::task_ready: {
+        TaskCheck& c = checks[e.task];
+        ++c.readies;
+        if (c.ready_us < 0.0) c.ready_us = e.wall_us;
+        break;
+      }
+      case EventType::task_dispatch: {
+        TaskCheck& c = checks[e.task];
+        ++c.dispatches;
+        if (c.dispatch_us < 0.0) c.dispatch_us = e.wall_us;
+        break;
+      }
+      case EventType::task_start: {
+        TaskCheck& c = checks[e.task];
+        ++c.starts;
+        if (c.start_us < 0.0) c.start_us = e.wall_us;
+        break;
+      }
+      case EventType::task_finish: {
+        TaskCheck& c = checks[e.task];
+        ++c.finishes;
+        if (c.finish_us < 0.0) c.finish_us = e.wall_us;
+        break;
+      }
+      case EventType::dep_edge: {
+        if (checks.find(e.other) == checks.end()) {
+          fail(strprintf("dependence edge %llu -> %llu references an "
+                         "unrecorded producer",
+                         static_cast<unsigned long long>(e.other),
+                         static_cast<unsigned long long>(e.task)));
+        }
+        if (checks.find(e.task) == checks.end()) {
+          fail(strprintf("dependence edge %llu -> %llu references an "
+                         "unrecorded consumer",
+                         static_cast<unsigned long long>(e.other),
+                         static_cast<unsigned long long>(e.task)));
+        }
+        if (e.other == e.task) {
+          fail(strprintf("self dependence on task %llu",
+                         static_cast<unsigned long long>(e.task)));
+        }
+        break;
+      }
+      case EventType::teq_enter:
+      case EventType::teq_front:
+      case EventType::task_return: {
+        auto it = checks.find(e.task);
+        if (it == checks.end() || it->second.starts == 0) {
+          fail(strprintf("task %llu: %s before the task started",
+                         static_cast<unsigned long long>(e.task),
+                         to_string(e.type)));
+        } else if (it->second.finish_us >= 0.0) {
+          fail(strprintf("task %llu: %s after the task finished",
+                         static_cast<unsigned long long>(e.task),
+                         to_string(e.type)));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& [task, c] : checks) {
+    const auto id = static_cast<unsigned long long>(task);
+    if (c.submits != 1) {
+      fail(strprintf("task %llu: %d submit events (expected 1)", id,
+                     c.submits));
+    }
+    if (c.finishes != 1) {
+      fail(strprintf("task %llu: %d terminal (finish) events (expected "
+                     "exactly 1)",
+                     id, c.finishes));
+    }
+    if (c.readies == 0 && c.starts > 0) {
+      fail(strprintf("task %llu: started without becoming ready", id));
+    }
+    if (c.dispatches == 0 && c.starts > 0) {
+      fail(strprintf("task %llu: started without being dispatched", id));
+    }
+    if (c.starts == 0 && c.finishes > 0) {
+      fail(strprintf("task %llu: finished without starting", id));
+    }
+    ordered(task, "submit", c.submit_us, "ready", c.ready_us);
+    ordered(task, "ready", c.ready_us, "dispatch", c.dispatch_us);
+    ordered(task, "dispatch", c.dispatch_us, "start", c.start_us);
+    ordered(task, "start", c.start_us, "finish", c.finish_us);
+  }
+  return violations;
+}
+
+RaceAudit audit_races(const LifecycleLog& log) {
+  RaceAudit audit;
+  // Tolerance for "read the clock later than it became runnable": virtual
+  // starts are exact double reads of the virtual clock, so this only
+  // absorbs completion ties broken by the TEQ sequence number.
+  constexpr double eps = 1e-6;
+
+  // --- pass 1: stream scan --------------------------------------------
+  // Reconstruct the virtual clock to (1) catch returns that move it
+  // backward and (2) pin down the clock value at the moment each task was
+  // submitted.  clock_advance records are folded eagerly so a task
+  // submitted between the advance record and the matching task_return is
+  // held to the advanced value.  The submit-time clock — unlike the clock
+  // at the task_ready record — cannot be inflated by the race itself: a
+  // racing run serializes *execution*, which delays the wall time of
+  // release records and drags their folded clock up with the corruption,
+  // while submission is driven by the submitter thread and the window.
+  double vclock = 0.0;  // max completion returned so far (virtual)
+  std::uint64_t vclock_task = flightrec::kNoTask;
+  double floor_clock = 0.0;  // vclock plus eagerly-folded advances
+  std::unordered_map<std::uint64_t, double> submit_floor;
+  std::unordered_map<std::uint64_t, double> ready_floor;
+  std::unordered_map<std::uint64_t, int> bound_lane;
+  std::vector<std::pair<double, std::uint64_t>> returns;  // (end, task)
+  // The clock may not rise between two consecutive submissions unless the
+  // submitter was window-blocked or every lane was busy past the risen
+  // value (quiescence clause (a)); candidates carry the rise for the
+  // occupancy check below.
+  struct SubmitRise {
+    std::uint64_t task;
+    double from, to, wall;
+  };
+  std::vector<SubmitRise> submit_rises;
+  double submit_mark = 0.0;  // folded clock at the last submit/unblock
+  for (const Event& e : log.events) {
+    switch (e.type) {
+      case EventType::task_submit:
+        if (floor_clock > submit_mark + eps) {
+          submit_rises.push_back(
+              SubmitRise{e.task, submit_mark, floor_clock, e.wall_us});
+        }
+        submit_mark = std::max(submit_mark, floor_clock);
+        submit_floor.emplace(e.task, floor_clock);
+        continue;
+      case EventType::window_unblock:
+        // Completions legitimately folded in while the submitter waited
+        // for the window; restart the rise baseline here.
+        submit_mark = std::max(submit_mark, floor_clock);
+        continue;
+      case EventType::task_ready:
+        ready_floor.emplace(e.task, floor_clock);
+        continue;
+      case EventType::sched_lane_commit:
+      case EventType::sched_immediate:
+        // The scheduler bound this ready task to one lane (starpu dm/dmda
+        // deques, ompss immediate-successor slots): only that lane could
+        // have run it earlier.
+        bound_lane[e.task] = e.worker;
+        continue;
+      case EventType::clock_advance:
+        if (e.a > floor_clock) floor_clock = e.a;
+        continue;
+      case EventType::task_return:
+        break;
+      default:
+        continue;
+    }
+    ++audit.tasks_returned;
+    if (vclock_task != flightrec::kNoTask && vclock_task != e.task &&
+        e.a < vclock - 1e-9) {
+      audit.violations.push_back(
+          RaceViolation{RaceViolation::Kind::backward_return, e.task,
+                        vclock_task, e.a, vclock, e.wall_us});
+    }
+    returns.emplace_back(e.a, e.task);
+    if (e.a > vclock) {
+      vclock = e.a;
+      vclock_task = e.task;
+    }
+    if (e.a > floor_clock) floor_clock = e.a;
+  }
+
+  // --- pass 2: runnable floors from producer completions ----------------
+  // The moment a task became runnable is bounded below by the latest
+  // virtual completion among its producers and the virtual clock when it
+  // was submitted (a window-held task cannot run before the clock value at
+  // which the window released it).  Both are virtual quantities a racing
+  // run cannot inflate, which is the point: the clock recorded at the
+  // task_ready event tracks the corrupted timeline itself, so a fully
+  // serialized run shows every start equal to its ready-record clock and
+  // hides the race.  Tasks with a producer whose completion never made it
+  // into the stream are skipped (an unknown floor component can only make
+  // the floor too low and manufacture violations).
+  std::unordered_map<std::uint64_t, double> producer_max;
+  std::unordered_set<std::uint64_t> incomplete;
+  for (const auto& [producer, consumer] : log.edges) {
+    auto it = log.tasks.find(producer);
+    if (it == log.tasks.end() || !it->second.has_virtual_times()) {
+      incomplete.insert(consumer);
+      continue;
+    }
+    double& pmax = producer_max.try_emplace(consumer, 0.0).first->second;
+    pmax = std::max(pmax, it->second.virtual_end_us);
+  }
+
+  // --- pass 3: per-lane virtual occupancy ------------------------------
+  // A task with runnable floor f that read virtual start s was raced if
+  // some lane able to claim it was virtually free before s: in a race-free
+  // run it would have started at max(f, that lane's previous completion).
+  // Under the quiescence discipline every clock advance past a ready task
+  // requires every claimable lane to hold a queued task whose completion
+  // is at least the advanced value, so the minimum lane busy-time reaches
+  // s and nothing is flagged; without mitigation the oversubscribed host
+  // serializes the timeline while other lanes sit virtually idle, which is
+  // exactly what this detects.  The comparison uses only virtual
+  // quantities, so record-ordering skew between threads cannot produce
+  // false positives.
+  std::map<int, std::vector<std::pair<double, double>>> lane_occupancy;
+  for (const auto& [id, lc] : log.tasks) {
+    if (lc.has_virtual_times() && lc.worker >= 0) {
+      lane_occupancy[lc.worker].emplace_back(lc.virtual_start_us,
+                                             lc.virtual_end_us);
+    }
+  }
+  for (auto& [lane, spans] : lane_occupancy) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {  // prefix max of ends
+      spans[i].second = std::max(spans[i].second, spans[i - 1].second);
+    }
+  }
+  // Latest completion on `lane` among tasks that started before `t` (0 if
+  // the lane had not run anything by then).
+  auto busy_until = [&](int lane, double t) {
+    auto it = lane_occupancy.find(lane);
+    if (it == lane_occupancy.end()) return 0.0;
+    const auto& spans = it->second;
+    auto pos = std::lower_bound(
+        spans.begin(), spans.end(), t,
+        [](const std::pair<double, double>& span, double v) {
+          return span.first < v;
+        });
+    if (pos == spans.begin()) return 0.0;
+    return (pos - 1)->second;
+  };
+  // Lanes an unbound ready task could have been claimed by.  Lane 0 is
+  // excluded when it belongs to a participating master, which executes
+  // only inside wait_all.  Without a recorded lane count, trust only
+  // lanes that demonstrably executed tasks.
+  const int first_lane = log.master_lane0 ? 1 : 0;
+  std::vector<int> claimable;
+  if (log.worker_lanes > 0) {
+    for (int lane = first_lane; lane < log.worker_lanes; ++lane) {
+      claimable.push_back(lane);
+    }
+  } else {
+    for (const auto& [lane, spans] : lane_occupancy) {
+      if (lane >= first_lane) claimable.push_back(lane);
+    }
+  }
+
+  std::vector<std::pair<double, std::uint64_t>> by_end = returns;
+  std::sort(by_end.begin(), by_end.end());
+  // The return that advanced the clock to `t`: latest completion <= t by
+  // another task.
+  auto advancer = [&](std::uint64_t victim, double t) {
+    auto pos = std::upper_bound(
+        by_end.begin(), by_end.end(),
+        std::make_pair(t + eps, std::numeric_limits<std::uint64_t>::max()));
+    while (pos != by_end.begin()) {
+      --pos;
+      if (pos->second != victim) return pos->second;
+    }
+    return flightrec::kNoTask;
+  };
+
+  for (const auto& [id, lc] : log.tasks) {
+    if (!lc.has_virtual_times()) continue;
+    if (incomplete.count(id)) continue;  // producer end missing from stream
+    double floor = -1.0;
+    if (auto sub = submit_floor.find(id); sub != submit_floor.end()) {
+      floor = sub->second;
+    }
+    if (auto pmax = producer_max.find(id); pmax != producer_max.end()) {
+      floor = std::max(floor, pmax->second);
+    } else if (floor < 0.0) {
+      // No submit record and no producers (truncated stream): the clock at
+      // the ready record is the only floor evidence left.
+      auto rdy = ready_floor.find(id);
+      if (rdy == ready_floor.end()) continue;
+      floor = rdy->second;
+    }
+    const double s = lc.virtual_start_us;
+    double earliest_free = std::numeric_limits<double>::infinity();
+    auto bound = bound_lane.find(id);
+    if (bound != bound_lane.end()) {
+      earliest_free = busy_until(bound->second, s);
+    } else {
+      if (lc.worker >= 0) earliest_free = busy_until(lc.worker, s);
+      for (int lane : claimable) {
+        earliest_free = std::min(earliest_free, busy_until(lane, s));
+      }
+    }
+    if (earliest_free == std::numeric_limits<double>::infinity()) continue;
+    const double runnable_at = std::max(floor, earliest_free);
+    if (s > runnable_at + eps) {
+      audit.violations.push_back(RaceViolation{
+          RaceViolation::Kind::inflated_start, id, advancer(id, s), s,
+          runnable_at, is_nan(lc.teq_enter_us) ? 0.0 : lc.teq_enter_us});
+    }
+  }
+  // Submission-side check: a clock rise between consecutive submissions is
+  // only safe when every claimable lane held a queued task completing at
+  // or after the risen value, which leaves busy_until(lane, to) >= to on
+  // every lane.  A virtually idle lane proves the workers drained the
+  // ready pool and advanced the clock while submission was open.
+  for (const SubmitRise& rise : submit_rises) {
+    double cover = std::numeric_limits<double>::infinity();
+    for (int lane : claimable) {
+      cover = std::min(cover, busy_until(lane, rise.to));
+    }
+    if (cover == std::numeric_limits<double>::infinity()) continue;
+    if (cover < rise.to - eps) {
+      audit.violations.push_back(
+          RaceViolation{RaceViolation::Kind::late_submission, rise.task,
+                        advancer(rise.task, rise.to), rise.to, rise.from,
+                        rise.wall});
+    }
+  }
+  std::stable_sort(audit.violations.begin(), audit.violations.end(),
+                   [](const RaceViolation& x, const RaceViolation& y) {
+                     return x.wall_us < y.wall_us;
+                   });
+  return audit;
+}
+
+std::string RaceAudit::to_string(std::size_t max_listed) const {
+  std::ostringstream os;
+  os << "race audit: " << violations.size() << " violation"
+     << (violations.size() == 1 ? "" : "s") << " across " << tasks_returned
+     << " returned tasks";
+  const std::size_t listed = std::min(max_listed, violations.size());
+  for (std::size_t i = 0; i < listed; ++i) {
+    const RaceViolation& v = violations[i];
+    if (v.kind == RaceViolation::Kind::backward_return) {
+      os << strprintf("\n  task %llu returned at virtual %.2f us after task "
+                      "%llu had already returned at %.2f us (wall %.1f us)",
+                      static_cast<unsigned long long>(v.task),
+                      v.task_completion_us,
+                      static_cast<unsigned long long>(v.prior_task),
+                      v.prior_completion_us, v.wall_us);
+    } else if (v.kind == RaceViolation::Kind::inflated_start) {
+      os << strprintf("\n  task %llu read virtual start %.2f us though it "
+                      "became runnable at %.2f us: the clock was advanced "
+                      "under it, last by task %llu (wall %.1f us)",
+                      static_cast<unsigned long long>(v.task),
+                      v.task_completion_us, v.prior_completion_us,
+                      static_cast<unsigned long long>(v.prior_task),
+                      v.wall_us);
+    } else {
+      os << strprintf("\n  task %llu was submitted with the clock at %.2f "
+                      "us though submission never paused past %.2f us: "
+                      "workers outran the submitter and advanced the clock "
+                      "with a lane idle, last by task %llu (wall %.1f us)",
+                      static_cast<unsigned long long>(v.task),
+                      v.task_completion_us, v.prior_completion_us,
+                      static_cast<unsigned long long>(v.prior_task),
+                      v.wall_us);
+    }
+  }
+  if (violations.size() > listed) {
+    os << "\n  ... " << (violations.size() - listed) << " more";
+  }
+  return os.str();
+}
+
+AttributionReport attribute_makespan(const LifecycleLog& log) {
+  AttributionReport report;
+
+  std::vector<const TaskLifecycle*> simulated;
+  for (const auto& [id, lc] : log.tasks) {
+    if (lc.has_virtual_times()) simulated.push_back(&lc);
+  }
+  for (const Event& e : log.events) {
+    if (e.type == EventType::window_unblock) report.window_wait_us += e.a;
+  }
+  if (simulated.empty()) return report;
+
+  double min_start = simulated.front()->virtual_start_us;
+  const TaskLifecycle* last = simulated.front();
+  for (const TaskLifecycle* lc : simulated) {
+    min_start = std::min(min_start, lc->virtual_start_us);
+    if (lc->virtual_end_us > last->virtual_end_us) last = lc;
+  }
+  report.virtual_makespan_us = last->virtual_end_us - min_start;
+
+  // Same-worker predecessor lookup: per-worker tasks sorted by virtual end.
+  std::unordered_map<int, std::vector<const TaskLifecycle*>> by_worker;
+  for (const TaskLifecycle* lc : simulated) {
+    by_worker[lc->worker].push_back(lc);
+  }
+  for (auto& [worker, tasks] : by_worker) {
+    std::sort(tasks.begin(), tasks.end(),
+              [](const TaskLifecycle* x, const TaskLifecycle* y) {
+                return x->virtual_end_us < y->virtual_end_us;
+              });
+  }
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> producers;
+  for (const auto& [producer, consumer] : log.edges) {
+    producers[consumer].push_back(producer);
+  }
+
+  // Walk back from the timeline-ending task; at each step the binding
+  // blocker is the latest-finishing predecessor that completed no later
+  // than this task's virtual start (a dependence producer or the previous
+  // task on the same worker).
+  constexpr double eps = 1e-6;
+  std::unordered_set<std::uint64_t> visited;
+  const TaskLifecycle* current = last;
+  while (current != nullptr && visited.insert(current->id).second) {
+    ++report.chain_length;
+    report.chain_kernel_us +=
+        current->virtual_end_us - current->virtual_start_us;
+    if (!is_nan(current->teq_enter_us) && !is_nan(current->teq_front_us)) {
+      report.chain_teq_wait_us +=
+          current->teq_front_us - current->teq_enter_us;
+    }
+    if (!is_nan(current->ready_us) && !is_nan(current->dispatch_us)) {
+      report.chain_sched_wait_us +=
+          current->dispatch_us - current->ready_us;
+    }
+    if (!is_nan(current->dispatch_us) && !is_nan(current->teq_enter_us)) {
+      report.chain_bookkeeping_us +=
+          current->teq_enter_us - current->dispatch_us;
+    }
+    if (!is_nan(current->teq_front_us) && !is_nan(current->finish_us)) {
+      report.chain_bookkeeping_us +=
+          current->finish_us - current->teq_front_us;
+    }
+
+    const TaskLifecycle* binding = nullptr;
+    auto consider = [&](const TaskLifecycle* candidate) {
+      if (candidate == nullptr || candidate == current) return;
+      if (candidate->virtual_end_us > current->virtual_start_us + eps) return;
+      if (binding == nullptr ||
+          candidate->virtual_end_us > binding->virtual_end_us) {
+        binding = candidate;
+      }
+    };
+    auto it = producers.find(current->id);
+    if (it != producers.end()) {
+      for (std::uint64_t producer : it->second) {
+        auto task_it = log.tasks.find(producer);
+        if (task_it != log.tasks.end() &&
+            task_it->second.has_virtual_times()) {
+          consider(&task_it->second);
+        }
+      }
+    }
+    const auto& lane = by_worker[current->worker];
+    for (auto rit = lane.rbegin(); rit != lane.rend(); ++rit) {
+      if ((*rit)->virtual_end_us <= current->virtual_start_us + eps) {
+        consider(*rit);
+        break;  // sorted by end: the first admissible one is the latest
+      }
+    }
+    current = binding;
+  }
+  report.chain_gap_us =
+      std::max(0.0, report.virtual_makespan_us - report.chain_kernel_us);
+  return report;
+}
+
+std::vector<std::string> render_lifecycle_events(const LifecycleLog& log,
+                                                 int pid) {
+  std::vector<std::string> out;
+  auto number = [](double v) {
+    std::ostringstream os;
+    os.precision(15);
+    os << v;
+    return os.str();
+  };
+  for (const auto& [id, lc] : log.tasks) {
+    if (!lc.has_virtual_times()) continue;
+    const std::string name =
+        escape_json(lc.kernel.empty() ? std::string("task") : lc.kernel);
+    const std::string common =
+        strprintf("\"cat\":\"lifecycle\",\"id\":%llu,\"pid\":%d,\"tid\":%d",
+                  static_cast<unsigned long long>(id), pid,
+                  lc.worker < 0 ? 0 : lc.worker);
+    out.push_back("{\"name\":\"" + name + "\",\"ph\":\"b\"," + common +
+                  ",\"ts\":" + number(lc.virtual_start_us) + "}");
+    out.push_back("{\"name\":\"" + name + "\",\"ph\":\"e\"," + common +
+                  ",\"ts\":" + number(lc.virtual_end_us) + "}");
+  }
+  std::uint64_t flow_id = 0;
+  for (const auto& [producer_id, consumer_id] : log.edges) {
+    const auto producer = log.tasks.find(producer_id);
+    const auto consumer = log.tasks.find(consumer_id);
+    if (producer == log.tasks.end() || consumer == log.tasks.end()) continue;
+    if (!producer->second.has_virtual_times() ||
+        !consumer->second.has_virtual_times()) {
+      continue;
+    }
+    const std::uint64_t flow = flow_id++;
+    out.push_back(strprintf(
+        "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"s\",\"id\":%llu,"
+        "\"pid\":%d,\"tid\":%d,\"ts\":%s}",
+        static_cast<unsigned long long>(flow), pid,
+        producer->second.worker < 0 ? 0 : producer->second.worker,
+        number(producer->second.virtual_end_us).c_str()));
+    out.push_back(strprintf(
+        "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"f\",\"bp\":\"e\","
+        "\"id\":%llu,\"pid\":%d,\"tid\":%d,\"ts\":%s}",
+        static_cast<unsigned long long>(flow), pid,
+        consumer->second.worker < 0 ? 0 : consumer->second.worker,
+        number(consumer->second.virtual_start_us).c_str()));
+  }
+  return out;
+}
+
+}  // namespace tasksim::trace

@@ -1,0 +1,169 @@
+// lifecycle.hpp — causal analysis of flight-recorder streams.
+//
+// The flight recorder (support/flight_recorder) captures raw per-thread
+// event streams; this module turns a drained stream into per-task
+// lifecycles and dependency edges, and runs the three analyses built on
+// them:
+//
+//   * validate_stream    — well-formedness: every task reaches exactly one
+//                          terminal state through legal transitions, every
+//                          dependence edge references recorded tasks, and
+//                          per-thread timestamps are monotone,
+//   * audit_races        — reports every §V-E scheduling-race violation: a
+//                          task returning with an earlier virtual
+//                          completion time than a task that already
+//                          returned (the virtual timeline went backward),
+//                          with the exact task pair and timestamps,
+//   * attribute_makespan — decomposes the simulated makespan along the
+//                          binding chain (the tasks that determined when
+//                          the virtual timeline ended) into kernel time,
+//                          TEQ wait, scheduler wait, bookkeeping, and
+//                          window-throttle wait,
+//
+// plus render_lifecycle_events, which emits Chrome async spans (ph "b"/"e")
+// per task lifetime and flow events (ph "s"/"f") along dependency edges for
+// merging into a chrome_export document.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/flight_recorder.hpp"
+
+namespace tasksim::trace {
+
+/// Assembled per-task timeline.  Wall-clock fields are NaN until the
+/// corresponding event is observed; virtual fields are NaN for tasks that
+/// never reached the simulation layer (real runs).
+struct TaskLifecycle {
+  std::uint64_t id = 0;
+  std::string kernel;
+  int worker = -1;
+
+  double submit_us = std::numeric_limits<double>::quiet_NaN();
+  double ready_us = std::numeric_limits<double>::quiet_NaN();
+  double dispatch_us = std::numeric_limits<double>::quiet_NaN();
+  double start_us = std::numeric_limits<double>::quiet_NaN();
+  double teq_enter_us = std::numeric_limits<double>::quiet_NaN();
+  double teq_front_us = std::numeric_limits<double>::quiet_NaN();
+  double finish_us = std::numeric_limits<double>::quiet_NaN();
+
+  double virtual_start_us = std::numeric_limits<double>::quiet_NaN();
+  double virtual_end_us = std::numeric_limits<double>::quiet_NaN();
+
+  bool returned = false;  ///< simulated body returned (task_return seen)
+  bool finished = false;  ///< task function returned to the scheduler
+
+  bool has_virtual_times() const {
+    return virtual_start_us == virtual_start_us &&  // !NaN
+           virtual_end_us == virtual_end_us;
+  }
+};
+
+struct LifecycleLog {
+  /// The merged stream, ordered by wall time (as drained).
+  std::vector<flightrec::Event> events;
+  std::map<std::uint64_t, TaskLifecycle> tasks;
+  /// Dependence edges (producer id, consumer id) in discovery order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  std::uint64_t dropped_events = 0;
+  /// Executor lanes the scheduler ran with (0 = unknown; set by the
+  /// harness).  Lets audit_races treat never-dispatched lanes as
+  /// virtually free.
+  int worker_lanes = 0;
+  /// True when lane 0 belongs to a participating master, which executes
+  /// only inside wait_all and must not count as a claimable lane.
+  bool master_lane0 = false;
+};
+
+/// Assemble per-task lifecycles and edges from a drained stream.
+LifecycleLog build_lifecycle(flightrec::Stream stream);
+
+/// Well-formedness check; returns human-readable violations (empty = ok).
+/// Assumes the recorded run completed (every submitted task finished).
+std::vector<std::string> validate_stream(const flightrec::Stream& stream);
+
+/// One §V-E violation.  Three shapes of the same race:
+///
+///   * backward_return — `task` returned with a virtual completion time
+///     (`task_completion_us`) earlier than `prior_task`, which had already
+///     returned at `prior_completion_us` (the TEQ ordering was broken).
+///   * inflated_start — `task` read virtual start `task_completion_us`
+///     although it was demonstrably runnable at `prior_completion_us`,
+///     the latest of its producers' virtual completions, the virtual
+///     clock when it was submitted, and the completion of the last prior
+///     task on a lane able to claim it: `prior_task`'s return advanced
+///     the clock under it before it sampled.  This is the interleaving
+///     the quiescence query (and the paper's yield/sleep fallback) exists
+///     to prevent; it serializes the virtual timeline.
+///   * late_submission — the virtual clock rose from `prior_completion_us`
+///     to `task_completion_us` between two consecutive submissions (the
+///     latter being `task`), the submitter never blocked on the window in
+///     between, and some lane was virtually idle at the risen value.  A
+///     safe advance with submission open requires every executor blocked
+///     in the queue; workers outracing the submitter and draining its
+///     tasks one by one is the fully serialized form of the race, in
+///     which no dependence ever materializes (each producer finishes
+///     before its consumer is submitted) and every recorded floor tracks
+///     the corrupted clock itself — the submission-time rise is then the
+///     only observable evidence.  `prior_task` is the return that last
+///     advanced the clock.
+struct RaceViolation {
+  enum class Kind { backward_return, inflated_start, late_submission };
+  Kind kind = Kind::backward_return;
+  std::uint64_t task = 0;
+  std::uint64_t prior_task = 0;
+  double task_completion_us = 0.0;   ///< virtual (see kind)
+  double prior_completion_us = 0.0;  ///< virtual (see kind)
+  double wall_us = 0.0;              ///< when the violation was recorded
+};
+
+struct RaceAudit {
+  std::vector<RaceViolation> violations;
+  std::size_t tasks_returned = 0;
+
+  /// Summary plus the first `max_listed` violations, one per line.
+  std::string to_string(std::size_t max_listed = 8) const;
+};
+
+/// Scan the stream for §V-E scheduling-race evidence: task returns out of
+/// virtual-completion order (the ordering the Task Execution Queue exists
+/// to enforce), and virtual starts later than the moment the task became
+/// runnable — its producers done, the submission window open, and a lane
+/// free to claim it (the clock advanced underneath a task being
+/// dispatched).
+RaceAudit audit_races(const LifecycleLog& log);
+
+/// Decomposition of the simulated makespan.  The "binding chain" is found
+/// by walking back from the task that ends the virtual timeline, at each
+/// step moving to the latest-finishing blocker (a dependence producer or
+/// the previous task on the same worker).  Kernel time and gaps are
+/// virtual-time quantities along that chain; the wait components are the
+/// real (wall) time the chain's tasks spent in each lifecycle stage.
+struct AttributionReport {
+  double virtual_makespan_us = 0.0;
+  std::size_t chain_length = 0;
+  double chain_kernel_us = 0.0;   ///< virtual: sum of chain task durations
+  double chain_gap_us = 0.0;      ///< virtual: makespan - chain kernel time
+  double chain_teq_wait_us = 0.0; ///< real: TEQ enter → front
+  double chain_sched_wait_us = 0.0;  ///< real: ready → dispatched
+  double chain_bookkeeping_us = 0.0; ///< real: dispatch → TEQ enter and
+                                     ///< TEQ front → function return
+  double window_wait_us = 0.0;    ///< real: submitter window-blocked (run)
+};
+
+AttributionReport attribute_makespan(const LifecycleLog& log);
+
+/// Chrome trace events for the lifecycle layer, as complete JSON objects
+/// (no separators): one async span ("b"/"e", id = task id) per task with
+/// virtual times, and one flow ("s"/"f") per dependency edge between tasks
+/// with virtual times.  Merge into a document with render_chrome_json's
+/// extra-events overload, using the pid of the simulated-trace process.
+std::vector<std::string> render_lifecycle_events(const LifecycleLog& log,
+                                                 int pid);
+
+}  // namespace tasksim::trace

@@ -151,6 +151,67 @@ TEST(ChromeExport, EscapesSpecialCharacters) {
   EXPECT_NE(json.find("k\\\\1"), std::string::npos);
 }
 
+TEST(ChromeExport, EscapeJsonHandlesAdversarialNames) {
+  EXPECT_EQ(trace::escape_json("plain_kernel-1"), "plain_kernel-1");
+  EXPECT_EQ(trace::escape_json("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(trace::escape_json("\n\t\r\b\f"), "\\n\\t\\r\\b\\f");
+  // Control characters without short escapes become \uXXXX, including NUL.
+  EXPECT_EQ(trace::escape_json(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  std::string embedded_nul = "k";
+  embedded_nul.push_back('\0');
+  embedded_nul += "x";
+  EXPECT_EQ(trace::escape_json(embedded_nul), "k\\u0000x");
+  // Non-control bytes (incl. UTF-8 continuation bytes) pass through.
+  EXPECT_EQ(trace::escape_json("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(ChromeExport, RenderedJsonContainsNoRawControlCharacters) {
+  trace::Trace t("evil\rlabel");
+  t.record(0, "dgemm\x02\"quoted\"", 0, 0.0, 1.0);
+  const std::string json = trace::render_chrome_json(t);
+  EXPECT_NE(json.find("\\u0002"), std::string::npos);
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control character in JSON output";
+  }
+}
+
+TEST(ChromeExport, OccupancyTrackSurfacesMalformedEventSets) {
+  // An end-before-start event is unreachable through Trace::record (it
+  // validates intervals), but a hand-built or corrupted event set can carry
+  // one; the occupancy derivation must surface the inconsistency (negative
+  // level + warning) instead of clamping it away.
+  std::vector<trace::TraceEvent> events;
+  trace::TraceEvent bad;
+  bad.task_id = 0;
+  bad.kernel = "k";
+  bad.worker = 0;
+  bad.start_us = 10.0;  // "start" after "end": a lone end at t=5
+  bad.end_us = 5.0;
+  events.push_back(bad);
+  const trace::CounterTrack track = trace::occupancy_track(events, "depth");
+  ASSERT_EQ(track.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(track.samples[0].ts_us, 5.0);
+  EXPECT_DOUBLE_EQ(track.samples[0].value, -1.0);  // not clamped to 0
+  EXPECT_DOUBLE_EQ(track.samples[1].ts_us, 10.0);
+  EXPECT_DOUBLE_EQ(track.samples[1].value, 0.0);
+}
+
+TEST(ChromeExport, ExtraEventsAppendToTheEventArray) {
+  trace::Trace t("sim");
+  t.record(0, "k", 0, 0.0, 10.0);
+  const std::string json = trace::render_chrome_json(
+      {&t}, {},
+      {"{\"name\":\"span\",\"ph\":\"b\",\"cat\":\"lifecycle\",\"id\":0,"
+       "\"pid\":1,\"tid\":0,\"ts\":0}",
+       "{\"name\":\"span\",\"ph\":\"e\",\"cat\":\"lifecycle\",\"id\":0,"
+       "\"pid\":1,\"tid\":0,\"ts\":10}"});
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
 TEST(ChromeExport, OccupancyTrackFoldsStartsAndEnds) {
   trace::Trace t;
   t.record(0, "k", 0, 0.0, 100.0);

@@ -1,0 +1,539 @@
+// Tests for the flight recorder (support/flight_recorder) and the
+// lifecycle analyses built on it (trace/lifecycle): recording semantics,
+// stream well-formedness over randomized DAGs, the §V-E race auditor, and
+// makespan attribution.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sched/factory.hpp"
+#include "sim/sim_engine.hpp"
+#include "sim/sim_submitter.hpp"
+#include "stats/distribution.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/rng.hpp"
+#include "trace/lifecycle.hpp"
+
+namespace tasksim {
+namespace {
+
+using flightrec::Event;
+using flightrec::EventType;
+using flightrec::FlightRecorder;
+
+/// Every test drives the process-wide recorder; reset it on entry and exit
+/// so tests cannot leak state into each other.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::global().disable();
+    FlightRecorder::global().clear();
+  }
+  void TearDown() override {
+    FlightRecorder::global().disable();
+    FlightRecorder::global().clear();
+  }
+};
+
+TEST_F(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  FlightRecorder& fr = FlightRecorder::global();
+  EXPECT_FALSE(fr.enabled());
+  fr.record(EventType::task_submit, 1);
+  fr.name_task(1, "k");
+  const flightrec::Stream stream = fr.drain();
+  EXPECT_TRUE(stream.events.empty());
+  EXPECT_TRUE(stream.kernels.empty());
+  EXPECT_EQ(stream.dropped, 0u);
+}
+
+TEST_F(FlightRecorderTest, RecordDrainRoundTrip) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.enable();
+  fr.name_task(7, "dgemm");
+  fr.record(EventType::task_submit, 7);
+  fr.record(EventType::task_dispatch, 7, /*worker=*/3);
+  fr.record(EventType::teq_enter, 7, 3, /*a=*/10.0, /*b=*/25.0, /*other=*/2);
+  fr.disable();
+
+  const flightrec::Stream stream = fr.drain();
+  ASSERT_EQ(stream.events.size(), 3u);
+  EXPECT_EQ(stream.kernels.at(7), "dgemm");
+  EXPECT_GE(stream.shard_count, 1u);
+  const Event& enter = stream.events[2];
+  EXPECT_EQ(enter.type, EventType::teq_enter);
+  EXPECT_EQ(enter.task, 7u);
+  EXPECT_EQ(enter.worker, 3);
+  EXPECT_DOUBLE_EQ(enter.a, 10.0);
+  EXPECT_DOUBLE_EQ(enter.b, 25.0);
+  EXPECT_EQ(enter.other, 2u);
+  // One recording thread: wall timestamps are non-decreasing.
+  for (std::size_t i = 1; i < stream.events.size(); ++i) {
+    EXPECT_LE(stream.events[i - 1].wall_us, stream.events[i].wall_us);
+  }
+  // Drain is destructive.
+  EXPECT_TRUE(fr.drain().events.empty());
+}
+
+TEST_F(FlightRecorderTest, FullRingOverwritesOldestAndCountsDropped) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.enable(/*per_thread_capacity=*/16);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    fr.record(EventType::clock_advance, i);
+  }
+  fr.disable();
+  const flightrec::Stream stream = fr.drain();
+  ASSERT_EQ(stream.events.size(), 16u);
+  EXPECT_EQ(stream.dropped, 84u);
+  // The survivors are the newest 16, in order.
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(stream.events[i].task, 84u + i);
+  }
+  // validate_stream flags the truncation.
+  const auto violations = trace::validate_stream(stream);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("dropped"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, ThreadsRecordIntoIndependentShards) {
+  FlightRecorder& fr = FlightRecorder::global();
+  fr.enable();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fr, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        fr.record(EventType::quiescence_spin,
+                  static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  fr.disable();
+  const flightrec::Stream stream = fr.drain();
+  EXPECT_EQ(stream.events.size(), kThreads * kPerThread);
+  EXPECT_EQ(stream.dropped, 0u);
+  EXPECT_GE(stream.shard_count, static_cast<std::size_t>(kThreads));
+  // Per-shard monotonicity survives the global merge.
+  EXPECT_TRUE(trace::validate_stream(stream).empty());
+}
+
+// ------------------------------------------------------ synthetic streams
+
+/// Builds streams by hand to exercise the analyses on exact event patterns.
+struct StreamBuilder {
+  flightrec::Stream stream;
+  double wall = 0.0;
+
+  Event& add(EventType type, std::uint64_t task = flightrec::kNoTask,
+             int worker = -1, double a = 0.0, double b = 0.0,
+             std::uint64_t other = 0) {
+    Event e;
+    e.wall_us = (wall += 1.0);
+    e.type = type;
+    e.task = task;
+    e.worker = worker;
+    e.a = a;
+    e.b = b;
+    e.other = other;
+    stream.events.push_back(e);
+    return stream.events.back();
+  }
+
+  /// Full lifecycle of one simulated task.
+  void task(std::uint64_t id, int worker, double vstart, double vend) {
+    add(EventType::task_submit, id);
+    body(id, worker, vstart, vend);
+  }
+
+  /// Lifecycle after submission, for streams where tasks are submitted up
+  /// front (as a non-racing run records them) and executed later.
+  void body(std::uint64_t id, int worker, double vstart, double vend) {
+    add(EventType::task_ready, id);
+    add(EventType::task_dispatch, id, worker);
+    add(EventType::task_start, id, worker);
+    add(EventType::teq_enter, id, worker, vstart, vend, id);
+    add(EventType::teq_front, id, worker, vend);
+    add(EventType::task_return, id, worker, vend);
+    add(EventType::task_finish, id, worker);
+  }
+};
+
+TEST_F(FlightRecorderTest, BuildLifecycleAssemblesStages) {
+  StreamBuilder b;
+  b.stream.kernels[0] = "dpotrf";
+  b.task(0, 2, 100.0, 250.0);
+  b.add(EventType::dep_edge, /*consumer=*/1, -1, 0, 0, /*producer=*/0);
+  b.task(1, 0, 250.0, 300.0);
+
+  const trace::LifecycleLog log = trace::build_lifecycle(b.stream);
+  ASSERT_EQ(log.tasks.size(), 2u);
+  const trace::TaskLifecycle& lc = log.tasks.at(0);
+  EXPECT_EQ(lc.kernel, "dpotrf");
+  EXPECT_EQ(lc.worker, 2);
+  EXPECT_TRUE(lc.has_virtual_times());
+  EXPECT_DOUBLE_EQ(lc.virtual_start_us, 100.0);
+  EXPECT_DOUBLE_EQ(lc.virtual_end_us, 250.0);
+  EXPECT_TRUE(lc.returned);
+  EXPECT_TRUE(lc.finished);
+  EXPECT_LT(lc.submit_us, lc.ready_us);
+  EXPECT_LT(lc.ready_us, lc.dispatch_us);
+  EXPECT_LT(lc.dispatch_us, lc.start_us);
+  EXPECT_LT(lc.start_us, lc.finish_us);
+  ASSERT_EQ(log.edges.size(), 1u);
+  EXPECT_EQ(log.edges[0].first, 0u);   // producer
+  EXPECT_EQ(log.edges[0].second, 1u);  // consumer
+}
+
+TEST_F(FlightRecorderTest, ValidateStreamAcceptsWellFormedStream) {
+  // Edges are recorded by the submitting thread right after the consumer's
+  // task_submit, so both endpoints precede the edge in the stream.
+  StreamBuilder b;
+  b.task(0, 0, 0.0, 100.0);
+  b.task(1, 1, 100.0, 180.0);
+  b.add(EventType::dep_edge, 1, -1, 0, 0, 0);
+  EXPECT_TRUE(trace::validate_stream(b.stream).empty());
+}
+
+TEST_F(FlightRecorderTest, ValidateStreamCatchesProtocolViolations) {
+  // Double submit.
+  {
+    StreamBuilder b;
+    b.task(0, 0, 0.0, 1.0);
+    b.add(EventType::task_submit, 0);
+    const auto v = trace::validate_stream(b.stream);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_NE(v[0].find("2 submit events"), std::string::npos);
+  }
+  // Finish without start.
+  {
+    StreamBuilder b;
+    b.add(EventType::task_submit, 3);
+    b.add(EventType::task_finish, 3, 0);
+    const auto v = trace::validate_stream(b.stream);
+    EXPECT_FALSE(v.empty());
+    bool found = false;
+    for (const auto& msg : v) {
+      found = found || msg.find("finished without starting") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+  }
+  // Dependence edge to an unrecorded producer.
+  {
+    StreamBuilder b;
+    b.task(0, 0, 0.0, 1.0);
+    b.add(EventType::dep_edge, 0, -1, 0, 0, /*producer=*/99);
+    const auto v = trace::validate_stream(b.stream);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_NE(v[0].find("unrecorded producer"), std::string::npos);
+  }
+  // Non-monotone timestamps within one shard.
+  {
+    StreamBuilder b;
+    b.task(0, 0, 0.0, 1.0);
+    b.stream.events.back().wall_us = 0.5;  // jumps backward
+    const auto v = trace::validate_stream(b.stream);
+    bool found = false;
+    for (const auto& msg : v) {
+      found = found || msg.find("not monotone") != std::string::npos;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(FlightRecorderTest, AuditRacesDetectsBackwardReturns) {
+  // In-order returns with the whole DAG submitted before execution (as a
+  // non-racing run records it): clean.
+  {
+    StreamBuilder b;
+    b.add(EventType::task_submit, 0);
+    b.add(EventType::task_submit, 1);
+    b.add(EventType::dep_edge, 1, -1, 0, 0, /*producer=*/0);
+    b.body(0, 0, 0.0, 100.0);
+    b.body(1, 1, 100.0, 200.0);
+    const trace::RaceAudit audit =
+        trace::audit_races(trace::build_lifecycle(b.stream));
+    EXPECT_EQ(audit.tasks_returned, 2u);
+    EXPECT_TRUE(audit.violations.empty());
+  }
+  // Task 2 returns with an earlier virtual completion than task 1 did: the
+  // §V-E race made the virtual timeline go backward.
+  {
+    StreamBuilder b;
+    for (std::uint64_t id : {0, 1, 2}) {
+      b.add(EventType::task_submit, id);
+    }
+    b.add(EventType::dep_edge, 1, -1, 0, 0, /*producer=*/0);
+    b.add(EventType::dep_edge, 2, -1, 0, 0, /*producer=*/0);
+    b.body(0, 0, 0.0, 100.0);
+    b.body(1, 1, 100.0, 300.0);
+    b.body(2, 2, 100.0, 150.0);
+    const trace::RaceAudit audit =
+        trace::audit_races(trace::build_lifecycle(b.stream));
+    ASSERT_EQ(audit.violations.size(), 1u);
+    EXPECT_EQ(audit.violations[0].task, 2u);
+    EXPECT_EQ(audit.violations[0].prior_task, 1u);
+    EXPECT_DOUBLE_EQ(audit.violations[0].task_completion_us, 150.0);
+    EXPECT_DOUBLE_EQ(audit.violations[0].prior_completion_us, 300.0);
+    const std::string text = audit.to_string();
+    EXPECT_NE(text.find("1 violation"), std::string::npos);
+    EXPECT_NE(text.find("task 2"), std::string::npos);
+  }
+}
+
+TEST_F(FlightRecorderTest, AuditRacesDetectsInflatedStarts) {
+  StreamBuilder b;
+  // Task 0 is dispatched and enters the queue normally.
+  b.add(EventType::task_submit, 0, 0);
+  b.add(EventType::task_ready, 0, 0);
+  b.add(EventType::task_dispatch, 0, 0);
+  b.add(EventType::task_start, 0, 0);
+  b.add(EventType::teq_enter, 0, 0, 0.0, 100.0, 0);
+  // Task 1 becomes ready (virtual clock still 0) and is dispatched on the
+  // idle worker 1, but is preempted before it samples the clock...
+  b.add(EventType::task_submit, 1, 1);
+  b.add(EventType::task_ready, 1, 1);
+  b.add(EventType::task_dispatch, 1, 1);
+  b.add(EventType::task_start, 1, 1);
+  // ...while task 0 reaches the front and returns, advancing the clock
+  // under it (the §V-E interleaving the quiescence query prevents).
+  b.add(EventType::teq_front, 0, 0, 0.0, 100.0, 0);
+  b.add(EventType::task_return, 0, 0, 100.0);
+  b.add(EventType::task_finish, 0, 0);
+  // Task 1 then samples the advanced clock: start 100 although it was
+  // runnable on a free worker at virtual 0.
+  b.add(EventType::teq_enter, 1, 1, 100.0, 130.0, 1);
+  b.add(EventType::teq_front, 1, 1, 100.0, 130.0, 1);
+  b.add(EventType::task_return, 1, 1, 130.0);
+  b.add(EventType::task_finish, 1, 1);
+
+  const trace::RaceAudit audit =
+      trace::audit_races(trace::build_lifecycle(b.stream));
+  ASSERT_EQ(audit.violations.size(), 1u);
+  const trace::RaceViolation& v = audit.violations[0];
+  EXPECT_EQ(v.kind, trace::RaceViolation::Kind::inflated_start);
+  EXPECT_EQ(v.task, 1u);
+  EXPECT_EQ(v.prior_task, 0u);  // the return that advanced the clock
+  EXPECT_DOUBLE_EQ(v.task_completion_us, 100.0);  // the start task 1 read
+  EXPECT_DOUBLE_EQ(v.prior_completion_us, 0.0);   // when it became runnable
+  EXPECT_NE(audit.to_string().find("became runnable"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, AuditRacesAcceptsStartMatchingReadinessFloor) {
+  // Same interleaving of records, but task 1 sampled the clock BEFORE task
+  // 0's return advanced it (its teq_enter record simply landed later): its
+  // start matches the clock at the moment it became ready.  Not a race.
+  StreamBuilder b;
+  b.add(EventType::task_submit, 0, 0);
+  b.add(EventType::task_ready, 0, 0);
+  b.add(EventType::task_dispatch, 0, 0);
+  b.add(EventType::task_start, 0, 0);
+  b.add(EventType::teq_enter, 0, 0, 0.0, 100.0, 0);
+  b.add(EventType::task_submit, 1, 1);
+  b.add(EventType::task_ready, 1, 1);
+  b.add(EventType::task_dispatch, 1, 1);
+  b.add(EventType::task_start, 1, 1);
+  b.add(EventType::teq_front, 0, 0, 0.0, 100.0, 0);
+  b.add(EventType::task_return, 0, 0, 100.0);
+  b.add(EventType::task_finish, 0, 0);
+  b.add(EventType::teq_enter, 1, 1, 0.0, 150.0, 1);
+  b.add(EventType::teq_front, 1, 1, 0.0, 150.0, 1);
+  b.add(EventType::task_return, 1, 1, 150.0);
+  b.add(EventType::task_finish, 1, 1);
+
+  const trace::RaceAudit audit =
+      trace::audit_races(trace::build_lifecycle(b.stream));
+  EXPECT_TRUE(audit.violations.empty());
+}
+
+TEST_F(FlightRecorderTest, AuditRacesDetectsLateSubmissions) {
+  // Fully serialized race: task 1 is submitted only after task 0 returned,
+  // so no dependence ever materialized and its start matches the corrupted
+  // submit-time clock.  The clock rise between the two submissions with
+  // lane 1 virtually idle is the only observable evidence.
+  {
+    StreamBuilder b;
+    b.task(0, 0, 0.0, 100.0);
+    b.task(1, 1, 100.0, 200.0);
+    const trace::RaceAudit audit =
+        trace::audit_races(trace::build_lifecycle(b.stream));
+    ASSERT_EQ(audit.violations.size(), 1u);
+    const trace::RaceViolation& v = audit.violations[0];
+    EXPECT_EQ(v.kind, trace::RaceViolation::Kind::late_submission);
+    EXPECT_EQ(v.task, 1u);
+    EXPECT_EQ(v.prior_task, 0u);
+    EXPECT_DOUBLE_EQ(v.task_completion_us, 100.0);
+    EXPECT_DOUBLE_EQ(v.prior_completion_us, 0.0);
+    EXPECT_NE(audit.to_string().find("outran the submitter"),
+              std::string::npos);
+  }
+  // Same shape, but the submitter was window-blocked across task 0's
+  // return: completions folding in while the window is full are how the
+  // submitter makes progress, not a race.
+  {
+    StreamBuilder b;
+    b.task(0, 0, 0.0, 100.0);
+    b.add(EventType::window_unblock, flightrec::kNoTask, -1, /*a=*/12.0);
+    b.task(1, 1, 100.0, 200.0);
+    const trace::RaceAudit audit =
+        trace::audit_races(trace::build_lifecycle(b.stream));
+    EXPECT_TRUE(audit.violations.empty()) << audit.to_string();
+  }
+}
+
+TEST_F(FlightRecorderTest, AttributionDecomposesSerialChain) {
+  StreamBuilder b;
+  b.task(0, 0, 0.0, 100.0);
+  b.add(EventType::dep_edge, 1, -1, 0, 0, 0);
+  b.task(1, 0, 100.0, 220.0);
+  b.add(EventType::dep_edge, 2, -1, 0, 0, 1);
+  b.task(2, 0, 220.0, 300.0);
+
+  const trace::AttributionReport report =
+      trace::attribute_makespan(trace::build_lifecycle(b.stream));
+  EXPECT_DOUBLE_EQ(report.virtual_makespan_us, 300.0);
+  EXPECT_EQ(report.chain_length, 3u);
+  EXPECT_DOUBLE_EQ(report.chain_kernel_us, 300.0);
+  EXPECT_DOUBLE_EQ(report.chain_gap_us, 0.0);
+  // StreamBuilder spaces every event 1 wall-us apart, so each chain task
+  // contributes 1 us of TEQ wait (enter -> front), 1 us of scheduler wait
+  // (ready -> dispatch) and 4 us of bookkeeping (dispatch -> start ->
+  // teq_enter is 2, teq_front -> return -> finish is 2).
+  EXPECT_DOUBLE_EQ(report.chain_teq_wait_us, 3.0);
+  EXPECT_DOUBLE_EQ(report.chain_sched_wait_us, 3.0);
+  EXPECT_DOUBLE_EQ(report.chain_bookkeeping_us, 12.0);
+}
+
+TEST_F(FlightRecorderTest, AttributionSeesWindowWaitAndGaps) {
+  StreamBuilder b;
+  b.task(0, 0, 0.0, 100.0);
+  b.add(EventType::window_unblock, flightrec::kNoTask, -1, /*a=*/42.5);
+  // Task 1 follows on the same worker after an idle gap: no dependence, so
+  // the binding blocker is the same-worker predecessor.
+  b.task(1, 0, 150.0, 200.0);
+  const trace::AttributionReport report =
+      trace::attribute_makespan(trace::build_lifecycle(b.stream));
+  EXPECT_DOUBLE_EQ(report.window_wait_us, 42.5);
+  EXPECT_DOUBLE_EQ(report.virtual_makespan_us, 200.0);
+  // Chain: task 1 (50 us kernel) <- task 0 (100 us, ends before 150).
+  EXPECT_DOUBLE_EQ(report.chain_kernel_us, 150.0);
+  EXPECT_DOUBLE_EQ(report.chain_gap_us, 50.0);
+}
+
+TEST_F(FlightRecorderTest, RenderLifecycleEmitsSpansAndFlows) {
+  StreamBuilder b;
+  b.stream.kernels[0] = "dgemm \"odd\" name";
+  b.task(0, 0, 0.0, 100.0);
+  b.add(EventType::dep_edge, 1, -1, 0, 0, 0);
+  b.task(1, 1, 100.0, 160.0);
+
+  const auto events =
+      trace::render_lifecycle_events(trace::build_lifecycle(b.stream), 2);
+  // 2 span events per task + 2 flow events for the edge.
+  ASSERT_EQ(events.size(), 6u);
+  int begins = 0, ends = 0, flow_starts = 0, flow_finishes = 0;
+  for (const std::string& e : events) {
+    if (e.find("\"ph\":\"b\"") != std::string::npos) ++begins;
+    if (e.find("\"ph\":\"e\"") != std::string::npos) ++ends;
+    if (e.find("\"ph\":\"s\"") != std::string::npos) ++flow_starts;
+    if (e.find("\"ph\":\"f\"") != std::string::npos) ++flow_finishes;
+    EXPECT_EQ(e.find('\n'), std::string::npos);  // single JSON object
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  EXPECT_EQ(flow_starts, 1);
+  EXPECT_EQ(flow_finishes, 1);
+  // Kernel names are escaped, not embedded raw.
+  EXPECT_NE(events[0].find("\\\"odd\\\""), std::string::npos);
+}
+
+// --------------------------------------- property test: randomized DAGs
+
+class RecorderDagTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, RecorderDagTest,
+                         ::testing::Values("quark", "starpu/eager",
+                                           "starpu/dmda", "ompss/bf"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(RecorderDagTest, RandomizedDagStreamsAreWellFormed) {
+  // Submit randomized DAGs through the full scheduler + simulator stack and
+  // assert the recorded stream is well-formed: every task reaches exactly
+  // one terminal state through legal transitions, every dependence edge
+  // references recorded tasks, per-thread timestamps are monotone (all via
+  // validate_stream), and the assembled lifecycles are complete.
+  for (std::uint64_t seed : {11ull, 23ull, 47ull}) {
+    Rng rng(seed);
+    FlightRecorder& fr = FlightRecorder::global();
+    fr.enable();
+
+    sim::KernelModelSet models;
+    models.set_model("k", std::make_unique<stats::ConstantDist>(25.0));
+    sched::RuntimeConfig config;
+    config.workers = 4;
+    config.seed = seed;
+    auto rt = sched::make_runtime(GetParam(), config);
+    sim::SimEngineOptions options;
+    options.mitigation = sim::RaceMitigation::quiescence;
+    sim::SimEngine engine(models, options);
+    sim::SimSubmitter submitter(*rt, engine);
+
+    constexpr std::size_t kTasks = 64;
+    double objects[12];
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      sched::AccessList accesses;
+      const std::size_t arity = 1 + rng.uniform_index(3);
+      for (std::size_t a = 0; a < arity; ++a) {
+        double* obj = &objects[rng.uniform_index(12)];
+        switch (rng.uniform_index(3)) {
+          case 0: accesses.push_back(sched::in(obj)); break;
+          case 1: accesses.push_back(sched::out(obj)); break;
+          default: accesses.push_back(sched::inout(obj)); break;
+        }
+      }
+      submitter.submit("k", nullptr, std::move(accesses));
+    }
+    submitter.finish();
+    fr.disable();
+
+    flightrec::Stream stream = fr.drain();
+    const auto violations = trace::validate_stream(stream);
+    for (const auto& v : violations) ADD_FAILURE() << v;
+
+    const trace::LifecycleLog log = trace::build_lifecycle(std::move(stream));
+    EXPECT_EQ(log.tasks.size(), kTasks);
+    for (const auto& [id, lc] : log.tasks) {
+      EXPECT_TRUE(lc.finished) << "task " << id;
+      EXPECT_TRUE(lc.returned) << "task " << id;
+      EXPECT_TRUE(lc.has_virtual_times()) << "task " << id;
+      EXPECT_GE(lc.worker, 0) << "task " << id;
+    }
+    for (const auto& [producer, consumer] : log.edges) {
+      EXPECT_TRUE(log.tasks.count(producer));
+      EXPECT_TRUE(log.tasks.count(consumer));
+    }
+    // Quiescence mitigation holds the TEQ ordering, so the auditor must
+    // find a clean virtual timeline.
+    const trace::RaceAudit audit = trace::audit_races(log);
+    EXPECT_EQ(audit.tasks_returned, kTasks);
+    EXPECT_TRUE(audit.violations.empty()) << audit.to_string();
+    // The recorded makespan attribution covers the simulated makespan.
+    const trace::AttributionReport report = trace::attribute_makespan(log);
+    EXPECT_DOUBLE_EQ(report.virtual_makespan_us,
+                     engine.trace().makespan_us());
+    EXPECT_GT(report.chain_length, 0u);
+    EXPECT_LE(report.chain_kernel_us,
+              report.virtual_makespan_us + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tasksim
