@@ -52,9 +52,9 @@ std::string render_dot(const TaskGraph& graph, const DotOptions& options) {
 void write_dot(const TaskGraph& graph, const std::string& path,
                const DotOptions& options) {
   std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
+  if (!out) throw IoError(errno_detail("cannot open for writing: " + path));
   out << render_dot(graph, options);
-  if (!out) throw IoError("write failed: " + path);
+  if (!out) throw IoError(errno_detail("write failed: " + path));
 }
 
 }  // namespace tasksim::dag

@@ -1,5 +1,8 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "linalg/blas_kernels.hpp"
 #include "linalg/tile_cholesky.hpp"
 #include "linalg/tile_lu.hpp"
@@ -35,6 +38,24 @@ Algorithm parse_algorithm(const std::string& name) {
                         "geqrf), lu (alias: getrf))");
 }
 
+void ExperimentConfig::validate() const {
+  TS_REQUIRE(n > 0, "matrix dimension must be positive, got " +
+                        std::to_string(n));
+  TS_REQUIRE(nb > 0,
+             "tile size must be positive, got " + std::to_string(nb));
+  TS_REQUIRE(workers > 0,
+             "worker count must be positive, got " + std::to_string(workers));
+  TS_REQUIRE(real_repeats >= 1, "real_repeats must be at least 1, got " +
+                                    std::to_string(real_repeats));
+  TS_REQUIRE(max_task_retries >= 0,
+             "max_task_retries must be non-negative, got " +
+                 std::to_string(max_task_retries));
+  TS_REQUIRE(std::isfinite(watchdog_timeout_us) && watchdog_timeout_us >= 0.0,
+             "watchdog timeout must be finite and non-negative, got " +
+                 std::to_string(watchdog_timeout_us));
+  if (faults) faults->validate();
+}
+
 double algorithm_flops(const ExperimentConfig& config) {
   switch (config.algorithm) {
     case Algorithm::cholesky: return linalg::flops_cholesky(config.n);
@@ -68,6 +89,12 @@ sched::RuntimeConfig runtime_config(const ExperimentConfig& config,
   // virtual platform replays resembles a dedicated-core one (DESIGN.md §3).
   rc.yield_between_tasks =
       real_execution && config.workers > hardware_threads();
+  rc.max_task_retries = config.max_task_retries;
+  rc.failure_mode = config.failure_mode;
+  if (!real_execution && config.faults) {
+    rc.dispatch_delay_us = config.faults->dispatch_delay_us;
+    rc.bookkeeping_delay_us = config.faults->bookkeeping_delay_us;
+  }
   return rc;
 }
 
@@ -97,6 +124,7 @@ std::size_t recorder_capacity_for(const ExperimentConfig& config) {
 
 RunResult run_real(const ExperimentConfig& config,
                    sim::CalibrationObserver* calibration) {
+  config.validate();
   linalg::TileMatrix a = make_input_matrix(config);
   std::optional<linalg::Matrix> original;
   if (config.verify_numerics) original = a.to_dense();
@@ -148,6 +176,7 @@ RunResult run_real(const ExperimentConfig& config,
 RunResult run_simulated(const ExperimentConfig& config,
                         const sim::KernelModelSet& models,
                         sim::SimEngineOptions engine_options) {
+  config.validate();
   // Data is allocated (the scheduler needs real addresses for dependence
   // analysis) but never initialized or touched: simulated tasks do no work.
   linalg::TileMatrix a(config.n, config.nb);
@@ -166,6 +195,14 @@ RunResult run_simulated(const ExperimentConfig& config,
 
   engine_options.mitigation = config.mitigation;
   engine_options.seed = config.seed ^ 0x5157ULL;
+  std::optional<sim::FaultPlan> plan;
+  if (config.faults) {
+    plan.emplace(*config.faults);
+    engine_options.faults = &*plan;
+  }
+  if (config.watchdog_timeout_us > 0.0) {
+    engine_options.watchdog_timeout_us = config.watchdog_timeout_us;
+  }
   sim::SimEngine engine(models, engine_options);
   sim::SimSubmitter submitter(*runtime, engine);
 
@@ -176,15 +213,26 @@ RunResult run_simulated(const ExperimentConfig& config,
 
   Stopwatch stopwatch;
   RunResult result;
-  if (config.algorithm == Algorithm::cholesky) {
-    linalg::tile_cholesky(a, submitter);
-  } else if (config.algorithm == Algorithm::lu) {
-    linalg::tile_lu_nopiv(a, submitter);
-  } else {
-    linalg::TileMatrix t = linalg::TileMatrix::zeros_like(a);
-    linalg::tile_qr(a, t, submitter);
+  try {
+    if (config.algorithm == Algorithm::cholesky) {
+      linalg::tile_cholesky(a, submitter);
+    } else if (config.algorithm == Algorithm::lu) {
+      linalg::tile_lu_nopiv(a, submitter);
+    } else {
+      linalg::TileMatrix t = linalg::TileMatrix::zeros_like(a);
+      linalg::tile_qr(a, t, submitter);
+    }
+  } catch (...) {
+    // The recorder is process-global: leave it disabled rather than armed
+    // for whatever the caller does next with the error.
+    if (config.record_lifecycle) recorder.disable();
+    throw;
   }
   result.wall_us = stopwatch.elapsed_us();
+  result.failed_attempts = runtime->failed_attempt_count();
+  result.retries = runtime->retry_count();
+  result.poisoned = runtime->poisoned_tasks();
+  std::sort(result.poisoned.begin(), result.poisoned.end());
   if (config.record_lifecycle) {
     recorder.disable();
     result.lifecycle = std::make_shared<trace::LifecycleLog>(

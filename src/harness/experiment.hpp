@@ -17,7 +17,9 @@
 #include <string>
 
 #include "linalg/tile_matrix.hpp"
+#include "sched/runtime.hpp"
 #include "sim/calibration.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/kernel_model.hpp"
 #include "sim/sim_engine.hpp"
 #include "trace/lifecycle.hpp"
@@ -57,6 +59,21 @@ struct ExperimentConfig {
   /// Per-thread flight-recorder ring capacity; 0 derives one from the
   /// task-count estimate for the configured problem.
   std::size_t recorder_capacity = 0;
+  /// Fault injection for simulated runs: when set, run_simulated builds a
+  /// FaultPlan from it and attaches it to the engine.  Ignored by run_real.
+  std::optional<sim::FaultPlanConfig> faults;
+  /// Retry budget per task for injected failures (see
+  /// RuntimeConfig::max_task_retries).
+  int max_task_retries = 3;
+  /// What happens when a task exhausts its retry budget.
+  sched::FailureMode failure_mode = sched::FailureMode::abort;
+  /// Progress watchdog for simulated runs; 0 = disabled (see
+  /// SimEngineOptions::watchdog_timeout_us).
+  double watchdog_timeout_us = 0.0;
+
+  /// Validate the numeric fields (throws InvalidArgument on nonsense:
+  /// non-positive sizes, negative timeouts, out-of-range probabilities).
+  void validate() const;
 };
 
 struct RunResult {
@@ -68,6 +85,10 @@ struct RunResult {
   std::optional<double> residual;  ///< when verify_numerics was on
   /// Simulated runs: how often the quiescence wait hit its timeout.
   std::uint64_t quiescence_timeouts = 0;
+  /// Fault-injection statistics (simulated runs with config.faults set).
+  std::uint64_t failed_attempts = 0;  ///< injected task failures
+  std::uint64_t retries = 0;          ///< retry requeues performed
+  std::vector<sched::TaskId> poisoned;  ///< tasks skipped, sorted by id
   /// Simulated runs with record_lifecycle: the assembled lifecycle log
   /// (shared so RunResult stays cheaply copyable).
   std::shared_ptr<trace::LifecycleLog> lifecycle;

@@ -115,6 +115,20 @@ void print_lifecycle_report(const trace::LifecycleLog& log,
   }
   std::fputs(trace::audit_races(log).to_string().c_str(), stdout);
   std::printf("\n");
+  if (log.failed_attempts > 0 || log.retries > 0 || log.poisoned > 0 ||
+      log.fault_stalls > 0 || log.quiescence_timeouts > 0 ||
+      log.watchdog_stalls > 0) {
+    std::printf(
+        "faults: %llu failed attempts, %llu retries, %llu poisoned, "
+        "%llu injected stalls, %llu quiescence timeouts, %llu watchdog "
+        "stalls\n",
+        static_cast<unsigned long long>(log.failed_attempts),
+        static_cast<unsigned long long>(log.retries),
+        static_cast<unsigned long long>(log.poisoned),
+        static_cast<unsigned long long>(log.fault_stalls),
+        static_cast<unsigned long long>(log.quiescence_timeouts),
+        static_cast<unsigned long long>(log.watchdog_stalls));
+  }
   std::fputs(attribution_table(attribute_makespan(log)).to_string().c_str(),
              stdout);
 }

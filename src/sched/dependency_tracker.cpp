@@ -61,6 +61,11 @@ bool DependencyTracker::register_task(
   std::lock_guard<std::mutex> lock(mutex_);
 
   const auto link = [&](TaskRecord* pred) {
+    // A poisoned producer taints its consumers even when the dependence is
+    // no longer live (the producer already finished — as a skip).
+    if (pred->poisoned.load(std::memory_order_relaxed)) {
+      task->poisoned.store(true, std::memory_order_relaxed);
+    }
     if (add_dependence(pred, task) && new_predecessors != nullptr) {
       new_predecessors->push_back(pred);
     }
@@ -101,10 +106,14 @@ bool DependencyTracker::register_task(
 }
 
 void DependencyTracker::on_complete(TaskRecord* task,
-                                    std::vector<TaskRecord*>& newly_ready) {
+                                    std::vector<TaskRecord*>& newly_ready,
+                                    bool poison_successors) {
   std::lock_guard<std::mutex> lock(mutex_);
   task->state.store(TaskState::finished, std::memory_order_relaxed);
   for (TaskRecord* succ : task->successors) {
+    if (poison_successors) {
+      succ->poisoned.store(true, std::memory_order_relaxed);
+    }
     const int remaining =
         succ->remaining_deps.fetch_sub(1, std::memory_order_relaxed) - 1;
     TS_ASSERT(remaining >= 0, "dependence count underflow");

@@ -33,8 +33,12 @@ class DependencyTracker {
                      std::vector<TaskRecord*>* new_predecessors = nullptr);
 
   /// Mark `task` complete and collect the successors whose dependence count
-  /// dropped to zero into `newly_ready`.
-  void on_complete(TaskRecord* task, std::vector<TaskRecord*>& newly_ready);
+  /// dropped to zero into `newly_ready`.  When `poison_successors` is true
+  /// (the task was skipped after exhausting its retry budget) every
+  /// successor is marked poisoned under the tracker lock before release;
+  /// the poison then propagates transitively as those successors complete.
+  void on_complete(TaskRecord* task, std::vector<TaskRecord*>& newly_ready,
+                   bool poison_successors = false);
 
   /// Forget all hazard state (between algorithm runs).  No tasks may be in
   /// flight.

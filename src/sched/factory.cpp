@@ -8,6 +8,22 @@
 
 namespace tasksim::sched {
 
+const char* to_string(FailureMode mode) {
+  switch (mode) {
+    case FailureMode::abort: return "abort";
+    case FailureMode::poison: return "poison";
+  }
+  return "?";
+}
+
+FailureMode parse_failure_mode(const std::string& text) {
+  const std::string lower = to_lower(text);
+  if (lower == "abort") return FailureMode::abort;
+  if (lower == "poison") return FailureMode::poison;
+  throw InvalidArgument("unknown failure mode: '" + text +
+                        "' (valid: abort, poison)");
+}
+
 std::unique_ptr<Runtime> make_runtime(const std::string& spec,
                                       const RuntimeConfig& config) {
   const auto parts = split(spec, '/');

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sched/observer.hpp"
 #include "sched/task.hpp"
@@ -85,7 +87,29 @@ class Runtime {
     (void)lane;
     return false;
   }
+
+  // --- fault-injection statistics (since the last wait_all) -------------
+  // Zero for runtimes without failure-aware completion.
+
+  /// Task executions that ended in an injected failure.
+  virtual std::uint64_t failed_attempt_count() const { return 0; }
+
+  /// Failed tasks that were requeued for another attempt.
+  virtual std::uint64_t retry_count() const { return 0; }
+
+  /// Ids of tasks skipped because a retry budget was exhausted (their own
+  /// or a transitive producer's), in completion order.
+  virtual std::vector<TaskId> poisoned_tasks() const { return {}; }
 };
+
+/// What the runtime does when a task exhausts its retry budget.
+enum class FailureMode : std::uint8_t {
+  abort,   ///< record a structured TaskFailure; wait_all() rethrows it
+  poison,  ///< skip the task and transitively poison its successors
+};
+
+const char* to_string(FailureMode mode);
+FailureMode parse_failure_mode(const std::string& text);
 
 /// Configuration shared by all runtime implementations.
 struct RuntimeConfig {
@@ -106,6 +130,21 @@ struct RuntimeConfig {
   /// dedicated-core machine would produce — part of the virtual-platform
   /// substitution (DESIGN.md §3).  Off by default.
   bool yield_between_tasks = false;
+
+  // --- failure-aware completion (fault injection, DESIGN.md §faults) -----
+  /// Retries granted to a task whose execution raises TaskFailure before
+  /// FailureMode applies.  0 = first failure is final.
+  int max_task_retries = 3;
+  FailureMode failure_mode = FailureMode::abort;
+  /// Injected real-time delay between claiming a task and starting its
+  /// body — widens the dispatch window in which the task is running but
+  /// not yet in the TEQ, reproducing the paper's Figure-5 race without
+  /// oversubscribing the host.  Debug/ablation knob; 0 = off.
+  double dispatch_delay_us = 0.0;
+  /// Injected real-time delay after a task body returns, before its
+  /// completion bookkeeping runs — stretches the window in which a
+  /// finished task still counts as running.  Debug/ablation knob; 0 = off.
+  double bookkeeping_delay_us = 0.0;
 };
 
 }  // namespace tasksim::sched

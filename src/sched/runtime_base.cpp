@@ -1,12 +1,20 @@
 #include "sched/runtime_base.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "support/error.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/timing.hpp"
 
 namespace tasksim::sched {
+
+namespace {
+void sleep_us(double us) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+}  // namespace
 
 RuntimeBase::RuntimeBase(RuntimeConfig config)
     : config_(config),
@@ -15,8 +23,17 @@ RuntimeBase::RuntimeBase(RuntimeConfig config)
       window_throttled_(metrics::counter("sched.window_throttled")),
       window_wait_us_(metrics::histogram("sched.window_wait_us")),
       ready_depth_(metrics::gauge("sched.ready_pool_depth")),
-      bookkeeping_gauge_(metrics::gauge("sched.bookkeeping_in_flight")) {
+      bookkeeping_gauge_(metrics::gauge("sched.bookkeeping_in_flight")),
+      tasks_failed_(metrics::counter("sched.tasks_failed")),
+      tasks_retried_(metrics::counter("sched.tasks_retried")),
+      tasks_poisoned_(metrics::counter("sched.tasks_poisoned")) {
   TS_REQUIRE(config_.workers >= 1, "runtime needs at least one worker");
+  TS_REQUIRE(config_.max_task_retries >= 0,
+             "max_task_retries must be non-negative");
+  TS_REQUIRE(config_.dispatch_delay_us >= 0.0,
+             "dispatch_delay_us must be non-negative");
+  TS_REQUIRE(config_.bookkeeping_delay_us >= 0.0,
+             "bookkeeping_delay_us must be non-negative");
   spawned_workers_ =
       config_.workers - (config_.master_participates ? 1 : 0);
   executed_per_lane_.reserve(static_cast<std::size_t>(config_.workers));
@@ -64,6 +81,16 @@ void RuntimeBase::remove_observer(TaskObserver* observer) {
   TS_REQUIRE(pending_ == 0, "observers must be removed at a barrier");
   observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
                    observers_.end());
+}
+
+std::vector<TaskId> RuntimeBase::poisoned_tasks() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return poisoned_ids_;
+}
+
+void RuntimeBase::record_fatal(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!fatal_error_) fatal_error_ = std::move(error);
 }
 
 std::vector<std::uint64_t> RuntimeBase::tasks_per_worker() const {
@@ -123,6 +150,15 @@ TaskId RuntimeBase::submit(TaskDescriptor desc) {
       fr.record(flightrec::EventType::window_unblock, flightrec::kNoTask, -1,
                 waited);
     }
+  }
+
+  // First submission of a generation: reset the previous run's fault
+  // statistics so accessors report the generation that is about to run.
+  if (records_.empty()) {
+    failed_attempts_.store(0, std::memory_order_release);
+    retries_.store(0, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    poisoned_ids_.clear();
   }
 
   auto record = std::make_unique<TaskRecord>();
@@ -235,7 +271,43 @@ void RuntimeBase::worker_loop(int lane) {
   }
 }
 
+void RuntimeBase::requeue_for_retry(TaskRecord* task, int lane,
+                                    double cpu_duration_us) {
+  retries_.fetch_add(1, std::memory_order_acq_rel);
+  tasks_retried_.inc();
+  flightrec::FlightRecorder::global().record(
+      flightrec::EventType::task_retry, task->id, lane, 0.0,
+      static_cast<double>(task->attempts.load(std::memory_order_relaxed)));
+
+  // Cover the requeue with the bookkeeping counter so the simulation
+  // safety predicate never observes the task as neither ready nor running.
+  bookkeeping_gauge_.set(static_cast<double>(
+      bookkeeping_.fetch_add(1, std::memory_order_acq_rel) + 1));
+  // Release any per-lane load the policy charged for this attempt (StarPU
+  // dm/dmda) before the re-push charges the next one.
+  on_task_finished(task, lane, cpu_duration_us);
+  task->state.store(TaskState::ready, std::memory_order_release);
+  const int hint = task->desc.locality_hint >= 0 ? task->desc.locality_hint
+                                                 : lane;
+  push_ready(task, hint);
+  ready_depth_.set(static_cast<double>(ready_count()));
+  bookkeeping_gauge_.set(static_cast<double>(
+      bookkeeping_.fetch_sub(1, std::memory_order_acq_rel) - 1));
+  notify_workers();
+
+  // Same ordering constraint as the completion path: lane idle before the
+  // running count drops.
+  lane_executing_[static_cast<std::size_t>(lane)]->store(
+      false, std::memory_order_release);
+  running_.fetch_sub(1, std::memory_order_acq_rel);
+  if (config_.yield_between_tasks) std::this_thread::yield();
+}
+
 void RuntimeBase::execute_task(TaskRecord* task, int lane) {
+  // Injected dispatch latency: the task is counted running but has not yet
+  // sampled the virtual clock — the §V-E race window, widened on demand.
+  if (config_.dispatch_delay_us > 0.0) sleep_us(config_.dispatch_delay_us);
+
   const double start_wall = wall_time_us();
   const double start_cpu = thread_cpu_time_us();
   flightrec::FlightRecorder::global().record(flightrec::EventType::task_start,
@@ -245,11 +317,62 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
   }
 
   TaskContext ctx{task->id, lane, this};
-  if (lane_is_accelerator(lane) && accel_capable(task->desc)) {
-    task->desc.accel_function(ctx);
-  } else {
-    task->desc.function(ctx);
+  ctx.attempt = task->attempts.load(std::memory_order_relaxed);
+  ctx.poisoned = task->poisoned.load(std::memory_order_acquire);
+
+  bool failed = false;
+  try {
+    if (lane_is_accelerator(lane) && accel_capable(task->desc)) {
+      task->desc.accel_function(ctx);
+    } else {
+      task->desc.function(ctx);
+    }
+  } catch (const TaskFailure&) {
+    failed = true;
+    failed_attempts_.fetch_add(1, std::memory_order_acq_rel);
+    tasks_failed_.inc();
+    const int attempts =
+        task->attempts.fetch_add(1, std::memory_order_acq_rel) + 1;
+    flightrec::FlightRecorder::global().record(
+        flightrec::EventType::task_failed, task->id, lane, 0.0,
+        static_cast<double>(attempts - 1));
+    if (attempts <= config_.max_task_retries) {
+      requeue_for_retry(task, lane, thread_cpu_time_us() - start_cpu);
+      return;
+    }
+    // Retry budget exhausted: this completion is final.  Poison so the
+    // successors are skipped; under FailureMode::abort additionally store
+    // the structured error for wait_all() to rethrow after the drain.
+    task->poisoned.store(true, std::memory_order_release);
+    if (config_.failure_mode == FailureMode::abort) {
+      record_fatal(std::make_exception_ptr(TaskFailure(
+          task->id, attempts - 1,
+          "task " + std::to_string(task->id) + " (" + task->desc.kernel +
+              ") failed " + std::to_string(attempts) +
+              " attempts, retry budget " +
+              std::to_string(config_.max_task_retries) + " exhausted")));
+    }
+  } catch (...) {
+    // Non-fault error (e.g. SimulationStalled from the watchdog, or a bug
+    // in a kernel body): abort the run but keep draining so wait_all can
+    // rethrow from a quiesced scheduler instead of deadlocking.
+    failed = true;
+    task->poisoned.store(true, std::memory_order_release);
+    record_fatal(std::current_exception());
   }
+
+  const bool skipped = failed || ctx.poisoned;
+  if (skipped) {
+    tasks_poisoned_.inc();
+    flightrec::FlightRecorder::global().record(
+        flightrec::EventType::task_poisoned, task->id, lane);
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    poisoned_ids_.push_back(task->id);
+  }
+
+  // Injected completion latency: the body has returned but the completion
+  // bookkeeping (and the successor release) has not started yet.
+  if (config_.bookkeeping_delay_us > 0.0) sleep_us(config_.bookkeeping_delay_us);
 
   const double end_wall = wall_time_us();
   const double end_cpu = thread_cpu_time_us();
@@ -269,7 +392,8 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
   on_task_finished(task, lane, end_cpu - start_cpu);
 
   std::vector<TaskRecord*> released;
-  tracker_.on_complete(task, released);
+  tracker_.on_complete(task, released,
+                       task->poisoned.load(std::memory_order_acquire));
   if (!released.empty()) {
     route_released(lane, released);
     notify_workers();
@@ -341,6 +465,16 @@ void RuntimeBase::wait_all() {
   }
   tracker_.reset();
   records_.clear();
+
+  // Fault statistics (failed_attempt_count / poisoned_tasks) survive the
+  // barrier so callers can inspect the failed generation; only the stored
+  // fatal error is consumed here.
+  std::exception_ptr fatal;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    fatal = std::exchange(fatal_error_, nullptr);
+  }
+  if (fatal) std::rethrow_exception(fatal);
 }
 
 }  // namespace tasksim::sched

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -67,6 +68,15 @@ class RuntimeBase : public Runtime {
   /// master participation is on).  Snapshot; useful for the paper's
   /// core-0 observation in Figures 6-7.
   std::vector<std::uint64_t> tasks_per_worker() const;
+
+  // --- fault-injection statistics (reset when a new generation starts) ---
+  std::uint64_t failed_attempt_count() const final {
+    return failed_attempts_.load(std::memory_order_acquire);
+  }
+  std::uint64_t retry_count() const final {
+    return retries_.load(std::memory_order_acquire);
+  }
+  std::vector<TaskId> poisoned_tasks() const final;
 
  protected:
   explicit RuntimeBase(RuntimeConfig config);
@@ -123,6 +133,11 @@ class RuntimeBase : public Runtime {
   TaskRecord* claim_task(int lane);
   void execute_task(TaskRecord* task, int lane);
   void make_ready(TaskRecord* task, int worker_hint);
+  /// Requeue a failed task for another attempt (covered by bookkeeping_
+  /// so the simulation safety predicate never loses sight of it).
+  void requeue_for_retry(TaskRecord* task, int lane, double cpu_duration_us);
+  /// Remember the first fatal error; wait_all() rethrows it after drain.
+  void record_fatal(std::exception_ptr error);
 
   RuntimeConfig config_;
   int spawned_workers_ = 0;
@@ -148,6 +163,12 @@ class RuntimeBase : public Runtime {
   std::atomic<bool> master_active_{false};
   std::atomic<bool> submitter_waiting_{false};
 
+  // Fault-injection state for the current generation.
+  std::atomic<std::uint64_t> failed_attempts_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::vector<TaskId> poisoned_ids_;     // guarded by state_mutex_
+  std::exception_ptr fatal_error_;       // guarded by state_mutex_
+
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> executed_per_lane_;
   std::vector<std::unique_ptr<std::atomic<bool>>> lane_executing_;
   std::vector<std::thread> threads_;
@@ -159,6 +180,9 @@ class RuntimeBase : public Runtime {
   metrics::Histogram window_wait_us_;     ///< µs the submitter was blocked
   metrics::Gauge ready_depth_;            ///< sched.ready_pool_depth
   metrics::Gauge bookkeeping_gauge_;      ///< sched.bookkeeping_in_flight
+  metrics::Counter tasks_failed_;         ///< sched.tasks_failed
+  metrics::Counter tasks_retried_;        ///< sched.tasks_retried
+  metrics::Counter tasks_poisoned_;       ///< sched.tasks_poisoned
 };
 
 }  // namespace tasksim::sched

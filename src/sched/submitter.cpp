@@ -10,7 +10,9 @@ TaskId RealSubmitter::submit(const std::string& kernel,
   TS_REQUIRE(static_cast<bool>(body), "real submission requires a body");
   TaskDescriptor desc;
   desc.kernel = kernel;
-  desc.function = [body = std::move(body)](TaskContext&) { body(); };
+  desc.function = [body = std::move(body)](TaskContext& ctx) {
+    if (!ctx.poisoned) body();  // poisoned tasks are recorded, not run
+  };
   desc.accesses = std::move(accesses);
   desc.priority = priority;
   return runtime_.submit(std::move(desc));
@@ -25,9 +27,11 @@ TaskId RealSubmitter::submit_hetero(const std::string& kernel,
              "hetero submission requires an accelerator body");
   TaskDescriptor desc;
   desc.kernel = kernel;
-  desc.function = [body = std::move(body)](TaskContext&) { body(); };
-  desc.accel_function = [accel_body = std::move(accel_body)](TaskContext&) {
-    accel_body();
+  desc.function = [body = std::move(body)](TaskContext& ctx) {
+    if (!ctx.poisoned) body();
+  };
+  desc.accel_function = [accel_body = std::move(accel_body)](TaskContext& ctx) {
+    if (!ctx.poisoned) accel_body();
   };
   desc.accesses = std::move(accesses);
   desc.priority = priority;

@@ -20,6 +20,12 @@ struct TaskContext {
   TaskId id = 0;
   int worker = -1;        ///< index of the executing worker
   Runtime* runtime = nullptr;
+  int attempt = 0;        ///< 0 on the first try, +1 per fault retry
+  /// True when a producer (or this task itself) exhausted its retry
+  /// budget under FailureMode::poison: the body must not do real work.
+  /// The simulation layer records a zero-length "skipped" trace event;
+  /// real-mode submitters skip the kernel body entirely.
+  bool poisoned = false;
 };
 
 using TaskFunction = std::function<void(TaskContext&)>;
@@ -61,6 +67,11 @@ struct TaskRecord {
   /// dm policy charged to a worker at enqueue time).
   double policy_expected_us = 0.0;
   int policy_lane = -1;
+  /// Fault-injection state: failed attempts so far (the next execution is
+  /// attempt `attempts`), and whether the task was poisoned — either its
+  /// own retry budget ran out or a poisoned producer propagated to it.
+  std::atomic<int> attempts{0};
+  std::atomic<bool> poisoned{false};
 };
 
 }  // namespace tasksim::sched

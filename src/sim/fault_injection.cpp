@@ -1,0 +1,190 @@
+#include "sim/fault_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::sim {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double uniform01(std::uint64_t h) {
+  // 53 mantissa bits, same construction as Rng::uniform().
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void validate_rule(const std::string& kernel, const KernelFaultRule& rule) {
+  const std::string where = " (fault rule for '" + kernel + "')";
+  TS_REQUIRE(rule.fail_probability >= 0.0 && rule.fail_probability <= 1.0,
+             "fail probability must be in [0, 1]" + where);
+  TS_REQUIRE(rule.progress_fraction >= 0.0 && rule.progress_fraction <= 1.0,
+             "progress fraction must be in [0, 1]" + where);
+  TS_REQUIRE(rule.stall_us >= 0.0 && std::isfinite(rule.stall_us),
+             "stall must be a non-negative finite duration" + where);
+  TS_REQUIRE(rule.stall_probability >= 0.0 && rule.stall_probability <= 1.0,
+             "stall probability must be in [0, 1]" + where);
+}
+
+}  // namespace
+
+void FaultPlanConfig::validate() const {
+  for (const auto& [kernel, rule] : rules) {
+    TS_REQUIRE(!kernel.empty(), "fault rule with an empty kernel name");
+    validate_rule(kernel, rule);
+  }
+  TS_REQUIRE(retry_backoff_us >= 0.0 && std::isfinite(retry_backoff_us),
+             "retry backoff must be a non-negative finite duration");
+  TS_REQUIRE(
+      retry_backoff_cap_us >= 0.0 && std::isfinite(retry_backoff_cap_us),
+      "retry backoff cap must be a non-negative finite duration");
+  TS_REQUIRE(dispatch_delay_us >= 0.0 && std::isfinite(dispatch_delay_us),
+             "dispatch delay must be a non-negative finite duration");
+  TS_REQUIRE(
+      bookkeeping_delay_us >= 0.0 && std::isfinite(bookkeeping_delay_us),
+      "bookkeeping delay must be a non-negative finite duration");
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+const KernelFaultRule* FaultPlan::rule_for(const std::string& kernel) const {
+  auto it = config_.rules.find(kernel);
+  if (it == config_.rules.end()) it = config_.rules.find("*");
+  return it == config_.rules.end() ? nullptr : &it->second;
+}
+
+std::uint64_t FaultPlan::hash(const std::string& kernel,
+                              std::uint64_t ordinal,
+                              std::uint64_t salt) const {
+  // SplitMix64 chain: each input perturbs the state, each step scrambles.
+  std::uint64_t state = config_.seed;
+  splitmix64(state);
+  state ^= fnv1a(kernel);
+  splitmix64(state);
+  state ^= ordinal;
+  splitmix64(state);
+  state ^= salt;
+  return splitmix64(state);
+}
+
+std::uint64_t FaultPlan::register_submission(const std::string& kernel) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ordinals_[kernel]++;
+}
+
+FaultDecision FaultPlan::decide(const std::string& kernel,
+                                std::uint64_t ordinal, int attempt) const {
+  FaultDecision decision;
+  const KernelFaultRule* rule = rule_for(kernel);
+  if (rule == nullptr) return decision;
+
+  // Stalls apply per attempt (a retried task can stall again).
+  if (rule->stall_us > 0.0 && rule->stall_probability > 0.0) {
+    const std::uint64_t h =
+        hash(kernel, ordinal, 0x57A11ULL + static_cast<std::uint64_t>(attempt));
+    if (uniform01(h) < rule->stall_probability) {
+      decision.stall_us = rule->stall_us;
+    }
+  }
+
+  // Failures apply to first attempts only: a retry models re-running the
+  // kernel after the transient fault cleared.
+  if (attempt == 0) {
+    bool fail = false;
+    if (rule->fail_every_nth > 0 &&
+        (ordinal + 1) % rule->fail_every_nth == 0) {
+      fail = true;
+    }
+    if (!fail && rule->fail_probability > 0.0) {
+      const std::uint64_t h = hash(kernel, ordinal, 0xFA11ULL);
+      fail = uniform01(h) < rule->fail_probability;
+    }
+    if (fail) {
+      decision.fail = true;
+      decision.progress_fraction = rule->progress_fraction;
+    }
+  }
+  return decision;
+}
+
+std::uint64_t FaultPlan::sample_seed(const std::string& kernel,
+                                     std::uint64_t ordinal,
+                                     int attempt) const {
+  return hash(kernel, ordinal,
+              0x5A3DULL + static_cast<std::uint64_t>(attempt));
+}
+
+double FaultPlan::backoff_us(int attempt) const {
+  if (attempt < 1 || config_.retry_backoff_us <= 0.0) return 0.0;
+  const double backoff =
+      config_.retry_backoff_us * std::ldexp(1.0, attempt - 1);
+  return std::min(backoff, config_.retry_backoff_cap_us);
+}
+
+void FaultPlan::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ordinals_.clear();
+}
+
+FaultPlanConfig parse_fault_spec(const std::string& spec) {
+  FaultPlanConfig config;
+  for (const std::string& entry : split(spec, ';')) {
+    const std::string trimmed = trim(entry);
+    if (trimmed.empty()) continue;
+    const auto colon = trimmed.find(':');
+    TS_REQUIRE(colon != std::string::npos && colon > 0,
+               "fault spec entry '" + trimmed +
+                   "' is not of the form <kernel>:<key>=<value>,...");
+    const std::string kernel = trim(trimmed.substr(0, colon));
+    KernelFaultRule rule;
+    for (const std::string& assignment :
+         split(trimmed.substr(colon + 1), ',')) {
+      const auto eq = assignment.find('=');
+      TS_REQUIRE(eq != std::string::npos,
+                 "fault spec assignment '" + assignment +
+                     "' is not of the form <key>=<value>");
+      const std::string k = trim(assignment.substr(0, eq));
+      const std::string value = trim(assignment.substr(eq + 1));
+      if (k == "p") {
+        rule.fail_probability = parse_double(value);
+      } else if (k == "nth") {
+        const long long nth = parse_int(value);
+        TS_REQUIRE(nth >= 0, "nth must be non-negative in fault spec");
+        rule.fail_every_nth = static_cast<std::uint64_t>(nth);
+      } else if (k == "frac") {
+        rule.progress_fraction = parse_double(value);
+      } else if (k == "stall") {
+        rule.stall_us = parse_double(value);
+      } else if (k == "stallp") {
+        rule.stall_probability = parse_double(value);
+      } else {
+        throw InvalidArgument("unknown fault spec key '" + k +
+                              "' (valid: p, nth, frac, stall, stallp)");
+      }
+    }
+    // A stall rule with a stall duration but no explicit probability means
+    // "always stall".
+    if (rule.stall_us > 0.0 && rule.stall_probability == 0.0) {
+      rule.stall_probability = 1.0;
+    }
+    TS_REQUIRE(config.rules.emplace(kernel, rule).second,
+               "duplicate fault rule for kernel '" + kernel + "'");
+  }
+  config.validate();
+  return config;
+}
+
+}  // namespace tasksim::sim

@@ -1,0 +1,125 @@
+// fault_injection.hpp — seeded, deterministic fault injection.
+//
+// A FaultPlan decides, per simulated task execution, whether the attempt
+// fails, how much virtual progress the failed attempt made before dying,
+// and whether the executing worker stalls (a real-time sleep) first.  The
+// decisions are *pure functions* of (plan seed, kernel class, per-class
+// submission ordinal, attempt index), computed by hashing — never by
+// drawing from a shared RNG stream — so they are independent of thread
+// interleaving: two runs with the same seed and the same submission order
+// fail exactly the same attempts of exactly the same tasks, whatever the
+// host scheduler does.
+//
+// The submission ordinal is assigned at submit time (submission is serial
+// program order, the superscalar model) via register_submission() and
+// captured into the task body, which is what makes the per-task decision
+// stable across retries and across runs.
+//
+// The plan also carries the two scheduler-perturbation knobs used to
+// provoke the paper's Figure-5 race deterministically (dispatch and
+// bookkeeping delays, forwarded into RuntimeConfig by the harness) and
+// the virtual-time retry-backoff schedule applied by the SimEngine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace tasksim::sim {
+
+/// Fault behaviour for one kernel class (or the "*" wildcard).
+struct KernelFaultRule {
+  /// Probability that a first attempt fails (retries never re-fail under
+  /// this rule unless the probability draws them again).
+  double fail_probability = 0.0;
+  /// Fail the first attempt of every nth submission of this class
+  /// (1-based; 0 = disabled).  Combines with fail_probability as OR.
+  std::uint64_t fail_every_nth = 0;
+  /// Fraction of the sampled virtual duration a failed attempt consumes
+  /// before dying (partial progress), in [0, 1].
+  double progress_fraction = 0.5;
+  /// Injected *real* worker stall before the attempt executes…
+  double stall_us = 0.0;
+  /// …with this probability per attempt.
+  double stall_probability = 0.0;
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 0xFA17;
+  /// Kernel class → rule; "*" matches every class without its own rule.
+  std::map<std::string, KernelFaultRule> rules;
+  /// Virtual-time retry backoff: attempt k (k >= 1) waits
+  /// min(retry_backoff_us * 2^(k-1), retry_backoff_cap_us) before its
+  /// kernel time starts.
+  double retry_backoff_us = 50.0;
+  double retry_backoff_cap_us = 10'000.0;
+  /// Real-time scheduler perturbations (race provocation; forwarded to
+  /// RuntimeConfig::dispatch_delay_us / bookkeeping_delay_us).
+  double dispatch_delay_us = 0.0;
+  double bookkeeping_delay_us = 0.0;
+
+  /// TS_REQUIRE every numeric field into its documented domain.
+  void validate() const;
+};
+
+/// What the plan decided for one (kernel, ordinal, attempt).
+struct FaultDecision {
+  bool fail = false;
+  double progress_fraction = 1.0;  ///< meaningful when fail
+  double stall_us = 0.0;           ///< real-time stall before executing
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config);
+
+  const FaultPlanConfig& config() const { return config_; }
+
+  /// True when any rule exists (otherwise the plan never fails anything).
+  bool active() const { return !config_.rules.empty(); }
+
+  /// Assign the next per-class submission ordinal.  Called from the
+  /// (single) submitting thread at submit time; the returned ordinal is
+  /// captured into the task body.
+  std::uint64_t register_submission(const std::string& kernel);
+
+  /// Pure decision function; safe to call concurrently.
+  FaultDecision decide(const std::string& kernel, std::uint64_t ordinal,
+                       int attempt) const;
+
+  /// Deterministic per-(kernel, ordinal, attempt) seed for duration
+  /// sampling, so retried attempts re-sample without touching the shared
+  /// engine RNG (whose draw order is interleaving-dependent).
+  std::uint64_t sample_seed(const std::string& kernel, std::uint64_t ordinal,
+                            int attempt) const;
+
+  /// Virtual backoff before retry attempt `attempt` (>= 1) runs.
+  double backoff_us(int attempt) const;
+
+  /// Forget submission ordinals (between repeated runs, so every run of
+  /// the same task graph sees the same ordinals).
+  void reset();
+
+ private:
+  const KernelFaultRule* rule_for(const std::string& kernel) const;
+  std::uint64_t hash(const std::string& kernel, std::uint64_t ordinal,
+                     std::uint64_t salt) const;
+
+  FaultPlanConfig config_;
+  mutable std::mutex mutex_;  ///< guards ordinals_
+  std::unordered_map<std::string, std::uint64_t> ordinals_;
+};
+
+/// Parse a fault spec string:
+///
+///   "gemm:p=0.05,frac=0.5;*:nth=100,stall=200,stallp=0.1"
+///
+/// Semicolon-separated per-kernel entries; each is `<kernel>:<k>=<v>,...`
+/// with keys p (fail_probability), nth (fail_every_nth), frac
+/// (progress_fraction), stall (stall_us), stallp (stall_probability).
+/// The kernel "*" is the wildcard rule.  The result is validated.
+FaultPlanConfig parse_fault_spec(const std::string& spec);
+
+}  // namespace tasksim::sim

@@ -78,17 +78,17 @@ std::vector<std::string> KernelModelSet::kernel_names() const {
 
 void KernelModelSet::save(const std::string& path) const {
   std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
+  if (!out) throw IoError(errno_detail("cannot open for writing: " + path));
   out << "# tasksim-kernel-models v1\n";
   for (const auto& [kernel, dist] : models_) {
     out << "kernel " << kernel << ' ' << dist->serialize() << "\n";
   }
-  if (!out) throw IoError("write failed: " + path);
+  if (!out) throw IoError(errno_detail("write failed: " + path));
 }
 
 KernelModelSet KernelModelSet::load(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw IoError("cannot open for reading: " + path);
+  if (!in) throw IoError(errno_detail("cannot open for reading: " + path));
   std::string line;
   TS_REQUIRE(static_cast<bool>(std::getline(in, line)) &&
                  starts_with(line, "# tasksim-kernel-models v1"),

@@ -3,6 +3,8 @@
 #include <sched.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <sstream>
 #include <thread>
 
 #include "sched/runtime.hpp"
@@ -41,9 +43,119 @@ SimEngine::SimEngine(const KernelModelSet& models, SimEngineOptions options)
       quiescence_timeouts_(metrics::counter("sim.quiescence_timeouts")),
       quiescence_spins_(metrics::counter("sim.quiescence_spins")),
       quiescence_spin_iters_(metrics::histogram("sim.quiescence_spin_iters")),
+      fault_failures_(metrics::counter("sim.fault.failed_attempts")),
+      fault_stalls_(metrics::counter("sim.fault.stalls")),
+      fault_skips_(metrics::counter("sim.fault.skipped_tasks")),
+      watchdog_stalls_(metrics::counter("sim.watchdog.stalls")),
       executed_base_(executed_.value()),
-      quiescence_timeouts_base_(quiescence_timeouts_.value()) {
+      quiescence_timeouts_base_(quiescence_timeouts_.value()),
+      fault_failures_base_(fault_failures_.value()),
+      fault_stalls_base_(fault_stalls_.value()) {
+  TS_REQUIRE(options_.sleep_us >= 0.0, "sleep_us must be non-negative");
+  TS_REQUIRE(options_.quiescence_timeout_us >= 0.0,
+             "quiescence_timeout_us must be non-negative");
+  TS_REQUIRE(options_.min_duration_us > 0.0,
+             "min_duration_us must be positive");
+  TS_REQUIRE(options_.watchdog_timeout_us >= 0.0,
+             "watchdog_timeout_us must be non-negative");
+  if (options_.watchdog_timeout_us > 0.0 &&
+      options_.mitigation == RaceMitigation::quiescence) {
+    TS_REQUIRE(options_.watchdog_timeout_us > options_.quiescence_timeout_us,
+               "the watchdog timeout must exceed the quiescence timeout, or "
+               "a legitimately timed-out wait would be declared a stall");
+  }
   trace_.set_label("simulated");
+  if (options_.watchdog_timeout_us > 0.0) start_watchdog();
+}
+
+SimEngine::~SimEngine() { watchdog_.stop(); }
+
+std::uint64_t SimEngine::register_submission(const std::string& kernel) {
+  if (options_.faults == nullptr || !options_.faults->active()) return 0;
+  // const_cast-free: ordinal assignment mutates the plan, which the
+  // harness owns; engines hold it const for decide()/sample_seed().
+  return const_cast<FaultPlan*>(options_.faults)->register_submission(kernel);
+}
+
+void SimEngine::start_watchdog() {
+  watchdog_.add_beacon("sim.tasks_executed",
+                       [this] { return executed_.value(); });
+  watchdog_.add_beacon("sim.queue.enters", [] {
+    return metrics::counter("sim.queue.enters").value();
+  });
+  watchdog_.add_beacon("sim.fault.failed_attempts",
+                       [this] { return fault_failures_.value(); });
+  watchdog_.add_beacon("sim.virtual_clock_us", [this] {
+    return static_cast<std::uint64_t>(clock_.now());
+  });
+  watchdog_.add_beacon("sched.tasks_submitted", [] {
+    return metrics::counter("sched.tasks_submitted").value();
+  });
+  watchdog_.add_beacon("sched.tasks_completed", [] {
+    return metrics::counter("sched.tasks_completed").value();
+  });
+  watchdog_.set_activity_gate([this] {
+    return submission_open() || queue_.size() > 0 ||
+           in_flight_.load(std::memory_order_acquire) > 0;
+  });
+  watchdog_.set_stall_handler(
+      [this](const StallReport& report) { on_stall(report); });
+  WatchdogOptions options;
+  options.stall_timeout_us = options_.watchdog_timeout_us;
+  options.poll_interval_us = options_.watchdog_poll_us;
+  watchdog_.start(options);
+}
+
+void SimEngine::on_stall(const StallReport& report) {
+  watchdog_stalls_.inc();
+  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
+  fr.record(flightrec::EventType::watchdog_stall, flightrec::kNoTask, -1,
+            report.stalled_for_us);
+
+  std::ostringstream os;
+  os << report.to_string();
+  os << "engine state: virtual clock " << clock_.now() << " us, "
+     << queue_.size() << " task(s) in the execution queue, "
+     << in_flight_.load(std::memory_order_acquire)
+     << " simulated body(ies) in flight, submission "
+     << (submission_open() ? "open" : "closed") << "\n";
+
+  // Flight-recorder tail: the most recent events are the actionable part
+  // of the dump (who last moved, who everyone is waiting on).  Draining
+  // consumes the stream, but this simulation is being aborted anyway.
+  flightrec::Stream stream = fr.drain();
+  if (!stream.events.empty()) {
+    constexpr std::size_t kTail = 40;
+    const std::size_t first =
+        stream.events.size() > kTail ? stream.events.size() - kTail : 0;
+    os << "flight recorder (last " << stream.events.size() - first << " of "
+       << stream.events.size() << " events):\n";
+    for (std::size_t i = first; i < stream.events.size(); ++i) {
+      const flightrec::Event& ev = stream.events[i];
+      os << "  [" << ev.wall_us << "] " << flightrec::to_string(ev.type);
+      if (ev.task != flightrec::kNoTask) os << " task=" << ev.task;
+      if (ev.worker >= 0) os << " worker=" << ev.worker;
+      os << " a=" << ev.a << " b=" << ev.b << "\n";
+    }
+  }
+
+  TS_LOG_ERROR << "watchdog declared the simulation stalled after "
+               << report.stalled_for_us << " us; cancelling the task "
+               << "execution queue";
+  stalled_.store(true, std::memory_order_release);
+  // Wakes every thread blocked in the queue; they throw SimulationStalled
+  // carrying this report from their own stacks.
+  queue_.cancel(os.str());
+}
+
+void SimEngine::interruptible_stall(double us) {
+  const double until = wall_time_us() + us;
+  while (wall_time_us() < until) {
+    if (stalled_.load(std::memory_order_acquire)) return;
+    const double remaining = until - wall_time_us();
+    ::usleep(static_cast<useconds_t>(
+        std::max(0.0, std::min(remaining, 1000.0))));
+  }
 }
 
 bool SimEngine::scheduler_safe(const sched::TaskContext& ctx) const {
@@ -69,7 +181,29 @@ bool SimEngine::scheduler_safe(const sched::TaskContext& ctx) const {
          static_cast<int>(in_queue) == rt->running_task_count();
 }
 
-double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kernel) {
+double SimEngine::execute(sched::TaskContext& ctx,
+                          const std::string& base_kernel,
+                          std::uint64_t fault_ordinal) {
+  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
+
+  // Poisoned fast path: a producer (or this task itself) exhausted its
+  // retry budget.  Record the skip on the virtual trace — zero-length, at
+  // the current clock — and return without touching clock or queue.
+  if (ctx.poisoned) {
+    fault_skips_.inc();
+    const double now = clock_.now();
+    trace_.record(ctx.id, base_kernel + "!skipped", ctx.worker, now, now);
+    return 0.0;
+  }
+
+  struct InFlight {
+    std::atomic<int>& count;
+    explicit InFlight(std::atomic<int>& c) : count(c) {
+      count.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~InFlight() { count.fetch_sub(1, std::memory_order_acq_rel); }
+  } in_flight_guard(in_flight_);
+
   // Accelerator lanes draw from the "<kernel>@accel" model when one exists
   // (heterogeneous extension; falls back to the CPU model otherwise).
   std::string kernel = base_kernel;
@@ -78,14 +212,38 @@ double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kerne
     if (models_.has_model(accel_key)) kernel = accel_key;
   }
 
+  // Fault plan: decisions are pure functions of (seed, kernel, submission
+  // ordinal, attempt) — identical across runs whatever the interleaving.
+  const FaultPlan* plan = options_.faults;
+  const bool plan_active = plan != nullptr && plan->active();
+  FaultDecision decision;
+  if (plan_active) {
+    decision = plan->decide(base_kernel, fault_ordinal, ctx.attempt);
+    if (decision.stall_us > 0.0) {
+      fault_stalls_.inc();
+      fr.record(flightrec::EventType::fault_stall, ctx.id, ctx.worker,
+                decision.stall_us);
+      interruptible_stall(decision.stall_us);
+    }
+  }
+  if (stalled_.load(std::memory_order_acquire)) {
+    throw SimulationStalled("simulation cancelled by the watchdog",
+                            "see the stall report on the first failure");
+  }
+
   // 1. Virtual start time: the clock only advances when simulated tasks
   // return, so "now" is the time the executing worker became free.
   const double start = clock_.now();
 
-  // 2. Virtual duration from the kernel's fitted model; the first
-  // invocation per (worker, kernel) uses the startup model when provided.
+  // 2. Virtual duration.  Under an active fault plan the sample comes
+  // from a deterministic per-(task, attempt) stream so that retries and
+  // thread interleaving cannot shift anyone else's draws; otherwise from
+  // the shared engine RNG with the startup-model logic.
   double duration;
-  {
+  if (plan_active) {
+    Rng attempt_rng(plan->sample_seed(base_kernel, fault_ordinal, ctx.attempt));
+    duration = models_.sample(kernel, attempt_rng, options_.min_duration_us);
+  } else {
     std::lock_guard<std::mutex> lock(rng_mutex_);
     const KernelModelSet* source = &models_;
     if (options_.startup_models != nullptr &&
@@ -95,52 +253,75 @@ double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kerne
     }
     duration = source->sample(kernel, rng_, options_.min_duration_us);
   }
-  const double end = start + duration;
 
-  // 3. Enter the Task Execution Queue and wait to become the front.
+  // Retry attempts pay the exponential virtual-time backoff penalty, and a
+  // failed attempt only progresses a fraction of its sampled duration
+  // before dying; both are part of the virtual span committed to the TEQ.
+  const double backoff = plan_active ? plan->backoff_us(ctx.attempt) : 0.0;
+  const double progress =
+      decision.fail ? duration * decision.progress_fraction : duration;
+  const double virtual_span = backoff + progress;
+  const double end = start + virtual_span;
+
+  // 3. Enter the Task Execution Queue and wait to become the front.  The
+  // failed attempt travels the same path as a success: its partial
+  // progress must be committed to the virtual timeline in completion
+  // order, or the retry would be scheduled against a corrupted clock.
   const TaskExecQueue::Ticket ticket = queue_.enter(end);
-  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
-  fr.record(flightrec::EventType::teq_enter, ctx.id, ctx.worker, start, end,
-            ticket.seq);
+  try {
+    fr.record(flightrec::EventType::teq_enter, ctx.id, ctx.worker, start, end,
+              ticket.seq);
 
-  if (options_.mitigation == RaceMitigation::yield_sleep) {
-    // Give the scheduler a chance to finish bookkeeping that could insert
-    // an earlier-completing task (paper §V-E's portable mitigation).
-    sched_yield();
-    ::usleep(static_cast<useconds_t>(options_.sleep_us));
-  }
+    if (options_.mitigation == RaceMitigation::yield_sleep) {
+      // Give the scheduler a chance to finish bookkeeping that could insert
+      // an earlier-completing task (paper §V-E's portable mitigation).
+      sched_yield();
+      ::usleep(static_cast<useconds_t>(options_.sleep_us));
+    }
 
-  queue_.wait_front(ticket);
-  fr.record(flightrec::EventType::teq_front, ctx.id, ctx.worker, start, end,
-            ticket.seq);
+    queue_.wait_front(ticket);
+    fr.record(flightrec::EventType::teq_front, ctx.id, ctx.worker, start, end,
+              ticket.seq);
 
-  if (options_.mitigation == RaceMitigation::quiescence) {
-    const double wait_start = wall_time_us();
-    std::uint64_t spins = 0;
-    while (!scheduler_safe(ctx)) {
-      if (wall_time_us() - wait_start > options_.quiescence_timeout_us) {
-        quiescence_timeouts_.inc();
-        TS_LOG_WARN << "quiescence wait timed out for kernel " << kernel
-                    << " (task " << ctx.id << ")";
-        break;
+    if (options_.mitigation == RaceMitigation::quiescence) {
+      const double wait_start = wall_time_us();
+      std::uint64_t spins = 0;
+      while (!scheduler_safe(ctx)) {
+        const double waited = wall_time_us() - wait_start;
+        if (waited > options_.quiescence_timeout_us) {
+          quiescence_timeouts_.inc();
+          fr.record(flightrec::EventType::quiescence_timeout, ctx.id,
+                    ctx.worker, end, waited);
+          TS_LOG_WARN << "quiescence wait timed out for kernel " << kernel
+                      << " (task " << ctx.id << ", virtual completion " << end
+                      << " us, waited " << waited << " us)";
+          break;
+        }
+        ++spins;
+        std::this_thread::yield();
+        // A later-arriving task may have displaced us from the front while
+        // we yielded; re-establish the ordering invariant before
+        // re-checking.
+        queue_.wait_front(ticket);
       }
-      ++spins;
-      std::this_thread::yield();
-      // A later-arriving task may have displaced us from the front while we
-      // yielded; re-establish the ordering invariant before re-checking.
-      queue_.wait_front(ticket);
+      if (spins > 0) {
+        quiescence_spins_.inc(spins);
+        quiescence_spin_iters_.observe(static_cast<double>(spins));
+        fr.record(flightrec::EventType::quiescence_spin, ctx.id, ctx.worker,
+                  static_cast<double>(spins));
+      }
     }
-    if (spins > 0) {
-      quiescence_spins_.inc(spins);
-      quiescence_spin_iters_.observe(static_cast<double>(spins));
-      fr.record(flightrec::EventType::quiescence_spin, ctx.id, ctx.worker,
-                static_cast<double>(spins));
-    }
+  } catch (...) {
+    // Cancelled while waiting (watchdog): release the slot so the other
+    // waiters' front checks stay meaningful during the drain.
+    queue_.leave(ticket);
+    throw;
   }
 
   // 4. Record the event, advance the clock, release the queue slot, and
-  // return to the scheduler "as if" the kernel had computed.
-  trace_.record(ctx.id, kernel, ctx.worker, start, end);
+  // return to the scheduler "as if" the kernel had computed (or died).
+  trace_.record(ctx.id, decision.fail ? kernel + "!failed" : kernel,
+                ctx.worker, start, end);
   fr.record(flightrec::EventType::clock_advance, ctx.id, ctx.worker, end);
   clock_.advance_to(end);
   executed_.inc();
@@ -149,7 +330,15 @@ double SimEngine::execute(sched::TaskContext& ctx, const std::string& base_kerne
   // actually returned — the ordering the race auditor checks.
   fr.record(flightrec::EventType::task_return, ctx.id, ctx.worker, end);
   queue_.leave(ticket);
-  return duration;
+
+  if (decision.fail) {
+    fault_failures_.inc();
+    throw TaskFailure(ctx.id, ctx.attempt,
+                      "injected failure: kernel " + base_kernel + ", task " +
+                          std::to_string(ctx.id) + ", attempt " +
+                          std::to_string(ctx.attempt));
+  }
+  return virtual_span;
 }
 
 void SimEngine::reset() {
@@ -158,7 +347,12 @@ void SimEngine::reset() {
   trace_.clear();
   executed_base_ = executed_.value();
   quiescence_timeouts_base_ = quiescence_timeouts_.value();
+  fault_failures_base_ = fault_failures_.value();
+  fault_stalls_base_ = fault_stalls_.value();
   warmed_up_.clear();
+  // Re-arm after a watchdog cancellation so the engine is reusable.
+  stalled_.store(false, std::memory_order_release);
+  if (queue_.cancelled()) queue_.clear_cancel();
 }
 
 }  // namespace tasksim::sim

@@ -34,11 +34,13 @@
 #include <utility>
 
 #include "sched/task.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/kernel_model.hpp"
 #include "sim/sim_clock.hpp"
 #include "sim/task_exec_queue.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
+#include "support/watchdog.hpp"
 #include "trace/trace.hpp"
 
 namespace tasksim::sim {
@@ -66,15 +68,42 @@ struct SimEngineOptions {
   /// fall back to the steady-state model.  Not owned; must outlive the
   /// engine.
   const KernelModelSet* startup_models = nullptr;
+  /// Optional fault plan (not owned; must outlive the engine).  When set
+  /// and active, kernel durations are sampled from deterministic
+  /// per-(task, attempt) streams — independent of thread interleaving —
+  /// and the plan's failure/stall decisions apply.  Startup models are
+  /// ignored under an active plan.
+  const FaultPlan* faults = nullptr;
+  /// Progress watchdog: declare the simulation stalled when no beacon
+  /// (executed tasks, TEQ enters, virtual clock, scheduler completions)
+  /// moves for this long while work is outstanding.  0 = disabled.  Must
+  /// exceed quiescence_timeout_us under the quiescence mitigation, or a
+  /// legitimate timed-out wait would be misread as a stall.
+  double watchdog_timeout_us = 0.0;
+  double watchdog_poll_us = 10'000.0;
 };
 
 class SimEngine {
  public:
   /// `models` must outlive the engine.
   SimEngine(const KernelModelSet& models, SimEngineOptions options = {});
+  ~SimEngine();
 
-  /// The simulated kernel body.  Returns the virtual duration used.
-  double execute(sched::TaskContext& ctx, const std::string& kernel);
+  /// The simulated kernel body.  Returns the virtual duration used (0 for
+  /// a poisoned task, which records a zero-length "skipped" trace event
+  /// and touches neither the clock nor the queue).  `fault_ordinal` is
+  /// the per-kernel-class submission ordinal from register_submission();
+  /// it keys the fault plan's deterministic decisions.  Throws
+  /// TaskFailure when the plan fails this attempt (after committing the
+  /// failed attempt's partial progress to the virtual timeline) and
+  /// SimulationStalled when the watchdog cancelled the simulation.
+  double execute(sched::TaskContext& ctx, const std::string& kernel,
+                 std::uint64_t fault_ordinal = 0);
+
+  /// Assign the submission ordinal for a task of `kernel` (serial,
+  /// submit-time; see FaultPlan::register_submission).  Returns 0 when no
+  /// fault plan is configured.
+  std::uint64_t register_submission(const std::string& kernel);
 
   /// Virtual time reached so far (== predicted makespan after finish).
   double virtual_time_us() const { return clock_.now(); }
@@ -97,6 +126,19 @@ class SimEngine {
     return quiescence_timeouts_.value() - quiescence_timeouts_base_;
   }
 
+  /// Injected failures / stalls this engine produced (same baseline
+  /// convention as executed_tasks()).
+  std::uint64_t failed_attempts() const {
+    return fault_failures_.value() - fault_failures_base_;
+  }
+  std::uint64_t fault_stalls() const {
+    return fault_stalls_.value() - fault_stalls_base_;
+  }
+
+  /// True once the watchdog declared this simulation stalled.  The next
+  /// execute() on any worker throws SimulationStalled carrying the dump.
+  bool stalled() const { return stalled_.load(std::memory_order_acquire); }
+
   /// Submission gate for the quiescence mitigation.  While open (and the
   /// submitter is not blocked on the task window), a front task must wait:
   /// a not-yet-submitted task could otherwise be placed later on the
@@ -115,6 +157,11 @@ class SimEngine {
 
  private:
   bool scheduler_safe(const sched::TaskContext& ctx) const;
+  void start_watchdog();
+  void on_stall(const StallReport& report);
+  /// Real-time sleep in small steps, aborting early when the watchdog
+  /// declares a stall (so injected worker stalls cannot wedge the drain).
+  void interruptible_stall(double us);
 
   const KernelModelSet& models_;
   SimEngineOptions options_;
@@ -127,14 +174,26 @@ class SimEngine {
   std::set<std::pair<int, std::string>> warmed_up_;
   std::atomic<bool> submission_open_{false};
 
+  Watchdog watchdog_;
+  std::atomic<bool> stalled_{false};
+  /// Simulated bodies currently inside execute() (keeps the watchdog's
+  /// activity gate honest for tasks stalled before entering the queue).
+  std::atomic<int> in_flight_{0};
+
   // Instrumentation (global metrics registry; see DESIGN.md §2).  The
   // *_base_ values anchor the per-engine accessors above.
   metrics::Counter executed_;             ///< sim.tasks_executed
   metrics::Counter quiescence_timeouts_;  ///< sim.quiescence_timeouts
   metrics::Counter quiescence_spins_;     ///< sim.quiescence_spins
   metrics::Histogram quiescence_spin_iters_;  ///< per-wait spin iterations
+  metrics::Counter fault_failures_;       ///< sim.fault.failed_attempts
+  metrics::Counter fault_stalls_;         ///< sim.fault.stalls
+  metrics::Counter fault_skips_;          ///< sim.fault.skipped_tasks
+  metrics::Counter watchdog_stalls_;      ///< sim.watchdog.stalls
   std::uint64_t executed_base_ = 0;
   std::uint64_t quiescence_timeouts_base_ = 0;
+  std::uint64_t fault_failures_base_ = 0;
+  std::uint64_t fault_stalls_base_ = 0;
 };
 
 }  // namespace tasksim::sim

@@ -13,8 +13,12 @@ sched::TaskId SimSubmitter::submit(const std::string& kernel,
   desc.kernel = kernel;
   desc.accesses = std::move(accesses);
   desc.priority = priority;
-  desc.function = [this, kernel](sched::TaskContext& ctx) {
-    engine_.execute(ctx, kernel);
+  // The fault ordinal is assigned here, at submit time: submission is
+  // serial program order, so the ordinal — and with it every fault
+  // decision — is independent of worker interleaving.
+  const std::uint64_t ordinal = engine_.register_submission(kernel);
+  desc.function = [this, kernel, ordinal](sched::TaskContext& ctx) {
+    engine_.execute(ctx, kernel, ordinal);
   };
   return runtime_.submit(std::move(desc));
 }
@@ -31,8 +35,9 @@ sched::TaskId SimSubmitter::submit_hetero(const std::string& kernel,
   desc.kernel = kernel;
   desc.accesses = std::move(accesses);
   desc.priority = priority;
-  auto simulate = [this, kernel](sched::TaskContext& ctx) {
-    engine_.execute(ctx, kernel);
+  const std::uint64_t ordinal = engine_.register_submission(kernel);
+  auto simulate = [this, kernel, ordinal](sched::TaskContext& ctx) {
+    engine_.execute(ctx, kernel, ordinal);
   };
   desc.function = simulate;
   desc.accel_function = simulate;

@@ -13,6 +13,9 @@ TaskExecQueue::TaskExecQueue()
 
 TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (cancelled_) {
+    throw SimulationStalled("task execution queue cancelled", cancel_reason_);
+  }
   Ticket ticket{completion_us, next_seq_++};
   // A later-arriving entry with an earlier completion time displaces the
   // previous front, whose waiter must re-block (the §V-E race surface).
@@ -39,10 +42,18 @@ TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
 void TaskExecQueue::wait_front(const Ticket& ticket) const {
   std::unique_lock<std::mutex> lock(mutex_);
   TS_REQUIRE(entries_.count(key(ticket)) == 1, "ticket not in queue");
+  if (cancelled_) {
+    throw SimulationStalled("task execution queue cancelled", cancel_reason_);
+  }
   if (*entries_.begin() == key(ticket)) return;
   const double blocked_from = wall_time_us();
-  cv_.wait(lock, [&] { return *entries_.begin() == key(ticket); });
+  cv_.wait(lock, [&] {
+    return cancelled_ || *entries_.begin() == key(ticket);
+  });
   wait_us_.observe(wall_time_us() - blocked_from);
+  if (cancelled_) {
+    throw SimulationStalled("task execution queue cancelled", cancel_reason_);
+  }
 }
 
 bool TaskExecQueue::is_front(const Ticket& ticket) const {
@@ -62,6 +73,28 @@ void TaskExecQueue::leave(const Ticket& ticket) {
 std::size_t TaskExecQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+void TaskExecQueue::cancel(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cancelled_) return;
+    cancelled_ = true;
+    cancel_reason_ = std::move(reason);
+  }
+  cv_.notify_all();
+}
+
+bool TaskExecQueue::cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
+}
+
+void TaskExecQueue::clear_cancel() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TS_REQUIRE(entries_.empty(), "cannot re-arm a cancelled queue in use");
+  cancelled_ = false;
+  cancel_reason_.clear();
 }
 
 }  // namespace tasksim::sim

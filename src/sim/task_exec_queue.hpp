@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <mutex>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "support/metrics.hpp"
@@ -48,6 +49,17 @@ class TaskExecQueue {
   /// the simulation library right now).
   std::size_t size() const;
 
+  /// Cancel the queue: wake every waiter and make wait_front (and further
+  /// enter calls) throw SimulationStalled carrying `reason`.  Called by
+  /// the watchdog's stall handler to turn a deadlocked simulation into a
+  /// typed error on the blocked threads' own stacks.
+  void cancel(std::string reason);
+
+  bool cancelled() const;
+
+  /// Re-arm after a cancellation (between runs; the queue must be empty).
+  void clear_cancel();
+
  private:
   using Key = std::pair<double, std::uint64_t>;
   static Key key(const Ticket& t) { return {t.completion_us, t.seq}; }
@@ -56,6 +68,8 @@ class TaskExecQueue {
   mutable std::condition_variable cv_;
   std::set<Key> entries_;
   std::uint64_t next_seq_ = 0;
+  bool cancelled_ = false;
+  std::string cancel_reason_;
 
   // Instrumentation (global metrics registry; see DESIGN.md §2).
   metrics::Counter enters_;         ///< sim.queue.enters

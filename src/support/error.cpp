@@ -1,6 +1,20 @@
 #include "support/error.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <sstream>
+
+namespace tasksim {
+
+std::string errno_detail(const std::string& context) {
+  const int saved = errno;
+  std::string detail = context;
+  detail += ": ";
+  detail += (saved != 0) ? std::strerror(saved) : "unknown error";
+  return detail;
+}
+
+}  // namespace tasksim
 
 namespace tasksim::detail {
 

@@ -7,8 +7,10 @@
 // `tasksim::InvalidArgument`.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace tasksim {
 
@@ -37,6 +39,42 @@ class IoError : public Error {
  public:
   explicit IoError(const std::string& what) : Error(what) {}
 };
+
+/// Thrown by a simulated task body when the active fault plan fails the
+/// attempt.  Caught by RuntimeBase::execute_task, which retries the task
+/// with virtual-time backoff or — once the retry budget is exhausted —
+/// poisons its successors / aborts the run depending on FailureMode.
+class TaskFailure : public Error {
+ public:
+  TaskFailure(std::uint64_t task_id, int attempt, const std::string& what)
+      : Error(what), task_id_(task_id), attempt_(attempt) {}
+
+  std::uint64_t task_id() const { return task_id_; }
+  int attempt() const { return attempt_; }
+
+ private:
+  std::uint64_t task_id_;
+  int attempt_;
+};
+
+/// Thrown when the progress watchdog declares the simulation stalled: no
+/// beacon (virtual clock, TEQ front, completed/pending counts) moved for
+/// the configured window while work was still outstanding.  `report()`
+/// carries the diagnostic dump (beacon values, engine state, flight-
+/// recorder tail) assembled at stall time.
+class SimulationStalled : public Error {
+ public:
+  SimulationStalled(const std::string& what, std::string report)
+      : Error(what), report_(std::move(report)) {}
+
+  const std::string& report() const { return report_; }
+
+ private:
+  std::string report_;
+};
+
+/// "<context>: <strerror(errno)>" — for IoError messages from file paths.
+std::string errno_detail(const std::string& context);
 
 namespace detail {
 [[noreturn]] void throw_invalid_argument(const char* expr, const char* file,

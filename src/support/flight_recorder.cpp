@@ -26,6 +26,12 @@ const char* to_string(EventType type) {
     case EventType::sched_steal: return "sched_steal";
     case EventType::sched_lane_commit: return "sched_lane_commit";
     case EventType::sched_immediate: return "sched_immediate";
+    case EventType::task_failed: return "task_failed";
+    case EventType::task_retry: return "task_retry";
+    case EventType::task_poisoned: return "task_poisoned";
+    case EventType::fault_stall: return "fault_stall";
+    case EventType::quiescence_timeout: return "quiescence_timeout";
+    case EventType::watchdog_stall: return "watchdog_stall";
   }
   return "?";
 }

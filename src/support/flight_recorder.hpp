@@ -66,6 +66,18 @@ enum class EventType : std::uint8_t {
   sched_lane_commit, ///< starpu dm/dmda: task committed to a lane;
                      ///< worker = lane, a = expected µs charged
   sched_immediate,   ///< ompss: task taken via the immediate-successor slot
+  // --- fault injection and resilience ------------------------------------
+  task_failed,       ///< injected failure; a = virtual completion of the
+                     ///< failed partial attempt, b = attempt index
+  task_retry,        ///< runtime requeued a failed task; a = backoff µs
+                     ///< (virtual), b = attempt index of the next try
+  task_poisoned,     ///< task skipped: its retry budget (other = failing
+                     ///< ancestor id) or a producer's was exhausted
+  fault_stall,       ///< injected worker stall; a = stall µs (real)
+  quiescence_timeout,///< quiescence wait gave up; a = virtual completion
+                     ///< the task was waiting to return, b = µs waited
+  watchdog_stall,    ///< watchdog declared the run stalled; a = µs since
+                     ///< the last beacon movement
 };
 
 const char* to_string(EventType type);

@@ -1,6 +1,7 @@
 #include "support/strings.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -117,6 +118,8 @@ double parse_double(const std::string& text) {
   const double value = std::strtod(text.c_str(), &end);
   TS_REQUIRE(end != text.c_str() && *end == '\0' && errno == 0,
              "not a number: '" + text + "'");
+  TS_REQUIRE(std::isfinite(value),
+             "not a finite number: '" + text + "'");
   return value;
 }
 

@@ -1,0 +1,124 @@
+#include "support/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/timing.hpp"
+
+namespace tasksim {
+
+std::string StallReport::to_string() const {
+  std::ostringstream os;
+  os << "simulation stalled: no beacon moved for "
+     << static_cast<long long>(stalled_for_us) << " us with work outstanding\n";
+  os << "beacons at stall time:\n";
+  for (const auto& beacon : beacons) {
+    os << "  " << beacon.name << " = " << beacon.value << "\n";
+  }
+  if (!state_dump.empty()) os << state_dump;
+  return os.str();
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::add_beacon(std::string name, BeaconFn fn) {
+  TS_REQUIRE(!running(), "cannot add a beacon while the watchdog runs");
+  TS_REQUIRE(fn != nullptr, "beacon function must not be null");
+  beacons_.emplace_back(std::move(name), std::move(fn));
+}
+
+void Watchdog::set_activity_gate(std::function<bool()> gate) {
+  TS_REQUIRE(!running(), "cannot set the gate while the watchdog runs");
+  gate_ = std::move(gate);
+}
+
+void Watchdog::set_state_dump(std::function<std::string()> dump) {
+  TS_REQUIRE(!running(), "cannot set the dump while the watchdog runs");
+  dump_ = std::move(dump);
+}
+
+void Watchdog::set_stall_handler(
+    std::function<void(const StallReport&)> handler) {
+  TS_REQUIRE(!running(), "cannot set the handler while the watchdog runs");
+  handler_ = std::move(handler);
+}
+
+void Watchdog::start(const WatchdogOptions& options) {
+  TS_REQUIRE(options.stall_timeout_us > 0.0,
+             "watchdog stall timeout must be positive");
+  TS_REQUIRE(!running(), "watchdog already running");
+  TS_REQUIRE(!beacons_.empty(), "watchdog needs at least one beacon");
+  options_ = options;
+  options_.poll_interval_us = std::max(options_.poll_interval_us, 100.0);
+  stalled_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+void Watchdog::stop() {
+  if (!running_.load(std::memory_order_acquire) && !thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+std::vector<StallReport::Beacon> Watchdog::read_beacons() const {
+  std::vector<StallReport::Beacon> out;
+  out.reserve(beacons_.size());
+  for (const auto& [name, fn] : beacons_) out.push_back({name, fn()});
+  return out;
+}
+
+void Watchdog::poll_loop() {
+  std::vector<std::uint64_t> last(beacons_.size(), 0);
+  for (std::size_t i = 0; i < beacons_.size(); ++i) last[i] = beacons_[i].second();
+  double frozen_since = wall_time_us();
+  bool fired = false;
+
+  const auto interval = std::chrono::microseconds(
+      static_cast<long long>(options_.poll_interval_us));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+
+    const double now = wall_time_us();
+    bool moved = false;
+    for (std::size_t i = 0; i < beacons_.size(); ++i) {
+      const std::uint64_t value = beacons_[i].second();
+      if (value != last[i]) {
+        last[i] = value;
+        moved = true;
+      }
+    }
+    const bool active = gate_ ? gate_() : true;
+    if (moved || !active) {
+      frozen_since = now;
+      fired = false;  // beacons moving again re-arms per-start one-shot…
+    } else if (!fired && now - frozen_since >= options_.stall_timeout_us) {
+      fired = true;  // …but declare at most one stall per frozen window
+      stalled_.store(true, std::memory_order_release);
+      StallReport report;
+      report.stalled_for_us = now - frozen_since;
+      report.wall_us = now;
+      report.beacons = read_beacons();
+      if (dump_) report.state_dump = dump_();
+      if (handler_) handler_(report);
+    }
+
+    lock.lock();
+  }
+}
+
+}  // namespace tasksim

@@ -1,0 +1,113 @@
+// watchdog.hpp — progress watchdog for long-running simulations.
+//
+// A Watchdog polls a set of named *beacons* — cheap monotone counters such
+// as "virtual clock ticks", "TEQ front changes", or "tasks completed" — on
+// a background thread.  As long as any beacon moves between polls, or the
+// *activity gate* reports the monitored system idle, the watchdog stays
+// quiet.  When every beacon is frozen while the gate still reports
+// outstanding work for longer than the stall timeout, the watchdog
+// assembles a StallReport (beacon values, how long they have been frozen,
+// and any extra state the owner's dump callback contributes) and invokes
+// the stall handler exactly once.
+//
+// The watchdog never throws from its own thread: the handler typically
+// cancels the blocked wait primitives (e.g. TaskExecQueue::cancel), and
+// the threads woken by that cancellation raise the typed
+// `SimulationStalled` error on their own stacks, carrying the report.
+//
+// Determinism note: the watchdog observes real time only; it never feeds
+// back into the virtual timeline, so an enabled-but-silent watchdog cannot
+// perturb simulation results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tasksim {
+
+/// Snapshot handed to the stall handler.
+struct StallReport {
+  double stalled_for_us = 0.0;  ///< time since the last beacon movement
+  double wall_us = 0.0;         ///< wall clock when the stall was declared
+  struct Beacon {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  std::vector<Beacon> beacons;  ///< frozen values at declaration time
+  std::string state_dump;       ///< owner-provided state (may be empty)
+
+  /// Human-readable multi-line rendering.
+  std::string to_string() const;
+};
+
+struct WatchdogOptions {
+  /// Declare a stall after this long without beacon movement while the
+  /// activity gate reports outstanding work.  Must be > 0 to start().
+  double stall_timeout_us = 0.0;
+  /// Beacon poll period.  Clamped to at least 100 µs.
+  double poll_interval_us = 10'000.0;
+};
+
+class Watchdog {
+ public:
+  using BeaconFn = std::function<std::uint64_t()>;
+
+  Watchdog() = default;
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Register a named progress beacon.  Only callable before start().
+  void add_beacon(std::string name, BeaconFn fn);
+
+  /// The gate tells the watchdog whether the monitored system *should* be
+  /// making progress.  While it returns false (system idle / between
+  /// runs), frozen beacons are expected and the stall clock resets.
+  /// Defaults to "always active".  Only callable before start().
+  void set_activity_gate(std::function<bool()> gate);
+
+  /// Optional extra state dump invoked (on the watchdog thread) when a
+  /// stall is declared; its return value lands in StallReport::state_dump.
+  /// Only callable before start().
+  void set_state_dump(std::function<std::string()> dump);
+
+  /// Invoked exactly once per start() when a stall is declared.  Runs on
+  /// the watchdog thread; must not throw.  Only callable before start().
+  void set_stall_handler(std::function<void(const StallReport&)> handler);
+
+  /// Launch the poll thread.  Requires stall_timeout_us > 0.
+  void start(const WatchdogOptions& options);
+
+  /// Stop and join the poll thread.  Idempotent; safe if never started.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// True once a stall has been declared (sticky until the next start()).
+  bool stalled() const { return stalled_.load(std::memory_order_acquire); }
+
+ private:
+  void poll_loop();
+  std::vector<StallReport::Beacon> read_beacons() const;
+
+  WatchdogOptions options_;
+  std::vector<std::pair<std::string, BeaconFn>> beacons_;
+  std::function<bool()> gate_;
+  std::function<std::string()> dump_;
+  std::function<void(const StallReport&)> handler_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stalled_{false};
+  bool stop_requested_ = false;  ///< guarded by mutex_
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace tasksim

@@ -142,9 +142,9 @@ std::string render_chrome_json(const Trace& trace) {
 
 void write_chrome_json(const Trace& trace, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
+  if (!out) throw IoError(errno_detail("cannot open for writing: " + path));
   out << render_chrome_json(trace);
-  if (!out) throw IoError("write failed: " + path);
+  if (!out) throw IoError(errno_detail("write failed: " + path));
 }
 
 }  // namespace tasksim::trace

@@ -54,8 +54,11 @@ LifecycleLog build_lifecycle(flightrec::Stream stream) {
         break;
       case EventType::teq_enter:
         set_if_unset(lc->teq_enter_us, e.wall_us);
+        // Last entry wins for the lifecycle (a retried task's final span);
+        // every attempt is kept in log.attempts for lane occupancy.
         lc->virtual_start_us = e.a;
         lc->virtual_end_us = e.b;
+        log.attempts.push_back(AttemptSpan{e.task, e.worker, e.a, e.b});
         break;
       case EventType::teq_front:
         set_if_unset(lc->teq_front_us, e.wall_us);
@@ -70,6 +73,26 @@ LifecycleLog build_lifecycle(flightrec::Stream stream) {
         break;
       case EventType::dep_edge:
         log.edges.emplace_back(e.other, e.task);  // producer, consumer
+        break;
+      case EventType::task_failed:
+        ++log.failed_attempts;
+        ++lc->failed_attempts;
+        break;
+      case EventType::task_retry:
+        ++log.retries;
+        break;
+      case EventType::task_poisoned:
+        ++log.poisoned;
+        lc->poisoned = true;
+        break;
+      case EventType::fault_stall:
+        ++log.fault_stalls;
+        break;
+      case EventType::quiescence_timeout:
+        ++log.quiescence_timeouts;
+        break;
+      case EventType::watchdog_stall:
+        ++log.watchdog_stalls;
         break;
       default:
         break;  // window / clock / displacement / policy events: stream-only
@@ -340,11 +363,36 @@ RaceAudit audit_races(const LifecycleLog& log) {
   // exactly what this detects.  The comparison uses only virtual
   // quantities, so record-ordering skew between threads cannot produce
   // false positives.
+  // Prefer the per-attempt spans: a failed attempt occupies its lane for
+  // backoff + partial progress, occupancy the final-attempt-only lifecycle
+  // view would miss.  Hand-built logs without teq_enter events fall back
+  // to the lifecycle spans.
   std::map<int, std::vector<std::pair<double, double>>> lane_occupancy;
-  for (const auto& [id, lc] : log.tasks) {
-    if (lc.has_virtual_times() && lc.worker >= 0) {
-      lane_occupancy[lc.worker].emplace_back(lc.virtual_start_us,
-                                             lc.virtual_end_us);
+  if (!log.attempts.empty()) {
+    for (const AttemptSpan& a : log.attempts) {
+      if (a.worker >= 0) {
+        lane_occupancy[a.worker].emplace_back(a.virtual_start_us,
+                                              a.virtual_end_us);
+      }
+    }
+  } else {
+    for (const auto& [id, lc] : log.tasks) {
+      if (lc.has_virtual_times() && lc.worker >= 0) {
+        lane_occupancy[lc.worker].emplace_back(lc.virtual_start_us,
+                                               lc.virtual_end_us);
+      }
+    }
+  }
+  // A retried task cannot start its final attempt before its own earlier
+  // attempts finished: their ends are part of its runnable floor, or every
+  // retry would read as an inflated start.
+  std::unordered_map<std::uint64_t, double> prior_attempt_end;
+  for (const AttemptSpan& a : log.attempts) {
+    auto it = log.tasks.find(a.task);
+    if (it == log.tasks.end() || !it->second.has_virtual_times()) continue;
+    if (a.virtual_end_us < it->second.virtual_end_us - eps) {
+      double& pa = prior_attempt_end.try_emplace(a.task, 0.0).first->second;
+      pa = std::max(pa, a.virtual_end_us);
     }
   }
   for (auto& [lane, spans] : lane_occupancy) {
@@ -404,6 +452,9 @@ RaceAudit audit_races(const LifecycleLog& log) {
     double floor = -1.0;
     if (auto sub = submit_floor.find(id); sub != submit_floor.end()) {
       floor = sub->second;
+    }
+    if (auto pa = prior_attempt_end.find(id); pa != prior_attempt_end.end()) {
+      floor = std::max(floor, pa->second);
     }
     if (auto pmax = producer_max.find(id); pmax != producer_max.end()) {
       floor = std::max(floor, pmax->second);

@@ -57,11 +57,25 @@ struct TaskLifecycle {
 
   bool returned = false;  ///< simulated body returned (task_return seen)
   bool finished = false;  ///< task function returned to the scheduler
+  int failed_attempts = 0;  ///< injected failures before this task completed
+  bool poisoned = false;    ///< skipped: a retry budget (its own or a
+                            ///< producer's) was exhausted
 
   bool has_virtual_times() const {
     return virtual_start_us == virtual_start_us &&  // !NaN
            virtual_end_us == virtual_end_us;
   }
+};
+
+/// One TEQ occupancy: every attempt (successful or injected-failed) claims
+/// a span of the virtual timeline.  Kept separately from TaskLifecycle —
+/// which records only the final attempt — so the race auditor sees the
+/// lane occupancy the failed attempts contributed.
+struct AttemptSpan {
+  std::uint64_t task = 0;
+  int worker = -1;
+  double virtual_start_us = 0.0;
+  double virtual_end_us = 0.0;
 };
 
 struct LifecycleLog {
@@ -70,7 +84,16 @@ struct LifecycleLog {
   std::map<std::uint64_t, TaskLifecycle> tasks;
   /// Dependence edges (producer id, consumer id) in discovery order.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  /// Every TEQ entry in record order (== one per execution attempt).
+  std::vector<AttemptSpan> attempts;
   std::uint64_t dropped_events = 0;
+  // Fault/robustness tallies over the stream.
+  std::uint64_t failed_attempts = 0;   ///< task_failed events
+  std::uint64_t retries = 0;           ///< task_retry events
+  std::uint64_t poisoned = 0;          ///< task_poisoned events
+  std::uint64_t fault_stalls = 0;      ///< fault_stall events
+  std::uint64_t quiescence_timeouts = 0;  ///< quiescence_timeout events
+  std::uint64_t watchdog_stalls = 0;   ///< watchdog_stall events
   /// Executor lanes the scheduler ran with (0 = unknown; set by the
   /// harness).  Lets audit_races treat never-dispatched lanes as
   /// virtually free.

@@ -137,9 +137,9 @@ std::string render_svg(const Trace& trace, const SvgOptions& options) {
 void write_svg(const Trace& trace, const std::string& path,
                const SvgOptions& options) {
   std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
+  if (!out) throw IoError(errno_detail("cannot open for writing: " + path));
   out << render_svg(trace, options);
-  if (!out) throw IoError("write failed: " + path);
+  if (!out) throw IoError(errno_detail("write failed: " + path));
 }
 
 }  // namespace tasksim::trace

@@ -24,9 +24,9 @@ void save_trace(const Trace& trace, std::ostream& out) {
 
 void save_trace(const Trace& trace, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
+  if (!out) throw IoError(errno_detail("cannot open for writing: " + path));
   save_trace(trace, out);
-  if (!out) throw IoError("write failed: " + path);
+  if (!out) throw IoError(errno_detail("write failed: " + path));
 }
 
 Trace load_trace(std::istream& in) {
@@ -65,7 +65,7 @@ Trace load_trace(std::istream& in) {
 
 Trace load_trace(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw IoError("cannot open for reading: " + path);
+  if (!in) throw IoError(errno_detail("cannot open for reading: " + path));
   return load_trace(in);
 }
 

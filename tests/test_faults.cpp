@@ -1,0 +1,735 @@
+// Tests for the robustness subsystem: deterministic fault injection,
+// retry/backoff and poisoning in the runtimes, TaskExecQueue cancellation,
+// and the progress watchdog (ISSUE 4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "sched/factory.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/kernel_model.hpp"
+#include "sim/sim_engine.hpp"
+#include "sim/sim_submitter.hpp"
+#include "sim/task_exec_queue.hpp"
+#include "stats/distribution.hpp"
+#include "support/error.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/strings.hpp"
+#include "support/watchdog.hpp"
+#include "trace/lifecycle.hpp"
+#include "trace/text_io.hpp"
+
+namespace tasksim::sim {
+namespace {
+
+KernelModelSet constant_models(double duration_us) {
+  KernelModelSet models;
+  models.set_model("k", std::make_unique<stats::ConstantDist>(duration_us));
+  return models;
+}
+
+// ---------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfTheConfig) {
+  FaultPlanConfig config;
+  config.seed = 99;
+  config.rules["gemm"].fail_probability = 0.3;
+  const FaultPlan one(config);
+  const FaultPlan two(config);
+  int failures = 0;
+  for (std::uint64_t ordinal = 0; ordinal < 200; ++ordinal) {
+    const FaultDecision a = one.decide("gemm", ordinal, 0);
+    const FaultDecision b = two.decide("gemm", ordinal, 0);
+    EXPECT_EQ(a.fail, b.fail);
+    EXPECT_EQ(a.progress_fraction, b.progress_fraction);
+    EXPECT_EQ(a.stall_us, b.stall_us);
+    failures += a.fail ? 1 : 0;
+  }
+  // ~Binomial(200, 0.3): a wildly different count means broken hashing.
+  EXPECT_GT(failures, 30);
+  EXPECT_LT(failures, 90);
+}
+
+TEST(FaultPlan, NthRuleFailsExactlyEveryNthSubmission) {
+  FaultPlanConfig config;
+  config.rules["k"].fail_every_nth = 3;
+  config.rules["k"].progress_fraction = 0.25;
+  const FaultPlan plan(config);
+  for (std::uint64_t ordinal = 0; ordinal < 12; ++ordinal) {
+    const FaultDecision d = plan.decide("k", ordinal, 0);
+    EXPECT_EQ(d.fail, (ordinal + 1) % 3 == 0) << "ordinal " << ordinal;
+    if (d.fail) {
+      EXPECT_DOUBLE_EQ(d.progress_fraction, 0.25);
+    }
+  }
+}
+
+TEST(FaultPlan, RetryAttemptsNeverReFail) {
+  FaultPlanConfig config;
+  config.rules["k"].fail_probability = 1.0;
+  config.rules["k"].fail_every_nth = 1;
+  const FaultPlan plan(config);
+  EXPECT_TRUE(plan.decide("k", 0, 0).fail);
+  EXPECT_FALSE(plan.decide("k", 0, 1).fail);
+  EXPECT_FALSE(plan.decide("k", 0, 2).fail);
+}
+
+TEST(FaultPlan, BackoffDoublesAndSaturates) {
+  FaultPlanConfig config;
+  config.retry_backoff_us = 50.0;
+  config.retry_backoff_cap_us = 300.0;
+  const FaultPlan plan(config);
+  EXPECT_DOUBLE_EQ(plan.backoff_us(0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_us(1), 50.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_us(2), 100.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_us(3), 200.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_us(4), 300.0);  // capped
+  EXPECT_DOUBLE_EQ(plan.backoff_us(10), 300.0);
+}
+
+TEST(FaultPlan, OrdinalsArePerKernelAndResettable) {
+  FaultPlanConfig config;
+  config.rules["*"].fail_every_nth = 2;
+  FaultPlan plan(config);
+  EXPECT_EQ(plan.register_submission("a"), 0u);
+  EXPECT_EQ(plan.register_submission("a"), 1u);
+  EXPECT_EQ(plan.register_submission("b"), 0u);
+  plan.reset();
+  EXPECT_EQ(plan.register_submission("a"), 0u);
+}
+
+TEST(FaultPlan, SpecParserRoundTrip) {
+  const FaultPlanConfig config =
+      parse_fault_spec("gemm:p=0.05,frac=0.25;*:nth=100,stall=200,stallp=0.1");
+  ASSERT_EQ(config.rules.size(), 2u);
+  const KernelFaultRule& gemm = config.rules.at("gemm");
+  EXPECT_DOUBLE_EQ(gemm.fail_probability, 0.05);
+  EXPECT_DOUBLE_EQ(gemm.progress_fraction, 0.25);
+  const KernelFaultRule& any = config.rules.at("*");
+  EXPECT_EQ(any.fail_every_nth, 100u);
+  EXPECT_DOUBLE_EQ(any.stall_us, 200.0);
+  EXPECT_DOUBLE_EQ(any.stall_probability, 0.1);
+}
+
+TEST(FaultPlan, SpecParserDefaultsStallProbabilityToAlways) {
+  const FaultPlanConfig config = parse_fault_spec("k:stall=50");
+  EXPECT_DOUBLE_EQ(config.rules.at("k").stall_probability, 1.0);
+}
+
+TEST(FaultPlan, SpecParserRejectsNonsense) {
+  EXPECT_THROW(parse_fault_spec("gemm"), InvalidArgument);
+  EXPECT_THROW(parse_fault_spec("gemm:p"), InvalidArgument);
+  EXPECT_THROW(parse_fault_spec("gemm:bogus=1"), InvalidArgument);
+  EXPECT_THROW(parse_fault_spec("k:p=0.1;k:p=0.2"), InvalidArgument);
+  EXPECT_THROW(parse_fault_spec("k:p=1.5"), InvalidArgument);
+  EXPECT_THROW(parse_fault_spec("k:p=nan"), InvalidArgument);
+}
+
+TEST(FaultPlan, ConfigValidationRejectsOutOfDomainValues) {
+  {
+    FaultPlanConfig config;
+    config.rules["k"].fail_probability = -0.1;
+    EXPECT_THROW(config.validate(), InvalidArgument);
+  }
+  {
+    FaultPlanConfig config;
+    config.rules["k"].progress_fraction = 2.0;
+    EXPECT_THROW(config.validate(), InvalidArgument);
+  }
+  {
+    FaultPlanConfig config;
+    config.retry_backoff_us = -1.0;
+    EXPECT_THROW(config.validate(), InvalidArgument);
+  }
+}
+
+// ------------------------------------------------- option validation (CLI)
+
+TEST(OptionValidation, ParseDoubleRejectsNonFiniteValues) {
+  EXPECT_THROW(parse_double("nan"), InvalidArgument);
+  EXPECT_THROW(parse_double("inf"), InvalidArgument);
+  EXPECT_THROW(parse_double("-inf"), InvalidArgument);
+  EXPECT_DOUBLE_EQ(parse_double("0.5"), 0.5);
+}
+
+TEST(OptionValidation, ExperimentConfigValidateCatchesBadNumbers) {
+  harness::ExperimentConfig config;
+  config.watchdog_timeout_us = -1.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.watchdog_timeout_us = 0.0;
+  config.max_task_retries = -1;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.max_task_retries = 3;
+  config.faults.emplace();
+  config.faults->rules["k"].fail_probability = 7.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(OptionValidation, RuntimeConfigRejectsNegativeRetryBudget) {
+  sched::RuntimeConfig config;
+  config.max_task_retries = -1;
+  EXPECT_THROW(sched::make_runtime("quark", config), InvalidArgument);
+}
+
+TEST(OptionValidation, FailureModeParsesAndRoundTrips) {
+  EXPECT_EQ(sched::parse_failure_mode("abort"), sched::FailureMode::abort);
+  EXPECT_EQ(sched::parse_failure_mode("poison"), sched::FailureMode::poison);
+  EXPECT_STREQ(sched::to_string(sched::FailureMode::poison), "poison");
+  EXPECT_THROW(sched::parse_failure_mode("explode"), InvalidArgument);
+}
+
+TEST(OptionValidation, IoErrorsCarryStrerrorDetail) {
+  try {
+    (void)trace::load_trace("/nonexistent/dir/trace.txt");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("No such file or directory"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)KernelModelSet::load("/nonexistent/dir/models.txt");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("No such file or directory"),
+              std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ TaskExecQueue
+
+TEST(TaskExecQueueFaults, LeaveOfNonFrontTicket) {
+  TaskExecQueue queue;
+  const auto t1 = queue.enter(100.0);
+  const auto t2 = queue.enter(200.0);
+  const auto t3 = queue.enter(300.0);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_TRUE(queue.is_front(t1));
+
+  queue.leave(t2);  // middle entry, never the front
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_TRUE(queue.is_front(t1));
+  EXPECT_FALSE(queue.is_front(t3));
+
+  queue.leave(t1);
+  EXPECT_TRUE(queue.is_front(t3));
+  queue.leave(t3);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(TaskExecQueueFaults, WaitersWakeInCompletionOrderUnderStalls) {
+  TaskExecQueue queue;
+  const auto front = queue.enter(100.0);
+  std::atomic<int> next_rank{0};
+  int rank_200 = -1, rank_300 = -1;
+
+  std::thread waiter_300([&] {
+    const auto t = queue.enter(300.0);
+    queue.wait_front(t);
+    rank_300 = next_rank.fetch_add(1);
+    queue.leave(t);
+  });
+  std::thread waiter_200([&] {
+    const auto t = queue.enter(200.0);
+    queue.wait_front(t);
+    rank_200 = next_rank.fetch_add(1);
+    queue.leave(t);
+  });
+
+  // Injected stall: hold the front while both waiters are blocked, so the
+  // wake-up order is decided purely by the queue's completion ordering.
+  while (queue.size() < 3) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.leave(front);
+
+  waiter_200.join();
+  waiter_300.join();
+  EXPECT_EQ(rank_200, 0);
+  EXPECT_EQ(rank_300, 1);
+}
+
+TEST(TaskExecQueueFaults, CancelWakesBlockedWaitersWithSimulationStalled) {
+  TaskExecQueue queue;
+  const auto front = queue.enter(100.0);
+  std::atomic<bool> threw{false};
+  std::thread waiter([&] {
+    const auto t = queue.enter(200.0);
+    try {
+      queue.wait_front(t);
+    } catch (const SimulationStalled& e) {
+      EXPECT_EQ(e.report(), "forced stall for test");
+      threw = true;
+    }
+    queue.leave(t);
+  });
+  while (queue.size() < 2) std::this_thread::yield();
+
+  queue.cancel("forced stall for test");
+  waiter.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_THROW(queue.enter(300.0), SimulationStalled);
+
+  queue.leave(front);
+  queue.clear_cancel();
+  const auto again = queue.enter(50.0);  // re-armed
+  queue.leave(again);
+}
+
+// ----------------------------------------------------------------- Watchdog
+
+TEST(WatchdogTest, FiresOnceWhenBeaconsFreezeWhileActive) {
+  Watchdog dog;
+  std::atomic<int> fired{0};
+  StallReport seen;
+  dog.add_beacon("frozen", [] { return std::uint64_t{7}; });
+  dog.set_state_dump([] { return std::string("queue state here"); });
+  dog.set_stall_handler([&](const StallReport& report) {
+    seen = report;
+    fired.fetch_add(1);
+  });
+  WatchdogOptions options;
+  options.stall_timeout_us = 5'000.0;
+  options.poll_interval_us = 1'000.0;
+  dog.start(options);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!dog.stalled() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(dog.stalled());
+  // Exactly once, even if we keep it running past another timeout window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  dog.stop();
+  EXPECT_EQ(fired.load(), 1);
+  ASSERT_EQ(seen.beacons.size(), 1u);
+  EXPECT_EQ(seen.beacons[0].name, "frozen");
+  EXPECT_EQ(seen.beacons[0].value, 7u);
+  EXPECT_GE(seen.stalled_for_us, 5'000.0);
+  EXPECT_NE(seen.to_string().find("queue state here"), std::string::npos);
+}
+
+TEST(WatchdogTest, StaysQuietWhileBeaconsMove) {
+  Watchdog dog;
+  std::atomic<std::uint64_t> progress{0};
+  dog.add_beacon("moving", [&] { return progress.fetch_add(1); });
+  dog.set_stall_handler([](const StallReport&) { FAIL() << "spurious stall"; });
+  WatchdogOptions options;
+  options.stall_timeout_us = 5'000.0;
+  options.poll_interval_us = 1'000.0;
+  dog.start(options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  dog.stop();
+  EXPECT_FALSE(dog.stalled());
+}
+
+TEST(WatchdogTest, InactiveGateSuppressesStalls) {
+  Watchdog dog;
+  dog.add_beacon("frozen", [] { return std::uint64_t{1}; });
+  dog.set_activity_gate([] { return false; });  // system idle
+  dog.set_stall_handler([](const StallReport&) { FAIL() << "idle stall"; });
+  WatchdogOptions options;
+  options.stall_timeout_us = 3'000.0;
+  options.poll_interval_us = 1'000.0;
+  dog.start(options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  dog.stop();
+  EXPECT_FALSE(dog.stalled());
+}
+
+TEST(WatchdogTest, StartValidatesItsConfiguration) {
+  Watchdog dog;
+  WatchdogOptions options;
+  options.stall_timeout_us = 1'000.0;
+  EXPECT_THROW(dog.start(options), InvalidArgument);  // no beacons
+  dog.add_beacon("b", [] { return std::uint64_t{0}; });
+  options.stall_timeout_us = 0.0;
+  EXPECT_THROW(dog.start(options), InvalidArgument);  // no timeout
+}
+
+// ----------------------------------------------- retry/poison in schedulers
+
+class FaultSchedulerTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<sched::Runtime> make_rt(int workers,
+                                          sched::RuntimeConfig config = {}) {
+    config.workers = workers;
+    return sched::make_runtime(GetParam(), config);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, FaultSchedulerTest,
+                         ::testing::Values("quark", "starpu/dmda", "ompss/bf"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(FaultSchedulerTest, RetryWithBackoffHasExactVirtualCost) {
+  // Serial chain of 4 constant-100us tasks; every 2nd submission fails its
+  // first attempt with 50% progress, then succeeds on retry after a 50us
+  // backoff.  Failing task cost: 0.5*100 (failed attempt) + 50 + 100
+  // (backoff + full re-run) = 200us.  Makespan: 100+200+100+200 = 600us.
+  const KernelModelSet models = constant_models(100.0);
+  FaultPlanConfig fault_config;
+  fault_config.rules["k"].fail_every_nth = 2;
+  fault_config.rules["k"].progress_fraction = 0.5;
+  fault_config.retry_backoff_us = 50.0;
+  FaultPlan plan(fault_config);
+
+  auto rt = make_rt(1);
+  SimEngineOptions options;
+  options.faults = &plan;
+  SimEngine engine(models, options);
+  SimSubmitter submitter(*rt, engine);
+  double x;
+  for (int i = 0; i < 4; ++i) {
+    submitter.submit("k", nullptr, {sched::inout(&x)});
+  }
+  submitter.finish();
+
+  EXPECT_DOUBLE_EQ(engine.virtual_time_us(), 600.0);
+  EXPECT_EQ(rt->failed_attempt_count(), 2u);
+  EXPECT_EQ(rt->retry_count(), 2u);
+  EXPECT_TRUE(rt->poisoned_tasks().empty());
+  EXPECT_EQ(engine.failed_attempts(), 2u);
+}
+
+TEST_P(FaultSchedulerTest, ExhaustedBudgetAbortsFromWaitAll) {
+  const KernelModelSet models = constant_models(100.0);
+  FaultPlanConfig fault_config;
+  fault_config.rules["k"].fail_every_nth = 1;  // always fail first attempts
+  FaultPlan plan(fault_config);
+
+  sched::RuntimeConfig rc;
+  rc.max_task_retries = 0;
+  rc.failure_mode = sched::FailureMode::abort;
+  auto rt = make_rt(2, rc);
+  SimEngineOptions options;
+  options.faults = &plan;
+  SimEngine engine(models, options);
+  SimSubmitter submitter(*rt, engine);
+  double x;
+  submitter.submit("k", nullptr, {sched::inout(&x)});
+  try {
+    submitter.finish();
+    FAIL() << "expected TaskFailure";
+  } catch (const TaskFailure& e) {
+    EXPECT_EQ(e.attempt(), 0);
+    EXPECT_NE(std::string(e.what()).find("retry budget"), std::string::npos);
+  }
+  EXPECT_EQ(rt->failed_attempt_count(), 1u);
+  EXPECT_EQ(rt->retry_count(), 0u);
+}
+
+TEST_P(FaultSchedulerTest, PoisonModeSkipsTheSuccessorSubtree) {
+  KernelModelSet models = constant_models(100.0);
+  models.set_model("root", std::make_unique<stats::ConstantDist>(100.0));
+  FaultPlanConfig fault_config;
+  fault_config.rules["root"].fail_every_nth = 1;
+  fault_config.rules["root"].progress_fraction = 0.5;
+  FaultPlan plan(fault_config);
+
+  sched::RuntimeConfig rc;
+  rc.max_task_retries = 0;
+  rc.failure_mode = sched::FailureMode::poison;
+  auto rt = make_rt(2, rc);
+  SimEngineOptions options;
+  options.faults = &plan;
+  SimEngine engine(models, options);
+  SimSubmitter submitter(*rt, engine);
+
+  // Diamond: root -> {a, b} -> sink; the root fails its only attempt.
+  double x, y, z, w;
+  const auto root = submitter.submit("root", nullptr, {sched::out(&x)});
+  const auto a =
+      submitter.submit("k", nullptr, {sched::in(&x), sched::out(&y)});
+  const auto b =
+      submitter.submit("k", nullptr, {sched::in(&x), sched::out(&z)});
+  const auto sink = submitter.submit(
+      "k", nullptr, {sched::in(&y), sched::in(&z), sched::out(&w)});
+  submitter.finish();  // completes despite the poisoned subtree
+
+  std::vector<sched::TaskId> poisoned = rt->poisoned_tasks();
+  std::sort(poisoned.begin(), poisoned.end());
+  EXPECT_EQ(poisoned, (std::vector<sched::TaskId>{root, a, b, sink}));
+  EXPECT_EQ(rt->failed_attempt_count(), 1u);
+
+  // The trace records the failed attempt and three zero-length skips.
+  int failed = 0, skipped = 0;
+  for (const auto& e : engine.trace().events()) {
+    if (e.kernel == "root!failed") ++failed;
+    if (e.kernel == "k!skipped") {
+      ++skipped;
+      EXPECT_DOUBLE_EQ(e.end_us, e.start_us);
+    }
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(skipped, 3);
+  // Only the failed attempt's partial progress reached the timeline.
+  EXPECT_DOUBLE_EQ(engine.virtual_time_us(), 50.0);
+}
+
+TEST_P(FaultSchedulerTest, RandomDagRunsAreDeterministicWithAFixedSeed) {
+  // One worker executes serially, so the virtual makespan is the sum of
+  // the per-attempt spans — a fixed multiset under the plan.  The ready
+  // pool can still be popped in different orders (the submitter races the
+  // worker), which permutes the floating-point fold, so the makespan is
+  // compared to a tolerance while the plan statistics must be exact.
+  KernelModelSet models;
+  models.set_model("k", std::make_unique<stats::UniformDist>(10.0, 200.0));
+
+  auto run = [&](int workers) {
+    FaultPlanConfig fault_config;
+    fault_config.rules["*"].fail_probability = 0.2;
+    fault_config.rules["*"].progress_fraction = 0.5;
+    FaultPlan plan(fault_config);
+    sched::RuntimeConfig rc;
+    rc.max_task_retries = 1;
+    rc.failure_mode = sched::FailureMode::poison;
+    auto rt = make_rt(workers, rc);
+    SimEngineOptions options;
+    options.faults = &plan;
+    SimEngine engine(models, options);
+    SimSubmitter submitter(*rt, engine);
+    Rng rng(23);
+    double objects[5];
+    for (int t = 0; t < 60; ++t) {
+      sched::AccessList accesses;
+      const int nrefs = 1 + static_cast<int>(rng.uniform_index(2));
+      for (int r = 0; r < nrefs; ++r) {
+        const std::size_t obj = rng.uniform_index(5);
+        accesses.push_back(rng.uniform() < 0.4 ? sched::inout(&objects[obj])
+                                               : sched::in(&objects[obj]));
+      }
+      submitter.submit("k", nullptr, std::move(accesses));
+    }
+    submitter.finish();
+    std::vector<sched::TaskId> poisoned = rt->poisoned_tasks();
+    std::sort(poisoned.begin(), poisoned.end());
+    return std::make_tuple(rt->failed_attempt_count(), rt->retry_count(),
+                           poisoned, engine.virtual_time_us());
+  };
+
+  const auto first = run(1);
+  const auto second = run(1);
+  EXPECT_GT(std::get<0>(first), 0u);  // the plan actually fired
+  EXPECT_EQ(std::get<0>(first), std::get<0>(second));
+  EXPECT_EQ(std::get<1>(first), std::get<1>(second));
+  EXPECT_EQ(std::get<2>(first), std::get<2>(second));
+  EXPECT_NEAR(std::get<3>(first), std::get<3>(second),
+              1e-6 * std::get<3>(first));
+
+  // Multiple workers: lane assignment may shift the makespan, but the
+  // plan's decisions are pure hashes of (seed, kernel, ordinal) — the
+  // fault statistics must not change.
+  const auto par_one = run(3);
+  const auto par_two = run(3);
+  EXPECT_EQ(std::get<0>(par_one), std::get<0>(par_two));
+  EXPECT_EQ(std::get<1>(par_one), std::get<1>(par_two));
+  EXPECT_EQ(std::get<2>(par_one), std::get<2>(par_two));
+  EXPECT_EQ(std::get<0>(par_one), std::get<0>(first));
+}
+
+TEST_P(FaultSchedulerTest, RetriedRunsPassStreamValidationAndRaceAudit) {
+  const KernelModelSet models = constant_models(100.0);
+  FaultPlanConfig fault_config;
+  fault_config.rules["k"].fail_every_nth = 2;
+  fault_config.rules["k"].progress_fraction = 0.5;
+  FaultPlan plan(fault_config);
+
+  auto rt = make_rt(2);
+  SimEngineOptions options;
+  options.faults = &plan;
+  SimEngine engine(models, options);
+  SimSubmitter submitter(*rt, engine);
+
+  flightrec::FlightRecorder& recorder = flightrec::FlightRecorder::global();
+  recorder.enable(1 << 14);
+  double x;
+  for (int i = 0; i < 8; ++i) {
+    submitter.submit("k", nullptr, {sched::inout(&x)});
+  }
+  submitter.finish();
+  recorder.disable();
+  flightrec::Stream stream = recorder.drain();
+
+  // Retried tasks still reach exactly one terminal state each.
+  const std::vector<std::string> violations =
+      trace::validate_stream(stream);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations.front();
+
+  trace::LifecycleLog log = trace::build_lifecycle(std::move(stream));
+  log.worker_lanes = 2;
+  EXPECT_EQ(log.failed_attempts, 4u);
+  EXPECT_EQ(log.retries, 4u);
+  EXPECT_EQ(log.poisoned, 0u);
+  // One TEQ span per attempt: 8 final + 4 failed.
+  EXPECT_EQ(log.attempts.size(), 12u);
+  for (const auto& [id, lc] : log.tasks) {
+    EXPECT_FALSE(lc.poisoned);
+  }
+
+  // A retried task's final attempt is pinned by its own failed attempt:
+  // the auditor must not read that as an inflated start.
+  const trace::RaceAudit audit = trace::audit_races(log);
+  EXPECT_TRUE(audit.violations.empty()) << audit.to_string();
+}
+
+// ------------------------------------------------------- engine-level paths
+
+TEST(SimEngineFaults, PoisonedFastPathSkipsClockAndQueue) {
+  const KernelModelSet models = constant_models(100.0);
+  SimEngine engine(models);
+  sched::TaskContext ctx;
+  ctx.id = 5;
+  ctx.worker = 0;
+  ctx.poisoned = true;
+  EXPECT_DOUBLE_EQ(engine.execute(ctx, "k"), 0.0);
+  EXPECT_DOUBLE_EQ(engine.virtual_time_us(), 0.0);
+  ASSERT_EQ(engine.trace().events().size(), 1u);
+  EXPECT_EQ(engine.trace().events()[0].kernel, "k!skipped");
+  EXPECT_EQ(engine.executed_tasks(), 0u);
+}
+
+TEST(SimEngineFaults, QuiescenceTimeoutIsRecordedWithTaskAndTimestamps) {
+  const KernelModelSet models = constant_models(100.0);
+  sched::RuntimeConfig rc;
+  rc.workers = 2;
+  auto rt = sched::make_runtime("quark", rc);
+
+  SimEngineOptions options;
+  options.mitigation = RaceMitigation::quiescence;
+  options.quiescence_timeout_us = 500.0;
+  SimEngine engine(models, options);
+  // Submission open and the submitter not window-blocked: the quiescence
+  // predicate cannot be satisfied, so the wait must time out.
+  engine.set_submission_open(true);
+
+  flightrec::FlightRecorder& recorder = flightrec::FlightRecorder::global();
+  recorder.enable(1 << 12);
+  sched::TaskContext ctx;
+  ctx.id = 7;
+  ctx.worker = 0;
+  ctx.runtime = rt.get();
+  engine.execute(ctx, "k");
+  recorder.disable();
+
+  EXPECT_EQ(engine.quiescence_timeouts(), 1u);
+  const flightrec::Stream stream = recorder.drain();
+  bool found = false;
+  for (const auto& e : stream.events) {
+    if (e.type == flightrec::EventType::quiescence_timeout) {
+      found = true;
+      EXPECT_EQ(e.task, 7u);
+      EXPECT_DOUBLE_EQ(e.a, 100.0);  // virtual completion waited for
+      EXPECT_GE(e.b, 500.0);         // wall microseconds waited
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SimEngineFaults, WatchdogConvertsForcedDeadlockIntoTypedError) {
+  const KernelModelSet models = constant_models(100.0);
+  SimEngineOptions options;
+  options.mitigation = RaceMitigation::none;
+  options.watchdog_timeout_us = 20'000.0;  // 20 ms
+  options.watchdog_poll_us = 2'000.0;
+  SimEngine engine(models, options);
+  // Submission open with no simulated task ever arriving: every beacon
+  // freezes while the activity gate reports outstanding work.
+  engine.set_submission_open(true);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!engine.stalled() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(engine.stalled());
+
+  sched::TaskContext ctx;
+  ctx.id = 1;
+  EXPECT_THROW(engine.execute(ctx, "k"), SimulationStalled);
+
+  engine.set_submission_open(false);
+  engine.reset();  // re-arms the cancelled queue
+  EXPECT_FALSE(engine.stalled());
+}
+
+TEST(SimEngineFaults, InjectedWorkerStallAbortsViaWatchdogNotCtestTimeout) {
+  // A task stalls (real time) far longer than the watchdog timeout while
+  // the rest of the system drains: the watchdog must cancel the run and
+  // wait_all must rethrow SimulationStalled instead of hanging.
+  KernelModelSet models = constant_models(100.0);
+  models.set_model("stall", std::make_unique<stats::ConstantDist>(100.0));
+  FaultPlanConfig fault_config;
+  fault_config.rules["stall"].stall_us = 60e6;  // 60 s, interruptible
+  fault_config.rules["stall"].stall_probability = 1.0;
+  FaultPlan plan(fault_config);
+
+  sched::RuntimeConfig rc;
+  rc.workers = 2;
+  auto rt = sched::make_runtime("quark", rc);
+  SimEngineOptions options;
+  options.mitigation = RaceMitigation::none;
+  options.faults = &plan;
+  options.watchdog_timeout_us = 100'000.0;  // 100 ms
+  options.watchdog_poll_us = 5'000.0;
+  SimEngine engine(models, options);
+  SimSubmitter submitter(*rt, engine);
+
+  double a, b;
+  submitter.submit("k", nullptr, {sched::inout(&a)});
+  submitter.submit("k", nullptr, {sched::inout(&a)});
+  submitter.submit("stall", nullptr, {sched::inout(&b)});
+  EXPECT_THROW(submitter.finish(), SimulationStalled);
+  EXPECT_TRUE(engine.stalled());
+}
+
+// -------------------------------------------------------- harness plumbing
+
+TEST(HarnessFaults, RunSimulatedReportsFaultStatisticsAndLifecycle) {
+  sim::KernelModelSet models;
+  for (const char* kernel : {"dpotrf", "dtrsm", "dsyrk", "dgemm"}) {
+    models.set_model(kernel, std::make_unique<stats::ConstantDist>(100.0));
+  }
+  harness::ExperimentConfig config;
+  config.scheduler = "quark";
+  config.algorithm = harness::Algorithm::cholesky;
+  config.n = 288;
+  config.nb = 96;
+  config.workers = 2;
+  config.failure_mode = sched::FailureMode::poison;
+  config.record_lifecycle = true;
+  sim::FaultPlanConfig faults;
+  faults.rules["*"].fail_probability = 0.3;
+  config.faults = faults;
+
+  const harness::RunResult result = harness::run_simulated(config, models);
+  EXPECT_GT(result.failed_attempts, 0u);
+  EXPECT_EQ(result.retries, result.failed_attempts);  // budget never hit
+  EXPECT_TRUE(result.poisoned.empty());
+  ASSERT_NE(result.lifecycle, nullptr);
+  EXPECT_EQ(result.lifecycle->failed_attempts, result.failed_attempts);
+  EXPECT_EQ(result.lifecycle->retries, result.retries);
+
+  const harness::RunResult rerun = harness::run_simulated(config, models);
+  EXPECT_EQ(rerun.failed_attempts, result.failed_attempts);
+  EXPECT_EQ(rerun.retries, result.retries);
+  EXPECT_EQ(rerun.poisoned, result.poisoned);
+}
+
+}  // namespace
+}  // namespace tasksim::sim
