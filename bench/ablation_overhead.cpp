@@ -1,0 +1,214 @@
+// ablation_overhead — where does the *simulator's* real time go?
+//
+// The paper's §VI speed story is that scheduler-in-the-loop simulation
+// costs roughly the scheduler alone — until the §V-E race mitigations
+// (yield/sleep, quiescence polling) start burning wall time.  This
+// ablation runs the same simulated factorization under all three
+// schedulers × all three mitigation policies with the phase profiler
+// (support/profiler) enabled and reports, per cell:
+//
+//   * simulated (virtual) makespan vs the simulation's real wall time,
+//   * the wall overhead relative to the real execution,
+//   * the profiler's coverage (fraction of bracketed thread time that a
+//     named phase explains — the acceptance gate, >= --min-coverage),
+//   * the share of real time spent in the mitigation itself
+//     (sim.mitigation_sleep for yield_sleep, sim.quiescence_poll +
+//     sim.teq_wait spent under it for quiescence),
+//   * the top exclusive-time phases.
+//
+// A full per-phase breakdown ("where the time goes") is printed for each
+// mitigation policy under the primary scheduler, and --json dumps every
+// run as a tasksim-run-v1 document (the artifact CI uploads).  --chrome
+// writes a Chrome-tracing document per mitigation with the simulated
+// timeline plus per-phase share counter tracks from the sampler.
+//
+// Exit status is non-zero when any run's coverage falls below the floor,
+// so CI can gate on attribution staying honest.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+#include "support/profiler.hpp"
+#include "support/strings.hpp"
+#include "support/sysinfo.hpp"
+#include "trace/chrome_export.hpp"
+
+using namespace tasksim;
+
+namespace {
+
+// Share (%) of `phase`'s exclusive wall time in the bracketed root time.
+double phase_share(const prof::ProfileSnapshot& snap, prof::Phase phase) {
+  const double root = snap.root_incl_wall_us();
+  if (root <= 0.0) return 0.0;
+  const auto totals = snap.totals();
+  return 100.0 * totals[static_cast<std::size_t>(phase)].excl_wall_us / root;
+}
+
+std::string top_phases(const prof::ProfileSnapshot& snap, std::size_t k) {
+  const auto totals = snap.totals();
+  std::vector<prof::Phase> phases;
+  for (std::size_t i = 0; i < prof::kPhaseCount; ++i) {
+    const auto phase = static_cast<prof::Phase>(i);
+    if (prof::phase_is_root(phase)) continue;
+    if (totals[i].excl_wall_us > 0.0) phases.push_back(phase);
+  }
+  std::sort(phases.begin(), phases.end(), [&](prof::Phase a, prof::Phase b) {
+    return totals[static_cast<std::size_t>(a)].excl_wall_us >
+           totals[static_cast<std::size_t>(b)].excl_wall_us;
+  });
+  if (phases.size() > k) phases.resize(k);
+  std::string out;
+  for (prof::Phase phase : phases) {
+    if (!out.empty()) out += "  ";
+    out += strprintf("%s %.0f%%", prof::phase_name(phase),
+                     phase_share(snap, phase));
+  }
+  return out.empty() ? std::string("-") : out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = 576;
+  int nb = 96;
+  int workers = 4;
+  double min_coverage = 0.9;
+  double sample_us = 5000.0;
+  std::string json_path;
+  std::string chrome_prefix;
+  CliParser cli("ablation_overhead",
+                "simulator self-profile: wall overhead per scheduler and "
+                "race-mitigation policy");
+  cli.add_int("n", &n, "matrix dimension");
+  cli.add_int("nb", &nb, "tile size");
+  cli.add_int("workers", &workers, "worker threads");
+  cli.add_double("min-coverage", &min_coverage,
+                 "fail if profiler coverage drops below this fraction");
+  cli.add_double("sample-us", &sample_us,
+                 "profiler sampling period (0 = totals only)");
+  cli.add_string("json", &json_path,
+                 "write every run as a tasksim-run-v1 JSON array");
+  cli.add_string("chrome", &chrome_prefix,
+                 "write <prefix>_<mitigation>.json Chrome traces with "
+                 "profiler share tracks (primary scheduler only)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  harness::print_banner("Ablation: simulation overhead (profiler)");
+  std::printf("%s\nQR, n=%d nb=%d, %d workers\n\n", host_summary().c_str(), n,
+              nb, workers);
+
+  harness::ExperimentConfig config;
+  config.algorithm = harness::Algorithm::qr;
+  config.n = n;
+  config.nb = nb;
+  config.workers = workers;
+
+  // One real run calibrates the kernel models (scheduler-independent) and
+  // is the wall-time yardstick every simulation cell is compared against.
+  sim::CalibrationObserver calibration;
+  const harness::RunResult real = harness::run_real(config, &calibration);
+  const sim::KernelModelSet models = calibration.fit(sim::ModelFamily::best);
+  std::printf("real execution: makespan %s, wall %s\n\n",
+              format_duration_us(real.makespan_us).c_str(),
+              format_duration_us(real.wall_us).c_str());
+
+  const std::vector<std::string> schedulers = {"quark", "ompss", "starpu"};
+  const std::vector<sim::RaceMitigation> mitigations = {
+      sim::RaceMitigation::none, sim::RaceMitigation::yield_sleep,
+      sim::RaceMitigation::quiescence};
+
+  config.profile = true;
+  config.profile_sample_us = sample_us;
+
+  harness::TextTable table;
+  table.set_headers({"scheduler", "mitigation", "sim makespan", "sim wall",
+                     "wall/real", "coverage", "mitigation share",
+                     "top phases (excl share)"});
+  std::vector<harness::RunResult> primary_runs;  // per mitigation, quark
+  std::vector<std::string> json_rows;
+  bool coverage_ok = true;
+  for (const std::string& scheduler : schedulers) {
+    config.scheduler = scheduler;
+    for (sim::RaceMitigation mitigation : mitigations) {
+      config.mitigation = mitigation;
+      const harness::RunResult sim = harness::run_simulated(config, models);
+      if (!sim.profile) {
+        std::fprintf(stderr, "run produced no profile snapshot\n");
+        return 1;
+      }
+      const prof::ProfileSnapshot& snap = *sim.profile;
+      const double coverage = snap.coverage();
+      if (coverage < min_coverage) coverage_ok = false;
+      // The mitigation's own cost: the sleep for yield_sleep, the polling
+      // loop (plus the TEQ wait it wraps) for quiescence.
+      double mitigation_share =
+          phase_share(snap, prof::Phase::mitigation_sleep) +
+          phase_share(snap, prof::Phase::quiescence_poll);
+      table.add_row({scheduler, std::string(to_string(mitigation)),
+                     format_duration_us(sim.makespan_us),
+                     format_duration_us(sim.wall_us),
+                     strprintf("%.2fx", real.wall_us > 0.0
+                                            ? sim.wall_us / real.wall_us
+                                            : 0.0),
+                     strprintf("%5.1f%%", 100.0 * coverage),
+                     strprintf("%5.1f%%", mitigation_share),
+                     top_phases(snap, 3)});
+      json_rows.push_back(harness::run_result_json(config, sim));
+      if (scheduler == schedulers.front()) {
+        primary_runs.push_back(sim);
+        if (!chrome_prefix.empty() && sim.profile_samples) {
+          const std::string path = chrome_prefix + "_" +
+                                   std::string(to_string(mitigation)) +
+                                   ".json";
+          std::ofstream out(path);
+          out << trace::render_chrome_json(
+              {&sim.timeline},
+              trace::profiler_share_tracks(*sim.profile_samples, 1));
+        }
+      }
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Full per-phase breakdown for the primary scheduler, one per policy —
+  // the yield_sleep row must show the sleep itself (sim.mitigation_sleep)
+  // and quiescence its polling loop (sim.quiescence_poll).
+  for (std::size_t i = 0; i < primary_runs.size(); ++i) {
+    harness::print_profile(
+        *primary_runs[i].profile,
+        strprintf("where the time goes (%s, %s)", schedulers.front().c_str(),
+                  to_string(mitigations[i])));
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "[";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      if (i > 0) out << ",\n ";
+      out << json_rows[i];
+    }
+    out << "]\n";
+    std::printf("\nwrote %zu run documents to %s\n", json_rows.size(),
+                json_path.c_str());
+  }
+
+  std::printf("\npaper's §VI claim to verify: the simulation costs roughly "
+              "the scheduler alone\n(task bodies shrink to model samples); "
+              "the mitigation rows show what the §V-E\nfixes add — "
+              "yield_sleep burns wall time in sim.mitigation_sleep, "
+              "quiescence in\nsim.quiescence_poll / sim.teq_wait.\n");
+  if (!coverage_ok) {
+    std::printf("\nFAIL: profiler coverage below %.0f%% — instrumentation "
+                "no longer explains\nthe simulator's time; add probes for "
+                "the missing phase.\n",
+                100.0 * min_coverage);
+    return 1;
+  }
+  return 0;
+}

@@ -61,7 +61,11 @@ int main(int argc, char** argv) {
 
   // Simulated execution (Figure 7), with the flight recorder capturing the
   // task lifecycles for the race audit / attribution / Chrome spans below.
+  // The saved real trace doubles as the harness's reference: run_simulated
+  // loads it and attaches the TraceComparison to the result.
+  trace::save_trace(real.timeline, out_prefix + "_real.trace");
   config.record_lifecycle = true;
+  config.reference_trace = out_prefix + "_real.trace";
   const harness::RunResult sim = harness::run_simulated(config, models);
 
   std::printf("real makespan      : %s (%.3f Gflop/s)\n",
@@ -71,8 +75,11 @@ int main(int argc, char** argv) {
   std::printf("makespan error     : %+.2f%%\n\n",
               100.0 * (sim.makespan_us - real.makespan_us) / real.makespan_us);
 
-  const auto comparison = trace::compare_traces(real.timeline, sim.timeline);
-  std::printf("trace comparison   : %s\n", comparison.to_string().c_str());
+  if (sim.comparison) {
+    harness::print_trace_comparison(*sim.comparison,
+                                    "trace comparison (vs saved reference)");
+    std::printf("\n");
+  }
 
   // Per-worker task counts: the paper notes core 0 runs fewer tasks in the
   // real trace because it inserts tasks and maintains the DAG.
@@ -114,7 +121,6 @@ int main(int argc, char** argv) {
   svg.title = strprintf("Fig. 7 analogue: simulated QR trace (quark, n=%d nb=%d)",
                         config.n, config.nb);
   trace::write_svg(sim.timeline, out_prefix + "_sim.svg", svg);
-  trace::save_trace(real.timeline, out_prefix + "_real.trace");
   trace::save_trace(sim.timeline, out_prefix + "_sim.trace");
   {
     // Both timelines in one Chrome-tracing document for interactive

@@ -6,7 +6,10 @@
 // avoids by skipping kernel bodies).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "linalg/blas_kernels.hpp"
@@ -19,6 +22,8 @@
 #include "stats/fitting.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/metrics.hpp"
+#include "support/profiler.hpp"
+#include "support/timing.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -169,6 +174,37 @@ void BM_FlightRecorderEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FlightRecorderEnabled);
+
+// --------------------------------------------------------------- profiler
+
+void BM_ProfilerScopeDisabled(benchmark::State& state) {
+  // What every TS_PROF_SCOPE probe costs when profiling is off: one relaxed
+  // atomic load and a branch.  This is the budget for leaving the probes
+  // compiled into the TEQ, scheduler, and trace hot paths (the --check
+  // mode below asserts it numerically).
+  prof::Profiler& profiler = prof::Profiler::global();
+  profiler.disable();
+  for (auto _ : state) {
+    prof::ScopedPhase scope(profiler, prof::Phase::teq_mutex);
+    benchmark::DoNotOptimize(&scope);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerScopeDisabled);
+
+void BM_ProfilerScopeEnabled(benchmark::State& state) {
+  // Enabled cost: two wall + two thread-CPU clock reads plus a handful of
+  // single-writer relaxed stores into the thread's shard.
+  prof::Profiler& profiler = prof::Profiler::global();
+  profiler.enable();
+  for (auto _ : state) {
+    prof::ScopedPhase scope(profiler, prof::Phase::teq_mutex);
+    benchmark::DoNotOptimize(&scope);
+  }
+  profiler.disable();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerScopeEnabled);
 
 // ---------------------------------------------------------------- metrics
 
@@ -329,6 +365,63 @@ void BM_RuntimeTaskThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_RuntimeTaskThroughput)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------- disabled-probe budget
+
+// Direct (benchmark-framework-free) measurement of the disabled
+// TS_PROF_SCOPE cost, for the CI gate: the probes stay compiled into hot
+// paths only as long as their disabled cost is negligible.  Reports the
+// minimum of several repetitions — the right estimator for a lower-bound
+// cost in the presence of scheduling noise.
+int check_disabled_probe_budget(double budget_ns) {
+  prof::Profiler& profiler = prof::Profiler::global();
+  profiler.disable();
+  constexpr int kIters = 1 << 22;
+  constexpr int kRepeats = 5;
+  double best_ns = 1e300;
+  for (int r = 0; r < kRepeats; ++r) {
+    const double t0 = tasksim::wall_time_us();
+    for (int i = 0; i < kIters; ++i) {
+      prof::ScopedPhase scope(profiler, prof::Phase::teq_mutex);
+      benchmark::DoNotOptimize(&scope);
+    }
+    const double ns = (tasksim::wall_time_us() - t0) * 1000.0 / kIters;
+    best_ns = std::min(best_ns, ns);
+  }
+  std::printf("disabled TS_PROF_SCOPE probe: %.2f ns (budget %.0f ns)\n",
+              best_ns, budget_ns);
+  if (best_ns > budget_ns) {
+    std::printf("FAIL: disabled probe exceeds its budget — the gate that "
+                "keeps probes free to leave in hot paths\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --probe-budget-ns=N (ours, consumed here) runs the disabled-probe
+  // budget check after the benchmarks; everything else goes to
+  // google-benchmark as usual.
+  double budget_ns = 0.0;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--probe-budget-ns=";
+    if (arg.rfind(prefix, 0) == 0) {
+      budget_ns = std::stod(arg.substr(prefix.size()));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&filtered_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return budget_ns > 0.0 ? check_disabled_probe_budget(budget_ns) : 0;
+}

@@ -15,8 +15,10 @@
 #include "sim/virtual_platform.hpp"
 #include "support/error.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/profiler.hpp"
 #include "support/sysinfo.hpp"
 #include "support/timing.hpp"
+#include "trace/text_io.hpp"
 
 namespace tasksim::harness {
 
@@ -53,6 +55,11 @@ void ExperimentConfig::validate() const {
   TS_REQUIRE(std::isfinite(watchdog_timeout_us) && watchdog_timeout_us >= 0.0,
              "watchdog timeout must be finite and non-negative, got " +
                  std::to_string(watchdog_timeout_us));
+  TS_REQUIRE(std::isfinite(profile_sample_us) && profile_sample_us >= 0.0,
+             "profile_sample_us must be finite and non-negative, got " +
+                 std::to_string(profile_sample_us));
+  TS_REQUIRE(profile || profile_sample_us == 0.0,
+             "profile_sample_us requires profile=true");
   if (faults) faults->validate();
 }
 
@@ -104,7 +111,46 @@ void finalize(RunResult& result, const ExperimentConfig& config) {
     // Gflop/s = flops / (us * 1e-6) / 1e9 = flops / (us * 1e3).
     result.gflops = algorithm_flops(config) / (result.makespan_us * 1e3);
   }
+  if (!config.reference_trace.empty()) {
+    const trace::Trace reference = trace::load_trace(config.reference_trace);
+    result.comparison = std::make_shared<trace::TraceComparison>(
+        trace::compare_traces(reference, result.timeline));
+  }
 }
+
+/// Arms the process-global profiler for one run (when config.profile) and
+/// guarantees it is disabled again on every exit path.  Construct BEFORE
+/// the runtime so worker threads spawn — and name themselves — inside the
+/// enabled window; capture() wants the runtime destroyed first so the
+/// workers' final root scopes have been committed on join.
+class ProfilerLease {
+ public:
+  explicit ProfilerLease(const ExperimentConfig& config)
+      : active_(config.profile) {
+    if (active_) {
+      prof::Profiler::global().enable(config.profile_sample_us);
+      prof::set_thread_name("master");
+    }
+  }
+  ~ProfilerLease() {
+    if (active_) prof::Profiler::global().disable();
+  }
+  ProfilerLease(const ProfilerLease&) = delete;
+  ProfilerLease& operator=(const ProfilerLease&) = delete;
+
+  void capture(RunResult& result) {
+    if (!active_) return;
+    prof::Profiler& profiler = prof::Profiler::global();
+    profiler.disable();
+    result.profile =
+        std::make_shared<prof::ProfileSnapshot>(profiler.snapshot());
+    result.profile_samples =
+        std::make_shared<prof::SampleSeries>(profiler.samples());
+  }
+
+ private:
+  bool active_;
+};
 
 /// Per-thread ring capacity for a full recording of the configured run.
 /// The submitting thread carries the heaviest stream (submit + ready +
@@ -129,6 +175,7 @@ RunResult run_real(const ExperimentConfig& config,
   std::optional<linalg::Matrix> original;
   if (config.verify_numerics) original = a.to_dense();
 
+  ProfilerLease profiler_lease(config);
   sim::VirtualPlatform platform;
   auto runtime =
       sched::make_runtime(config.scheduler, runtime_config(config, true));
@@ -140,7 +187,11 @@ RunResult run_real(const ExperimentConfig& config,
   RunResult result;
 
   if (config.algorithm == Algorithm::cholesky) {
-    const int info = linalg::tile_cholesky(a, submitter);
+    int info;
+    {
+      prof::ScopedPhase run_scope(prof::Phase::master_run);
+      info = linalg::tile_cholesky(a, submitter);
+    }
     TS_REQUIRE(info == 0, "Cholesky hit a non-SPD diagonal block (info=" +
                               std::to_string(info) + ")");
     result.wall_us = stopwatch.elapsed_us();
@@ -148,7 +199,11 @@ RunResult run_real(const ExperimentConfig& config,
       result.residual = linalg::cholesky_residual(*original, a);
     }
   } else if (config.algorithm == Algorithm::lu) {
-    const int info = linalg::tile_lu_nopiv(a, submitter);
+    int info;
+    {
+      prof::ScopedPhase run_scope(prof::Phase::master_run);
+      info = linalg::tile_lu_nopiv(a, submitter);
+    }
     TS_REQUIRE(info == 0,
                "LU hit a zero pivot (info=" + std::to_string(info) + ")");
     result.wall_us = stopwatch.elapsed_us();
@@ -157,7 +212,10 @@ RunResult run_real(const ExperimentConfig& config,
     }
   } else {
     linalg::TileMatrix t = linalg::TileMatrix::zeros_like(a);
-    linalg::tile_qr(a, t, submitter);
+    {
+      prof::ScopedPhase run_scope(prof::Phase::master_run);
+      linalg::tile_qr(a, t, submitter);
+    }
     result.wall_us = stopwatch.elapsed_us();
     if (config.verify_numerics) {
       result.residual = linalg::qr_residual(*original, a, t);
@@ -166,10 +224,14 @@ RunResult run_real(const ExperimentConfig& config,
 
   result.timeline = platform.replay();
   result.tasks = platform.task_count();
-  finalize(result, config);
 
   runtime->remove_observer(&platform);
   if (calibration != nullptr) runtime->remove_observer(calibration);
+  if (config.profile) {
+    runtime.reset();  // join the workers: commits their final root scopes
+    profiler_lease.capture(result);
+  }
+  finalize(result, config);
   return result;
 }
 
@@ -181,6 +243,7 @@ RunResult run_simulated(const ExperimentConfig& config,
   // analysis) but never initialized or touched: simulated tasks do no work.
   linalg::TileMatrix a(config.n, config.nb);
 
+  ProfilerLease profiler_lease(config);
   auto runtime =
       sched::make_runtime(config.scheduler, runtime_config(config, false));
   if (auto* starpu = dynamic_cast<sched::StarpuRuntime*>(runtime.get())) {
@@ -211,20 +274,29 @@ RunResult run_simulated(const ExperimentConfig& config,
     recorder.enable(recorder_capacity_for(config));
   }
 
+  // QR workspace, allocated outside the root phase (like run_real): the
+  // multi-megabyte zeroed allocation is setup, not simulation time.
+  std::optional<linalg::TileMatrix> t;
+  if (config.algorithm == Algorithm::qr) {
+    t.emplace(linalg::TileMatrix::zeros_like(a));
+  }
   Stopwatch stopwatch;
   RunResult result;
   try {
+    // Submission + wait on this thread all happens inside the root phase
+    // (the tile algorithms call submitter.finish(), i.e. wait_all).
+    prof::ScopedPhase run_scope(prof::Phase::master_run);
     if (config.algorithm == Algorithm::cholesky) {
       linalg::tile_cholesky(a, submitter);
     } else if (config.algorithm == Algorithm::lu) {
       linalg::tile_lu_nopiv(a, submitter);
     } else {
-      linalg::TileMatrix t = linalg::TileMatrix::zeros_like(a);
-      linalg::tile_qr(a, t, submitter);
+      linalg::tile_qr(a, *t, submitter);
     }
   } catch (...) {
     // The recorder is process-global: leave it disabled rather than armed
-    // for whatever the caller does next with the error.
+    // for whatever the caller does next with the error.  (The profiler
+    // lease's destructor handles the same for the profiler.)
     if (config.record_lifecycle) recorder.disable();
     throw;
   }
@@ -243,6 +315,10 @@ RunResult run_simulated(const ExperimentConfig& config,
   result.timeline = engine.trace();
   result.tasks = engine.executed_tasks();
   result.quiescence_timeouts = engine.quiescence_timeouts();
+  if (config.profile) {
+    runtime.reset();  // join the workers: commits their final root scopes
+    profiler_lease.capture(result);
+  }
   finalize(result, config);
   return result;
 }

@@ -22,6 +22,8 @@
 #include "sim/fault_injection.hpp"
 #include "sim/kernel_model.hpp"
 #include "sim/sim_engine.hpp"
+#include "support/profiler.hpp"
+#include "trace/analysis.hpp"
 #include "trace/lifecycle.hpp"
 #include "trace/trace.hpp"
 
@@ -70,6 +72,19 @@ struct ExperimentConfig {
   /// Progress watchdog for simulated runs; 0 = disabled (see
   /// SimEngineOptions::watchdog_timeout_us).
   double watchdog_timeout_us = 0.0;
+  /// Enable the wall-clock self-profiler (support/profiler) across the run
+  /// and attach the merged per-thread phase snapshot to the result.  Works
+  /// for both run_real and run_simulated; the profiler is process-global,
+  /// so profiled runs must not overlap in one process.
+  bool profile = false;
+  /// Sampling period for the profiler's time series (Chrome counter
+  /// tracks); 0 = end-of-run totals only.  Requires `profile`.
+  double profile_sample_us = 0.0;
+  /// Path of a reference trace (text_io format).  When non-empty the run's
+  /// timeline is compared against it (trace::compare_traces) and the
+  /// TraceComparison attached to the result — e.g. point a simulated run at
+  /// the saved trace of the matching real run.
+  std::string reference_trace;
 
   /// Validate the numeric fields (throws InvalidArgument on nonsense:
   /// non-positive sizes, negative timeouts, out-of-range probabilities).
@@ -92,6 +107,14 @@ struct RunResult {
   /// Simulated runs with record_lifecycle: the assembled lifecycle log
   /// (shared so RunResult stays cheaply copyable).
   std::shared_ptr<trace::LifecycleLog> lifecycle;
+  /// Runs with config.profile: where the run's real time went (shared so
+  /// RunResult stays cheaply copyable).
+  std::shared_ptr<prof::ProfileSnapshot> profile;
+  /// Runs with config.profile and profile_sample_us > 0: the sampled
+  /// per-phase exclusive-time series.
+  std::shared_ptr<prof::SampleSeries> profile_samples;
+  /// Runs with config.reference_trace: this timeline vs the reference.
+  std::shared_ptr<trace::TraceComparison> comparison;
 };
 
 /// Algorithm flop count for the configured problem size.

@@ -1,11 +1,14 @@
 #include "harness/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "trace/chrome_export.hpp"
 
 namespace tasksim::harness {
 
@@ -70,7 +73,7 @@ TextTable metrics_table(const metrics::Snapshot& snapshot, bool include_zero) {
   for (const auto& [name, stats] : snapshot.histograms) {
     if (stats.count == 0 && !include_zero) continue;
     table.add_row({name, "histogram", std::to_string(stats.count),
-                   strprintf("sum=%.1f mean=%.2f p50<=%.2f p95<=%.2f",
+                   strprintf("sum=%.1f mean=%.2f p50~%.2f p95~%.2f",
                              stats.sum, stats.mean(), stats.quantile(0.5),
                              stats.quantile(0.95))});
   }
@@ -104,6 +107,128 @@ TextTable attribution_table(const trace::AttributionReport& report) {
   table.add_row({"binding-chain length",
                  std::to_string(report.chain_length) + " tasks", "-", "-"});
   return table;
+}
+
+TextTable profile_table(const prof::ProfileSnapshot& snapshot) {
+  TextTable table;
+  table.set_headers(
+      {"phase", "count", "excl wall", "share", "incl wall", "excl cpu"});
+  const auto totals = snapshot.totals();
+  const double root_incl = snapshot.root_incl_wall_us();
+  auto add = [&](prof::Phase phase) {
+    const prof::PhaseStats& s = totals[static_cast<std::size_t>(phase)];
+    if (s.count == 0 && s.excl_wall_us == 0.0 && s.incl_wall_us == 0.0) return;
+    const std::string share =
+        root_incl > 0.0 ? strprintf("%5.1f%%", 100.0 * s.excl_wall_us / root_incl)
+                        : std::string("-");
+    table.add_row({prof::phase_name(phase), std::to_string(s.count),
+                   format_duration_us(s.excl_wall_us), share,
+                   format_duration_us(s.incl_wall_us),
+                   format_duration_us(s.excl_cpu_us)});
+  };
+  // Non-root phases first, ordered by exclusive wall time (the ranking the
+  // overhead story cares about); roots last as the denominators.
+  std::vector<prof::Phase> phases;
+  for (std::size_t i = 0; i < prof::kPhaseCount; ++i) {
+    const auto phase = static_cast<prof::Phase>(i);
+    if (!prof::phase_is_root(phase)) phases.push_back(phase);
+  }
+  std::sort(phases.begin(), phases.end(), [&](prof::Phase a, prof::Phase b) {
+    return totals[static_cast<std::size_t>(a)].excl_wall_us >
+           totals[static_cast<std::size_t>(b)].excl_wall_us;
+  });
+  for (prof::Phase phase : phases) add(phase);
+  for (std::size_t i = 0; i < prof::kPhaseCount; ++i) {
+    const auto phase = static_cast<prof::Phase>(i);
+    if (prof::phase_is_root(phase)) add(phase);
+  }
+  return table;
+}
+
+void print_profile(const prof::ProfileSnapshot& snapshot,
+                   const std::string& title) {
+  std::printf("\n%s:\n", title.c_str());
+  std::string threads;
+  for (const auto& thread : snapshot.threads) {
+    if (!threads.empty()) threads += ", ";
+    threads += thread.name;
+  }
+  std::printf("  enabled for %s across %zu thread(s): %s\n",
+              format_duration_us(snapshot.enabled_for_us).c_str(),
+              snapshot.threads.size(), threads.c_str());
+  if (snapshot.scope_overflows > 0) {
+    std::printf("  warning: %llu scope(s) dropped (nesting > %zu)\n",
+                static_cast<unsigned long long>(snapshot.scope_overflows),
+                prof::kMaxScopeDepth);
+  }
+  std::fputs(profile_table(snapshot).to_string().c_str(), stdout);
+  std::printf("coverage: %.1f%% of bracketed time attributed (%s of %s)\n",
+              100.0 * snapshot.coverage(),
+              format_duration_us(snapshot.attributed_excl_wall_us()).c_str(),
+              format_duration_us(snapshot.root_incl_wall_us()).c_str());
+}
+
+void print_trace_comparison(const trace::TraceComparison& comparison,
+                            const std::string& title) {
+  std::printf("\n%s:\n", title.c_str());
+  std::fputs(comparison.to_string().c_str(), stdout);
+}
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+std::string comparison_json(const trace::TraceComparison& c) {
+  std::ostringstream os;
+  os << "{\"real_makespan_us\":" << json_number(c.real_makespan_us)
+     << ",\"sim_makespan_us\":" << json_number(c.sim_makespan_us)
+     << ",\"makespan_error_pct\":" << json_number(c.makespan_error_pct)
+     << ",\"start_order_tau\":" << json_number(c.start_order_tau)
+     << ",\"matched_tasks\":" << c.matched_tasks << ",\"kernels\":{";
+  bool first = true;
+  for (const auto& [kernel, d] : c.kernels) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << trace::escape_json(kernel)
+       << "\":{\"ks\":" << json_number(d.ks_statistic)
+       << ",\"mean_error_pct\":" << json_number(d.mean_error_pct)
+       << ",\"n_real\":" << d.real_count << ",\"n_sim\":" << d.sim_count
+       << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string run_result_json(const ExperimentConfig& config,
+                            const RunResult& result) {
+  std::ostringstream os;
+  os << "{\"schema\":\"tasksim-run-v1\",\"config\":{\"scheduler\":\""
+     << trace::escape_json(config.scheduler) << "\",\"algorithm\":\""
+     << to_string(config.algorithm) << "\",\"n\":" << config.n
+     << ",\"nb\":" << config.nb << ",\"workers\":" << config.workers
+     << ",\"mitigation\":\"" << sim::to_string(config.mitigation)
+     << "\",\"seed\":" << config.seed << "},\"makespan_us\":"
+     << json_number(result.makespan_us)
+     << ",\"wall_us\":" << json_number(result.wall_us)
+     << ",\"gflops\":" << json_number(result.gflops)
+     << ",\"tasks\":" << result.tasks
+     << ",\"quiescence_timeouts\":" << result.quiescence_timeouts
+     << ",\"failed_attempts\":" << result.failed_attempts
+     << ",\"retries\":" << result.retries << ",\"profile\":"
+     << (result.profile ? result.profile->to_json() : std::string("null"))
+     << ",\"comparison\":"
+     << (result.comparison ? comparison_json(*result.comparison)
+                           : std::string("null"))
+     << "}";
+  return os.str();
 }
 
 void print_lifecycle_report(const trace::LifecycleLog& log,

@@ -7,7 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "harness/experiment.hpp"
 #include "support/metrics.hpp"
+#include "support/profiler.hpp"
+#include "trace/analysis.hpp"
 #include "trace/lifecycle.hpp"
 
 namespace tasksim::harness {
@@ -50,5 +53,27 @@ TextTable attribution_table(const trace::AttributionReport& report);
 /// lifecycle log; the block benches print next to the metrics table.
 void print_lifecycle_report(const trace::LifecycleLog& log,
                             const std::string& title = "lifecycle report");
+
+/// Render a profiler snapshot as a per-phase table (merged across
+/// threads): scope count, exclusive/inclusive wall time, the exclusive
+/// share of root-bracketed time, and exclusive thread-CPU time.  Root
+/// phases are listed last with their inclusive totals.
+TextTable profile_table(const prof::ProfileSnapshot& snapshot);
+
+/// Print the "where the time goes" block: the profile table plus the
+/// thread list and the exclusive-time coverage of the run.
+void print_profile(const prof::ProfileSnapshot& snapshot,
+                   const std::string& title = "where the time goes");
+
+/// Print a reference-vs-run trace comparison (makespan error, start-order
+/// correlation, per-kernel KS statistics).
+void print_trace_comparison(const trace::TraceComparison& comparison,
+                            const std::string& title = "trace comparison");
+
+/// Render one run as a JSON document ("tasksim-run-v1"): the config point,
+/// headline results, and — when attached — the profile snapshot and the
+/// reference-trace comparison.  The format CI uploads as an artifact.
+std::string run_result_json(const ExperimentConfig& config,
+                            const RunResult& result);
 
 }  // namespace tasksim::harness

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "linalg/blas_kernels.hpp"
+#include "support/profiler.hpp"
 
 namespace tasksim::linalg {
 
@@ -15,6 +16,9 @@ int tile_cholesky(TileMatrix& a, sched::KernelSubmitter& submitter,
   auto info = std::make_shared<std::atomic<int>>(0);
 
   for (int k = 0; k < nt; ++k) {
+    // Descriptor construction is master-side real time; nested submit
+    // scopes subtract themselves out of this phase's exclusive share.
+    TS_PROF_SCOPE(task_build);
     {
       double* akk = a.tile(k, k);
       submitter.submit(

@@ -2,6 +2,7 @@
 
 #include "linalg/qr_kernels.hpp"
 #include "support/error.hpp"
+#include "support/profiler.hpp"
 
 namespace tasksim::linalg {
 
@@ -14,6 +15,10 @@ void tile_qr(TileMatrix& a, TileMatrix& t, sched::KernelSubmitter& submitter,
   const int panel_priority = options.prioritize_panel ? 1 : 0;
 
   for (int k = 0; k < nt; ++k) {
+    // Descriptor construction (lambdas, access lists) is master-side real
+    // time; the nested submit/window_wait scopes subtract themselves out of
+    // this phase's exclusive share.
+    TS_PROF_SCOPE(task_build);
     {
       double* akk = a.tile(k, k);
       double* tkk = t.tile(k, k);

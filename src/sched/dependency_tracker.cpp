@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/profiler.hpp"
 
 namespace tasksim::sched {
 
@@ -55,6 +56,7 @@ bool DependencyTracker::add_dependence(TaskRecord* pred, TaskRecord* task) {
 
 bool DependencyTracker::register_task(
     TaskRecord* task, std::vector<TaskRecord*>* new_predecessors) {
+  TS_PROF_SCOPE(dependency);
   std::vector<MergedAccess> merged;
   merge_accesses(task->desc.accesses, merged);
 
@@ -108,6 +110,7 @@ bool DependencyTracker::register_task(
 void DependencyTracker::on_complete(TaskRecord* task,
                                     std::vector<TaskRecord*>& newly_ready,
                                     bool poison_successors) {
+  TS_PROF_SCOPE(dependency);
   std::lock_guard<std::mutex> lock(mutex_);
   task->state.store(TaskState::finished, std::memory_order_relaxed);
   for (TaskRecord* succ : task->successors) {

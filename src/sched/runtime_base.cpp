@@ -6,6 +6,7 @@
 
 #include "support/error.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/profiler.hpp"
 #include "support/timing.hpp"
 
 namespace tasksim::sched {
@@ -132,6 +133,7 @@ void RuntimeBase::notify_workers() {
 }
 
 TaskId RuntimeBase::submit(TaskDescriptor desc) {
+  TS_PROF_SCOPE(submit);
   TS_REQUIRE(static_cast<bool>(desc.function), "task without a function");
   tasks_submitted_.inc();
   flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
@@ -143,7 +145,10 @@ TaskId RuntimeBase::submit(TaskDescriptor desc) {
       fr.record(flightrec::EventType::window_block);
       const double blocked_from = wall_time_us();
       submitter_waiting_.store(true, std::memory_order_release);
-      done_cv_.wait(lock, [&] { return pending_ < config_.window_size; });
+      {
+        TS_PROF_SCOPE(window_wait);
+        done_cv_.wait(lock, [&] { return pending_ < config_.window_size; });
+      }
       submitter_waiting_.store(false, std::memory_order_release);
       const double waited = wall_time_us() - blocked_from;
       window_wait_us_.observe(waited);
@@ -229,6 +234,7 @@ void RuntimeBase::route_released(int worker, std::span<TaskRecord*> released) {
 }
 
 TaskRecord* RuntimeBase::claim_task(int lane) {
+  TS_PROF_SCOPE(claim);
   // The dispatch window (popped from the ready pool but not yet counted as
   // running) must be visible to the simulation layer's safety predicate;
   // cover it with the bookkeeping counter.
@@ -248,7 +254,12 @@ TaskRecord* RuntimeBase::claim_task(int lane) {
 }
 
 void RuntimeBase::worker_loop(int lane) {
+  prof::set_thread_name("worker-" + std::to_string(lane));
   for (;;) {
+    // Per-iteration root scope: all of this lane's instrumented time nests
+    // under it, and it re-samples enabled() each pass so runs profiled
+    // after the workers started are still fully bracketed.
+    prof::ScopedPhase iteration_scope(prof::Phase::worker_iteration);
     TaskRecord* task = claim_task(lane);
     if (task != nullptr) {
       execute_task(task, lane);
@@ -266,6 +277,7 @@ void RuntimeBase::worker_loop(int lane) {
       continue;
     }
     lock.lock();
+    TS_PROF_SCOPE(idle_wait);
     worker_cv_.wait(lock,
                     [&] { return stop_ || ready_version_ != version; });
   }
@@ -304,6 +316,9 @@ void RuntimeBase::requeue_for_retry(TaskRecord* task, int lane,
 }
 
 void RuntimeBase::execute_task(TaskRecord* task, int lane) {
+  // Everything here that is not the task body itself is scheduler
+  // bookkeeping; the body opens its own phase so it is excluded.
+  TS_PROF_SCOPE(bookkeeping);
   // Injected dispatch latency: the task is counted running but has not yet
   // sampled the virtual clock — the §V-E race window, widened on demand.
   if (config_.dispatch_delay_us > 0.0) sleep_us(config_.dispatch_delay_us);
@@ -322,6 +337,7 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
 
   bool failed = false;
   try {
+    TS_PROF_SCOPE(task_body);
     if (lane_is_accelerator(lane) && accel_capable(task->desc)) {
       task->desc.accel_function(ctx);
     } else {
@@ -428,6 +444,9 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
 }
 
 void RuntimeBase::wait_all() {
+  // Exclusive time here is the master's blocked/drain time; a participating
+  // master's claims and task executions open their own nested phases.
+  TS_PROF_SCOPE(wait_all);
   if (config_.master_participates) {
     master_active_.store(true, std::memory_order_release);
     for (;;) {

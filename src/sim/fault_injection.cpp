@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/profiler.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 
@@ -81,12 +82,14 @@ std::uint64_t FaultPlan::hash(const std::string& kernel,
 }
 
 std::uint64_t FaultPlan::register_submission(const std::string& kernel) {
+  TS_PROF_SCOPE(fault_eval);
   std::lock_guard<std::mutex> lock(mutex_);
   return ordinals_[kernel]++;
 }
 
 FaultDecision FaultPlan::decide(const std::string& kernel,
                                 std::uint64_t ordinal, int attempt) const {
+  TS_PROF_SCOPE(fault_eval);
   FaultDecision decision;
   const KernelFaultRule* rule = rule_for(kernel);
   if (rule == nullptr) return decision;

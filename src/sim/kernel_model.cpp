@@ -6,6 +6,7 @@
 #include "stats/fitting.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
+#include "support/profiler.hpp"
 #include "support/strings.hpp"
 
 namespace tasksim::sim {
@@ -59,6 +60,7 @@ const stats::Distribution& KernelModelSet::model(
 
 double KernelModelSet::sample(const std::string& kernel, Rng& rng,
                               double min_duration_us) const {
+  TS_PROF_SCOPE(model_sample);
   // Normal models can produce (rare) non-positive durations; a virtual task
   // cannot run backwards, so clamp (the paper's models have tiny CV and are
   // effectively never clamped).

@@ -11,6 +11,7 @@
 #include "support/error.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/log.hpp"
+#include "support/profiler.hpp"
 #include "support/timing.hpp"
 
 namespace tasksim::sim {
@@ -223,6 +224,7 @@ double SimEngine::execute(sched::TaskContext& ctx,
       fault_stalls_.inc();
       fr.record(flightrec::EventType::fault_stall, ctx.id, ctx.worker,
                 decision.stall_us);
+      TS_PROF_SCOPE(fault_stall);
       interruptible_stall(decision.stall_us);
     }
   }
@@ -275,6 +277,7 @@ double SimEngine::execute(sched::TaskContext& ctx,
     if (options_.mitigation == RaceMitigation::yield_sleep) {
       // Give the scheduler a chance to finish bookkeeping that could insert
       // an earlier-completing task (paper §V-E's portable mitigation).
+      TS_PROF_SCOPE(mitigation_sleep);
       sched_yield();
       ::usleep(static_cast<useconds_t>(options_.sleep_us));
     }
@@ -284,6 +287,9 @@ double SimEngine::execute(sched::TaskContext& ctx,
               ticket.seq);
 
     if (options_.mitigation == RaceMitigation::quiescence) {
+      // The poll's own exclusive time is the predicate + yield cost; the TEQ
+      // re-blocks inside the loop show up separately as sim.teq_wait.
+      TS_PROF_SCOPE(quiescence_poll);
       const double wait_start = wall_time_us();
       std::uint64_t spins = 0;
       while (!scheduler_safe(ctx)) {

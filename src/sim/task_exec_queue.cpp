@@ -2,6 +2,7 @@
 
 #include "support/error.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/profiler.hpp"
 #include "support/timing.hpp"
 
 namespace tasksim::sim {
@@ -12,6 +13,7 @@ TaskExecQueue::TaskExecQueue()
       wait_us_(metrics::histogram("sim.queue.wait_us")) {}
 
 TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
+  TS_PROF_SCOPE(teq_mutex);
   std::lock_guard<std::mutex> lock(mutex_);
   if (cancelled_) {
     throw SimulationStalled("task execution queue cancelled", cancel_reason_);
@@ -46,6 +48,9 @@ void TaskExecQueue::wait_front(const Ticket& ticket) const {
     throw SimulationStalled("task execution queue cancelled", cancel_reason_);
   }
   if (*entries_.begin() == key(ticket)) return;
+  // Only the genuinely blocked path is profiled: the fast path above is a
+  // lock + set lookup and would drown the wait signal in probe counts.
+  prof::ScopedPhase prof_scope(prof::Phase::teq_wait);
   const double blocked_from = wall_time_us();
   cv_.wait(lock, [&] {
     return cancelled_ || *entries_.begin() == key(ticket);
@@ -62,6 +67,7 @@ bool TaskExecQueue::is_front(const Ticket& ticket) const {
 }
 
 void TaskExecQueue::leave(const Ticket& ticket) {
+  TS_PROF_SCOPE(teq_mutex);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto erased = entries_.erase(key(ticket));

@@ -134,14 +134,26 @@ std::uint64_t Counter::value() const {
 double HistogramStats::quantile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count)));
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t below = seen;
     seen += buckets[i];
-    if (seen >= target) return histogram_bucket_upper(i);
+    if (seen < target) continue;
+    // Interpolate linearly within the containing bucket, assuming the
+    // bucket's observations are uniformly spread over [lower, upper).  The
+    // result is within one bucket width of the true sample quantile, i.e.
+    // within a factor of 2 (geometric buckets) of the exact value.
+    const double lower = i == 0 ? 0.0 : histogram_bucket_upper(i - 1);
+    const double upper = histogram_bucket_upper(i);
+    if (!std::isfinite(upper)) return lower;  // unbounded overflow bucket
+    const double fraction = static_cast<double>(target - below) /
+                            static_cast<double>(buckets[i]);
+    return lower + fraction * (upper - lower);
   }
-  return histogram_bucket_upper(kHistogramBuckets - 1);
+  return 0.0;  // unreachable: count > 0 implies some bucket is non-empty
 }
 
 Snapshot Registry::snapshot() const {

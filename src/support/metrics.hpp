@@ -105,8 +105,12 @@ struct HistogramStats {
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
 
   double mean() const { return count == 0 ? 0.0 : sum / count; }
-  /// Upper bound of the bucket containing quantile `q` in [0, 1]
-  /// (conservative bucket-resolution estimate; 0 when empty).
+  /// Estimate of quantile `q` in [0, 1]: linear interpolation within the
+  /// bucket containing the target rank (observations assumed uniform over
+  /// the bucket), so the estimate is within one bucket width — a factor of
+  /// 2, with these geometric buckets — of the exact sample quantile.  The
+  /// unbounded overflow bucket cannot be interpolated and reports its
+  /// (finite) lower bound.  0 when empty.
   double quantile(double q) const;
 };
 

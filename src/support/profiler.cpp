@@ -1,0 +1,620 @@
+#include "support/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/timing.hpp"
+
+namespace tasksim::prof {
+
+namespace {
+
+constexpr std::size_t idx(Phase phase) {
+  return static_cast<std::size_t>(phase);
+}
+
+std::uint64_t next_profiler_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Single-writer accumulate: the owning thread is the only writer, so a
+/// relaxed load + store (no RMW) is race-free and cheap.
+void add_relaxed(std::atomic<double>& cell, double delta) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void bump_relaxed(std::atomic<std::uint64_t>& cell) {
+  cell.store(cell.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::master_run: return "harness.master_run";
+    case Phase::worker_iteration: return "sched.worker_iteration";
+    case Phase::task_build: return "sched.task_build";
+    case Phase::submit: return "sched.submit";
+    case Phase::window_wait: return "sched.window_wait";
+    case Phase::dependency: return "sched.dependency";
+    case Phase::claim: return "sched.claim";
+    case Phase::bookkeeping: return "sched.bookkeeping";
+    case Phase::task_body: return "sched.task_body";
+    case Phase::idle_wait: return "sched.idle_wait";
+    case Phase::wait_all: return "sched.wait_all";
+    case Phase::model_sample: return "sim.model_sample";
+    case Phase::fault_eval: return "sim.fault_eval";
+    case Phase::fault_stall: return "sim.fault_stall";
+    case Phase::teq_mutex: return "sim.teq_mutex";
+    case Phase::teq_wait: return "sim.teq_wait";
+    case Phase::mitigation_sleep: return "sim.mitigation_sleep";
+    case Phase::quiescence_poll: return "sim.quiescence_poll";
+    case Phase::trace_append: return "trace.append";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+bool phase_is_root(Phase phase) {
+  return phase == Phase::master_run || phase == Phase::worker_iteration;
+}
+
+Phase parse_phase(const std::string& name) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    if (name == phase_name(phase)) return phase;
+  }
+  throw InvalidArgument("unknown profiler phase: '" + name + "'");
+}
+
+PhaseStats& PhaseStats::operator+=(const PhaseStats& other) {
+  count += other.count;
+  excl_wall_us += other.excl_wall_us;
+  incl_wall_us += other.incl_wall_us;
+  excl_cpu_us += other.excl_cpu_us;
+  incl_cpu_us += other.incl_cpu_us;
+  return *this;
+}
+
+std::array<PhaseStats, kPhaseCount> ProfileSnapshot::totals() const {
+  std::array<PhaseStats, kPhaseCount> out{};
+  for (const auto& thread : threads) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) out[i] += thread.phases[i];
+  }
+  return out;
+}
+
+double ProfileSnapshot::attributed_excl_wall_us() const {
+  double total = 0.0;
+  const auto merged = totals();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (!phase_is_root(static_cast<Phase>(i))) total += merged[i].excl_wall_us;
+  }
+  return total;
+}
+
+double ProfileSnapshot::root_incl_wall_us() const {
+  double total = 0.0;
+  const auto merged = totals();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (phase_is_root(static_cast<Phase>(i))) total += merged[i].incl_wall_us;
+  }
+  return total;
+}
+
+double ProfileSnapshot::coverage() const {
+  const double root = root_incl_wall_us();
+  if (root <= 0.0) return 0.0;
+  return std::clamp(attributed_excl_wall_us() / root, 0.0, 1.0);
+}
+
+std::string ProfileSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"tasksim-profile-v1\",\"enabled_for_us\":"
+     << json_number(enabled_for_us)
+     << ",\"scope_overflows\":" << scope_overflows << ",\"threads\":[";
+  bool first_thread = true;
+  for (const auto& thread : threads) {
+    if (!first_thread) os << ',';
+    first_thread = false;
+    os << "{\"name\":\"" << json_escape(thread.name) << "\",\"phases\":[";
+    bool first_phase = true;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      const PhaseStats& s = thread.phases[i];
+      if (s.count == 0 && s.excl_wall_us == 0.0 && s.incl_wall_us == 0.0) {
+        continue;
+      }
+      if (!first_phase) os << ',';
+      first_phase = false;
+      os << "{\"phase\":\"" << phase_name(static_cast<Phase>(i))
+         << "\",\"count\":" << s.count
+         << ",\"excl_wall_us\":" << json_number(s.excl_wall_us)
+         << ",\"incl_wall_us\":" << json_number(s.incl_wall_us)
+         << ",\"excl_cpu_us\":" << json_number(s.excl_cpu_us)
+         << ",\"incl_cpu_us\":" << json_number(s.incl_cpu_us) << '}';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough to round-trip to_json() documents (and
+// reject malformed ones); not a general-purpose parser.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { null_t, bool_t, number, string, array, object };
+  Type type = Type::null_t;
+  bool boolean = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  const JsonValue& at(const std::string& key) const {
+    const JsonValue* v = find(key);
+    TS_REQUIRE(v != nullptr, "profile JSON: missing key '" + key + "'");
+    return *v;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    TS_REQUIRE(pos_ == text_.size(), "profile JSON: trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    TS_REQUIRE(pos_ < text_.size(), "profile JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    TS_REQUIRE(peek() == c, std::string("profile JSON: expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::string;
+      v.string_value = string();
+      return v;
+    }
+    JsonValue v;
+    if (consume_literal("null")) return v;
+    if (consume_literal("true")) {
+      v.type = JsonValue::Type::bool_t;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.type = JsonValue::Type::bool_t;
+      return v;
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      TS_REQUIRE(peek() == '"', "profile JSON: object key must be a string");
+      std::string key = string();
+      expect(':');
+      v.members.emplace_back(std::move(key), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      TS_REQUIRE(pos_ < text_.size(), "profile JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        TS_REQUIRE(pos_ < text_.size(), "profile JSON: unterminated escape");
+        const char e = text_[pos_++];
+        TS_REQUIRE(e == '"' || e == '\\',
+                   "profile JSON: unsupported escape sequence");
+        out.push_back(e);
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    TS_REQUIRE(pos_ > start, "profile JSON: expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::number;
+    try {
+      v.number_value = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      throw InvalidArgument("profile JSON: malformed number '" +
+                            text_.substr(start, pos_ - start) + "'");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double as_number(const JsonValue& v, const char* what) {
+  TS_REQUIRE(v.type == JsonValue::Type::number,
+             std::string("profile JSON: ") + what + " must be a number");
+  return v.number_value;
+}
+
+}  // namespace
+
+ProfileSnapshot parse_profile_json(const std::string& json) {
+  const JsonValue doc = JsonReader(json).parse();
+  TS_REQUIRE(doc.type == JsonValue::Type::object,
+             "profile JSON: document must be an object");
+  const JsonValue& schema = doc.at("schema");
+  TS_REQUIRE(schema.type == JsonValue::Type::string &&
+                 schema.string_value == "tasksim-profile-v1",
+             "profile JSON: unknown schema (want tasksim-profile-v1)");
+  ProfileSnapshot snap;
+  snap.enabled_for_us = as_number(doc.at("enabled_for_us"), "enabled_for_us");
+  snap.scope_overflows = static_cast<std::uint64_t>(
+      as_number(doc.at("scope_overflows"), "scope_overflows"));
+  const JsonValue& threads = doc.at("threads");
+  TS_REQUIRE(threads.type == JsonValue::Type::array,
+             "profile JSON: 'threads' must be an array");
+  for (const JsonValue& thread : threads.items) {
+    TS_REQUIRE(thread.type == JsonValue::Type::object,
+               "profile JSON: thread entries must be objects");
+    ThreadProfile profile;
+    const JsonValue& name = thread.at("name");
+    TS_REQUIRE(name.type == JsonValue::Type::string,
+               "profile JSON: thread 'name' must be a string");
+    profile.name = name.string_value;
+    const JsonValue& phases = thread.at("phases");
+    TS_REQUIRE(phases.type == JsonValue::Type::array,
+               "profile JSON: 'phases' must be an array");
+    for (const JsonValue& entry : phases.items) {
+      TS_REQUIRE(entry.type == JsonValue::Type::object,
+                 "profile JSON: phase entries must be objects");
+      const JsonValue& phase_tag = entry.at("phase");
+      TS_REQUIRE(phase_tag.type == JsonValue::Type::string,
+                 "profile JSON: 'phase' must be a string");
+      PhaseStats& s = profile.phases[idx(parse_phase(phase_tag.string_value))];
+      s.count = static_cast<std::uint64_t>(
+          as_number(entry.at("count"), "count"));
+      s.excl_wall_us = as_number(entry.at("excl_wall_us"), "excl_wall_us");
+      s.incl_wall_us = as_number(entry.at("incl_wall_us"), "incl_wall_us");
+      s.excl_cpu_us = as_number(entry.at("excl_cpu_us"), "excl_cpu_us");
+      s.incl_cpu_us = as_number(entry.at("incl_cpu_us"), "incl_cpu_us");
+    }
+    snap.threads.push_back(std::move(profile));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+Profiler::Profiler() : id_(next_profiler_id()) {}
+
+Profiler::~Profiler() { disable(); }
+
+Profiler& Profiler::global() {
+  static Profiler* instance = new Profiler();  // intentionally leaked, like
+  return *instance;  // metrics::Registry::global(): probes in static dtors
+}                    // must never touch a destroyed profiler
+
+namespace {
+// Full per-thread shard map backing the one-entry cache fast path (the cache
+// misses only when a thread alternates between profiler instances).
+struct ProfTlsCache {
+  std::uint64_t id = 0;
+  void* shard = nullptr;
+};
+thread_local ProfTlsCache t_prof_cache;
+thread_local std::unordered_map<std::uint64_t, void*> t_prof_shards;
+}  // namespace
+
+Profiler::Shard& Profiler::local_shard() {
+  if (t_prof_cache.id == id_) {
+    return *static_cast<Shard*>(t_prof_cache.shard);
+  }
+  return local_shard_slow();
+}
+
+Profiler::Shard& Profiler::local_shard_slow() {
+  auto it = t_prof_shards.find(id_);
+  Shard* shard;
+  if (it != t_prof_shards.end()) {
+    shard = static_cast<Shard*>(it->second);
+  } else {
+    auto owned = std::make_unique<Shard>();
+    shard = owned.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shards_.push_back(std::move(owned));
+    }
+    t_prof_shards.emplace(id_, shard);
+  }
+  t_prof_cache = {id_, shard};
+  return *shard;
+}
+
+void Profiler::charge_top(Shard& shard, double now_wall, double now_cpu) {
+  if (shard.depth == 0) return;
+  Cell& cell = shard.cells[idx(shard.stack[shard.depth - 1].phase)];
+  add_relaxed(cell.excl_wall, now_wall - shard.mark_wall);
+  add_relaxed(cell.excl_cpu, now_cpu - shard.mark_cpu);
+}
+
+Profiler::Shard* Profiler::enter_scope(Phase phase) {
+  Shard& shard = local_shard();
+  if (shard.depth >= kMaxScopeDepth) {
+    bump_relaxed(shard.overflows);
+    return nullptr;
+  }
+  const double now_wall = wall_time_us();
+  const double now_cpu = thread_cpu_time_us();
+  charge_top(shard, now_wall, now_cpu);
+  shard.stack[shard.depth++] = Frame{phase, now_wall, now_cpu};
+  shard.mark_wall = now_wall;
+  shard.mark_cpu = now_cpu;
+  return &shard;
+}
+
+void Profiler::exit_scope(Shard& shard) {
+  // depth can only be zero here if the scope that opened this frame raced a
+  // reset of the stack, which enable()/reset() never do; stay defensive.
+  if (shard.depth == 0) return;
+  const double now_wall = wall_time_us();
+  const double now_cpu = thread_cpu_time_us();
+  charge_top(shard, now_wall, now_cpu);
+  const Frame frame = shard.stack[--shard.depth];
+  Cell& cell = shard.cells[idx(frame.phase)];
+  bump_relaxed(cell.count);
+  add_relaxed(cell.incl_wall, now_wall - frame.enter_wall);
+  add_relaxed(cell.incl_cpu, now_cpu - frame.enter_cpu);
+  shard.mark_wall = now_wall;
+  shard.mark_cpu = now_cpu;
+}
+
+void Profiler::enable(double sample_period_us) {
+  disable();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) {
+      for (auto& cell : shard->cells) {
+        cell.count.store(0, std::memory_order_relaxed);
+        cell.excl_wall.store(0.0, std::memory_order_relaxed);
+        cell.incl_wall.store(0.0, std::memory_order_relaxed);
+        cell.excl_cpu.store(0.0, std::memory_order_relaxed);
+        cell.incl_cpu.store(0.0, std::memory_order_relaxed);
+      }
+      shard->overflows.store(0, std::memory_order_relaxed);
+    }
+    t0_us_ = wall_time_us();
+    end_us_ = t0_us_;
+    series_ = SampleSeries{};
+    series_.t0_us = t0_us_;
+    sampler_stop_ = false;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  if (sample_period_us > 0.0) {
+    sampler_ = std::thread([this, sample_period_us] {
+      sampler_loop(sample_period_us);
+    });
+  }
+}
+
+void Profiler::disable() {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  enabled_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sampler_stop_ = true;
+    end_us_ = wall_time_us();
+  }
+  sampler_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void Profiler::sampler_loop(double period_us) {
+  const auto period =
+      std::chrono::microseconds(static_cast<long long>(period_us));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!sampler_stop_) {
+    if (sampler_cv_.wait_for(lock, period, [this] { return sampler_stop_; })) {
+      break;
+    }
+    series_.samples.push_back(take_sample());
+  }
+}
+
+PhaseSample Profiler::take_sample() const {
+  // Caller holds mutex_.
+  PhaseSample sample;
+  sample.wall_us = wall_time_us();
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      sample.excl_wall_us[i] +=
+          shard->cells[i].excl_wall.load(std::memory_order_relaxed);
+    }
+  }
+  return sample;
+}
+
+ProfileSnapshot Profiler::snapshot() const {
+  ProfileSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double end =
+      enabled_.load(std::memory_order_relaxed) ? wall_time_us() : end_us_;
+  snap.enabled_for_us = std::max(0.0, end - t0_us_);
+  std::size_t index = 0;
+  for (const auto& shard : shards_) {
+    snap.scope_overflows += shard->overflows.load(std::memory_order_relaxed);
+    std::array<PhaseStats, kPhaseCount> phases{};
+    bool any = false;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      PhaseStats& s = phases[i];
+      const Cell& cell = shard->cells[i];
+      s.count = cell.count.load(std::memory_order_relaxed);
+      s.excl_wall_us = cell.excl_wall.load(std::memory_order_relaxed);
+      s.incl_wall_us = cell.incl_wall.load(std::memory_order_relaxed);
+      s.excl_cpu_us = cell.excl_cpu.load(std::memory_order_relaxed);
+      s.incl_cpu_us = cell.incl_cpu.load(std::memory_order_relaxed);
+      any = any || s.count != 0 || s.excl_wall_us != 0.0 ||
+            s.incl_wall_us != 0.0;
+    }
+    ++index;
+    if (!any) continue;  // a thread from a previous run; nothing this window
+    auto& profile = snap.threads.emplace_back();
+    profile.phases = phases;
+    if (shard->name.empty()) {
+      // "t" + to_string trips a GCC 12 -Wrestrict false positive (PR 105329)
+      // when inlined here; format directly instead.
+      char fallback[24];
+      std::snprintf(fallback, sizeof(fallback), "t%zu", index - 1);
+      profile.name = fallback;
+    } else {
+      profile.name = shard->name;
+    }
+  }
+  return snap;
+}
+
+SampleSeries Profiler::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (auto& cell : shard->cells) {
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.excl_wall.store(0.0, std::memory_order_relaxed);
+      cell.incl_wall.store(0.0, std::memory_order_relaxed);
+      cell.excl_cpu.store(0.0, std::memory_order_relaxed);
+      cell.incl_cpu.store(0.0, std::memory_order_relaxed);
+    }
+    shard->overflows.store(0, std::memory_order_relaxed);
+  }
+  series_.samples.clear();
+}
+
+void Profiler::set_thread_name(const std::string& name) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(mutex_);
+  shard.name = name;
+}
+
+void set_thread_name(const std::string& name) {
+  Profiler::global().set_thread_name(name);
+}
+
+}  // namespace tasksim::prof

@@ -1,0 +1,271 @@
+// profiler.hpp — the wall-clock self-profiler: where does the *simulator*
+// spend real time?
+//
+// The metrics registry (support/metrics) counts events and the flight
+// recorder (support/flight_recorder) explains causality on the virtual
+// timeline; neither says where the simulator's own wall time goes.  That
+// question is the paper's §VI overhead story: scheduler-in-the-loop
+// simulation is fast *except* where the §V-E race mitigations (yield/sleep,
+// quiescence polling) burn real time.  This profiler attributes real time —
+// wall clock and per-thread CPU — to a static registry of phases so a run
+// can report "62% mitigation sleep, 21% TEQ front wait, 9% task bodies".
+//
+// Model:
+//   * Phases are a fixed enum (the static registry): every probe indexes a
+//     flat per-thread array, no hashing or registration on any hot path.
+//   * A probe is an RAII scope (`ScopedPhase` / TS_PROF_SCOPE).  Scopes
+//     nest; time is attributed *exclusively* to the innermost open scope,
+//     and each scope additionally accumulates its *inclusive* span, so
+//     `incl(parent) == excl(parent) + Σ incl(children)` holds exactly (the
+//     same clock reads bound both sides).
+//   * Two root phases (`master_run`, `worker_iteration`) bracket all
+//     instrumented thread time.  Coverage — the acceptance metric of the
+//     overhead ablation — is Σ non-root exclusive / Σ root inclusive: the
+//     fraction of bracketed real time explained by a named phase.
+//   * Cost: when disabled a scope is one relaxed atomic load and a branch
+//     (~1 ns; cheap enough to leave compiled into the TEQ and scheduler hot
+//     paths — micro_components asserts the budget).  When enabled, a scope
+//     performs two wall + two thread-CPU clock reads and a handful of
+//     single-writer relaxed stores into its thread's shard.
+//   * Merge-on-snapshot, like metrics::snapshot(): shards are per-thread
+//     (one writer, never contended); snapshot() merges them under the
+//     registry lock into a per-thread, per-phase view.  Best-effort while
+//     threads are still inside scopes; intended for end-of-run reporting.
+//   * Optional sampling: enable(period) starts a sampler thread that
+//     records the merged per-phase exclusive totals every `period` µs of
+//     wall time.  trace/chrome_export turns the series into Chrome counter
+//     tracks (per-phase thread-share over time).
+//
+// The process-wide default instance is Profiler::global(); separate
+// instances are supported (used by tests) and must outlive any thread that
+// touched them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tasksim::prof {
+
+/// The static phase registry.  Adding a phase: extend the enum (before
+/// kCount), then phase_name() and (if it brackets whole-thread time)
+/// phase_is_root() in profiler.cpp.
+enum class Phase : std::uint8_t {
+  // --- roots: bracket all instrumented time on their thread --------------
+  master_run,        ///< harness: submission + wait on the calling thread
+  worker_iteration,  ///< one worker-loop iteration (claim / execute / idle)
+  // --- scheduler (sched/runtime_base, sched/dependency_tracker) ----------
+  task_build,        ///< algorithm driver building descriptors (linalg/tile_*)
+  submit,            ///< RuntimeBase::submit (throttle + registration)
+  window_wait,       ///< submitter blocked on the task window
+  dependency,        ///< dependence registration / completion release
+  claim,             ///< ready-pool pop + dispatch bookkeeping
+  bookkeeping,       ///< execute_task minus the task body
+  task_body,         ///< the task function (real kernel or simulated body)
+  idle_wait,         ///< worker blocked waiting for ready tasks
+  wait_all,          ///< master blocked in wait_all / final drain
+  // --- simulation (sim/sim_engine, sim/task_exec_queue, sim/kernel_model)
+  model_sample,      ///< kernel execution-time model sampling
+  fault_eval,        ///< fault-plan decision hashing
+  fault_stall,       ///< injected real-time worker stall
+  teq_mutex,         ///< TEQ mutex critical sections (enter / leave)
+  teq_wait,          ///< blocked in TEQ wait_front (§V-C ordering)
+  mitigation_sleep,  ///< yield_sleep mitigation: sched_yield + usleep (§V-E)
+  quiescence_poll,   ///< quiescence mitigation polling loop (§V-E)
+  // --- tracing ------------------------------------------------------------
+  trace_append,      ///< Trace::record (virtual or real timeline append)
+  kCount,
+};
+
+inline constexpr std::size_t kPhaseCount =
+    static_cast<std::size_t>(Phase::kCount);
+/// Deepest scope nesting tracked per thread; deeper scopes are counted in
+/// ProfileSnapshot::scope_overflows and their time stays in the parent's
+/// exclusive share.
+inline constexpr std::size_t kMaxScopeDepth = 16;
+
+const char* phase_name(Phase phase);
+/// Roots bracket all instrumented time on their thread; non-root exclusive
+/// time over root inclusive time is the coverage metric.
+bool phase_is_root(Phase phase);
+/// Inverse of phase_name (throws InvalidArgument on unknown names).
+Phase parse_phase(const std::string& name);
+
+struct PhaseStats {
+  std::uint64_t count = 0;       ///< completed scopes
+  double excl_wall_us = 0.0;     ///< wall time with this phase innermost
+  double incl_wall_us = 0.0;     ///< wall time between scope enter and exit
+  double excl_cpu_us = 0.0;      ///< thread-CPU analogue of excl_wall_us
+  double incl_cpu_us = 0.0;      ///< thread-CPU analogue of incl_wall_us
+
+  PhaseStats& operator+=(const PhaseStats& other);
+};
+
+struct ThreadProfile {
+  std::string name;  ///< set_thread_name(), or "t<index>"
+  std::array<PhaseStats, kPhaseCount> phases{};
+};
+
+struct ProfileSnapshot {
+  /// Wall time the profiler was enabled up to this snapshot (or disable).
+  double enabled_for_us = 0.0;
+  /// Scopes dropped because the per-thread stack exceeded kMaxScopeDepth.
+  std::uint64_t scope_overflows = 0;
+  std::vector<ThreadProfile> threads;
+
+  /// Per-phase totals merged across threads.
+  std::array<PhaseStats, kPhaseCount> totals() const;
+  /// Σ exclusive wall time of non-root phases (the explained time).
+  double attributed_excl_wall_us() const;
+  /// Σ inclusive wall time of root phases (the bracketed thread time).
+  double root_incl_wall_us() const;
+  /// attributed / root-inclusive in [0, 1]; 0 when nothing was bracketed.
+  double coverage() const;
+
+  /// Stable single-document JSON ("tasksim-profile-v1"): enabled span,
+  /// overflow count, per-thread phase arrays (zero phases omitted).
+  std::string to_json() const;
+};
+
+/// Parse a to_json() document back into a snapshot (schema round-trip;
+/// throws InvalidArgument on malformed input or an unknown schema tag).
+ProfileSnapshot parse_profile_json(const std::string& json);
+
+/// One sampler observation: merged per-phase exclusive wall totals.
+struct PhaseSample {
+  double wall_us = 0.0;  ///< absolute wall clock of the sample
+  std::array<double, kPhaseCount> excl_wall_us{};
+};
+
+struct SampleSeries {
+  double t0_us = 0.0;  ///< wall clock at enable()
+  std::vector<PhaseSample> samples;
+};
+
+class Profiler {
+ public:
+  Profiler();
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Start profiling: zero every cell, restart the sample series, and (when
+  /// `sample_period_us` > 0) start the sampler thread.  Call at a quiescent
+  /// point — scopes already open keep attributing into the cleared cells.
+  void enable(double sample_period_us = 0.0);
+
+  /// Stop profiling (and the sampler).  Recorded data stays snapshotable.
+  void disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Merge every shard into a per-thread, per-phase view.  Threads that
+  /// recorded nothing since the last enable() are omitted.
+  ProfileSnapshot snapshot() const;
+
+  /// The sampler's series since the last enable() (empty when sampling was
+  /// off).
+  SampleSeries samples() const;
+
+  /// Zero every cell and drop the sample series (shards stay registered).
+  void reset();
+
+  /// Name the calling thread's shard in snapshots ("master", "worker-3").
+  /// No-op while disabled, so unprofiled runs allocate nothing.
+  void set_thread_name(const std::string& name);
+
+  /// The process-wide profiler every instrumentation site records into.
+  static Profiler& global();
+
+ private:
+  friend class ScopedPhase;
+
+  /// Single-writer cells: written by the owning thread with relaxed
+  /// load-op-store (no RMW), read by snapshot()/sampler.
+  struct Cell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> excl_wall{0.0};
+    std::atomic<double> incl_wall{0.0};
+    std::atomic<double> excl_cpu{0.0};
+    std::atomic<double> incl_cpu{0.0};
+  };
+
+  struct Frame {
+    Phase phase = Phase::kCount;
+    double enter_wall = 0.0;
+    double enter_cpu = 0.0;
+  };
+
+  struct Shard {
+    std::array<Cell, kPhaseCount> cells{};
+    std::atomic<std::uint64_t> overflows{0};
+    // The scope stack and marks are touched only by the owning thread.
+    std::array<Frame, kMaxScopeDepth> stack{};
+    std::size_t depth = 0;
+    double mark_wall = 0.0;  ///< wall clock of the last push/pop event
+    double mark_cpu = 0.0;
+    std::string name;  ///< guarded by the profiler mutex
+  };
+
+  /// Open a scope on the calling thread's shard; nullptr when the stack is
+  /// full (the scope is dropped and counted in overflows).
+  Shard* enter_scope(Phase phase);
+  static void exit_scope(Shard& shard);
+  static void charge_top(Shard& shard, double now_wall, double now_cpu);
+
+  Shard& local_shard();
+  Shard& local_shard_slow();
+
+  void sampler_loop(double period_us);
+  PhaseSample take_sample() const;
+
+  std::uint64_t id_;  ///< unique per instance; keys the thread-local cache
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;  ///< guards shards_, names, series_, sampler
+  std::vector<std::unique_ptr<Shard>> shards_;
+  double t0_us_ = 0.0;   ///< wall clock at the last enable()
+  double end_us_ = 0.0;  ///< wall clock at the last disable()
+  SampleSeries series_;
+  std::thread sampler_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+};
+
+/// RAII probe.  Constructing while the profiler is disabled is inert (one
+/// relaxed load + branch); constructing while enabled opens the phase on
+/// the calling thread until destruction.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase phase) : ScopedPhase(Profiler::global(), phase) {}
+  ScopedPhase(Profiler& profiler, Phase phase) {
+    if (profiler.enabled()) shard_ = profiler.enter_scope(phase);
+  }
+  ~ScopedPhase() {
+    if (shard_ != nullptr) Profiler::exit_scope(*shard_);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Profiler::Shard* shard_ = nullptr;
+};
+
+/// Name the calling thread in the global profiler's snapshots.
+void set_thread_name(const std::string& name);
+
+#define TS_PROF_CONCAT_IMPL(a, b) a##b
+#define TS_PROF_CONCAT(a, b) TS_PROF_CONCAT_IMPL(a, b)
+/// Probe the enclosing block as `phase` (a Phase enumerator name) on the
+/// process-global profiler.
+#define TS_PROF_SCOPE(phase)                                      \
+  ::tasksim::prof::ScopedPhase TS_PROF_CONCAT(ts_prof_scope_,     \
+                                              __LINE__)(          \
+      ::tasksim::prof::Phase::phase)
+
+}  // namespace tasksim::prof

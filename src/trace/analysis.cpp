@@ -37,7 +37,10 @@ TraceStats analyze(const Trace& trace) {
     s.total_busy_us += e.duration_us();
     durations[e.kernel].push_back(e.duration_us());
   }
-  if (s.makespan_us > 0.0 && s.worker_count > 0) {
+  // Degenerate traces (empty, all-zero-length events, or no workers) must
+  // yield zeroed stats, never NaN/inf from the division.
+  if (std::isfinite(s.makespan_us) && s.makespan_us > 0.0 &&
+      s.worker_count > 0) {
     s.mean_utilization =
         s.total_busy_us / (s.makespan_us * static_cast<double>(s.worker_count));
   }
@@ -120,7 +123,7 @@ std::vector<double> utilization_profile(const Trace& trace, int buckets) {
   if (events.empty()) return busy;
   const double t0 = trace.start_us().value_or(0.0);
   const double span = trace.makespan_us();
-  if (span <= 0.0) return busy;
+  if (!std::isfinite(span) || span <= 0.0) return busy;
   const double bucket_width = span / buckets;
   const int workers = std::max(trace.worker_count(), 1);
   for (const auto& e : events) {

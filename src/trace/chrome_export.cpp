@@ -96,6 +96,42 @@ CounterTrack occupancy_track(const Trace& trace, const std::string& name,
   return occupancy_track(trace.events(), name, pid);
 }
 
+std::vector<CounterTrack> profiler_share_tracks(
+    const prof::SampleSeries& series, int pid) {
+  std::vector<CounterTrack> tracks;
+  if (series.samples.empty()) return tracks;
+  for (std::size_t p = 0; p < prof::kPhaseCount; ++p) {
+    const auto phase = static_cast<prof::Phase>(p);
+    bool any = false;
+    for (const auto& sample : series.samples) {
+      if (sample.excl_wall_us[p] > 0.0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    CounterTrack track;
+    track.name = std::string("prof: ") + prof::phase_name(phase);
+    track.pid = pid;
+    track.samples.reserve(series.samples.size());
+    // The samples carry cumulative exclusive totals (summed over every
+    // thread); the share over one interval is Δexcl / Δwall, which can
+    // exceed 100% when several threads sit in the phase at once.
+    double prev_wall = series.t0_us;
+    double prev_excl = 0.0;
+    for (const auto& sample : series.samples) {
+      const double dt = sample.wall_us - prev_wall;
+      const double dexcl = sample.excl_wall_us[p] - prev_excl;
+      const double share = dt > 0.0 ? 100.0 * dexcl / dt : 0.0;
+      track.samples.push_back({sample.wall_us - series.t0_us, share});
+      prev_wall = sample.wall_us;
+      prev_excl = sample.excl_wall_us[p];
+    }
+    tracks.push_back(std::move(track));
+  }
+  return tracks;
+}
+
 std::string render_chrome_json(const std::vector<const Trace*>& traces,
                                const std::vector<CounterTrack>& counters,
                                const std::vector<std::string>& extra_events) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "support/profiler.hpp"
 #include "trace/trace.hpp"
 
 namespace tasksim::trace {
@@ -43,6 +44,14 @@ CounterTrack occupancy_track(const Trace& trace, const std::string& name,
                              int pid = 1);
 CounterTrack occupancy_track(const std::vector<TraceEvent>& events,
                              const std::string& name, int pid = 1);
+
+/// Convert a profiler sample series into per-phase counter tracks: one
+/// "prof: <phase>" track per phase that accrued exclusive wall time, each
+/// sample the phase's share (percent) of elapsed wall time over the
+/// preceding sampling interval.  Timestamps are relative to the series
+/// start, so the tracks line up with virtual timelines starting at 0.
+std::vector<CounterTrack> profiler_share_tracks(
+    const prof::SampleSeries& series, int pid = 1);
 
 /// Render as a Chrome Trace Event JSON document ("traceEvents" array of
 /// complete events; one pid per trace label, one tid per worker lane).

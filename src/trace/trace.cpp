@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/profiler.hpp"
 
 namespace tasksim::trace {
 
@@ -46,6 +47,7 @@ std::string Trace::label() const {
 
 void Trace::record(std::uint64_t task_id, const std::string& kernel,
                    int worker, double start_us, double end_us) {
+  TS_PROF_SCOPE(trace_append);
   TS_REQUIRE(end_us >= start_us, "trace event ends before it starts");
   TS_REQUIRE(worker >= 0, "negative worker index");
   std::lock_guard<std::mutex> lock(mutex_);

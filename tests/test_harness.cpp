@@ -2,11 +2,14 @@
 // pipeline, report tables, and the autotuner.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "harness/autotune.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "linalg/tile_cholesky.hpp"
 #include "support/error.hpp"
+#include "trace/text_io.hpp"
 
 namespace tasksim::harness {
 namespace {
@@ -77,6 +80,69 @@ TEST(Experiment, SimulatedRunUsesModels) {
     EXPECT_DOUBLE_EQ(e.duration_us(), 100.0);
   }
   EXPECT_EQ(result.quiescence_timeouts, 0u);
+}
+
+TEST(Experiment, ProfiledSimulatedRunAttachesSnapshot) {
+  sim::KernelModelSet models;
+  for (const char* kernel : {"dpotrf", "dtrsm", "dsyrk", "dgemm"}) {
+    models.set_model(kernel, std::make_unique<stats::ConstantDist>(100.0));
+  }
+  ExperimentConfig config = small_config(Algorithm::cholesky, "quark");
+  config.verify_numerics = false;
+  config.profile = true;
+  const RunResult result = run_simulated(config, models);
+  ASSERT_TRUE(result.profile != nullptr);
+  const prof::ProfileSnapshot& snap = *result.profile;
+  EXPECT_GT(snap.enabled_for_us, 0.0);
+  // Master plus both workers left named shards behind.
+  ASSERT_GE(snap.threads.size(), 3u);
+  bool saw_master = false, saw_worker = false;
+  for (const auto& thread : snap.threads) {
+    saw_master = saw_master || thread.name == "master";
+    saw_worker = saw_worker || thread.name.rfind("worker-", 0) == 0;
+  }
+  EXPECT_TRUE(saw_master);
+  EXPECT_TRUE(saw_worker);
+  const auto totals = snap.totals();
+  EXPECT_EQ(totals[static_cast<std::size_t>(prof::Phase::task_body)].count,
+            result.tasks);
+  EXPECT_GT(snap.coverage(), 0.0);
+  EXPECT_LE(snap.coverage(), 1.0);
+  // The profiler was disabled on return: a later unprofiled run is inert.
+  EXPECT_FALSE(prof::Profiler::global().enabled());
+  // The stable JSON document embeds in the run report.
+  const std::string json = run_result_json(config, result);
+  EXPECT_NE(json.find("\"tasksim-run-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tasksim-profile-v1\""), std::string::npos);
+}
+
+TEST(Experiment, ReferenceTraceAttachesComparison) {
+  sim::KernelModelSet models;
+  for (const char* kernel : {"dpotrf", "dtrsm", "dsyrk", "dgemm"}) {
+    models.set_model(kernel, std::make_unique<stats::ConstantDist>(50.0));
+  }
+  ExperimentConfig config = small_config(Algorithm::cholesky, "quark");
+  config.verify_numerics = false;
+  const RunResult reference = run_simulated(config, models);
+  const std::string path = "test_harness_reference.trace";
+  trace::save_trace(reference.timeline, path);
+
+  config.reference_trace = path;
+  const RunResult result = run_simulated(config, models);
+  std::remove(path.c_str());
+  ASSERT_TRUE(result.comparison != nullptr);
+  EXPECT_EQ(result.comparison->matched_tasks, result.tasks);
+  // Identical models and seed: the comparison is against an equal run.
+  EXPECT_NEAR(result.comparison->makespan_error_pct, 0.0, 1e-9);
+  const std::string json = run_result_json(config, result);
+  EXPECT_NE(json.find("\"comparison\""), std::string::npos);
+  EXPECT_NE(json.find("\"start_order_tau\""), std::string::npos);
+}
+
+TEST(Experiment, ProfileSampleRequiresProfile) {
+  ExperimentConfig config = small_config(Algorithm::cholesky, "quark");
+  config.profile_sample_us = 100.0;  // without profile=true
+  EXPECT_THROW(config.validate(), InvalidArgument);
 }
 
 TEST(Experiment, CalibrateProducesModelsForAllKernels) {

@@ -109,16 +109,48 @@ TEST(Metrics, HistogramCountsSumAndBuckets) {
   EXPECT_EQ(stats.buckets[kHistogramBuckets - 1], 1u);
 }
 
-TEST(Metrics, HistogramQuantileIsBucketUpperBound) {
+TEST(Metrics, HistogramQuantileInterpolatesWithinBucket) {
   HistogramStats stats;
   stats.count = 4;
-  stats.buckets[0] = 2;  // <= 0.25
-  stats.buckets[3] = 2;  // <= 2.0
-  EXPECT_DOUBLE_EQ(stats.quantile(0.0), 0.25);
+  stats.buckets[0] = 2;  // [0, 0.25]
+  stats.buckets[3] = 2;  // (1.0, 2.0]
+  // Rank 1 of 2 in bucket 0: halfway through [0, 0.25].
+  EXPECT_DOUBLE_EQ(stats.quantile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(stats.quantile(0.25), 0.125);
+  // Rank 2 of 2: the bucket's upper bound.
   EXPECT_DOUBLE_EQ(stats.quantile(0.5), 0.25);
-  EXPECT_DOUBLE_EQ(stats.quantile(0.75), 2.0);
+  // Rank 3 = rank 1 of 2 in bucket 3: halfway through (1.0, 2.0].
+  EXPECT_DOUBLE_EQ(stats.quantile(0.75), 1.5);
   EXPECT_DOUBLE_EQ(stats.quantile(1.0), 2.0);
   EXPECT_DOUBLE_EQ(HistogramStats{}.quantile(0.5), 0.0);  // empty
+}
+
+TEST(Metrics, HistogramQuantileIsMonotoneAndWithinOneBucket) {
+  Registry reg;
+  Histogram h = reg.histogram("q");
+  // 100 observations of 3.0 land in the (2.0, 4.0] bucket: every quantile
+  // must stay inside that bucket (the documented resolution guarantee).
+  for (int i = 0; i < 100; ++i) h.observe(3.0);
+  const auto stats = reg.snapshot().histograms.at("q");
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = stats.quantile(q);
+    EXPECT_GT(v, 2.0);
+    EXPECT_LE(v, 4.0);
+    EXPECT_GE(v, prev);  // monotone in q
+    prev = v;
+  }
+}
+
+TEST(Metrics, HistogramQuantileOverflowBucketReportsLowerBound) {
+  HistogramStats stats;
+  stats.count = 1;
+  stats.buckets[kHistogramBuckets - 1] = 1;
+  // The overflow bucket is unbounded, so interpolation is impossible; the
+  // estimate must still be finite.
+  const double v = stats.quantile(1.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_DOUBLE_EQ(v, histogram_bucket_upper(kHistogramBuckets - 2));
 }
 
 TEST(Metrics, HistogramMergesAcrossThreads) {

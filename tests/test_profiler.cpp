@@ -1,0 +1,307 @@
+// Tests for the phase profiler: nested exclusive/inclusive attribution,
+// cross-thread merge, the disabled fast path, overflow accounting, the
+// sampler, and the JSON schema round-trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/profiler.hpp"
+#include "support/timing.hpp"
+
+namespace tasksim::prof {
+namespace {
+
+// Burn wall time without sleeping so both the wall and CPU clocks advance.
+void spin_for_us(double us) {
+  const double t0 = wall_time_us();
+  while (wall_time_us() - t0 < us) {
+  }
+}
+
+const PhaseStats& stats_of(const std::array<PhaseStats, kPhaseCount>& totals,
+                           Phase phase) {
+  return totals[static_cast<std::size_t>(phase)];
+}
+
+// ----------------------------------------------------------- static registry
+
+TEST(Profiler, PhaseNamesRoundTripThroughParse) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    EXPECT_EQ(parse_phase(phase_name(phase)), phase) << phase_name(phase);
+  }
+  EXPECT_THROW(parse_phase("no.such.phase"), InvalidArgument);
+}
+
+TEST(Profiler, ExactlyTheTwoDocumentedRoots) {
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (phase_is_root(static_cast<Phase>(i))) ++roots;
+  }
+  EXPECT_EQ(roots, 2u);
+  EXPECT_TRUE(phase_is_root(Phase::master_run));
+  EXPECT_TRUE(phase_is_root(Phase::worker_iteration));
+  EXPECT_FALSE(phase_is_root(Phase::task_body));
+}
+
+// ------------------------------------------------------------- disabled path
+
+TEST(Profiler, DisabledScopesRecordNothing) {
+  Profiler profiler;  // never enabled
+  {
+    ScopedPhase outer(profiler, Phase::master_run);
+    ScopedPhase inner(profiler, Phase::submit);
+    spin_for_us(100.0);
+  }
+  const ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_TRUE(snap.threads.empty());
+  EXPECT_EQ(snap.scope_overflows, 0u);
+  const auto totals = snap.totals();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    EXPECT_EQ(totals[i].count, 0u);
+    EXPECT_DOUBLE_EQ(totals[i].excl_wall_us, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(snap.coverage(), 0.0);
+}
+
+// --------------------------------------------------- nested excl/incl maths
+
+TEST(Profiler, NestedScopesSplitExclusiveAndInclusiveTime) {
+  Profiler profiler;
+  profiler.enable();
+  profiler.set_thread_name("master");
+  {
+    ScopedPhase root(profiler, Phase::master_run);
+    spin_for_us(2000.0);  // exclusive to the root
+    {
+      ScopedPhase child(profiler, Phase::submit);
+      spin_for_us(2000.0);  // exclusive to the child
+    }
+    spin_for_us(1000.0);  // exclusive to the root again
+  }
+  profiler.disable();
+
+  const ProfileSnapshot snap = profiler.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  EXPECT_EQ(snap.threads[0].name, "master");
+  const auto totals = snap.totals();
+  const PhaseStats& root = stats_of(totals, Phase::master_run);
+  const PhaseStats& child = stats_of(totals, Phase::submit);
+
+  EXPECT_EQ(root.count, 1u);
+  EXPECT_EQ(child.count, 1u);
+  // The spins bound the attribution from below; scheduling noise only adds.
+  EXPECT_GE(root.excl_wall_us, 3000.0);
+  EXPECT_GE(child.excl_wall_us, 2000.0);
+  EXPECT_GE(root.incl_wall_us, 5000.0);
+  // A leaf's inclusive and exclusive spans are the same interval.
+  EXPECT_NEAR(child.incl_wall_us, child.excl_wall_us, 0.5);
+  // The attribution identity: incl(parent) = excl(parent) + incl(children).
+  EXPECT_NEAR(root.incl_wall_us, root.excl_wall_us + child.incl_wall_us, 0.5);
+  // Spinning burns CPU, so the thread-CPU clock must have advanced too.
+  EXPECT_GT(root.excl_cpu_us, 0.0);
+  EXPECT_GT(child.excl_cpu_us, 0.0);
+  // Coverage = child exclusive over root inclusive: 2ms of 5ms, plus noise.
+  EXPECT_GT(snap.coverage(), 0.2);
+  EXPECT_LE(snap.coverage(), 1.0);
+}
+
+TEST(Profiler, RepeatedScopesAccumulateCounts) {
+  Profiler profiler;
+  profiler.enable();
+  {
+    ScopedPhase root(profiler, Phase::master_run);
+    for (int i = 0; i < 100; ++i) {
+      ScopedPhase child(profiler, Phase::dependency);
+    }
+  }
+  profiler.disable();
+  const auto totals = profiler.snapshot().totals();
+  EXPECT_EQ(stats_of(totals, Phase::dependency).count, 100u);
+  EXPECT_EQ(stats_of(totals, Phase::master_run).count, 1u);
+}
+
+// -------------------------------------------------------- cross-thread merge
+
+TEST(Profiler, MergesShardsAcrossThreads) {
+  Profiler profiler;
+  profiler.enable();
+  profiler.set_thread_name("master");
+  constexpr int kWorkers = 3;
+  constexpr int kIterations = 50;
+  {
+    ScopedPhase root(profiler, Phase::master_run);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&profiler, w] {
+        profiler.set_thread_name("worker-" + std::to_string(w));
+        for (int i = 0; i < kIterations; ++i) {
+          ScopedPhase iteration(profiler, Phase::worker_iteration);
+          ScopedPhase claim(profiler, Phase::claim);
+          spin_for_us(20.0);
+        }
+      });
+    }
+    // Mirror the production shape: the master's wait is a non-root phase,
+    // so its share of the root time counts as attributed.
+    ScopedPhase wait(profiler, Phase::wait_all);
+    for (auto& t : workers) t.join();
+  }
+  profiler.disable();
+
+  const ProfileSnapshot snap = profiler.snapshot();
+  ASSERT_EQ(snap.threads.size(), 1u + kWorkers);
+  std::vector<std::string> names;
+  for (const auto& thread : snap.threads) names.push_back(thread.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "master"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "worker-0"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "worker-2"), names.end());
+
+  const auto totals = snap.totals();
+  EXPECT_EQ(stats_of(totals, Phase::worker_iteration).count,
+            static_cast<std::uint64_t>(kWorkers) * kIterations);
+  EXPECT_EQ(stats_of(totals, Phase::claim).count,
+            static_cast<std::uint64_t>(kWorkers) * kIterations);
+  // Every worker iteration spent essentially all its time inside `claim`,
+  // and the master root is all scheduler-side wait: coverage stays high.
+  EXPECT_GT(snap.coverage(), 0.5);
+  EXPECT_LE(snap.coverage(), 1.0);
+}
+
+// ------------------------------------------------------------ depth overflow
+
+TEST(Profiler, ScopesBeyondMaxDepthAreDroppedAndCounted) {
+  Profiler profiler;
+  profiler.enable();
+  {
+    std::vector<std::unique_ptr<ScopedPhase>> scopes;
+    for (std::size_t i = 0; i < kMaxScopeDepth + 2; ++i) {
+      scopes.push_back(
+          std::make_unique<ScopedPhase>(profiler, Phase::bookkeeping));
+    }
+    while (!scopes.empty()) scopes.pop_back();  // strict LIFO teardown
+  }
+  profiler.disable();
+  const ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_EQ(snap.scope_overflows, 2u);
+  EXPECT_EQ(snap.totals()[static_cast<std::size_t>(Phase::bookkeeping)].count,
+            kMaxScopeDepth);
+}
+
+// ------------------------------------------------------------ enable / reset
+
+TEST(Profiler, EnableRestartsCleanly) {
+  Profiler profiler;
+  profiler.enable();
+  {
+    ScopedPhase root(profiler, Phase::master_run);
+    ScopedPhase child(profiler, Phase::submit);
+    spin_for_us(50.0);
+  }
+  profiler.disable();
+  EXPECT_EQ(profiler.snapshot().totals()[static_cast<std::size_t>(
+                Phase::submit)].count,
+            1u);
+
+  profiler.enable();  // must zero the previous run's cells
+  profiler.disable();
+  const auto totals = profiler.snapshot().totals();
+  EXPECT_EQ(stats_of(totals, Phase::submit).count, 0u);
+  EXPECT_DOUBLE_EQ(stats_of(totals, Phase::submit).excl_wall_us, 0.0);
+}
+
+// ----------------------------------------------------------------- sampling
+
+TEST(Profiler, SamplerRecordsMonotoneExclusiveTotals) {
+  Profiler profiler;
+  profiler.enable(/*sample_period_us=*/2000.0);
+  {
+    ScopedPhase root(profiler, Phase::master_run);
+    ScopedPhase child(profiler, Phase::model_sample);
+    spin_for_us(30000.0);
+  }
+  profiler.disable();
+  const SampleSeries series = profiler.samples();
+  ASSERT_GE(series.samples.size(), 1u);
+  EXPECT_GT(series.t0_us, 0.0);
+  double prev = 0.0;
+  for (const auto& sample : series.samples) {
+    EXPECT_GE(sample.wall_us, series.t0_us);
+    const double excl =
+        sample.excl_wall_us[static_cast<std::size_t>(Phase::model_sample)];
+    EXPECT_GE(excl, prev);  // cumulative totals never decrease
+    prev = excl;
+  }
+}
+
+// ----------------------------------------------------------- JSON round-trip
+
+TEST(Profiler, JsonRoundTripPreservesEverything) {
+  Profiler profiler;
+  profiler.enable();
+  profiler.set_thread_name("master");
+  {
+    ScopedPhase root(profiler, Phase::master_run);
+    spin_for_us(500.0);
+    {
+      ScopedPhase child(profiler, Phase::teq_wait);
+      spin_for_us(500.0);
+    }
+    std::thread worker([&profiler] {
+      profiler.set_thread_name("worker-0");
+      ScopedPhase iteration(profiler, Phase::worker_iteration);
+      ScopedPhase body(profiler, Phase::task_body);
+      spin_for_us(500.0);
+    });
+    worker.join();
+  }
+  profiler.disable();
+
+  const ProfileSnapshot snap = profiler.snapshot();
+  const ProfileSnapshot parsed = parse_profile_json(snap.to_json());
+
+  EXPECT_NEAR(parsed.enabled_for_us, snap.enabled_for_us, 1e-6);
+  EXPECT_EQ(parsed.scope_overflows, snap.scope_overflows);
+  ASSERT_EQ(parsed.threads.size(), snap.threads.size());
+  for (std::size_t t = 0; t < snap.threads.size(); ++t) {
+    EXPECT_EQ(parsed.threads[t].name, snap.threads[t].name);
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      const PhaseStats& a = snap.threads[t].phases[i];
+      const PhaseStats& b = parsed.threads[t].phases[i];
+      EXPECT_EQ(a.count, b.count);
+      EXPECT_NEAR(a.excl_wall_us, b.excl_wall_us, 1e-6);
+      EXPECT_NEAR(a.incl_wall_us, b.incl_wall_us, 1e-6);
+      EXPECT_NEAR(a.excl_cpu_us, b.excl_cpu_us, 1e-6);
+      EXPECT_NEAR(a.incl_cpu_us, b.incl_cpu_us, 1e-6);
+    }
+  }
+  // Derived metrics survive the round-trip too.
+  EXPECT_NEAR(parsed.coverage(), snap.coverage(), 1e-9);
+}
+
+TEST(Profiler, ParseRejectsMalformedAndForeignDocuments) {
+  EXPECT_THROW(parse_profile_json(""), InvalidArgument);
+  EXPECT_THROW(parse_profile_json("{"), InvalidArgument);
+  EXPECT_THROW(parse_profile_json("{\"schema\":\"something-else\"}"),
+               InvalidArgument);
+}
+
+TEST(Profiler, EmptySnapshotRoundTrips) {
+  Profiler profiler;
+  profiler.enable();
+  profiler.disable();
+  const ProfileSnapshot parsed =
+      parse_profile_json(profiler.snapshot().to_json());
+  EXPECT_TRUE(parsed.threads.empty());
+  EXPECT_EQ(parsed.scope_overflows, 0u);
+}
+
+}  // namespace
+}  // namespace tasksim::prof

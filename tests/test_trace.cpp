@@ -1,6 +1,7 @@
 // Tests for the trace library: recording, serialization, SVG, analysis.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <thread>
@@ -304,6 +305,58 @@ TEST(Analysis, UtilizationProfileFullWhenPacked) {
   const auto profile = utilization_profile(t, 4);
   ASSERT_EQ(profile.size(), 4u);
   for (double u : profile) EXPECT_NEAR(u, 1.0, 1e-9);
+}
+
+TEST(Analysis, EmptyTraceYieldsZeroedStatsNotNan) {
+  const TraceStats s = analyze(Trace{});
+  EXPECT_EQ(s.task_count, 0u);
+  EXPECT_EQ(s.worker_count, 0);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_busy_us, 0.0);
+  // The utilization divides by makespan * workers: with both zero the
+  // result must be a clean 0, never NaN.
+  EXPECT_DOUBLE_EQ(s.mean_utilization, 0.0);
+  EXPECT_TRUE(std::isfinite(s.mean_utilization));
+}
+
+TEST(Analysis, ZeroMakespanTraceYieldsFiniteStats) {
+  // All events are instantaneous at the same moment: makespan is 0 but the
+  // trace is non-empty, so the division guard (not the empty-trace early
+  // path) is what keeps utilization finite.
+  Trace t;
+  t.record(0, "k", 0, 10.0, 10.0);
+  t.record(1, "k", 1, 10.0, 10.0);
+  const TraceStats s = analyze(t);
+  EXPECT_EQ(s.task_count, 2u);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_utilization, 0.0);
+  EXPECT_TRUE(std::isfinite(s.mean_utilization));
+}
+
+TEST(Analysis, CompareZeroMakespanTracesIsFinite) {
+  Trace t;
+  t.record(0, "k", 0, 5.0, 5.0);
+  const TraceComparison c = compare_traces(t, t);
+  EXPECT_TRUE(std::isfinite(c.makespan_error_pct));
+  EXPECT_DOUBLE_EQ(c.makespan_error_pct, 0.0);
+  for (const auto& [kernel, delta] : c.kernels) {
+    EXPECT_TRUE(std::isfinite(delta.mean_error_pct)) << kernel;
+  }
+}
+
+TEST(Analysis, UtilizationProfileOfDegenerateTracesIsAllZero) {
+  const auto empty = utilization_profile(Trace{}, 5);
+  ASSERT_EQ(empty.size(), 5u);
+  for (double u : empty) EXPECT_DOUBLE_EQ(u, 0.0);
+
+  Trace flat;  // non-empty but zero span: bucket width would be 0
+  flat.record(0, "k", 0, 3.0, 3.0);
+  const auto profile = utilization_profile(flat, 3);
+  ASSERT_EQ(profile.size(), 3u);
+  for (double u : profile) {
+    EXPECT_TRUE(std::isfinite(u));
+    EXPECT_DOUBLE_EQ(u, 0.0);
+  }
 }
 
 TEST(Analysis, UtilizationProfileDetectsIdleTail) {
