@@ -33,6 +33,7 @@
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "support/cli.hpp"
+#include "support/metrics.hpp"
 #include "support/profiler.hpp"
 #include "support/strings.hpp"
 #include "support/sysinfo.hpp"
@@ -72,6 +73,11 @@ std::string top_phases(const prof::ProfileSnapshot& snap, std::size_t k) {
   return out.empty() ? std::string("-") : out;
 }
 
+std::uint64_t counter_value(const metrics::Snapshot& snap, const char* name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,6 +87,7 @@ int main(int argc, char** argv) {
   double min_coverage = 0.9;
   double sample_us = 5000.0;
   std::string json_path;
+  std::string bench_json_path;
   std::string chrome_prefix;
   CliParser cli("ablation_overhead",
                 "simulator self-profile: wall overhead per scheduler and "
@@ -94,6 +101,9 @@ int main(int argc, char** argv) {
                  "profiler sampling period (0 = totals only)");
   cli.add_string("json", &json_path,
                  "write every run as a tasksim-run-v1 JSON array");
+  cli.add_string("bench-json", &bench_json_path,
+                 "write per-cell TEQ wakeup counts and phase shares "
+                 "(tasksim-bench-teq-v1; merged into BENCH_teq.json by CI)");
   cli.add_string("chrome", &chrome_prefix,
                  "write <prefix>_<mitigation>.json Chrome traces with "
                  "profiler share tracks (primary scheduler only)");
@@ -132,12 +142,15 @@ int main(int argc, char** argv) {
                      "top phases (excl share)"});
   std::vector<harness::RunResult> primary_runs;  // per mitigation, quark
   std::vector<std::string> json_rows;
+  std::vector<std::string> bench_cells;
   bool coverage_ok = true;
   for (const std::string& scheduler : schedulers) {
     config.scheduler = scheduler;
     for (sim::RaceMitigation mitigation : mitigations) {
       config.mitigation = mitigation;
+      const metrics::Snapshot before = metrics::snapshot();
       const harness::RunResult sim = harness::run_simulated(config, models);
+      const metrics::Snapshot after = metrics::snapshot();
       if (!sim.profile) {
         std::fprintf(stderr, "run produced no profile snapshot\n");
         return 1;
@@ -160,6 +173,48 @@ int main(int argc, char** argv) {
                      strprintf("%5.1f%%", mitigation_share),
                      top_phases(snap, 3)});
       json_rows.push_back(harness::run_result_json(config, sim));
+      if (!bench_json_path.empty()) {
+        // TEQ wakeup accounting for the cell: counter deltas across the
+        // run, plus the queue-related phase shares.  wakeups/completion is
+        // the hard anti-herd number CI gates on — targeted parking pays at
+        // most one unpark per leave, where the seed broadcast to every
+        // blocked worker on every enter and leave.
+        const auto delta = [&](const char* name) {
+          return counter_value(after, name) - counter_value(before, name);
+        };
+        const std::uint64_t completions = delta("sim.queue.enters");
+        const std::uint64_t teq_wakeups = delta("sim.queue.wakeups");
+        const std::uint64_t tasks = delta("sched.tasks_completed");
+        const std::uint64_t worker_wakeups = delta("sched.worker_wakeups");
+        bench_cells.push_back(strprintf(
+            "{\"scheduler\": \"%s\", \"mitigation\": \"%s\", "
+            "\"workers\": %d, \"tasks\": %llu, "
+            "\"teq\": {\"completions\": %llu, \"wakeups\": %llu, "
+            "\"parks\": %llu, \"displacements\": %llu, "
+            "\"wakeups_per_completion\": %.4f}, "
+            "\"worker_wakeups\": %llu, \"worker_wakeups_per_task\": %.4f, "
+            "\"phase_shares\": {\"teq_mutex\": %.4f, \"teq_wait\": %.4f, "
+            "\"teq_publish\": %.4f, \"teq_park\": %.4f}, "
+            "\"coverage\": %.4f}",
+            scheduler.c_str(), to_string(mitigation), workers,
+            static_cast<unsigned long long>(tasks),
+            static_cast<unsigned long long>(completions),
+            static_cast<unsigned long long>(teq_wakeups),
+            static_cast<unsigned long long>(delta("sim.queue.parks")),
+            static_cast<unsigned long long>(
+                delta("sim.queue.displacements")),
+            completions > 0 ? static_cast<double>(teq_wakeups) /
+                                  static_cast<double>(completions)
+                            : 0.0,
+            static_cast<unsigned long long>(worker_wakeups),
+            tasks > 0 ? static_cast<double>(worker_wakeups) /
+                            static_cast<double>(tasks)
+                      : 0.0,
+            phase_share(snap, prof::Phase::teq_mutex) / 100.0,
+            phase_share(snap, prof::Phase::teq_wait) / 100.0,
+            phase_share(snap, prof::Phase::teq_publish) / 100.0,
+            phase_share(snap, prof::Phase::teq_park) / 100.0, coverage));
+      }
       if (scheduler == schedulers.front()) {
         primary_runs.push_back(sim);
         if (!chrome_prefix.empty() && sim.profile_samples) {
@@ -184,6 +239,20 @@ int main(int argc, char** argv) {
         *primary_runs[i].profile,
         strprintf("where the time goes (%s, %s)", schedulers.front().c_str(),
                   to_string(mitigations[i])));
+  }
+
+  if (!bench_json_path.empty()) {
+    std::ofstream out(bench_json_path);
+    out << "{\"schema\": \"tasksim-bench-teq-v1\",\n"
+        << " \"source\": \"ablation_overhead\",\n"
+        << " \"workers\": " << workers << ",\n \"cells\": [";
+    for (std::size_t i = 0; i < bench_cells.size(); ++i) {
+      if (i > 0) out << ",\n  ";
+      out << bench_cells[i];
+    }
+    out << "]}\n";
+    std::printf("\nwrote %zu TEQ bench cells to %s\n", bench_cells.size(),
+                bench_json_path.c_str());
   }
 
   if (!json_path.empty()) {

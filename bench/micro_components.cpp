@@ -7,9 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "linalg/blas_kernels.hpp"
@@ -398,6 +402,88 @@ int check_disabled_probe_budget(double budget_ns) {
   return 0;
 }
 
+// ------------------------------------------------------- BENCH_teq output
+
+std::uint64_t queue_counter(const char* name) {
+  const auto snap = tasksim::metrics::snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+}
+
+// Focused TEQ measurements for the BENCH_*.json convention: CI merges this
+// document with ablation_overhead's cells into BENCH_teq.json, uploads the
+// artifact, and fails the build when the wakeups-per-completion count
+// regresses (the thundering-herd guard).
+int write_bench_json(const std::string& path) {
+  using tasksim::sim::TaskExecQueue;
+
+  // Uncontended enter -> wait_front -> leave throughput.  wait_front is the
+  // published-front fast path here: one acquire load, no mutex.
+  constexpr int kOps = 200000;
+  TaskExecQueue solo;
+  double t = 0.0;
+  const double t0 = tasksim::wall_time_us();
+  for (int i = 0; i < kOps; ++i) {
+    const auto ticket = solo.enter(t += 1.0);
+    solo.wait_front(ticket);
+    solo.leave(ticket);
+  }
+  const double uncontended_ops =
+      kOps / ((tasksim::wall_time_us() - t0) * 1e-6);
+
+  // Contended cohorts: every thread enters, then the cohort drains in
+  // ticket order — the pattern where the seed's notify_all broadcast woke
+  // every parked waiter on every enter and leave (O(n²) wakeups per
+  // cohort).  Targeted parking pays at most one wakeup per completion.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  const std::uint64_t wake0 = queue_counter("sim.queue.wakeups");
+  const std::uint64_t park0 = queue_counter("sim.queue.parks");
+  for (int round = 0; round < kRounds; ++round) {
+    TaskExecQueue q;
+    std::atomic<int> entered{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&q, &entered, round, i] {
+        const auto ticket =
+            q.enter(round * 1000.0 + static_cast<double>(i));
+        entered.fetch_add(1);
+        while (entered.load() < kThreads) std::this_thread::yield();
+        q.wait_front(ticket);
+        q.leave(ticket);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const std::uint64_t wakeups = queue_counter("sim.queue.wakeups") - wake0;
+  const std::uint64_t parks = queue_counter("sim.queue.parks") - park0;
+  constexpr std::uint64_t kCompletions =
+      static_cast<std::uint64_t>(kThreads) * kRounds;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\"schema\": \"tasksim-bench-teq-v1\",\n"
+      << " \"source\": \"micro_components\",\n"
+      << " \"uncontended_enter_leave_ops_per_sec\": "
+      << static_cast<std::uint64_t>(uncontended_ops) << ",\n"
+      << " \"contended\": {\"threads\": " << kThreads
+      << ", \"completions\": " << kCompletions
+      << ", \"wakeups\": " << wakeups << ", \"parks\": " << parks
+      << ", \"wakeups_per_completion\": "
+      << static_cast<double>(wakeups) / static_cast<double>(kCompletions)
+      << "}}\n";
+  std::printf("wrote TEQ bench document to %s (%.2f wakeups/completion "
+              "contended, %.0f ops/s uncontended)\n",
+              path.c_str(),
+              static_cast<double>(wakeups) /
+                  static_cast<double>(kCompletions),
+              uncontended_ops);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -405,12 +491,16 @@ int main(int argc, char** argv) {
   // budget check after the benchmarks; everything else goes to
   // google-benchmark as usual.
   double budget_ns = 0.0;
+  std::string bench_json;
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string prefix = "--probe-budget-ns=";
+    const std::string json_prefix = "--bench-json=";
     if (arg.rfind(prefix, 0) == 0) {
       budget_ns = std::stod(arg.substr(prefix.size()));
+    } else if (arg.rfind(json_prefix, 0) == 0) {
+      bench_json = arg.substr(json_prefix.size());
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -423,5 +513,8 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return budget_ns > 0.0 ? check_disabled_probe_budget(budget_ns) : 0;
+  int rc = 0;
+  if (budget_ns > 0.0) rc |= check_disabled_probe_budget(budget_ns);
+  if (!bench_json.empty()) rc |= write_bench_json(bench_json);
+  return rc;
 }

@@ -41,8 +41,9 @@ std::string OmpssRuntime::name() const {
   return std::string("ompss/") + to_string(options_.policy);
 }
 
-void OmpssRuntime::push_ready(TaskRecord* task, int /*worker_hint*/) {
+int OmpssRuntime::push_ready(TaskRecord* task, int /*worker_hint*/) {
   queue_.push(task);
+  return -1;  // central queue: any executor can pop it
 }
 
 TaskRecord* OmpssRuntime::pop_ready(int worker) {
@@ -86,9 +87,12 @@ void OmpssRuntime::route_released(int worker,
       start = 1;
     }
   }
+  // The immediate-successor slot needs no wakeup — the finishing worker is
+  // the only consumer and pops it on its next claim.  The rest go through
+  // the shared queue with a targeted wake each.
   for (std::size_t i = start; i < released.size(); ++i) {
     mark_ready(released[i]);
-    push_ready(released[i], worker);
+    dispatch_ready(released[i], worker);
   }
 }
 

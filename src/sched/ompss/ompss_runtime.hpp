@@ -45,7 +45,7 @@ class OmpssRuntime final : public RuntimeBase {
   bool ready_task_reachable() const override;
 
  protected:
-  void push_ready(TaskRecord* task, int worker_hint) override;
+  int push_ready(TaskRecord* task, int worker_hint) override;
   TaskRecord* pop_ready(int worker) override;
   std::size_t ready_count() const override;
   void route_released(int worker, std::span<TaskRecord*> released) override;

@@ -13,7 +13,7 @@ QuarkRuntime::QuarkRuntime(RuntimeConfig config, QuarkOptions options)
 
 QuarkRuntime::~QuarkRuntime() { stop_workers(); }
 
-void QuarkRuntime::push_ready(TaskRecord* task, int worker_hint) {
+int QuarkRuntime::push_ready(TaskRecord* task, int worker_hint) {
   int lane = worker_hint;
   if (lane < 0 || lane >= worker_count()) {
     // No locality preference: spread in submission order, like QUARK's
@@ -22,6 +22,7 @@ void QuarkRuntime::push_ready(TaskRecord* task, int worker_hint) {
                             static_cast<std::uint64_t>(worker_count()));
   }
   deques_.push(lane, task);
+  return lane;
 }
 
 TaskRecord* QuarkRuntime::pop_ready(int worker) {

@@ -35,7 +35,7 @@ class QuarkRuntime final : public RuntimeBase {
   std::string name() const override { return "quark"; }
 
  protected:
-  void push_ready(TaskRecord* task, int worker_hint) override;
+  int push_ready(TaskRecord* task, int worker_hint) override;
   TaskRecord* pop_ready(int worker) override;
   std::size_t ready_count() const override;
 

@@ -27,7 +27,8 @@ RuntimeBase::RuntimeBase(RuntimeConfig config)
       bookkeeping_gauge_(metrics::gauge("sched.bookkeeping_in_flight")),
       tasks_failed_(metrics::counter("sched.tasks_failed")),
       tasks_retried_(metrics::counter("sched.tasks_retried")),
-      tasks_poisoned_(metrics::counter("sched.tasks_poisoned")) {
+      tasks_poisoned_(metrics::counter("sched.tasks_poisoned")),
+      worker_wakeups_(metrics::counter("sched.worker_wakeups")) {
   TS_REQUIRE(config_.workers >= 1, "runtime needs at least one worker");
   TS_REQUIRE(config_.max_task_retries >= 0,
              "max_task_retries must be non-negative");
@@ -39,9 +40,11 @@ RuntimeBase::RuntimeBase(RuntimeConfig config)
       config_.workers - (config_.master_participates ? 1 : 0);
   executed_per_lane_.reserve(static_cast<std::size_t>(config_.workers));
   lane_executing_.reserve(static_cast<std::size_t>(config_.workers));
+  parks_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     executed_per_lane_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
     lane_executing_.push_back(std::make_unique<std::atomic<bool>>(false));
+    parks_.push_back(std::make_unique<LanePark>());
   }
 }
 
@@ -117,19 +120,43 @@ void RuntimeBase::stop_workers() {
     if (stop_ && threads_.empty()) return;
     stop_ = true;
   }
-  worker_cv_.notify_all();
+  stop_flag_.store(true, std::memory_order_seq_cst);
+  wake_all_lanes();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
 }
 
-void RuntimeBase::notify_workers() {
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++ready_version_;
+bool RuntimeBase::try_wake_lane(int lane) {
+  LanePark& park = *parks_[static_cast<std::size_t>(lane)];
+  // Consume the parked flag so a second push wakes a *different* executor
+  // instead of double-signaling this one.
+  if (!park.parked.exchange(false, std::memory_order_acq_rel)) return false;
+  worker_wakeups_.inc();
+  park.epoch.fetch_add(1, std::memory_order_release);
+  park.epoch.notify_one();
+  return true;
+}
+
+void RuntimeBase::wake_for_push(int lane) {
+  // Preferred target: the parked owner of the destination lane.
+  if (lane >= 0 && lane < config_.workers && try_wake_lane(lane)) return;
+  // Owner busy or shared pool: one other parked executor (it can pop the
+  // shared structure or steal).  No parked executor means everyone is
+  // running and will re-claim on its own — no wake needed at all.
+  for (int l = 0; l < config_.workers; ++l) {
+    if (l != lane && try_wake_lane(l)) return;
   }
-  worker_cv_.notify_all();
+}
+
+void RuntimeBase::wake_all_lanes() {
+  for (int l = 0; l < config_.workers; ++l) {
+    LanePark& park = *parks_[static_cast<std::size_t>(l)];
+    park.parked.store(false, std::memory_order_release);
+    park.epoch.fetch_add(1, std::memory_order_release);
+    park.epoch.notify_all();
+  }
 }
 
 TaskId RuntimeBase::submit(TaskDescriptor desc) {
@@ -201,13 +228,14 @@ TaskId RuntimeBase::submit(TaskDescriptor desc) {
 }
 
 void RuntimeBase::make_ready(TaskRecord* task, int worker_hint) {
-  task->state.store(TaskState::ready, std::memory_order_release);
-  flightrec::FlightRecorder::global().record(flightrec::EventType::task_ready,
-                                             task->id);
-  for (TaskObserver* obs : observers_) obs->on_ready(task->id);
-  push_ready(task, worker_hint);
+  mark_ready(task);
+  dispatch_ready(task, worker_hint);
+}
+
+void RuntimeBase::dispatch_ready(TaskRecord* task, int worker_hint) {
+  const int lane = push_ready(task, worker_hint);
   ready_depth_.set(static_cast<double>(ready_count()));
-  notify_workers();
+  wake_for_push(lane);
 }
 
 void RuntimeBase::on_task_finished(TaskRecord* task, int lane,
@@ -229,7 +257,7 @@ void RuntimeBase::route_released(int worker, std::span<TaskRecord*> released) {
     mark_ready(task);
     const int hint = task->desc.locality_hint >= 0 ? task->desc.locality_hint
                                                    : worker;
-    push_ready(task, hint);
+    dispatch_ready(task, hint);
   }
 }
 
@@ -255,6 +283,7 @@ TaskRecord* RuntimeBase::claim_task(int lane) {
 
 void RuntimeBase::worker_loop(int lane) {
   prof::set_thread_name("worker-" + std::to_string(lane));
+  LanePark& park = *parks_[static_cast<std::size_t>(lane)];
   for (;;) {
     // Per-iteration root scope: all of this lane's instrumented time nests
     // under it, and it re-samples enabled() each pass so runs profiled
@@ -265,21 +294,28 @@ void RuntimeBase::worker_loop(int lane) {
       execute_task(task, lane);
       continue;
     }
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    if (stop_) return;
-    const std::uint64_t version = ready_version_;
-    lock.unlock();
-    // Recheck after capturing the version: a push between our failed pop
-    // and the wait would otherwise be lost.
+    if (stop_flag_.load(std::memory_order_acquire)) return;
+    // Park protocol: capture the epoch, advertise parked, then re-check the
+    // pools and the stop flag.  A push that lands after the failed re-claim
+    // observes parked == true, consumes it and bumps the epoch, so the wait
+    // below returns immediately — no lost wakeup (DESIGN.md §9).
+    const std::uint32_t epoch = park.epoch.load(std::memory_order_acquire);
+    park.parked.store(true, std::memory_order_seq_cst);
     task = claim_task(lane);
     if (task != nullptr) {
+      park.parked.store(false, std::memory_order_relaxed);
       execute_task(task, lane);
       continue;
     }
-    lock.lock();
-    TS_PROF_SCOPE(idle_wait);
-    worker_cv_.wait(lock,
-                    [&] { return stop_ || ready_version_ != version; });
+    if (stop_flag_.load(std::memory_order_acquire)) {
+      park.parked.store(false, std::memory_order_relaxed);
+      return;
+    }
+    {
+      TS_PROF_SCOPE(idle_wait);
+      park.epoch.wait(epoch, std::memory_order_acquire);
+    }
+    park.parked.store(false, std::memory_order_relaxed);
   }
 }
 
@@ -301,11 +337,14 @@ void RuntimeBase::requeue_for_retry(TaskRecord* task, int lane,
   task->state.store(TaskState::ready, std::memory_order_release);
   const int hint = task->desc.locality_hint >= 0 ? task->desc.locality_hint
                                                  : lane;
-  push_ready(task, hint);
+  const int dest = push_ready(task, hint);
   ready_depth_.set(static_cast<double>(ready_count()));
   bookkeeping_gauge_.set(static_cast<double>(
       bookkeeping_.fetch_sub(1, std::memory_order_acq_rel) - 1));
-  notify_workers();
+  // This lane is about to look for its next task anyway, so the requeued
+  // attempt only needs a wake when it landed somewhere a *parked* executor
+  // should pick it up.
+  wake_for_push(dest);
 
   // Same ordering constraint as the completion path: lane idle before the
   // running count drops.
@@ -411,22 +450,30 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
   tracker_.on_complete(task, released,
                        task->poisoned.load(std::memory_order_acquire));
   if (!released.empty()) {
+    // route_released dispatches each task with its own targeted wake; no
+    // pool-wide notification follows.
     route_released(lane, released);
-    notify_workers();
   }
 
   executed_per_lane_[static_cast<std::size_t>(lane)]->fetch_add(
       1, std::memory_order_relaxed);
 
   bool all_done = false;
+  bool window_reopened = false;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     TS_ASSERT(pending_ > 0, "completion without a pending task");
     --pending_;
     all_done = pending_ == 0;
+    window_reopened = config_.window_size > 0 &&
+                      submitter_waiting_.load(std::memory_order_relaxed) &&
+                      pending_ < config_.window_size;
   }
-  done_cv_.notify_all();
-  if (all_done) worker_cv_.notify_all();  // wake a participating master
+  // done_cv_ only has master-side waiters (throttled submitter, draining
+  // non-participating master); signal on the condition edges instead of on
+  // every completion.
+  if (all_done || window_reopened) done_cv_.notify_all();
+  if (all_done) wake_all_lanes();  // release a parked participating master
 
   tasks_completed_.inc();
   bookkeeping_gauge_.set(static_cast<double>(
@@ -449,26 +496,39 @@ void RuntimeBase::wait_all() {
   TS_PROF_SCOPE(wait_all);
   if (config_.master_participates) {
     master_active_.store(true, std::memory_order_release);
+    LanePark& park = *parks_[0];
     for (;;) {
       TaskRecord* task = claim_task(0);
       if (task != nullptr) {
         execute_task(task, 0);
         continue;
       }
-      std::unique_lock<std::mutex> lock(state_mutex_);
-      if (pending_ == 0) break;
-      const std::uint64_t version = ready_version_;
-      lock.unlock();
+      if (stop_flag_.load(std::memory_order_acquire)) break;
+      // Same park protocol as worker_loop, with one extra wake source: the
+      // generation draining.  The epoch is captured before the pending_
+      // check, and the completion path bumps every lane's epoch on the
+      // pending_ == 0 edge (after its own decrement under state_mutex_), so
+      // a drain that races the check still cancels the wait.
+      const std::uint32_t epoch = park.epoch.load(std::memory_order_acquire);
+      park.parked.store(true, std::memory_order_seq_cst);
       task = claim_task(0);
       if (task != nullptr) {
+        park.parked.store(false, std::memory_order_relaxed);
         execute_task(task, 0);
         continue;
       }
-      lock.lock();
-      worker_cv_.wait(lock, [&] {
-        return stop_ || pending_ == 0 || ready_version_ != version;
-      });
-      if (stop_) break;
+      bool drained = false;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        drained = pending_ == 0 || stop_;
+      }
+      if (drained) {
+        park.parked.store(false, std::memory_order_relaxed);
+        break;
+      }
+      // Master blocked time stays attributed to the wait_all phase.
+      park.epoch.wait(epoch, std::memory_order_acquire);
+      park.parked.store(false, std::memory_order_relaxed);
     }
     master_active_.store(false, std::memory_order_release);
   } else {

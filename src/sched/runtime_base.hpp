@@ -5,10 +5,17 @@
 // the simulation layer queries.  Concrete schedulers only decide *where
 // ready tasks wait* and *which one a worker takes next*:
 //
-//    push_ready(task, worker)  — a task just became ready
+//    push_ready(task, worker)  — a task just became ready; returns the lane
+//                                whose pool received it (-1 = shared pool)
 //    pop_ready(worker)         — worker asks for its next task
 //    ready_count()             — ready-but-unstarted tasks
 //    route_released(...)       — optional hook for locality shortcuts
+//
+// Worker wakeups are targeted, not broadcast: each lane owns a futex-style
+// parking slot (atomic epoch + parked flag), and a ready-task arrival wakes
+// the destination lane's parked worker — or one other parked executor when
+// the owner is busy — instead of notifying the whole pool (see DESIGN.md
+// §9 for the no-lost-wakeup argument).
 //
 // Derived constructors must call start_workers() as their last statement
 // (worker threads invoke the virtual queue methods, so the vtable must be
@@ -82,7 +89,10 @@ class RuntimeBase : public Runtime {
   explicit RuntimeBase(RuntimeConfig config);
 
   // --- scheduler-specific ready pool (must be internally synchronized) ---
-  virtual void push_ready(TaskRecord* task, int worker_hint) = 0;
+  /// Place a ready task; returns the lane whose per-worker pool received
+  /// it, or -1 when it went to a shared pool any executor can pop from.
+  /// The return value steers the targeted wakeup in dispatch_ready().
+  virtual int push_ready(TaskRecord* task, int worker_hint) = 0;
   virtual TaskRecord* pop_ready(int worker) = 0;
   virtual std::size_t ready_count() const = 0;
 
@@ -112,6 +122,12 @@ class RuntimeBase : public Runtime {
   /// task somewhere other than the ready pool (e.g. an immediate slot).
   void mark_ready(TaskRecord* task);
 
+  /// Enqueue an already-ready task (push_ready) and wake exactly one
+  /// parked executor for it: the destination lane's owner when it is
+  /// parked, otherwise any one parked executor.  This is the only wakeup
+  /// a ready-task arrival causes.
+  void dispatch_ready(TaskRecord* task, int worker_hint);
+
   void start_workers();
   void stop_workers();
 
@@ -121,10 +137,24 @@ class RuntimeBase : public Runtime {
   /// lane 0, else 0).
   int first_spawned_lane() const { return config_.master_participates ? 1 : 0; }
 
-  /// Wake parked workers after making tasks available.
-  void notify_workers();
-
  private:
+  /// One executor's parking slot.  `parked` advertises that the owner is
+  /// about to block (set before the final pop re-check, so a concurrent
+  /// push cannot be lost); `epoch` is the futex word the owner waits on.
+  struct LanePark {
+    std::atomic<std::uint32_t> epoch{0};
+    std::atomic<bool> parked{false};
+  };
+
+  /// Consume `lane`'s parked flag and signal its epoch; false when the
+  /// lane was not parked (or another waker got there first).
+  bool try_wake_lane(int lane);
+  /// Wake the parked owner of `lane`, or — when it is busy or the pool is
+  /// shared (`lane` < 0) — one other parked executor.
+  void wake_for_push(int lane);
+  /// Signal every lane (stop, generation drain); the only broadcast left.
+  void wake_all_lanes();
+
   void worker_loop(int lane);
   /// Atomically (w.r.t. the simulation-safety queries) pop a ready task
   /// and mark it running; nullptr when none available.  The dispatch
@@ -150,13 +180,17 @@ class RuntimeBase : public Runtime {
 
   std::vector<TaskObserver*> observers_;
 
-  // Parking / completion signaling.
+  // Parking / completion signaling.  Workers park on their own LanePark;
+  // done_cv_ only signals the (single) master thread: the submitter blocked
+  // on the task window or a non-participating master inside wait_all.  It
+  // is notified on condition edges (window reopens, generation drains),
+  // not on every completion.
   mutable std::mutex state_mutex_;
-  std::condition_variable worker_cv_;   // new work or stop
-  std::condition_variable done_cv_;     // pending_ changed (barrier/window)
-  std::uint64_t ready_version_ = 0;
+  std::condition_variable done_cv_;     // window reopened / pending_ == 0
+  std::vector<std::unique_ptr<LanePark>> parks_;
   std::size_t pending_ = 0;             // submitted but unfinished
-  bool stop_ = false;
+  bool stop_ = false;                   // guarded by state_mutex_
+  std::atomic<bool> stop_flag_{false};  // lock-free mirror for park paths
 
   std::atomic<int> running_{0};
   std::atomic<int> bookkeeping_{0};
@@ -183,6 +217,7 @@ class RuntimeBase : public Runtime {
   metrics::Counter tasks_failed_;         ///< sched.tasks_failed
   metrics::Counter tasks_retried_;        ///< sched.tasks_retried
   metrics::Counter tasks_poisoned_;       ///< sched.tasks_poisoned
+  metrics::Counter worker_wakeups_;       ///< sched.worker_wakeups (signals)
 };
 
 }  // namespace tasksim::sched

@@ -105,17 +105,17 @@ int StarpuRuntime::pick_dm_lane(TaskRecord* task) {
   return best;
 }
 
-void StarpuRuntime::push_ready(TaskRecord* task, int worker_hint) {
+int StarpuRuntime::push_ready(TaskRecord* task, int worker_hint) {
   switch (options_.policy) {
     case StarpuPolicy::eager:
     case StarpuPolicy::prio:
       central_->push(task);
-      return;
+      return -1;  // shared queue: any executor can pop it
     case StarpuPolicy::ws: {
       int lane = worker_hint;
       if (lane < 0 || lane >= worker_count()) lane = 0;
       deques_->push(lane, task);
-      return;
+      return lane;
     }
     case StarpuPolicy::dm:
     case StarpuPolicy::dmda: {
@@ -125,9 +125,10 @@ void StarpuRuntime::push_ready(TaskRecord* task, int worker_hint) {
           flightrec::EventType::sched_lane_commit, task->id, lane,
           task->policy_expected_us);
       deques_->push(lane, task);
-      return;
+      return lane;
     }
   }
+  return -1;
 }
 
 TaskRecord* StarpuRuntime::pop_ready(int worker) {

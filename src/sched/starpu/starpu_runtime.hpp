@@ -83,7 +83,7 @@ class StarpuRuntime final : public RuntimeBase {
   }
 
  protected:
-  void push_ready(TaskRecord* task, int worker_hint) override;
+  int push_ready(TaskRecord* task, int worker_hint) override;
   TaskRecord* pop_ready(int worker) override;
   std::size_t ready_count() const override;
   void on_task_finished(TaskRecord* task, int lane,

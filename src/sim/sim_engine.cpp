@@ -356,9 +356,12 @@ void SimEngine::reset() {
   fault_failures_base_ = fault_failures_.value();
   fault_stalls_base_ = fault_stalls_.value();
   warmed_up_.clear();
-  // Re-arm after a watchdog cancellation so the engine is reusable.
+  // Re-arm after a watchdog cancellation so the engine is reusable, and —
+  // unconditionally — restart the TEQ ticket sequence so back-to-back runs
+  // on one engine emit identical ticket seqs in flight-recorder
+  // teq_displaced events (cross-run trace determinism).
   stalled_.store(false, std::memory_order_release);
-  if (queue_.cancelled()) queue_.clear_cancel();
+  queue_.clear_cancel();
 }
 
 }  // namespace tasksim::sim

@@ -1,5 +1,7 @@
 #include "sim/task_exec_queue.hpp"
 
+#include <cmath>
+
 #include "support/error.hpp"
 #include "support/flight_recorder.hpp"
 #include "support/profiler.hpp"
@@ -10,90 +12,163 @@ namespace tasksim::sim {
 TaskExecQueue::TaskExecQueue()
     : enters_(metrics::counter("sim.queue.enters")),
       displacements_(metrics::counter("sim.queue.displacements")),
+      wakeups_(metrics::counter("sim.queue.wakeups")),
+      parks_(metrics::counter("sim.queue.parks")),
       wait_us_(metrics::histogram("sim.queue.wait_us")) {}
 
+void TaskExecQueue::require_finite(double completion_us) {
+  if (!std::isfinite(completion_us)) {
+    throw InvalidArgument(
+        "task execution queue: non-finite virtual completion time (" +
+        std::to_string(completion_us) +
+        " us) — a NaN/inf key would corrupt the queue order");
+  }
+}
+
+void TaskExecQueue::throw_cancelled_locked() const {
+  throw SimulationStalled("task execution queue cancelled", cancel_reason_);
+}
+
+void TaskExecQueue::unpark_locked(ParkSlot* slot) {
+  if (slot == nullptr) return;  // the new front's owner is not parked
+  wakeups_.inc();
+  // Both the store and the notify happen with the mutex held: the waiter
+  // deregisters its slot under the same mutex before its stack frame dies,
+  // so the slot cannot be destroyed mid-notify.
+  slot->signaled.store(1, std::memory_order_release);
+  slot->signaled.notify_one();
+}
+
 TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
+  require_finite(completion_us);
   TS_PROF_SCOPE(teq_mutex);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (cancelled_) {
-    throw SimulationStalled("task execution queue cancelled", cancel_reason_);
-  }
+  if (cancelled_) throw_cancelled_locked();
   Ticket ticket{completion_us, next_seq_++};
+  const bool was_empty = entries_.empty();
   // A later-arriving entry with an earlier completion time displaces the
   // previous front, whose waiter must re-block (the §V-E race surface).
-  const bool displaces =
-      !entries_.empty() && key(ticket) < *entries_.begin();
+  const bool displaces = !was_empty && key(ticket) < entries_.begin()->first;
   if (displaces) {
     // Identified by ticket sequence numbers (the queue does not know task
     // ids): `task` = displaced front's seq, `other` = entering seq.
-    const Key front = *entries_.begin();
+    const Key front = entries_.begin()->first;
     flightrec::FlightRecorder::global().record(
         flightrec::EventType::teq_displaced, front.second, -1, front.first,
         ticket.completion_us, ticket.seq);
   }
-  entries_.insert(key(ticket));
+  entries_.emplace(key(ticket), nullptr);
+  size_.store(entries_.size(), std::memory_order_release);
   enters_.inc();
   if (displaces) displacements_.inc();
-  // A new entry can become the front, unblocking nobody (the new owner is
-  // not waiting yet) — but it can also *displace* the previous front, whose
-  // waiter must re-evaluate; wake everyone.
-  cv_.notify_all();
+  if (was_empty || displaces) {
+    // The enterer itself is the new front.  Nobody needs waking: the new
+    // owner is this thread (not waiting), and the displaced previous
+    // front's waiter is parked precisely because it is not the front —
+    // displacement only makes that more true.  The seed implementation
+    // broadcast to every waiter here; that was the thundering herd.
+    TS_PROF_SCOPE(teq_publish);
+    front_seq_.store(ticket.seq, std::memory_order_release);
+  }
   return ticket;
 }
 
 void TaskExecQueue::wait_front(const Ticket& ticket) const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  TS_REQUIRE(entries_.count(key(ticket)) == 1, "ticket not in queue");
-  if (cancelled_) {
-    throw SimulationStalled("task execution queue cancelled", cancel_reason_);
+  require_finite(ticket.completion_us);
+  // Lock-free fast path: the published front is us and no cancellation is
+  // pending.  The acquire load synchronizes with the leave() (or our own
+  // enter()) that published our seq, so everything the previous front did
+  // before leaving — clock advance, trace append — is visible here.
+  if (!cancelled_flag_.load(std::memory_order_acquire) &&
+      front_seq_.load(std::memory_order_acquire) == ticket.seq) {
+    return;
   }
-  if (*entries_.begin() == key(ticket)) return;
-  // Only the genuinely blocked path is profiled: the fast path above is a
-  // lock + set lookup and would drown the wait signal in probe counts.
-  prof::ScopedPhase prof_scope(prof::Phase::teq_wait);
-  const double blocked_from = wall_time_us();
-  cv_.wait(lock, [&] {
-    return cancelled_ || *entries_.begin() == key(ticket);
-  });
-  wait_us_.observe(wall_time_us() - blocked_from);
-  if (cancelled_) {
-    throw SimulationStalled("task execution queue cancelled", cancel_reason_);
-  }
+  wait_front_slow(ticket);
 }
 
-bool TaskExecQueue::is_front(const Ticket& ticket) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return !entries_.empty() && *entries_.begin() == key(ticket);
+void TaskExecQueue::wait_front_slow(const Ticket& ticket) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key(ticket));
+  TS_REQUIRE(it != entries_.end(), "ticket not in queue");
+  if (cancelled_) throw_cancelled_locked();
+  if (it == entries_.begin()) return;
+  // Only the genuinely blocked path is profiled: the fast path above is an
+  // atomic load and would drown the wait signal in probe counts.
+  prof::ScopedPhase prof_scope(prof::Phase::teq_wait);
+  parks_.inc();
+  const double blocked_from = wall_time_us();
+  ParkSlot slot;
+  it->second = &slot;
+  for (;;) {
+    lock.unlock();
+    {
+      // Futex-style park: blocked until this ticket's slot is signaled —
+      // by the leave() that makes it the front, or by cancel().
+      TS_PROF_SCOPE(teq_park);
+      std::uint32_t observed = slot.signaled.load(std::memory_order_acquire);
+      while (observed == 0) {
+        slot.signaled.wait(0, std::memory_order_acquire);
+        observed = slot.signaled.load(std::memory_order_acquire);
+      }
+    }
+    lock.lock();
+    if (cancelled_) {
+      // Deregister before unwinding; skip the wait_us observation — a
+      // cancelled wait is not a queue-ordering wait, and recording its
+      // bogus duration would pollute the sim.queue.wait_us distribution.
+      it->second = nullptr;
+      throw_cancelled_locked();
+    }
+    if (it == entries_.begin()) {
+      it->second = nullptr;
+      wait_us_.observe(wall_time_us() - blocked_from);
+      return;
+    }
+    // Unparked but displaced again before we re-acquired the mutex (§V-E
+    // displacement storm): re-arm the slot — under the mutex, so no unpark
+    // can interleave with the reset — and park again.
+    slot.signaled.store(0, std::memory_order_relaxed);
+  }
 }
 
 void TaskExecQueue::leave(const Ticket& ticket) {
+  require_finite(ticket.completion_us);
   TS_PROF_SCOPE(teq_mutex);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto erased = entries_.erase(key(ticket));
-    TS_REQUIRE(erased == 1, "leaving with a ticket that is not in the queue");
-  }
-  cv_.notify_all();
-}
-
-std::size_t TaskExecQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  const auto it = entries_.find(key(ticket));
+  TS_REQUIRE(it != entries_.end(),
+             "leaving with a ticket that is not in the queue");
+  const bool was_front = it == entries_.begin();
+  entries_.erase(it);
+  size_.store(entries_.size(), std::memory_order_release);
+  {
+    TS_PROF_SCOPE(teq_publish);
+    if (entries_.empty()) {
+      if (was_front) front_seq_.store(kNoFront, std::memory_order_release);
+    } else if (was_front) {
+      // Publish the new front and wake only its waiter.  Every other
+      // parked waiter stays parked: their turn has not come, and waking
+      // them (as the seed's notify_all did) only made N-1 threads fight
+      // over the mutex to re-discover that fact.
+      auto& [new_front, slot] = *entries_.begin();
+      front_seq_.store(new_front.second, std::memory_order_release);
+      unpark_locked(slot);
+    }
+    // Removing a non-front entry leaves the front unchanged: no
+    // publication, no wakeups.
+  }
 }
 
 void TaskExecQueue::cancel(std::string reason) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (cancelled_) return;
-    cancelled_ = true;
-    cancel_reason_ = std::move(reason);
-  }
-  cv_.notify_all();
-}
-
-bool TaskExecQueue::cancelled() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return cancelled_;
+  if (cancelled_) return;
+  cancelled_ = true;
+  cancel_reason_ = std::move(reason);
+  cancelled_flag_.store(true, std::memory_order_release);
+  // The one remaining broadcast: every parked waiter must wake to throw
+  // SimulationStalled from its own stack.  Aborting a stalled simulation
+  // is exceptional, so the herd is acceptable here.
+  for (auto& [entry_key, slot] : entries_) unpark_locked(slot);
 }
 
 void TaskExecQueue::clear_cancel() {
@@ -101,6 +176,11 @@ void TaskExecQueue::clear_cancel() {
   TS_REQUIRE(entries_.empty(), "cannot re-arm a cancelled queue in use");
   cancelled_ = false;
   cancel_reason_.clear();
+  cancelled_flag_.store(false, std::memory_order_release);
+  front_seq_.store(kNoFront, std::memory_order_release);
+  // Restart the ticket sequence so a re-armed engine's flight-recorder
+  // events (teq_displaced seqs) are bit-identical to the first run's.
+  next_seq_ = 0;
 }
 
 }  // namespace tasksim::sim

@@ -9,12 +9,22 @@
 //
 // Ties in completion time are broken by entry order, so the queue order is
 // total and deterministic given the entry sequence.
+//
+// Hot-path design (see DESIGN.md §9): the front ticket's sequence number is
+// *published* in a single atomic, so `wait_front`/`is_front` fast paths are
+// one acquire load and never touch the mutex.  Blocked waiters park on
+// per-ticket slots (futex-style `atomic::wait`), and `leave` unparks only
+// the *new front's* waiter — one wake per completion instead of the
+// condvar broadcast that woke every blocked worker on every enter/leave.
+// A later arrival that displaces the front (§V-E) wakes nobody at all: the
+// displaced waiter is parked precisely because it is not the front, and
+// displacement only makes that *more* true.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
-#include <set>
 #include <string>
 #include <utility>
 
@@ -32,48 +42,94 @@ class TaskExecQueue {
     std::uint64_t seq = 0;
   };
 
-  /// Enter the queue with the given virtual completion time.
+  /// Enter the queue with the given virtual completion time.  The time must
+  /// be finite: a NaN key would violate the strict weak ordering of the
+  /// underlying map and silently corrupt the queue order (InvalidArgument).
   Ticket enter(double completion_us);
 
   /// Block until `ticket` is the front (minimum) entry.
   void wait_front(const Ticket& ticket) const;
 
-  /// Non-blocking front check.
-  bool is_front(const Ticket& ticket) const;
+  /// Non-blocking front check (one atomic load).
+  bool is_front(const Ticket& ticket) const {
+    require_finite(ticket.completion_us);
+    return front_seq_.load(std::memory_order_acquire) == ticket.seq;
+  }
 
-  /// Remove `ticket` and wake waiters.  The ticket must be in the queue
-  /// (normally the front, but removal of any entry is supported).
+  /// Remove `ticket`, publish the new front, and unpark only the new
+  /// front's waiter.  The ticket must be in the queue (normally the front,
+  /// but removal of any entry is supported).
   void leave(const Ticket& ticket);
 
   /// Entries currently in the queue (== tasks whose functions are inside
-  /// the simulation library right now).
-  std::size_t size() const;
+  /// the simulation library right now).  Lock-free; polled by the
+  /// watchdog's activity gate and the quiescence predicate.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
 
-  /// Cancel the queue: wake every waiter and make wait_front (and further
-  /// enter calls) throw SimulationStalled carrying `reason`.  Called by
-  /// the watchdog's stall handler to turn a deadlocked simulation into a
-  /// typed error on the blocked threads' own stacks.
+  /// Cancel the queue: wake every parked waiter and make wait_front (and
+  /// further enter calls) throw SimulationStalled carrying `reason`.
+  /// Called by the watchdog's stall handler to turn a deadlocked
+  /// simulation into a typed error on the blocked threads' own stacks.
+  /// This is the one path that still broadcasts — aborting is exceptional.
   void cancel(std::string reason);
 
-  bool cancelled() const;
+  bool cancelled() const {
+    return cancelled_flag_.load(std::memory_order_acquire);
+  }
 
-  /// Re-arm after a cancellation (between runs; the queue must be empty).
+  /// Re-arm after a cancellation and reset the ticket sequence (between
+  /// runs; the queue must be empty).  Resetting next_seq_ keeps the ticket
+  /// seqs in flight-recorder `teq_displaced` events identical across
+  /// back-to-back runs on one engine — cross-run trace determinism.
   void clear_cancel();
 
  private:
   using Key = std::pair<double, std::uint64_t>;
   static Key key(const Ticket& t) { return {t.completion_us, t.seq}; }
+  static void require_finite(double completion_us);
+
+  /// One blocked waiter.  Lives on the waiter's stack; registered in its
+  /// map entry under the mutex, deregistered (again under the mutex) before
+  /// the waiter returns or unwinds, so an unpark — always performed with
+  /// the mutex held — can never touch a dead slot.
+  struct ParkSlot {
+    std::atomic<std::uint32_t> signaled{0};
+  };
+
+  /// Published-front sentinel: no entry is the front.  Ticket seqs are
+  /// assigned from 0 upward and can never reach it.
+  static constexpr std::uint64_t kNoFront = ~std::uint64_t{0};
+
+  [[noreturn]] void throw_cancelled_locked() const;
+  /// Signal one parked waiter (mutex held).  No-op for a null slot (front
+  /// owner not waiting yet — it will take the lock-free fast path).
+  void unpark_locked(ParkSlot* slot);
+  void wait_front_slow(const Ticket& ticket) const;
 
   mutable std::mutex mutex_;
-  mutable std::condition_variable cv_;
-  std::set<Key> entries_;
+  /// Entries ordered by (completion_us, seq); the mapped slot is non-null
+  /// while that ticket's owner is parked in wait_front.  Mutable because
+  /// registering a parking slot is a logically-const operation of
+  /// wait_front.
+  mutable std::map<Key, ParkSlot*> entries_;
   std::uint64_t next_seq_ = 0;
   bool cancelled_ = false;
   std::string cancel_reason_;
 
+  /// Seq of the current front entry (kNoFront when empty), published with
+  /// release under the mutex and read with acquire by the lock-free fast
+  /// paths.  A reader that observes its own seq here synchronizes with the
+  /// leave() that promoted it, ordering the previous task's clock advance
+  /// before this task's return — the §V-C invariant without the lock.
+  std::atomic<std::uint64_t> front_seq_{kNoFront};
+  std::atomic<std::size_t> size_{0};
+  std::atomic<bool> cancelled_flag_{false};
+
   // Instrumentation (global metrics registry; see DESIGN.md §2).
   metrics::Counter enters_;         ///< sim.queue.enters
   metrics::Counter displacements_;  ///< sim.queue.displacements
+  metrics::Counter wakeups_;        ///< sim.queue.wakeups (unparks issued)
+  metrics::Counter parks_;          ///< sim.queue.parks (waiters that blocked)
   metrics::Histogram wait_us_;      ///< sim.queue.wait_us (real µs blocked)
 };
 

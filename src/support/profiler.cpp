@@ -76,6 +76,8 @@ const char* phase_name(Phase phase) {
     case Phase::fault_stall: return "sim.fault_stall";
     case Phase::teq_mutex: return "sim.teq_mutex";
     case Phase::teq_wait: return "sim.teq_wait";
+    case Phase::teq_publish: return "sim.teq_publish";
+    case Phase::teq_park: return "sim.teq_park";
     case Phase::mitigation_sleep: return "sim.mitigation_sleep";
     case Phase::quiescence_poll: return "sim.quiescence_poll";
     case Phase::trace_append: return "trace.append";

@@ -75,7 +75,9 @@ enum class Phase : std::uint8_t {
   fault_eval,        ///< fault-plan decision hashing
   fault_stall,       ///< injected real-time worker stall
   teq_mutex,         ///< TEQ mutex critical sections (enter / leave)
-  teq_wait,          ///< blocked in TEQ wait_front (§V-C ordering)
+  teq_wait,          ///< TEQ wait_front slow path minus the parked time
+  teq_publish,       ///< TEQ front publication + targeted unpark
+  teq_park,          ///< parked (futex-style) until promoted to TEQ front
   mitigation_sleep,  ///< yield_sleep mitigation: sched_yield + usleep (§V-E)
   quiescence_poll,   ///< quiescence mitigation polling loop (§V-E)
   // --- tracing ------------------------------------------------------------

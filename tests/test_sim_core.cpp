@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -172,6 +173,117 @@ TEST(TaskExecQueue, CountsEntersAndDisplacements) {
   q.leave(a);
   q.leave(b);
   q.leave(c);
+}
+
+TEST(TaskExecQueue, RejectsNonFiniteCompletionTimes) {
+  TaskExecQueue q;
+  EXPECT_THROW(q.enter(std::numeric_limits<double>::quiet_NaN()),
+               InvalidArgument);
+  EXPECT_THROW(q.enter(std::numeric_limits<double>::infinity()),
+               InvalidArgument);
+  EXPECT_THROW(q.enter(-std::numeric_limits<double>::infinity()),
+               InvalidArgument);
+  // Ticket-consuming paths apply the same guard: a forged non-finite key
+  // must never probe the map (NaN breaks the strict weak ordering).
+  TaskExecQueue::Ticket forged{std::numeric_limits<double>::quiet_NaN(), 0};
+  EXPECT_THROW(q.is_front(forged), InvalidArgument);
+  EXPECT_THROW(q.wait_front(forged), InvalidArgument);
+  EXPECT_THROW(q.leave(forged), InvalidArgument);
+  EXPECT_EQ(q.size(), 0u);  // nothing leaked in
+  const auto ok = q.enter(1.0);  // queue still fully usable
+  EXPECT_TRUE(q.is_front(ok));
+  q.leave(ok);
+}
+
+TEST(TaskExecQueue, ClearCancelResetsTicketSequence) {
+  TaskExecQueue q;
+  const auto a = q.enter(10.0);
+  const auto b = q.enter(20.0);
+  EXPECT_EQ(b.seq, a.seq + 1);
+  q.leave(a);
+  q.leave(b);
+  q.cancel("forced for test");
+  EXPECT_THROW(q.enter(1.0), SimulationStalled);
+  q.clear_cancel();
+  // Seqs restart: back-to-back runs on one engine assign identical
+  // (completion_us, seq) pairs, so flight-recorder teq_displaced events
+  // stay byte-identical across runs — cross-run trace determinism.
+  const auto c = q.enter(10.0);
+  EXPECT_EQ(c.seq, a.seq);
+  q.leave(c);
+}
+
+namespace {
+std::uint64_t queue_counter(const char* name) {
+  const auto snap = metrics::snapshot();
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+}
+std::uint64_t wait_histogram_count() {
+  const auto snap = metrics::snapshot();
+  const auto it = snap.histograms.find("sim.queue.wait_us");
+  return it == snap.histograms.end() ? std::uint64_t{0} : it->second.count;
+}
+}  // namespace
+
+TEST(TaskExecQueue, LeaveWakesOnlyTheNewFrontsWaiter) {
+  const std::uint64_t wake0 = queue_counter("sim.queue.wakeups");
+  const std::uint64_t park0 = queue_counter("sim.queue.parks");
+
+  TaskExecQueue q;
+  constexpr int kWaiters = 6;
+  const auto front = q.enter(0.0);
+  std::atomic<int> released{0};
+  std::vector<std::thread> waiters;
+  for (int i = 1; i <= kWaiters; ++i) {
+    waiters.emplace_back([&q, &released, i] {
+      const auto t = q.enter(static_cast<double>(i));
+      q.wait_front(t);
+      released.fetch_add(1);
+      q.leave(t);
+    });
+  }
+  // The parks counter is bumped in the same critical section that registers
+  // the parking slot, so observing +kWaiters means every waiter is blocked.
+  while (queue_counter("sim.queue.parks") < park0 + kWaiters) {
+    std::this_thread::yield();
+  }
+  // enter() never wakes anyone: an insert cannot make an existing waiter
+  // the front.
+  EXPECT_EQ(queue_counter("sim.queue.wakeups"), wake0);
+  q.leave(front);  // promotes the first waiter — one targeted unpark
+  for (auto& th : waiters) th.join();
+  EXPECT_EQ(released.load(), kWaiters);
+  // Exactly one unpark per promotion of a parked waiter.  The seed's
+  // broadcast woke every blocked thread on every enter and leave
+  // (O(waiters²) wakeups for this pattern).
+  EXPECT_EQ(queue_counter("sim.queue.wakeups"), wake0 + kWaiters);
+}
+
+TEST(TaskExecQueue, CancelledWaitDoesNotObserveWaitHistogram) {
+  const std::uint64_t park0 = queue_counter("sim.queue.parks");
+  const std::uint64_t count0 = wait_histogram_count();
+  TaskExecQueue q;
+  const auto front = q.enter(1.0);
+  const auto blocked = q.enter(2.0);
+  (void)front;
+  std::atomic<bool> threw{false};
+  std::thread waiter([&] {
+    try {
+      q.wait_front(blocked);
+    } catch (const SimulationStalled&) {
+      threw.store(true);
+    }
+  });
+  while (queue_counter("sim.queue.parks") < park0 + 1) {
+    std::this_thread::yield();
+  }
+  q.cancel("forced for test");
+  waiter.join();
+  EXPECT_TRUE(threw.load());
+  // The aborted wait is watchdog latency, not queue latency; recording it
+  // would poison sim.queue.wait_us with the stall-detection window.
+  EXPECT_EQ(wait_histogram_count(), count0);
 }
 
 // ------------------------------------------------------------ kernel model

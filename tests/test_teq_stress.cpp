@@ -1,0 +1,269 @@
+// test_teq_stress.cpp — adversarial concurrency stress for the Task
+// Execution Queue, written to run under ThreadSanitizer (the CI tsan job
+// builds the whole test suite with -fsanitize=thread).
+//
+// The TEQ's published-front + per-ticket-parking fast path (DESIGN.md §9)
+// replaces a mutex+condvar-broadcast implementation.  These tests pin the
+// semantics the rewrite must preserve:
+//
+//   * exit order == sorted (completion_us, seq) — the paper's §V-C
+//     invariant, including the entry-order tie-break,
+//   * §V-E displacement: a late arrival with an earlier completion time
+//     re-blocks the displaced front, under sustained storms,
+//   * cancellation lands SimulationStalled on every blocked stack, and
+//     clear_cancel() re-arms the queue (with the seq counter reset),
+//
+// and they cross-check the lock-free implementation against a deliberately
+// naive mutex+condvar oracle running the identical schedule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/task_exec_queue.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::sim {
+namespace {
+
+// Reference implementation of the documented TEQ semantics: one mutex, one
+// broadcast condvar, wake everybody on every change.  Slow and herd-prone
+// by construction — it exists so the stress rounds can diff the optimized
+// queue's observable behaviour against the simplest possible model.
+class OracleQueue {
+ public:
+  using Ticket = TaskExecQueue::Ticket;
+
+  Ticket enter(double completion_us) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Ticket t{completion_us, next_seq_++};
+    entries_.emplace(std::make_pair(completion_us, t.seq), 0);
+    cv_.notify_all();
+    return t;
+  }
+
+  void wait_front(const Ticket& t) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      return !entries_.empty() &&
+             entries_.begin()->first == std::make_pair(t.completion_us, t.seq);
+    });
+  }
+
+  void leave(const Ticket& t) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase({t.completion_us, t.seq});
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::pair<double, std::uint64_t>, int> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// One stress round: every thread enters with its assigned completion time,
+// a barrier makes sure the whole cohort is in the queue, then everyone
+// waits for the front and records its exit position.  Returns the exit
+// order as (completion_us, seq) pairs.
+template <typename Queue>
+std::vector<std::pair<double, std::uint64_t>> run_round(
+    Queue& q, const std::vector<double>& completions) {
+  const int n = static_cast<int>(completions.size());
+  std::atomic<int> entered{0};
+  std::mutex order_mutex;
+  std::vector<std::pair<double, std::uint64_t>> exit_order;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      const auto ticket = q.enter(completions[static_cast<std::size_t>(i)]);
+      entered.fetch_add(1);
+      while (entered.load() < n) std::this_thread::yield();
+      q.wait_front(ticket);
+      {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        exit_order.emplace_back(ticket.completion_us, ticket.seq);
+      }
+      q.leave(ticket);
+    });
+  }
+  for (auto& th : threads) th.join();
+  return exit_order;
+}
+
+TEST(TeqStress, ExitOrderIsSortedTicketOrderAcrossRounds) {
+  // Many rounds of oversubscribed waiters with clustered completion times
+  // (duplicates exercise the seq tie-break).  Exit order must equal the
+  // sorted (completion_us, seq) order of the cohort, every round.
+  TaskExecQueue q;
+  Rng rng(23);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<double> completions;
+    for (int i = 0; i < kThreads; ++i) {
+      // Values drawn from a small integer grid: ~half the cohort collides.
+      completions.push_back(std::floor(rng.uniform(0.0, 4.0)) * 100.0);
+    }
+    const auto exits = run_round(q, completions);
+    ASSERT_EQ(exits.size(), static_cast<std::size_t>(kThreads));
+    auto sorted = exits;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(exits, sorted) << "round " << round;
+  }
+}
+
+TEST(TeqStress, MatchesOracleQueueOnIdenticalSchedules) {
+  // Distinct completion times make the exit order a pure function of the
+  // schedule (ties would make seq assignment racy), so the optimized queue
+  // and the naive oracle must produce the same completion_us sequence.
+  Rng rng(31);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 15;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<double> completions;
+    for (int i = 0; i < kThreads; ++i) {
+      completions.push_back(rng.uniform(0.0, 1000.0) + i * 1e-3);
+    }
+    TaskExecQueue real;
+    OracleQueue oracle;
+    const auto real_exits = run_round(real, completions);
+    const auto oracle_exits = run_round(oracle, completions);
+    ASSERT_EQ(real_exits.size(), oracle_exits.size());
+    for (std::size_t i = 0; i < real_exits.size(); ++i) {
+      EXPECT_DOUBLE_EQ(real_exits[i].first, oracle_exits[i].first)
+          << "round " << round << " position " << i;
+    }
+  }
+}
+
+TEST(TeqStress, DisplacementStormReleasesWaitersInOrder) {
+  // §V-E under pressure: long-completion waiters park while a storm thread
+  // pumps short-completion tickets through the queue, displacing the front
+  // over and over.  The waiters must stay blocked through every storm
+  // ticket and still exit in sorted order afterwards.
+  const auto disp_before = [] {
+    const auto snap = metrics::snapshot();
+    const auto it = snap.counters.find("sim.queue.displacements");
+    return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+  }();
+
+  TaskExecQueue q;
+  constexpr int kWaiters = 6;
+  constexpr int kStormTickets = 400;
+  std::atomic<int> entered{0};
+  std::atomic<int> released{0};
+  std::mutex order_mutex;
+  std::vector<double> exit_order;
+  // The first storm ticket goes in before any waiter so the far-future
+  // waiters are never the front until the storm has fully passed.
+  auto prev = q.enter(static_cast<double>(kStormTickets + 1));
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&, i] {
+      // Far-future completions: every storm ticket displaces them.
+      const auto t = q.enter(1e6 + i * 100.0);
+      entered.fetch_add(1);
+      q.wait_front(t);
+      {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        exit_order.push_back(t.completion_us);
+      }
+      released.fetch_add(1);
+      q.leave(t);
+    });
+  }
+  while (entered.load() < kWaiters) std::this_thread::yield();
+
+  // Overlapping storm tickets with strictly decreasing completion times:
+  // every enter displaces the current front, and a storm ticket is always
+  // in the queue, so no waiter may be released until the storm ends.  The
+  // leave of the *previous* storm ticket is a non-front removal — the
+  // no-publication, no-wakeup path.
+  for (int i = kStormTickets; i >= 1; --i) {
+    const auto next = q.enter(static_cast<double>(i));  // displaces front
+    EXPECT_TRUE(q.is_front(next));
+    EXPECT_EQ(released.load(), 0) << "waiter escaped during the storm";
+    q.leave(prev);
+    prev = next;
+  }
+  q.wait_front(prev);  // it is the front: lock-free fast path
+  q.leave(prev);       // promotes the first waiter — the drain begins
+  for (auto& th : waiters) th.join();
+
+  ASSERT_EQ(exit_order.size(), static_cast<std::size_t>(kWaiters));
+  EXPECT_TRUE(std::is_sorted(exit_order.begin(), exit_order.end()));
+  const auto snap = metrics::snapshot();
+  EXPECT_GE(snap.counters.at("sim.queue.displacements"),
+            disp_before + kStormTickets);
+}
+
+TEST(TeqStress, InterleavedCancelAndRearmRounds) {
+  // Alternate normal rounds with cancelled ones on a single queue.  A
+  // cancellation must land SimulationStalled on every blocked stack; after
+  // clear_cancel() the queue must behave exactly like a fresh one
+  // (including restarting the ticket seqs).
+  TaskExecQueue q;
+  constexpr int kThreads = 6;
+  constexpr int kIterations = 10;
+  Rng rng(47);
+  for (int iter = 0; iter < kIterations; ++iter) {
+    if (iter % 2 == 0) {
+      std::vector<double> completions;
+      for (int i = 0; i < kThreads; ++i) {
+        completions.push_back(rng.uniform(0.0, 100.0) + i * 1e-3);
+      }
+      const auto exits = run_round(q, completions);
+      auto sorted = exits;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(exits, sorted) << "normal round " << iter;
+      // clear_cancel() reset the seq counter last round, so seqs restart
+      // from 0 every normal round.
+      std::uint64_t min_seq = ~std::uint64_t{0};
+      for (const auto& [us, seq] : exits) min_seq = std::min(min_seq, seq);
+      EXPECT_EQ(min_seq, 0u) << "normal round " << iter;
+    } else {
+      const auto blocker = q.enter(0.0);  // holds the front
+      std::atomic<int> entered{0};
+      std::atomic<int> stalled{0};
+      std::vector<std::thread> threads;
+      for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+          const auto t = q.enter(10.0 + i);
+          entered.fetch_add(1);
+          try {
+            q.wait_front(t);
+          } catch (const SimulationStalled&) {
+            stalled.fetch_add(1);
+          }
+          // A cancelled waiter still removes its ticket on the way out —
+          // the sim engine's unwind path does the same, which is what
+          // leaves the queue empty for clear_cancel().
+          q.leave(t);
+        });
+      }
+      while (entered.load() < kThreads) std::this_thread::yield();
+      q.cancel("stress round " + std::to_string(iter));
+      for (auto& th : threads) th.join();
+      EXPECT_EQ(stalled.load(), kThreads) << "cancel round " << iter;
+      EXPECT_THROW(q.enter(1.0), SimulationStalled);
+      q.leave(blocker);
+      q.clear_cancel();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tasksim::sim
