@@ -1,0 +1,216 @@
+// sweep_throughput — the K-engine concurrent sweep: fleet throughput,
+// telemetry isolation, and aggregation coverage.
+//
+// The single-run benches answer "how fast is one scheduler-in-the-loop
+// simulation"; this bench answers the sweep orchestrator's question: what
+// happens when K of them share a process?  It runs the same simulated
+// Cholesky under K engines — each with its own telemetry context
+// (support/telemetry) — across a driver pool, then:
+//
+//   * measures fleet throughput (simulated tasks/s across the whole sweep)
+//     against a sequential single-engine baseline and gates on
+//     --min-speedup (concurrent engines must not be slower than one),
+//   * checks telemetry isolation: every engine's own sim.tasks_executed
+//     counter must equal the task count its run reported — any
+//     cross-engine bleed shows up as a mismatch,
+//   * checks aggregation coverage: the fleet-merged sim.tasks_executed
+//     must equal the sum over engines (Snapshot::merge loses nothing),
+//   * optionally streams the live "tasksim-sweep-v1" JSONL time series
+//     (--stream) and writes the "tasksim-bench-sweep-v1" summary document
+//     (--bench-json; uploaded by CI as BENCH_sweep.json) with the fleet
+//     p50/p95/p99 makespan and queue-wait quantiles.
+//
+// Models are synthetic (log-normal around ~90 µs per kernel), so the bench
+// is hermetic: no calibration run, no dependence on host BLAS speed.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
+#include "stats/distribution.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/sysinfo.hpp"
+
+using namespace tasksim;
+
+namespace {
+
+sim::KernelModelSet synthetic_models() {
+  sim::KernelModelSet models;
+  // Log-normal spread (sigma 0.2 ≈ ±20%) keeps the queue-wait histogram
+  // non-degenerate so the fleet quantiles exercise real merging.
+  for (const char* kernel : {"dpotrf", "dtrsm", "dsyrk", "dgemm"}) {
+    models.set_model(kernel,
+                     std::make_unique<stats::LogNormalDist>(4.5, 0.2));
+  }
+  return models;
+}
+
+double tasks_per_s(std::size_t tasks, double wall_us) {
+  return wall_us > 0.0 ? static_cast<double>(tasks) / (wall_us * 1e-6) : 0.0;
+}
+
+std::uint64_t counter_value(const metrics::Snapshot& snapshot,
+                            const char* name) {
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? std::uint64_t{0} : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int engines = 8;
+  int concurrency = 0;
+  int n = 480;
+  int nb = 96;
+  int workers = 2;
+  long long seed = 42;
+  std::string scheduler = "quark";
+  double watchdog_us = 30e6;
+  double min_speedup = 1.0;
+  double stream_interval_us = 20000.0;
+  std::string stream_path;
+  std::string bench_json_path;
+  bool profile = false;
+  CliParser cli("sweep_throughput",
+                "K concurrent simulation engines: fleet throughput, "
+                "telemetry isolation, and aggregation coverage");
+  cli.add_int("engines", &engines, "engines in the sweep");
+  cli.add_int("concurrency", &concurrency,
+              "engines running at once (0 = min(engines, hardware))");
+  cli.add_int("n", &n, "matrix dimension per engine");
+  cli.add_int("nb", &nb, "tile size");
+  cli.add_int("workers", &workers, "worker threads per engine");
+  cli.add_int("seed", &seed, "base seed (engine i runs seed + i*stride)");
+  cli.add_string("scheduler", &scheduler, "quark | ompss | starpu");
+  cli.add_double("watchdog-us", &watchdog_us,
+                 "per-engine progress watchdog (0 = off)");
+  cli.add_double("min-speedup", &min_speedup,
+                 "fail if fleet tasks/s < this multiple of the sequential "
+                 "single-engine baseline");
+  cli.add_double("stream-interval-us", &stream_interval_us,
+                 "JSONL stream tick period (used with --stream)");
+  cli.add_string("stream", &stream_path,
+                 "write the live tasksim-sweep-v1 JSONL time series here");
+  cli.add_string("bench-json", &bench_json_path,
+                 "write the tasksim-bench-sweep-v1 summary (BENCH_sweep.json)");
+  cli.add_flag("profile", &profile,
+               "arm each engine's phase profiler (adds aggregate phase "
+               "shares to the stream)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  harness::print_banner("Sweep: concurrent engine fleet throughput");
+  std::printf("%s\nCholesky, n=%d nb=%d, %d workers/engine, %d engines\n\n",
+              host_summary().c_str(), n, nb, workers, engines);
+
+  const sim::KernelModelSet models = synthetic_models();
+
+  harness::SweepConfig sweep;
+  sweep.base.scheduler = scheduler;
+  sweep.base.algorithm = harness::Algorithm::cholesky;
+  sweep.base.n = n;
+  sweep.base.nb = nb;
+  sweep.base.workers = workers;
+  sweep.base.seed = static_cast<std::uint64_t>(seed);
+  sweep.base.watchdog_timeout_us = watchdog_us;
+  sweep.engines = engines;
+  sweep.concurrency = concurrency;
+  sweep.profile_engines = profile;
+  sweep.label_prefix = "bench";
+  if (!stream_path.empty()) {
+    sweep.stream_path = stream_path;
+    sweep.stream_interval_us = stream_interval_us;
+  }
+
+  // Sequential baseline: one engine, one context, same configuration.  The
+  // fleet must beat min_speedup × this in tasks/s or concurrency is a loss.
+  double baseline_tasks_per_s = 0.0;
+  {
+    telemetry::TelemetryContext context("baseline");
+    telemetry::TelemetryScope scope(context);
+    const harness::RunResult run = harness::run_simulated(sweep.base, models);
+    baseline_tasks_per_s = tasks_per_s(run.tasks, run.wall_us);
+    std::printf("baseline (1 engine): %zu tasks, wall %s, %.1f tasks/s\n\n",
+                run.tasks, format_duration_us(run.wall_us).c_str(),
+                baseline_tasks_per_s);
+  }
+
+  const harness::SweepResult result = harness::run_sweep(sweep, models);
+  std::fputs(harness::sweep_report(result).c_str(), stdout);
+
+  bool ok = true;
+  if (result.stats.failed > 0) {
+    std::printf("\nFAIL: %d engine(s) failed\n", result.stats.failed);
+    ok = false;
+  }
+
+  // Telemetry isolation: each engine's own registry must have counted
+  // exactly the tasks its run reported — nothing leaked in or out.
+  std::uint64_t expected_total = 0;
+  for (const harness::EngineRunResult& engine : result.engines) {
+    const std::uint64_t counted =
+        counter_value(engine.metrics, "sim.tasks_executed");
+    expected_total += counted;
+    if (engine.ok && counted != engine.tasks) {
+      std::printf("\nFAIL: engine %d ('%s') counted %llu tasks in its own "
+                  "registry but executed %zu — cross-engine metric bleed\n",
+                  engine.index, engine.label.c_str(),
+                  static_cast<unsigned long long>(counted), engine.tasks);
+      ok = false;
+    }
+  }
+
+  // Aggregation coverage: the merged fleet counter is exactly the sum of
+  // the per-engine counters (Snapshot::merge drops nothing, adds nothing).
+  const std::uint64_t merged_total =
+      counter_value(result.fleet_metrics, "sim.tasks_executed");
+  if (merged_total != expected_total) {
+    std::printf("\nFAIL: fleet-merged sim.tasks_executed %llu != per-engine "
+                "sum %llu — snapshot merge lost counts\n",
+                static_cast<unsigned long long>(merged_total),
+                static_cast<unsigned long long>(expected_total));
+    ok = false;
+  }
+
+  const double fleet_tasks_per_s = result.stats.throughput_tasks_per_s;
+  const double speedup = baseline_tasks_per_s > 0.0
+                             ? fleet_tasks_per_s / baseline_tasks_per_s
+                             : 0.0;
+  std::printf("\nfleet vs baseline: %.1f vs %.1f tasks/s (%.2fx, floor "
+              "%.2fx)\n",
+              fleet_tasks_per_s, baseline_tasks_per_s, speedup, min_speedup);
+  if (speedup < min_speedup) {
+    std::printf("FAIL: fleet throughput below the --min-speedup floor\n");
+    ok = false;
+  }
+  if (!stream_path.empty()) {
+    std::printf("streamed %zu tasksim-sweep-v1 lines to %s\n",
+                result.stream_lines, stream_path.c_str());
+    if (result.stream_lines == 0) {
+      std::printf("FAIL: stream was requested but no lines were emitted\n");
+      ok = false;
+    }
+  }
+
+  if (!bench_json_path.empty()) {
+    std::ofstream out(bench_json_path);
+    out << "{\"schema\": \"tasksim-bench-sweep-v1\",\n"
+        << " \"source\": \"sweep_throughput\",\n"
+        << " \"scheduler\": \"" << scheduler << "\",\n"
+        << " \"n\": " << n << ", \"nb\": " << nb
+        << ", \"workers_per_engine\": " << workers << ",\n"
+        << " \"baseline_tasks_per_s\": "
+        << strprintf("%.6g", baseline_tasks_per_s) << ",\n"
+        << " \"speedup\": " << strprintf("%.6g", speedup) << ",\n"
+        << " \"merge_total\": " << merged_total << ",\n"
+        << " \"per_engine_total\": " << expected_total << ",\n"
+        << " \"sweep\": " << result.to_json() << "}\n";
+    std::printf("wrote %s\n", bench_json_path.c_str());
+  }
+
+  return ok ? 0 : 1;
+}

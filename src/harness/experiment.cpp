@@ -118,37 +118,47 @@ void finalize(RunResult& result, const ExperimentConfig& config) {
   }
 }
 
-/// Arms the process-global profiler for one run (when config.profile) and
-/// guarantees it is disabled again on every exit path.  Construct BEFORE
-/// the runtime so worker threads spawn — and name themselves — inside the
-/// enabled window; capture() wants the runtime destroyed first so the
-/// workers' final root scopes have been committed on join.
+/// Arms the calling thread's current profiler for one run (when
+/// config.profile) and guarantees it is disabled again on every exit path.
+/// Construct BEFORE the runtime so worker threads spawn — and name
+/// themselves — inside the enabled window; capture() wants the runtime
+/// destroyed first so the workers' final root scopes have been committed
+/// on join.
+///
+/// The profiler reference is pinned at construction: enable, the sampler
+/// it may start, disable and capture all hit the same instance even if the
+/// TLS binding changes underneath.  With per-engine contexts the sampler
+/// lifecycle is sound for concurrent runs: each lease arms its own
+/// context's profiler (no cross-run enable/disable fights over the global
+/// one), and the sampler is joined by disable() here — or at the latest by
+/// ~TelemetryContext, which destroys its profiler before the registry and
+/// recorder the context owns.
 class ProfilerLease {
  public:
   explicit ProfilerLease(const ExperimentConfig& config)
-      : active_(config.profile) {
+      : profiler_(prof::current()), active_(config.profile) {
     if (active_) {
-      prof::Profiler::global().enable(config.profile_sample_us);
-      prof::set_thread_name("master");
+      profiler_.enable(config.profile_sample_us);
+      profiler_.set_thread_name("master");
     }
   }
   ~ProfilerLease() {
-    if (active_) prof::Profiler::global().disable();
+    if (active_) profiler_.disable();
   }
   ProfilerLease(const ProfilerLease&) = delete;
   ProfilerLease& operator=(const ProfilerLease&) = delete;
 
   void capture(RunResult& result) {
     if (!active_) return;
-    prof::Profiler& profiler = prof::Profiler::global();
-    profiler.disable();
+    profiler_.disable();
     result.profile =
-        std::make_shared<prof::ProfileSnapshot>(profiler.snapshot());
+        std::make_shared<prof::ProfileSnapshot>(profiler_.snapshot());
     result.profile_samples =
-        std::make_shared<prof::SampleSeries>(profiler.samples());
+        std::make_shared<prof::SampleSeries>(profiler_.samples());
   }
 
  private:
+  prof::Profiler& profiler_;
   bool active_;
 };
 
@@ -269,7 +279,7 @@ RunResult run_simulated(const ExperimentConfig& config,
   sim::SimEngine engine(models, engine_options);
   sim::SimSubmitter submitter(*runtime, engine);
 
-  flightrec::FlightRecorder& recorder = flightrec::FlightRecorder::global();
+  flightrec::FlightRecorder& recorder = flightrec::current();
   if (config.record_lifecycle) {
     recorder.enable(recorder_capacity_for(config));
   }
@@ -294,9 +304,10 @@ RunResult run_simulated(const ExperimentConfig& config,
       linalg::tile_qr(a, *t, submitter);
     }
   } catch (...) {
-    // The recorder is process-global: leave it disabled rather than armed
-    // for whatever the caller does next with the error.  (The profiler
-    // lease's destructor handles the same for the profiler.)
+    // The recorder outlives this run (context- or process-wide): leave it
+    // disabled rather than armed for whatever the caller does next with
+    // the error.  (The profiler lease's destructor handles the same for
+    // the profiler.)
     if (config.record_lifecycle) recorder.disable();
     throw;
   }

@@ -74,8 +74,11 @@ struct ExperimentConfig {
   double watchdog_timeout_us = 0.0;
   /// Enable the wall-clock self-profiler (support/profiler) across the run
   /// and attach the merged per-thread phase snapshot to the result.  Works
-  /// for both run_real and run_simulated; the profiler is process-global,
-  /// so profiled runs must not overlap in one process.
+  /// for both run_real and run_simulated.  The run arms the calling
+  /// thread's *current* profiler: under a telemetry::TelemetryScope each
+  /// run profiles into its own context (concurrent profiled runs are
+  /// fine); unbound runs share the process-global profiler and must not
+  /// overlap.
   bool profile = false;
   /// Sampling period for the profiler's time series (Chrome counter
   /// tracks); 0 = end-of-run totals only.  Requires `profile`.

@@ -1,0 +1,456 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "harness/report.hpp"
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/sysinfo.hpp"
+#include "support/telemetry.hpp"
+#include "trace/chrome_export.hpp"
+
+namespace tasksim::harness {
+
+namespace {
+
+double wall_now_us() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::micro>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+/// JSON numbers must be finite; clamp the NaN/inf edge cases (empty
+/// samples, zero wall time) to 0 rather than emit invalid documents.
+double finite(double value) { return std::isfinite(value) ? value : 0.0; }
+
+std::string json_num(double value) {
+  return strprintf("%.6g", finite(value));
+}
+
+/// Engine progress for the streamer / aggregator.
+enum EngineStatus : int {
+  status_pending = 0,
+  status_running = 1,
+  status_done = 2,
+  status_failed = 3,
+};
+
+}  // namespace
+
+void SweepConfig::validate() const {
+  base.validate();
+  TS_REQUIRE(engines >= 1, "a sweep needs at least one engine");
+  TS_REQUIRE(concurrency >= 0, "sweep concurrency must be >= 0 (0 = auto)");
+  TS_REQUIRE(stream_interval_us >= 0.0,
+             "the stream interval must be >= 0 (0 = no stream)");
+  TS_REQUIRE(stream_interval_us == 0.0 || !stream_path.empty(),
+             "a positive stream interval needs a stream_path to write to");
+}
+
+void SweepAggregator::add(EngineRunResult result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  results_.push_back(std::move(result));
+}
+
+std::size_t SweepAggregator::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return results_.size();
+}
+
+metrics::Snapshot SweepAggregator::merged_metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const EngineRunResult*> ordered;
+  ordered.reserve(results_.size());
+  for (const EngineRunResult& result : results_) ordered.push_back(&result);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const EngineRunResult* a, const EngineRunResult* b) {
+              return a->index < b->index;
+            });
+  metrics::Snapshot merged;
+  for (const EngineRunResult* result : ordered) merged.merge(result->metrics);
+  return merged;
+}
+
+FleetStats SweepAggregator::fleet_stats(double sweep_wall_us) const {
+  FleetStats stats;
+  std::vector<double> makespans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.engines = static_cast<int>(results_.size());
+    for (const EngineRunResult& result : results_) {
+      if (result.ok) {
+        ++stats.completed;
+        makespans.push_back(result.makespan_us);
+      } else {
+        ++stats.failed;
+      }
+      stats.tasks_total += result.tasks;
+    }
+  }
+  stats.wall_us = sweep_wall_us;
+  if (!makespans.empty()) {
+    std::sort(makespans.begin(), makespans.end());
+    stats.makespan_p50_us = stats::quantile_sorted(makespans, 0.50);
+    stats.makespan_p95_us = stats::quantile_sorted(makespans, 0.95);
+    stats.makespan_p99_us = stats::quantile_sorted(makespans, 0.99);
+    stats.makespan_min_us = makespans.front();
+    stats.makespan_max_us = makespans.back();
+    double sum = 0.0;
+    for (double m : makespans) sum += m;
+    stats.makespan_mean_us = sum / static_cast<double>(makespans.size());
+  }
+  const metrics::Snapshot merged = merged_metrics();
+  auto it = merged.histograms.find("sim.queue.wait_us");
+  if (it != merged.histograms.end() && it->second.count > 0) {
+    stats.queue_wait_p50_us = it->second.quantile(0.50);
+    stats.queue_wait_p95_us = it->second.quantile(0.95);
+    stats.queue_wait_p99_us = it->second.quantile(0.99);
+  }
+  if (sweep_wall_us > 0.0) {
+    const double wall_s = sweep_wall_us * 1e-6;
+    stats.throughput_tasks_per_s =
+        static_cast<double>(stats.tasks_total) / wall_s;
+    stats.throughput_engines_per_s =
+        static_cast<double>(stats.completed) / wall_s;
+  }
+  return stats;
+}
+
+std::vector<EngineRunResult> SweepAggregator::take_results() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EngineRunResult> out = std::move(results_);
+  results_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const EngineRunResult& a, const EngineRunResult& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+std::string SweepResult::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"tasksim-sweep-report-v1\"";
+  os << ",\"engines\":" << stats.engines;
+  os << ",\"completed\":" << stats.completed;
+  os << ",\"failed\":" << stats.failed;
+  os << ",\"fleet\":{";
+  os << "\"makespan_us\":{"
+     << "\"p50\":" << json_num(stats.makespan_p50_us)
+     << ",\"p95\":" << json_num(stats.makespan_p95_us)
+     << ",\"p99\":" << json_num(stats.makespan_p99_us)
+     << ",\"mean\":" << json_num(stats.makespan_mean_us)
+     << ",\"min\":" << json_num(stats.makespan_min_us)
+     << ",\"max\":" << json_num(stats.makespan_max_us) << "}";
+  os << ",\"queue_wait_us\":{"
+     << "\"p50\":" << json_num(stats.queue_wait_p50_us)
+     << ",\"p95\":" << json_num(stats.queue_wait_p95_us)
+     << ",\"p99\":" << json_num(stats.queue_wait_p99_us) << "}";
+  os << ",\"tasks_total\":" << stats.tasks_total;
+  os << ",\"wall_us\":" << json_num(stats.wall_us);
+  os << ",\"throughput_tasks_per_s\":" << json_num(stats.throughput_tasks_per_s);
+  os << ",\"throughput_engines_per_s\":"
+     << json_num(stats.throughput_engines_per_s);
+  os << "}";
+  os << ",\"stream_lines\":" << stream_lines;
+  os << ",\"per_engine\":[";
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    const EngineRunResult& engine = engines[i];
+    if (i > 0) os << ",";
+    os << "{\"index\":" << engine.index;
+    os << ",\"engine_id\":" << engine.engine_id;
+    os << ",\"label\":\"" << trace::escape_json(engine.label) << "\"";
+    os << ",\"ok\":" << (engine.ok ? "true" : "false");
+    os << ",\"makespan_us\":" << json_num(engine.makespan_us);
+    os << ",\"wall_us\":" << json_num(engine.wall_us);
+    os << ",\"gflops\":" << json_num(engine.gflops);
+    os << ",\"tasks\":" << engine.tasks;
+    os << ",\"quiescence_timeouts\":" << engine.quiescence_timeouts;
+    if (!engine.error.empty()) {
+      os << ",\"error\":\"" << trace::escape_json(engine.error) << "\"";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string sweep_report(const SweepResult& result) {
+  std::ostringstream os;
+  TextTable table;
+  table.set_headers({"engine", "label", "ok", "makespan", "wall", "Gflop/s",
+                     "tasks", "error"});
+  for (const EngineRunResult& engine : result.engines) {
+    table.add_row({std::to_string(engine.index), engine.label,
+                   engine.ok ? "yes" : "NO",
+                   format_duration_us(engine.makespan_us),
+                   format_duration_us(engine.wall_us),
+                   strprintf("%.2f", engine.gflops),
+                   std::to_string(engine.tasks),
+                   engine.error.empty() ? "-" : engine.error});
+  }
+  os << table.to_string();
+  const FleetStats& stats = result.stats;
+  os << strprintf(
+      "fleet: %d engines (%d ok, %d failed), %zu tasks in %s "
+      "(%.1f tasks/s, %.2f engines/s)\n",
+      stats.engines, stats.completed, stats.failed, stats.tasks_total,
+      format_duration_us(stats.wall_us).c_str(), stats.throughput_tasks_per_s,
+      stats.throughput_engines_per_s);
+  os << strprintf(
+      "makespan: p50 %s  p95 %s  p99 %s  (mean %s, min %s, max %s)\n",
+      format_duration_us(stats.makespan_p50_us).c_str(),
+      format_duration_us(stats.makespan_p95_us).c_str(),
+      format_duration_us(stats.makespan_p99_us).c_str(),
+      format_duration_us(stats.makespan_mean_us).c_str(),
+      format_duration_us(stats.makespan_min_us).c_str(),
+      format_duration_us(stats.makespan_max_us).c_str());
+  os << strprintf("queue wait: p50 %s  p95 %s  p99 %s\n",
+                  format_duration_us(stats.queue_wait_p50_us).c_str(),
+                  format_duration_us(stats.queue_wait_p95_us).c_str(),
+                  format_duration_us(stats.queue_wait_p99_us).c_str());
+  return os.str();
+}
+
+namespace {
+
+/// The JSONL time-series streamer.  Runs on its own (unbound) thread;
+/// reads engine progress through the status atomics and each context's
+/// pre-resolved "sim.tasks_executed" counter handle (Counter::value()
+/// merges shards under that context's registry lock — safe concurrently
+/// with the engines).  One JSON document per line, flushed per tick, so
+/// `tail -f stream.jsonl | jq` follows a live sweep.
+class SweepStreamer {
+ public:
+  SweepStreamer(const SweepConfig& config,
+                const std::vector<std::unique_ptr<telemetry::TelemetryContext>>&
+                    contexts,
+                const std::vector<std::atomic<int>>& status, double t0_us)
+      : config_(config), contexts_(contexts), status_(status), t0_us_(t0_us) {
+    for (const auto& context : contexts_) {
+      executed_.push_back(context->metrics().counter("sim.tasks_executed"));
+    }
+    out_.open(config.stream_path, std::ios::trunc);
+    if (!out_) {
+      throw IoError(errno_detail("cannot open sweep stream '" +
+                                 config.stream_path + "'"));
+    }
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  /// Stop the ticker, emit the final (fleet-drained) line, and join.
+  std::size_t finish() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    emit_tick();
+    out_.flush();
+    return lines_;
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto interval = std::chrono::duration<double, std::micro>(
+        config_.stream_interval_us);
+    while (!stop_) {
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+      lock.unlock();
+      emit_tick();
+      lock.lock();
+    }
+  }
+
+  void emit_tick() {
+    const double now = wall_now_us();
+    int pending = 0, running = 0, done = 0, failed = 0;
+    for (const auto& status : status_) {
+      switch (status.load(std::memory_order_acquire)) {
+        case status_pending: ++pending; break;
+        case status_running: ++running; break;
+        case status_done: ++done; break;
+        default: ++failed; break;
+      }
+    }
+    std::uint64_t tasks_done = 0;
+    for (const metrics::Counter& counter : executed_) {
+      tasks_done += counter.value();
+    }
+    // First tick: the window is "since the sweep started", so the rate is
+    // meaningful even when the whole sweep fits inside one interval.
+    const double dt_us = now - (lines_ > 0 ? last_t_us_ : t0_us_);
+    const double rate = dt_us > 0.0
+                            ? static_cast<double>(tasks_done - last_tasks_) /
+                                  (dt_us * 1e-6)
+                            : 0.0;
+    std::ostringstream os;
+    os << "{\"schema\":\"tasksim-sweep-v1\"";
+    os << ",\"t_us\":" << json_num(now - t0_us_);
+    os << ",\"engines\":{\"total\":" << status_.size()
+       << ",\"pending\":" << pending << ",\"running\":" << running
+       << ",\"done\":" << done << ",\"failed\":" << failed << "}";
+    os << ",\"tasks\":{\"done\":" << tasks_done
+       << ",\"rate_per_s\":" << json_num(rate) << "}";
+    os << ",\"phases\":{" << phase_shares() << "}";
+    os << "}";
+    out_ << os.str() << "\n";
+    out_.flush();
+    last_t_us_ = now;
+    last_tasks_ = tasks_done;
+    ++lines_;
+  }
+
+  /// Aggregate per-phase exclusive share of root-bracketed wall time
+  /// across every engine profiler (empty unless profiling is armed).
+  std::string phase_shares() const {
+    if (!(config_.profile_engines || config_.base.profile)) return "";
+    std::array<double, prof::kPhaseCount> excl{};
+    double root_incl = 0.0;
+    for (const auto& context : contexts_) {
+      const prof::ProfileSnapshot snap = context->profiler().snapshot();
+      const auto totals = snap.totals();
+      for (std::size_t p = 0; p < prof::kPhaseCount; ++p) {
+        const auto phase = static_cast<prof::Phase>(p);
+        if (prof::phase_is_root(phase)) {
+          root_incl += totals[p].incl_wall_us;
+        } else {
+          excl[p] += totals[p].excl_wall_us;
+        }
+      }
+    }
+    if (root_incl <= 0.0) return "";
+    std::ostringstream os;
+    bool first = true;
+    for (std::size_t p = 0; p < prof::kPhaseCount; ++p) {
+      const double share = excl[p] / root_incl;
+      if (share < 0.0005) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << prof::phase_name(static_cast<prof::Phase>(p))
+         << "\":" << json_num(share);
+    }
+    return os.str();
+  }
+
+  const SweepConfig& config_;
+  const std::vector<std::unique_ptr<telemetry::TelemetryContext>>& contexts_;
+  const std::vector<std::atomic<int>>& status_;
+  const double t0_us_;
+  std::vector<metrics::Counter> executed_;
+  std::ofstream out_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::size_t lines_ = 0;
+  double last_t_us_ = 0.0;
+  std::uint64_t last_tasks_ = 0;
+};
+
+}  // namespace
+
+SweepResult run_sweep(const SweepConfig& config,
+                      const sim::KernelModelSet& models) {
+  config.validate();
+  const int engines = config.engines;
+  int pool = config.concurrency > 0
+                 ? config.concurrency
+                 : std::min(engines, hardware_threads());
+  pool = std::max(1, std::min(pool, engines));
+
+  // All contexts exist up front (not lazily per engine) so the streamer can
+  // watch live counters for engines that have not started yet, and so every
+  // engine's identity is fixed before any runs.  They are destroyed at the
+  // end of this function, strictly after the driver pool joins — every
+  // engine (and its worker threads, which hold shard pointers into the
+  // context registry) dies inside run_simulated, well before its context.
+  std::vector<std::unique_ptr<telemetry::TelemetryContext>> contexts;
+  contexts.reserve(static_cast<std::size_t>(engines));
+  for (int i = 0; i < engines; ++i) {
+    contexts.push_back(std::make_unique<telemetry::TelemetryContext>(
+        config.label_prefix + "-" + std::to_string(i)));
+  }
+  std::vector<std::atomic<int>> status(static_cast<std::size_t>(engines));
+
+  SweepAggregator aggregator;
+  const double t0_us = wall_now_us();
+
+  std::unique_ptr<SweepStreamer> streamer;
+  if (config.stream_interval_us > 0.0) {
+    streamer =
+        std::make_unique<SweepStreamer>(config, contexts, status, t0_us);
+  }
+
+  auto run_engine = [&](int index) {
+    auto& slot = status[static_cast<std::size_t>(index)];
+    slot.store(status_running, std::memory_order_release);
+    telemetry::TelemetryContext& context =
+        *contexts[static_cast<std::size_t>(index)];
+    telemetry::TelemetryScope scope(context);
+
+    ExperimentConfig engine_config = config.base;
+    engine_config.seed = config.base.seed +
+                         static_cast<std::uint64_t>(index) * config.seed_stride;
+    engine_config.profile = config.base.profile || config.profile_engines;
+
+    EngineRunResult engine_result;
+    engine_result.index = index;
+    engine_result.engine_id = context.engine_id();
+    engine_result.label = context.label();
+    try {
+      RunResult run = run_simulated(engine_config, models);
+      engine_result.ok = true;
+      engine_result.makespan_us = run.makespan_us;
+      engine_result.wall_us = run.wall_us;
+      engine_result.gflops = run.gflops;
+      engine_result.tasks = run.tasks;
+      engine_result.quiescence_timeouts = run.quiescence_timeouts;
+      engine_result.profile = run.profile;
+    } catch (const std::exception& e) {
+      engine_result.ok = false;
+      engine_result.error = e.what();
+    }
+    engine_result.metrics = context.metrics().snapshot();
+    slot.store(engine_result.ok ? status_done : status_failed,
+               std::memory_order_release);
+    aggregator.add(std::move(engine_result));
+  };
+
+  std::atomic<int> next_index{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(static_cast<std::size_t>(pool));
+  for (int t = 0; t < pool; ++t) {
+    drivers.emplace_back([&] {
+      for (;;) {
+        const int index = next_index.fetch_add(1, std::memory_order_relaxed);
+        if (index >= engines) return;
+        run_engine(index);
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  const double wall_us = wall_now_us() - t0_us;
+
+  SweepResult result;
+  if (streamer) result.stream_lines = streamer->finish();
+  streamer.reset();
+  result.fleet_metrics = aggregator.merged_metrics();
+  result.stats = aggregator.fleet_stats(wall_us);
+  result.engines = aggregator.take_results();
+  return result;
+}
+
+}  // namespace tasksim::harness

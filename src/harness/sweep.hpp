@@ -1,0 +1,153 @@
+// sweep.hpp — the concurrent sweep driver: K simulations, one fleet view.
+//
+// ROADMAP item 3's "simulation-as-a-service" needs many SimEngine
+// instances running at once — comparing scheduler policies or problem
+// sizes at fleet scale, not one factorization at a time.  The telemetry
+// contexts (support/telemetry) make that safe: run_sweep gives every
+// engine its own TelemetryContext, runs the K configured simulations
+// across a thread pool, and builds the fleet its own observability layer:
+//
+//   * SweepAggregator — merges the per-engine metric snapshots (counters
+//     sum, gauges last-write, histograms bucket-merge) into one fleet
+//     snapshot, and distills FleetStats: p50/p95/p99 of the per-engine
+//     makespans, pooled queue-wait quantiles from the merged
+//     sim.queue.wait_us histogram, and fleet throughput.
+//   * a periodic JSONL time-series streamer ("tasksim-sweep-v1", one JSON
+//     document per line, flushed per tick so `tail -f` works): per-tick
+//     fleet task throughput, engines pending/running/done/failed, and —
+//     when per-engine profiling is on — the aggregate share of wall time
+//     per profiler phase across the fleet.
+//   * a merged end-of-sweep report (sweep_report) and a stable JSON
+//     document ("tasksim-sweep-report-v1", the payload of BENCH_sweep.json).
+//
+// Each engine's run is an ordinary run_simulated under its own bound
+// scope, so everything single-run observability offers (profiler,
+// lifecycle recorder, faults, watchdog) works per engine, and a stalled
+// engine's SimulationStalled error names the engine that died.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "support/metrics.hpp"
+#include "support/profiler.hpp"
+
+namespace tasksim::harness {
+
+struct SweepConfig {
+  /// Per-engine run template.  Engine i runs this config with
+  /// `seed = base.seed + i * seed_stride` (distinct DAG inputs and model
+  /// draws per engine; stride 0 replicates one run K times).
+  ExperimentConfig base;
+  int engines = 8;
+  /// Engines running concurrently; 0 derives min(engines,
+  /// hardware_threads()).  Each engine additionally spawns its own
+  /// base.workers worker threads.
+  int concurrency = 0;
+  std::uint64_t seed_stride = 7919;
+  /// Engine labels: "<label_prefix>-<index>".
+  std::string label_prefix = "sweep";
+  /// Arm each engine's context profiler for its run (feeds the stream's
+  /// aggregate phase shares and EngineRunResult::profile).  OR-ed with
+  /// base.profile.
+  bool profile_engines = false;
+  /// Emit a "tasksim-sweep-v1" JSONL line to stream_path every this many
+  /// µs of wall time (plus one final line when the fleet drains).
+  /// 0 = no stream.  Requires stream_path when positive.
+  double stream_interval_us = 0.0;
+  std::string stream_path;
+
+  /// Throws InvalidArgument on nonsense (and validates `base`).
+  void validate() const;
+};
+
+/// One engine's outcome plus its isolated telemetry.
+struct EngineRunResult {
+  int index = -1;                 ///< position in the sweep [0, engines)
+  std::uint64_t engine_id = 0;    ///< TelemetryContext id (process-unique)
+  std::string label;              ///< "<label_prefix>-<index>"
+  bool ok = false;
+  std::string error;              ///< exception text when !ok
+  double makespan_us = 0.0;
+  double wall_us = 0.0;
+  double gflops = 0.0;
+  std::size_t tasks = 0;
+  std::uint64_t quiescence_timeouts = 0;
+  /// End-of-run snapshot of the engine's own registry (feed to
+  /// SweepAggregator / metrics::Snapshot::merge).
+  metrics::Snapshot metrics;
+  /// The engine's phase profile when profiling was armed.
+  std::shared_ptr<prof::ProfileSnapshot> profile;
+};
+
+/// Fleet-level statistics distilled from the per-engine results and the
+/// merged snapshot.  Quantiles over makespans are exact sample quantiles
+/// (completed engines only); queue-wait quantiles come from the merged
+/// sim.queue.wait_us histogram (within one geometric bucket of exact).
+struct FleetStats {
+  int engines = 0;
+  int completed = 0;
+  int failed = 0;
+  std::size_t tasks_total = 0;
+  double wall_us = 0.0;  ///< whole-sweep wall time
+  double makespan_p50_us = 0.0;
+  double makespan_p95_us = 0.0;
+  double makespan_p99_us = 0.0;
+  double makespan_mean_us = 0.0;
+  double makespan_min_us = 0.0;
+  double makespan_max_us = 0.0;
+  double queue_wait_p50_us = 0.0;
+  double queue_wait_p95_us = 0.0;
+  double queue_wait_p99_us = 0.0;
+  double throughput_tasks_per_s = 0.0;   ///< fleet simulated tasks / wall s
+  double throughput_engines_per_s = 0.0; ///< completed engines / wall s
+};
+
+/// Thread-safe collector for engine results; merge and distill at the end.
+class SweepAggregator {
+ public:
+  void add(EngineRunResult result);
+  std::size_t size() const;
+
+  /// Cross-registry merge of every collected engine's snapshot, in sweep
+  /// index order (deterministic gauge last-write).
+  metrics::Snapshot merged_metrics() const;
+
+  /// Fleet statistics for the collected results (`sweep_wall_us` is the
+  /// whole-sweep wall time the throughputs are normalized by).
+  FleetStats fleet_stats(double sweep_wall_us) const;
+
+  /// Move the results out, sorted by sweep index.
+  std::vector<EngineRunResult> take_results();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<EngineRunResult> results_;
+};
+
+struct SweepResult {
+  std::vector<EngineRunResult> engines;  ///< sorted by index
+  metrics::Snapshot fleet_metrics;       ///< merged across engines
+  FleetStats stats;
+  std::size_t stream_lines = 0;          ///< JSONL ticks emitted
+
+  /// Stable single-document JSON ("tasksim-sweep-report-v1"): fleet
+  /// stats + one row per engine.  The payload of BENCH_sweep.json.
+  std::string to_json() const;
+};
+
+/// Human-readable fleet report (per-engine table + fleet summary).
+std::string sweep_report(const SweepResult& result);
+
+/// Run the sweep: K engines, each under its own TelemetryContext, across
+/// a pool of `concurrency` driver threads.  Individual engine failures
+/// (including watchdog stalls) are captured in their EngineRunResult, not
+/// rethrown — the rest of the fleet keeps running.
+SweepResult run_sweep(const SweepConfig& config,
+                      const sim::KernelModelSet& models);
+
+}  // namespace tasksim::harness

@@ -79,8 +79,8 @@ void OmpssRuntime::route_released(int worker,
     if (slot.load(std::memory_order_acquire) == nullptr) {
       TaskRecord* first = released[0];
       mark_ready(first);
-      flightrec::FlightRecorder::global().record(
-          flightrec::EventType::sched_immediate, first->id, worker);
+      recorder().record(flightrec::EventType::sched_immediate, first->id,
+                        worker);
       immediate_count_.fetch_add(1, std::memory_order_acq_rel);
       slot.store(first, std::memory_order_release);
       immediate_hits_.inc();

@@ -29,8 +29,7 @@ TaskRecord* QuarkRuntime::pop_ready(int worker) {
   if (TaskRecord* task = deques_.pop_own(worker)) return task;
   if (options_.steal) {
     if (TaskRecord* task = deques_.steal(worker)) {
-      flightrec::FlightRecorder::global().record(
-          flightrec::EventType::sched_steal, task->id, worker);
+      recorder().record(flightrec::EventType::sched_steal, task->id, worker);
       return task;
     }
   }

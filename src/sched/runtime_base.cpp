@@ -19,6 +19,7 @@ void sleep_us(double us) {
 
 RuntimeBase::RuntimeBase(RuntimeConfig config)
     : config_(config),
+      telemetry_(&telemetry::current()),
       tasks_submitted_(metrics::counter("sched.tasks_submitted")),
       tasks_completed_(metrics::counter("sched.tasks_completed")),
       window_throttled_(metrics::counter("sched.window_throttled")),
@@ -163,7 +164,7 @@ TaskId RuntimeBase::submit(TaskDescriptor desc) {
   TS_PROF_SCOPE(submit);
   TS_REQUIRE(static_cast<bool>(desc.function), "task without a function");
   tasks_submitted_.inc();
-  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
+  flightrec::FlightRecorder& fr = telemetry_->recorder();
   // Task-window throttling (QUARK window / OmpSs throttle).
   if (config_.window_size > 0) {
     std::unique_lock<std::mutex> lock(state_mutex_);
@@ -247,8 +248,7 @@ void RuntimeBase::on_task_finished(TaskRecord* task, int lane,
 
 void RuntimeBase::mark_ready(TaskRecord* task) {
   task->state.store(TaskState::ready, std::memory_order_release);
-  flightrec::FlightRecorder::global().record(flightrec::EventType::task_ready,
-                                             task->id);
+  telemetry_->recorder().record(flightrec::EventType::task_ready, task->id);
   for (TaskObserver* obs : observers_) obs->on_ready(task->id);
 }
 
@@ -269,8 +269,8 @@ TaskRecord* RuntimeBase::claim_task(int lane) {
   bookkeeping_.fetch_add(1, std::memory_order_acq_rel);
   TaskRecord* task = pop_ready(lane);
   if (task != nullptr) {
-    flightrec::FlightRecorder::global().record(
-        flightrec::EventType::task_dispatch, task->id, lane);
+    telemetry_->recorder().record(flightrec::EventType::task_dispatch,
+                                  task->id, lane);
     task->state.store(TaskState::running, std::memory_order_release);
     lane_executing_[static_cast<std::size_t>(lane)]->store(
         true, std::memory_order_release);
@@ -282,6 +282,12 @@ TaskRecord* RuntimeBase::claim_task(int lane) {
 }
 
 void RuntimeBase::worker_loop(int lane) {
+  // Inherit the runtime's telemetry context for the thread's lifetime:
+  // every metric handle, profiler probe and flight-recorder event on this
+  // worker lands in the owning engine's context, whatever thread pool
+  // constructed the runtime.  The worker joins (stop_workers) before the
+  // runtime — and therefore before the context — is destroyed.
+  telemetry::TelemetryScope telemetry_scope(*telemetry_);
   prof::set_thread_name("worker-" + std::to_string(lane));
   LanePark& park = *parks_[static_cast<std::size_t>(lane)];
   for (;;) {
@@ -323,7 +329,7 @@ void RuntimeBase::requeue_for_retry(TaskRecord* task, int lane,
                                     double cpu_duration_us) {
   retries_.fetch_add(1, std::memory_order_acq_rel);
   tasks_retried_.inc();
-  flightrec::FlightRecorder::global().record(
+  telemetry_->recorder().record(
       flightrec::EventType::task_retry, task->id, lane, 0.0,
       static_cast<double>(task->attempts.load(std::memory_order_relaxed)));
 
@@ -364,8 +370,8 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
 
   const double start_wall = wall_time_us();
   const double start_cpu = thread_cpu_time_us();
-  flightrec::FlightRecorder::global().record(flightrec::EventType::task_start,
-                                             task->id, lane);
+  telemetry_->recorder().record(flightrec::EventType::task_start, task->id,
+                                lane);
   for (TaskObserver* obs : observers_) {
     obs->on_start(task->id, task->desc.kernel, lane, start_wall, start_cpu);
   }
@@ -388,9 +394,9 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
     tasks_failed_.inc();
     const int attempts =
         task->attempts.fetch_add(1, std::memory_order_acq_rel) + 1;
-    flightrec::FlightRecorder::global().record(
-        flightrec::EventType::task_failed, task->id, lane, 0.0,
-        static_cast<double>(attempts - 1));
+    telemetry_->recorder().record(flightrec::EventType::task_failed, task->id,
+                                  lane, 0.0,
+                                  static_cast<double>(attempts - 1));
     if (attempts <= config_.max_task_retries) {
       requeue_for_retry(task, lane, thread_cpu_time_us() - start_cpu);
       return;
@@ -419,8 +425,8 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
   const bool skipped = failed || ctx.poisoned;
   if (skipped) {
     tasks_poisoned_.inc();
-    flightrec::FlightRecorder::global().record(
-        flightrec::EventType::task_poisoned, task->id, lane);
+    telemetry_->recorder().record(flightrec::EventType::task_poisoned,
+                                  task->id, lane);
     std::lock_guard<std::mutex> lock(state_mutex_);
     poisoned_ids_.push_back(task->id);
   }
@@ -431,8 +437,8 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
 
   const double end_wall = wall_time_us();
   const double end_cpu = thread_cpu_time_us();
-  flightrec::FlightRecorder::global().record(flightrec::EventType::task_finish,
-                                             task->id, lane);
+  telemetry_->recorder().record(flightrec::EventType::task_finish, task->id,
+                                lane);
 
   // Completion bookkeeping: visible through bookkeeping_in_flight() until
   // every released successor is routed to a ready pool.

@@ -35,6 +35,7 @@
 #include "sched/dependency_tracker.hpp"
 #include "sched/runtime.hpp"
 #include "support/metrics.hpp"
+#include "support/telemetry.hpp"
 
 namespace tasksim::sched {
 
@@ -86,7 +87,21 @@ class RuntimeBase : public Runtime {
   std::vector<TaskId> poisoned_tasks() const final;
 
  protected:
+  /// Captures the constructing thread's telemetry context
+  /// (telemetry::current()): every worker thread binds it in worker_loop,
+  /// so the runtime's metrics, profiler probes and flight-recorder events
+  /// land in the owning engine's context even when K runtimes coexist.
+  /// The context must outlive the runtime.
   explicit RuntimeBase(RuntimeConfig config);
+
+  /// The context's flight recorder (for derived schedulers' policy-decision
+  /// events: steals, lane commits, immediate-successor hits).
+  flightrec::FlightRecorder& recorder() const {
+    return telemetry_->recorder();
+  }
+
+  /// The telemetry context captured at construction.
+  telemetry::TelemetryContext& telemetry() const { return *telemetry_; }
 
   // --- scheduler-specific ready pool (must be internally synchronized) ---
   /// Place a ready task; returns the lane whose per-worker pool received
@@ -170,6 +185,8 @@ class RuntimeBase : public Runtime {
   void record_fatal(std::exception_ptr error);
 
   RuntimeConfig config_;
+  /// Captured from telemetry::current() at construction; not owned.
+  telemetry::TelemetryContext* telemetry_;
   int spawned_workers_ = 0;
 
   DependencyTracker tracker_;
@@ -207,7 +224,7 @@ class RuntimeBase : public Runtime {
   std::vector<std::unique_ptr<std::atomic<bool>>> lane_executing_;
   std::vector<std::thread> threads_;
 
-  // Instrumentation (global metrics registry; see DESIGN.md §2).
+  // Instrumentation (the context's metrics registry; see DESIGN.md §2).
   metrics::Counter tasks_submitted_;      ///< sched.tasks_submitted
   metrics::Counter tasks_completed_;      ///< sched.tasks_completed
   metrics::Counter window_throttled_;     ///< sched.window_throttled

@@ -121,9 +121,8 @@ int StarpuRuntime::push_ready(TaskRecord* task, int worker_hint) {
     case StarpuPolicy::dmda: {
       const int lane = pick_dm_lane(task);
       task->policy_lane = lane;
-      flightrec::FlightRecorder::global().record(
-          flightrec::EventType::sched_lane_commit, task->id, lane,
-          task->policy_expected_us);
+      recorder().record(flightrec::EventType::sched_lane_commit, task->id,
+                        lane, task->policy_expected_us);
       deques_->push(lane, task);
       return lane;
     }

@@ -39,6 +39,7 @@ RaceMitigation parse_race_mitigation(const std::string& name) {
 SimEngine::SimEngine(const KernelModelSet& models, SimEngineOptions options)
     : models_(models),
       options_(options),
+      telemetry_(&telemetry::current()),
       rng_(options.seed),
       executed_(metrics::counter("sim.tasks_executed")),
       quiescence_timeouts_(metrics::counter("sim.quiescence_timeouts")),
@@ -79,22 +80,31 @@ std::uint64_t SimEngine::register_submission(const std::string& kernel) {
 }
 
 void SimEngine::start_watchdog() {
+  watchdog_.set_owner(telemetry_->describe());
   watchdog_.add_beacon("sim.tasks_executed",
                        [this] { return executed_.value(); });
-  watchdog_.add_beacon("sim.queue.enters", [] {
-    return metrics::counter("sim.queue.enters").value();
-  });
+  // Beacons resolved by name must be captured as handles here, on the
+  // engine's own (bound) thread: the lambdas run on the watchdog thread,
+  // where metrics::counter() would resolve that thread's context — the
+  // process default, not this engine's — and watch the wrong registry.
+  watchdog_.add_beacon(
+      "sim.queue.enters",
+      [handle = metrics::counter("sim.queue.enters")] { return handle.value(); });
   watchdog_.add_beacon("sim.fault.failed_attempts",
                        [this] { return fault_failures_.value(); });
   watchdog_.add_beacon("sim.virtual_clock_us", [this] {
     return static_cast<std::uint64_t>(clock_.now());
   });
-  watchdog_.add_beacon("sched.tasks_submitted", [] {
-    return metrics::counter("sched.tasks_submitted").value();
-  });
-  watchdog_.add_beacon("sched.tasks_completed", [] {
-    return metrics::counter("sched.tasks_completed").value();
-  });
+  watchdog_.add_beacon(
+      "sched.tasks_submitted",
+      [handle = metrics::counter("sched.tasks_submitted")] {
+        return handle.value();
+      });
+  watchdog_.add_beacon(
+      "sched.tasks_completed",
+      [handle = metrics::counter("sched.tasks_completed")] {
+        return handle.value();
+      });
   watchdog_.set_activity_gate([this] {
     return submission_open() || queue_.size() > 0 ||
            in_flight_.load(std::memory_order_acquire) > 0;
@@ -109,7 +119,7 @@ void SimEngine::start_watchdog() {
 
 void SimEngine::on_stall(const StallReport& report) {
   watchdog_stalls_.inc();
-  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
+  flightrec::FlightRecorder& fr = telemetry_->recorder();
   fr.record(flightrec::EventType::watchdog_stall, flightrec::kNoTask, -1,
             report.stalled_for_us);
 
@@ -140,13 +150,14 @@ void SimEngine::on_stall(const StallReport& report) {
     }
   }
 
-  TS_LOG_ERROR << "watchdog declared the simulation stalled after "
-               << report.stalled_for_us << " us; cancelling the task "
-               << "execution queue";
+  TS_LOG_ERROR << "watchdog declared " << telemetry_->describe()
+               << " stalled after " << report.stalled_for_us
+               << " us; cancelling the task execution queue";
   stalled_.store(true, std::memory_order_release);
   // Wakes every thread blocked in the queue; they throw SimulationStalled
-  // carrying this report from their own stacks.
-  queue_.cancel(os.str());
+  // carrying this report (tagged with the engine identity) from their own
+  // stacks.
+  queue_.cancel(os.str(), telemetry_->describe());
 }
 
 void SimEngine::interruptible_stall(double us) {
@@ -185,7 +196,7 @@ bool SimEngine::scheduler_safe(const sched::TaskContext& ctx) const {
 double SimEngine::execute(sched::TaskContext& ctx,
                           const std::string& base_kernel,
                           std::uint64_t fault_ordinal) {
-  flightrec::FlightRecorder& fr = flightrec::FlightRecorder::global();
+  flightrec::FlightRecorder& fr = telemetry_->recorder();
 
   // Poisoned fast path: a producer (or this task itself) exhausted its
   // retry budget.  Record the skip on the virtual trace — zero-length, at
@@ -229,8 +240,9 @@ double SimEngine::execute(sched::TaskContext& ctx,
     }
   }
   if (stalled_.load(std::memory_order_acquire)) {
-    throw SimulationStalled("simulation cancelled by the watchdog",
-                            "see the stall report on the first failure");
+    throw SimulationStalled(
+        telemetry_->describe() + ": simulation cancelled by the watchdog",
+        "see the stall report on the first failure");
   }
 
   // 1. Virtual start time: the clock only advances when simulated tasks

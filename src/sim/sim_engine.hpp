@@ -40,6 +40,7 @@
 #include "sim/task_exec_queue.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 #include "support/watchdog.hpp"
 #include "trace/trace.hpp"
 
@@ -85,7 +86,12 @@ struct SimEngineOptions {
 
 class SimEngine {
  public:
-  /// `models` must outlive the engine.
+  /// `models` must outlive the engine.  The engine captures the
+  /// constructing thread's telemetry context (telemetry::current()) for
+  /// its metric handles, flight-recorder events, watchdog identity and
+  /// stall reports — construct it inside the TelemetryScope it should
+  /// report into (run_simulated does; the sweep driver binds a per-engine
+  /// scope around it).  The context must outlive the engine.
   SimEngine(const KernelModelSet& models, SimEngineOptions options = {});
   ~SimEngine();
 
@@ -112,13 +118,18 @@ class SimEngine {
   trace::Trace& trace() { return trace_; }
 
   /// Number of simulated kernels executed by *this* engine.  Backed by the
-  /// global "sim.tasks_executed" metric relative to a baseline captured at
-  /// construction/reset, so per-engine accessors and process-wide metrics
-  /// agree; engines are expected to run one at a time (concurrent engines
-  /// would see each other's increments).
+  /// "sim.tasks_executed" metric of the engine's telemetry context
+  /// relative to a baseline captured at construction/reset.  Engines
+  /// constructed under distinct TelemetryScopes own distinct registries,
+  /// so concurrent engines never see each other's increments; engines on
+  /// the shared default context must still run one at a time.
   std::uint64_t executed_tasks() const {
     return executed_.value() - executed_base_;
   }
+
+  /// The telemetry context this engine instruments into (captured at
+  /// construction).
+  telemetry::TelemetryContext& telemetry() const { return *telemetry_; }
 
   /// Times the quiescence wait hit its timeout (should stay 0 in healthy
   /// runs).  Same baseline convention as executed_tasks().
@@ -165,6 +176,8 @@ class SimEngine {
 
   const KernelModelSet& models_;
   SimEngineOptions options_;
+  /// Captured from telemetry::current() at construction; not owned.
+  telemetry::TelemetryContext* telemetry_;
   SimClock clock_;
   TaskExecQueue queue_;
   trace::Trace trace_;
@@ -180,8 +193,8 @@ class SimEngine {
   /// activity gate honest for tasks stalled before entering the queue).
   std::atomic<int> in_flight_{0};
 
-  // Instrumentation (global metrics registry; see DESIGN.md §2).  The
-  // *_base_ values anchor the per-engine accessors above.
+  // Instrumentation (the context's metrics registry; see DESIGN.md §2 and
+  // §10).  The *_base_ values anchor the per-engine accessors above.
   metrics::Counter executed_;             ///< sim.tasks_executed
   metrics::Counter quiescence_timeouts_;  ///< sim.quiescence_timeouts
   metrics::Counter quiescence_spins_;     ///< sim.quiescence_spins

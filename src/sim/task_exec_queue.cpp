@@ -26,7 +26,9 @@ void TaskExecQueue::require_finite(double completion_us) {
 }
 
 void TaskExecQueue::throw_cancelled_locked() const {
-  throw SimulationStalled("task execution queue cancelled", cancel_reason_);
+  std::string what = "task execution queue cancelled";
+  if (!cancel_owner_.empty()) what = cancel_owner_ + ": " + what;
+  throw SimulationStalled(what, cancel_reason_);
 }
 
 void TaskExecQueue::unpark_locked(ParkSlot* slot) {
@@ -53,7 +55,7 @@ TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
     // Identified by ticket sequence numbers (the queue does not know task
     // ids): `task` = displaced front's seq, `other` = entering seq.
     const Key front = entries_.begin()->first;
-    flightrec::FlightRecorder::global().record(
+    flightrec::current().record(
         flightrec::EventType::teq_displaced, front.second, -1, front.first,
         ticket.completion_us, ticket.seq);
   }
@@ -159,11 +161,12 @@ void TaskExecQueue::leave(const Ticket& ticket) {
   }
 }
 
-void TaskExecQueue::cancel(std::string reason) {
+void TaskExecQueue::cancel(std::string reason, std::string owner) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (cancelled_) return;
   cancelled_ = true;
   cancel_reason_ = std::move(reason);
+  cancel_owner_ = std::move(owner);
   cancelled_flag_.store(true, std::memory_order_release);
   // The one remaining broadcast: every parked waiter must wake to throw
   // SimulationStalled from its own stack.  Aborting a stalled simulation
@@ -176,6 +179,7 @@ void TaskExecQueue::clear_cancel() {
   TS_REQUIRE(entries_.empty(), "cannot re-arm a cancelled queue in use");
   cancelled_ = false;
   cancel_reason_.clear();
+  cancel_owner_.clear();
   cancelled_flag_.store(false, std::memory_order_release);
   front_seq_.store(kNoFront, std::memory_order_release);
   // Restart the ticket sequence so a re-armed engine's flight-recorder

@@ -68,10 +68,13 @@ class TaskExecQueue {
 
   /// Cancel the queue: wake every parked waiter and make wait_front (and
   /// further enter calls) throw SimulationStalled carrying `reason`.
-  /// Called by the watchdog's stall handler to turn a deadlocked
-  /// simulation into a typed error on the blocked threads' own stacks.
-  /// This is the one path that still broadcasts — aborting is exceptional.
-  void cancel(std::string reason);
+  /// `owner` (the engine's identity tag, e.g. "engine 3 ('sweep-3')") is
+  /// woven into the error's what() so a stalled engine in a K-engine sweep
+  /// is identifiable from the error alone.  Called by the watchdog's stall
+  /// handler to turn a deadlocked simulation into a typed error on the
+  /// blocked threads' own stacks.  This is the one path that still
+  /// broadcasts — aborting is exceptional.
+  void cancel(std::string reason, std::string owner = "");
 
   bool cancelled() const {
     return cancelled_flag_.load(std::memory_order_acquire);
@@ -115,6 +118,7 @@ class TaskExecQueue {
   std::uint64_t next_seq_ = 0;
   bool cancelled_ = false;
   std::string cancel_reason_;
+  std::string cancel_owner_;
 
   /// Seq of the current front entry (kNoFront when empty), published with
   /// release under the mutex and read with acquire by the lock-free fast

@@ -165,4 +165,18 @@ class FlightRecorder {
   std::unordered_map<std::uint64_t, std::string> names_;
 };
 
+namespace detail {
+/// The calling thread's bound recorder, set by telemetry::TelemetryScope
+/// (support/telemetry.hpp); nullptr → the process-wide default.
+inline thread_local FlightRecorder* t_bound_recorder = nullptr;
+}  // namespace detail
+
+/// The recorder instrumentation on this thread records into: the
+/// TelemetryScope-bound instance (per-engine recorders for concurrent
+/// sweeps), or FlightRecorder::global() when unbound.
+inline FlightRecorder& current() {
+  FlightRecorder* bound = detail::t_bound_recorder;
+  return bound != nullptr ? *bound : FlightRecorder::global();
+}
+
 }  // namespace tasksim::flightrec

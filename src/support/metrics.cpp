@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <sstream>
 #include <unordered_map>
@@ -56,6 +57,60 @@ std::string json_escape(const std::string& text) {
 double histogram_bucket_upper(std::size_t i) {
   TS_REQUIRE(i < kHistogramBuckets, "histogram bucket index out of range");
   return bucket_bounds()[i];
+}
+
+std::uint64_t histogram_bounds_fingerprint() {
+  static const std::uint64_t fingerprint = [] {
+    // FNV-1a over the bucket count and every finite upper bound.  Stable
+    // across runs of the same build; changes whenever the bucket layout
+    // does, which is exactly when cross-build merges must be refused.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffULL;
+        h *= 0x100000001b3ULL;
+      }
+    };
+    mix(kHistogramBuckets);
+    for (double bound : bucket_bounds()) {
+      std::uint64_t bits = 0;
+      if (std::isfinite(bound)) {
+        static_assert(sizeof(bits) == sizeof(bound));
+        std::memcpy(&bits, &bound, sizeof(bits));
+      }
+      mix(bits);
+    }
+    return h == 0 ? 1 : h;  // 0 is reserved for "the compiled-in layout"
+  }();
+  return fingerprint;
+}
+
+void HistogramStats::merge(const HistogramStats& other) {
+  const auto resolve = [](std::uint64_t fp) {
+    return fp == 0 ? histogram_bounds_fingerprint() : fp;
+  };
+  TS_REQUIRE(resolve(bounds_fingerprint) == resolve(other.bounds_fingerprint),
+             "cannot merge histograms with different bucket layouts "
+             "(bounds fingerprints " +
+                 std::to_string(resolve(bounds_fingerprint)) + " vs " +
+                 std::to_string(resolve(other.bounds_fingerprint)) + ")");
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  bounds_fingerprint = resolve(bounds_fingerprint);
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  // Gauges are levels, not accumulators: the merged-in snapshot's value
+  // wins, so merging snapshots in write order reproduces last-write-wins.
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, stats] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(name, stats);
+    if (!inserted) it->second.merge(stats);
+  }
 }
 
 Registry::Registry() : id_(next_registry_id()) {}
@@ -171,6 +226,7 @@ Snapshot Registry::snapshot() const {
   }
   for (const auto& [name, slot] : histogram_slots_) {
     HistogramStats stats;
+    stats.bounds_fingerprint = histogram_bounds_fingerprint();
     for (const auto& shard : shards_) {
       const auto& hist = shard->hists[slot];
       for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
@@ -238,14 +294,12 @@ std::string Snapshot::to_json() const {
   return os.str();
 }
 
-Counter counter(const std::string& name) {
-  return Registry::global().counter(name);
-}
-Gauge gauge(const std::string& name) { return Registry::global().gauge(name); }
+Counter counter(const std::string& name) { return current().counter(name); }
+Gauge gauge(const std::string& name) { return current().gauge(name); }
 Histogram histogram(const std::string& name) {
-  return Registry::global().histogram(name);
+  return current().histogram(name);
 }
-Snapshot snapshot() { return Registry::global().snapshot(); }
-void reset() { Registry::global().reset(); }
+Snapshot snapshot() { return current().snapshot(); }
+void reset() { current().reset(); }
 
 }  // namespace tasksim::metrics

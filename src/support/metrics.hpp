@@ -26,10 +26,14 @@
 // exceeding it throws InvalidArgument at registration time — the hot path
 // never checks.
 //
-// The process-wide default registry is metrics::Registry::global(); the
+// The process-wide default registry is metrics::Registry::global().  The
 // free functions counter()/gauge()/histogram()/snapshot()/reset() operate
-// on it.  Separate Registry instances are supported (used by tests) and
-// must outlive any thread that touched them.
+// on the calling thread's *current* registry: the one bound by an
+// enclosing telemetry::TelemetryScope (per-engine registries for
+// concurrent sweeps), or the global default when nothing is bound — so
+// existing call sites keep their behavior.  Separate Registry instances
+// are supported (tests, TelemetryContext) and must outlive any thread
+// that touched them.
 #pragma once
 
 #include <array>
@@ -53,6 +57,12 @@ inline constexpr std::size_t kHistogramBuckets = 24;
 
 /// Upper bound of histogram bucket `i` (+inf for the last bucket).
 double histogram_bucket_upper(std::size_t i);
+
+/// FNV-1a fingerprint of the compiled-in bucket layout (count + upper
+/// bounds).  Histograms may only be merged when their layouts agree —
+/// bucket-wise addition across different layouts would silently mis-bin —
+/// so HistogramStats carries this fingerprint and merge() compares it.
+std::uint64_t histogram_bounds_fingerprint();
 
 class Registry;
 
@@ -103,6 +113,9 @@ struct HistogramStats {
   std::uint64_t count = 0;
   double sum = 0.0;
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  /// Bucket-layout fingerprint; 0 means "the compiled-in layout" (the
+  /// default for hand-built stats), snapshot() stamps the explicit value.
+  std::uint64_t bounds_fingerprint = 0;
 
   double mean() const { return count == 0 ? 0.0 : sum / count; }
   /// Estimate of quantile `q` in [0, 1]: linear interpolation within the
@@ -112,12 +125,29 @@ struct HistogramStats {
   /// unbounded overflow bucket cannot be interpolated and reports its
   /// (finite) lower bound.  0 when empty.
   double quantile(double q) const;
+
+  /// Bucket-wise accumulation of `other` into this histogram (counts and
+  /// sums add; quantiles of the merge reflect the pooled sample).  Throws
+  /// InvalidArgument when the bucket layouts differ (see
+  /// histogram_bounds_fingerprint()).
+  void merge(const HistogramStats& other);
 };
 
 struct Snapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramStats> histograms;
+
+  /// Merge `other` into this snapshot — the cross-registry aggregation the
+  /// sweep driver uses to build a fleet view from per-engine registries:
+  ///   counters    — summed,
+  ///   gauges      — last-write-wins: `other`'s value replaces ours (merge
+  ///                 order is write order; gauges are point-in-time levels,
+  ///                 not accumulators, so summing them would be nonsense),
+  ///   histograms  — bucket-wise HistogramStats::merge (throws
+  ///                 InvalidArgument on bucket-layout mismatch).
+  /// Names present on only one side are kept as-is.
+  void merge(const Snapshot& other);
 
   /// Compact single-document JSON dump (counters, gauges, histograms with
   /// count/sum/mean/p50/p95 and non-empty buckets).
@@ -192,6 +222,23 @@ class Registry {
   std::array<std::atomic<double>, kMaxGauges> gauges_{};
 };
 
+namespace detail {
+/// The calling thread's bound registry, set by telemetry::TelemetryScope
+/// (support/telemetry.hpp); nullptr → the process-wide default.  A plain
+/// thread_local pointer: zero-initialized, no init-on-first-use guard.
+inline thread_local Registry* t_bound_registry = nullptr;
+}  // namespace detail
+
+/// The registry instrumentation on this thread resolves to: the registry
+/// bound by the innermost telemetry::TelemetryScope, or Registry::global()
+/// when nothing is bound.  One TLS load + branch — cheap enough for
+/// handle-registration paths (hot-path increments go through handles and
+/// never re-resolve).
+inline Registry& current() {
+  Registry* bound = detail::t_bound_registry;
+  return bound != nullptr ? *bound : Registry::global();
+}
+
 inline void Counter::inc(std::uint64_t delta) const {
   // Shard cells are written by exactly one thread, so a relaxed
   // load-add-store (an ordinary `add` instruction, no lock prefix) is
@@ -232,12 +279,13 @@ inline void Histogram::observe(double value) const {
                  std::memory_order_relaxed);
 }
 
-/// Handles on the global registry.
+/// Handles on the calling thread's current registry (the TelemetryScope-
+/// bound one, or the global default when unbound).
 Counter counter(const std::string& name);
 Gauge gauge(const std::string& name);
 Histogram histogram(const std::string& name);
 
-/// Snapshot / reset of the global registry.
+/// Snapshot / reset of the calling thread's current registry.
 Snapshot snapshot();
 void reset();
 

@@ -616,7 +616,7 @@ void Profiler::set_thread_name(const std::string& name) {
 }
 
 void set_thread_name(const std::string& name) {
-  Profiler::global().set_thread_name(name);
+  current().set_thread_name(name);
 }
 
 }  // namespace tasksim::prof

@@ -36,8 +36,11 @@
 //     wall time.  trace/chrome_export turns the series into Chrome counter
 //     tracks (per-phase thread-share over time).
 //
-// The process-wide default instance is Profiler::global(); separate
-// instances are supported (used by tests) and must outlive any thread that
+// The process-wide default instance is Profiler::global().  Probes resolve
+// the calling thread's *current* profiler: the one bound by an enclosing
+// telemetry::TelemetryScope (per-engine profilers for concurrent sweeps),
+// or the global default when nothing is bound.  Separate instances are
+// supported (tests, TelemetryContext) and must outlive any thread that
 // touched them.
 #pragma once
 
@@ -239,12 +242,27 @@ class Profiler {
   bool sampler_stop_ = false;
 };
 
+namespace detail {
+/// The calling thread's bound profiler, set by telemetry::TelemetryScope
+/// (support/telemetry.hpp); nullptr → the process-wide default.
+inline thread_local Profiler* t_bound_profiler = nullptr;
+}  // namespace detail
+
+/// The profiler probes on this thread record into: the TelemetryScope-bound
+/// instance, or Profiler::global() when unbound.  The extra TLS load +
+/// branch rides the disabled-probe path, which micro_components gates at
+/// --probe-budget-ns.
+inline Profiler& current() {
+  Profiler* bound = detail::t_bound_profiler;
+  return bound != nullptr ? *bound : Profiler::global();
+}
+
 /// RAII probe.  Constructing while the profiler is disabled is inert (one
-/// relaxed load + branch); constructing while enabled opens the phase on
-/// the calling thread until destruction.
+/// TLS load + one relaxed load + branch); constructing while enabled opens
+/// the phase on the calling thread until destruction.
 class ScopedPhase {
  public:
-  explicit ScopedPhase(Phase phase) : ScopedPhase(Profiler::global(), phase) {}
+  explicit ScopedPhase(Phase phase) : ScopedPhase(current(), phase) {}
   ScopedPhase(Profiler& profiler, Phase phase) {
     if (profiler.enabled()) shard_ = profiler.enter_scope(phase);
   }
@@ -258,13 +276,13 @@ class ScopedPhase {
   Profiler::Shard* shard_ = nullptr;
 };
 
-/// Name the calling thread in the global profiler's snapshots.
+/// Name the calling thread in its current profiler's snapshots.
 void set_thread_name(const std::string& name);
 
 #define TS_PROF_CONCAT_IMPL(a, b) a##b
 #define TS_PROF_CONCAT(a, b) TS_PROF_CONCAT_IMPL(a, b)
 /// Probe the enclosing block as `phase` (a Phase enumerator name) on the
-/// process-global profiler.
+/// calling thread's current profiler.
 #define TS_PROF_SCOPE(phase)                                      \
   ::tasksim::prof::ScopedPhase TS_PROF_CONCAT(ts_prof_scope_,     \
                                               __LINE__)(          \

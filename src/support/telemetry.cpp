@@ -1,0 +1,70 @@
+#include "support/telemetry.hpp"
+
+#include <atomic>
+
+namespace tasksim::telemetry {
+
+namespace {
+std::uint64_t next_engine_id() {
+  // Id 0 is the process default; real contexts start at 1.
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+TelemetryContext::TelemetryContext(std::string label)
+    : engine_id_(next_engine_id()),
+      label_(std::move(label)),
+      owned_registry_(std::make_unique<metrics::Registry>()),
+      owned_recorder_(std::make_unique<flightrec::FlightRecorder>()),
+      registry_(owned_registry_.get()),
+      recorder_(owned_recorder_.get()),
+      owned_profiler_(std::make_unique<prof::Profiler>()),
+      profiler_(owned_profiler_.get()) {}
+
+TelemetryContext::TelemetryContext(DefaultTag)
+    : engine_id_(0),
+      label_("default"),
+      registry_(&metrics::Registry::global()),
+      recorder_(&flightrec::FlightRecorder::global()),
+      profiler_(&prof::Profiler::global()) {}
+
+TelemetryContext::~TelemetryContext() {
+  // Join the sampler before any member dies; the member destruction order
+  // (profiler first) makes this redundant but keeps the invariant explicit
+  // even if the declaration order is ever reshuffled.
+  if (owned_profiler_) owned_profiler_->disable();
+}
+
+std::string TelemetryContext::describe() const {
+  std::string out = "engine " + std::to_string(engine_id_);
+  if (!label_.empty()) out += " ('" + label_ + "')";
+  return out;
+}
+
+TelemetryContext& TelemetryContext::process_default() {
+  // Leaked like the singletons it wraps: contexts captured by static
+  // objects may be described during exit-time destructors.
+  static TelemetryContext* instance = new TelemetryContext(DefaultTag{});
+  return *instance;
+}
+
+TelemetryScope::TelemetryScope(TelemetryContext& context)
+    : prev_context_(detail::t_bound_context),
+      prev_registry_(metrics::detail::t_bound_registry),
+      prev_profiler_(prof::detail::t_bound_profiler),
+      prev_recorder_(flightrec::detail::t_bound_recorder) {
+  detail::t_bound_context = &context;
+  metrics::detail::t_bound_registry = &context.metrics();
+  prof::detail::t_bound_profiler = &context.profiler();
+  flightrec::detail::t_bound_recorder = &context.recorder();
+}
+
+TelemetryScope::~TelemetryScope() {
+  detail::t_bound_context = prev_context_;
+  metrics::detail::t_bound_registry = prev_registry_;
+  prof::detail::t_bound_profiler = prev_profiler_;
+  flightrec::detail::t_bound_recorder = prev_recorder_;
+}
+
+}  // namespace tasksim::telemetry

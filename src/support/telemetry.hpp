@@ -1,0 +1,142 @@
+// telemetry.hpp — per-engine telemetry contexts.
+//
+// PRs 1-4 built three observability subsystems — the metrics registry
+// (support/metrics), the task-lifecycle flight recorder
+// (support/flight_recorder) and the wall-clock phase profiler
+// (support/profiler) — but every instrumentation site hung off the
+// process-wide singletons, so two SimEngine instances running concurrently
+// would write into each other's counters, rings and shards.  The sweep
+// orchestrator (harness/sweep) needs K engines to coexist, each with its
+// own isolated, mergeable telemetry.
+//
+// A TelemetryContext bundles one owned instance of each subsystem plus an
+// engine identity (unique id + user label).  Threads opt in via a scoped
+// TLS binding:
+//
+//   telemetry::TelemetryContext context("sweep-3");
+//   telemetry::TelemetryScope scope(context);   // binds this thread
+//   harness::run_simulated(config, models);     // all instrumentation —
+//       // metrics::counter(), TS_PROF_SCOPE, flightrec::current() — now
+//       // resolves to this context's registry/profiler/recorder
+//
+// The binding is the same trick as the registry's TlsCache: one plain
+// thread_local pointer per subsystem, read on the slow registration /
+// record paths (hot-path metric increments go through pre-resolved
+// handles and pay nothing).  When no scope is bound, every subsystem
+// resolves to its ::global() instance — the process-default context — so
+// all pre-existing call sites, benches and tests keep their behavior
+// bit-for-bit.
+//
+// Propagation: RuntimeBase captures the constructing thread's context and
+// re-binds it on every worker thread it spawns, so an engine's workers
+// instrument into the engine's context no matter which thread pool drives
+// the sweep.  SimEngine does the same for its watchdog (beacons are
+// pre-resolved handles; the stall path tags reports with the context's
+// identity).
+//
+// Lifetime rules:
+//   * The context must outlive every runtime/engine constructed under it
+//     (worker threads hold shard pointers into its registry).  run_sweep
+//     destroys each engine before its context; the subsystems' id-keyed
+//     TLS caches make a destroyed context's stale cache entries
+//     unreachable rather than dangling.
+//   * The profiler member is declared last, hence destroyed FIRST: its
+//     destructor joins the sampler thread before the registry/recorder
+//     the sampler's snapshot could touch disappear — the multi-engine
+//     sampler-lifecycle fix (the global-only design was safe only because
+//     the globals are leaked).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/flight_recorder.hpp"
+#include "support/metrics.hpp"
+#include "support/profiler.hpp"
+
+namespace tasksim::telemetry {
+
+class TelemetryContext {
+ public:
+  /// A fresh context with its own registry, recorder and profiler.  The
+  /// label is free-form (sweep engine names); the id is process-unique
+  /// and monotonically assigned, so it never aliases a destroyed context.
+  explicit TelemetryContext(std::string label = "");
+  ~TelemetryContext();
+  TelemetryContext(const TelemetryContext&) = delete;
+  TelemetryContext& operator=(const TelemetryContext&) = delete;
+
+  metrics::Registry& metrics() const { return *registry_; }
+  flightrec::FlightRecorder& recorder() const { return *recorder_; }
+  prof::Profiler& profiler() const { return *profiler_; }
+
+  std::uint64_t engine_id() const { return engine_id_; }
+  const std::string& label() const { return label_; }
+  /// "engine 3 ('sweep-3')" — the identity tag stall reports and
+  /// SimulationStalled errors carry so a failing engine in a K-engine
+  /// sweep is identifiable from the error alone.
+  std::string describe() const;
+
+  bool is_process_default() const { return engine_id_ == 0; }
+
+  /// The context wrapping the three ::global() singletons (id 0).  This is
+  /// what unbound threads resolve to; it is never destroyed.
+  static TelemetryContext& process_default();
+
+ private:
+  struct DefaultTag {};
+  explicit TelemetryContext(DefaultTag);
+
+  std::uint64_t engine_id_;
+  std::string label_;
+  // Owned subsystems (null in the process-default context, which borrows
+  // the leaked globals through the raw pointers below).
+  std::unique_ptr<metrics::Registry> owned_registry_;
+  std::unique_ptr<flightrec::FlightRecorder> owned_recorder_;
+  metrics::Registry* registry_;
+  flightrec::FlightRecorder* recorder_;
+  // Declared last → destroyed first: ~Profiler joins the sampler thread
+  // while the registry and recorder above are still alive.
+  std::unique_ptr<prof::Profiler> owned_profiler_;
+  prof::Profiler* profiler_;
+};
+
+namespace detail {
+/// The innermost bound context; nullptr → process default.  The three
+/// subsystem bindings (metrics/prof/flightrec detail::t_bound_*) are kept
+/// in lockstep by TelemetryScope so a thread can never observe a mixed
+/// context.
+inline thread_local TelemetryContext* t_bound_context = nullptr;
+}  // namespace detail
+
+/// The calling thread's context: the innermost TelemetryScope's, or the
+/// process default when unbound.
+inline TelemetryContext& current() {
+  TelemetryContext* bound = detail::t_bound_context;
+  return bound != nullptr ? *bound : TelemetryContext::process_default();
+}
+
+/// The bound context, or nullptr when the thread is unbound.
+inline TelemetryContext* current_if_bound() {
+  return detail::t_bound_context;
+}
+
+/// RAII binding of a context to the calling thread.  Scopes nest: the
+/// previous binding (of all three subsystems) is restored on destruction.
+/// Bind-only — the scope does not own or enable anything.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(TelemetryContext& context);
+  ~TelemetryScope();
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  TelemetryContext* prev_context_;
+  metrics::Registry* prev_registry_;
+  prof::Profiler* prev_profiler_;
+  flightrec::FlightRecorder* prev_recorder_;
+};
+
+}  // namespace tasksim::telemetry

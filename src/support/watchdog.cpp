@@ -11,6 +11,7 @@ namespace tasksim {
 
 std::string StallReport::to_string() const {
   std::ostringstream os;
+  if (!owner.empty()) os << owner << ": ";
   os << "simulation stalled: no beacon moved for "
      << static_cast<long long>(stalled_for_us) << " us with work outstanding\n";
   os << "beacons at stall time:\n";
@@ -22,6 +23,11 @@ std::string StallReport::to_string() const {
 }
 
 Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::set_owner(std::string owner) {
+  TS_REQUIRE(!running(), "cannot set the owner while the watchdog runs");
+  owner_ = std::move(owner);
+}
 
 void Watchdog::add_beacon(std::string name, BeaconFn fn) {
   TS_REQUIRE(!running(), "cannot add a beacon while the watchdog runs");
@@ -112,6 +118,7 @@ void Watchdog::poll_loop() {
       StallReport report;
       report.stalled_for_us = now - frozen_since;
       report.wall_us = now;
+      report.owner = owner_;
       report.beacons = read_beacons();
       if (dump_) report.state_dump = dump_();
       if (handler_) handler_(report);

@@ -35,6 +35,10 @@ namespace tasksim {
 struct StallReport {
   double stalled_for_us = 0.0;  ///< time since the last beacon movement
   double wall_us = 0.0;         ///< wall clock when the stall was declared
+  /// Identity of the monitored system (Watchdog::set_owner) — e.g. the
+  /// engine's "engine 3 ('sweep-3')" tag, so a stall in a K-engine sweep
+  /// names the engine it happened in.  May be empty.
+  std::string owner;
   struct Beacon {
     std::string name;
     std::uint64_t value = 0;
@@ -62,6 +66,10 @@ class Watchdog {
   ~Watchdog();
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Identity tag copied into every StallReport::owner.  Only callable
+  /// before start().
+  void set_owner(std::string owner);
 
   /// Register a named progress beacon.  Only callable before start().
   void add_beacon(std::string name, BeaconFn fn);
@@ -97,6 +105,7 @@ class Watchdog {
   std::vector<StallReport::Beacon> read_beacons() const;
 
   WatchdogOptions options_;
+  std::string owner_;
   std::vector<std::pair<std::string, BeaconFn>> beacons_;
   std::function<bool()> gate_;
   std::function<std::string()> dump_;

@@ -231,6 +231,95 @@ TEST(Metrics, GlobalRegistryFreeFunctions) {
             before + 3);
 }
 
+// ------------------------------------------------------------------- merge
+
+TEST(Metrics, HistogramStatsMergeSumsCountsAndBuckets) {
+  Registry a, b;
+  a.histogram("h").observe(0.1);   // bucket 0
+  a.histogram("h").observe(3.0);   // bucket 4 (2.0, 4.0]
+  b.histogram("h").observe(3.0);
+  b.histogram("h").observe(1e9);   // overflow
+  HistogramStats merged = a.snapshot().histograms.at("h");
+  merged.merge(b.snapshot().histograms.at("h"));
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_NEAR(merged.sum, 0.1 + 3.0 + 3.0 + 1e9, 1e-3);
+  EXPECT_EQ(merged.buckets[0], 1u);
+  EXPECT_EQ(merged.buckets[4], 2u);
+  EXPECT_EQ(merged.buckets[kHistogramBuckets - 1], 1u);
+}
+
+TEST(Metrics, HistogramMergeQuantilesReflectThePooledSample) {
+  // 99 fast observations in one registry, 1 slow one in another: the
+  // merged p50 must be in the fast bucket, the merged p99+ in the slow.
+  Registry fast, slow;
+  for (int i = 0; i < 99; ++i) fast.histogram("h").observe(0.2);
+  slow.histogram("h").observe(100.0);
+  HistogramStats merged = fast.snapshot().histograms.at("h");
+  merged.merge(slow.snapshot().histograms.at("h"));
+  EXPECT_LE(merged.quantile(0.5), 0.25);
+  EXPECT_GT(merged.quantile(0.999), 50.0);
+}
+
+TEST(Metrics, HistogramMergeDefaultFingerprintMeansCompiledLayout) {
+  // Hand-built stats (fingerprint 0) merge with snapshot-stamped stats:
+  // both resolve to the compiled-in layout.
+  Registry reg;
+  reg.histogram("h").observe(1.0);
+  const HistogramStats stamped = reg.snapshot().histograms.at("h");
+  EXPECT_EQ(stamped.bounds_fingerprint, histogram_bounds_fingerprint());
+  HistogramStats hand;
+  hand.count = 1;
+  hand.buckets[0] = 1;
+  hand.merge(stamped);
+  EXPECT_EQ(hand.count, 2u);
+  EXPECT_EQ(hand.bounds_fingerprint, histogram_bounds_fingerprint());
+}
+
+TEST(Metrics, HistogramMergeRejectsForeignBucketLayout) {
+  HistogramStats ours;
+  HistogramStats theirs;
+  theirs.bounds_fingerprint = histogram_bounds_fingerprint() + 1;
+  EXPECT_THROW(ours.merge(theirs), InvalidArgument);
+  // A failed merge must not have mutated the destination.
+  EXPECT_EQ(ours.count, 0u);
+}
+
+TEST(Metrics, SnapshotMergeCountersSumGaugesLastWriteWins) {
+  Registry a, b;
+  a.counter("shared").inc(3);
+  a.counter("only_a").inc(1);
+  a.gauge("depth").set(5.0);
+  b.counter("shared").inc(4);
+  b.counter("only_b").inc(2);
+  b.gauge("depth").set(9.0);
+  b.histogram("h").observe(1.0);
+  Snapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("shared"), 7u);
+  EXPECT_EQ(merged.counters.at("only_a"), 1u);
+  EXPECT_EQ(merged.counters.at("only_b"), 2u);
+  // Gauges are levels, not accumulators: the merged-in value replaces ours.
+  EXPECT_DOUBLE_EQ(merged.gauges.at("depth"), 9.0);
+  // A histogram present on one side only is inserted as-is.
+  EXPECT_EQ(merged.histograms.at("h").count, 1u);
+}
+
+TEST(Metrics, SnapshotMergeIsAssociativeForCounters) {
+  Registry a, b, c;
+  a.counter("n").inc(1);
+  b.counter("n").inc(2);
+  c.counter("n").inc(4);
+  Snapshot left = a.snapshot();
+  left.merge(b.snapshot());
+  left.merge(c.snapshot());
+  Snapshot right = b.snapshot();
+  right.merge(c.snapshot());
+  Snapshot total = a.snapshot();
+  total.merge(right);
+  EXPECT_EQ(left.counters.at("n"), 7u);
+  EXPECT_EQ(total.counters.at("n"), 7u);
+}
+
 // The shard cache is keyed by registry id, not address: a registry created
 // at a reused address must not see the previous registry's shards.
 TEST(Metrics, RegistryAddressReuseDoesNotAliasShards) {

@@ -1,0 +1,358 @@
+// Tests for per-engine telemetry contexts (support/telemetry) and the
+// concurrent sweep driver (harness/sweep): scoped TLS binding, isolation
+// of concurrent engines (zero cross-engine metric bleed), owner-tagged
+// stall errors, and fleet aggregation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
+#include "linalg/tile_cholesky.hpp"
+#include "sim/task_exec_queue.hpp"
+#include "support/error.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/metrics.hpp"
+#include "support/profiler.hpp"
+#include "support/telemetry.hpp"
+#include "support/watchdog.hpp"
+
+namespace tasksim {
+namespace {
+
+sim::KernelModelSet cholesky_models(double mean_us) {
+  sim::KernelModelSet models;
+  for (const char* kernel : {"dpotrf", "dtrsm", "dsyrk", "dgemm"}) {
+    models.set_model(kernel, std::make_unique<stats::ConstantDist>(mean_us));
+  }
+  return models;
+}
+
+harness::ExperimentConfig engine_config(int tiles) {
+  harness::ExperimentConfig config;
+  config.algorithm = harness::Algorithm::cholesky;
+  config.scheduler = "quark";
+  config.nb = 24;
+  config.n = 24 * tiles;
+  config.workers = 2;
+  config.verify_numerics = false;
+  return config;
+}
+
+// ----------------------------------------------------------- context basics
+
+TEST(Telemetry, ProcessDefaultWrapsTheGlobals) {
+  telemetry::TelemetryContext& def = telemetry::TelemetryContext::process_default();
+  EXPECT_TRUE(def.is_process_default());
+  EXPECT_EQ(def.engine_id(), 0u);
+  EXPECT_EQ(&def.metrics(), &metrics::Registry::global());
+  EXPECT_EQ(&def.profiler(), &prof::Profiler::global());
+  EXPECT_EQ(&def.recorder(), &flightrec::FlightRecorder::global());
+  // Unbound threads resolve to the default.
+  EXPECT_EQ(&telemetry::current(), &def);
+  EXPECT_EQ(telemetry::current_if_bound(), nullptr);
+}
+
+TEST(Telemetry, ContextsOwnDistinctSubsystemsAndUniqueIds) {
+  telemetry::TelemetryContext a("alpha");
+  telemetry::TelemetryContext b;
+  EXPECT_FALSE(a.is_process_default());
+  EXPECT_GT(a.engine_id(), 0u);
+  EXPECT_GT(b.engine_id(), a.engine_id());
+  EXPECT_NE(&a.metrics(), &b.metrics());
+  EXPECT_NE(&a.metrics(), &metrics::Registry::global());
+  EXPECT_EQ(a.label(), "alpha");
+  // describe() names the engine and its label — the sweep's error tag.
+  EXPECT_NE(a.describe().find("engine"), std::string::npos);
+  EXPECT_NE(a.describe().find("'alpha'"), std::string::npos);
+  EXPECT_EQ(b.describe().find("'"), std::string::npos);  // no empty label
+}
+
+TEST(Telemetry, ScopeBindsAllSubsystemsAndNests) {
+  telemetry::TelemetryContext outer("outer");
+  telemetry::TelemetryContext inner("inner");
+  {
+    telemetry::TelemetryScope bind_outer(outer);
+    EXPECT_EQ(&telemetry::current(), &outer);
+    EXPECT_EQ(&metrics::current(), &outer.metrics());
+    EXPECT_EQ(&prof::current(), &outer.profiler());
+    EXPECT_EQ(&flightrec::current(), &outer.recorder());
+    {
+      telemetry::TelemetryScope bind_inner(inner);
+      EXPECT_EQ(&telemetry::current(), &inner);
+      EXPECT_EQ(&metrics::current(), &inner.metrics());
+    }
+    // Inner scope restored the outer binding (all subsystems in lockstep).
+    EXPECT_EQ(&telemetry::current(), &outer);
+    EXPECT_EQ(&metrics::current(), &outer.metrics());
+    EXPECT_EQ(&prof::current(), &outer.profiler());
+  }
+  EXPECT_EQ(telemetry::current_if_bound(), nullptr);
+  EXPECT_EQ(&metrics::current(), &metrics::Registry::global());
+}
+
+TEST(Telemetry, BindingIsPerThread) {
+  telemetry::TelemetryContext context("main-only");
+  telemetry::TelemetryScope scope(context);
+  std::atomic<bool> other_thread_unbound{false};
+  std::thread other([&] {
+    other_thread_unbound = telemetry::current_if_bound() == nullptr;
+  });
+  other.join();
+  EXPECT_TRUE(other_thread_unbound);
+  EXPECT_EQ(&telemetry::current(), &context);
+}
+
+TEST(Telemetry, FreeFunctionMetricsResolveTheBoundContext) {
+  telemetry::TelemetryContext context("counted");
+  {
+    telemetry::TelemetryScope scope(context);
+    metrics::counter("telemetry.test.bound").inc(5);
+  }
+  metrics::counter("telemetry.test.bound").inc(2);  // unbound → global
+  EXPECT_EQ(context.metrics().snapshot().counters.at("telemetry.test.bound"),
+            5u);
+  EXPECT_GE(metrics::Registry::global().snapshot().counters.at(
+                "telemetry.test.bound"),
+            2u);
+}
+
+// ------------------------------------------------------ owner-tagged errors
+
+TEST(Telemetry, WatchdogStallReportCarriesOwner) {
+  Watchdog dog;
+  dog.set_owner("engine 7 ('stall-test')");
+  dog.add_beacon("frozen", [] { return std::uint64_t{0}; });
+  StallReport captured;
+  std::atomic<bool> fired{false};
+  dog.set_stall_handler([&](const StallReport& report) {
+    captured = report;
+    fired = true;
+  });
+  WatchdogOptions options;
+  options.stall_timeout_us = 1000.0;
+  options.poll_interval_us = 100.0;
+  dog.start(options);
+  while (!fired) std::this_thread::yield();
+  dog.stop();
+  EXPECT_EQ(captured.owner, "engine 7 ('stall-test')");
+  // The rendering leads with the owner so log lines are attributable.
+  EXPECT_NE(captured.to_string().find("engine 7 ('stall-test')"),
+            std::string::npos);
+}
+
+TEST(Telemetry, WatchdogOwnerCannotChangeWhileRunning) {
+  Watchdog dog;
+  dog.add_beacon("b", [] { return std::uint64_t{0}; });
+  dog.set_activity_gate([] { return false; });  // idle: never stalls
+  WatchdogOptions options;
+  options.stall_timeout_us = 1e6;
+  dog.start(options);
+  EXPECT_THROW(dog.set_owner("late"), InvalidArgument);
+  dog.stop();
+}
+
+TEST(Telemetry, TeqCancelWeavesOwnerIntoTheStalledError) {
+  sim::TaskExecQueue queue;
+  queue.cancel("no beacon moved", "engine 3 ('sweep-3')");
+  try {
+    queue.enter(1.0);
+    FAIL() << "cancelled queue must throw on enter";
+  } catch (const SimulationStalled& e) {
+    EXPECT_NE(std::string(e.what()).find("engine 3 ('sweep-3')"),
+              std::string::npos);
+    EXPECT_EQ(e.report(), "no beacon moved");
+  }
+}
+
+// --------------------------------------------- concurrent engine isolation
+
+// The tentpole acceptance test: 8 engines run concurrently, each under its
+// own context, with *different* problem sizes.  Each engine's registry must
+// count exactly its own tasks (zero cross-engine bleed), and each engine's
+// virtual timeline must be deterministic (same seed → same makespan)
+// regardless of what the other 7 are doing.  Run under TSan in CI.
+TEST(Telemetry, EightConcurrentEnginesZeroBleedAndDeterministic) {
+  constexpr int kEngines = 8;
+  const sim::KernelModelSet models = cholesky_models(50.0);
+
+  struct EngineOutcome {
+    std::size_t expected_tasks = 0;
+    std::size_t run_tasks = 0;
+    std::uint64_t counted_tasks = 0;
+    double makespan_us = 0.0;
+    double repeat_makespan_us = 0.0;
+    std::string error;
+  };
+  std::vector<EngineOutcome> outcomes(kEngines);
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kEngines; ++i) {
+    threads.emplace_back([i, &models, &outcomes] {
+      EngineOutcome& out = outcomes[static_cast<std::size_t>(i)];
+      try {
+        // Engines differ: 2..5 tiles → distinct task counts, so any
+        // cross-engine bleed breaks the per-engine equality below.
+        const int tiles = 2 + (i % 4);
+        const harness::ExperimentConfig config = engine_config(tiles);
+        out.expected_tasks = linalg::cholesky_task_count(tiles);
+
+        telemetry::TelemetryContext context("iso-" + std::to_string(i));
+        telemetry::TelemetryScope scope(context);
+        const harness::RunResult run = harness::run_simulated(config, models);
+        out.run_tasks = run.tasks;
+        out.makespan_us = run.makespan_us;
+        out.counted_tasks = context.metrics().snapshot().counters.at(
+            "sim.tasks_executed");
+
+        // Repeat under a fresh context: the virtual timeline must be
+        // identical — concurrency may not perturb simulation results.
+        telemetry::TelemetryContext repeat_context("iso-r" + std::to_string(i));
+        telemetry::TelemetryScope repeat_scope(repeat_context);
+        out.repeat_makespan_us =
+            harness::run_simulated(config, models).makespan_us;
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int i = 0; i < kEngines; ++i) {
+    const EngineOutcome& out = outcomes[static_cast<std::size_t>(i)];
+    ASSERT_EQ(out.error, "") << "engine " << i;
+    EXPECT_EQ(out.run_tasks, out.expected_tasks) << "engine " << i;
+    EXPECT_EQ(out.counted_tasks, out.expected_tasks)
+        << "engine " << i << ": its registry saw foreign (or lost) tasks";
+    EXPECT_DOUBLE_EQ(out.makespan_us, out.repeat_makespan_us)
+        << "engine " << i << ": concurrent runs were not deterministic";
+  }
+}
+
+// ------------------------------------------------------------------- sweep
+
+TEST(Sweep, ConfigValidates) {
+  harness::SweepConfig config;
+  config.base = engine_config(2);
+  config.engines = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.engines = 2;
+  config.stream_interval_us = 1000.0;  // interval without a path
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config.stream_path = "x.jsonl";
+  config.validate();
+}
+
+TEST(Sweep, RunSweepAggregatesAndStreams) {
+  const std::string stream_path = "test_telemetry_stream.jsonl";
+  harness::SweepConfig config;
+  config.base = engine_config(3);
+  config.engines = 4;
+  config.concurrency = 2;
+  config.label_prefix = "smoke";
+  config.stream_interval_us = 1000.0;
+  config.stream_path = stream_path;
+  const harness::SweepResult result =
+      harness::run_sweep(config, cholesky_models(25.0));
+
+  ASSERT_EQ(result.engines.size(), 4u);
+  const std::size_t per_engine = linalg::cholesky_task_count(3);
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 4; ++i) {
+    const harness::EngineRunResult& engine =
+        result.engines[static_cast<std::size_t>(i)];
+    EXPECT_EQ(engine.index, i);  // sorted by index
+    EXPECT_TRUE(engine.ok) << engine.error;
+    EXPECT_EQ(engine.label, "smoke-" + std::to_string(i));
+    EXPECT_GT(engine.engine_id, 0u);
+    EXPECT_EQ(engine.tasks, per_engine);
+    const std::uint64_t counted =
+        engine.metrics.counters.at("sim.tasks_executed");
+    EXPECT_EQ(counted, per_engine);
+    sum += counted;
+  }
+  // Aggregation coverage: the fleet merge is exactly the per-engine sum.
+  EXPECT_EQ(result.fleet_metrics.counters.at("sim.tasks_executed"), sum);
+  EXPECT_EQ(result.stats.completed, 4);
+  EXPECT_EQ(result.stats.failed, 0);
+  EXPECT_EQ(result.stats.tasks_total, 4 * per_engine);
+  EXPECT_GT(result.stats.makespan_p50_us, 0.0);
+  EXPECT_LE(result.stats.makespan_p50_us, result.stats.makespan_p99_us);
+  EXPECT_GT(result.stats.throughput_tasks_per_s, 0.0);
+  // Identical configs and seeds differing only by the stride: distinct
+  // seeds, so not all makespans are equal — but min/max bracket p50.
+  EXPECT_GE(result.stats.makespan_p50_us, result.stats.makespan_min_us);
+  EXPECT_LE(result.stats.makespan_p50_us, result.stats.makespan_max_us);
+
+  // The stream emitted at least the final line, every line carrying the
+  // schema tag, parseable enough to find the engine totals.
+  EXPECT_GE(result.stream_lines, 1u);
+  std::ifstream in(stream_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_NE(line.find("\"schema\":\"tasksim-sweep-v1\""), std::string::npos);
+    EXPECT_NE(line.find("\"engines\":{\"total\":4"), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, result.stream_lines);
+  in.close();
+  std::remove(stream_path.c_str());
+
+  // The report JSON carries the schema tag and fleet quantiles.
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"tasksim-sweep-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_engine\""), std::string::npos);
+  // The text report renders one row per engine.
+  const std::string report = harness::sweep_report(result);
+  EXPECT_NE(report.find("smoke-3"), std::string::npos);
+  EXPECT_NE(report.find("fleet:"), std::string::npos);
+}
+
+TEST(Sweep, SeedStrideZeroReplicatesOneRun) {
+  harness::SweepConfig config;
+  config.base = engine_config(3);
+  config.engines = 3;
+  config.concurrency = 3;
+  config.seed_stride = 0;
+  const harness::SweepResult result =
+      harness::run_sweep(config, cholesky_models(25.0));
+  ASSERT_EQ(result.engines.size(), 3u);
+  for (const harness::EngineRunResult& engine : result.engines) {
+    ASSERT_TRUE(engine.ok) << engine.error;
+    // Same seed, same models → bit-identical virtual timelines.
+    EXPECT_DOUBLE_EQ(engine.makespan_us, result.engines[0].makespan_us);
+  }
+  EXPECT_DOUBLE_EQ(result.stats.makespan_min_us, result.stats.makespan_max_us);
+}
+
+TEST(Sweep, FailedEnginesAreReportedNotThrown) {
+  harness::SweepConfig config;
+  config.base = engine_config(2);
+  config.base.scheduler = "no-such-scheduler";
+  config.engines = 2;
+  const harness::SweepResult result =
+      harness::run_sweep(config, cholesky_models(25.0));
+  ASSERT_EQ(result.engines.size(), 2u);
+  for (const harness::EngineRunResult& engine : result.engines) {
+    EXPECT_FALSE(engine.ok);
+    EXPECT_NE(engine.error.find("no-such-scheduler"), std::string::npos);
+  }
+  EXPECT_EQ(result.stats.failed, 2);
+  EXPECT_EQ(result.stats.completed, 0);
+  // The JSON report carries the error strings.
+  EXPECT_NE(result.to_json().find("\"error\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tasksim
