@@ -1,0 +1,314 @@
+// ablation_lookahead — the accuracy/speed dial of the bounded-lookahead
+// completion engine (DESIGN.md §11).
+//
+// The strict §V-C discipline serializes every simulated task on the global
+// virtual-completion front, so sim wall time scales with the chain of
+// completions rather than host parallelism.  The lookahead engine lets a
+// waiter within `lookahead_us` of the front return early once the grant
+// predicate proves the reordering invisible (conservative) or
+// speculatively with post-hoc audit + repair (optimistic).  This ablation
+// sweeps lookahead depth × scheduler × worker count on a fig10-style
+// factorization with constant kernel models (hermetic — no real run, no
+// calibration noise) and reports, per cell:
+//
+//   * virtual makespan and its error vs the lookahead=off baseline of the
+//     same (scheduler, workers) — conservative mode must stay within
+//     --max-error, and depth 0 must reproduce the baseline *exactly*,
+//   * sim wall time and the speedup vs that baseline,
+//   * releases / horizon blocks, and for optimistic cells the §V-E
+//     violation count, unrepaired tasks, and repaired makespan.
+//
+// --bench-json writes every cell as a tasksim-bench-lookahead-v1 document
+// (BENCH_lookahead.json in CI — the perf-trajectory artifact).  Exit
+// status is non-zero when a conservative cell exceeds --max-error, when
+// depth 0 deviates at all, or when an optimistic cell leaves violations
+// unrepaired.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "sim/lookahead.hpp"
+#include "stats/distribution.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/sysinfo.hpp"
+
+using namespace tasksim;
+
+namespace {
+
+/// Constant per-kernel models: the ablation isolates the completion
+/// engine, so kernel-time noise is zeroed out and every cell simulates
+/// the identical workload.  Covers all three tile factorizations so
+/// --algorithm can pick the DAG shape (QR's flat-tree panel chains are
+/// the narrow-and-deep extreme, Cholesky's trailing updates the wide
+/// one).
+sim::KernelModelSet constant_models() {
+  sim::KernelModelSet models;
+  models.set_model("dpotrf", std::make_unique<stats::ConstantDist>(120.0));
+  models.set_model("dtrsm", std::make_unique<stats::ConstantDist>(80.0));
+  models.set_model("dsyrk", std::make_unique<stats::ConstantDist>(90.0));
+  models.set_model("dgemm", std::make_unique<stats::ConstantDist>(100.0));
+  models.set_model("dgeqrt", std::make_unique<stats::ConstantDist>(140.0));
+  models.set_model("dtsqrt", std::make_unique<stats::ConstantDist>(110.0));
+  models.set_model("dormqr", std::make_unique<stats::ConstantDist>(90.0));
+  models.set_model("dtsmqr", std::make_unique<stats::ConstantDist>(100.0));
+  models.set_model("dchain", std::make_unique<stats::ConstantDist>(100.0));
+  models.set_model("dgetrf", std::make_unique<stats::ConstantDist>(130.0));
+  models.set_model("dtrsm_l", std::make_unique<stats::ConstantDist>(80.0));
+  models.set_model("dtrsm_r", std::make_unique<stats::ConstantDist>(80.0));
+  return models;
+}
+
+struct Cell {
+  std::string scheduler;
+  int workers = 0;
+  sim::LookaheadMode mode = sim::LookaheadMode::off;
+  double lookahead_us = 0.0;
+  harness::RunResult run;
+  double error_pct = 0.0;
+  double speedup = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Defaults pick the cell DESIGN.md §11 documents: 16 independent chains
+  // on 16 oversubscribed workers behind a QUARK-style window of 16 — width
+  // == workers keeps the off-mode trace deterministic (the depth-0 gate is
+  // only sound there), and the bounded window keeps the submitter parked so
+  // the conservative grant predicate stays provable mid-run.
+  int n = 768;
+  int nb = 48;
+  std::string algorithm = "chains";
+  int window = 16;
+  int repeats = 3;
+  double max_error = 1.0;
+  std::string schedulers = "quark";
+  std::string workers_list = "16";
+  std::string depths = "0,50,200,1000";
+  double optimistic_depth = 200.0;
+  bool skip_optimistic = false;
+  std::string bench_json_path;
+  CliParser cli("ablation_lookahead",
+                "lookahead depth sweep: sim-wall speedup vs makespan error "
+                "(DESIGN.md §11)");
+  cli.add_int("n", &n, "matrix dimension");
+  cli.add_int("nb", &nb, "tile size");
+  cli.add_string("algorithm", &algorithm,
+                 "workload (cholesky | qr | lu | chains); chains = n/nb "
+                 "independent uniform chains, the out-of-order best case "
+                 "whose makespan is claim-order invariant by symmetry");
+  cli.add_int("window", &window,
+              "submission window (0 = unbounded; a bounded window throttles "
+              "the submitter, the regime where the release predicate is "
+              "cheapest to prove)");
+  cli.add_int("repeats", &repeats,
+              "runs per cell (wall time is the minimum, makespan must not "
+              "vary beyond the error gate)");
+  cli.add_double("max-error", &max_error,
+                 "fail when a conservative cell's |makespan error| exceeds "
+                 "this percentage");
+  cli.add_string("schedulers", &schedulers, "comma-separated runtime specs");
+  cli.add_string("workers", &workers_list,
+                 "comma-separated worker counts (paper regime: well above "
+                 "the host's cores)");
+  cli.add_string("depths", &depths,
+                 "comma-separated conservative lookahead depths (virtual "
+                 "us; 0 must degenerate to the serialized engine)");
+  cli.add_double("optimistic-depth", &optimistic_depth,
+                 "lookahead depth for the optimistic cell");
+  cli.add_flag("skip-optimistic", &skip_optimistic,
+               "sweep conservative cells only");
+  cli.add_string("bench-json", &bench_json_path,
+                 "write every cell as tasksim-bench-lookahead-v1 (CI's "
+                 "BENCH_lookahead.json artifact)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  harness::print_banner("Ablation: bounded-lookahead completion engine");
+  std::printf("%s\n%s, n=%d nb=%d, constant kernel models, min-of-%d "
+              "wall\n\n",
+              host_summary().c_str(), algorithm.c_str(), n, nb, repeats);
+
+  const sim::KernelModelSet models = constant_models();
+
+  harness::TextTable table;
+  table.set_headers({"scheduler", "workers", "mode", "depth us",
+                     "sim makespan", "err %", "sim wall", "speedup",
+                     "releases", "horizon blk", "violations"});
+
+  std::vector<Cell> cells;
+  bool gate_ok = true;
+  std::string gate_report;
+  for (const std::string& scheduler : split(schedulers, ',')) {
+    for (const std::string& workers_text : split(workers_list, ',')) {
+      const int workers = parse_int(workers_text);
+
+      harness::ExperimentConfig config;
+      config.scheduler = scheduler;
+      config.algorithm = harness::parse_algorithm(algorithm);
+      config.n = n;
+      config.nb = nb;
+      config.workers = workers;
+      config.window_size = static_cast<std::size_t>(window);
+      config.seed = 42;
+
+      // Every (mode, depth) variant of this (scheduler, workers) pair,
+      // off first: its makespan is the accuracy reference and its wall
+      // time the speedup baseline.
+      struct Variant {
+        sim::LookaheadMode mode;
+        double depth;
+      };
+      std::vector<Variant> variants{{sim::LookaheadMode::off, 0.0}};
+      for (const std::string& depth_text : split(depths, ',')) {
+        variants.push_back(
+            {sim::LookaheadMode::conservative, parse_double(depth_text)});
+      }
+      if (!skip_optimistic) {
+        variants.push_back({sim::LookaheadMode::optimistic, optimistic_depth});
+      }
+
+      // One unrecorded warm-up run per (scheduler, workers) pair: the very
+      // first simulation pays allocator/page-fault warm-up that would
+      // otherwise inflate the off baseline (it always runs first) and with
+      // it every speedup in the column.
+      {
+        config.lookahead_mode = sim::LookaheadMode::off;
+        config.lookahead_us = 0.0;
+        (void)harness::run_simulated(config, models);
+      }
+
+      // Repeats are interleaved round-robin across the variants (not run
+      // back to back per variant): host drift — frequency ramps, page
+      // cache, a neighbour stealing the core — then biases every variant
+      // equally instead of whichever one happened to run first.
+      std::vector<Cell> sweep(variants.size());
+      for (int r = 0; r < repeats; ++r) {
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+          config.lookahead_mode = variants[v].mode;
+          config.lookahead_us = variants[v].depth;
+          harness::RunResult run = harness::run_simulated(config, models);
+          if (r == 0 || run.wall_us < sweep[v].run.wall_us) {
+            sweep[v].run = std::move(run);
+          }
+        }
+      }
+
+      double base_makespan = 0.0;
+      double base_wall = 0.0;
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        const Variant& variant = variants[v];
+        Cell& cell = sweep[v];
+        cell.scheduler = scheduler;
+        cell.workers = workers;
+        cell.mode = variant.mode;
+        cell.lookahead_us = variant.depth;
+        if (variant.mode == sim::LookaheadMode::off) {
+          base_makespan = cell.run.makespan_us;
+          base_wall = cell.run.wall_us;
+        }
+        cell.error_pct =
+            base_makespan > 0.0
+                ? 100.0 * (cell.run.makespan_us - base_makespan) /
+                      base_makespan
+                : 0.0;
+        cell.speedup =
+            cell.run.wall_us > 0.0 ? base_wall / cell.run.wall_us : 0.0;
+
+        if (variant.mode == sim::LookaheadMode::conservative) {
+          const double abs_err = std::fabs(cell.error_pct);
+          if (variant.depth == 0.0 && cell.run.makespan_us != base_makespan) {
+            gate_ok = false;
+            gate_report += strprintf(
+                "  %s/%dw depth 0: makespan %.1f != serialized %.1f (must "
+                "degenerate exactly)\n",
+                scheduler.c_str(), workers, cell.run.makespan_us,
+                base_makespan);
+          } else if (abs_err > max_error) {
+            gate_ok = false;
+            gate_report += strprintf(
+                "  %s/%dw conservative depth %.0f: |error| %.3f%% > %.2f%%\n",
+                scheduler.c_str(), workers, variant.depth, abs_err,
+                max_error);
+          }
+        } else if (variant.mode == sim::LookaheadMode::optimistic &&
+                   cell.run.lookahead_unrepaired != 0) {
+          gate_ok = false;
+          gate_report += strprintf(
+              "  %s/%dw optimistic: %llu violations left unrepaired\n",
+              scheduler.c_str(), workers,
+              static_cast<unsigned long long>(cell.run.lookahead_unrepaired));
+        }
+
+        table.add_row(
+            {scheduler, std::to_string(workers),
+             std::string(to_string(variant.mode)),
+             strprintf("%.0f", variant.depth),
+             format_duration_us(cell.run.makespan_us),
+             strprintf("%+.3f", cell.error_pct),
+             format_duration_us(cell.run.wall_us),
+             strprintf("%.2fx", cell.speedup),
+             std::to_string(cell.run.lookahead_releases),
+             std::to_string(cell.run.lookahead_horizon_blocks),
+             cell.mode == sim::LookaheadMode::optimistic
+                 ? strprintf("%llu (%llu unrepaired)",
+                             static_cast<unsigned long long>(
+                                 cell.run.lookahead_violations),
+                             static_cast<unsigned long long>(
+                                 cell.run.lookahead_unrepaired))
+                 : std::string("-")});
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  if (!bench_json_path.empty()) {
+    std::ofstream out(bench_json_path);
+    out << "{\"schema\": \"tasksim-bench-lookahead-v1\",\n"
+        << " \"source\": \"ablation_lookahead\",\n"
+        << " \"algorithm\": \"" << algorithm << "\", \"n\": " << n
+        << ", \"nb\": " << nb
+        << ",\n \"cells\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& cell = cells[i];
+      if (i > 0) out << ",\n  ";
+      out << strprintf(
+          "{\"scheduler\": \"%s\", \"workers\": %d, \"mode\": \"%s\", "
+          "\"lookahead_us\": %.1f, \"makespan_us\": %.1f, "
+          "\"error_pct\": %.4f, \"wall_us\": %.1f, \"speedup\": %.4f, "
+          "\"releases\": %llu, \"horizon_blocks\": %llu, "
+          "\"violations\": %llu, \"unrepaired\": %llu, "
+          "\"repaired_makespan_us\": %.1f}",
+          cell.scheduler.c_str(), cell.workers, to_string(cell.mode),
+          cell.lookahead_us, cell.run.makespan_us, cell.error_pct,
+          cell.run.wall_us, cell.speedup,
+          static_cast<unsigned long long>(cell.run.lookahead_releases),
+          static_cast<unsigned long long>(cell.run.lookahead_horizon_blocks),
+          static_cast<unsigned long long>(cell.run.lookahead_violations),
+          static_cast<unsigned long long>(cell.run.lookahead_unrepaired),
+          cell.run.repaired_makespan_us);
+    }
+    out << "]}\n";
+    std::printf("\nwrote %zu lookahead cells to %s\n", cells.size(),
+                bench_json_path.c_str());
+  }
+
+  std::printf("\nthe dial being swept: depth 0 is the serialized §V-C "
+              "engine bit for bit; growing\nthe horizon buys sim-wall "
+              "speedup (oversubscribed workers stop parking on the\n"
+              "global front) at zero makespan cost while the conservative "
+              "grant predicate holds;\noptimistic mode trades bounded, "
+              "audited, repairable error for the rest.\n");
+  if (!gate_ok) {
+    std::printf("\nFAIL:\n%s", gate_report.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
   double sample_us = 5000.0;
   std::string json_path;
   std::string bench_json_path;
+  std::string overhead_json_path;
   std::string chrome_prefix;
   CliParser cli("ablation_overhead",
                 "simulator self-profile: wall overhead per scheduler and "
@@ -104,6 +105,10 @@ int main(int argc, char** argv) {
   cli.add_string("bench-json", &bench_json_path,
                  "write per-cell TEQ wakeup counts and phase shares "
                  "(tasksim-bench-teq-v1; merged into BENCH_teq.json by CI)");
+  cli.add_string("bench-json-overhead", &overhead_json_path,
+                 "write per-cell sim-wall overhead vs the real run "
+                 "(tasksim-bench-overhead-v1; CI's BENCH_overhead.json "
+                 "artifact)");
   cli.add_string("chrome", &chrome_prefix,
                  "write <prefix>_<mitigation>.json Chrome traces with "
                  "profiler share tracks (primary scheduler only)");
@@ -143,6 +148,7 @@ int main(int argc, char** argv) {
   std::vector<harness::RunResult> primary_runs;  // per mitigation, quark
   std::vector<std::string> json_rows;
   std::vector<std::string> bench_cells;
+  std::vector<std::string> overhead_cells;
   bool coverage_ok = true;
   for (const std::string& scheduler : schedulers) {
     config.scheduler = scheduler;
@@ -173,6 +179,21 @@ int main(int argc, char** argv) {
                      strprintf("%5.1f%%", mitigation_share),
                      top_phases(snap, 3)});
       json_rows.push_back(harness::run_result_json(config, sim));
+      if (!overhead_json_path.empty()) {
+        // The §VI speed trajectory: is simulation still roughly as cheap as
+        // the scheduler alone?  wall/real is the headline number; the
+        // mitigation share attributes any regression to the §V-E fixes.
+        overhead_cells.push_back(strprintf(
+            "{\"scheduler\": \"%s\", \"mitigation\": \"%s\", "
+            "\"workers\": %d, \"sim_makespan_us\": %.1f, "
+            "\"sim_wall_us\": %.1f, \"real_wall_us\": %.1f, "
+            "\"wall_over_real\": %.4f, \"mitigation_share\": %.4f, "
+            "\"coverage\": %.4f}",
+            scheduler.c_str(), to_string(mitigation), workers,
+            sim.makespan_us, sim.wall_us, real.wall_us,
+            real.wall_us > 0.0 ? sim.wall_us / real.wall_us : 0.0,
+            mitigation_share / 100.0, coverage));
+      }
       if (!bench_json_path.empty()) {
         // TEQ wakeup accounting for the cell: counter deltas across the
         // run, plus the queue-related phase shares.  wakeups/completion is
@@ -253,6 +274,20 @@ int main(int argc, char** argv) {
     out << "]}\n";
     std::printf("\nwrote %zu TEQ bench cells to %s\n", bench_cells.size(),
                 bench_json_path.c_str());
+  }
+
+  if (!overhead_json_path.empty()) {
+    std::ofstream out(overhead_json_path);
+    out << "{\"schema\": \"tasksim-bench-overhead-v1\",\n"
+        << " \"source\": \"ablation_overhead\",\n"
+        << " \"n\": " << n << ", \"nb\": " << nb << ",\n \"cells\": [";
+    for (std::size_t i = 0; i < overhead_cells.size(); ++i) {
+      if (i > 0) out << ",\n  ";
+      out << overhead_cells[i];
+    }
+    out << "]}\n";
+    std::printf("\nwrote %zu overhead bench cells to %s\n",
+                overhead_cells.size(), overhead_json_path.c_str());
   }
 
   if (!json_path.empty()) {

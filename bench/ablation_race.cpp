@@ -10,6 +10,8 @@
 // accurate, and quiescence is at least as accurate as sleeping.
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
@@ -27,12 +29,16 @@ int main(int argc, char** argv) {
   int workers = 4;
   int repeats = 3;
   std::string scheduler = "quark";
+  std::string bench_json_path;
   CliParser cli("ablation_race", "race-mitigation ablation (paper §V-E)");
   cli.add_int("n", &n, "matrix dimension");
   cli.add_int("nb", &nb, "tile size");
   cli.add_int("workers", &workers, "worker threads");
   cli.add_int("repeats", &repeats, "simulations per policy");
   cli.add_string("scheduler", &scheduler, "runtime spec");
+  cli.add_string("bench-json", &bench_json_path,
+                 "write per-mitigation accuracy cells "
+                 "(tasksim-bench-race-v1; CI's BENCH_race.json artifact)");
   if (!cli.parse(argc, argv)) return 0;
 
   harness::print_banner("Ablation: scheduling race condition (paper §V-E)");
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   table.set_headers({"mitigation", "mean |err| %", "worst |err| %",
                      "mean start-order tau", "races", "timeouts"});
   std::string worst_audit;
+  std::vector<std::string> bench_cells;
   for (sim::RaceMitigation mitigation :
        {sim::RaceMitigation::none, sim::RaceMitigation::yield_sleep,
         sim::RaceMitigation::quiescence}) {
@@ -93,8 +100,29 @@ int main(int argc, char** argv) {
                    strprintf("%.3f", tau_sum / repeats),
                    std::to_string(races),
                    std::to_string(timeouts)});
+    bench_cells.push_back(strprintf(
+        "{\"scheduler\": \"%s\", \"mitigation\": \"%s\", \"workers\": %d, "
+        "\"repeats\": %d, \"mean_abs_error_pct\": %.4f, "
+        "\"worst_abs_error_pct\": %.4f, \"mean_start_order_tau\": %.4f, "
+        "\"races\": %zu, \"quiescence_timeouts\": %llu}",
+        scheduler.c_str(), to_string(mitigation), workers, repeats,
+        err_sum / repeats, err_worst, tau_sum / repeats, races,
+        static_cast<unsigned long long>(timeouts)));
   }
   std::fputs(table.to_string().c_str(), stdout);
+  if (!bench_json_path.empty()) {
+    std::ofstream out(bench_json_path);
+    out << "{\"schema\": \"tasksim-bench-race-v1\",\n"
+        << " \"source\": \"ablation_race\",\n"
+        << " \"n\": " << n << ", \"nb\": " << nb << ",\n \"cells\": [";
+    for (std::size_t i = 0; i < bench_cells.size(); ++i) {
+      if (i > 0) out << ",\n  ";
+      out << bench_cells[i];
+    }
+    out << "]}\n";
+    std::printf("\nwrote %zu race bench cells to %s\n", bench_cells.size(),
+                bench_json_path.c_str());
+  }
   if (!worst_audit.empty()) {
     std::printf("\nfirst recorded violation set (%s)\n", worst_audit.c_str());
   }

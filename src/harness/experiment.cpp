@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/blas_kernels.hpp"
+#include "linalg/tile_chains.hpp"
 #include "linalg/tile_cholesky.hpp"
 #include "linalg/tile_lu.hpp"
 #include "linalg/tile_qr.hpp"
@@ -15,6 +16,7 @@
 #include "sim/virtual_platform.hpp"
 #include "support/error.hpp"
 #include "support/flight_recorder.hpp"
+#include "support/metrics.hpp"
 #include "support/profiler.hpp"
 #include "support/sysinfo.hpp"
 #include "support/timing.hpp"
@@ -27,6 +29,7 @@ const char* to_string(Algorithm algorithm) {
     case Algorithm::cholesky: return "cholesky";
     case Algorithm::qr: return "qr";
     case Algorithm::lu: return "lu";
+    case Algorithm::chains: return "chains";
   }
   return "?";
 }
@@ -35,9 +38,10 @@ Algorithm parse_algorithm(const std::string& name) {
   if (name == "cholesky" || name == "potrf") return Algorithm::cholesky;
   if (name == "qr" || name == "geqrf") return Algorithm::qr;
   if (name == "lu" || name == "getrf") return Algorithm::lu;
+  if (name == "chains") return Algorithm::chains;
   throw InvalidArgument("unknown algorithm: '" + name +
                         "' (valid: cholesky (alias: potrf), qr (alias: "
-                        "geqrf), lu (alias: getrf))");
+                        "geqrf), lu (alias: getrf), chains)");
 }
 
 void ExperimentConfig::validate() const {
@@ -60,6 +64,9 @@ void ExperimentConfig::validate() const {
                  std::to_string(profile_sample_us));
   TS_REQUIRE(profile || profile_sample_us == 0.0,
              "profile_sample_us requires profile=true");
+  TS_REQUIRE(std::isfinite(lookahead_us) && lookahead_us >= 0.0,
+             "lookahead_us must be finite and non-negative, got " +
+                 std::to_string(lookahead_us));
   if (faults) faults->validate();
 }
 
@@ -68,6 +75,11 @@ double algorithm_flops(const ExperimentConfig& config) {
     case Algorithm::cholesky: return linalg::flops_cholesky(config.n);
     case Algorithm::qr: return linalg::flops_qr(config.n);
     case Algorithm::lu: return linalg::flops_lu(config.n);
+    // One add per element touched: NT² tasks × NB adds.
+    case Algorithm::chains: {
+      const double nt = static_cast<double>(config.n) / config.nb;
+      return nt * nt * config.nb;
+    }
   }
   return 0.0;
 }
@@ -220,6 +232,13 @@ RunResult run_real(const ExperimentConfig& config,
     if (config.verify_numerics) {
       result.residual = linalg::lu_residual(*original, a);
     }
+  } else if (config.algorithm == Algorithm::chains) {
+    {
+      prof::ScopedPhase run_scope(prof::Phase::master_run);
+      linalg::tile_chains(a, submitter);
+    }
+    result.wall_us = stopwatch.elapsed_us();
+    // Synthetic workload: nothing numerical to verify.
   } else {
     linalg::TileMatrix t = linalg::TileMatrix::zeros_like(a);
     {
@@ -268,6 +287,8 @@ RunResult run_simulated(const ExperimentConfig& config,
 
   engine_options.mitigation = config.mitigation;
   engine_options.seed = config.seed ^ 0x5157ULL;
+  engine_options.lookahead_mode = config.lookahead_mode;
+  engine_options.lookahead_us = config.lookahead_us;
   std::optional<sim::FaultPlan> plan;
   if (config.faults) {
     plan.emplace(*config.faults);
@@ -279,8 +300,16 @@ RunResult run_simulated(const ExperimentConfig& config,
   sim::SimEngine engine(models, engine_options);
   sim::SimSubmitter submitter(*runtime, engine);
 
+  // An optimistic lookahead run needs the flight-recorder stream even if
+  // the caller did not ask for the lifecycle log: the §V-E audit of that
+  // stream is what detects the speculation misorderings the repair pass
+  // then fixes.
+  const bool capture_lifecycle =
+      config.record_lifecycle ||
+      (engine.lookahead_enabled() &&
+       engine.lookahead_mode() == sim::LookaheadMode::optimistic);
   flightrec::FlightRecorder& recorder = flightrec::current();
-  if (config.record_lifecycle) {
+  if (capture_lifecycle) {
     recorder.enable(recorder_capacity_for(config));
   }
 
@@ -300,6 +329,8 @@ RunResult run_simulated(const ExperimentConfig& config,
       linalg::tile_cholesky(a, submitter);
     } else if (config.algorithm == Algorithm::lu) {
       linalg::tile_lu_nopiv(a, submitter);
+    } else if (config.algorithm == Algorithm::chains) {
+      linalg::tile_chains(a, submitter);
     } else {
       linalg::tile_qr(a, *t, submitter);
     }
@@ -308,7 +339,7 @@ RunResult run_simulated(const ExperimentConfig& config,
     // disabled rather than armed for whatever the caller does next with
     // the error.  (The profiler lease's destructor handles the same for
     // the profiler.)
-    if (config.record_lifecycle) recorder.disable();
+    if (capture_lifecycle) recorder.disable();
     throw;
   }
   result.wall_us = stopwatch.elapsed_us();
@@ -316,7 +347,7 @@ RunResult run_simulated(const ExperimentConfig& config,
   result.retries = runtime->retry_count();
   result.poisoned = runtime->poisoned_tasks();
   std::sort(result.poisoned.begin(), result.poisoned.end());
-  if (config.record_lifecycle) {
+  if (capture_lifecycle) {
     recorder.disable();
     result.lifecycle = std::make_shared<trace::LifecycleLog>(
         trace::build_lifecycle(recorder.drain()));
@@ -326,6 +357,23 @@ RunResult run_simulated(const ExperimentConfig& config,
   result.timeline = engine.trace();
   result.tasks = engine.executed_tasks();
   result.quiescence_timeouts = engine.quiescence_timeouts();
+  if (engine.lookahead_enabled()) {
+    result.lookahead_releases = engine.released_tasks();
+    result.lookahead_horizon_blocks = engine.horizon_blocks();
+    if (engine.lookahead_mode() == sim::LookaheadMode::optimistic &&
+        result.lifecycle) {
+      // Post-hoc detection + repair (§V-E): audit the recorded stream for
+      // speculation misorderings, then rebuild the schedule from the
+      // recorded dependency chain.
+      const trace::RaceAudit audit = trace::audit_races(*result.lifecycle);
+      const sim::RepairReport repair =
+          sim::repair_virtual_trace(*result.lifecycle, audit);
+      result.lookahead_violations = repair.violations;
+      result.lookahead_unrepaired = repair.unrepaired;
+      result.repaired_makespan_us = repair.repaired_makespan_us;
+      metrics::counter("sim.lookahead.violations").inc(repair.violations);
+    }
+  }
   if (config.profile) {
     runtime.reset();  // join the workers: commits their final root scopes
     profiler_lease.capture(result);

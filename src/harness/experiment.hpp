@@ -29,7 +29,10 @@
 
 namespace tasksim::harness {
 
-enum class Algorithm { cholesky, qr, lu };
+/// `chains` is not a factorization: NT independent serial chains of NT
+/// uniform tasks (linalg/tile_chains), the constant-width synthetic the
+/// lookahead ablation uses as the out-of-order completion best case.
+enum class Algorithm { cholesky, qr, lu, chains };
 
 const char* to_string(Algorithm algorithm);
 Algorithm parse_algorithm(const std::string& name);
@@ -88,6 +91,15 @@ struct ExperimentConfig {
   /// TraceComparison attached to the result — e.g. point a simulated run at
   /// the saved trace of the matching real run.
   std::string reference_trace;
+  /// Bounded-lookahead out-of-order completion for simulated runs
+  /// (DESIGN.md §11): off reproduces the serialized engine; conservative
+  /// releases within `lookahead_us` of the TEQ front with deferred
+  /// in-order commits; optimistic releases speculatively and repairs the
+  /// virtual trace post-hoc (forces the flight recorder on so the §V-E
+  /// audit has a stream to detect misorderings in).  lookahead_us == 0
+  /// degenerates to off regardless of mode.
+  sim::LookaheadMode lookahead_mode = sim::LookaheadMode::off;
+  double lookahead_us = 0.0;
 
   /// Validate the numeric fields (throws InvalidArgument on nonsense:
   /// non-positive sizes, negative timeouts, out-of-range probabilities).
@@ -118,6 +130,17 @@ struct RunResult {
   std::shared_ptr<prof::SampleSeries> profile_samples;
   /// Runs with config.reference_trace: this timeline vs the reference.
   std::shared_ptr<trace::TraceComparison> comparison;
+  /// Lookahead statistics (simulated runs; all zero when lookahead is
+  /// off).  `lookahead_violations` counts §V-E findings the audit made in
+  /// an optimistic run's stream; `lookahead_unrepaired` the tasks the
+  /// repair pass could not replay; `repaired_makespan_us` the makespan of
+  /// the repaired virtual trace (0 outside optimistic runs) — compare it
+  /// with makespan_us for the speculation-distortion delta.
+  std::uint64_t lookahead_releases = 0;
+  std::uint64_t lookahead_horizon_blocks = 0;
+  std::uint64_t lookahead_violations = 0;
+  std::uint64_t lookahead_unrepaired = 0;
+  double repaired_makespan_us = 0.0;
 };
 
 /// Algorithm flop count for the configured problem size.

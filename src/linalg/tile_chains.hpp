@@ -1,0 +1,27 @@
+// tile_chains.hpp — synthetic independent-chain task graph: NT serial
+// chains of NT links each, one chain per diagonal tile.  Not a
+// factorization; this is the embarrassingly-parallel extreme of the
+// simulator's workload space (constant width, zero cross-chain
+// dependencies), used by the lookahead ablation as the best case for
+// out-of-order completion: with width == workers the strict §V-C engine
+// serializes every round of completions on the TEQ front while the
+// conservative release rule lets the whole round return at once, and the
+// all-uniform durations make the virtual makespan invariant to claim
+// assignment — so the speedup is measurable at zero accuracy cost.
+#pragma once
+
+#include "linalg/tile_matrix.hpp"
+#include "sched/submitter.hpp"
+
+namespace tasksim::linalg {
+
+/// Submit NT independent chains of NT "dchain" tasks (NT = a.tiles()) and
+/// wait for completion.  Chain c serializes on inout access to diagonal
+/// tile (c, c); the task body is a trivial in-place update so real
+/// execution stays meaningful for calibration.
+void tile_chains(TileMatrix& a, sched::KernelSubmitter& submitter);
+
+/// Number of tasks tile_chains submits for an NT×NT tile matrix: NT².
+std::size_t chains_task_count(int nt);
+
+}  // namespace tasksim::linalg

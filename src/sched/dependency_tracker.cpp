@@ -68,6 +68,12 @@ bool DependencyTracker::register_task(
     if (pred->poisoned.load(std::memory_order_relaxed)) {
       task->poisoned.store(true, std::memory_order_relaxed);
     }
+    // Fold the producer's virtual completion into this task's runnable
+    // floor.  For a still-running producer the value is folded again (and
+    // authoritatively) at its on_complete; for an already-finished one this
+    // link-time fold is the only chance — the dependence itself is dead.
+    task->virtual_floor_us =
+        std::max(task->virtual_floor_us, pred->virtual_end_us);
     if (add_dependence(pred, task) && new_predecessors != nullptr) {
       new_predecessors->push_back(pred);
     }
@@ -117,6 +123,8 @@ void DependencyTracker::on_complete(TaskRecord* task,
     if (poison_successors) {
       succ->poisoned.store(true, std::memory_order_relaxed);
     }
+    succ->virtual_floor_us =
+        std::max(succ->virtual_floor_us, task->virtual_end_us);
     const int remaining =
         succ->remaining_deps.fetch_sub(1, std::memory_order_relaxed) - 1;
     TS_ASSERT(remaining >= 0, "dependence count underflow");

@@ -118,6 +118,15 @@ struct RuntimeConfig {
   /// submit() blocks; 0 = unbounded.  QUARK calls this the task window,
   /// OmpSs the throttle limit.
   std::size_t window_size = 0;
+  /// How many window slots must be free before a throttled submitter is
+  /// woken.  1 (the default) models QUARK's eager master: it resumes the
+  /// instant one slot opens — a wake + context switch per completion.
+  /// Larger values batch the refill (fewer master wakes, same in-flight
+  /// cap, slightly later submissions).  This is a property of the modeled
+  /// runtime, not a host tuning knob: an eager and a batching master
+  /// produce different claim timings, so real-run fidelity against QUARK
+  /// requires 1.  Ignored when window_size == 0.
+  std::size_t window_refill = 1;
   /// When true, wait_all() turns the calling thread into an extra worker
   /// (QUARK's master-participation; the paper notes core 0 runs fewer tasks
   /// because it also inserts tasks).

@@ -379,6 +379,10 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
   TaskContext ctx{task->id, lane, this};
   ctx.attempt = task->attempts.load(std::memory_order_relaxed);
   ctx.poisoned = task->poisoned.load(std::memory_order_acquire);
+  // The producer-completion part of the runnable floor, folded under the
+  // tracker lock before this task was released (or at registration for
+  // already-finished producers).
+  ctx.virtual_floor_us = task->virtual_floor_us;
 
   bool failed = false;
   try {
@@ -398,6 +402,11 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
                                   lane, 0.0,
                                   static_cast<double>(attempts - 1));
     if (attempts <= config_.max_task_retries) {
+      // The retried attempt must not start before the failed attempt's
+      // virtual completion; no producer can fold concurrently (they all
+      // finished before this task became ready), so a plain max is safe.
+      task->virtual_floor_us =
+          std::max(task->virtual_floor_us, ctx.virtual_end_us);
       requeue_for_retry(task, lane, thread_cpu_time_us() - start_cpu);
       return;
     }
@@ -452,6 +461,10 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
 
   on_task_finished(task, lane, end_cpu - start_cpu);
 
+  // Publish this task's virtual completion before the tracker walks its
+  // successors: on_complete folds it into their floors under its lock.
+  task->virtual_end_us = std::max(task->virtual_end_us, ctx.virtual_end_us);
+
   std::vector<TaskRecord*> released;
   tracker_.on_complete(task, released,
                        task->poisoned.load(std::memory_order_acquire));
@@ -471,9 +484,17 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
     TS_ASSERT(pending_ > 0, "completion without a pending task");
     --pending_;
     all_done = pending_ == 0;
+    // Refill policy (RuntimeConfig::window_refill): waking the throttled
+    // submitter the instant one slot frees costs a master wake + context
+    // switch per completion — QUARK's eager semantics, and the default.
+    // A refill > 1 batches the wakes (same in-flight cap, enforced by the
+    // wait predicate pending_ < window_size; this only chooses when to
+    // bother waking the master).
+    const std::size_t refill =
+        std::max<std::size_t>(1, config_.window_refill);
     window_reopened = config_.window_size > 0 &&
                       submitter_waiting_.load(std::memory_order_relaxed) &&
-                      pending_ < config_.window_size;
+                      pending_ + refill <= config_.window_size;
   }
   // done_cv_ only has master-side waiters (throttled submitter, draining
   // non-participating master); signal on the condition edges instead of on

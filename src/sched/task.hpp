@@ -26,6 +26,14 @@ struct TaskContext {
   /// The simulation layer records a zero-length "skipped" trace event;
   /// real-mode submitters skip the kernel body entirely.
   bool poisoned = false;
+  /// Simulation only: the latest virtual completion among this task's
+  /// producers (the dependence part of the §V-E runnable floor).  The
+  /// lookahead engine uses it to place starts when the global clock is
+  /// allowed to lag behind released completions; 0 outside lookahead runs.
+  double virtual_floor_us = 0.0;
+  /// Simulation only (out-parameter): the body stores its virtual
+  /// completion here so the runtime can fold it into successors' floors.
+  double virtual_end_us = 0.0;
 };
 
 using TaskFunction = std::function<void(TaskContext&)>;
@@ -72,6 +80,13 @@ struct TaskRecord {
   /// own retry budget ran out or a poisoned producer propagated to it.
   std::atomic<int> attempts{0};
   std::atomic<bool> poisoned{false};
+  /// Simulation lookahead support, both maintained under the dependency
+  /// tracker's lock: the max virtual completion over producers seen so far
+  /// (folded at link time for already-finished producers and again at each
+  /// producer's on_complete), and this task's own virtual completion
+  /// (copied from TaskContext::virtual_end_us before on_complete).
+  double virtual_floor_us = 0.0;
+  double virtual_end_us = 0.0;
 };
 
 }  // namespace tasksim::sched

@@ -1,0 +1,135 @@
+#include "sim/lookahead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace tasksim::sim {
+
+const char* to_string(LookaheadMode mode) {
+  switch (mode) {
+    case LookaheadMode::off: return "off";
+    case LookaheadMode::conservative: return "conservative";
+    case LookaheadMode::optimistic: return "optimistic";
+  }
+  return "?";
+}
+
+LookaheadMode parse_lookahead_mode(const std::string& text) {
+  if (text == "off") return LookaheadMode::off;
+  if (text == "conservative") return LookaheadMode::conservative;
+  if (text == "optimistic") return LookaheadMode::optimistic;
+  throw InvalidArgument("unknown lookahead mode '" + text +
+                        "' (expected off|conservative|optimistic)");
+}
+
+void CompletionGovernor::defer(std::uint64_t seq, PendingCommit commit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool inserted = pending_.emplace(seq, std::move(commit)).second;
+  TS_REQUIRE(inserted, "duplicate deferred commit for one queue ticket");
+}
+
+bool CompletionGovernor::is_pending(std::uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.find(seq) != pending_.end();
+}
+
+bool CompletionGovernor::take(std::uint64_t seq, PendingCommit& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return false;
+  out = std::move(it->second);
+  pending_.erase(it);
+  return true;
+}
+
+std::size_t CompletionGovernor::pending_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::vector<std::pair<std::uint64_t, CompletionGovernor::PendingCommit>>
+CompletionGovernor::take_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::uint64_t, PendingCommit>> all(
+      pending_.begin(), pending_.end());
+  pending_.clear();
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return all;
+}
+
+RepairReport repair_virtual_trace(const trace::LifecycleLog& log,
+                                  const trace::RaceAudit& audit) {
+  RepairReport report;
+  report.violations = audit.violations.size();
+
+  // Replay order: recorded virtual start, ties by id — the order the
+  // speculative engine *intended*, which respects every recorded edge
+  // (a consumer's start is floored by its producers' completions even
+  // when speculation inflated it).
+  struct Item {
+    std::uint64_t id;
+    double start;
+    double duration;
+    int worker;
+  };
+  std::vector<Item> items;
+  for (const auto& [id, lc] : log.tasks) {
+    if (!lc.returned) continue;
+    if (!lc.has_virtual_times()) {
+      ++report.unrepaired;
+      continue;
+    }
+    report.observed_makespan_us =
+        std::max(report.observed_makespan_us, lc.virtual_end_us);
+    items.push_back(Item{id, lc.virtual_start_us,
+                         lc.virtual_end_us - lc.virtual_start_us, lc.worker});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.start != b.start ? a.start < b.start : a.id < b.id;
+  });
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> producers;
+  for (const auto& [producer, consumer] : log.edges) {
+    producers[consumer].push_back(producer);
+  }
+
+  // Dependency-only ASAP replay: each task starts at the max of its
+  // producers' repaired completions.  Deliberately lane-unaware — an
+  // optimistic release frees its worker early, so the recorded lane
+  // placement itself is an artifact of the speculation and replaying it
+  // would re-impose the distortion.  When the recorded parallelism fit the
+  // lanes, the result equals the serialized schedule; oversubscribed
+  // phases are lower-bounded by the dependency critical path.
+  std::unordered_map<std::uint64_t, double> repaired_end;
+  repaired_end.reserve(items.size());
+  for (const Item& item : items) {
+    double floor = 0.0;
+    const auto deps = producers.find(item.id);
+    if (deps != producers.end()) {
+      for (const std::uint64_t producer : deps->second) {
+        const auto it = repaired_end.find(producer);
+        if (it != repaired_end.end()) {
+          floor = std::max(floor, it->second);
+        } else if (log.tasks.count(producer) != 0 &&
+                   log.tasks.at(producer).has_virtual_times()) {
+          // Producer replays later (speculation recorded the consumer's
+          // start before the producer's): fall back to its recorded end.
+          // Counted as unrepairable — the replay order cannot honor the
+          // edge exactly.
+          floor = std::max(floor, log.tasks.at(producer).virtual_end_us);
+          ++report.unrepaired;
+        }
+      }
+    }
+    const double end = floor + item.duration;
+    repaired_end.emplace(item.id, end);
+    report.repaired_makespan_us = std::max(report.repaired_makespan_us, end);
+    ++report.repaired_tasks;
+  }
+  return report;
+}
+
+}  // namespace tasksim::sim

@@ -1,0 +1,117 @@
+// lookahead.hpp — bounded-lookahead out-of-order completion (DESIGN.md §11).
+//
+// The Task Execution Queue serializes task returns in virtual-completion
+// order, which is the correctness anchor of the whole simulation (§V-C) but
+// also its scalability ceiling: with many oversubscribed workers, every
+// completion waits for the global front.  The lookahead engine relaxes the
+// strict is-front gate to a *safe horizon*: a waiter whose completion lies
+// within `lookahead_us` of the current front may return early when a grant
+// predicate proves no not-yet-submitted successor can observe the
+// reordering.  Two modes:
+//
+//   * conservative — the released task's clock advance and trace append are
+//     *deferred*: the queue entry stays behind as a zombie and the engine
+//     commits zombies strictly in completion order at quiescence-safe
+//     points.  The virtual timeline every observer reads is therefore
+//     exactly as serialized as the strict engine's, and the §V-E audit
+//     stays clean by construction.
+//   * optimistic — released tasks commit immediately (out of order).  The
+//     flight recorder captures the resulting §V-E misorderings post-hoc;
+//     repair_virtual_trace then rebuilds the schedule from the recorded
+//     dependency chain and reports the repaired makespan delta.
+//
+// This header owns the mode dial, the CompletionGovernor (the engine's
+// ledger of released-but-uncommitted tasks), and the optimistic repair.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sched/task.hpp"
+#include "trace/lifecycle.hpp"
+
+namespace tasksim::sim {
+
+enum class LookaheadMode {
+  off,           ///< strict §V-C order (the default)
+  conservative,  ///< safe-horizon release with deferred in-order commit
+  optimistic,    ///< speculative release; §V-E audit + post-hoc repair
+};
+
+const char* to_string(LookaheadMode mode);
+
+/// Parse "off" / "conservative" / "optimistic" (throws InvalidArgument).
+LookaheadMode parse_lookahead_mode(const std::string& text);
+
+/// The engine's ledger of conservatively released tasks whose virtual-
+/// timeline commit (trace append, clock advance, task_return, queue leave)
+/// is still owed.  Keyed by TEQ ticket seq: the queue's zombie entry and
+/// the pending payload describe the same occupancy.
+class CompletionGovernor {
+ public:
+  /// Everything the deferred commit needs to replay the task's return.
+  struct PendingCommit {
+    sched::TaskId task = 0;
+    int worker = -1;
+    double start_us = 0.0;
+    double end_us = 0.0;  ///< == the TEQ ticket's completion time
+    std::string kernel;
+  };
+
+  /// Register a released task's commit payload.  Must happen *before* the
+  /// queue entry is marked released, so any thread that finds the zombie
+  /// at the front can always take its payload.
+  void defer(std::uint64_t seq, PendingCommit commit);
+
+  /// Whether `seq` has a registered, not-yet-taken payload.
+  bool is_pending(std::uint64_t seq) const;
+
+  /// Claim the payload for `seq`.  Returns false when another committer
+  /// already took it (the commit drain races benignly; the loser backs
+  /// off and the winner's leave() republishes the next front).
+  bool take(std::uint64_t seq, PendingCommit& out);
+
+  /// Released-but-uncommitted count.  The engine subtracts this from the
+  /// queue size to get the *live* occupancy its safety predicates reason
+  /// about (zombies hold queue slots but no worker).
+  std::size_t pending_count() const;
+
+  /// Drain every pending payload (reset/abandon paths), in seq order.
+  std::vector<std::pair<std::uint64_t, PendingCommit>> take_all();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, PendingCommit> pending_;
+};
+
+/// Post-hoc repair of an optimistic run's virtual trace.  Rebuilds every
+/// task's start/completion from the recorded dependency chain: tasks are
+/// replayed in recorded virtual-start order, each starting at the max of
+/// its producers' repaired completions, keeping its recorded duration
+/// (ASAP on the dependency DAG).  Deliberately lane-unaware — speculation
+/// frees workers early, so recorded lane placement is itself distorted;
+/// when the recorded parallelism fit the lanes the result equals the
+/// serialized schedule, and oversubscribed phases are lower-bounded by the
+/// dependency critical path.
+struct RepairReport {
+  std::size_t violations = 0;       ///< §V-E findings in the observed trace
+  std::size_t repaired_tasks = 0;   ///< tasks with recomputed times
+  std::size_t unrepaired = 0;       ///< returned tasks lacking the virtual
+                                    ///< times needed to replay them
+  double observed_makespan_us = 0.0;
+  double repaired_makespan_us = 0.0;
+
+  double makespan_delta_us() const {
+    return repaired_makespan_us - observed_makespan_us;
+  }
+};
+
+RepairReport repair_virtual_trace(const trace::LifecycleLog& log,
+                                  const trace::RaceAudit& audit);
+
+}  // namespace tasksim::sim

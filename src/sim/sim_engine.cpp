@@ -49,10 +49,14 @@ SimEngine::SimEngine(const KernelModelSet& models, SimEngineOptions options)
       fault_stalls_(metrics::counter("sim.fault.stalls")),
       fault_skips_(metrics::counter("sim.fault.skipped_tasks")),
       watchdog_stalls_(metrics::counter("sim.watchdog.stalls")),
+      releases_(metrics::counter("sim.lookahead.releases")),
+      horizon_blocks_(metrics::counter("sim.lookahead.horizon_blocks")),
       executed_base_(executed_.value()),
       quiescence_timeouts_base_(quiescence_timeouts_.value()),
       fault_failures_base_(fault_failures_.value()),
-      fault_stalls_base_(fault_stalls_.value()) {
+      fault_stalls_base_(fault_stalls_.value()),
+      releases_base_(releases_.value()),
+      horizon_blocks_base_(horizon_blocks_.value()) {
   TS_REQUIRE(options_.sleep_us >= 0.0, "sleep_us must be non-negative");
   TS_REQUIRE(options_.quiescence_timeout_us >= 0.0,
              "quiescence_timeout_us must be non-negative");
@@ -66,6 +70,14 @@ SimEngine::SimEngine(const KernelModelSet& models, SimEngineOptions options)
                "the watchdog timeout must exceed the quiescence timeout, or "
                "a legitimately timed-out wait would be declared a stall");
   }
+  TS_REQUIRE(options_.lookahead_us >= 0.0,
+             "lookahead_us must be a non-negative horizon");
+  // lookahead_us == 0 disables the lookahead path outright whatever the
+  // mode: the horizon clause could never fire, and routing through the
+  // strict code path reproduces the serialized engine bit for bit.
+  lookahead_on_ = options_.lookahead_mode != LookaheadMode::off &&
+                  options_.lookahead_us > 0.0;
+  if (lookahead_on_) queue_.set_lookahead(options_.lookahead_us);
   trace_.set_label("simulated");
   if (options_.watchdog_timeout_us > 0.0) start_watchdog();
 }
@@ -173,7 +185,13 @@ void SimEngine::interruptible_stall(double us) {
 bool SimEngine::scheduler_safe(const sched::TaskContext& ctx) const {
   const sched::Runtime* rt = ctx.runtime;
   TS_ASSERT(rt != nullptr, "simulated task without a runtime context");
-  const std::size_t in_queue = queue_.size();
+  // Live occupancy: a released-but-uncommitted zombie holds a queue slot
+  // but no worker, so it must not count as a blocked executor — a raw
+  // queue size would both fire clause (a) spuriously (commits while a
+  // ready task is claimable deflate its eventual start) and starve clause
+  // (c) (live == running could never hold again).  With lookahead off
+  // there are no zombies and this is exactly the queue size, bit for bit.
+  const std::size_t in_queue = live_queue_size();
   // (a) every executor is blocked in the queue: any future task must start
   // after some queued task returns, i.e. at a later virtual time.
   if (in_queue >= static_cast<std::size_t>(rt->active_executor_count())) {
@@ -193,6 +211,142 @@ bool SimEngine::scheduler_safe(const sched::TaskContext& ctx) const {
          static_cast<int>(in_queue) == rt->running_task_count();
 }
 
+std::size_t SimEngine::live_queue_size() const {
+  const std::size_t total = queue_.size();
+  const std::size_t pending = governor_.pending_count();
+  // A payload registers momentarily before its queue entry is marked
+  // released, so `pending` can transiently exceed the zombies actually in
+  // the queue; clamping errs toward a smaller live count, which only makes
+  // the safety predicates stricter.
+  return total > pending ? total - pending : 0;
+}
+
+bool SimEngine::release_safe(const sched::TaskContext& ctx) const {
+  const sched::Runtime* rt = ctx.runtime;
+  TS_ASSERT(rt != nullptr, "simulated task without a runtime context");
+  // The submitter could still insert a task that belongs earlier on the
+  // virtual timeline (same reasoning as scheduler_safe clause (b)).
+  if (submission_open() && !rt->submitter_waiting()) return false;
+  // No ready task anywhere (reachable or not: an unreachable ready task
+  // would be claimed at a deflated clock once a lane frees), no
+  // bookkeeping that could produce one, and every running task blocked in
+  // the queue.  Under this state any claim that follows the release is of
+  // a task made ready by a completed producer, so its floor
+  // (virtual_floor_us) equals the serialized engine's clock at the same
+  // claim — released starts land exactly where strict ordering would put
+  // them.  Deliberately *stronger* than scheduler_safe: its clause (a)
+  // (all executors blocked) admits ready-but-unclaimed tasks, which would
+  // deflate under a released worker's early claim.
+  return rt->ready_task_count() == 0 && rt->bookkeeping_in_flight() == 0 &&
+         static_cast<int>(live_queue_size()) == rt->running_task_count();
+}
+
+bool SimEngine::commit_safe(const sched::TaskContext& ctx,
+                            bool self_in_queue) const {
+  const sched::Runtime* rt = ctx.runtime;
+  TS_ASSERT(rt != nullptr, "simulated task without a runtime context");
+  // scheduler_safe over *live* occupancy: zombies hold queue slots but no
+  // worker, so they must not count as blocked executors.  When the caller
+  // has already left the queue (just committed its own front return) its
+  // task still counts as running until the post-return bookkeeping, so
+  // one running slot is adjusted out.
+  const int self_adjust = self_in_queue ? 0 : 1;
+  const std::size_t live = live_queue_size();
+  if (live + static_cast<std::size_t>(self_adjust) >=
+      static_cast<std::size_t>(rt->active_executor_count())) {
+    return true;
+  }
+  if (submission_open() && !rt->submitter_waiting()) return false;
+  return !rt->ready_task_reachable() && rt->bookkeeping_in_flight() == 0 &&
+         static_cast<int>(live) == rt->running_task_count() - self_adjust;
+}
+
+bool SimEngine::commit_pending_releases(const sched::TaskContext* ctx,
+                                        bool self_in_queue, bool force) {
+  flightrec::FlightRecorder& fr = telemetry_->recorder();
+  bool any = false;
+  for (;;) {
+    const std::uint64_t front = queue_.front_seq();
+    if (front == TaskExecQueue::kNoFrontSeq) break;
+    if (!governor_.is_pending(front)) break;  // a live task owns the front
+    if (!force && (ctx == nullptr || !commit_safe(*ctx, self_in_queue))) {
+      break;
+    }
+    CompletionGovernor::PendingCommit pc;
+    if (!governor_.take(front, pc)) break;  // another committer won the race
+    // Replay the deferred §V-C commit exactly as the serialized engine
+    // would have performed it at the front: trace append, clock advance
+    // (the flight event strictly before the published clock moves, so a
+    // stream reader's folded floor can never lag the clock it observes),
+    // task_return, queue leave — which publishes the next front and keeps
+    // this loop walking the zombie chain in completion order.
+    trace_.record(pc.task, pc.kernel, pc.worker, pc.start_us, pc.end_us);
+    fr.record(flightrec::EventType::clock_advance, pc.task, pc.worker,
+              pc.end_us);
+    clock_.advance_to(pc.end_us);
+    executed_.inc();
+    fr.record(flightrec::EventType::task_return, pc.task, pc.worker,
+              pc.end_us);
+    queue_.leave(TaskExecQueue::Ticket{pc.end_us, front});
+    any = true;
+  }
+  return any;
+}
+
+void SimEngine::drain_releases() {
+  if (!lookahead_on_) return;
+  // Post-wait_all: the scheduler is fully drained, so every remaining
+  // queue entry is a zombie and the commits are trivially safe.
+  commit_pending_releases(nullptr, /*self_in_queue=*/false, /*force=*/true);
+}
+
+bool SimEngine::acquire_front_or_release(sched::TaskContext& ctx,
+                                         const TaskExecQueue::Ticket& ticket) {
+  const bool optimistic =
+      options_.lookahead_mode == LookaheadMode::optimistic;
+  const TaskExecQueue::ReleaseGate gate = [&]() {
+    // Optimistic mode releases on the horizon alone — detection and
+    // repair happen post-hoc; conservative mode proves safety first.
+    TS_PROF_SCOPE(lookahead_check);
+    return optimistic || release_safe(ctx);
+  };
+  for (;;) {
+    switch (queue_.wait_front_or_release(ticket, gate)) {
+      case TaskExecQueue::WaitOutcome::front:
+        return false;
+      case TaskExecQueue::WaitOutcome::released:
+        return true;
+      case TaskExecQueue::WaitOutcome::front_blocked:
+        break;
+    }
+    // The front is a released zombie awaiting its commit, and this waiter
+    // is the designated drain driver (no leave() is coming on its own).
+    // Poll commit_safe with the quiescence timeout as the pathological
+    // bound, mirroring the serialized engine's wait.
+    TS_PROF_SCOPE(lookahead_check);
+    const double wait_start = wall_time_us();
+    for (;;) {
+      if (commit_pending_releases(&ctx, /*self_in_queue=*/true)) break;
+      if (queue_.cancelled()) queue_.wait_front(ticket);  // throws
+      if (queue_.front_seq() == ticket.seq) break;  // promoted meanwhile
+      const double waited = wall_time_us() - wait_start;
+      if (waited > options_.quiescence_timeout_us) {
+        quiescence_timeouts_.inc();
+        telemetry_->recorder().record(
+            flightrec::EventType::quiescence_timeout, ctx.id, ctx.worker,
+            ticket.completion_us, waited);
+        commit_pending_releases(&ctx, /*self_in_queue=*/true, /*force=*/true);
+        break;
+      }
+      // Plain yield, no sleep backoff: a sleeping drain driver delays the
+      // claims that depend on its commits, and late claims start at the
+      // advanced clock rather than their floor (start = max(clock,
+      // floor)) — measured as whole lost rounds on chain workloads.
+      std::this_thread::yield();
+    }
+  }
+}
+
 double SimEngine::execute(sched::TaskContext& ctx,
                           const std::string& base_kernel,
                           std::uint64_t fault_ordinal) {
@@ -203,8 +357,11 @@ double SimEngine::execute(sched::TaskContext& ctx,
   // the current clock — and return without touching clock or queue.
   if (ctx.poisoned) {
     fault_skips_.inc();
-    const double now = clock_.now();
+    const double now = lookahead_on_
+                           ? std::max(clock_.now(), ctx.virtual_floor_us)
+                           : clock_.now();
     trace_.record(ctx.id, base_kernel + "!skipped", ctx.worker, now, now);
+    ctx.virtual_end_us = now;
     return 0.0;
   }
 
@@ -246,8 +403,15 @@ double SimEngine::execute(sched::TaskContext& ctx,
   }
 
   // 1. Virtual start time: the clock only advances when simulated tasks
-  // return, so "now" is the time the executing worker became free.
-  const double start = clock_.now();
+  // return, so "now" is the time the executing worker became free.  Under
+  // lookahead the clock may lag behind released-but-uncommitted
+  // completions, so the start is additionally floored by the latest
+  // producer completion (the dependence part of the §V-E runnable floor);
+  // the strict path reads the clock alone, bit for bit as before — for it
+  // the clock subsumes every producer floor anyway.
+  const double start = lookahead_on_
+                           ? std::max(clock_.now(), ctx.virtual_floor_us)
+                           : clock_.now();
 
   // 2. Virtual duration.  Under an active fault plan the sample comes
   // from a deterministic per-(task, attempt) stream so that retries and
@@ -282,9 +446,17 @@ double SimEngine::execute(sched::TaskContext& ctx,
   // progress must be committed to the virtual timeline in completion
   // order, or the retry would be scheduled against a corrupted clock.
   const TaskExecQueue::Ticket ticket = queue_.enter(end);
+  bool released = false;
   try {
     fr.record(flightrec::EventType::teq_enter, ctx.id, ctx.worker, start, end,
               ticket.seq);
+
+    if (lookahead_on_ &&
+        options_.lookahead_mode == LookaheadMode::conservative) {
+      // Entering the queue is a commit trigger: a zombie promoted to the
+      // front earlier may be waiting for any thread to reach a safe point.
+      commit_pending_releases(&ctx, /*self_in_queue=*/true);
+    }
 
     if (options_.mitigation == RaceMitigation::yield_sleep) {
       // Give the scheduler a chance to finish bookkeeping that could insert
@@ -294,40 +466,74 @@ double SimEngine::execute(sched::TaskContext& ctx,
       ::usleep(static_cast<useconds_t>(options_.sleep_us));
     }
 
-    queue_.wait_front(ticket);
-    fr.record(flightrec::EventType::teq_front, ctx.id, ctx.worker, start, end,
-              ticket.seq);
+    if (!lookahead_on_) {
+      queue_.wait_front(ticket);
+    } else {
+      released = acquire_front_or_release(ctx, ticket);
+    }
+    if (!released) {
+      fr.record(flightrec::EventType::teq_front, ctx.id, ctx.worker, start,
+                end, ticket.seq);
 
-    if (options_.mitigation == RaceMitigation::quiescence) {
-      // The poll's own exclusive time is the predicate + yield cost; the TEQ
-      // re-blocks inside the loop show up separately as sim.teq_wait.
-      TS_PROF_SCOPE(quiescence_poll);
-      const double wait_start = wall_time_us();
-      std::uint64_t spins = 0;
-      while (!scheduler_safe(ctx)) {
-        const double waited = wall_time_us() - wait_start;
-        if (waited > options_.quiescence_timeout_us) {
-          quiescence_timeouts_.inc();
-          fr.record(flightrec::EventType::quiescence_timeout, ctx.id,
-                    ctx.worker, end, waited);
-          TS_LOG_WARN << "quiescence wait timed out for kernel " << kernel
-                      << " (task " << ctx.id << ", virtual completion " << end
-                      << " us, waited " << waited << " us)";
-          break;
+      if (options_.mitigation == RaceMitigation::quiescence) {
+        // The poll's own exclusive time is the predicate + yield cost; the
+        // TEQ re-blocks inside the loop show up separately as sim.teq_wait.
+        TS_PROF_SCOPE(quiescence_poll);
+        const double wait_start = wall_time_us();
+        std::uint64_t spins = 0;
+        bool timed_out = false;
+        for (;;) {
+          while (!scheduler_safe(ctx)) {
+            const double waited = wall_time_us() - wait_start;
+            if (waited > options_.quiescence_timeout_us) {
+              quiescence_timeouts_.inc();
+              fr.record(flightrec::EventType::quiescence_timeout, ctx.id,
+                        ctx.worker, end, waited);
+              TS_LOG_WARN << "quiescence wait timed out for kernel " << kernel
+                          << " (task " << ctx.id << ", virtual completion "
+                          << end << " us, waited " << waited << " us)";
+              timed_out = true;
+              break;
+            }
+            ++spins;
+            std::this_thread::yield();
+            // A later-arriving task may have displaced us from the front
+            // while we yielded; re-establish the ordering invariant before
+            // re-checking.  Under lookahead the displacement can also turn
+            // into a release grant mid-poll.
+            if (!lookahead_on_) {
+              queue_.wait_front(ticket);
+            } else if (acquire_front_or_release(ctx, ticket)) {
+              released = true;
+              break;
+            }
+          }
+          if (released || timed_out || !lookahead_on_) break;
+          // Quiescence alone does not pin this waiter to the front under
+          // lookahead: a live front plus this displaced waiter is a legal
+          // quiescent state (the strict path cannot reach here displaced —
+          // wait_front re-pins frontness before every predicate
+          // evaluation).  Committing while displaced would reorder the
+          // timeline, so re-establish frontness (or take the release
+          // grant) and re-verify quiescence for the new configuration.
+          if (queue_.front_seq() == ticket.seq) break;
+          if (acquire_front_or_release(ctx, ticket)) {
+            released = true;
+            break;
+          }
         }
-        ++spins;
-        std::this_thread::yield();
-        // A later-arriving task may have displaced us from the front while
-        // we yielded; re-establish the ordering invariant before
-        // re-checking.
-        queue_.wait_front(ticket);
+        if (spins > 0) {
+          quiescence_spins_.inc(spins);
+          quiescence_spin_iters_.observe(static_cast<double>(spins));
+          fr.record(flightrec::EventType::quiescence_spin, ctx.id, ctx.worker,
+                    static_cast<double>(spins));
+        }
       }
-      if (spins > 0) {
-        quiescence_spins_.inc(spins);
-        quiescence_spin_iters_.observe(static_cast<double>(spins));
-        fr.record(flightrec::EventType::quiescence_spin, ctx.id, ctx.worker,
-                  static_cast<double>(spins));
-      }
+    }
+    if (released) {
+      releases_.inc();
+      fr.record(flightrec::EventType::teq_release, ctx.id, ctx.worker, end,
+                clock_.now(), ticket.seq);
     }
   } catch (...) {
     // Cancelled while waiting (watchdog): release the slot so the other
@@ -336,18 +542,59 @@ double SimEngine::execute(sched::TaskContext& ctx,
     throw;
   }
 
-  // 4. Record the event, advance the clock, release the queue slot, and
-  // return to the scheduler "as if" the kernel had computed (or died).
-  trace_.record(ctx.id, decision.fail ? kernel + "!failed" : kernel,
-                ctx.worker, start, end);
-  fr.record(flightrec::EventType::clock_advance, ctx.id, ctx.worker, end);
-  clock_.advance_to(end);
-  executed_.inc();
-  // task_return is recorded while this task still owns the queue front, so
-  // the returns appear in the recorder in the order the task functions
-  // actually returned — the ordering the race auditor checks.
-  fr.record(flightrec::EventType::task_return, ctx.id, ctx.worker, end);
-  queue_.leave(ticket);
+  // The virtual completion travels back through the runtime's task record
+  // into successors' floors (and, on failure, into the retry's floor).
+  ctx.virtual_end_us = end;
+
+  if (!released ||
+      options_.lookahead_mode == LookaheadMode::optimistic) {
+    // 4. Record the event, advance the clock, release the queue slot, and
+    // return to the scheduler "as if" the kernel had computed (or died).
+    // An optimistic release commits here too — immediately and out of
+    // completion order; the flight recorder captures the resulting §V-E
+    // misordering for the post-run audit and repair.
+    trace_.record(ctx.id, decision.fail ? kernel + "!failed" : kernel,
+                  ctx.worker, start, end);
+    fr.record(flightrec::EventType::clock_advance, ctx.id, ctx.worker, end);
+    clock_.advance_to(end);
+    executed_.inc();
+    // task_return is recorded while this task still owns the queue front
+    // (strict path), so the returns appear in the recorder in the order
+    // the task functions actually returned — the ordering the race
+    // auditor checks.
+    fr.record(flightrec::EventType::task_return, ctx.id, ctx.worker, end);
+    queue_.leave(ticket);
+    // The leave may promote a zombie to the front, but this thread must
+    // NOT drain it: its own return bookkeeping is still pending, and that
+    // on_complete may ready a successor whose floor lies below the
+    // zombies' completions — draining here would advance the clock over
+    // it (an inflated start the §V-E audit rightly flags).  The zombie
+    // waits for a committer whose bookkeeping is provably finished: the
+    // next queue enter, a live waiter finding the front blocked, or the
+    // final drain.  (A thread between leave and bookkeeping keeps its
+    // running slot without a live queue slot, so live == running fails
+    // for every such committer until the readied successor is claimed
+    // and entered — that asymmetry is what makes those triggers sound.)
+  } else {
+    // Conservative deferred commit: the queue entry stays behind as a
+    // zombie holding the task's place in completion order, and the commit
+    // payload is registered *before* the release mark so any thread that
+    // finds the zombie at the front can take it.  When the entry is
+    // already the front, no leave() will ever re-discover it — this
+    // thread drives the drain itself.
+    CompletionGovernor::PendingCommit pending;
+    pending.task = ctx.id;
+    pending.worker = ctx.worker;
+    pending.start_us = start;
+    pending.end_us = end;
+    pending.kernel = decision.fail ? kernel + "!failed" : kernel;
+    governor_.defer(ticket.seq, std::move(pending));
+    // Even when the release mark makes this entry the new front, the
+    // commit is left for a thread with finished bookkeeping (see the
+    // front-commit path above): this thread's own return processing is
+    // still ahead of it.
+    queue_.mark_released(ticket);
+  }
 
   if (decision.fail) {
     fault_failures_.inc();
@@ -360,6 +607,12 @@ double SimEngine::execute(sched::TaskContext& ctx,
 }
 
 void SimEngine::reset() {
+  // Abandon released-but-uncommitted zombies (aborted runs only; a normal
+  // finish() drains them): their deferred commits die with the run, but
+  // the queue entries must go before the emptiness check below.
+  for (auto& [seq, pending] : governor_.take_all()) {
+    queue_.leave(TaskExecQueue::Ticket{pending.end_us, seq});
+  }
   TS_REQUIRE(queue_.size() == 0, "cannot reset with simulated tasks in flight");
   clock_.reset();
   trace_.clear();
@@ -367,6 +620,8 @@ void SimEngine::reset() {
   quiescence_timeouts_base_ = quiescence_timeouts_.value();
   fault_failures_base_ = fault_failures_.value();
   fault_stalls_base_ = fault_stalls_.value();
+  releases_base_ = releases_.value();
+  horizon_blocks_base_ = horizon_blocks_.value();
   warmed_up_.clear();
   // Re-arm after a watchdog cancellation so the engine is reusable, and —
   // unconditionally — restart the TEQ ticket sequence so back-to-back runs

@@ -36,6 +36,7 @@
 #include "sched/task.hpp"
 #include "sim/fault_injection.hpp"
 #include "sim/kernel_model.hpp"
+#include "sim/lookahead.hpp"
 #include "sim/sim_clock.hpp"
 #include "sim/task_exec_queue.hpp"
 #include "support/metrics.hpp"
@@ -82,6 +83,16 @@ struct SimEngineOptions {
   /// legitimate timed-out wait would be misread as a stall.
   double watchdog_timeout_us = 0.0;
   double watchdog_poll_us = 10'000.0;
+  /// Bounded-lookahead out-of-order completion (DESIGN.md §11).  A waiter
+  /// whose virtual completion lies within `lookahead_us` of the TEQ front
+  /// may return before reaching the front — with a deferred in-order
+  /// commit (conservative) or an immediate speculative one (optimistic).
+  /// lookahead_us == 0 degenerates to the strict engine regardless of
+  /// mode: the horizon clause can never fire, so the code path is
+  /// disabled outright and the serialized order is reproduced bit for
+  /// bit.
+  LookaheadMode lookahead_mode = LookaheadMode::off;
+  double lookahead_us = 0.0;
 };
 
 class SimEngine {
@@ -146,6 +157,28 @@ class SimEngine {
     return fault_stalls_.value() - fault_stalls_base_;
   }
 
+  /// Lookahead telemetry (same baseline convention as executed_tasks()).
+  /// released_tasks counts early (non-front) returns; horizon_blocks
+  /// counts waits that parked because their completion lay beyond the
+  /// safe horizon.
+  std::uint64_t released_tasks() const {
+    return releases_.value() - releases_base_;
+  }
+  std::uint64_t horizon_blocks() const {
+    return horizon_blocks_.value() - horizon_blocks_base_;
+  }
+
+  /// Whether lookahead releases are armed (mode != off and a positive
+  /// horizon).
+  bool lookahead_enabled() const { return lookahead_on_; }
+  LookaheadMode lookahead_mode() const { return options_.lookahead_mode; }
+
+  /// Commit every pending conservative release unconditionally, in
+  /// completion order.  Called by SimSubmitter::finish() after wait_all
+  /// (the scheduler is fully drained there, so the commits are trivially
+  /// safe) and usable by direct drivers of the engine.
+  void drain_releases();
+
   /// True once the watchdog declared this simulation stalled.  The next
   /// execute() on any worker throws SimulationStalled carrying the dump.
   bool stalled() const { return stalled_.load(std::memory_order_acquire); }
@@ -168,6 +201,33 @@ class SimEngine {
 
  private:
   bool scheduler_safe(const sched::TaskContext& ctx) const;
+  /// Queue occupancy minus released-but-uncommitted zombies: the entries
+  /// that still have a worker blocked behind them.  The lookahead safety
+  /// predicates reason about this count, not the raw queue size.
+  std::size_t live_queue_size() const;
+  /// Conservative release grant (DESIGN.md §11): may the calling waiter
+  /// return early?  Requires the submitter closed or window-blocked, no
+  /// ready task anywhere, no bookkeeping in flight, and every running
+  /// task blocked in the queue — the state in which any post-release
+  /// claim is of a task made ready by a completed producer, whose floor
+  /// (ctx.virtual_floor_us) then places its start exactly where the
+  /// serialized engine would have.
+  bool release_safe(const sched::TaskContext& ctx) const;
+  /// May a pending release at the queue front commit (advance the clock)
+  /// now?  scheduler_safe over live counts; `self_in_queue` is false when
+  /// the caller already left the queue (its running count is adjusted
+  /// out).
+  bool commit_safe(const sched::TaskContext& ctx, bool self_in_queue) const;
+  /// Commit pending releases from the queue front while the front is a
+  /// zombie and commit_safe holds (or `force`).  Returns true when at
+  /// least one commit happened.
+  bool commit_pending_releases(const sched::TaskContext* ctx,
+                               bool self_in_queue, bool force = false);
+  /// wait_front + lookahead: loops wait_front_or_release, driving the
+  /// commit drain whenever the front is an uncommitted zombie.  Returns
+  /// true when the wait ended in an early release (false = front).
+  bool acquire_front_or_release(sched::TaskContext& ctx,
+                                const TaskExecQueue::Ticket& ticket);
   void start_watchdog();
   void on_stall(const StallReport& report);
   /// Real-time sleep in small steps, aborting early when the watchdog
@@ -186,6 +246,11 @@ class SimEngine {
   /// (worker, kernel) pairs that already executed once (startup modeling).
   std::set<std::pair<int, std::string>> warmed_up_;
   std::atomic<bool> submission_open_{false};
+  /// Ledger of conservatively released, not-yet-committed tasks.
+  CompletionGovernor governor_;
+  /// options_.lookahead_mode != off && options_.lookahead_us > 0, resolved
+  /// once at construction.
+  bool lookahead_on_ = false;
 
   Watchdog watchdog_;
   std::atomic<bool> stalled_{false};
@@ -203,10 +268,15 @@ class SimEngine {
   metrics::Counter fault_stalls_;         ///< sim.fault.stalls
   metrics::Counter fault_skips_;          ///< sim.fault.skipped_tasks
   metrics::Counter watchdog_stalls_;      ///< sim.watchdog.stalls
+  metrics::Counter releases_;             ///< sim.lookahead.releases
+  metrics::Counter horizon_blocks_;       ///< sim.lookahead.horizon_blocks
+                                          ///< (incremented by the TEQ)
   std::uint64_t executed_base_ = 0;
   std::uint64_t quiescence_timeouts_base_ = 0;
   std::uint64_t fault_failures_base_ = 0;
   std::uint64_t fault_stalls_base_ = 0;
+  std::uint64_t releases_base_ = 0;
+  std::uint64_t horizon_blocks_base_ = 0;
 };
 
 }  // namespace tasksim::sim

@@ -35,6 +35,11 @@ class SimSubmitter final : public sched::KernelSubmitter {
   void finish() override {
     engine_.set_submission_open(false);
     runtime_.wait_all();
+    // wait_all returns when every task *function* has returned — which,
+    // under conservative lookahead, can leave released tasks whose virtual
+    // commits (trace, clock) are still deferred in the queue.  Drain them
+    // so virtual_time_us()/trace() are final. No-op outside lookahead.
+    engine_.drain_releases();
   }
   sched::Runtime& runtime() override { return runtime_; }
 

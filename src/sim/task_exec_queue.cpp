@@ -14,6 +14,7 @@ TaskExecQueue::TaskExecQueue()
       displacements_(metrics::counter("sim.queue.displacements")),
       wakeups_(metrics::counter("sim.queue.wakeups")),
       parks_(metrics::counter("sim.queue.parks")),
+      horizon_blocks_(metrics::counter("sim.lookahead.horizon_blocks")),
       wait_us_(metrics::histogram("sim.queue.wait_us")) {}
 
 void TaskExecQueue::require_finite(double completion_us) {
@@ -31,7 +32,16 @@ void TaskExecQueue::throw_cancelled_locked() const {
   throw SimulationStalled(what, cancel_reason_);
 }
 
-void TaskExecQueue::unpark_locked(ParkSlot* slot) {
+void TaskExecQueue::cancelled_wait_locked(const Ticket& ticket) const {
+  // Identified by ticket seq (the queue does not know task ids): `other` =
+  // the cancelled waiter's seq, `a` = its virtual completion time.
+  flightrec::current().record(flightrec::EventType::teq_cancelled,
+                              flightrec::kNoTask, -1, ticket.completion_us,
+                              0.0, ticket.seq);
+  throw_cancelled_locked();
+}
+
+void TaskExecQueue::unpark_locked(ParkSlot* slot) const {
   if (slot == nullptr) return;  // the new front's owner is not parked
   wakeups_.inc();
   // Both the store and the notify happen with the mutex held: the waiter
@@ -59,7 +69,7 @@ TaskExecQueue::Ticket TaskExecQueue::enter(double completion_us) {
         flightrec::EventType::teq_displaced, front.second, -1, front.first,
         ticket.completion_us, ticket.seq);
   }
-  entries_.emplace(key(ticket), nullptr);
+  entries_.emplace(key(ticket), Entry{});
   size_.store(entries_.size(), std::memory_order_release);
   enters_.inc();
   if (displaces) displacements_.inc();
@@ -92,7 +102,7 @@ void TaskExecQueue::wait_front_slow(const Ticket& ticket) const {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto it = entries_.find(key(ticket));
   TS_REQUIRE(it != entries_.end(), "ticket not in queue");
-  if (cancelled_) throw_cancelled_locked();
+  if (cancelled_) cancelled_wait_locked(ticket);
   if (it == entries_.begin()) return;
   // Only the genuinely blocked path is profiled: the fast path above is an
   // atomic load and would drown the wait signal in probe counts.
@@ -100,7 +110,7 @@ void TaskExecQueue::wait_front_slow(const Ticket& ticket) const {
   parks_.inc();
   const double blocked_from = wall_time_us();
   ParkSlot slot;
-  it->second = &slot;
+  it->second.slot = &slot;
   for (;;) {
     lock.unlock();
     {
@@ -118,11 +128,11 @@ void TaskExecQueue::wait_front_slow(const Ticket& ticket) const {
       // Deregister before unwinding; skip the wait_us observation — a
       // cancelled wait is not a queue-ordering wait, and recording its
       // bogus duration would pollute the sim.queue.wait_us distribution.
-      it->second = nullptr;
-      throw_cancelled_locked();
+      it->second.slot = nullptr;
+      cancelled_wait_locked(ticket);
     }
     if (it == entries_.begin()) {
-      it->second = nullptr;
+      it->second.slot = nullptr;
       wait_us_.observe(wall_time_us() - blocked_from);
       return;
     }
@@ -131,6 +141,133 @@ void TaskExecQueue::wait_front_slow(const Ticket& ticket) const {
     // can interleave with the reset — and park again.
     slot.signaled.store(0, std::memory_order_relaxed);
   }
+}
+
+TaskExecQueue::WaitOutcome TaskExecQueue::wait_front_or_release(
+    const Ticket& ticket, const ReleaseGate& gate) const {
+  require_finite(ticket.completion_us);
+  // Same lock-free fast path as wait_front: being the published front is
+  // always the preferred outcome, and needs no horizon or gate check.
+  if (!cancelled_flag_.load(std::memory_order_acquire) &&
+      front_seq_.load(std::memory_order_acquire) == ticket.seq) {
+    return WaitOutcome::front;
+  }
+  return wait_front_or_release_slow(ticket, gate);
+}
+
+TaskExecQueue::WaitOutcome TaskExecQueue::wait_front_or_release_slow(
+    const Ticket& ticket, const ReleaseGate& gate) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key(ticket));
+  TS_REQUIRE(it != entries_.end(), "ticket not in queue");
+  prof::ScopedPhase prof_scope(prof::Phase::teq_wait);
+  ParkSlot slot;
+  bool parked = false;
+  bool horizon_counted = false;
+  double blocked_from = 0.0;
+  for (;;) {
+    if (cancelled_) {
+      it->second.slot = nullptr;
+      cancelled_wait_locked(ticket);
+    }
+    const auto front_it = entries_.begin();
+    if (it == front_it) {
+      if (parked) wait_us_.observe(wall_time_us() - blocked_from);
+      return WaitOutcome::front;
+    }
+    if (front_it->second.released) {
+      // The front is a zombie the engine has not committed yet.  Parking
+      // would deadlock (no leave() is coming until someone commits), and
+      // the queue cannot commit it — hand the drain duty to the caller.
+      // Checked before the release gate so the commit drain always has a
+      // driver even when this waiter could itself release.
+      return WaitOutcome::front_blocked;
+    }
+    if (ticket.completion_us <= front_it->first.first + lookahead_) {
+      // Within the safe horizon.  The grant predicate inspects engine and
+      // scheduler state, so it runs outside the queue mutex; the relock
+      // re-checks everything the gate's answer was conditioned on.
+      lock.unlock();
+      const bool granted = gate();
+      lock.lock();
+      if (cancelled_) {
+        it->second.slot = nullptr;
+        cancelled_wait_locked(ticket);
+      }
+      const auto front_now = entries_.begin();
+      if (it == front_now) {
+        if (parked) wait_us_.observe(wall_time_us() - blocked_from);
+        return WaitOutcome::front;
+      }
+      if (front_now->second.released) return WaitOutcome::front_blocked;
+      if (granted &&
+          ticket.completion_us <= front_now->first.first + lookahead_) {
+        // Release cascade: the gate is engine-global state, so the next
+        // parked in-horizon waiter would almost certainly pass it too —
+        // wake exactly one before returning.  Together with leave()'s
+        // single-candidate wake this replaces the per-commit horizon
+        // herd: a grant moment drains every eligible waiter one wake at
+        // a time, a denial wakes nobody.
+        const double horizon_now = front_now->first.first + lookahead_;
+        for (auto next = std::next(front_now); next != entries_.end();
+             ++next) {
+          if (next == it || next->second.released) continue;
+          if (next->first.first > horizon_now) break;
+          if (next->second.slot != nullptr) {
+            unpark_locked(next->second.slot);
+            break;
+          }
+          // A live in-horizon waiter that is awake (mid-gate or between
+          // parks) needs no wake — but it may also be about to park
+          // having seen a denied gate, so keep scanning for a parked one.
+        }
+        return WaitOutcome::released;
+      }
+      // Denied (or the front moved under us): park until the front
+      // changes; leave()'s horizon wake re-runs the gate.
+    } else if (!horizon_counted) {
+      horizon_blocks_.inc();
+      horizon_counted = true;
+    }
+    if (!parked) {
+      parks_.inc();
+      parked = true;
+      blocked_from = wall_time_us();
+    }
+    slot.signaled.store(0, std::memory_order_relaxed);
+    it->second.slot = &slot;
+    lock.unlock();
+    {
+      TS_PROF_SCOPE(teq_park);
+      std::uint32_t observed = slot.signaled.load(std::memory_order_acquire);
+      while (observed == 0) {
+        slot.signaled.wait(0, std::memory_order_acquire);
+        observed = slot.signaled.load(std::memory_order_acquire);
+      }
+    }
+    lock.lock();
+    it->second.slot = nullptr;
+  }
+}
+
+bool TaskExecQueue::mark_released(const Ticket& ticket) {
+  require_finite(ticket.completion_us);
+  TS_PROF_SCOPE(teq_mutex);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key(ticket));
+  TS_REQUIRE(it != entries_.end(),
+             "releasing a ticket that is not in the queue");
+  TS_REQUIRE(it->second.slot == nullptr,
+             "releasing a ticket whose owner is parked");
+  it->second.released = true;
+  return it == entries_.begin();
+}
+
+void TaskExecQueue::set_lookahead(double lookahead_us) {
+  TS_REQUIRE(!(lookahead_us < 0.0) && !std::isnan(lookahead_us),
+             "lookahead must be a non-negative horizon (µs)");
+  std::lock_guard<std::mutex> lock(mutex_);
+  lookahead_ = lookahead_us;
 }
 
 void TaskExecQueue::leave(const Ticket& ticket) {
@@ -152,9 +289,31 @@ void TaskExecQueue::leave(const Ticket& ticket) {
       // parked waiter stays parked: their turn has not come, and waking
       // them (as the seed's notify_all did) only made N-1 threads fight
       // over the mutex to re-discover that fact.
-      auto& [new_front, slot] = *entries_.begin();
-      front_seq_.store(new_front.second, std::memory_order_release);
-      unpark_locked(slot);
+      const auto front_it = entries_.begin();
+      front_seq_.store(front_it->first.second, std::memory_order_release);
+      unpark_locked(front_it->second.slot);
+      if (lookahead_ > 0.0) {
+        // Lookahead wakes (DESIGN.md §11): the first live waiter is woken
+        // when it sits within the horizon of the *new* front (it becomes
+        // the release candidate and re-runs its gate) or when the new
+        // front is itself a released zombie (it becomes the commit-drain
+        // driver, returning front_blocked from its wait).  Deeper
+        // in-horizon waiters stay parked: waking them all per commit is a
+        // thundering herd that re-discovers a denied gate N-1 times, and
+        // a *granted* gate cascade-wakes the next waiter from
+        // wait_front_or_release_slow instead — grant moments still
+        // release in batch, denial moments wake nobody further.
+        const double horizon = front_it->first.first + lookahead_;
+        const bool need_poller = front_it->second.released;
+        for (auto next = std::next(front_it); next != entries_.end();
+             ++next) {
+          if (next->second.released) continue;  // zombies are not parked
+          if (need_poller || next->first.first <= horizon) {
+            unpark_locked(next->second.slot);
+          }
+          break;
+        }
+      }
     }
     // Removing a non-front entry leaves the front unchanged: no
     // publication, no wakeups.
@@ -171,7 +330,7 @@ void TaskExecQueue::cancel(std::string reason, std::string owner) {
   // The one remaining broadcast: every parked waiter must wake to throw
   // SimulationStalled from its own stack.  Aborting a stalled simulation
   // is exceptional, so the herd is acceptable here.
-  for (auto& [entry_key, slot] : entries_) unpark_locked(slot);
+  for (auto& [entry_key, entry] : entries_) unpark_locked(entry.slot);
 }
 
 void TaskExecQueue::clear_cancel() {

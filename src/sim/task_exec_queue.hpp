@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -42,6 +43,21 @@ class TaskExecQueue {
     std::uint64_t seq = 0;
   };
 
+  /// How a lookahead-armed wait ended (see wait_front_or_release).
+  enum class WaitOutcome {
+    front,          ///< the ticket is the queue front — the classic return
+    released,       ///< the release gate granted an early (non-front) return
+    front_blocked,  ///< the front is a released zombie awaiting its commit;
+                    ///< the caller should drive the engine's commit drain
+  };
+
+  /// The lookahead release-grant predicate, evaluated *outside* the queue
+  /// mutex (it inspects engine and scheduler state).
+  using ReleaseGate = std::function<bool()>;
+
+  /// Published-front sentinel returned by front_seq() on an empty queue.
+  static constexpr std::uint64_t kNoFrontSeq = ~std::uint64_t{0};
+
   /// Enter the queue with the given virtual completion time.  The time must
   /// be finite: a NaN key would violate the strict weak ordering of the
   /// underlying map and silently corrupt the queue order (InvalidArgument).
@@ -49,6 +65,35 @@ class TaskExecQueue {
 
   /// Block until `ticket` is the front (minimum) entry.
   void wait_front(const Ticket& ticket) const;
+
+  /// Bounded-lookahead wait (DESIGN.md §11).  Blocks like wait_front, but a
+  /// waiter within the safe horizon — `completion_us <= front completion +
+  /// lookahead` — additionally evaluates `gate` and returns
+  /// WaitOutcome::released when it grants.  Returns front_blocked instead
+  /// of parking when the current front is a released zombie (the caller
+  /// owns the commit drain; the queue cannot retire the entry itself).
+  /// With lookahead 0 (the default) the horizon clause never fires and
+  /// this is wait_front with a different return type.
+  WaitOutcome wait_front_or_release(const Ticket& ticket,
+                                    const ReleaseGate& gate) const;
+
+  /// Mark `ticket`'s entry as released: its owner returned early and the
+  /// entry stays behind as a zombie holding the task's place in completion
+  /// order until the engine commits it (then leave()).  Returns true when
+  /// the entry is the current front — the caller must run the commit drain,
+  /// because no future leave() will re-discover it.  Must be called by the
+  /// ticket's owner (never while parked in a wait).
+  bool mark_released(const Ticket& ticket);
+
+  /// Seq of the published front entry (kNoFrontSeq when empty).
+  std::uint64_t front_seq() const {
+    return front_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Arm the lookahead horizon: leave() additionally wakes parked waiters
+  /// within `lookahead_us` of the new front so they re-evaluate their
+  /// release gate.  0 (the default) restores strict is-front semantics.
+  void set_lookahead(double lookahead_us);
 
   /// Non-blocking front check (one atomic load).
   bool is_front(const Ticket& ticket) const {
@@ -99,26 +144,41 @@ class TaskExecQueue {
     std::atomic<std::uint32_t> signaled{0};
   };
 
+  /// One queue occupancy.  `slot` is non-null while the ticket's owner is
+  /// parked; `released` marks a lookahead zombie whose owner returned early
+  /// and whose commit (clock advance + leave) the engine still owes.
+  struct Entry {
+    ParkSlot* slot = nullptr;
+    bool released = false;
+  };
+
   /// Published-front sentinel: no entry is the front.  Ticket seqs are
   /// assigned from 0 upward and can never reach it.
-  static constexpr std::uint64_t kNoFront = ~std::uint64_t{0};
+  static constexpr std::uint64_t kNoFront = kNoFrontSeq;
 
   [[noreturn]] void throw_cancelled_locked() const;
+  /// Record a teq_cancelled flight event and throw (mutex held).  Every
+  /// cancelled wait funnels through here so aborted waiters are visible in
+  /// the §V-E trace as distinct from normal front returns.
+  [[noreturn]] void cancelled_wait_locked(const Ticket& ticket) const;
   /// Signal one parked waiter (mutex held).  No-op for a null slot (front
   /// owner not waiting yet — it will take the lock-free fast path).
-  void unpark_locked(ParkSlot* slot);
+  void unpark_locked(ParkSlot* slot) const;
   void wait_front_slow(const Ticket& ticket) const;
+  WaitOutcome wait_front_or_release_slow(const Ticket& ticket,
+                                         const ReleaseGate& gate) const;
 
   mutable std::mutex mutex_;
-  /// Entries ordered by (completion_us, seq); the mapped slot is non-null
-  /// while that ticket's owner is parked in wait_front.  Mutable because
-  /// registering a parking slot is a logically-const operation of
-  /// wait_front.
-  mutable std::map<Key, ParkSlot*> entries_;
+  /// Entries ordered by (completion_us, seq).  Mutable because registering
+  /// a parking slot is a logically-const operation of wait_front.
+  mutable std::map<Key, Entry> entries_;
   std::uint64_t next_seq_ = 0;
   bool cancelled_ = false;
   std::string cancel_reason_;
   std::string cancel_owner_;
+  /// Lookahead horizon in virtual µs (0 = strict §V-C order).  Written via
+  /// set_lookahead before a run, read under mutex_ by waits and leave().
+  double lookahead_ = 0.0;
 
   /// Seq of the current front entry (kNoFront when empty), published with
   /// release under the mutex and read with acquire by the lock-free fast
@@ -134,6 +194,8 @@ class TaskExecQueue {
   metrics::Counter displacements_;  ///< sim.queue.displacements
   metrics::Counter wakeups_;        ///< sim.queue.wakeups (unparks issued)
   metrics::Counter parks_;          ///< sim.queue.parks (waiters that blocked)
+  metrics::Counter horizon_blocks_;  ///< sim.lookahead.horizon_blocks (waits
+                                     ///< that parked beyond the horizon)
   metrics::Histogram wait_us_;      ///< sim.queue.wait_us (real µs blocked)
 };
 

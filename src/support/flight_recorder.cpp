@@ -21,6 +21,8 @@ const char* to_string(EventType type) {
     case EventType::teq_front: return "teq_front";
     case EventType::teq_displaced: return "teq_displaced";
     case EventType::task_return: return "task_return";
+    case EventType::teq_release: return "teq_release";
+    case EventType::teq_cancelled: return "teq_cancelled";
     case EventType::clock_advance: return "clock_advance";
     case EventType::quiescence_spin: return "quiescence_spin";
     case EventType::sched_steal: return "sched_steal";

@@ -59,6 +59,11 @@ enum class EventType : std::uint8_t {
                    ///< ticket seq, other = entering ticket seq,
                    ///< a = displaced completion, b = entering completion
   task_return,     ///< simulated body returns; a = virtual completion
+  teq_release,     ///< lookahead release before reaching the front: a =
+                   ///< released completion, b = virtual clock at release,
+                   ///< other = queue ticket seq
+  teq_cancelled,   ///< wait aborted by cancel(): a = the waiting ticket's
+                   ///< completion time, other = ticket seq
   clock_advance,   ///< a = new virtual clock value
   quiescence_spin, ///< quiescence wait spun; a = spin iterations
   // --- scheduler-policy decisions ---------------------------------------

@@ -80,6 +80,7 @@ const char* phase_name(Phase phase) {
     case Phase::teq_park: return "sim.teq_park";
     case Phase::mitigation_sleep: return "sim.mitigation_sleep";
     case Phase::quiescence_poll: return "sim.quiescence_poll";
+    case Phase::lookahead_check: return "sim.lookahead_check";
     case Phase::trace_append: return "trace.append";
     case Phase::kCount: break;
   }

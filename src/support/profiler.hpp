@@ -83,6 +83,7 @@ enum class Phase : std::uint8_t {
   teq_park,          ///< parked (futex-style) until promoted to TEQ front
   mitigation_sleep,  ///< yield_sleep mitigation: sched_yield + usleep (§V-E)
   quiescence_poll,   ///< quiescence mitigation polling loop (§V-E)
+  lookahead_check,   ///< lookahead safe-horizon release evaluation
   // --- tracing ------------------------------------------------------------
   trace_append,      ///< Trace::record (virtual or real timeline append)
   kCount,

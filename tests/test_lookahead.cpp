@@ -1,0 +1,345 @@
+// Tests for bounded-lookahead out-of-order completion (DESIGN.md §11):
+// conservative releases must be invisible next to the serialized oracle
+// (identical virtual makespan, zero §V-E audit findings), lookahead 0 must
+// reproduce the serialized trace exactly, optimistic speculation must be
+// detected by the audit and undone by the repair pass, and cancelled TEQ
+// waiters must leave a distinct teq_cancelled flight event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/factory.hpp"
+#include "sim/kernel_model.hpp"
+#include "sim/lookahead.hpp"
+#include "sim/sim_engine.hpp"
+#include "sim/sim_submitter.hpp"
+#include "sim/task_exec_queue.hpp"
+#include "stats/distribution.hpp"
+#include "support/error.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/rng.hpp"
+#include "trace/lifecycle.hpp"
+
+namespace tasksim::sim {
+namespace {
+
+// Distinct constants per kernel class: durations are a pure function of
+// the kernel, so two runs of one DAG sample identical durations whatever
+// the thread interleaving (a shared-RNG model would not).
+KernelModelSet distinct_constant_models() {
+  KernelModelSet models;
+  models.set_model("k0", std::make_unique<stats::ConstantDist>(70.0));
+  models.set_model("k1", std::make_unique<stats::ConstantDist>(110.0));
+  models.set_model("k2", std::make_unique<stats::ConstantDist>(90.0));
+  models.set_model("k3", std::make_unique<stats::ConstantDist>(50.0));
+  return models;
+}
+
+struct LookaheadRun {
+  double makespan_us = 0.0;
+  std::uint64_t releases = 0;
+  std::uint64_t tasks = 0;
+  std::size_t audit_findings = 0;
+  std::string audit_text;
+  std::vector<trace::TraceEvent> events;
+};
+
+/// Run a randomized DAG (fixed seed => fixed structure) over `objects`
+/// tiles on `workers` workers.  Every task writes exactly one object, so
+/// the DAG's parallelism never exceeds `objects` — pick objects <= workers
+/// for the oracle-exactness property.
+LookaheadRun run_random_dag(const std::string& scheduler, int workers,
+                            int objects, int tasks, LookaheadMode mode,
+                            double lookahead_us) {
+  const KernelModelSet models = distinct_constant_models();
+  sched::RuntimeConfig rc;
+  rc.workers = workers;
+  auto rt = sched::make_runtime(scheduler, rc);
+  SimEngineOptions options;
+  options.lookahead_mode = mode;
+  options.lookahead_us = lookahead_us;
+  SimEngine engine(models, options);
+  SimSubmitter submitter(*rt, engine);
+
+  flightrec::FlightRecorder& recorder = flightrec::FlightRecorder::global();
+  recorder.enable(1 << 15);
+
+  Rng rng(37);
+  std::vector<double> tiles(static_cast<std::size_t>(objects));
+  for (int t = 0; t < tasks; ++t) {
+    const std::size_t own = rng.uniform_index(tiles.size());
+    sched::AccessList accesses{sched::inout(&tiles[own])};
+    if (rng.uniform() < 0.5) {
+      const std::size_t other = rng.uniform_index(tiles.size());
+      if (other != own) accesses.push_back(sched::in(&tiles[other]));
+    }
+    const std::string kernel = "k" + std::to_string(rng.uniform_index(4));
+    submitter.submit(kernel, nullptr, std::move(accesses));
+  }
+  submitter.finish();
+  recorder.disable();
+
+  LookaheadRun result;
+  result.makespan_us = engine.virtual_time_us();
+  result.releases = engine.released_tasks();
+  result.tasks = engine.executed_tasks();
+  result.events = engine.trace().sorted_events();
+  trace::LifecycleLog log = trace::build_lifecycle(recorder.drain());
+  log.worker_lanes = workers;
+  const trace::RaceAudit audit = trace::audit_races(log);
+  result.audit_findings = audit.violations.size();
+  result.audit_text = audit.to_string();
+  return result;
+}
+
+class LookaheadSchedulerTest : public ::testing::TestWithParam<std::string> {
+};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, LookaheadSchedulerTest,
+                         ::testing::Values("quark", "starpu/dmda", "ompss/bf"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '/') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(LookaheadMode, ParsesAndPrints) {
+  EXPECT_EQ(parse_lookahead_mode("off"), LookaheadMode::off);
+  EXPECT_EQ(parse_lookahead_mode("conservative"), LookaheadMode::conservative);
+  EXPECT_EQ(parse_lookahead_mode("optimistic"), LookaheadMode::optimistic);
+  EXPECT_STREQ(to_string(LookaheadMode::conservative), "conservative");
+  EXPECT_THROW(parse_lookahead_mode("eager"), InvalidArgument);
+}
+
+TEST_P(LookaheadSchedulerTest, ConservativeMatchesSerializedOracle) {
+  // Parallelism bounded by the object count (4) <= workers (8): every
+  // ready task is claimed promptly, so the serialized oracle's starts are
+  // exactly the producer floors the lookahead engine uses — the virtual
+  // makespans must agree to the last bit-fold, and the §V-E audit must be
+  // as clean as the oracle's.
+  const LookaheadRun oracle =
+      run_random_dag(GetParam(), 8, 4, 80, LookaheadMode::off, 0.0);
+  const LookaheadRun lookahead = run_random_dag(
+      GetParam(), 8, 4, 80, LookaheadMode::conservative, 120.0);
+
+  EXPECT_EQ(oracle.tasks, 80u);
+  EXPECT_EQ(lookahead.tasks, 80u);
+  EXPECT_EQ(oracle.audit_findings, 0u) << oracle.audit_text;
+  EXPECT_EQ(lookahead.audit_findings, 0u) << lookahead.audit_text;
+  EXPECT_NEAR(lookahead.makespan_us, oracle.makespan_us,
+              1e-9 * oracle.makespan_us);
+}
+
+TEST_P(LookaheadSchedulerTest, ConservativeAuditCleanWhenOversubscribed) {
+  // Parallelism (6 objects) above the worker count (2): oracle exactness
+  // is no longer guaranteed (released workers may claim backlog tasks in a
+  // different order), but the deferred in-order commit must keep the
+  // virtual timeline §V-E-clean regardless.
+  const LookaheadRun lookahead = run_random_dag(
+      GetParam(), 2, 6, 60, LookaheadMode::conservative, 200.0);
+  EXPECT_EQ(lookahead.tasks, 60u);
+  EXPECT_EQ(lookahead.audit_findings, 0u) << lookahead.audit_text;
+}
+
+TEST_P(LookaheadSchedulerTest, LookaheadZeroReproducesSerializedTrace) {
+  // lookahead_us == 0 must degenerate to the strict engine bit for bit.
+  // A single object makes the DAG a pure serial chain, so the schedule is
+  // forced by dependencies alone (with independent tasks, claim order is a
+  // race between the submitter and the worker even on one lane, and two
+  // separate runs need not produce the same trace).  The whole trace —
+  // order, workers, starts, ends — must match the oracle's.
+  const LookaheadRun oracle =
+      run_random_dag(GetParam(), 1, 1, 50, LookaheadMode::off, 0.0);
+  const LookaheadRun degenerate =
+      run_random_dag(GetParam(), 1, 1, 50, LookaheadMode::conservative, 0.0);
+
+  EXPECT_EQ(degenerate.releases, 0u);
+  ASSERT_EQ(degenerate.events.size(), oracle.events.size());
+  for (std::size_t i = 0; i < oracle.events.size(); ++i) {
+    const trace::TraceEvent& a = oracle.events[i];
+    const trace::TraceEvent& b = degenerate.events[i];
+    EXPECT_EQ(b.task_id, a.task_id) << "event " << i;
+    EXPECT_EQ(b.kernel, a.kernel) << "event " << i;
+    EXPECT_EQ(b.worker, a.worker) << "event " << i;
+    EXPECT_DOUBLE_EQ(b.start_us, a.start_us) << "event " << i;
+    EXPECT_DOUBLE_EQ(b.end_us, a.end_us) << "event " << i;
+  }
+}
+
+// One long task plus two interleaved serial chains on three workers.  The
+// chains' completions alternate at the queue front, so at any instant one
+// chain's waiter is displaced; once submission closes, that waiter's grant
+// gate sees a quiescent state (ready == 0, live == running, no
+// bookkeeping) *on its own timeslice* — the release needs no cross-thread
+// timing luck, which matters on single-CPU CI where a thread parked behind
+// a hot worker may never observe the drain in flight.  The long task
+// (completion 1e6, the queue maximum throughout) additionally speculates
+// in optimistic mode, inflating every later chain start past 1e6.
+struct ChainScenario {
+  double makespan_us = 0.0;
+  std::uint64_t releases = 0;
+  std::size_t backward_returns = 0;
+  RepairReport repair;
+};
+
+ChainScenario run_chain(LookaheadMode mode, double lookahead_us) {
+  KernelModelSet models;
+  models.set_model("long", std::make_unique<stats::ConstantDist>(1e6));
+  models.set_model("b", std::make_unique<stats::ConstantDist>(10.0));
+  models.set_model("c", std::make_unique<stats::ConstantDist>(11.0));
+  sched::RuntimeConfig rc;
+  rc.workers = 3;
+  auto rt = sched::make_runtime("quark", rc);
+  SimEngineOptions options;
+  options.lookahead_mode = mode;
+  options.lookahead_us = lookahead_us;
+  SimEngine engine(models, options);
+  SimSubmitter submitter(*rt, engine);
+
+  flightrec::FlightRecorder& recorder = flightrec::FlightRecorder::global();
+  recorder.enable(1 << 14);
+  double lone, bchain, cchain;
+  submitter.submit("long", nullptr, {sched::inout(&lone)});
+  // Give the long task's worker wall time to claim it and enter the queue
+  // before any chain task exists, so it is displaced (not merely late).
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  for (int i = 0; i < 150; ++i) {
+    submitter.submit("b", nullptr, {sched::inout(&bchain)});
+    submitter.submit("c", nullptr, {sched::inout(&cchain)});
+  }
+  submitter.finish();
+  recorder.disable();
+
+  ChainScenario result;
+  result.makespan_us = engine.virtual_time_us();
+  result.releases = engine.released_tasks();
+  trace::LifecycleLog log = trace::build_lifecycle(recorder.drain());
+  log.worker_lanes = 3;
+  const trace::RaceAudit audit = trace::audit_races(log);
+  for (const trace::RaceViolation& v : audit.violations) {
+    if (v.kind == trace::RaceViolation::Kind::backward_return) {
+      ++result.backward_returns;
+    }
+  }
+  result.repair = repair_virtual_trace(log, audit);
+  return result;
+}
+
+TEST(Lookahead, ConservativeReleasesADisplacedWaiter) {
+  // Strict baseline: nothing may release, and the makespan is the long
+  // task's completion (chains end at 1500/1650, far below 1e6).
+  const ChainScenario strict = run_chain(LookaheadMode::off, 0.0);
+  EXPECT_EQ(strict.releases, 0u);
+  EXPECT_DOUBLE_EQ(strict.makespan_us, 1e6);
+
+  // With the horizon spanning the whole run, every post-close quiescent
+  // window in which one chain's waiter sits behind the other chain's front
+  // is a conservative grant.  Whether a given run hits such a window is
+  // still interleaving-dependent, so retry; the timeline invariants must
+  // hold on *every* attempt, released or not.
+  bool saw_release = false;
+  for (int attempt = 0; attempt < 10 && !saw_release; ++attempt) {
+    const ChainScenario released =
+        run_chain(LookaheadMode::conservative, 2e6);
+    ASSERT_EQ(released.backward_returns, 0u);
+    ASSERT_DOUBLE_EQ(released.makespan_us, strict.makespan_us);
+    saw_release = released.releases >= 1;
+  }
+  EXPECT_TRUE(saw_release)
+      << "no conservative release in 10 attempts of a scenario built to "
+         "release displaced chain waiters";
+}
+
+TEST(Lookahead, OptimisticMisorderingIsDetectedAndRepaired) {
+  // Optimistic mode releases any displaced waiter immediately, out of
+  // completion order: a chain waiter committing past the other chain's
+  // front yields §V-E backward returns, and the long task's speculative
+  // commit jumps the clock to 1e6 so every chain task claimed afterwards
+  // starts inflated.  The repair pass replays the recorded dependency
+  // chains and recovers the serialized makespan exactly.  Which of those
+  // speculations fire in a given run is interleaving-dependent: retry
+  // until one run shows both, then hold it to the audit + repair contract.
+  bool saw_speculation = false;
+  for (int attempt = 0; attempt < 10 && !saw_speculation; ++attempt) {
+    const ChainScenario speculative =
+        run_chain(LookaheadMode::optimistic, 2e6);
+    if (speculative.releases == 0) {
+      ASSERT_EQ(speculative.backward_returns, 0u);
+      continue;  // legal serialized interleaving; speculate again
+    }
+    EXPECT_EQ(speculative.repair.unrepaired, 0u);
+    if (speculative.backward_returns == 0 ||
+        speculative.repair.observed_makespan_us <= 1e6) {
+      continue;  // released, but without the full misordering signature
+    }
+    saw_speculation = true;
+    // The audit may flag late submissions on top of the backward returns
+    // (the speculative clock jump races the submission stream), but every
+    // backward return must be among the findings.
+    EXPECT_GE(speculative.repair.violations, speculative.backward_returns);
+    EXPECT_DOUBLE_EQ(speculative.repair.repaired_makespan_us, 1e6);
+    // Speculation inflated the observed timeline (chain tasks claimed
+    // after the long task's commit start at clock 1e6); repair undoes it.
+    EXPECT_GT(speculative.repair.observed_makespan_us, 1e6);
+    EXPECT_LT(speculative.repair.repaired_makespan_us,
+              speculative.repair.observed_makespan_us);
+  }
+  EXPECT_TRUE(saw_speculation)
+      << "no optimistic misordering in 10 attempts of a scenario built to "
+         "speculate the long task past both chains";
+}
+
+TEST(Lookahead, RepairIsAFixedPointOnCleanTraces) {
+  const ChainScenario strict = run_chain(LookaheadMode::off, 0.0);
+  EXPECT_EQ(strict.backward_returns, 0u);
+  EXPECT_EQ(strict.repair.violations, 0u);
+  EXPECT_EQ(strict.repair.unrepaired, 0u);
+  EXPECT_DOUBLE_EQ(strict.repair.repaired_makespan_us,
+                   strict.repair.observed_makespan_us);
+}
+
+TEST(TaskExecQueue, CancelledWaiterRecordsDistinctFlightEvent) {
+  flightrec::FlightRecorder& recorder = flightrec::FlightRecorder::global();
+  recorder.enable(1 << 10);
+  TaskExecQueue queue;
+  const TaskExecQueue::Ticket front = queue.enter(1.0);
+  const TaskExecQueue::Ticket blocked = queue.enter(2.0);
+
+  std::thread waiter([&] {
+    EXPECT_THROW(queue.wait_front(blocked), SimulationStalled);
+  });
+  // Let the waiter park, then cancel: it must unwind with a teq_cancelled
+  // event carrying its ticket seq, distinct from any normal return.  (If
+  // the cancel wins the race the waiter takes the fast cancelled path —
+  // the event is recorded either way.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.cancel("test cancellation");
+  waiter.join();
+  // A post-cancel wait (not parked) records the event too.
+  EXPECT_THROW(queue.wait_front(front), SimulationStalled);
+  recorder.disable();
+
+  const flightrec::Stream stream = recorder.drain();
+  std::vector<std::uint64_t> cancelled_seqs;
+  for (const flightrec::Event& event : stream.events) {
+    if (event.type == flightrec::EventType::teq_cancelled) {
+      cancelled_seqs.push_back(event.other);
+    }
+  }
+  ASSERT_EQ(cancelled_seqs.size(), 2u);
+  EXPECT_TRUE(std::count(cancelled_seqs.begin(), cancelled_seqs.end(),
+                         blocked.seq));
+  EXPECT_TRUE(std::count(cancelled_seqs.begin(), cancelled_seqs.end(),
+                         front.seq));
+}
+
+}  // namespace
+}  // namespace tasksim::sim

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Concatenate BENCH_*.json documents into one perf-trajectory table.
+
+CI uploads one BENCH_<name>.json artifact per perf benchmark (TEQ wakeup
+accounting, §V-E race accuracy, simulator overhead, sweep fleet
+throughput, lookahead ablation).  This tool flattens whichever subset of
+those documents exists into a single markdown table — one row per
+(benchmark, cell, headline metric) — so the CI job summary shows the
+whole perf trajectory of the commit at a glance and regressions are
+visible without downloading artifacts.
+
+Usage:  bench_trend.py BENCH_teq.json BENCH_lookahead.json ...
+        bench_trend.py BENCH_*.json >> "$GITHUB_STEP_SUMMARY"
+
+Unknown schemas degrade to a generic rendering of their numeric fields
+rather than failing: the trajectory must keep printing when a new
+benchmark lands before this tool learns its schema.
+"""
+
+import json
+import sys
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def rows_teq(doc):
+    # tasksim-bench-teq-v1 is a merge wrapper: a micro document (contended /
+    # uncontended counters) plus the ablation's per-cell accounting.
+    for sub in doc.get("documents", [doc]):
+        if "contended" in sub:
+            for cell in ("uncontended", "contended"):
+                stats = sub.get(cell)
+                if stats:
+                    yield ("teq-micro", cell, "wakeups/completion",
+                           fmt(stats["wakeups_per_completion"]))
+        for cell in sub.get("cells", []):
+            name = f"{cell['scheduler']}/{cell['mitigation']}"
+            yield ("teq", name, "wakeups/completion",
+                   fmt(cell["teq"]["wakeups_per_completion"]))
+            yield ("teq", name, "worker wakeups/task",
+                   fmt(cell["worker_wakeups_per_task"]))
+
+
+def rows_race(doc):
+    for cell in doc.get("cells", []):
+        name = f"{cell['scheduler']}/{cell['mitigation']}"
+        # No pipes in cell text — it breaks the markdown table.
+        yield ("race", name, "mean abs err %",
+               fmt(cell["mean_abs_error_pct"]))
+        yield ("race", name, "start-order tau",
+               fmt(cell["mean_start_order_tau"]))
+
+
+def rows_overhead(doc):
+    for cell in doc.get("cells", []):
+        name = f"{cell['scheduler']}/{cell['mitigation']}"
+        yield ("overhead", name, "sim wall / real wall",
+               fmt(cell["wall_over_real"]))
+
+
+def rows_lookahead(doc):
+    for cell in doc.get("cells", []):
+        name = (f"{cell['scheduler']}/{cell['workers']}w/"
+                f"{cell['mode']}-{cell['lookahead_us']:g}")
+        yield ("lookahead", name, "speedup", fmt(cell["speedup"]))
+        yield ("lookahead", name, "error %", fmt(cell["error_pct"]))
+
+
+def rows_sweep(doc):
+    yield ("sweep", "fleet", "speedup", fmt(doc["speedup"]))
+    fleet = doc.get("sweep", {}).get("fleet", {})
+    if "makespan_us" in fleet:
+        yield ("sweep", "fleet", "p95 makespan us",
+               fmt(fleet["makespan_us"]["p95"]))
+
+
+def rows_generic(doc, label):
+    # Fallback: surface every top-level scalar so new schemas still show up.
+    for key, value in doc.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield (label, "-", key, fmt(value))
+
+
+RENDERERS = {
+    "tasksim-bench-teq-v1": rows_teq,
+    "tasksim-bench-race-v1": rows_race,
+    "tasksim-bench-overhead-v1": rows_overhead,
+    "tasksim-bench-lookahead-v1": rows_lookahead,
+    "tasksim-bench-sweep-v1": rows_sweep,
+}
+
+
+def main(argv):
+    paths = [a for a in argv[1:] if not a.startswith("-")]
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rows = []
+    for path in paths:
+        try:
+            doc = json.load(open(path))
+        except (OSError, ValueError) as err:
+            print(f"warning: skipping {path}: {err}", file=sys.stderr)
+            continue
+        schema = doc.get("schema", "?")
+        renderer = RENDERERS.get(schema)
+        if renderer is not None:
+            rows.extend(renderer(doc))
+        else:
+            rows.extend(rows_generic(doc, schema))
+    if not rows:
+        print("no bench cells found", file=sys.stderr)
+        return 1
+    print("### Perf trajectory")
+    print()
+    print("| benchmark | cell | metric | value |")
+    print("| --- | --- | --- | --- |")
+    for bench, cell, metric, value in rows:
+        print(f"| {bench} | {cell} | {metric} | {value} |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
