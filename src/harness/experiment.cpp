@@ -67,6 +67,12 @@ void ExperimentConfig::validate() const {
   TS_REQUIRE(std::isfinite(lookahead_us) && lookahead_us >= 0.0,
              "lookahead_us must be finite and non-negative, got " +
                  std::to_string(lookahead_us));
+  TS_REQUIRE(std::isfinite(deadline_us) && deadline_us >= 0.0,
+             "deadline_us must be finite and non-negative, got " +
+                 std::to_string(deadline_us));
+  TS_REQUIRE(deadline_mode == sched::DeadlineMode::off || deadline_us > 0.0,
+             "deadline_mode requires a positive deadline_us");
+  hedging.validate();
   if (faults) faults->validate();
 }
 
@@ -110,6 +116,7 @@ sched::RuntimeConfig runtime_config(const ExperimentConfig& config,
       real_execution && config.workers > hardware_threads();
   rc.max_task_retries = config.max_task_retries;
   rc.failure_mode = config.failure_mode;
+  rc.cp_priority = config.cp_priority;
   if (!real_execution && config.faults) {
     rc.dispatch_delay_us = config.faults->dispatch_delay_us;
     rc.bookkeeping_delay_us = config.faults->bookkeeping_delay_us;
@@ -289,6 +296,9 @@ RunResult run_simulated(const ExperimentConfig& config,
   engine_options.seed = config.seed ^ 0x5157ULL;
   engine_options.lookahead_mode = config.lookahead_mode;
   engine_options.lookahead_us = config.lookahead_us;
+  engine_options.hedging = config.hedging;
+  engine_options.deadline_us = config.deadline_us;
+  engine_options.deadline_mode = config.deadline_mode;
   std::optional<sim::FaultPlan> plan;
   if (config.faults) {
     plan.emplace(*config.faults);
@@ -357,6 +367,11 @@ RunResult run_simulated(const ExperimentConfig& config,
   result.timeline = engine.trace();
   result.tasks = engine.executed_tasks();
   result.quiescence_timeouts = engine.quiescence_timeouts();
+  result.hedges_launched = engine.hedges_launched();
+  result.hedges_won = engine.hedges_won();
+  result.hedges_cancelled = engine.hedges_cancelled();
+  result.hedge_wasted_us = engine.hedge_wasted_us();
+  result.deadline_breaches = engine.deadline_breaches();
   if (engine.lookahead_enabled()) {
     result.lookahead_releases = engine.released_tasks();
     result.lookahead_horizon_blocks = engine.horizon_blocks();

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "linalg/tile_matrix.hpp"
+#include "sched/hedging.hpp"
 #include "sched/runtime.hpp"
 #include "sim/calibration.hpp"
 #include "sim/fault_injection.hpp"
@@ -100,6 +101,18 @@ struct ExperimentConfig {
   /// degenerates to off regardless of mode.
   sim::LookaheadMode lookahead_mode = sim::LookaheadMode::off;
   double lookahead_us = 0.0;
+  /// Straggler hedging for simulated runs (DESIGN.md §12): when enabled the
+  /// engine duplicates any attempt whose virtual span exceeds a per-kernel
+  /// quantile-based trigger; first completion wins and the loser is
+  /// cancelled through the TEQ without committing virtual time.
+  sched::HedgeConfig hedging;
+  /// Per-task virtual-time deadline for simulated runs; 0 = no deadline
+  /// (see SimEngineOptions::deadline_us / deadline_mode).
+  double deadline_us = 0.0;
+  sched::DeadlineMode deadline_mode = sched::DeadlineMode::off;
+  /// Critical-path-first dispatch: priority = longest known dependence
+  /// depth at submission (see RuntimeConfig::cp_priority).
+  bool cp_priority = false;
 
   /// Validate the numeric fields (throws InvalidArgument on nonsense:
   /// non-positive sizes, negative timeouts, out-of-range probabilities).
@@ -141,6 +154,14 @@ struct RunResult {
   std::uint64_t lookahead_violations = 0;
   std::uint64_t lookahead_unrepaired = 0;
   double repaired_makespan_us = 0.0;
+  /// Hedging / deadline statistics (simulated runs; all zero when the
+  /// resilience layer is off).  Post-drain, hedges_cancelled ==
+  /// hedges_launched: every duplicate leaves the TEQ without committing.
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedges_won = 0;
+  std::uint64_t hedges_cancelled = 0;
+  std::uint64_t hedge_wasted_us = 0;  ///< duplicate virtual µs thrown away
+  std::uint64_t deadline_breaches = 0;
 };
 
 /// Algorithm flop count for the configured problem size.

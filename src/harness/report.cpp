@@ -222,7 +222,13 @@ std::string run_result_json(const ExperimentConfig& config,
      << ",\"tasks\":" << result.tasks
      << ",\"quiescence_timeouts\":" << result.quiescence_timeouts
      << ",\"failed_attempts\":" << result.failed_attempts
-     << ",\"retries\":" << result.retries << ",\"profile\":"
+     << ",\"retries\":" << result.retries
+     << ",\"hedges_launched\":" << result.hedges_launched
+     << ",\"hedges_won\":" << result.hedges_won
+     << ",\"hedges_cancelled\":" << result.hedges_cancelled
+     << ",\"hedge_wasted_us\":" << result.hedge_wasted_us
+     << ",\"deadline_breaches\":" << result.deadline_breaches
+     << ",\"profile\":"
      << (result.profile ? result.profile->to_json() : std::string("null"))
      << ",\"comparison\":"
      << (result.comparison ? comparison_json(*result.comparison)

@@ -73,7 +73,8 @@ bool DependencyTracker::register_task(
     // authoritatively) at its on_complete; for an already-finished one this
     // link-time fold is the only chance — the dependence itself is dead.
     task->virtual_floor_us =
-        std::max(task->virtual_floor_us, pred->virtual_end_us);
+        std::max(task->virtual_floor_us,
+                 pred->virtual_end_us.load(std::memory_order_acquire));
     if (add_dependence(pred, task) && new_predecessors != nullptr) {
       new_predecessors->push_back(pred);
     }
@@ -124,7 +125,8 @@ void DependencyTracker::on_complete(TaskRecord* task,
       succ->poisoned.store(true, std::memory_order_relaxed);
     }
     succ->virtual_floor_us =
-        std::max(succ->virtual_floor_us, task->virtual_end_us);
+        std::max(succ->virtual_floor_us,
+                 task->virtual_end_us.load(std::memory_order_acquire));
     const int remaining =
         succ->remaining_deps.fetch_sub(1, std::memory_order_relaxed) - 1;
     TS_ASSERT(remaining >= 0, "dependence count underflow");

@@ -8,6 +8,13 @@
 
 namespace tasksim::sched {
 
+TaskId Runtime::spawn_auxiliary(TaskDescriptor desc, int origin_lane) {
+  (void)desc;
+  (void)origin_lane;
+  throw InvalidArgument("runtime '" + name() +
+                        "' does not support auxiliary tasks");
+}
+
 const char* to_string(FailureMode mode) {
   switch (mode) {
     case FailureMode::abort: return "abort";

@@ -1,0 +1,68 @@
+#include "sched/hedging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tasksim::sched {
+
+const char* to_string(DeadlineMode mode) {
+  switch (mode) {
+    case DeadlineMode::off:
+      return "off";
+    case DeadlineMode::abort:
+      return "abort";
+    case DeadlineMode::poison:
+      return "poison";
+    case DeadlineMode::hedge:
+      return "hedge";
+  }
+  return "?";
+}
+
+DeadlineMode parse_deadline_mode(const std::string& text) {
+  const std::string lower = to_lower(text);
+  if (lower == "off") return DeadlineMode::off;
+  if (lower == "abort") return DeadlineMode::abort;
+  if (lower == "poison") return DeadlineMode::poison;
+  if (lower == "hedge") return DeadlineMode::hedge;
+  throw InvalidArgument("unknown deadline mode: '" + text +
+                        "' (valid: off, abort, poison, hedge)");
+}
+
+void HedgeConfig::validate() const {
+  TS_REQUIRE(quantile > 0.0 && quantile < 1.0,
+             "hedge quantile must be in (0, 1)");
+  TS_REQUIRE(margin >= 1.0 && std::isfinite(margin),
+             "hedge margin must be a finite factor >= 1");
+  TS_REQUIRE(threshold_samples > 0,
+             "hedge threshold sample count must be positive");
+}
+
+void HedgeThresholds::set(const std::string& kernel, double trigger_us) {
+  TS_REQUIRE(std::isfinite(trigger_us) && trigger_us >= 0.0,
+             "hedge trigger for '" + kernel +
+                 "' must be a non-negative finite duration");
+  triggers_[kernel] = trigger_us;
+}
+
+double HedgeThresholds::trigger_for(const std::string& kernel) const {
+  const auto it = triggers_.find(kernel);
+  return it == triggers_.end() ? -1.0 : it->second;
+}
+
+double hedge_trigger_from_samples(std::vector<double> samples,
+                                  double quantile, double margin) {
+  if (samples.empty()) return -1.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = quantile * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  const double q = samples[lo] + frac * (samples[hi] - samples[lo]);
+  return q * margin;
+}
+
+}  // namespace tasksim::sched

@@ -1,0 +1,96 @@
+// hedging.hpp — straggler hedging and virtual-time deadlines (DESIGN.md §12).
+//
+// The tail-resilience policy layer shared by the simulation engine and the
+// harness.  Hedging launches a duplicate attempt for a task whose virtual
+// elapsed time exceeds a per-kernel quantile trigger; the first completion
+// wins and the loser is cancelled cooperatively through a HedgeToken
+// threaded into the Task Execution Queue (wait_front_cancellable).  The
+// hedge state machine:
+//
+//   running ──(span > trigger)──> hedged: winner interval committed by the
+//     ORIGINAL attempt (fixed roles: the original entered the TEQ first, so
+//     at the tied completion key it is always ahead of the duplicate and
+//     always performs the §V-C commit); the DUPLICATE occupies another lane
+//     for [dup_start, winner_end], waits cancellably behind the original,
+//     and always leaves without committing once the token is set.
+//
+// The token is set (release) by every commit path — strict, optimistic,
+// and the CompletionGovernor's deferred replay — strictly *before* the
+// winner's queue leave, so the duplicate can never observe itself at the
+// front with the token unset (the leave that promotes it orders the token
+// store first).
+//
+// Deadlines are pure virtual-time budgets: a task whose committed span
+// would exceed `deadline_us` is truncated at the deadline and fails with
+// DeadlineExceeded; DeadlineMode picks what that failure means.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tasksim::sched {
+
+/// What a virtual-time deadline breach does.
+enum class DeadlineMode : std::uint8_t {
+  off,     ///< deadlines not enforced
+  abort,   ///< truncate + poison + fail the whole run (fatal)
+  poison,  ///< truncate + poison the task's successor subtree
+  hedge,   ///< hedge-on-breach: the deadline acts as (an upper bound on)
+           ///< the hedge trigger instead of killing the task
+};
+
+const char* to_string(DeadlineMode mode);
+
+/// Parse "off" / "abort" / "poison" / "hedge"; anything else throws
+/// InvalidArgument with the enumerated options.
+DeadlineMode parse_deadline_mode(const std::string& text);
+
+/// Hedging knobs (forwarded from ExperimentConfig into SimEngineOptions).
+struct HedgeConfig {
+  bool enabled = false;
+  /// Per-kernel trigger = quantile of the kernel's *clean* duration model…
+  double quantile = 0.95;
+  /// …times this slack factor (> 1 keeps ordinary draws from hedging).
+  double margin = 1.5;
+  /// Model draws per kernel used to estimate the quantile at engine
+  /// construction (fixed seed: thresholds are run-independent).
+  int threshold_samples = 512;
+
+  void validate() const;
+};
+
+/// Cooperative cancellation token shared by a hedged pair.  `committed` is
+/// set (release) by the winner's commit path strictly before its queue
+/// leave; the duplicate polls it through wait_front_cancellable and leaves
+/// without committing as soon as it is set.
+struct HedgeToken {
+  std::atomic<bool> committed{false};
+};
+
+/// Per-kernel hedge triggers (virtual µs of elapsed kernel time after
+/// which a duplicate is launched).  Built once at engine construction;
+/// read-only afterwards, so lookups are safe from any worker.
+class HedgeThresholds {
+ public:
+  void set(const std::string& kernel, double trigger_us);
+
+  /// Trigger for `kernel`, or a negative value when the kernel has no
+  /// threshold (never hedge it).
+  double trigger_for(const std::string& kernel) const;
+
+  bool empty() const { return triggers_.empty(); }
+
+ private:
+  std::unordered_map<std::string, double> triggers_;
+};
+
+/// Quantile-times-margin trigger from a sample set (sorts a copy; linear
+/// interpolation between order statistics).  Empty samples yield -1
+/// (no threshold).
+double hedge_trigger_from_samples(std::vector<double> samples,
+                                  double quantile, double margin);
+
+}  // namespace tasksim::sched

@@ -88,6 +88,22 @@ class Runtime {
     return false;
   }
 
+  // --- auxiliary tasks (straggler hedging, DESIGN.md §12) ---------------
+
+  /// True when this runtime can accept spawn_auxiliary() calls from inside
+  /// a running task body.  The simulation engine checks this *before*
+  /// deciding to hedge, so an unsupported runtime simply never hedges.
+  virtual bool supports_auxiliary_tasks() const { return false; }
+
+  /// Inject an auxiliary (dependency-free) task from a worker thread while
+  /// the runtime is live — the hedge-duplicate path.  Unlike submit(), this
+  /// is thread-safe, bypasses the task window and the dependency tracker,
+  /// and prefers placing the task on a lane other than `origin_lane` (the
+  /// hedged original's lane).  The auxiliary task counts toward wait_all's
+  /// pending total.  Runtimes that do not support auxiliary tasks throw
+  /// InvalidArgument.
+  virtual TaskId spawn_auxiliary(TaskDescriptor desc, int origin_lane);
+
   // --- fault-injection statistics (since the last wait_all) -------------
   // Zero for runtimes without failure-aware completion.
 
@@ -154,6 +170,12 @@ struct RuntimeConfig {
   /// completion bookkeeping runs — stretches the window in which a
   /// finished task still counts as running.  Debug/ablation knob; 0 = off.
   double bookkeeping_delay_us = 0.0;
+  /// Critical-path-first priority: at submit time each task's priority is
+  /// raised to 1 + max(predecessor priority), so deeper chains (longer
+  /// remaining critical paths under a unit-depth heuristic) are preferred
+  /// by priority-aware ready pools.  Explicit TaskDescriptor::priority
+  /// values still win when larger.  Off by default.
+  bool cp_priority = false;
 };
 
 }  // namespace tasksim::sched

@@ -127,6 +127,10 @@ void RuntimeBase::stop_workers() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  // Exception-path safety net: wait_all normally joins these at the
+  // barrier.  An auxiliary task blocked in the TEQ here is woken by the
+  // queue cancellation that accompanies every abort path.
+  join_auxiliary_threads();
 }
 
 bool RuntimeBase::try_wake_lane(int lane) {
@@ -214,18 +218,145 @@ TaskId RuntimeBase::submit(TaskDescriptor desc) {
   // Collect the live predecessors only when someone will consume them: the
   // extra vector costs a few allocations per task otherwise.
   const bool want_edges = fr.enabled() || !observers_.empty();
+  const bool want_preds = want_edges || config_.cp_priority;
   std::vector<TaskRecord*> predecessors;
   const bool ready_now =
-      tracker_.register_task(task, want_edges ? &predecessors : nullptr);
-  for (TaskRecord* pred : predecessors) {
-    fr.record(flightrec::EventType::dep_edge, task->id, -1, 0.0, 0.0,
-              pred->id);
-    for (TaskObserver* obs : observers_) obs->on_dependence(pred->id, task->id);
+      tracker_.register_task(task, want_preds ? &predecessors : nullptr);
+  if (config_.cp_priority) {
+    // Critical-path-first heuristic: depth = 1 + max predecessor depth,
+    // folded into the priority the ready pools order by.  Predecessors were
+    // all submitted earlier on this thread, so their priorities are final.
+    // Already-finished predecessors are not in the list — their chains no
+    // longer constrain the schedule, so skipping them only sharpens the
+    // heuristic.
+    int depth = 0;
+    for (const TaskRecord* pred : predecessors) {
+      depth = std::max(depth, pred->desc.priority + 1);
+    }
+    task->desc.priority = std::max(task->desc.priority, depth);
+  }
+  if (want_edges) {
+    for (TaskRecord* pred : predecessors) {
+      fr.record(flightrec::EventType::dep_edge, task->id, -1, 0.0, 0.0,
+                pred->id);
+      for (TaskObserver* obs : observers_) {
+        obs->on_dependence(pred->id, task->id);
+      }
+    }
   }
   if (ready_now) {
     make_ready(task, task->desc.locality_hint);
   }
   return task->id;
+}
+
+TaskId RuntimeBase::spawn_auxiliary(TaskDescriptor desc, int origin_lane) {
+  TS_REQUIRE(static_cast<bool>(desc.function),
+             "auxiliary task without a function");
+  tasks_submitted_.inc();
+  const TaskId id = next_aux_id_.fetch_add(1, std::memory_order_relaxed);
+
+  flightrec::FlightRecorder& fr = telemetry_->recorder();
+  if (fr.enabled()) {
+    fr.name_task(id, desc.kernel);
+    fr.record(flightrec::EventType::task_submit, id, origin_lane);
+  }
+  // observers_ is only mutated at barriers (pending_ > 0 here since the
+  // spawning task is itself pending), so reading it unlocked is safe —
+  // same argument as the worker execute path.
+  for (TaskObserver* obs : observers_) obs->on_submit(id, desc);
+
+  // Label the duplicate with a lane other than the spawner's — the hedged
+  // original occupies that one for the duration of the race.  The label is
+  // where the duplicate's events and virtual occupancy land; the body runs
+  // on its own thread (see the spawn_auxiliary contract in the header: a
+  // duplicate parked on a pool lane would starve the lane pool and break
+  // the quiescence discipline's ready-task-implies-idle-lane assumption).
+  int lane = desc.locality_hint;
+  if (lane < 0) {
+    lane = config_.workers > 1 ? (origin_lane + 1) % config_.workers
+                               : origin_lane;
+  }
+
+  // pending_ rises before the thread exists, so its decrement can never
+  // underflow; the window predicate (pending_ < window_size) counts the
+  // duplicate as in-flight work like any other task.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++pending_;
+  }
+  std::thread runner([this, id, lane, fn = std::move(desc)]() mutable {
+    run_auxiliary(std::move(fn), id, lane);
+  });
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    aux_threads_.push_back(std::move(runner));
+  }
+  return id;
+}
+
+void RuntimeBase::run_auxiliary(TaskDescriptor desc, TaskId id, int lane) {
+  // Same context inheritance as worker_loop: metrics and flight events from
+  // this thread land in the owning engine's context.  Joined (wait_all or
+  // stop_workers) before the runtime — and the context — is destroyed.
+  telemetry::TelemetryScope telemetry_scope(*telemetry_);
+  flightrec::FlightRecorder& fr = telemetry_->recorder();
+  fr.record(flightrec::EventType::task_ready, id);
+  fr.record(flightrec::EventType::task_dispatch, id, lane);
+
+  const double start_wall = wall_time_us();
+  const double start_cpu = thread_cpu_time_us();
+  fr.record(flightrec::EventType::task_start, id, lane);
+  for (TaskObserver* obs : observers_) obs->on_ready(id);
+  for (TaskObserver* obs : observers_) {
+    obs->on_start(id, desc.kernel, lane, start_wall, start_cpu);
+  }
+
+  TaskContext ctx{id, lane, this};
+  try {
+    desc.function(ctx);
+  } catch (...) {
+    // Watchdog cancellation (SimulationStalled) or a bug in the auxiliary
+    // body: remember the first fatal error — wait_all() rethrows it after
+    // the drain, exactly as for a pool task.  No retry/poison machinery:
+    // auxiliary tasks have no successors and no retry budget.
+    record_fatal(std::current_exception());
+  }
+
+  const double end_wall = wall_time_us();
+  const double end_cpu = thread_cpu_time_us();
+  fr.record(flightrec::EventType::task_finish, id, lane);
+  for (TaskObserver* obs : observers_) {
+    obs->on_finish(id, desc.kernel, lane, start_wall, end_wall, start_cpu,
+                   end_cpu);
+  }
+  tasks_completed_.inc();
+
+  bool all_done = false;
+  bool window_reopened = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    TS_ASSERT(pending_ > 0, "auxiliary completion without a pending task");
+    --pending_;
+    all_done = pending_ == 0;
+    const std::size_t refill = std::max<std::size_t>(1, config_.window_refill);
+    window_reopened = config_.window_size > 0 &&
+                      submitter_waiting_.load(std::memory_order_relaxed) &&
+                      pending_ + refill <= config_.window_size;
+  }
+  if (all_done || window_reopened) done_cv_.notify_all();
+  if (all_done) wake_all_lanes();  // release a parked participating master
+}
+
+void RuntimeBase::join_auxiliary_threads() {
+  std::vector<std::thread> aux;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    aux.swap(aux_threads_);
+  }
+  for (std::thread& t : aux) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void RuntimeBase::make_ready(TaskRecord* task, int worker_hint) {
@@ -422,6 +553,15 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
               " attempts, retry budget " +
               std::to_string(config_.max_task_retries) + " exhausted")));
     }
+  } catch (const DeadlineExceeded& deadline) {
+    // Virtual-time deadline breach: the engine already truncated and
+    // committed the span at the deadline, so the timeline is consistent —
+    // but the task's output never materialized.  Never retried (the
+    // attempt consumed its whole deadline budget); poison the successor
+    // subtree, and under DeadlineMode::abort fail the run.
+    failed = true;
+    task->poisoned.store(true, std::memory_order_release);
+    if (deadline.fatal()) record_fatal(std::current_exception());
   } catch (...) {
     // Non-fault error (e.g. SimulationStalled from the watchdog, or a bug
     // in a kernel body): abort the run but keep draining so wait_all can
@@ -463,7 +603,10 @@ void RuntimeBase::execute_task(TaskRecord* task, int lane) {
 
   // Publish this task's virtual completion before the tracker walks its
   // successors: on_complete folds it into their floors under its lock.
-  task->virtual_end_us = std::max(task->virtual_end_us, ctx.virtual_end_us);
+  task->virtual_end_us.store(
+      std::max(task->virtual_end_us.load(std::memory_order_relaxed),
+               ctx.virtual_end_us),
+      std::memory_order_release);
 
   std::vector<TaskRecord*> released;
   tracker_.on_complete(task, released,
@@ -569,6 +712,9 @@ void RuntimeBase::wait_all() {
          bookkeeping_.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
+  // Auxiliary threads have all passed their pending_ decrement (pending_
+  // drained above), so these joins only wait out thread teardown.
+  join_auxiliary_threads();
   tracker_.reset();
   records_.clear();
 

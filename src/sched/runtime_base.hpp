@@ -72,6 +72,24 @@ class RuntimeBase : public Runtime {
     return submitter_waiting_.load(std::memory_order_acquire);
   }
 
+  bool supports_auxiliary_tasks() const final { return true; }
+
+  /// Thread-safe auxiliary-task injection (hedge duplicates, DESIGN.md
+  /// §12).  Unlike submit(), callable from worker threads while tasks are
+  /// in flight: ids come from a disjoint high range so they can never
+  /// collide with submission-ordered ids, and the task bypasses the task
+  /// window and the dependency tracker (it is dependency-free by
+  /// construction).  The body runs on a DEDICATED thread, not a pool
+  /// lane: a hedge duplicate parks inside the TEQ for its whole race, and
+  /// a parked duplicate sitting on a worker lane starves the lane pool —
+  /// every lane busy, ready real tasks unreachable — which breaks the
+  /// quiescence discipline's assumption that a ready-but-unclaimed task
+  /// implies an idle lane will claim it at the current clock (§V-E
+  /// inflated starts).  On its own thread the task is invisible to
+  /// running_/lane_executing_/ready accounting; it only counts toward
+  /// pending_, so wait_all() still drains (and joins) it.
+  TaskId spawn_auxiliary(TaskDescriptor desc, int origin_lane) final;
+
   /// Tasks executed per worker lane (index 0 is the master lane when
   /// master participation is on).  Snapshot; useful for the paper's
   /// core-0 observation in Figures 6-7.
@@ -171,6 +189,11 @@ class RuntimeBase : public Runtime {
   void wake_all_lanes();
 
   void worker_loop(int lane);
+  /// Body of one auxiliary task's dedicated thread: lifecycle events,
+  /// the task function, completion bookkeeping (pending_ decrement).
+  void run_auxiliary(TaskDescriptor desc, TaskId id, int lane);
+  /// Join every auxiliary thread spawned since the last barrier.
+  void join_auxiliary_threads();
   /// Atomically (w.r.t. the simulation-safety queries) pop a ready task
   /// and mark it running; nullptr when none available.  The dispatch
   /// window is covered by bookkeeping_in_flight so the simulation layer
@@ -194,6 +217,17 @@ class RuntimeBase : public Runtime {
   // Task records of the current generation (between wait_all barriers).
   std::vector<std::unique_ptr<TaskRecord>> records_;
   TaskId next_id_ = 0;
+
+  /// First auxiliary task id: the top quarter of the id space, unreachable
+  /// by submission-ordered ids, so aux ids are recognizable in traces and
+  /// can never collide with a real task.
+  static constexpr TaskId kAuxIdBase = TaskId{1} << 62;
+  /// Dedicated threads running auxiliary tasks (hedge duplicates), guarded
+  /// by state_mutex_ — they are spawned from worker threads.  Joined at the
+  /// wait_all barrier (after pending_ drains, so the joins never block on
+  /// simulated work) and in stop_workers as an exception-path safety net.
+  std::vector<std::thread> aux_threads_;
+  std::atomic<TaskId> next_aux_id_{kAuxIdBase};
 
   std::vector<TaskObserver*> observers_;
 

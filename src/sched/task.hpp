@@ -80,13 +80,18 @@ struct TaskRecord {
   /// own retry budget ran out or a poisoned producer propagated to it.
   std::atomic<int> attempts{0};
   std::atomic<bool> poisoned{false};
-  /// Simulation lookahead support, both maintained under the dependency
-  /// tracker's lock: the max virtual completion over producers seen so far
-  /// (folded at link time for already-finished producers and again at each
-  /// producer's on_complete), and this task's own virtual completion
-  /// (copied from TaskContext::virtual_end_us before on_complete).
+  /// Simulation lookahead support.  The runnable floor (max virtual
+  /// completion over producers seen so far) is maintained under the
+  /// dependency tracker's lock: folded at link time for already-finished
+  /// producers and again at each producer's on_complete.
   double virtual_floor_us = 0.0;
-  double virtual_end_us = 0.0;
+  /// This task's own virtual completion, published by the owning worker
+  /// (release) just before on_complete.  Atomic because a submitter may
+  /// read it at link time while the producer is still running — that read
+  /// may legitimately see a stale value (the producer's on_complete fold
+  /// is authoritative for live dependences); atomicity only keeps it from
+  /// being torn.
+  std::atomic<double> virtual_end_us{0.0};
 };
 
 }  // namespace tasksim::sched

@@ -36,6 +36,7 @@ void validate_rule(const std::string& kernel, const KernelFaultRule& rule) {
              "stall must be a non-negative finite duration" + where);
   TS_REQUIRE(rule.stall_probability >= 0.0 && rule.stall_probability <= 1.0,
              "stall probability must be in [0, 1]" + where);
+  validate_tail_rule(kernel, rule.tail);
 }
 
 }  // namespace
@@ -103,6 +104,21 @@ FaultDecision FaultPlan::decide(const std::string& kernel,
     }
   }
 
+  // Heavy-tail straggling applies per attempt (a retried attempt can
+  // straggle independently).  The straggle coin and the magnitude draw use
+  // distinct salts so tuning the probability never changes which magnitude
+  // a straggling attempt gets.
+  if (rule->tail.active()) {
+    const std::uint64_t h =
+        hash(kernel, ordinal, 0x7A11ULL + static_cast<std::uint64_t>(attempt));
+    if (uniform01(h) < rule->tail.probability) {
+      decision.tail_multiplier = sample_tail_multiplier(
+          rule->tail,
+          hash(kernel, ordinal,
+               0x7A1FULL + static_cast<std::uint64_t>(attempt)));
+    }
+  }
+
   // Failures apply to first attempts only: a retry models re-running the
   // kernel after the transient fault cleared.
   if (attempt == 0) {
@@ -152,6 +168,34 @@ FaultPlanConfig parse_fault_spec(const std::string& spec) {
                "fault spec entry '" + trimmed +
                    "' is not of the form <kernel>:<key>=<value>,...");
     const std::string kernel = trim(trimmed.substr(0, colon));
+    if (kernel == "@plan") {
+      // Plan-wide knobs, not a kernel rule.
+      for (const std::string& assignment :
+           split(trimmed.substr(colon + 1), ',')) {
+        const auto eq = assignment.find('=');
+        TS_REQUIRE(eq != std::string::npos,
+                   "fault spec assignment '" + assignment +
+                       "' is not of the form <key>=<value>");
+        const std::string k = trim(assignment.substr(0, eq));
+        const std::string value = trim(assignment.substr(eq + 1));
+        if (k == "backoff") {
+          config.retry_backoff_us = parse_double(value);
+          TS_REQUIRE(config.retry_backoff_us >= 0.0 &&
+                         std::isfinite(config.retry_backoff_us),
+                     "@plan backoff must be a non-negative finite duration");
+        } else if (k == "backoffcap") {
+          config.retry_backoff_cap_us = parse_double(value);
+          TS_REQUIRE(
+              config.retry_backoff_cap_us >= 0.0 &&
+                  std::isfinite(config.retry_backoff_cap_us),
+              "@plan backoffcap must be a non-negative finite duration");
+        } else {
+          throw InvalidArgument("unknown @plan spec key '" + k +
+                                "' (valid: backoff, backoffcap)");
+        }
+      }
+      continue;
+    }
     KernelFaultRule rule;
     for (const std::string& assignment :
          split(trimmed.substr(colon + 1), ',')) {
@@ -173,9 +217,18 @@ FaultPlanConfig parse_fault_spec(const std::string& spec) {
         rule.stall_us = parse_double(value);
       } else if (k == "stallp") {
         rule.stall_probability = parse_double(value);
+      } else if (k == "tailp") {
+        rule.tail.probability = parse_double(value);
+      } else if (k == "tailmult") {
+        rule.tail.multiplier = parse_double(value);
+      } else if (k == "taildist") {
+        rule.tail.distribution = parse_tail_distribution(value);
+      } else if (k == "tailshape") {
+        rule.tail.shape = parse_double(value);
       } else {
         throw InvalidArgument("unknown fault spec key '" + k +
-                              "' (valid: p, nth, frac, stall, stallp)");
+                              "' (valid: p, nth, frac, stall, stallp, "
+                              "tailp, tailmult, taildist, tailshape)");
       }
     }
     // A stall rule with a stall duration but no explicit probability means

@@ -27,6 +27,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "sim/tail_injection.hpp"
+
 namespace tasksim::sim {
 
 /// Fault behaviour for one kernel class (or the "*" wildcard).
@@ -44,6 +46,8 @@ struct KernelFaultRule {
   double stall_us = 0.0;
   /// …with this probability per attempt.
   double stall_probability = 0.0;
+  /// Heavy-tail virtual-duration inflation (straggler injection).
+  TailRule tail;
 };
 
 struct FaultPlanConfig {
@@ -69,6 +73,10 @@ struct FaultDecision {
   bool fail = false;
   double progress_fraction = 1.0;  ///< meaningful when fail
   double stall_us = 0.0;           ///< real-time stall before executing
+  /// Virtual-duration inflation factor (1 = no straggle; always >= 1).
+  double tail_multiplier = 1.0;
+
+  bool straggles() const { return tail_multiplier > 1.0; }
 };
 
 class FaultPlan {
@@ -114,12 +122,19 @@ class FaultPlan {
 
 /// Parse a fault spec string:
 ///
-///   "gemm:p=0.05,frac=0.5;*:nth=100,stall=200,stallp=0.1"
+///   spec    := entry (';' entry)*
+///   entry   := <kernel> ':' <key>=<value> (',' <key>=<value>)*
+///            | '@plan' ':' <key>=<value> (',' <key>=<value>)*
+///   e.g. "gemm:p=0.05,frac=0.5;*:nth=100,tailp=0.05,tailmult=20,
+///         taildist=lognormal,tailshape=0.5;@plan:backoff=50,backoffcap=1e4"
 ///
-/// Semicolon-separated per-kernel entries; each is `<kernel>:<k>=<v>,...`
-/// with keys p (fail_probability), nth (fail_every_nth), frac
-/// (progress_fraction), stall (stall_us), stallp (stall_probability).
-/// The kernel "*" is the wildcard rule.  The result is validated.
+/// Per-kernel keys: p (fail_probability), nth (fail_every_nth), frac
+/// (progress_fraction), stall (stall_us), stallp (stall_probability),
+/// tailp (tail.probability), tailmult (tail.multiplier, finite >= 1),
+/// taildist (lognormal | pareto), tailshape (tail.shape).  The kernel "*"
+/// is the wildcard rule.  The reserved entry "@plan" sets plan-wide knobs:
+/// backoff (retry_backoff_us), backoffcap (retry_backoff_cap_us) — both
+/// rejected when non-finite or negative.  The result is validated.
 FaultPlanConfig parse_fault_spec(const std::string& spec);
 
 }  // namespace tasksim::sim

@@ -26,12 +26,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "sched/hedging.hpp"
 #include "sched/task.hpp"
 #include "trace/lifecycle.hpp"
 
@@ -61,6 +63,11 @@ class CompletionGovernor {
     double start_us = 0.0;
     double end_us = 0.0;  ///< == the TEQ ticket's completion time
     std::string kernel;
+    /// Cancellation token of this task's hedge duplicate (null when the
+    /// task was not hedged).  The deferred committer stores it (release)
+    /// strictly before the zombie's leave(), preserving the winner's
+    /// token-before-promotion ordering on the deferred path too.
+    std::shared_ptr<sched::HedgeToken> hedge;
   };
 
   /// Register a released task's commit payload.  Must happen *before* the

@@ -4,8 +4,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 #include <sstream>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "sched/runtime.hpp"
 #include "support/error.hpp"
@@ -15,6 +19,21 @@
 #include "support/timing.hpp"
 
 namespace tasksim::sim {
+
+namespace {
+
+// Same construction as the fault plan's kernel hash (fault_injection.cpp);
+// duplicated locally so the hedge stream exists even without a fault plan.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 const char* to_string(RaceMitigation mitigation) {
   switch (mitigation) {
@@ -51,12 +70,22 @@ SimEngine::SimEngine(const KernelModelSet& models, SimEngineOptions options)
       watchdog_stalls_(metrics::counter("sim.watchdog.stalls")),
       releases_(metrics::counter("sim.lookahead.releases")),
       horizon_blocks_(metrics::counter("sim.lookahead.horizon_blocks")),
+      hedge_launched_(metrics::counter("sim.hedge.launched")),
+      hedge_won_(metrics::counter("sim.hedge.won")),
+      hedge_cancelled_(metrics::counter("sim.hedge.cancelled")),
+      hedge_wasted_us_(metrics::counter("sim.hedge.wasted_us")),
+      deadline_breaches_(metrics::counter("sim.deadline.breaches")),
       executed_base_(executed_.value()),
       quiescence_timeouts_base_(quiescence_timeouts_.value()),
       fault_failures_base_(fault_failures_.value()),
       fault_stalls_base_(fault_stalls_.value()),
       releases_base_(releases_.value()),
-      horizon_blocks_base_(horizon_blocks_.value()) {
+      horizon_blocks_base_(horizon_blocks_.value()),
+      hedge_launched_base_(hedge_launched_.value()),
+      hedge_won_base_(hedge_won_.value()),
+      hedge_cancelled_base_(hedge_cancelled_.value()),
+      hedge_wasted_us_base_(hedge_wasted_us_.value()),
+      deadline_breaches_base_(deadline_breaches_.value()) {
   TS_REQUIRE(options_.sleep_us >= 0.0, "sleep_us must be non-negative");
   TS_REQUIRE(options_.quiescence_timeout_us >= 0.0,
              "quiescence_timeout_us must be non-negative");
@@ -78,6 +107,26 @@ SimEngine::SimEngine(const KernelModelSet& models, SimEngineOptions options)
   lookahead_on_ = options_.lookahead_mode != LookaheadMode::off &&
                   options_.lookahead_us > 0.0;
   if (lookahead_on_) queue_.set_lookahead(options_.lookahead_us);
+  TS_REQUIRE(options_.deadline_us >= 0.0 && std::isfinite(options_.deadline_us),
+             "deadline_us must be a non-negative finite duration");
+  if (options_.hedging.enabled) {
+    options_.hedging.validate();
+    // Per-kernel triggers from the clean (un-inflated) duration models.
+    // Fixed seed: thresholds are a property of the models, identical
+    // across runs and engines regardless of the engine seed.
+    Rng threshold_rng(0x7123ab1eULL);
+    for (const std::string& name : models_.kernel_names()) {
+      std::vector<double> samples(
+          static_cast<std::size_t>(options_.hedging.threshold_samples));
+      for (double& s : samples) {
+        s = models_.sample(name, threshold_rng, options_.min_duration_us);
+      }
+      const double trigger = sched::hedge_trigger_from_samples(
+          std::move(samples), options_.hedging.quantile,
+          options_.hedging.margin);
+      if (trigger >= 0.0) hedge_thresholds_.set(name, trigger);
+    }
+  }
   trace_.set_label("simulated");
   if (options_.watchdog_timeout_us > 0.0) start_watchdog();
 }
@@ -89,6 +138,21 @@ std::uint64_t SimEngine::register_submission(const std::string& kernel) {
   // const_cast-free: ordinal assignment mutates the plan, which the
   // harness owns; engines hold it const for decide()/sample_seed().
   return const_cast<FaultPlan*>(options_.faults)->register_submission(kernel);
+}
+
+std::uint64_t SimEngine::hedge_seed(const std::string& kernel,
+                                    sched::TaskId task, int attempt) const {
+  // SplitMix64 chain over (engine seed, kernel, task, attempt) — the same
+  // shape as FaultPlan::hash but keyed by task id and a hedge-only salt,
+  // so the duplicate's draw is independent of every fault-plan stream.
+  std::uint64_t state = options_.seed;
+  splitmix64(state);
+  state ^= fnv1a(kernel);
+  splitmix64(state);
+  state ^= task;
+  splitmix64(state);
+  state ^= 0x4ED6EULL + static_cast<std::uint64_t>(attempt);
+  return splitmix64(state);
 }
 
 void SimEngine::start_watchdog() {
@@ -213,12 +277,19 @@ bool SimEngine::scheduler_safe(const sched::TaskContext& ctx) const {
 
 std::size_t SimEngine::live_queue_size() const {
   const std::size_t total = queue_.size();
-  const std::size_t pending = governor_.pending_count();
   // A payload registers momentarily before its queue entry is marked
   // released, so `pending` can transiently exceed the zombies actually in
-  // the queue; clamping errs toward a smaller live count, which only makes
-  // the safety predicates stricter.
-  return total > pending ? total - pending : 0;
+  // the queue; likewise hedge_tickets_ rises before the duplicate's enter
+  // and falls after its leave.  Both clamp toward a smaller live count,
+  // which only makes the safety predicates stricter.  Hedge duplicates
+  // must not count at all: their tickets hold completion-order slots but
+  // no pool lane, so to the scheduler-state predicates they are neither
+  // blocked executors nor running tasks.
+  const std::size_t off =
+      governor_.pending_count() +
+      static_cast<std::size_t>(
+          std::max(0, hedge_tickets_.load(std::memory_order_acquire)));
+  return total > off ? total - off : 0;
 }
 
 bool SimEngine::release_safe(const sched::TaskContext& ctx) const {
@@ -287,6 +358,12 @@ bool SimEngine::commit_pending_releases(const sched::TaskContext* ctx,
     executed_.inc();
     fr.record(flightrec::EventType::task_return, pc.task, pc.worker,
               pc.end_us);
+    // A hedged task's cancellation token is set strictly before the leave
+    // that can promote its duplicate — the same ordering the inline commit
+    // paths guarantee.
+    if (pc.hedge != nullptr) {
+      pc.hedge->committed.store(true, std::memory_order_release);
+    }
     queue_.leave(TaskExecQueue::Ticket{pc.end_us, front});
     any = true;
   }
@@ -432,24 +509,106 @@ double SimEngine::execute(sched::TaskContext& ctx,
     duration = source->sample(kernel, rng_, options_.min_duration_us);
   }
 
+  // Heavy-tail inflation (deterministic, from the fault plan): a straggling
+  // attempt's clean draw is multiplied, so the quantile trigger built from
+  // the clean models detects exactly the inflated attempts.
+  if (decision.straggles()) duration *= decision.tail_multiplier;
+
   // Retry attempts pay the exponential virtual-time backoff penalty, and a
   // failed attempt only progresses a fraction of its sampled duration
   // before dying; both are part of the virtual span committed to the TEQ.
   const double backoff = plan_active ? plan->backoff_us(ctx.attempt) : 0.0;
   const double progress =
       decision.fail ? duration * decision.progress_fraction : duration;
-  const double virtual_span = backoff + progress;
+  double virtual_span = backoff + progress;
+
+  // Virtual-time deadline (abort/poison modes): truncate the span at the
+  // deadline; the truncated interval commits through the normal paths, so
+  // the timeline stays §V-E consistent, and DeadlineExceeded is thrown
+  // after the commit.  A breach overrides an injected failure — the
+  // deadline fired first on the virtual timeline.  DeadlineMode::hedge
+  // instead caps the hedge trigger below.
+  bool deadline_breached = false;
+  if ((options_.deadline_mode == sched::DeadlineMode::abort ||
+       options_.deadline_mode == sched::DeadlineMode::poison) &&
+      options_.deadline_us > 0.0 && virtual_span > options_.deadline_us) {
+    deadline_breached = true;
+    virtual_span = options_.deadline_us;
+  }
   const double end = start + virtual_span;
+
+  // Straggler hedging (DESIGN.md §12): when this span overruns the
+  // kernel's quantile trigger, race a duplicate attempt on another lane
+  // and commit the winner interval [start, min(end, duplicate end)].
+  // Failed attempts are not hedged (the retry machinery owns them), nor
+  // are deadline-truncated ones (already capped), nor any task on a
+  // runtime without auxiliary-task support.
+  std::shared_ptr<sched::HedgeToken> hedge_token;
+  double dup_start = 0.0;
+  double commit_end = end;
+  if (!decision.fail && !deadline_breached && ctx.runtime != nullptr &&
+      ctx.runtime->supports_auxiliary_tasks()) {
+    double trigger = options_.hedging.enabled
+                         ? hedge_thresholds_.trigger_for(base_kernel)
+                         : -1.0;
+    if (options_.deadline_mode == sched::DeadlineMode::hedge &&
+        options_.deadline_us > 0.0) {
+      trigger = trigger < 0.0 ? options_.deadline_us
+                              : std::min(trigger, options_.deadline_us);
+    }
+    if (trigger >= 0.0 && virtual_span > backoff + trigger) {
+      // The duplicate starts the moment the straggle is detectable
+      // (trigger µs into the attempt) and draws a fresh clean-model
+      // duration from its own deterministic stream.
+      dup_start = start + backoff + trigger;
+      Rng dup_rng(hedge_seed(kernel, ctx.id, ctx.attempt));
+      const double dup_duration =
+          models_.sample(kernel, dup_rng, options_.min_duration_us);
+      commit_end = std::min(end, dup_start + dup_duration);
+      hedge_token = std::make_shared<sched::HedgeToken>();
+    }
+  }
 
   // 3. Enter the Task Execution Queue and wait to become the front.  The
   // failed attempt travels the same path as a success: its partial
   // progress must be committed to the virtual timeline in completion
   // order, or the retry would be scheduled against a corrupted clock.
-  const TaskExecQueue::Ticket ticket = queue_.enter(end);
+  // A hedged task enters at the *winner* completion — and does so before
+  // spawning the duplicate, so its ticket is strictly ahead of the
+  // duplicate's at the tied key and the fixed-role protocol holds: the
+  // original always commits, the duplicate always cancels.
+  const TaskExecQueue::Ticket ticket = queue_.enter(commit_end);
   bool released = false;
   try {
-    fr.record(flightrec::EventType::teq_enter, ctx.id, ctx.worker, start, end,
-              ticket.seq);
+    fr.record(flightrec::EventType::teq_enter, ctx.id, ctx.worker, start,
+              commit_end, ticket.seq);
+
+    if (hedge_token != nullptr) {
+      hedge_launched_.inc();
+      const double wasted = commit_end - dup_start;
+      hedge_wasted_us_.inc(
+          static_cast<std::uint64_t>(std::llround(std::max(0.0, wasted))));
+      sched::TaskDescriptor dup;
+      dup.kernel = base_kernel + "!hedge";
+      dup.function = [this, dup_start, winner_end = commit_end,
+                      token = hedge_token,
+                      original = ctx.id](sched::TaskContext& dup_ctx) {
+        execute_hedge_duplicate(dup_ctx, dup_start, winner_end, token,
+                                original);
+      };
+      const sched::TaskId dup_id =
+          ctx.runtime->spawn_auxiliary(std::move(dup), ctx.worker);
+      // hedge_launch doubles as the duplicate's submission floor for the
+      // §V-E auditor: the duplicate legitimately materializes mid-run at
+      // dup_start, not at the stream's submit horizon.
+      fr.record(flightrec::EventType::hedge_launch, dup_id, ctx.worker,
+                dup_start, commit_end, ctx.id);
+      if (commit_end < end) {
+        hedge_won_.inc();
+        fr.record(flightrec::EventType::hedge_win, ctx.id, ctx.worker,
+                  commit_end, wasted, dup_id);
+      }
+    }
 
     if (lookahead_on_ &&
         options_.lookahead_mode == LookaheadMode::conservative) {
@@ -473,7 +632,7 @@ double SimEngine::execute(sched::TaskContext& ctx,
     }
     if (!released) {
       fr.record(flightrec::EventType::teq_front, ctx.id, ctx.worker, start,
-                end, ticket.seq);
+                commit_end, ticket.seq);
 
       if (options_.mitigation == RaceMitigation::quiescence) {
         // The poll's own exclusive time is the predicate + yield cost; the
@@ -488,10 +647,10 @@ double SimEngine::execute(sched::TaskContext& ctx,
             if (waited > options_.quiescence_timeout_us) {
               quiescence_timeouts_.inc();
               fr.record(flightrec::EventType::quiescence_timeout, ctx.id,
-                        ctx.worker, end, waited);
+                        ctx.worker, commit_end, waited);
               TS_LOG_WARN << "quiescence wait timed out for kernel " << kernel
                           << " (task " << ctx.id << ", virtual completion "
-                          << end << " us, waited " << waited << " us)";
+                          << commit_end << " us, waited " << waited << " us)";
               timed_out = true;
               break;
             }
@@ -532,8 +691,8 @@ double SimEngine::execute(sched::TaskContext& ctx,
     }
     if (released) {
       releases_.inc();
-      fr.record(flightrec::EventType::teq_release, ctx.id, ctx.worker, end,
-                clock_.now(), ticket.seq);
+      fr.record(flightrec::EventType::teq_release, ctx.id, ctx.worker,
+                commit_end, clock_.now(), ticket.seq);
     }
   } catch (...) {
     // Cancelled while waiting (watchdog): release the slot so the other
@@ -544,7 +703,16 @@ double SimEngine::execute(sched::TaskContext& ctx,
 
   // The virtual completion travels back through the runtime's task record
   // into successors' floors (and, on failure, into the retry's floor).
-  ctx.virtual_end_us = end;
+  // For a hedged task this is the *winner* completion: successors observe
+  // whichever attempt finished first.
+  ctx.virtual_end_us = commit_end;
+
+  std::string label = kernel;
+  if (deadline_breached) {
+    label += "!deadline";
+  } else if (decision.fail) {
+    label += "!failed";
+  }
 
   if (!released ||
       options_.lookahead_mode == LookaheadMode::optimistic) {
@@ -553,16 +721,24 @@ double SimEngine::execute(sched::TaskContext& ctx,
     // An optimistic release commits here too — immediately and out of
     // completion order; the flight recorder captures the resulting §V-E
     // misordering for the post-run audit and repair.
-    trace_.record(ctx.id, decision.fail ? kernel + "!failed" : kernel,
-                  ctx.worker, start, end);
-    fr.record(flightrec::EventType::clock_advance, ctx.id, ctx.worker, end);
-    clock_.advance_to(end);
+    trace_.record(ctx.id, label, ctx.worker, start, commit_end);
+    fr.record(flightrec::EventType::clock_advance, ctx.id, ctx.worker,
+              commit_end);
+    clock_.advance_to(commit_end);
     executed_.inc();
     // task_return is recorded while this task still owns the queue front
     // (strict path), so the returns appear in the recorder in the order
     // the task functions actually returned — the ordering the race
     // auditor checks.
-    fr.record(flightrec::EventType::task_return, ctx.id, ctx.worker, end);
+    fr.record(flightrec::EventType::task_return, ctx.id, ctx.worker,
+              commit_end);
+    // The duplicate's cancellation token is set strictly before the leave
+    // that can promote it: a duplicate observing itself at the front is
+    // therefore guaranteed to observe the token too (the front_seq acquire
+    // synchronizes with this thread's release publication in leave()).
+    if (hedge_token != nullptr) {
+      hedge_token->committed.store(true, std::memory_order_release);
+    }
     queue_.leave(ticket);
     // The leave may promote a zombie to the front, but this thread must
     // NOT drain it: its own return bookkeeping is still pending, and that
@@ -586,8 +762,9 @@ double SimEngine::execute(sched::TaskContext& ctx,
     pending.task = ctx.id;
     pending.worker = ctx.worker;
     pending.start_us = start;
-    pending.end_us = end;
-    pending.kernel = decision.fail ? kernel + "!failed" : kernel;
+    pending.end_us = commit_end;
+    pending.kernel = std::move(label);
+    pending.hedge = hedge_token;
     governor_.defer(ticket.seq, std::move(pending));
     // Even when the release mark makes this entry the new front, the
     // commit is left for a thread with finished bookkeeping (see the
@@ -596,6 +773,17 @@ double SimEngine::execute(sched::TaskContext& ctx,
     queue_.mark_released(ticket);
   }
 
+  if (deadline_breached) {
+    deadline_breaches_.inc();
+    fr.record(flightrec::EventType::deadline_breach, ctx.id, ctx.worker,
+              options_.deadline_us, commit_end);
+    throw DeadlineExceeded(
+        ctx.id, options_.deadline_us, commit_end,
+        options_.deadline_mode == sched::DeadlineMode::abort,
+        "task " + std::to_string(ctx.id) + " (" + base_kernel +
+            ") exceeded its virtual-time deadline of " +
+            std::to_string(options_.deadline_us) + " us");
+  }
   if (decision.fail) {
     fault_failures_.inc();
     throw TaskFailure(ctx.id, ctx.attempt,
@@ -604,6 +792,116 @@ double SimEngine::execute(sched::TaskContext& ctx,
                           std::to_string(ctx.attempt));
   }
   return virtual_span;
+}
+
+void SimEngine::execute_hedge_duplicate(
+    sched::TaskContext& ctx, double dup_start, double winner_end,
+    std::shared_ptr<sched::HedgeToken> token, sched::TaskId original) {
+  flightrec::FlightRecorder& fr = telemetry_->recorder();
+
+  struct InFlight {
+    std::atomic<int>& count;
+    explicit InFlight(std::atomic<int>& c) : count(c) {
+      count.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~InFlight() { count.fetch_sub(1, std::memory_order_acq_rel); }
+  } in_flight_guard(in_flight_);
+
+  if (stalled_.load(std::memory_order_acquire)) {
+    throw SimulationStalled(
+        telemetry_->describe() + ": simulation cancelled by the watchdog",
+        "see the stall report on the first failure");
+  }
+
+  // The duplicate never commits anything, on any path: the original owns
+  // the winner interval [start, winner_end], and this attempt's only
+  // timeline footprint is the lane it occupies for [dup_start, winner_end].
+  // Its ticket (entered at the winner completion, strictly after the
+  // original's) holds that occupancy in completion order until the
+  // original's commit promotes-and-cancels it.
+  ctx.virtual_end_us = winner_end;
+
+  if (token->committed.load(std::memory_order_acquire)) {
+    // The original committed before this duplicate even dispatched (e.g.
+    // every lane was busy until after the winner's return).  Skip the
+    // queue entirely — entering would add a zombie-like entry nobody
+    // needs — but still count the cancellation: launched == cancelled is
+    // the ticket-leak-freedom invariant.
+    fr.record(flightrec::EventType::hedge_cancel, ctx.id, ctx.worker,
+              winner_end, 0.0, original);
+    hedge_cancelled_.inc();
+    return;
+  }
+
+  // Count the ticket BEFORE entering: between the increment and the enter
+  // the live count transiently undershoots, which is the strict direction
+  // (the reverse order would let a committer count the duplicate as a
+  // blocked executor for a moment — the exact bug the subtraction fixes).
+  hedge_tickets_.fetch_add(1, std::memory_order_acq_rel);
+  TaskExecQueue::Ticket ticket;
+  try {
+    ticket = queue_.enter(winner_end);
+  } catch (...) {
+    hedge_tickets_.fetch_sub(1, std::memory_order_acq_rel);
+    throw;
+  }
+  try {
+    fr.record(flightrec::EventType::teq_enter, ctx.id, ctx.worker, dup_start,
+              winner_end, ticket.seq);
+    if (lookahead_on_ &&
+        options_.lookahead_mode == LookaheadMode::conservative) {
+      commit_pending_releases(&ctx, /*self_in_queue=*/true);
+    }
+    for (;;) {
+      const TaskExecQueue::CancellableWait outcome =
+          queue_.wait_front_cancellable(ticket, token->committed);
+      if (outcome == TaskExecQueue::CancellableWait::cancelled) break;
+      if (outcome == TaskExecQueue::CancellableWait::front) {
+        // Reaching the front means the original already left — and it set
+        // the token strictly before that leave, so the acquire on the
+        // published front makes the token store visible here.  (The
+        // lock-free fast path alone could read a stale token *before* the
+        // front check; this ordered re-check closes that window.)
+        if (queue_.cancelled()) queue_.wait_front(ticket);  // throws
+        TS_ASSERT(token->committed.load(std::memory_order_acquire),
+                  "hedge duplicate reached the queue front before its "
+                  "winner committed");
+        break;
+      }
+      // front_blocked: the front is a released zombie awaiting its commit
+      // and this waiter is the designated drain driver — same contract as
+      // acquire_front_or_release, plus the token as an extra exit.
+      TS_PROF_SCOPE(lookahead_check);
+      const double wait_start = wall_time_us();
+      for (;;) {
+        if (commit_pending_releases(&ctx, /*self_in_queue=*/true)) break;
+        if (queue_.cancelled()) queue_.wait_front(ticket);  // throws
+        if (token->committed.load(std::memory_order_acquire)) break;
+        if (queue_.front_seq() == ticket.seq) break;
+        const double waited = wall_time_us() - wait_start;
+        if (waited > options_.quiescence_timeout_us) {
+          quiescence_timeouts_.inc();
+          fr.record(flightrec::EventType::quiescence_timeout, ctx.id,
+                    ctx.worker, winner_end, waited);
+          commit_pending_releases(&ctx, /*self_in_queue=*/true,
+                                  /*force=*/true);
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+    fr.record(flightrec::EventType::hedge_cancel, ctx.id, ctx.worker,
+              winner_end, 0.0, original);
+    hedge_cancelled_.inc();
+    queue_.leave(ticket);
+    hedge_tickets_.fetch_sub(1, std::memory_order_acq_rel);
+  } catch (...) {
+    // Cancelled while waiting (watchdog): release the slot so the other
+    // waiters' front checks stay meaningful during the drain.
+    queue_.leave(ticket);
+    hedge_tickets_.fetch_sub(1, std::memory_order_acq_rel);
+    throw;
+  }
 }
 
 void SimEngine::reset() {
@@ -622,6 +920,11 @@ void SimEngine::reset() {
   fault_stalls_base_ = fault_stalls_.value();
   releases_base_ = releases_.value();
   horizon_blocks_base_ = horizon_blocks_.value();
+  hedge_launched_base_ = hedge_launched_.value();
+  hedge_won_base_ = hedge_won_.value();
+  hedge_cancelled_base_ = hedge_cancelled_.value();
+  hedge_wasted_us_base_ = hedge_wasted_us_.value();
+  deadline_breaches_base_ = deadline_breaches_.value();
   warmed_up_.clear();
   // Re-arm after a watchdog cancellation so the engine is reusable, and —
   // unconditionally — restart the TEQ ticket sequence so back-to-back runs

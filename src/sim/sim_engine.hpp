@@ -33,6 +33,7 @@
 #include <string>
 #include <utility>
 
+#include "sched/hedging.hpp"
 #include "sched/task.hpp"
 #include "sim/fault_injection.hpp"
 #include "sim/kernel_model.hpp"
@@ -93,6 +94,19 @@ struct SimEngineOptions {
   /// bit.
   LookaheadMode lookahead_mode = LookaheadMode::off;
   double lookahead_us = 0.0;
+  /// Straggler hedging (DESIGN.md §12).  When enabled, per-kernel triggers
+  /// are built at construction from the *clean* duration models (quantile ×
+  /// margin over threshold_samples fixed-seed draws); a task whose virtual
+  /// span exceeds its trigger races a duplicate attempt on another lane.
+  /// Requires a runtime that supports_auxiliary_tasks(); others never
+  /// hedge.
+  sched::HedgeConfig hedging;
+  /// Per-task virtual-time deadline in µs (0 = no deadlines).  A task whose
+  /// virtual span would exceed it is truncated at the deadline and handled
+  /// per deadline_mode: abort/poison throw DeadlineExceeded (never
+  /// retried); hedge instead caps the hedge trigger at the deadline.
+  double deadline_us = 0.0;
+  sched::DeadlineMode deadline_mode = sched::DeadlineMode::off;
 };
 
 class SimEngine {
@@ -155,6 +169,30 @@ class SimEngine {
   }
   std::uint64_t fault_stalls() const {
     return fault_stalls_.value() - fault_stalls_base_;
+  }
+
+  /// Hedging / deadline telemetry (same baseline convention as
+  /// executed_tasks()).  After a drained run, hedges_cancelled ==
+  /// hedges_launched: every duplicate left its ticket exactly once —
+  /// the ticket-leak-freedom invariant the tests assert.
+  std::uint64_t hedges_launched() const {
+    return hedge_launched_.value() - hedge_launched_base_;
+  }
+  /// Hedge races the duplicate won (its completion beat the original's).
+  std::uint64_t hedges_won() const {
+    return hedge_won_.value() - hedge_won_base_;
+  }
+  std::uint64_t hedges_cancelled() const {
+    return hedge_cancelled_.value() - hedge_cancelled_base_;
+  }
+  /// Duplicate lane-occupancy that duplicated work already done elsewhere,
+  /// in rounded virtual µs (winner_end − dup_start per hedge: exactly one
+  /// of the two racing attempts is useful).
+  std::uint64_t hedge_wasted_us() const {
+    return hedge_wasted_us_.value() - hedge_wasted_us_base_;
+  }
+  std::uint64_t deadline_breaches() const {
+    return deadline_breaches_.value() - deadline_breaches_base_;
   }
 
   /// Lookahead telemetry (same baseline convention as executed_tasks()).
@@ -228,6 +266,21 @@ class SimEngine {
   /// true when the wait ended in an early release (false = front).
   bool acquire_front_or_release(sched::TaskContext& ctx,
                                 const TaskExecQueue::Ticket& ticket);
+  /// The duplicate attempt's simulated body (DESIGN.md §12).  Enters the
+  /// TEQ at the winner completion (strictly after the original, so it sits
+  /// behind it at the tied key), waits cancellably on `token`, and always
+  /// leaves without committing any virtual time — the original owns the
+  /// winner interval on every path.  `winner_end` doubles as the
+  /// duplicate's ticket completion.
+  void execute_hedge_duplicate(sched::TaskContext& ctx, double dup_start,
+                               double winner_end,
+                               std::shared_ptr<sched::HedgeToken> token,
+                               sched::TaskId original);
+  /// Deterministic per-(kernel, task, attempt) stream seed for the
+  /// duplicate's clean-model duration draw.  Deliberately independent of
+  /// the fault plan: the duplicate models a re-run that dodged the tail.
+  std::uint64_t hedge_seed(const std::string& kernel, sched::TaskId task,
+                           int attempt) const;
   void start_watchdog();
   void on_stall(const StallReport& report);
   /// Real-time sleep in small steps, aborting early when the watchdog
@@ -248,6 +301,8 @@ class SimEngine {
   std::atomic<bool> submission_open_{false};
   /// Ledger of conservatively released, not-yet-committed tasks.
   CompletionGovernor governor_;
+  /// Per-kernel hedge triggers, built at construction (read-only after).
+  sched::HedgeThresholds hedge_thresholds_;
   /// options_.lookahead_mode != off && options_.lookahead_us > 0, resolved
   /// once at construction.
   bool lookahead_on_ = false;
@@ -257,6 +312,12 @@ class SimEngine {
   /// Simulated bodies currently inside execute() (keeps the watchdog's
   /// activity gate honest for tasks stalled before entering the queue).
   std::atomic<int> in_flight_{0};
+  /// Hedge-duplicate tickets currently in the TEQ.  A duplicate holds a
+  /// completion-order slot but no pool lane (it runs on a dedicated
+  /// thread, see RuntimeBase::spawn_auxiliary), so live_queue_size()
+  /// subtracts these: counting them would let the all-executors-blocked
+  /// shortcut fire while idle lanes and ready tasks exist.
+  std::atomic<int> hedge_tickets_{0};
 
   // Instrumentation (the context's metrics registry; see DESIGN.md §2 and
   // §10).  The *_base_ values anchor the per-engine accessors above.
@@ -271,12 +332,22 @@ class SimEngine {
   metrics::Counter releases_;             ///< sim.lookahead.releases
   metrics::Counter horizon_blocks_;       ///< sim.lookahead.horizon_blocks
                                           ///< (incremented by the TEQ)
+  metrics::Counter hedge_launched_;       ///< sim.hedge.launched
+  metrics::Counter hedge_won_;            ///< sim.hedge.won
+  metrics::Counter hedge_cancelled_;      ///< sim.hedge.cancelled
+  metrics::Counter hedge_wasted_us_;      ///< sim.hedge.wasted_us
+  metrics::Counter deadline_breaches_;    ///< sim.deadline.breaches
   std::uint64_t executed_base_ = 0;
   std::uint64_t quiescence_timeouts_base_ = 0;
   std::uint64_t fault_failures_base_ = 0;
   std::uint64_t fault_stalls_base_ = 0;
   std::uint64_t releases_base_ = 0;
   std::uint64_t horizon_blocks_base_ = 0;
+  std::uint64_t hedge_launched_base_ = 0;
+  std::uint64_t hedge_won_base_ = 0;
+  std::uint64_t hedge_cancelled_base_ = 0;
+  std::uint64_t hedge_wasted_us_base_ = 0;
+  std::uint64_t deadline_breaches_base_ = 0;
 };
 
 }  // namespace tasksim::sim

@@ -1,0 +1,67 @@
+#include "sim/tail_injection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace tasksim::sim {
+
+const char* to_string(TailDistribution dist) {
+  switch (dist) {
+    case TailDistribution::lognormal:
+      return "lognormal";
+    case TailDistribution::pareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+TailDistribution parse_tail_distribution(const std::string& text) {
+  if (text == "lognormal") return TailDistribution::lognormal;
+  if (text == "pareto") return TailDistribution::pareto;
+  throw InvalidArgument("unknown tail distribution '" + text +
+                        "' (valid: lognormal, pareto)");
+}
+
+void validate_tail_rule(const std::string& kernel, const TailRule& rule) {
+  const std::string where = " (tail rule for '" + kernel + "')";
+  TS_REQUIRE(rule.probability >= 0.0 && rule.probability <= 1.0,
+             "tail probability must be in [0, 1]" + where);
+  TS_REQUIRE(std::isfinite(rule.multiplier) && rule.multiplier >= 1.0,
+             "tail multiplier must be a finite factor >= 1" + where);
+  TS_REQUIRE(std::isfinite(rule.shape) && rule.shape >= 0.0,
+             "tail shape must be a non-negative finite number" + where);
+  if (rule.distribution == TailDistribution::pareto) {
+    TS_REQUIRE(rule.shape > 0.0,
+               "pareto tail requires shape (alpha) > 0" + where);
+  }
+}
+
+double sample_tail_multiplier(const TailRule& rule,
+                              std::uint64_t magnitude_hash) {
+  // The hash seeds a private stream: the polar Box-Muller in Rng::normal
+  // consumes a variable number of uniforms, which a single-hash construction
+  // could not supply.  The stream is derived only from the hash, so the
+  // draw stays a pure function of (seed, kernel, ordinal, attempt).
+  double mult = rule.multiplier;
+  switch (rule.distribution) {
+    case TailDistribution::lognormal: {
+      if (rule.shape > 0.0) {
+        Rng rng(magnitude_hash);
+        mult *= std::exp(rule.shape * rng.normal());
+      }
+      break;
+    }
+    case TailDistribution::pareto: {
+      Rng rng(magnitude_hash);
+      const double u = rng.uniform();  // in [0, 1): 1 - u never hits 0
+      mult *= std::pow(1.0 - u, -1.0 / rule.shape);
+      break;
+    }
+  }
+  return std::max(mult, 1.0);
+}
+
+}  // namespace tasksim::sim

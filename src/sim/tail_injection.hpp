@@ -1,0 +1,63 @@
+// tail_injection.hpp — deterministic heavy-tail virtual-duration inflation.
+//
+// Production schedulers live or die on the *tail*: one straggling task on
+// the critical path dominates end-to-end latency.  A TailRule inflates the
+// sampled virtual duration of a straggling attempt by a multiplicative
+// factor drawn from a heavy-tailed distribution (lognormal or bounded-shape
+// Pareto).  Both the "does this attempt straggle" coin and the magnitude
+// draw are pure functions of hashes supplied by the FaultPlan — the same
+// (seed, kernel, ordinal, attempt) hashing discipline as failures and
+// stalls — so tail injection is independent of thread interleaving: the
+// same seed straggles the same attempts by the same factors in every run.
+//
+// The multiplier is clamped to >= 1: tail injection only ever *inflates*
+// durations, so a clean run is always a lower bound on a tailed one and
+// "recovered inflation" is well defined for the hedging ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tasksim::sim {
+
+/// Magnitude distribution for straggler inflation factors.
+enum class TailDistribution {
+  /// multiplier * exp(shape * z), z ~ N(0,1).  shape = 0 degenerates to a
+  /// deterministic `multiplier` inflation (useful for exact-math tests).
+  lognormal,
+  /// multiplier * (1 - u)^(-1/shape), u ~ U[0,1); requires shape > 0.
+  pareto,
+};
+
+const char* to_string(TailDistribution dist);
+
+/// Parse "lognormal" | "pareto"; anything else throws InvalidArgument with
+/// the enumerated options.
+TailDistribution parse_tail_distribution(const std::string& text);
+
+/// Heavy-tail inflation behaviour for one kernel class.  Inactive by
+/// default (probability 0): no draw is made and the attempt runs at its
+/// sampled duration.
+struct TailRule {
+  /// Probability that an attempt straggles.
+  double probability = 0.0;
+  /// Base inflation factor applied to a straggling attempt (>= 1).
+  double multiplier = 1.0;
+  TailDistribution distribution = TailDistribution::lognormal;
+  /// Dispersion: lognormal sigma (>= 0) or Pareto alpha (> 0).
+  double shape = 0.0;
+
+  bool active() const { return probability > 0.0; }
+};
+
+/// TS_REQUIRE every field of `rule` into its documented domain; `kernel`
+/// names the rule in the error message.
+void validate_tail_rule(const std::string& kernel, const TailRule& rule);
+
+/// Inflation factor for a straggling attempt: a deterministic function of
+/// `magnitude_hash` (a full-entropy 64-bit hash, e.g. FaultPlan::hash with
+/// the tail-magnitude salt).  Always >= 1.
+double sample_tail_multiplier(const TailRule& rule,
+                              std::uint64_t magnitude_hash);
+
+}  // namespace tasksim::sim

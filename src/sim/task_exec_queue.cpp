@@ -250,6 +250,86 @@ TaskExecQueue::WaitOutcome TaskExecQueue::wait_front_or_release_slow(
   }
 }
 
+TaskExecQueue::CancellableWait TaskExecQueue::wait_front_cancellable(
+    const Ticket& ticket, const std::atomic<bool>& token) const {
+  require_finite(ticket.completion_us);
+  // The token check precedes the front check even on the fast path: a
+  // hedge duplicate whose winner already committed must never read "front"
+  // as a licence to commit a second span for the same task.
+  if (token.load(std::memory_order_acquire)) {
+    return CancellableWait::cancelled;
+  }
+  if (!cancelled_flag_.load(std::memory_order_acquire) &&
+      front_seq_.load(std::memory_order_acquire) == ticket.seq) {
+    return CancellableWait::front;
+  }
+  return wait_front_cancellable_slow(ticket, token);
+}
+
+TaskExecQueue::CancellableWait TaskExecQueue::wait_front_cancellable_slow(
+    const Ticket& ticket, const std::atomic<bool>& token) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key(ticket));
+  TS_REQUIRE(it != entries_.end(), "ticket not in queue");
+  prof::ScopedPhase prof_scope(prof::Phase::teq_wait);
+  ParkSlot slot;
+  bool parked = false;
+  double blocked_from = 0.0;
+  for (;;) {
+    if (cancelled_) {
+      it->second.slot = nullptr;
+      cancelled_wait_locked(ticket);
+    }
+    if (token.load(std::memory_order_acquire)) {
+      // Cancelled waits skip the wait_us observation: they are hedging
+      // losers, not queue-ordering waits, and their duration would pollute
+      // the sim.queue.wait_us distribution.
+      it->second.slot = nullptr;
+      return CancellableWait::cancelled;
+    }
+    const auto front_it = entries_.begin();
+    if (it == front_it) {
+      it->second.slot = nullptr;
+      if (parked) wait_us_.observe(wall_time_us() - blocked_from);
+      return CancellableWait::front;
+    }
+    if (front_it->second.released) {
+      // Parking behind an uncommitted zombie would deadlock — hand the
+      // commit-drain duty to the caller (same contract as
+      // wait_front_or_release).
+      it->second.slot = nullptr;
+      return CancellableWait::front_blocked;
+    }
+    if (!parked) {
+      parks_.inc();
+      parked = true;
+      blocked_from = wall_time_us();
+    }
+    slot.signaled.store(0, std::memory_order_relaxed);
+    it->second.slot = &slot;
+    lock.unlock();
+    {
+      TS_PROF_SCOPE(teq_park);
+      std::uint32_t observed = slot.signaled.load(std::memory_order_acquire);
+      while (observed == 0) {
+        slot.signaled.wait(0, std::memory_order_acquire);
+        observed = slot.signaled.load(std::memory_order_acquire);
+      }
+    }
+    lock.lock();
+    it->second.slot = nullptr;
+  }
+}
+
+void TaskExecQueue::kick(const Ticket& ticket) const {
+  require_finite(ticket.completion_us);
+  TS_PROF_SCOPE(teq_mutex);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key(ticket));
+  if (it == entries_.end()) return;  // already left — nothing to wake
+  unpark_locked(it->second.slot);
+}
+
 bool TaskExecQueue::mark_released(const Ticket& ticket) {
   require_finite(ticket.completion_us);
   TS_PROF_SCOPE(teq_mutex);

@@ -51,6 +51,15 @@ class TaskExecQueue {
                     ///< the caller should drive the engine's commit drain
   };
 
+  /// How a cancellable wait ended (see wait_front_cancellable).
+  enum class CancellableWait {
+    front,          ///< the ticket is the queue front — the caller commits
+    cancelled,      ///< the cancellation token was set — the caller must
+                    ///< leave() without committing any virtual time
+    front_blocked,  ///< the front is a released zombie awaiting its commit;
+                    ///< the caller should drive the engine's commit drain
+  };
+
   /// The lookahead release-grant predicate, evaluated *outside* the queue
   /// mutex (it inspects engine and scheduler state).
   using ReleaseGate = std::function<bool()>;
@@ -76,6 +85,27 @@ class TaskExecQueue {
   /// this is wait_front with a different return type.
   WaitOutcome wait_front_or_release(const Ticket& ticket,
                                     const ReleaseGate& gate) const;
+
+  /// Cooperative-cancellation wait (straggler hedging, DESIGN.md §12).
+  /// Blocks like wait_front, but re-checks `token` at every wake and
+  /// returns CancellableWait::cancelled as soon as it is set — without
+  /// committing anything; the caller must still leave().  The token check
+  /// wins over the front check: a cancelled ticket that reaches the front
+  /// must not be mistaken for a commit grant.  Returns front_blocked
+  /// instead of parking behind a released zombie front (the caller owns
+  /// the commit drain, exactly as in wait_front_or_release).  A parked
+  /// waiter whose token is set asynchronously is woken either by the
+  /// promotion that makes it the front (the engine's commit paths leave()
+  /// the winner ahead of it) or by an explicit kick().  Cancelled waits
+  /// skip the sim.queue.wait_us histogram.
+  CancellableWait wait_front_cancellable(
+      const Ticket& ticket, const std::atomic<bool>& token) const;
+
+  /// Unpark `ticket`'s waiter if it is currently parked (no-op otherwise,
+  /// including when the ticket already left).  Pair with an asynchronous
+  /// cancellation-token store to force a parked wait_front_cancellable to
+  /// re-check its token.
+  void kick(const Ticket& ticket) const;
 
   /// Mark `ticket`'s entry as released: its owner returned early and the
   /// entry stays behind as a zombie holding the task's place in completion
@@ -167,6 +197,8 @@ class TaskExecQueue {
   void wait_front_slow(const Ticket& ticket) const;
   WaitOutcome wait_front_or_release_slow(const Ticket& ticket,
                                          const ReleaseGate& gate) const;
+  CancellableWait wait_front_cancellable_slow(
+      const Ticket& ticket, const std::atomic<bool>& token) const;
 
   mutable std::mutex mutex_;
   /// Entries ordered by (completion_us, seq).  Mutable because registering

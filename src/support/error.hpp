@@ -57,6 +57,37 @@ class TaskFailure : public Error {
   int attempt_;
 };
 
+/// Thrown by a simulated task body when its committed virtual span exceeds
+/// the configured per-task deadline.  The SimEngine truncates the span at
+/// the deadline before throwing, so the committed timeline stays §V-E
+/// consistent; RuntimeBase::execute_task catches this, poisons the task's
+/// successor subtree, and — when `fatal()` (DeadlineMode::abort) — records
+/// the breach as the run's fatal error rethrown from wait_all.  Deadline
+/// breaches are never retried: the attempt already consumed its deadline
+/// budget on the virtual timeline.
+class DeadlineExceeded : public Error {
+ public:
+  DeadlineExceeded(std::uint64_t task_id, double deadline_us, double end_us,
+                   bool fatal, const std::string& what)
+      : Error(what),
+        task_id_(task_id),
+        deadline_us_(deadline_us),
+        end_us_(end_us),
+        fatal_(fatal) {}
+
+  std::uint64_t task_id() const { return task_id_; }
+  double deadline_us() const { return deadline_us_; }
+  double end_us() const { return end_us_; }
+  /// True under DeadlineMode::abort: the breach fails the whole run.
+  bool fatal() const { return fatal_; }
+
+ private:
+  std::uint64_t task_id_;
+  double deadline_us_;
+  double end_us_;
+  bool fatal_;
+};
+
 /// Thrown when the progress watchdog declares the simulation stalled: no
 /// beacon (virtual clock, TEQ front, completed/pending counts) moved for
 /// the configured window while work was still outstanding.  `report()`

@@ -34,6 +34,10 @@ const char* to_string(EventType type) {
     case EventType::fault_stall: return "fault_stall";
     case EventType::quiescence_timeout: return "quiescence_timeout";
     case EventType::watchdog_stall: return "watchdog_stall";
+    case EventType::hedge_launch: return "hedge_launch";
+    case EventType::hedge_win: return "hedge_win";
+    case EventType::hedge_cancel: return "hedge_cancel";
+    case EventType::deadline_breach: return "deadline_breach";
   }
   return "?";
 }

@@ -83,6 +83,18 @@ enum class EventType : std::uint8_t {
                      ///< the task was waiting to return, b = µs waited
   watchdog_stall,    ///< watchdog declared the run stalled; a = µs since
                      ///< the last beacon movement
+  // --- straggler hedging and deadlines (DESIGN.md §12) --------------------
+  hedge_launch,      ///< duplicate spawned for a straggling task: task =
+                     ///< duplicate id, a = duplicate virtual start, b =
+                     ///< winner virtual completion, other = original id
+  hedge_win,         ///< the duplicate's completion beat the original's:
+                     ///< task = original id, a = winner virtual completion,
+                     ///< b = wasted duplicate µs (virtual), other = dup id
+  hedge_cancel,      ///< duplicate cancelled without committing: a = the
+                     ///< winner completion its ticket carried, other =
+                     ///< original id
+  deadline_breach,   ///< virtual span exceeded the task deadline: a =
+                     ///< deadline µs, b = truncated virtual completion
 };
 
 const char* to_string(EventType type);

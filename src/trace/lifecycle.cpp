@@ -280,9 +280,29 @@ RaceAudit audit_races(const LifecycleLog& log) {
   };
   std::vector<SubmitRise> submit_rises;
   double submit_mark = 0.0;  // folded clock at the last submit/unblock
+  // Hedge duplicates (DESIGN.md §12) are submitted from a *worker* thread in
+  // the middle of the straggler's execution, so neither submission-side
+  // invariant applies to them: their submission is not driven by the
+  // submitter/window discipline (exempt from the rise check), and their
+  // true runnable floor is the virtual instant the hedge fired — the
+  // duplicate's virtual start carried by the hedge_launch record — not the
+  // folded clock at the wall moment of the spawn.  hedge_launch is recorded
+  // by the same thread immediately after the spawn, so it can trail the
+  // duplicate's task_submit in the stream; collect the floors up front.
+  std::unordered_map<std::uint64_t, double> hedge_floor;
+  for (const Event& e : log.events) {
+    if (e.type == EventType::hedge_launch) {
+      auto [it, inserted] = hedge_floor.emplace(e.task, e.a);
+      if (!inserted) it->second = std::min(it->second, e.a);
+    }
+  }
   for (const Event& e : log.events) {
     switch (e.type) {
       case EventType::task_submit:
+        if (auto hf = hedge_floor.find(e.task); hf != hedge_floor.end()) {
+          submit_floor.emplace(e.task, hf->second);
+          continue;  // no submit_mark / rise bookkeeping for duplicates
+        }
         if (floor_clock > submit_mark + eps) {
           submit_rises.push_back(
               SubmitRise{e.task, submit_mark, floor_clock, e.wall_us});

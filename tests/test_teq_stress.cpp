@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
@@ -208,6 +209,55 @@ TEST(TeqStress, DisplacementStormReleasesWaitersInOrder) {
   const auto snap = metrics::snapshot();
   EXPECT_GE(snap.counters.at("sim.queue.displacements"),
             disp_before + kStormTickets);
+}
+
+TEST(TeqStress, CancelWhileParkedStormReleasesEveryDuplicate) {
+  // Hedging's cancellation path under load (DESIGN.md §12): a cohort of
+  // waiters parks behind a pinned front inside wait_front_cancellable,
+  // then the "winner" sets every token and kicks the parked tickets.
+  // Every waiter must observe CancellableWait::cancelled — never front,
+  // the blocker owns it throughout — and leave; the queue must drain to
+  // empty afterwards (ticket-leak freedom, the invariant behind the
+  // engine's launched == cancelled gate).
+  TaskExecQueue q;
+  constexpr int kWaiters = 8;
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto blocker = q.enter(0.0);  // pins the front for the round
+    std::array<std::atomic<bool>, kWaiters> tokens{};
+    std::array<TaskExecQueue::Ticket, kWaiters> tickets{};
+    std::atomic<int> entered{0};
+    std::atomic<int> cancelled{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kWaiters; ++i) {
+      threads.emplace_back([&, i] {
+        const auto t = q.enter(10.0 + i);
+        tickets[static_cast<std::size_t>(i)] = t;
+        entered.fetch_add(1);
+        const auto outcome =
+            q.wait_front_cancellable(t, tokens[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(outcome, TaskExecQueue::CancellableWait::cancelled)
+            << "round " << round << " waiter " << i;
+        cancelled.fetch_add(1);
+        q.leave(t);
+      });
+    }
+    while (entered.load() < kWaiters) std::this_thread::yield();
+    // Token store (release) strictly before the kick, mirroring the
+    // engine's commit path.  Reverse entry order so the storm also kicks
+    // tickets deep in the queue, not just the one behind the front.  One
+    // kick per ticket must suffice: slot registration and the token
+    // re-check share the queue mutex, so a kick can never be lost.
+    for (int i = kWaiters - 1; i >= 0; --i) {
+      tokens[static_cast<std::size_t>(i)].store(true,
+                                                std::memory_order_release);
+      q.kick(tickets[static_cast<std::size_t>(i)]);
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(cancelled.load(), kWaiters) << "round " << round;
+    q.leave(blocker);
+    EXPECT_EQ(q.size(), 0u) << "round " << round;
+  }
 }
 
 TEST(TeqStress, InterleavedCancelAndRearmRounds) {

