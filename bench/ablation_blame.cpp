@@ -1,0 +1,428 @@
+// ablation_blame — the causal blame decomposition, gated (DESIGN.md §13).
+//
+// Two claims have to hold for "why is this run slow?" to be trustworthy:
+//
+//   1. The budget is a *partition*: the blame categories are mutually
+//      exclusive and their totals sum to the measured makespan.  Per
+//      scheduler (the serialized engine under three runtime policies) the
+//      gate demands >= --min-coverage (default 97%) of the makespan
+//      attributed, every total non-negative, and every waterfall step's
+//      parts summing to its tile width.
+//   2. The pipeline is *deterministic*: a same-seed rerun must reproduce
+//      the virtual schedule and the blame document byte for byte —
+//      otherwise a diff between two runs measures scheduler noise, not
+//      the change under test.  The two wait-floor annotation columns
+//      (dep_floor, submit_floor) are excluded: they measure *real*
+//      submitter-vs-worker interleaving by construction and are expected
+//      to vary run to run (see canonical_view below).
+//
+// On top sits the diff explainer the CI gate demonstrates: inject a known
+// slowdown through the fault-spec and assert the report *names it*:
+//
+//   * dgemm:tailp=1,tailmult=3 on Cholesky — the diff must name dgemm as
+//     the dominant regressing kernel class,
+//   * dchain:tailp=1,tailmult=3 on chains — the category shift must be
+//     `compute` (inflated kernel time on the critical path),
+//   * dchain:p=...,frac=... on chains — the category shift must be
+//     `retry_backoff` (failed-attempt progress + virtual backoff).
+//
+// --trace-dir saves the clean/injected Cholesky traces (text v2, blame
+// annotations included) for the tools/analyze CLI smoke test and the
+// README walkthrough.  --bench-json writes tasksim-bench-blame-v1
+// (BENCH_blame.json in CI, rendered by tools/bench_trend.py).
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "sim/fault_injection.hpp"
+#include "stats/distribution.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+#include "support/sysinfo.hpp"
+#include "trace/blame.hpp"
+#include "trace/diff.hpp"
+#include "trace/text_io.hpp"
+
+using namespace tasksim;
+
+namespace {
+
+/// Constant per-kernel models: every µs of budget movement is then
+/// attributable to the schedule or the injected faults, never model noise.
+sim::KernelModelSet constant_models() {
+  sim::KernelModelSet models;
+  models.set_model("dpotrf", std::make_unique<stats::ConstantDist>(120.0));
+  models.set_model("dtrsm", std::make_unique<stats::ConstantDist>(80.0));
+  models.set_model("dsyrk", std::make_unique<stats::ConstantDist>(90.0));
+  models.set_model("dgemm", std::make_unique<stats::ConstantDist>(100.0));
+  models.set_model("dchain", std::make_unique<stats::ConstantDist>(100.0));
+  return models;
+}
+
+struct Cell {
+  std::string name;
+  harness::RunResult run;
+  std::string trace_text;  ///< save_trace bytes (text v2, annotated)
+  std::string blame_json;  ///< virtual-only blame document (deterministic)
+};
+
+std::string trace_bytes(const trace::Trace& trace) {
+  std::ostringstream os;
+  trace::save_trace(trace, os);
+  return os.str();
+}
+
+/// The determinism-comparable view of a run.  A same-seed single-lane
+/// rerun reproduces the virtual schedule exactly, but the two wait-floor
+/// annotations measure *real* submitter-vs-worker interleaving by
+/// construction: submit_floor samples the virtual clock at real submit
+/// time, and a dependence edge only exists in the lifecycle stream when
+/// its producer had not yet retired at submission.  Those columns are the
+/// measurement, not the schedule — canonicalize them away and hold every
+/// remaining byte (and the blame walk built on top) fixed.
+struct CanonicalView {
+  std::string schedule_text;  ///< save_trace bytes, wait floors zeroed
+  std::string blame_json;     ///< virtual blame built from that schedule
+};
+
+CanonicalView canonical_view(const trace::Trace& t) {
+  trace::Trace canon(t);
+  std::unordered_map<std::uint64_t, trace::TraceAnnotation> notes;
+  for (const trace::TraceEvent& e : t.events()) {
+    trace::TraceAnnotation note;
+    note.dep_floor_us = 0.0;
+    note.submit_floor_us = 0.0;
+    note.retry_backoff_us = e.retry_backoff_us;  // virtual: deterministic
+    note.flags = e.flags;
+    notes[e.task_id] = note;
+  }
+  canon.annotate(notes);
+  CanonicalView view;
+  view.schedule_text = trace_bytes(canon);
+  view.blame_json = trace::build_blame(canon).to_json();
+  return view;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = 768;
+  int nb = 64;
+  int workers = 8;
+  std::uint64_t seed = 42;
+  double min_coverage = 97.0;
+  double failp = 0.5;
+  double failfrac = 0.5;
+  std::string schedulers = "quark,starpu/eager,starpu/dmda";
+  std::string trace_dir;
+  std::string bench_json_path;
+  CliParser cli("ablation_blame",
+                "makespan blame partition + diff explainer gates "
+                "(DESIGN.md §13)");
+  cli.add_int("n", &n, "matrix dimension");
+  cli.add_int("nb", &nb, "tile size");
+  cli.add_int("workers", &workers, "worker lanes");
+  cli.add_double("min-coverage", &min_coverage,
+                 "fail when less than this percent of the makespan is "
+                 "attributed");
+  cli.add_double("failp", &failp,
+                 "per-attempt failure probability for the retry cell");
+  cli.add_double("failfrac", &failfrac,
+                 "progress fraction a failed attempt still commits");
+  cli.add_string("schedulers", &schedulers,
+                 "comma-separated runtime specs for the partition gate");
+  cli.add_string("trace-dir", &trace_dir,
+                 "save the clean/injected Cholesky traces here "
+                 "(blame_clean.trace / blame_slow.trace) for the analyze "
+                 "CLI");
+  cli.add_string("bench-json", &bench_json_path,
+                 "write tasksim-bench-blame-v1 (CI's BENCH_blame.json)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  harness::print_banner("Ablation: causal blame & differential analysis");
+  std::printf("%s\nn=%d nb=%d, %d workers, constant kernel models\n\n",
+              host_summary().c_str(), n, nb, workers);
+
+  const sim::KernelModelSet models = constant_models();
+
+  auto run_cell = [&](const std::string& name, const std::string& scheduler,
+                      harness::Algorithm algorithm,
+                      const std::string& fault_spec, int lanes,
+                      bool master_only = false) {
+    Cell cell;
+    cell.name = name;
+    harness::ExperimentConfig config;
+    config.scheduler = scheduler;
+    config.algorithm = algorithm;
+    config.n = n;
+    config.nb = nb;
+    config.workers = lanes;
+    // master_only: zero spawned threads — the master submits the whole DAG
+    // (the window is unbounded), then executes every task itself inside
+    // wait_all.  One thread, no races: the schedule is a pure function of
+    // the DAG and the policy, which is what the determinism gate needs.
+    config.master_participates = master_only;
+    config.seed = seed;
+    config.blame = true;
+    config.watchdog_timeout_us = 10e6;  // fail loud in CI, don't hang
+    if (!fault_spec.empty()) {
+      config.faults = sim::parse_fault_spec(fault_spec);
+      config.max_task_retries = 32;  // the retry cell must never poison
+    }
+    cell.run = harness::run_simulated(config, models);
+    cell.trace_text = trace_bytes(cell.run.timeline);
+    // The determinism gate compares the *virtual* document: the paired
+    // lifecycle adds real (wall) stage times, which legitimately vary.
+    cell.blame_json = trace::build_blame(cell.run.timeline).to_json();
+    return cell;
+  };
+
+  bool gate_ok = true;
+  std::string gate_report;
+  auto gate = [&](bool ok, std::string message) {
+    if (ok) return;
+    gate_ok = false;
+    gate_report += "  " + std::move(message) + "\n";
+  };
+
+  // --- 1. partition + determinism, per scheduler -----------------------
+  std::vector<Cell> partition_cells;
+  harness::TextTable table;
+  table.set_headers({"scheduler", "makespan", "coverage", "compute",
+                     "serialization", "dependency", "lane idle", "links"});
+  for (const std::string& scheduler : split(schedulers, ',')) {
+    Cell cell = run_cell("partition/" + scheduler, scheduler,
+                         harness::Algorithm::cholesky, "", workers);
+    if (!cell.run.blame) {
+      gate(false, scheduler + ": run_simulated attached no blame report");
+      continue;
+    }
+    const trace::BlameReport& blame = *cell.run.blame;
+    gate(blame.annotated,
+         scheduler + ": the timeline carried no blame annotations");
+    gate(100.0 * blame.coverage() >= min_coverage,
+         strprintf("%s: only %.2f%% of the makespan attributed (< %.1f%%)",
+                   scheduler.c_str(), 100.0 * blame.coverage(),
+                   min_coverage));
+    double total = 0.0;
+    for (int c = 0; c < trace::kBlameCategoryCount; ++c) {
+      gate(blame.totals[static_cast<std::size_t>(c)] >= 0.0,
+           strprintf("%s: category %s went negative (%.3f us)",
+                     scheduler.c_str(),
+                     trace::to_string(static_cast<trace::BlameCategory>(c)),
+                     blame.totals[static_cast<std::size_t>(c)]));
+      total += blame.totals[static_cast<std::size_t>(c)];
+    }
+    // Mutual exclusivity: each waterfall tile's parts must sum to exactly
+    // the tile's width — no double counting, no holes inside a tile.
+    double prev_end = blame.t0_us;
+    for (const trace::BlameStep& step : blame.waterfall) {
+      double parts = 0.0;
+      for (double p : step.parts) parts += p;
+      const double width = step.virtual_end_us - prev_end;
+      gate(std::abs(parts - width) <= 1e-3,
+           strprintf("%s: task %llu tile sums to %.3f us but spans %.3f us",
+                     scheduler.c_str(),
+                     static_cast<unsigned long long>(step.task_id), parts,
+                     width));
+      prev_end = step.virtual_end_us;
+    }
+    // Determinism: same seed, same bytes — canonical schedule and blame
+    // document (canonical_view: the racy-by-design wait floors masked).
+    // Master-only (one lane, zero spawned threads): the whole DAG is
+    // submitted before the first task runs, so the schedule is a pure
+    // function of the DAG and the policy.  Any threaded run's dispatch
+    // order is real-thread interleaving by design (scheduler in the loop),
+    // and a byte gate there would measure the OS scheduler, not this
+    // pipeline.  What this gate holds fixed: the virtual schedule, text
+    // serialization, and the blame walk add zero nondeterminism of their
+    // own (hash-map ordering, tie-breaks).
+    const Cell det_a = run_cell(cell.name + "/det-a", scheduler,
+                                harness::Algorithm::cholesky, "", 1,
+                                /*master_only=*/true);
+    const Cell det_b = run_cell(cell.name + "/det-b", scheduler,
+                                harness::Algorithm::cholesky, "", 1,
+                                /*master_only=*/true);
+    const CanonicalView canon_a = canonical_view(det_a.run.timeline);
+    const CanonicalView canon_b = canonical_view(det_b.run.timeline);
+    if (canon_a.schedule_text != canon_b.schedule_text && !trace_dir.empty()) {
+      // Forensics for the gate below: the two runs' bytes, side by side.
+      std::ofstream(trace_dir + "/det_a.trace") << det_a.trace_text;
+      std::ofstream(trace_dir + "/det_b.trace") << det_b.trace_text;
+    }
+    gate(canon_a.schedule_text == canon_b.schedule_text,
+         scheduler + ": same-seed rerun produced a different virtual "
+                     "schedule");
+    gate(canon_a.blame_json == canon_b.blame_json,
+         scheduler + ": same-seed rerun produced a different blame "
+                     "document");
+    const auto share = [&](trace::BlameCategory c) {
+      return blame.makespan_us > 0.0
+                 ? strprintf("%5.1f%%",
+                             100.0 *
+                                 blame.totals[static_cast<std::size_t>(
+                                     static_cast<int>(c))] /
+                                 blame.makespan_us)
+                 : std::string("-");
+    };
+    table.add_row({scheduler, format_duration_us(blame.makespan_us),
+                   strprintf("%.2f%%", 100.0 * blame.coverage()),
+                   share(trace::BlameCategory::compute),
+                   share(trace::BlameCategory::serialization),
+                   share(trace::BlameCategory::dependency),
+                   share(trace::BlameCategory::lane_idle),
+                   std::to_string(blame.waterfall.size())});
+    partition_cells.push_back(std::move(cell));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  if (!partition_cells.empty() && partition_cells.front().run.blame) {
+    harness::print_blame(*partition_cells.front().run.blame,
+                         "where the makespan went (" +
+                             partition_cells.front().name + ")");
+  }
+
+  // --- 2. the diff explainer names injected slowdowns ------------------
+  // Cholesky, dgemm inflated 3x: the kernel-class attribution.
+  const Cell chol_clean = run_cell("chol/clean", "quark",
+                                   harness::Algorithm::cholesky, "", workers);
+  const Cell chol_slow =
+      run_cell("chol/dgemm-tail", "quark", harness::Algorithm::cholesky,
+               "dgemm:tailp=1,tailmult=3,tailshape=0", workers);
+  const trace::TraceDiff kernel_diff =
+      trace::diff_traces(chol_clean.run.timeline, chol_slow.run.timeline);
+  gate(kernel_diff.delta_us > 0.0,
+       "chol/dgemm-tail: 3x dgemm inflation did not grow the makespan");
+  gate(kernel_diff.dominant_kernel == "dgemm",
+       strprintf("chol/dgemm-tail: diff blamed '%s', expected 'dgemm'",
+                 kernel_diff.dominant_kernel.c_str()));
+
+  // Chains (one serial chain per lane): the category attribution.  A 3x
+  // inflation on the chain kernel is critical-path compute; injected
+  // failures with retries are retry_backoff.
+  const Cell chain_clean = run_cell("chains/clean", "quark",
+                                    harness::Algorithm::chains, "", workers);
+  const Cell chain_tail =
+      run_cell("chains/tail", "quark", harness::Algorithm::chains,
+               "dchain:tailp=1,tailmult=3,tailshape=0", workers);
+  const trace::TraceDiff tail_diff =
+      trace::diff_traces(chain_clean.run.timeline, chain_tail.run.timeline);
+  gate(tail_diff.delta_us > 0.0,
+       "chains/tail: 3x inflation did not grow the makespan");
+  gate(tail_diff.dominant_category == "compute",
+       strprintf("chains/tail: category shift blamed '%s', expected "
+                 "'compute'",
+                 tail_diff.dominant_category.c_str()));
+
+  const Cell chain_retry = run_cell(
+      "chains/retry", "quark", harness::Algorithm::chains,
+      strprintf("dchain:p=%g,frac=%g", failp, failfrac), workers);
+  const trace::TraceDiff retry_diff =
+      trace::diff_traces(chain_clean.run.timeline, chain_retry.run.timeline);
+  gate(chain_retry.run.poisoned.empty(),
+       strprintf("chains/retry: %zu tasks poisoned (raise the retry "
+                 "budget)",
+                 chain_retry.run.poisoned.size()));
+  gate(retry_diff.delta_us > 0.0,
+       "chains/retry: injected failures did not grow the makespan");
+  gate(retry_diff.dominant_category == "retry_backoff",
+       strprintf("chains/retry: category shift blamed '%s', expected "
+                 "'retry_backoff'",
+                 retry_diff.dominant_category.c_str()));
+
+  std::printf("\ninjected-slowdown explanations:\n");
+  std::printf("  chol dgemm 3x  -> kernel '%s', category '%s', %+.1f us\n",
+              kernel_diff.dominant_kernel.c_str(),
+              kernel_diff.dominant_category.c_str(), kernel_diff.delta_us);
+  std::printf("  chains 3x      -> kernel '%s', category '%s', %+.1f us\n",
+              tail_diff.dominant_kernel.c_str(),
+              tail_diff.dominant_category.c_str(), tail_diff.delta_us);
+  std::printf("  chains retries -> kernel '%s', category '%s', %+.1f us\n",
+              retry_diff.dominant_kernel.c_str(),
+              retry_diff.dominant_category.c_str(), retry_diff.delta_us);
+
+  if (!trace_dir.empty()) {
+    try {
+      trace::save_trace(chol_clean.run.timeline,
+                        trace_dir + "/blame_clean.trace");
+      trace::save_trace(chol_slow.run.timeline,
+                        trace_dir + "/blame_slow.trace");
+      trace::save_trace(chain_clean.run.timeline,
+                        trace_dir + "/blame_chains_clean.trace");
+      trace::save_trace(chain_retry.run.timeline,
+                        trace_dir + "/blame_chains_retry.trace");
+      std::printf("\nsaved annotated traces to %s/blame_*.trace\n",
+                  trace_dir.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot save traces: %s\n", e.what());
+      gate(false, std::string("trace save failed: ") + e.what());
+    }
+  }
+
+  if (!bench_json_path.empty()) {
+    std::ofstream out(bench_json_path);
+    out << "{\"schema\": \"tasksim-bench-blame-v1\",\n"
+        << " \"source\": \"ablation_blame\",\n"
+        << " \"n\": " << n << ", \"nb\": " << nb
+        << ", \"workers\": " << workers << ",\n \"cells\": [";
+    bool first = true;
+    for (const Cell& cell : partition_cells) {
+      const trace::BlameReport& blame = *cell.run.blame;
+      if (!first) out << ",\n  ";
+      first = false;
+      out << "{\"scheduler\": \""
+          << cell.name.substr(std::string("partition/").size())
+          << "\", \"makespan_us\": " << strprintf("%.1f", blame.makespan_us)
+          << ", \"coverage\": " << strprintf("%.6f", blame.coverage())
+          << ", \"shares\": {";
+      for (int c = 0; c < trace::kBlameCategoryCount; ++c) {
+        if (c > 0) out << ", ";
+        out << "\"" << trace::to_string(static_cast<trace::BlameCategory>(c))
+            << "\": "
+            << strprintf("%.6f",
+                         blame.makespan_us > 0.0
+                             ? blame.totals[static_cast<std::size_t>(c)] /
+                                   blame.makespan_us
+                             : 0.0);
+      }
+      out << "}}";
+    }
+    out << "],\n \"diffs\": ["
+        << strprintf("{\"name\": \"chol/dgemm-tail\", \"dominant_kernel\": "
+                     "\"%s\", \"dominant_category\": \"%s\", \"delta_us\": "
+                     "%.1f},\n  ",
+                     kernel_diff.dominant_kernel.c_str(),
+                     kernel_diff.dominant_category.c_str(),
+                     kernel_diff.delta_us)
+        << strprintf("{\"name\": \"chains/tail\", \"dominant_kernel\": "
+                     "\"%s\", \"dominant_category\": \"%s\", \"delta_us\": "
+                     "%.1f},\n  ",
+                     tail_diff.dominant_kernel.c_str(),
+                     tail_diff.dominant_category.c_str(), tail_diff.delta_us)
+        << strprintf("{\"name\": \"chains/retry\", \"dominant_kernel\": "
+                     "\"%s\", \"dominant_category\": \"%s\", \"delta_us\": "
+                     "%.1f}]}\n",
+                     retry_diff.dominant_kernel.c_str(),
+                     retry_diff.dominant_category.c_str(),
+                     retry_diff.delta_us);
+    std::printf("wrote %zu partition cells to %s\n", partition_cells.size(),
+                bench_json_path.c_str());
+  }
+
+  std::printf("\nthe story: the budget partitions the makespan — compute "
+              "and retry spans on the\nbinding chain, then every gap "
+              "classified by its recorded floors — so when a run\nslows "
+              "down, the diff names the kernel class that grew and the "
+              "category that\nabsorbed the time, instead of a bare "
+              "\"makespan went up 40%%\".\n");
+  if (!gate_ok) {
+    std::printf("\nFAIL:\n%s", gate_report.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -315,7 +315,7 @@ RunResult run_simulated(const ExperimentConfig& config,
   // stream is what detects the speculation misorderings the repair pass
   // then fixes.
   const bool capture_lifecycle =
-      config.record_lifecycle ||
+      config.record_lifecycle || config.blame ||
       (engine.lookahead_enabled() &&
        engine.lookahead_mode() == sim::LookaheadMode::optimistic);
   flightrec::FlightRecorder& recorder = flightrec::current();
@@ -388,6 +388,16 @@ RunResult run_simulated(const ExperimentConfig& config,
       result.repaired_makespan_us = repair.repaired_makespan_us;
       metrics::counter("sim.lookahead.violations").inc(repair.violations);
     }
+  }
+  if (config.blame && result.lifecycle) {
+    // Annotate the timeline with the lifecycle-derived floors first so the
+    // saved trace (text v2) carries everything build_blame needs offline,
+    // then decompose.  Annotation only adds metadata — event times are
+    // untouched, so finalize()'s makespan and any reference comparison see
+    // the same timeline either way.
+    result.timeline.annotate(trace::blame_annotations(*result.lifecycle));
+    result.blame = std::make_shared<trace::BlameReport>(
+        trace::build_blame(result.timeline, *result.lifecycle));
   }
   if (config.profile) {
     runtime.reset();  // join the workers: commits their final root scopes

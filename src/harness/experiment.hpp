@@ -25,6 +25,7 @@
 #include "sim/sim_engine.hpp"
 #include "support/profiler.hpp"
 #include "trace/analysis.hpp"
+#include "trace/blame.hpp"
 #include "trace/lifecycle.hpp"
 #include "trace/trace.hpp"
 
@@ -113,6 +114,14 @@ struct ExperimentConfig {
   /// Critical-path-first dispatch: priority = longest known dependence
   /// depth at submission (see RuntimeConfig::cp_priority).
   bool cp_priority = false;
+  /// Causal blame decomposition for simulated runs (DESIGN.md §13): tile
+  /// the makespan into mutually-exclusive wait-state categories along the
+  /// executed critical path and attach the BlameReport to the result.
+  /// Implies flight-recorder capture (the lifecycle stream supplies the
+  /// dependency/submission floors); the run's timeline is annotated in
+  /// place so a saved trace stays blame-capable offline.  Ignored by
+  /// run_real (no lifecycle stream there).
+  bool blame = false;
 
   /// Validate the numeric fields (throws InvalidArgument on nonsense:
   /// non-positive sizes, negative timeouts, out-of-range probabilities).
@@ -143,6 +152,9 @@ struct RunResult {
   std::shared_ptr<prof::SampleSeries> profile_samples;
   /// Runs with config.reference_trace: this timeline vs the reference.
   std::shared_ptr<trace::TraceComparison> comparison;
+  /// Simulated runs with config.blame: where the makespan went (shared so
+  /// RunResult stays cheaply copyable).
+  std::shared_ptr<trace::BlameReport> blame;
   /// Lookahead statistics (simulated runs; all zero when lookahead is
   /// off).  `lookahead_violations` counts §V-E findings the audit made in
   /// an optimistic run's stream; `lookahead_unrepaired` the tasks the

@@ -109,6 +109,38 @@ TextTable attribution_table(const trace::AttributionReport& report) {
   return table;
 }
 
+TextTable blame_table(const trace::BlameReport& report) {
+  TextTable table;
+  table.set_headers({"category", "virtual time", "share"});
+  for (int c = 0; c < trace::kBlameCategoryCount; ++c) {
+    const double us = report.totals[static_cast<std::size_t>(c)];
+    if (us <= 0.0) continue;
+    const std::string share =
+        report.makespan_us > 0.0
+            ? strprintf("%5.1f%%", 100.0 * us / report.makespan_us)
+            : std::string("-");
+    table.add_row({trace::to_string(static_cast<trace::BlameCategory>(c)),
+                   format_duration_us(us), share});
+  }
+  if (report.hedge_wasted_us > 0.0) {
+    // Outside the budget: losing duplicates never commit to the timeline.
+    table.add_row({"(hedge waste, off-budget)",
+                   format_duration_us(report.hedge_wasted_us), "-"});
+  }
+  return table;
+}
+
+void print_blame(const trace::BlameReport& report, const std::string& title) {
+  std::printf("\n%s:\n", title.c_str());
+  std::fputs(blame_table(report).to_string().c_str(), stdout);
+  std::printf("coverage: %.1f%% of the %s makespan attributed across %zu "
+              "chain link(s)%s\n",
+              100.0 * report.coverage(),
+              format_duration_us(report.makespan_us).c_str(),
+              report.waterfall.size(),
+              report.annotated ? "" : " [trace carried no annotations]");
+}
+
 TextTable profile_table(const prof::ProfileSnapshot& snapshot) {
   TextTable table;
   table.set_headers(
@@ -233,6 +265,8 @@ std::string run_result_json(const ExperimentConfig& config,
      << ",\"comparison\":"
      << (result.comparison ? comparison_json(*result.comparison)
                            : std::string("null"))
+     << ",\"blame\":"
+     << (result.blame ? result.blame->to_json() : std::string("null"))
      << "}";
   return os.str();
 }

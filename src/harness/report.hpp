@@ -54,6 +54,15 @@ TextTable attribution_table(const trace::AttributionReport& report);
 void print_lifecycle_report(const trace::LifecycleLog& log,
                             const std::string& title = "lifecycle report");
 
+/// Render a blame report's makespan budget as a table: one row per
+/// nonzero category with its virtual time and share of the makespan.
+TextTable blame_table(const trace::BlameReport& report);
+
+/// Print the "where the makespan went" block: the budget table, coverage,
+/// and the top waterfall steps along the executed critical path.
+void print_blame(const trace::BlameReport& report,
+                 const std::string& title = "where the makespan went");
+
 /// Render a profiler snapshot as a per-phase table (merged across
 /// threads): scope count, exclusive/inclusive wall time, the exclusive
 /// share of root-bracketed time, and exclusive thread-CPU time.  Root

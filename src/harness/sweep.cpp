@@ -38,6 +38,45 @@ std::string json_num(double value) {
   return strprintf("%.6g", finite(value));
 }
 
+/// Fleet-level pooled blame: sum the per-engine category totals (completed
+/// engines that carried a BlameReport) and normalize by the pooled
+/// makespan.  Returns a `"blame":{...}` JSON fragment, or `"blame":null`
+/// when no engine ran with blame enabled — consumers degrade gracefully.
+std::string pooled_blame_fragment(const std::vector<EngineRunResult>& engines) {
+  std::array<double, trace::kBlameCategoryCount> totals{};
+  double makespan_sum = 0.0;
+  std::size_t counted = 0;
+  for (const EngineRunResult& engine : engines) {
+    if (!engine.ok || !engine.blame) continue;
+    ++counted;
+    makespan_sum += engine.blame->makespan_us;
+    for (int c = 0; c < trace::kBlameCategoryCount; ++c) {
+      totals[static_cast<std::size_t>(c)] +=
+          engine.blame->totals[static_cast<std::size_t>(c)];
+    }
+  }
+  if (counted == 0) return "\"blame\":null";
+  std::ostringstream os;
+  os << "\"blame\":{\"engines\":" << counted
+     << ",\"makespan_sum_us\":" << json_num(makespan_sum) << ",\"totals\":{";
+  for (int c = 0; c < trace::kBlameCategoryCount; ++c) {
+    if (c > 0) os << ",";
+    os << "\"" << trace::to_string(static_cast<trace::BlameCategory>(c))
+       << "\":" << json_num(totals[static_cast<std::size_t>(c)]);
+  }
+  os << "},\"shares\":{";
+  for (int c = 0; c < trace::kBlameCategoryCount; ++c) {
+    if (c > 0) os << ",";
+    os << "\"" << trace::to_string(static_cast<trace::BlameCategory>(c))
+       << "\":"
+       << json_num(makespan_sum > 0.0
+                       ? totals[static_cast<std::size_t>(c)] / makespan_sum
+                       : 0.0);
+  }
+  os << "}}";
+  return os.str();
+}
+
 /// Engine progress for the streamer / aggregator.
 enum EngineStatus : int {
   status_pending = 0,
@@ -163,6 +202,7 @@ std::string SweepResult::to_json() const {
      << json_num(stats.throughput_engines_per_s);
   os << "}";
   os << ",\"stream_lines\":" << stream_lines;
+  os << "," << pooled_blame_fragment(engines);
   os << ",\"per_engine\":[";
   for (std::size_t i = 0; i < engines.size(); ++i) {
     const EngineRunResult& engine = engines[i];
@@ -176,6 +216,9 @@ std::string SweepResult::to_json() const {
     os << ",\"gflops\":" << json_num(engine.gflops);
     os << ",\"tasks\":" << engine.tasks;
     os << ",\"quiescence_timeouts\":" << engine.quiescence_timeouts;
+    if (engine.blame) {
+      os << ",\"blame_coverage\":" << json_num(engine.blame->coverage());
+    }
     if (!engine.error.empty()) {
       os << ",\"error\":\"" << trace::escape_json(engine.error) << "\"";
     }
@@ -249,13 +292,17 @@ class SweepStreamer {
   }
 
   /// Stop the ticker, emit the final (fleet-drained) line, and join.
-  std::size_t finish() {
+  /// `final_extra` is a ready-made JSON fragment (e.g. the pooled blame
+  /// section) appended to the final line only — mid-run ticks cannot carry
+  /// it because blame reports exist only after an engine completes.
+  std::size_t finish(const std::string& final_extra = std::string()) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       stop_ = true;
     }
     cv_.notify_all();
     if (thread_.joinable()) thread_.join();
+    final_extra_ = final_extra;
     emit_tick();
     out_.flush();
     return lines_;
@@ -305,6 +352,7 @@ class SweepStreamer {
     os << ",\"tasks\":{\"done\":" << tasks_done
        << ",\"rate_per_s\":" << json_num(rate) << "}";
     os << ",\"phases\":{" << phase_shares() << "}";
+    if (!final_extra_.empty()) os << "," << final_extra_;
     os << "}";
     out_ << os.str() << "\n";
     out_.flush();
@@ -355,6 +403,7 @@ class SweepStreamer {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::string final_extra_;  ///< set before the final emit_tick only
   std::size_t lines_ = 0;
   double last_t_us_ = 0.0;
   std::uint64_t last_tasks_ = 0;
@@ -419,6 +468,7 @@ SweepResult run_sweep(const SweepConfig& config,
       engine_result.tasks = run.tasks;
       engine_result.quiescence_timeouts = run.quiescence_timeouts;
       engine_result.profile = run.profile;
+      engine_result.blame = run.blame;
     } catch (const std::exception& e) {
       engine_result.ok = false;
       engine_result.error = e.what();
@@ -445,11 +495,17 @@ SweepResult run_sweep(const SweepConfig& config,
   const double wall_us = wall_now_us() - t0_us;
 
   SweepResult result;
-  if (streamer) result.stream_lines = streamer->finish();
-  streamer.reset();
   result.fleet_metrics = aggregator.merged_metrics();
   result.stats = aggregator.fleet_stats(wall_us);
   result.engines = aggregator.take_results();
+  // Finish the stream after the results are collected so the final line
+  // can carry the fleet-pooled blame section (all drivers have joined, so
+  // the tick itself is unchanged by the reorder).
+  if (streamer) {
+    result.stream_lines =
+        streamer->finish(pooled_blame_fragment(result.engines));
+  }
+  streamer.reset();
   return result;
 }
 

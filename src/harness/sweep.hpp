@@ -82,6 +82,8 @@ struct EngineRunResult {
   metrics::Snapshot metrics;
   /// The engine's phase profile when profiling was armed.
   std::shared_ptr<prof::ProfileSnapshot> profile;
+  /// The engine's makespan blame decomposition when base.blame was set.
+  std::shared_ptr<trace::BlameReport> blame;
 };
 
 /// Fleet-level statistics distilled from the per-engine results and the

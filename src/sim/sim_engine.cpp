@@ -535,6 +535,14 @@ double SimEngine::execute(sched::TaskContext& ctx,
     deadline_breached = true;
     virtual_span = options_.deadline_us;
   }
+  if (backoff > 0.0) {
+    // The backoff share of the committed span, recorded here because only
+    // the engine knows the plan's schedule (blame charges it to
+    // retry_backoff, not compute).  A deadline truncation caps it.
+    fr.record(flightrec::EventType::retry_penalty, ctx.id, ctx.worker,
+              std::min(backoff, virtual_span),
+              static_cast<double>(ctx.attempt));
+  }
   const double end = start + virtual_span;
 
   // Straggler hedging (DESIGN.md §12): when this span overruns the

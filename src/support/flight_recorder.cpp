@@ -30,6 +30,7 @@ const char* to_string(EventType type) {
     case EventType::sched_immediate: return "sched_immediate";
     case EventType::task_failed: return "task_failed";
     case EventType::task_retry: return "task_retry";
+    case EventType::retry_penalty: return "retry_penalty";
     case EventType::task_poisoned: return "task_poisoned";
     case EventType::fault_stall: return "fault_stall";
     case EventType::quiescence_timeout: return "quiescence_timeout";

@@ -74,8 +74,12 @@ enum class EventType : std::uint8_t {
   // --- fault injection and resilience ------------------------------------
   task_failed,       ///< injected failure; a = virtual completion of the
                      ///< failed partial attempt, b = attempt index
-  task_retry,        ///< runtime requeued a failed task; a = backoff µs
-                     ///< (virtual), b = attempt index of the next try
+  task_retry,        ///< runtime requeued a failed task; b = attempt index
+                     ///< at requeue time (the backoff is the sim engine's:
+                     ///< see retry_penalty)
+  retry_penalty,     ///< a retry attempt paid its virtual backoff: a =
+                     ///< backoff µs folded into the committed span, b =
+                     ///< attempt index
   task_poisoned,     ///< task skipped: its retry budget (other = failing
                      ///< ancestor id) or a producer's was exhausted
   fault_stall,       ///< injected worker stall; a = stall µs (real)

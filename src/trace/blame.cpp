@@ -1,0 +1,540 @@
+#include "trace/blame.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/strings.hpp"
+#include "trace/escape.hpp"
+
+namespace tasksim::trace {
+
+using flightrec::Event;
+using flightrec::EventType;
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+bool is_nan(double v) { return v != v; }
+
+/// Identity kernel: the committed label with the engine's !suffix
+/// ("dgemm!failed" -> "dgemm") stripped, so retried/truncated attempts
+/// aggregate — and align across runs — with their clean siblings.
+std::string identity_kernel(const std::string& label) {
+  const auto pos = label.find('!');
+  return pos == std::string::npos ? label : label.substr(0, pos);
+}
+
+bool label_has(const std::string& label, const char* suffix) {
+  return label.find(suffix) != std::string::npos;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(BlameCategory category) {
+  switch (category) {
+    case BlameCategory::compute: return "compute";
+    case BlameCategory::dependency: return "dependency";
+    case BlameCategory::serialization: return "serialization";
+    case BlameCategory::submit_lag: return "submit_lag";
+    case BlameCategory::retry_backoff: return "retry_backoff";
+    case BlameCategory::hedge: return "hedge";
+    case BlameCategory::lookahead: return "lookahead";
+    case BlameCategory::lane_idle: return "lane_idle";
+  }
+  return "?";
+}
+
+double BlameStep::gap_us() const {
+  double gap = 0.0;
+  for (int c = 0; c < kBlameCategoryCount; ++c) {
+    const auto cat = static_cast<BlameCategory>(c);
+    if (cat == BlameCategory::compute || cat == BlameCategory::retry_backoff ||
+        cat == BlameCategory::hedge) {
+      continue;
+    }
+    gap += parts[c];
+  }
+  return gap;
+}
+
+double BlameReport::attributed_us() const {
+  double sum = 0.0;
+  for (double v : totals) sum += v;
+  return sum;
+}
+
+double BlameReport::coverage() const {
+  if (makespan_us <= 0.0) return waterfall.empty() ? 0.0 : 1.0;
+  return attributed_us() / makespan_us;
+}
+
+std::unordered_map<std::uint64_t, TraceAnnotation> blame_annotations(
+    const LifecycleLog& log) {
+  std::unordered_map<std::uint64_t, TraceAnnotation> notes;
+
+  // Producer floors: max producer virtual completion per consumer (the
+  // floor the §V-E auditor trusts — a virtual quantity a racing run cannot
+  // inflate).  Producers missing from the stream contribute nothing; the
+  // floor can only be too low, never too high.
+  std::unordered_map<std::uint64_t, double> producer_max;
+  for (const auto& [producer, consumer] : log.edges) {
+    auto it = log.tasks.find(producer);
+    if (it == log.tasks.end() || !it->second.has_virtual_times()) continue;
+    double& pmax = producer_max.try_emplace(consumer, 0.0).first->second;
+    pmax = std::max(pmax, it->second.virtual_end_us);
+  }
+
+  // Submit-time clock: fold clock advances and returns eagerly, exactly as
+  // audit_races reconstructs it.  Hedge duplicates materialize mid-run; the
+  // hedge_launch record carries their true floor (they never commit to the
+  // trace, but annotate them anyway for completeness).
+  std::unordered_map<std::uint64_t, double> hedge_floor;
+  for (const Event& e : log.events) {
+    if (e.type == EventType::hedge_launch) {
+      auto [it, inserted] = hedge_floor.emplace(e.task, e.a);
+      if (!inserted) it->second = std::min(it->second, e.a);
+    }
+  }
+  std::unordered_map<std::uint64_t, double> submit_floor;
+  // Per task: the backoff folded into its *latest* attempt's span (earlier
+  // attempts' backoffs live inside their own committed !failed spans, which
+  // blame already charges wholesale to retry_backoff — summing here would
+  // double-charge the final span).
+  std::unordered_map<std::uint64_t, std::pair<double, double>> retry_penalty;
+  std::unordered_set<std::uint64_t> released, hedged, retried;
+  double floor_clock = 0.0;
+  for (const Event& e : log.events) {
+    switch (e.type) {
+      case EventType::task_submit: {
+        auto hf = hedge_floor.find(e.task);
+        submit_floor.emplace(e.task,
+                             hf != hedge_floor.end() ? hf->second : floor_clock);
+        break;
+      }
+      case EventType::clock_advance:
+        if (e.a > floor_clock) floor_clock = e.a;
+        break;
+      case EventType::task_return:
+        if (e.a > floor_clock) floor_clock = e.a;
+        break;
+      case EventType::retry_penalty: {
+        auto [it, inserted] =
+            retry_penalty.emplace(e.task, std::make_pair(e.b, e.a));
+        if (!inserted && e.b >= it->second.first) {
+          it->second = std::make_pair(e.b, e.a);
+        }
+        break;
+      }
+      case EventType::task_retry:
+        retried.insert(e.task);
+        break;
+      case EventType::task_failed:
+        retried.insert(e.task);
+        break;
+      case EventType::teq_release:
+        released.insert(e.task);
+        break;
+      case EventType::hedge_launch:
+        hedged.insert(e.other);  // the original raced by a duplicate
+        hedged.insert(e.task);
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [id, lc] : log.tasks) {
+    if (!lc.has_virtual_times() && !lc.poisoned) continue;
+    TraceAnnotation note;
+    auto pmax = producer_max.find(id);
+    note.dep_floor_us = pmax != producer_max.end() ? pmax->second : 0.0;
+    auto sub = submit_floor.find(id);
+    note.submit_floor_us = sub != submit_floor.end() ? sub->second : -1.0;
+    auto rb = retry_penalty.find(id);
+    note.retry_backoff_us = rb != retry_penalty.end() ? rb->second.second : 0.0;
+    if (retried.count(id)) note.flags |= kTraceFlagRetried;
+    if (hedged.count(id)) note.flags |= kTraceFlagHedged;
+    if (released.count(id)) note.flags |= kTraceFlagReleased;
+    if (lc.poisoned) note.flags |= kTraceFlagSkipped;
+    notes.emplace(id, note);
+  }
+  return notes;
+}
+
+namespace {
+
+struct Node {
+  TraceEvent e;
+  std::string identity;
+  bool failed = false;    // "!failed": the span is retry cost, not compute
+  bool skipped = false;   // "!skipped": poisoned zero-length commit
+  bool hedge_dup = false; // "!hedge": duplicate (never commits in practice)
+  bool final_of_task = false;  // the last committed span of its task id
+};
+
+BlameReport build_blame_impl(const Trace& trace, const LifecycleLog* log) {
+  BlameReport report;
+  report.label = trace.label();
+  const auto events = trace.sorted_events();
+  report.events = events.size();
+  if (events.empty()) return report;
+
+  std::vector<Node> nodes(events.size());
+  std::unordered_map<std::uint64_t, std::size_t> last_of_task;  // -> node idx
+  double t0 = events.front().start_us;
+  double t_end = events.front().end_us;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    Node& n = nodes[i];
+    n.e = events[i];
+    n.identity = identity_kernel(n.e.kernel);
+    n.failed = label_has(n.e.kernel, "!failed");
+    n.skipped = label_has(n.e.kernel, "!skipped");
+    n.hedge_dup = label_has(n.e.kernel, "!hedge");
+    t0 = std::min(t0, n.e.start_us);
+    t_end = std::max(t_end, n.e.end_us);
+    auto [it, inserted] = last_of_task.emplace(n.e.task_id, i);
+    if (!inserted && n.e.end_us >= nodes[it->second].e.end_us) {
+      it->second = i;
+    }
+    if (n.e.has_blame()) report.annotated = true;
+  }
+  for (const auto& [id, idx] : last_of_task) nodes[idx].final_of_task = true;
+  report.tasks = last_of_task.size();
+  report.t0_us = t0;
+  report.makespan_us = t_end - t0;
+
+  // Span decomposition per node: a failed attempt's whole span is retry
+  // cost; a final span carries its task's folded backoff as retry cost and
+  // the rest as compute (hedge-duplicate spans, were they ever committed,
+  // count as hedge overhead).
+  auto span_parts = [&](const Node& n, double& compute, double& retry,
+                        double& hedge) {
+    const double span = n.e.duration_us();
+    compute = retry = hedge = 0.0;
+    if (n.hedge_dup) {
+      hedge = span;
+    } else if (n.failed) {
+      retry = span;
+    } else {
+      retry = n.final_of_task
+                  ? std::min(std::max(n.e.retry_backoff_us, 0.0), span)
+                  : 0.0;
+      compute = span - retry;
+    }
+  };
+
+  // Sorted completion indexes: per lane (binding predecessor lookup) and
+  // global (the serialization floor: the latest completion anywhere at or
+  // before a start — in the serialized engine, exactly the virtual clock
+  // the start sampled).
+  auto by_end = [&](std::size_t x, std::size_t y) {
+    if (nodes[x].e.end_us != nodes[y].e.end_us) {
+      return nodes[x].e.end_us < nodes[y].e.end_us;
+    }
+    return nodes[x].e.task_id < nodes[y].e.task_id;
+  };
+  std::map<int, std::vector<std::size_t>> lane_nodes;
+  std::vector<std::size_t> all_nodes(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    all_nodes[i] = i;
+    lane_nodes[nodes[i].e.worker].push_back(i);
+  }
+  std::sort(all_nodes.begin(), all_nodes.end(), by_end);
+  for (auto& [lane, idxs] : lane_nodes) std::sort(idxs.begin(), idxs.end(), by_end);
+
+  // Latest node in `idxs` with end <= t + kEps, excluding `self`; returns
+  // nodes.size() when none qualifies.
+  auto latest_before = [&](const std::vector<std::size_t>& idxs, double t,
+                           std::size_t self) -> std::size_t {
+    auto pos = std::upper_bound(
+        idxs.begin(), idxs.end(), t + kEps,
+        [&](double v, std::size_t i) { return v < nodes[i].e.end_us; });
+    while (pos != idxs.begin()) {
+      --pos;
+      if (*pos != self) return *pos;
+    }
+    return nodes.size();
+  };
+
+  // Walk back from the timeline-ending event, tiling [t0, t_end]: at each
+  // step the binding predecessor is the latest-completing admissible event
+  // — the same-lane predecessor or (via the recorded producer floor) the
+  // binding producer — exactly PR 2's binding chain, now over committed
+  // events so failed attempts and annotations participate.
+  std::size_t current = all_nodes.back();
+  for (std::size_t i = all_nodes.size(); i-- > 0;) {
+    // Deterministic chain head: max end, ties by the by_end order.
+    if (nodes[all_nodes[i]].e.end_us < nodes[current].e.end_us) break;
+    current = all_nodes[i];
+  }
+
+  std::unordered_set<std::size_t> visited;
+  std::vector<BlameStep> chain;  // built back-to-front
+  while (current < nodes.size() && visited.insert(current).second) {
+    const Node& n = nodes[current];
+    const double vs = n.e.start_us;
+    BlameStep step;
+    step.task_id = n.e.task_id;
+    step.kernel = n.e.kernel;
+    step.worker = n.e.worker;
+    step.virtual_start_us = vs;
+    step.virtual_end_us = n.e.end_us;
+    double compute, retry, hedge;
+    span_parts(n, compute, retry, hedge);
+    step.parts[static_cast<int>(BlameCategory::compute)] = compute;
+    step.parts[static_cast<int>(BlameCategory::retry_backoff)] = retry;
+    step.parts[static_cast<int>(BlameCategory::hedge)] = hedge;
+
+    // Binding predecessor: same-lane predecessor vs the producer floor.
+    const std::size_t lane_pred =
+        latest_before(lane_nodes[n.e.worker], vs, current);
+    double lane_end = lane_pred < nodes.size()
+                          ? nodes[lane_pred].e.end_us
+                          : -std::numeric_limits<double>::infinity();
+    const double dep = n.e.dep_floor_us;
+    std::size_t binding = nodes.size();
+    double lo = t0;
+    if (dep >= 0.0 && dep > lane_end + kEps) {
+      // The producer floor binds.  Continue the chain through the event
+      // that completes at the floor; a missing producer (truncated trace)
+      // terminates the chain and the gap below charges `dependency`.
+      const std::size_t cand = latest_before(all_nodes, dep, current);
+      if (cand < nodes.size() &&
+          std::abs(nodes[cand].e.end_us - dep) <= kEps) {
+        binding = cand;
+        lo = nodes[cand].e.end_us;
+      }
+    } else if (lane_pred < nodes.size()) {
+      binding = lane_pred;
+      lo = lane_end;
+    }
+
+    // Classify the gap [lo, vs] by walking a cursor through the floors in
+    // causal priority order; each rung consumes up to its floor.
+    double cursor = std::min(lo, vs);
+    auto rung = [&](BlameCategory cat, double to) {
+      to = std::min(to, vs);
+      if (to > cursor) {
+        step.parts[static_cast<int>(cat)] += to - cursor;
+        cursor = to;
+      }
+    };
+    if (dep >= 0.0) rung(BlameCategory::dependency, std::min(dep, vs));
+    if (n.e.submit_floor_us >= 0.0) {
+      rung(BlameCategory::submit_lag, n.e.submit_floor_us);
+    }
+    const std::size_t ser = latest_before(all_nodes, vs, current);
+    if (ser < nodes.size()) {
+      rung(BlameCategory::serialization, nodes[ser].e.end_us);
+    }
+    rung((n.e.flags & kTraceFlagReleased) ? BlameCategory::lookahead
+                                          : BlameCategory::lane_idle,
+         vs);
+
+    chain.push_back(std::move(step));
+    current = binding;
+  }
+  std::reverse(chain.begin(), chain.end());
+  report.waterfall = std::move(chain);
+
+  // Budget totals and the per-kernel roll-up.
+  std::unordered_set<std::uint64_t> chain_ids;
+  for (const BlameStep& step : report.waterfall) {
+    for (int c = 0; c < kBlameCategoryCount; ++c) {
+      report.totals[c] += step.parts[c];
+    }
+    KernelBlame& k = report.kernels[identity_kernel(step.kernel)];
+    ++k.chain_tasks;
+    for (int c = 0; c < kBlameCategoryCount; ++c) {
+      k.chain_us[c] += step.parts[c];
+    }
+  }
+  for (const Node& n : nodes) {
+    KernelBlame& k = report.kernels[n.identity];
+    ++k.events;
+    if (n.final_of_task) ++k.tasks;
+    k.span_us += n.e.duration_us();
+    double compute, retry, hedge;
+    span_parts(n, compute, retry, hedge);
+    k.retry_backoff_us += retry;
+  }
+
+  // Real-time (wall) per-stage decomposition, when the lifecycle is here.
+  if (log != nullptr) {
+    report.has_real_times = true;
+    for (auto& [kernel, k] : report.kernels) {
+      k.real_sched_wait_us = 0.0;
+      k.real_prep_us = 0.0;
+      k.real_body_us = 0.0;
+      k.real_teq_wait_us = 0.0;
+      k.real_drain_us = 0.0;
+    }
+    for (const auto& [id, lc] : log->tasks) {
+      auto it = report.kernels.find(identity_kernel(lc.kernel));
+      if (it == report.kernels.end()) continue;
+      KernelBlame& k = it->second;
+      auto add = [](double& acc, double from, double to) {
+        if (!is_nan(from) && !is_nan(to) && to > from) acc += to - from;
+      };
+      add(k.real_sched_wait_us, lc.ready_us, lc.dispatch_us);
+      add(k.real_prep_us, lc.dispatch_us, lc.start_us);
+      add(k.real_body_us, lc.start_us, lc.teq_enter_us);
+      add(k.real_teq_wait_us, lc.teq_enter_us, lc.teq_front_us);
+      add(k.real_drain_us, lc.teq_front_us, lc.finish_us);
+    }
+    for (const Event& e : log->events) {
+      if (e.type == EventType::hedge_win) report.hedge_wasted_us += e.b;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+BlameReport build_blame(const Trace& trace) {
+  return build_blame_impl(trace, nullptr);
+}
+
+BlameReport build_blame(const Trace& trace, const LifecycleLog& log) {
+  return build_blame_impl(trace, &log);
+}
+
+std::string BlameReport::to_string(std::size_t max_steps) const {
+  std::ostringstream os;
+  os << strprintf(
+      "blame: %s — %.1f us makespan over %zu tasks (%zu events), "
+      "%.1f%% attributed%s\n",
+      label.empty() ? "(unlabeled)" : label.c_str(), makespan_us, tasks,
+      events, 100.0 * coverage(), annotated ? "" : " [no annotations]");
+  os << "  makespan budget:\n";
+  for (int c = 0; c < kBlameCategoryCount; ++c) {
+    if (totals[c] <= 0.0) continue;
+    const double share = makespan_us > 0.0 ? 100.0 * totals[c] / makespan_us
+                                           : 0.0;
+    os << strprintf("    %-14s %12.1f us  %5.1f%%\n",
+                    trace::to_string(static_cast<BlameCategory>(c)),
+                    totals[c], share);
+  }
+  if (hedge_wasted_us > 0.0) {
+    os << strprintf("    (hedge losers threw away %.1f virtual us off-chain)\n",
+                    hedge_wasted_us);
+  }
+  os << strprintf("  critical path: %zu links\n", waterfall.size());
+  const std::size_t shown = std::min(max_steps, waterfall.size());
+  // The most expensive links first: sort a copy by tiled width.
+  std::vector<const BlameStep*> ranked;
+  ranked.reserve(waterfall.size());
+  for (const BlameStep& s : waterfall) ranked.push_back(&s);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const BlameStep* a, const BlameStep* b) {
+              double wa = 0.0, wb = 0.0;
+              for (int c = 0; c < kBlameCategoryCount; ++c) {
+                wa += a->parts[c];
+                wb += b->parts[c];
+              }
+              if (wa != wb) return wa > wb;
+              return a->task_id < b->task_id;
+            });
+  for (std::size_t i = 0; i < shown; ++i) {
+    const BlameStep& s = *ranked[i];
+    os << strprintf("    #%llu %-18s w%-3d [%.1f, %.1f]",
+                    static_cast<unsigned long long>(s.task_id),
+                    s.kernel.c_str(), s.worker, s.virtual_start_us,
+                    s.virtual_end_us);
+    for (int c = 0; c < kBlameCategoryCount; ++c) {
+      if (s.parts[c] <= 0.0) continue;
+      os << strprintf(" %s=%.1f",
+                      trace::to_string(static_cast<BlameCategory>(c)),
+                      s.parts[c]);
+    }
+    os << "\n";
+  }
+  if (waterfall.size() > shown) {
+    os << strprintf("    ... %zu more links\n", waterfall.size() - shown);
+  }
+  return os.str();
+}
+
+std::string BlameReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"tasksim-blame-v1\"";
+  os << ",\"label\":\"" << escape_json(label) << "\"";
+  os << ",\"t0_us\":" << json_num(t0_us);
+  os << ",\"makespan_us\":" << json_num(makespan_us);
+  os << ",\"tasks\":" << tasks;
+  os << ",\"events\":" << events;
+  os << ",\"annotated\":" << (annotated ? "true" : "false");
+  os << ",\"coverage\":" << json_num(coverage());
+  os << ",\"attributed_us\":" << json_num(attributed_us());
+  os << ",\"totals\":{";
+  for (int c = 0; c < kBlameCategoryCount; ++c) {
+    if (c > 0) os << ",";
+    os << "\"" << trace::to_string(static_cast<BlameCategory>(c))
+       << "\":" << json_num(totals[c]);
+  }
+  os << "}";
+  os << ",\"hedge_wasted_us\":" << json_num(hedge_wasted_us);
+  os << ",\"kernels\":{";
+  bool first = true;
+  for (const auto& [kernel, k] : kernels) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << escape_json(kernel) << "\":{";
+    os << "\"tasks\":" << k.tasks << ",\"events\":" << k.events;
+    os << ",\"span_us\":" << json_num(k.span_us);
+    os << ",\"retry_backoff_us\":" << json_num(k.retry_backoff_us);
+    os << ",\"chain_tasks\":" << k.chain_tasks;
+    os << ",\"chain_us\":{";
+    for (int c = 0; c < kBlameCategoryCount; ++c) {
+      if (c > 0) os << ",";
+      os << "\"" << trace::to_string(static_cast<BlameCategory>(c))
+         << "\":" << json_num(k.chain_us[c]);
+    }
+    os << "}";
+    if (has_real_times) {
+      os << ",\"real\":{\"sched_wait_us\":" << json_num(k.real_sched_wait_us)
+         << ",\"prep_us\":" << json_num(k.real_prep_us)
+         << ",\"body_us\":" << json_num(k.real_body_us)
+         << ",\"teq_wait_us\":" << json_num(k.real_teq_wait_us)
+         << ",\"drain_us\":" << json_num(k.real_drain_us) << "}";
+    } else {
+      os << ",\"real\":null";
+    }
+    os << "}";
+  }
+  os << "}";
+  os << ",\"waterfall\":[";
+  for (std::size_t i = 0; i < waterfall.size(); ++i) {
+    const BlameStep& s = waterfall[i];
+    if (i > 0) os << ",";
+    os << "{\"task\":" << s.task_id << ",\"kernel\":\""
+       << escape_json(s.kernel) << "\",\"worker\":" << s.worker
+       << ",\"start_us\":" << json_num(s.virtual_start_us)
+       << ",\"end_us\":" << json_num(s.virtual_end_us) << ",\"parts\":{";
+    bool first_part = true;
+    for (int c = 0; c < kBlameCategoryCount; ++c) {
+      if (s.parts[c] <= 0.0) continue;
+      if (!first_part) os << ",";
+      first_part = false;
+      os << "\"" << trace::to_string(static_cast<BlameCategory>(c))
+         << "\":" << json_num(s.parts[c]);
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace tasksim::trace

@@ -1,0 +1,150 @@
+// blame.hpp — causal blame: "where did the makespan go?"
+//
+// PR 2's attribute_makespan names the binding chain (the tasks that
+// determined when the virtual timeline ended) but lumps everything between
+// chain tasks into one "chain gap".  This module decomposes the *entire*
+// virtual makespan into mutually-exclusive categories, by tiling
+// [t0, t_end] along the binding chain:
+//
+//   * each chain task's committed span splits into `compute` and
+//     `retry_backoff` (the virtual backoff the fault plan folded into a
+//     retried attempt's span; a failed attempt's whole partial span is
+//     retry cost, not useful compute),
+//   * each gap before a chain task's virtual start is classified by
+//     walking a cursor through the task's recorded floors in causal
+//     priority order: `dependency` (producers still running — only
+//     reachable when the producer's span is missing from the trace),
+//     `submit_lag` (the task did not exist yet: the submitter was behind
+//     the workers), `serialization` (the §V-C discipline: a start samples
+//     the global virtual clock, so completions elsewhere push it past the
+//     moment all inputs were ready — the TEQ-front serialization cost),
+//     and the residual `lookahead` (gap under a lookahead release, where
+//     starts decouple from the global front) or `lane_idle` (anything
+//     else),
+//   * `hedge` carries the budget share of hedge-duplicate spans on the
+//     chain (duplicates never commit, so it is structurally ~0; the wasted
+//     duplicate time is reported separately, outside the budget).
+//
+// The tiling is exhaustive and exclusive by construction: the category
+// totals sum to the measured makespan (bench/ablation_blame gates the sum
+// at >= 97%, catching floor corruption or a broken walk).  In the fully
+// serialized engine nearly every gap is `serialization` — a faithful
+// statement about this simulator, where no virtual start can precede the
+// global clock; `lane_idle`/`lookahead` only open up when lookahead
+// releases decouple starts from the front.
+//
+// Inputs: a blame-annotated Trace (floors persisted by text_io v2 — the
+// tools/analyze path), optionally paired with the run's LifecycleLog for
+// the real-time (wall) per-stage decomposition: scheduler wait, dispatch
+// prep, body overhead, TEQ-front wait, and post-front drain (under
+// quiescence/yield mitigation, the mitigation sleep).  blame_annotations()
+// derives the floors from a lifecycle stream, the same way the §V-E race
+// auditor reconstructs them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/lifecycle.hpp"
+#include "trace/trace.hpp"
+
+namespace tasksim::trace {
+
+enum class BlameCategory : int {
+  compute = 0,    ///< chain task spans doing modeled kernel work
+  dependency,     ///< waiting on producers not present in the trace
+  serialization,  ///< global virtual front past the runnable moment (§V-C)
+  submit_lag,     ///< task not yet submitted (workers outran the submitter)
+  retry_backoff,  ///< failed-attempt progress + virtual retry backoff
+  hedge,          ///< hedge-duplicate spans on the chain (structurally ~0)
+  lookahead,      ///< residual gap under a lookahead release
+  lane_idle,      ///< residual gap with no recorded cause
+};
+inline constexpr int kBlameCategoryCount = 8;
+
+const char* to_string(BlameCategory category);
+
+/// One binding-chain link, in timeline order: the gap tiled before the
+/// task's start, then its committed span.
+struct BlameStep {
+  std::uint64_t task_id = 0;
+  std::string kernel;  ///< committed label (may carry !failed / !deadline)
+  int worker = -1;
+  double virtual_start_us = 0.0;
+  double virtual_end_us = 0.0;
+  /// Exhaustive tiling of [previous chain end, virtual_end_us]: the span
+  /// categories (compute / retry_backoff / hedge) plus the gap categories.
+  std::array<double, kBlameCategoryCount> parts{};
+
+  double gap_us() const;  ///< everything except compute/retry/hedge span
+};
+
+/// Per-kernel roll-up (identity kernel: label with the !suffix stripped).
+struct KernelBlame {
+  std::size_t tasks = 0;       ///< distinct task ids
+  std::size_t events = 0;      ///< committed spans (retries add events)
+  double span_us = 0.0;        ///< sum of committed spans
+  double retry_backoff_us = 0.0;  ///< backoff + failed-attempt progress
+  std::size_t chain_tasks = 0;    ///< events on the binding chain
+  /// Chain budget charged to this kernel's chain events (span + gap).
+  std::array<double, kBlameCategoryCount> chain_us{};
+  // Real (wall) per-stage time summed over this kernel's tasks; negative
+  // when unknown (no lifecycle attached).
+  double real_sched_wait_us = -1.0;  ///< ready -> dispatch
+  double real_prep_us = -1.0;        ///< dispatch -> body entry
+  double real_body_us = -1.0;        ///< body entry -> TEQ enter (sampling,
+                                     ///< injected stalls, hedge management)
+  double real_teq_wait_us = -1.0;    ///< TEQ enter -> front
+  double real_drain_us = -1.0;       ///< front -> finish (mitigation sleep,
+                                     ///< quiescence polling, commit)
+};
+
+struct BlameReport {
+  std::string label;
+  double t0_us = 0.0;
+  double makespan_us = 0.0;
+  std::size_t tasks = 0;   ///< distinct task ids in the trace
+  std::size_t events = 0;  ///< committed spans
+  /// Whether the trace carried blame annotations (floors).  Without them
+  /// the tiling still sums to the makespan, but submit/dependency rungs
+  /// collapse into serialization/lane_idle.
+  bool annotated = false;
+  bool has_real_times = false;  ///< lifecycle-derived wall stages present
+  /// The makespan budget: category totals over the whole chain tiling.
+  /// Sum == makespan by construction (coverage() gates it).
+  std::array<double, kBlameCategoryCount> totals{};
+  std::vector<BlameStep> waterfall;  ///< chain links, timeline order
+  std::map<std::string, KernelBlame> kernels;
+  /// Hedge-duplicate virtual time thrown away (outside the budget: losers
+  /// never commit to the timeline).
+  double hedge_wasted_us = 0.0;
+
+  double attributed_us() const;
+  /// attributed / makespan; 1.0 up to rounding.  The ablation gate.
+  double coverage() const;
+
+  /// Budget table plus the top waterfall steps.
+  std::string to_string(std::size_t max_steps = 12) const;
+  /// Stable JSON document ("tasksim-blame-v1").
+  std::string to_json() const;
+};
+
+/// Derive per-task blame annotations from a lifecycle stream: producer
+/// floors, folded submit-time clock, per-task retry backoff, and the
+/// retried/hedged/released/skipped flags — the floors audit_races trusts.
+std::unordered_map<std::uint64_t, TraceAnnotation> blame_annotations(
+    const LifecycleLog& log);
+
+/// Decompose a (preferably annotated) trace.
+BlameReport build_blame(const Trace& trace);
+
+/// As above, plus the real-time per-stage decomposition from the run's
+/// lifecycle log.  The trace is expected to already carry the log's
+/// annotations (the harness applies blame_annotations before calling).
+BlameReport build_blame(const Trace& trace, const LifecycleLog& log);
+
+}  // namespace tasksim::trace

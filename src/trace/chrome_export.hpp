@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "support/profiler.hpp"
+#include "trace/escape.hpp"
 #include "trace/trace.hpp"
 
 namespace tasksim::trace {
@@ -27,12 +28,6 @@ struct CounterTrack {
   int pid = 1;
   std::vector<CounterSample> samples;
 };
-
-/// Escape a string for embedding in a JSON string literal: quotes,
-/// backslashes, the short escapes (\n \t \r \b \f) and \uXXXX for the
-/// remaining control characters, so arbitrary kernel/label text survives a
-/// round-trip through the viewer.
-std::string escape_json(const std::string& text);
 
 /// Derive the number of in-flight tasks over time from a trace (+1 at each
 /// event start, -1 at each end).  For a simulated trace this is exactly the

@@ -1,0 +1,253 @@
+#include "trace/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/strings.hpp"
+#include "trace/escape.hpp"
+
+namespace tasksim::trace {
+
+namespace {
+
+std::string identity_kernel(const std::string& label) {
+  const auto pos = label.find('!');
+  return pos == std::string::npos ? label : label.substr(0, pos);
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// One run's per-task summary, keyed for alignment.
+struct TaskSummary {
+  std::uint64_t task_id = 0;
+  std::string kernel;        ///< identity kernel
+  double self_us = 0.0;      ///< sum of committed spans (retries included)
+  double first_start_us = 0.0;
+  double last_end_us = 0.0;
+};
+
+/// Fold a trace into per-task summaries ordered by task id, then assign
+/// per-kernel ordinals: ids are deterministic submission sequence numbers,
+/// so ordinal order is submission order within the kernel class.
+std::map<std::pair<std::string, std::uint64_t>, TaskSummary> summarize(
+    const Trace& trace) {
+  std::map<std::uint64_t, TaskSummary> by_id;
+  for (const TraceEvent& e : trace.sorted_events()) {
+    auto [it, inserted] = by_id.try_emplace(e.task_id);
+    TaskSummary& t = it->second;
+    if (inserted) {
+      t.task_id = e.task_id;
+      t.kernel = identity_kernel(e.kernel);
+      t.first_start_us = e.start_us;
+      t.last_end_us = e.end_us;
+    }
+    t.self_us += e.duration_us();
+    t.first_start_us = std::min(t.first_start_us, e.start_us);
+    t.last_end_us = std::max(t.last_end_us, e.end_us);
+  }
+  std::map<std::string, std::uint64_t> next_ordinal;
+  std::map<std::pair<std::string, std::uint64_t>, TaskSummary> keyed;
+  for (auto& [id, t] : by_id) {  // ascending task id == submission order
+    const std::uint64_t ordinal = next_ordinal[t.kernel]++;
+    keyed.emplace(std::make_pair(t.kernel, ordinal), std::move(t));
+  }
+  return keyed;
+}
+
+}  // namespace
+
+TraceDiff diff_traces(const Trace& a, const Trace& b,
+                      std::size_t max_regressions) {
+  TraceDiff diff;
+  diff.label_a = a.label();
+  diff.label_b = b.label();
+  diff.makespan_a_us = a.makespan_us();
+  diff.makespan_b_us = b.makespan_us();
+  diff.delta_us = diff.makespan_b_us - diff.makespan_a_us;
+
+  const auto tasks_a = summarize(a);
+  const auto tasks_b = summarize(b);
+
+  std::vector<TaskDelta> deltas;
+  for (const auto& [key, ta] : tasks_a) {
+    auto it = tasks_b.find(key);
+    if (it == tasks_b.end()) {
+      ++diff.only_a;
+      KernelDelta& k = diff.kernels[key.first];
+      ++k.tasks_a;
+      k.self_a_us += ta.self_us;
+      continue;
+    }
+    const TaskSummary& tb = it->second;
+    ++diff.matched;
+    TaskDelta d;
+    d.kernel = key.first;
+    d.ordinal = key.second;
+    d.task_a = ta.task_id;
+    d.task_b = tb.task_id;
+    d.self_a_us = ta.self_us;
+    d.self_b_us = tb.self_us;
+    d.d_self_us = tb.self_us - ta.self_us;
+    d.d_start_us = tb.first_start_us - ta.first_start_us;
+    d.d_completion_us = tb.last_end_us - ta.last_end_us;
+    deltas.push_back(std::move(d));
+    KernelDelta& k = diff.kernels[key.first];
+    ++k.tasks_a;
+    ++k.tasks_b;
+    k.self_a_us += ta.self_us;
+    k.self_b_us += tb.self_us;
+  }
+  for (const auto& [key, tb] : tasks_b) {
+    if (tasks_a.count(key)) continue;
+    ++diff.only_b;
+    KernelDelta& k = diff.kernels[key.first];
+    ++k.tasks_b;
+    k.self_b_us += tb.self_us;
+  }
+  for (auto& [kernel, k] : diff.kernels) {
+    k.d_self_us = k.self_b_us - k.self_a_us;
+  }
+
+  std::sort(deltas.begin(), deltas.end(),
+            [](const TaskDelta& x, const TaskDelta& y) {
+              if (x.d_self_us != y.d_self_us) return x.d_self_us > y.d_self_us;
+              if (x.kernel != y.kernel) return x.kernel < y.kernel;
+              return x.ordinal < y.ordinal;
+            });
+  if (max_regressions > 0 && deltas.size() > max_regressions) {
+    deltas.resize(max_regressions);
+  }
+  diff.top_regressions = std::move(deltas);
+
+  // Category shift: blame both sides with whatever annotations they carry.
+  const BlameReport blame_a = build_blame(a);
+  const BlameReport blame_b = build_blame(b);
+  for (int c = 0; c < kBlameCategoryCount; ++c) {
+    diff.categories[c].a_us = blame_a.totals[c];
+    diff.categories[c].b_us = blame_b.totals[c];
+    diff.categories[c].delta_us = blame_b.totals[c] - blame_a.totals[c];
+  }
+
+  double best_kernel = 0.0;
+  for (const auto& [kernel, k] : diff.kernels) {
+    if (k.d_self_us > best_kernel) {
+      best_kernel = k.d_self_us;
+      diff.dominant_kernel = kernel;
+    }
+  }
+  double best_category = 0.0;
+  for (int c = 0; c < kBlameCategoryCount; ++c) {
+    if (diff.categories[c].delta_us > best_category) {
+      best_category = diff.categories[c].delta_us;
+      diff.dominant_category = to_string(static_cast<BlameCategory>(c));
+    }
+  }
+  return diff;
+}
+
+std::string TraceDiff::to_string(std::size_t max_tasks) const {
+  std::ostringstream os;
+  const double pct = makespan_a_us > 0.0 ? 100.0 * delta_us / makespan_a_us
+                                         : 0.0;
+  os << strprintf(
+      "diff: %s -> %s: makespan %.1f us -> %.1f us (%+.1f us, %+.1f%%)\n",
+      label_a.empty() ? "A" : label_a.c_str(),
+      label_b.empty() ? "B" : label_b.c_str(), makespan_a_us, makespan_b_us,
+      delta_us, pct);
+  os << strprintf("  aligned %zu task identities (%zu only in A, %zu only "
+                  "in B)\n",
+                  matched, only_a, only_b);
+  if (!dominant_kernel.empty() || !dominant_category.empty()) {
+    os << strprintf("  dominant regressing kernel: %s; dominant category "
+                    "shift: %s\n",
+                    dominant_kernel.empty() ? "-" : dominant_kernel.c_str(),
+                    dominant_category.empty() ? "-"
+                                              : dominant_category.c_str());
+  }
+  os << "  category shift (B - A):\n";
+  for (int c = 0; c < kBlameCategoryCount; ++c) {
+    const CategoryDelta& d = categories[c];
+    if (d.a_us == 0.0 && d.b_us == 0.0) continue;
+    os << strprintf("    %-14s %12.1f -> %-12.1f (%+.1f us)\n",
+                    trace::to_string(static_cast<BlameCategory>(c)), d.a_us,
+                    d.b_us, d.delta_us);
+  }
+  os << "  per-kernel self time (B - A):\n";
+  for (const auto& [kernel, k] : kernels) {
+    os << strprintf("    %-14s %12.1f -> %-12.1f (%+.1f us, %zu/%zu tasks)\n",
+                    kernel.c_str(), k.self_a_us, k.self_b_us, k.d_self_us,
+                    k.tasks_a, k.tasks_b);
+  }
+  const std::size_t shown = std::min(max_tasks, top_regressions.size());
+  if (shown > 0) os << "  top regressing tasks:\n";
+  for (std::size_t i = 0; i < shown; ++i) {
+    const TaskDelta& d = top_regressions[i];
+    os << strprintf("    %s[%llu] self %+.1f us (%.1f -> %.1f), start "
+                    "%+.1f, completion %+.1f\n",
+                    d.kernel.c_str(),
+                    static_cast<unsigned long long>(d.ordinal), d.d_self_us,
+                    d.self_a_us, d.self_b_us, d.d_start_us,
+                    d.d_completion_us);
+  }
+  return os.str();
+}
+
+std::string TraceDiff::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"tasksim-diff-v1\"";
+  os << ",\"label_a\":\"" << escape_json(label_a) << "\"";
+  os << ",\"label_b\":\"" << escape_json(label_b) << "\"";
+  os << ",\"makespan_a_us\":" << json_num(makespan_a_us);
+  os << ",\"makespan_b_us\":" << json_num(makespan_b_us);
+  os << ",\"delta_us\":" << json_num(delta_us);
+  os << ",\"matched\":" << matched;
+  os << ",\"only_a\":" << only_a << ",\"only_b\":" << only_b;
+  os << ",\"dominant_kernel\":\"" << escape_json(dominant_kernel) << "\"";
+  os << ",\"dominant_category\":\"" << escape_json(dominant_category) << "\"";
+  os << ",\"categories\":{";
+  for (int c = 0; c < kBlameCategoryCount; ++c) {
+    if (c > 0) os << ",";
+    os << "\"" << trace::to_string(static_cast<BlameCategory>(c))
+       << "\":{\"a_us\":" << json_num(categories[c].a_us)
+       << ",\"b_us\":" << json_num(categories[c].b_us)
+       << ",\"delta_us\":" << json_num(categories[c].delta_us) << "}";
+  }
+  os << "}";
+  os << ",\"kernels\":{";
+  bool first = true;
+  for (const auto& [kernel, k] : kernels) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << escape_json(kernel) << "\":{\"tasks_a\":" << k.tasks_a
+       << ",\"tasks_b\":" << k.tasks_b
+       << ",\"self_a_us\":" << json_num(k.self_a_us)
+       << ",\"self_b_us\":" << json_num(k.self_b_us)
+       << ",\"delta_us\":" << json_num(k.d_self_us) << "}";
+  }
+  os << "}";
+  os << ",\"top_regressions\":[";
+  for (std::size_t i = 0; i < top_regressions.size(); ++i) {
+    const TaskDelta& d = top_regressions[i];
+    if (i > 0) os << ",";
+    os << "{\"kernel\":\"" << escape_json(d.kernel)
+       << "\",\"ordinal\":" << d.ordinal << ",\"task_a\":" << d.task_a
+       << ",\"task_b\":" << d.task_b
+       << ",\"self_a_us\":" << json_num(d.self_a_us)
+       << ",\"self_b_us\":" << json_num(d.self_b_us)
+       << ",\"d_self_us\":" << json_num(d.d_self_us)
+       << ",\"d_start_us\":" << json_num(d.d_start_us)
+       << ",\"d_completion_us\":" << json_num(d.d_completion_us) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace tasksim::trace

@@ -1,0 +1,80 @@
+// diff.hpp — differential trace analysis: "why did run B regress vs A?"
+//
+// Two runs of the same task graph produce traces whose task ids are
+// deterministic submission sequence numbers, but ids are brittle across
+// policy changes (hedging spawns auxiliary tasks, retries multiply
+// events).  Alignment therefore uses stable task identity: (identity
+// kernel, per-kernel ordinal), where the identity kernel strips the
+// engine's !suffix decorations and the ordinal numbers a kernel's tasks by
+// ascending task id — submission is serial program order, so the i-th
+// dgemm of run A is the i-th dgemm of run B even when absolute ids shift.
+//
+// The report attributes the makespan delta three ways:
+//   * per task — self-time delta (committed spans incl. retry attempts),
+//     start shift and completion shift, ranked into "top regressors",
+//   * per kernel — aggregate self-time deltas, naming the kernel class
+//     that grew the most,
+//   * per category — the blame-budget shift between the two runs (both
+//     sides run build_blame), naming the dominant category of the
+//     regression.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/blame.hpp"
+#include "trace/trace.hpp"
+
+namespace tasksim::trace {
+
+/// One aligned task's deltas (B relative to A).
+struct TaskDelta {
+  std::string kernel;         ///< identity kernel
+  std::uint64_t ordinal = 0;  ///< per-kernel ordinal (stable identity)
+  std::uint64_t task_a = 0, task_b = 0;  ///< raw ids in each run
+  double self_a_us = 0.0, self_b_us = 0.0;  ///< committed span sums
+  double d_self_us = 0.0;        ///< self_b - self_a
+  double d_start_us = 0.0;       ///< first start shift
+  double d_completion_us = 0.0;  ///< last end shift
+};
+
+struct KernelDelta {
+  std::size_t tasks_a = 0, tasks_b = 0;
+  double self_a_us = 0.0, self_b_us = 0.0;
+  double d_self_us = 0.0;
+};
+
+struct CategoryDelta {
+  double a_us = 0.0, b_us = 0.0;
+  double delta_us = 0.0;
+};
+
+struct TraceDiff {
+  std::string label_a, label_b;
+  double makespan_a_us = 0.0, makespan_b_us = 0.0;
+  double delta_us = 0.0;  ///< makespan_b - makespan_a
+  std::size_t matched = 0;   ///< aligned task identities
+  std::size_t only_a = 0, only_b = 0;  ///< unmatched identities
+  /// Aligned tasks ranked by self-time growth (descending d_self_us).
+  std::vector<TaskDelta> top_regressions;
+  std::map<std::string, KernelDelta> kernels;
+  /// Blame-budget shift per category (index = BlameCategory).
+  std::array<CategoryDelta, kBlameCategoryCount> categories{};
+  /// The kernel class with the largest self-time growth (empty when none
+  /// grew) and the category with the largest budget growth.
+  std::string dominant_kernel;
+  std::string dominant_category;
+
+  std::string to_string(std::size_t max_tasks = 10) const;
+  /// Stable JSON document ("tasksim-diff-v1").
+  std::string to_json() const;
+};
+
+/// Diff run B against baseline A.  `max_regressions` caps the ranked task
+/// list (0 = keep every aligned task).
+TraceDiff diff_traces(const Trace& a, const Trace& b,
+                      std::size_t max_regressions = 32);
+
+}  // namespace tasksim::trace

@@ -1,0 +1,61 @@
+#include "trace/escape.hpp"
+
+#include <cstdio>
+
+namespace tasksim::trace {
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      // Tab/LF/CR are legal XML characters but would be mangled by
+      // attribute-value normalization; a reference survives verbatim.
+      case '\t': out += "&#9;"; break;
+      case '\n': out += "&#10;"; break;
+      case '\r': out += "&#13;"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // XML 1.0 forbids the remaining C0 controls even as character
+          // references; substitute U+FFFD so the document stays well-formed.
+          out += "\xEF\xBF\xBD";
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace tasksim::trace

@@ -1,0 +1,28 @@
+// escape.hpp — string escaping shared by the trace exporters.
+//
+// Kernel labels flow into three serialized formats: JSON (chrome_export,
+// the blame/diff reports), XML (svg_export), and the plain-text trace
+// format.  Labels are normally plain kernel names, but the engine decorates
+// them ("dgemm!failed") and nothing stops a caller from recording arbitrary
+// text — so every exporter escapes through the same two helpers here rather
+// than growing its own partial copy.
+#pragma once
+
+#include <string>
+
+namespace tasksim::trace {
+
+/// Escape a string for embedding in a JSON string literal: quotes,
+/// backslashes, the short escapes (\n \t \r \b \f) and \uXXXX for the
+/// remaining control characters, so arbitrary kernel/label text survives a
+/// round-trip through the viewer.
+std::string escape_json(const std::string& text);
+
+/// Escape a string for embedding in XML attribute or element text: the
+/// five predefined entities (& < > " ') plus the control characters XML 1.0
+/// forbids outright — tab/LF/CR become numeric character references (legal
+/// everywhere we emit them) and the remaining C0 controls become U+FFFD,
+/// since no escape can make them well-formed.
+std::string escape_xml(const std::string& text);
+
+}  // namespace tasksim::trace

@@ -711,6 +711,59 @@ std::vector<std::string> render_lifecycle_events(const LifecycleLog& log,
         consumer->second.worker < 0 ? 0 : consumer->second.worker,
         number(consumer->second.virtual_start_us).c_str()));
   }
+  // Hedge duplicate pairs (DESIGN.md §12), mirroring the dependence
+  // arrows: a "hedge" flow from the original's lane to the duplicate at
+  // the spawn instant, and a "hedge-win"/"hedge-cancel" flow back from the
+  // duplicate to the original at the winner completion, so a hedged run's
+  // races are visually traceable in the viewer.
+  auto lane_of = [&](std::uint64_t task, int fallback) {
+    const auto it = log.tasks.find(task);
+    if (it == log.tasks.end() || it->second.worker < 0) return fallback;
+    return it->second.worker;
+  };
+  std::uint64_t hedge_id = 0;
+  for (const Event& e : log.events) {
+    const char* name = nullptr;
+    std::uint64_t from_task = 0, to_task = 0;
+    double ts = 0.0;
+    switch (e.type) {
+      case EventType::hedge_launch:
+        // task = duplicate id, other = original, a = duplicate start.
+        name = "hedge";
+        from_task = e.other;
+        to_task = e.task;
+        ts = e.a;
+        break;
+      case EventType::hedge_win:
+        // task = original, other = duplicate, a = winner completion.
+        name = "hedge-win";
+        from_task = e.other;
+        to_task = e.task;
+        ts = e.a;
+        break;
+      case EventType::hedge_cancel:
+        // task = duplicate, other = original, a = winner completion.
+        name = "hedge-cancel";
+        from_task = e.task;
+        to_task = e.other;
+        ts = e.a;
+        break;
+      default:
+        continue;
+    }
+    const int fallback = e.worker < 0 ? 0 : e.worker;
+    const std::uint64_t flow = hedge_id++;
+    out.push_back(strprintf(
+        "{\"name\":\"%s\",\"cat\":\"hedge\",\"ph\":\"s\",\"id\":%llu,"
+        "\"pid\":%d,\"tid\":%d,\"ts\":%s}",
+        name, static_cast<unsigned long long>(flow), pid,
+        lane_of(from_task, fallback), number(ts).c_str()));
+    out.push_back(strprintf(
+        "{\"name\":\"%s\",\"cat\":\"hedge\",\"ph\":\"f\",\"bp\":\"e\","
+        "\"id\":%llu,\"pid\":%d,\"tid\":%d,\"ts\":%s}",
+        name, static_cast<unsigned long long>(flow), pid,
+        lane_of(to_task, fallback), number(ts).c_str()));
+  }
   return out;
 }
 

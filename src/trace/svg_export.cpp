@@ -8,25 +8,9 @@
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "trace/color.hpp"
+#include "trace/escape.hpp"
 
 namespace tasksim::trace {
-
-namespace {
-std::string escape_xml(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      default: out.push_back(c);
-    }
-  }
-  return out;
-}
-}  // namespace
 
 std::string render_svg(const Trace& trace, const SvgOptions& options) {
   const auto events = trace.sorted_events();

@@ -14,10 +14,19 @@ void save_trace(const Trace& trace, std::ostream& out) {
   // output and restore the caller's precision afterwards — the stream is
   // borrowed, not owned.
   const std::streamsize saved_precision = out.precision(17);
-  out << "# tasksim-trace v1 label=" << trace.label() << "\n";
+  // v1 when no event carries blame annotations (byte-stable with older
+  // writers); v2 appends the four blame columns between the times and the
+  // kernel so annotated traces stay causally analyzable offline.
+  const bool v2 = trace.has_annotations();
+  out << "# tasksim-trace " << (v2 ? "v2" : "v1") << " label=" << trace.label()
+      << "\n";
   for (const auto& e : trace.sorted_events()) {
-    out << e.task_id << ' ' << e.worker << ' ' << e.start_us << ' ' << e.end_us
-        << ' ' << e.kernel << "\n";
+    out << e.task_id << ' ' << e.worker << ' ' << e.start_us << ' ' << e.end_us;
+    if (v2) {
+      out << ' ' << e.dep_floor_us << ' ' << e.submit_floor_us << ' '
+          << e.retry_backoff_us << ' ' << e.flags;
+    }
+    out << ' ' << e.kernel << "\n";
   }
   out.precision(saved_precision);
 }
@@ -32,20 +41,24 @@ void save_trace(const Trace& trace, const std::string& path) {
 Trace load_trace(std::istream& in) {
   std::string line;
   TS_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty trace file");
-  TS_REQUIRE(starts_with(line, "# tasksim-trace v1"),
+  const bool v2 = starts_with(line, "# tasksim-trace v2");
+  TS_REQUIRE(v2 || starts_with(line, "# tasksim-trace v1"),
              "not a tasksim trace file: bad header");
   Trace trace;
   if (auto pos = line.find("label="); pos != std::string::npos) {
     trace.set_label(trim(line.substr(pos + 6)));
   }
+  const std::size_t kernel_field = v2 ? 8 : 4;
   std::size_t line_no = 1;
+  std::unordered_map<std::uint64_t, TraceAnnotation> notes;
   while (std::getline(in, line)) {
     ++line_no;
     const std::string trimmed = trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
     const auto fields = split_whitespace(trimmed);
-    TS_REQUIRE(fields.size() >= 5,
-               "trace line " + std::to_string(line_no) + ": expected 5 fields");
+    TS_REQUIRE(fields.size() >= kernel_field + 1,
+               "trace line " + std::to_string(line_no) + ": expected " +
+                   std::to_string(kernel_field + 1) + " fields");
     const auto task_id = static_cast<std::uint64_t>(parse_int(fields[0]));
     const int worker = static_cast<int>(parse_int(fields[1]));
     const double start = parse_double(fields[2]);
@@ -55,11 +68,26 @@ Trace load_trace(std::istream& in) {
                    ": non-finite event time");
     TS_REQUIRE(end >= start, "trace line " + std::to_string(line_no) +
                                  ": event ends before it starts");
-    // Kernel names may not contain whitespace; everything after field 3 is
-    // rejoined defensively in case a name ever does.
-    std::vector<std::string> rest(fields.begin() + 4, fields.end());
+    if (v2) {
+      TraceAnnotation note;
+      note.dep_floor_us = parse_double(fields[4]);
+      note.submit_floor_us = parse_double(fields[5]);
+      note.retry_backoff_us = parse_double(fields[6]);
+      note.flags = static_cast<std::uint32_t>(parse_int(fields[7]));
+      TS_REQUIRE(std::isfinite(note.dep_floor_us) &&
+                     std::isfinite(note.submit_floor_us) &&
+                     std::isfinite(note.retry_backoff_us) &&
+                     note.retry_backoff_us >= 0.0,
+                 "trace line " + std::to_string(line_no) +
+                     ": malformed blame fields");
+      notes[task_id] = note;
+    }
+    // Kernel names may not contain whitespace; everything after the fixed
+    // columns is rejoined defensively in case a name ever does.
+    std::vector<std::string> rest(fields.begin() + kernel_field, fields.end());
     trace.record(task_id, join(rest, " "), worker, start, end);
   }
+  if (!notes.empty()) trace.annotate(notes);
   return trace;
 }
 

@@ -54,6 +54,27 @@ void Trace::record(std::uint64_t task_id, const std::string& kernel,
   events_.push_back(TraceEvent{task_id, kernel, worker, start_us, end_us});
 }
 
+void Trace::annotate(
+    const std::unordered_map<std::uint64_t, TraceAnnotation>& notes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TraceEvent& e : events_) {
+    auto it = notes.find(e.task_id);
+    if (it == notes.end()) continue;
+    e.dep_floor_us = it->second.dep_floor_us;
+    e.submit_floor_us = it->second.submit_floor_us;
+    e.retry_backoff_us = it->second.retry_backoff_us;
+    e.flags = it->second.flags;
+  }
+}
+
+bool Trace::has_annotations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TraceEvent& e : events_) {
+    if (e.has_blame()) return true;
+  }
+  return false;
+}
+
 std::size_t Trace::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return events_.size();

@@ -14,9 +14,19 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace tasksim::trace {
+
+/// Per-event flags carried by blame annotations (trace/blame) and the v2
+/// text format.
+enum TraceEventFlag : std::uint32_t {
+  kTraceFlagRetried = 1u << 0,   ///< injected failures preceded this task
+  kTraceFlagHedged = 1u << 1,    ///< a hedge duplicate raced this task
+  kTraceFlagReleased = 1u << 2,  ///< committed via a lookahead release
+  kTraceFlagSkipped = 1u << 3,   ///< poisoned: committed a zero-length span
+};
 
 struct TraceEvent {
   std::uint64_t task_id = 0;   ///< scheduler-assigned task sequence number
@@ -24,8 +34,25 @@ struct TraceEvent {
   int worker = 0;              ///< executing worker index
   double start_us = 0.0;
   double end_us = 0.0;
+  // Blame annotations (trace/blame): virtual floors recorded post-run from
+  // the lifecycle stream so a saved trace stays causally analyzable.  A
+  // negative floor means "not recorded" (v1 traces, real runs).
+  double dep_floor_us = -1.0;     ///< max producer virtual completion
+  double submit_floor_us = -1.0;  ///< virtual clock when the task was submitted
+  double retry_backoff_us = 0.0;  ///< virtual backoff folded into the span
+  std::uint32_t flags = 0;        ///< TraceEventFlag bitmask
 
   double duration_us() const { return end_us - start_us; }
+  bool has_blame() const { return dep_floor_us >= 0.0 || submit_floor_us >= 0.0; }
+};
+
+/// One task's blame annotation, applied to every event with that task id
+/// (retried tasks commit one event per attempt; the floors are per task).
+struct TraceAnnotation {
+  double dep_floor_us = -1.0;
+  double submit_floor_us = -1.0;
+  double retry_backoff_us = 0.0;
+  std::uint32_t flags = 0;
 };
 
 /// Append-only, thread-safe event log with run metadata.
@@ -47,6 +74,15 @@ class Trace {
   /// Record one completed task.  Callable concurrently.
   void record(std::uint64_t task_id, const std::string& kernel, int worker,
               double start_us, double end_us);
+
+  /// Apply blame annotations post-run: every event whose task id appears in
+  /// `notes` receives that task's floors and flags.  Events without an
+  /// entry are left untouched.
+  void annotate(const std::unordered_map<std::uint64_t, TraceAnnotation>& notes);
+
+  /// True when any event carries blame annotations (controls whether
+  /// text_io writes the v2 format).
+  bool has_annotations() const;
 
   /// Number of events recorded so far.
   std::size_t size() const;

@@ -1,0 +1,410 @@
+// Tests for the causal-blame pipeline (DESIGN.md §13): the blame budget
+// partition, lifecycle-derived annotations and their text v2 round-trip,
+// same-seed determinism, the trace differ, the shared exporter escaping,
+// and the hedge flow arrows in the Chrome export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
+#include "sim/fault_injection.hpp"
+#include "stats/distribution.hpp"
+#include "trace/blame.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/diff.hpp"
+#include "trace/escape.hpp"
+#include "trace/lifecycle.hpp"
+#include "trace/svg_export.hpp"
+#include "trace/text_io.hpp"
+#include "trace/trace.hpp"
+
+namespace tasksim::trace {
+namespace {
+
+sim::KernelModelSet constant_models() {
+  sim::KernelModelSet models;
+  models.set_model("dpotrf", std::make_unique<stats::ConstantDist>(120.0));
+  models.set_model("dtrsm", std::make_unique<stats::ConstantDist>(80.0));
+  models.set_model("dsyrk", std::make_unique<stats::ConstantDist>(90.0));
+  models.set_model("dgemm", std::make_unique<stats::ConstantDist>(100.0));
+  models.set_model("dchain", std::make_unique<stats::ConstantDist>(100.0));
+  return models;
+}
+
+harness::RunResult small_run(const std::string& fault_spec = "",
+                             harness::Algorithm algorithm =
+                                 harness::Algorithm::cholesky,
+                             bool master_only = false) {
+  harness::ExperimentConfig config;
+  config.scheduler = "quark";
+  config.algorithm = algorithm;
+  config.n = 192;
+  config.nb = 64;
+  config.workers = master_only ? 1 : 2;
+  config.master_participates = master_only;
+  config.seed = 7;
+  config.blame = true;
+  config.watchdog_timeout_us = 10e6;
+  if (!fault_spec.empty()) {
+    config.faults = sim::parse_fault_spec(fault_spec);
+    config.max_task_retries = 32;
+  }
+  const sim::KernelModelSet models = constant_models();
+  return harness::run_simulated(config, models);
+}
+
+std::string trace_bytes(const Trace& trace) {
+  std::ostringstream os;
+  save_trace(trace, os);
+  return os.str();
+}
+
+// --- the budget is a partition ------------------------------------------
+
+TEST(Blame, BudgetPartitionsTheMakespan) {
+  const harness::RunResult run = small_run();
+  ASSERT_TRUE(run.blame);
+  const BlameReport& report = *run.blame;
+  EXPECT_TRUE(report.annotated);
+  EXPECT_GT(report.makespan_us, 0.0);
+  EXPECT_NEAR(report.coverage(), 1.0, 1e-6);
+  for (double total : report.totals) EXPECT_GE(total, 0.0);
+  // Mutual exclusivity: every waterfall tile's parts sum to its width.
+  double prev_end = report.t0_us;
+  for (const BlameStep& step : report.waterfall) {
+    double parts = 0.0;
+    for (double p : step.parts) parts += p;
+    EXPECT_NEAR(parts, step.virtual_end_us - prev_end, 1e-6);
+    prev_end = step.virtual_end_us;
+  }
+  EXPECT_DOUBLE_EQ(prev_end, report.t0_us + report.makespan_us);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("tasksim-blame-v1"), std::string::npos);
+  EXPECT_NE(report.to_string().find("compute"), std::string::npos);
+}
+
+TEST(Blame, ProducerFloorContinuesTheChainThroughTheProducer) {
+  // Lane 1 runs the producer [0,120]; lane 0 runs [0,100] and then the
+  // consumer [150,250] whose recorded floor (120) is the producer's end.
+  // The chain walks consumer -> producer; the 30 µs between the floor and
+  // the consumer's start has no recorded cause and lands in lane_idle.
+  Trace t("hand");
+  t.record(0, "a", 0, 0.0, 100.0);
+  t.record(1, "p", 1, 0.0, 120.0);
+  t.record(2, "b", 0, 150.0, 250.0);
+  std::unordered_map<std::uint64_t, TraceAnnotation> notes;
+  notes[2] = TraceAnnotation{120.0, 0.0, 0.0, 0};
+  t.annotate(notes);
+  const BlameReport report = build_blame(t);
+  EXPECT_TRUE(report.annotated);
+  const auto cat = [&](BlameCategory c) {
+    return report.totals[static_cast<std::size_t>(static_cast<int>(c))];
+  };
+  ASSERT_EQ(report.waterfall.size(), 2u);
+  EXPECT_EQ(report.waterfall[0].task_id, 1u);
+  EXPECT_EQ(report.waterfall[1].task_id, 2u);
+  EXPECT_NEAR(cat(BlameCategory::compute), 220.0, 1e-9);
+  EXPECT_NEAR(cat(BlameCategory::dependency), 0.0, 1e-9);
+  EXPECT_NEAR(cat(BlameCategory::lane_idle), 30.0, 1e-9);
+  EXPECT_NEAR(report.coverage(), 1.0, 1e-9);
+}
+
+TEST(Blame, MissingProducerChargesDependency) {
+  // The consumer's floor (120) names a producer absent from the trace (a
+  // truncated capture): the chain terminates at the consumer and the gap
+  // up to the floor is charged to dependency, the rest to lane_idle.
+  Trace t("truncated");
+  t.record(0, "a", 0, 0.0, 100.0);
+  t.record(1, "b", 0, 150.0, 250.0);
+  std::unordered_map<std::uint64_t, TraceAnnotation> notes;
+  notes[0] = TraceAnnotation{0.0, 0.0, 0.0, 0};
+  notes[1] = TraceAnnotation{120.0, 0.0, 0.0, 0};
+  t.annotate(notes);
+  const BlameReport report = build_blame(t);
+  const auto cat = [&](BlameCategory c) {
+    return report.totals[static_cast<std::size_t>(static_cast<int>(c))];
+  };
+  ASSERT_EQ(report.waterfall.size(), 1u);
+  EXPECT_EQ(report.waterfall[0].task_id, 1u);
+  EXPECT_NEAR(cat(BlameCategory::compute), 100.0, 1e-9);
+  EXPECT_NEAR(cat(BlameCategory::dependency), 120.0, 1e-9);
+  EXPECT_NEAR(cat(BlameCategory::lane_idle), 30.0, 1e-9);
+  EXPECT_NEAR(report.coverage(), 1.0, 1e-9);
+}
+
+TEST(Blame, UnannotatedTraceStillTiles) {
+  Trace t("plain");
+  t.record(0, "a", 0, 0.0, 100.0);
+  t.record(1, "b", 0, 130.0, 200.0);
+  const BlameReport report = build_blame(t);
+  EXPECT_FALSE(report.annotated);
+  // The tiling is exhaustive even without floors; the gap lands in the
+  // residual categories, never in dependency/submit_lag.
+  EXPECT_NEAR(report.coverage(), 1.0, 1e-9);
+  const auto cat = [&](BlameCategory c) {
+    return report.totals[static_cast<std::size_t>(static_cast<int>(c))];
+  };
+  EXPECT_DOUBLE_EQ(cat(BlameCategory::dependency), 0.0);
+  EXPECT_DOUBLE_EQ(cat(BlameCategory::submit_lag), 0.0);
+}
+
+TEST(Blame, RetryRunChargesRetryBackoff) {
+  const harness::RunResult run =
+      small_run("dchain:p=0.5,frac=0.5", harness::Algorithm::chains);
+  ASSERT_TRUE(run.blame);
+  EXPECT_GT(run.failed_attempts, 0u);
+  const double retry_us = run.blame->totals[static_cast<std::size_t>(
+      static_cast<int>(BlameCategory::retry_backoff))];
+  EXPECT_GT(retry_us, 0.0);
+  // The annotated timeline carries the retried flag and the folded backoff
+  // on the affected tasks.
+  bool saw_retry_annotation = false;
+  for (const TraceEvent& e : run.timeline.events()) {
+    if ((e.flags & kTraceFlagRetried) != 0 && e.retry_backoff_us > 0.0) {
+      saw_retry_annotation = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_retry_annotation);
+}
+
+// --- annotations survive the text v2 round-trip -------------------------
+
+TEST(Blame, AnnotationsRoundTripThroughTextV2) {
+  const harness::RunResult run = small_run();
+  ASSERT_TRUE(run.timeline.has_annotations());
+  const std::string saved = trace_bytes(run.timeline);
+  std::istringstream is(saved);
+  const Trace loaded = load_trace(is);
+  EXPECT_TRUE(loaded.has_annotations());
+  EXPECT_EQ(loaded.size(), run.timeline.size());
+  // Byte-stable: saving the loaded trace reproduces the document.
+  EXPECT_EQ(trace_bytes(loaded), saved);
+  // Analysis-stable: blame built from the reloaded trace matches blame
+  // built from the live one (the tools/analyze path).
+  EXPECT_EQ(build_blame(loaded).to_json(), build_blame(run.timeline).to_json());
+}
+
+TEST(Blame, TextV2PreservesFloorsFlagsAndBackoff) {
+  Trace t("fields");
+  t.record(3, "dgemm", 1, 10.0, 60.0);
+  std::unordered_map<std::uint64_t, TraceAnnotation> notes;
+  notes[3] = TraceAnnotation{7.5, 2.25, 12.5,
+                             kTraceFlagRetried | kTraceFlagHedged};
+  t.annotate(notes);
+  std::istringstream is(trace_bytes(t));
+  const Trace loaded = load_trace(is);
+  const std::vector<TraceEvent> events = loaded.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].dep_floor_us, 7.5);
+  EXPECT_DOUBLE_EQ(events[0].submit_floor_us, 2.25);
+  EXPECT_DOUBLE_EQ(events[0].retry_backoff_us, 12.5);
+  EXPECT_EQ(events[0].flags, kTraceFlagRetried | kTraceFlagHedged);
+}
+
+// --- determinism: same seed, same bytes ---------------------------------
+
+TEST(Blame, SameSeedMasterOnlyRunsAreByteIdentical) {
+  // Master-only: zero spawned threads, the whole DAG is submitted before
+  // the first task executes, so the schedule — and every derived document —
+  // is a pure function of the DAG, the policy, and the seed.
+  const harness::RunResult a =
+      small_run("", harness::Algorithm::cholesky, /*master_only=*/true);
+  const harness::RunResult b =
+      small_run("", harness::Algorithm::cholesky, /*master_only=*/true);
+  EXPECT_EQ(trace_bytes(a.timeline), trace_bytes(b.timeline));
+  // The virtual blame document is byte-identical; the harness-attached
+  // reports additionally carry real (wall) stage times, which legitimately
+  // vary run to run.
+  EXPECT_EQ(build_blame(a.timeline).to_json(), build_blame(b.timeline).to_json());
+}
+
+TEST(Blame, SweepPoolsBlameAcrossEngines) {
+  // With base.blame set every engine carries a report: the fleet document
+  // pools the category totals into a non-null "blame" section and each
+  // engine row reports its own coverage.
+  harness::SweepConfig sweep;
+  sweep.base = [] {
+    harness::ExperimentConfig config;
+    config.scheduler = "quark";
+    config.algorithm = harness::Algorithm::cholesky;
+    config.n = 192;
+    config.nb = 64;
+    config.workers = 1;
+    config.master_participates = true;
+    config.seed = 7;
+    config.blame = true;
+    config.watchdog_timeout_us = 10e6;
+    return config;
+  }();
+  sweep.engines = 2;
+  sweep.concurrency = 1;
+  const harness::SweepResult result =
+      harness::run_sweep(sweep, constant_models());
+  ASSERT_EQ(result.engines.size(), 2u);
+  for (const harness::EngineRunResult& engine : result.engines) {
+    ASSERT_TRUE(engine.ok) << engine.error;
+    ASSERT_TRUE(engine.blame);
+    EXPECT_NEAR(engine.blame->coverage(), 1.0, 1e-6);
+  }
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"blame\":{\"engines\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"blame\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"blame_coverage\":"), std::string::npos);
+}
+
+// --- differential analysis ----------------------------------------------
+
+TEST(Diff, NamesTheInjectedKernelClass) {
+  const harness::RunResult clean = small_run();
+  const harness::RunResult slow =
+      small_run("dgemm:tailp=1,tailmult=3,tailshape=0");
+  const TraceDiff diff = diff_traces(clean.timeline, slow.timeline);
+  EXPECT_GT(diff.delta_us, 0.0);
+  EXPECT_GT(diff.matched, 0u);
+  EXPECT_EQ(diff.dominant_kernel, "dgemm");
+  // Only dgemm's self time grew.
+  const auto it = diff.kernels.find("dgemm");
+  ASSERT_NE(it, diff.kernels.end());
+  EXPECT_GT(it->second.d_self_us, 0.0);
+  const std::string json = diff.to_json();
+  EXPECT_NE(json.find("tasksim-diff-v1"), std::string::npos);
+  EXPECT_NE(diff.to_string().find("dgemm"), std::string::npos);
+}
+
+TEST(Diff, NamesRetryBackoffAsTheDominantCategory) {
+  const harness::RunResult clean =
+      small_run("", harness::Algorithm::chains);
+  const harness::RunResult faulty =
+      small_run("dchain:p=0.5,frac=0.5", harness::Algorithm::chains);
+  EXPECT_TRUE(faulty.poisoned.empty());
+  const TraceDiff diff = diff_traces(clean.timeline, faulty.timeline);
+  EXPECT_GT(diff.delta_us, 0.0);
+  EXPECT_EQ(diff.dominant_category, "retry_backoff");
+}
+
+TEST(Diff, AlignsByIdentityKernelAndOrdinal) {
+  // Run B decorates one label with the engine's !suffix and shifts every
+  // id; alignment must still pair the i-th dgemm with the i-th dgemm.
+  Trace a("a");
+  a.record(0, "dgemm", 0, 0.0, 100.0);
+  a.record(1, "dgemm", 0, 100.0, 200.0);
+  a.record(2, "dtrsm", 0, 200.0, 280.0);
+  Trace b("b");
+  b.record(10, "dgemm", 0, 0.0, 100.0);
+  b.record(11, "dgemm!failed", 0, 100.0, 150.0);
+  b.record(11, "dgemm", 0, 150.0, 300.0);
+  b.record(12, "dtrsm", 0, 300.0, 380.0);
+  const TraceDiff diff = diff_traces(a, b);
+  EXPECT_EQ(diff.matched, 3u);
+  EXPECT_EQ(diff.only_a, 0u);
+  EXPECT_EQ(diff.only_b, 0u);
+  // The second dgemm's self time grew by the failed attempt (50) plus the
+  // longer final span (150 vs 100): +100 in total.
+  bool found = false;
+  for (const TaskDelta& d : diff.top_regressions) {
+    if (d.kernel == "dgemm" && d.ordinal == 1) {
+      EXPECT_EQ(d.task_a, 1u);
+      EXPECT_EQ(d.task_b, 11u);
+      EXPECT_NEAR(d.d_self_us, 100.0, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(diff.dominant_kernel, "dgemm");
+}
+
+// --- exporter escaping (shared trace/escape helpers) --------------------
+
+TEST(Escape, JsonEscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escape_json("plain"), "plain");
+  EXPECT_EQ(escape_json("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_json("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_json("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(escape_json(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(Escape, XmlEscapesEntitiesAndControls) {
+  EXPECT_EQ(escape_xml("plain"), "plain");
+  EXPECT_EQ(escape_xml("<&>\"'"), "&lt;&amp;&gt;&quot;&apos;");
+  EXPECT_EQ(escape_xml("a\nb"), "a&#10;b");
+  // C0 controls XML 1.0 forbids outright become U+FFFD.
+  EXPECT_EQ(escape_xml(std::string("a\x01z")), "a\xEF\xBF\xBDz");
+}
+
+TEST(Escape, HostileKernelLabelsSurviveTheExporters) {
+  const std::string hostile = "<dgemm> & \"pwn\"\n\x02!failed";
+  Trace t("label <&> \"quoted\"");
+  t.record(0, hostile, 0, 0.0, 100.0);
+  t.record(1, "dtrsm", 1, 100.0, 180.0);
+
+  const std::string svg = render_svg(t);
+  EXPECT_EQ(svg.find("<dgemm>"), std::string::npos);
+  EXPECT_NE(svg.find("&lt;dgemm&gt;"), std::string::npos);
+  // No raw C0 control bytes survive into the XML document.
+  for (char c : svg) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(u == '\n' || u == '\t' || u >= 0x20) << "raw control byte";
+  }
+
+  const std::string chrome = render_chrome_json(t);
+  EXPECT_NE(chrome.find("\\\"pwn\\\""), std::string::npos);
+  EXPECT_NE(chrome.find("\\n"), std::string::npos);
+  // Newlines separate JSON tokens (document formatting); no other raw
+  // control byte may survive into the document.
+  for (char c : chrome) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(u == '\n' || u >= 0x20) << "raw control byte";
+  }
+}
+
+// --- hedge flow arrows in the Chrome export -----------------------------
+
+TEST(ChromeExport, HedgeFlowArrowsPairDuplicateAndOriginal) {
+  using flightrec::Event;
+  using flightrec::EventType;
+  flightrec::Stream stream;
+  auto push = [&](EventType type, std::uint64_t task, int worker, double a,
+                  double b, std::uint64_t other, double wall) {
+    Event e;
+    e.type = type;
+    e.task = task;
+    e.worker = worker;
+    e.a = a;
+    e.b = b;
+    e.other = other;
+    e.wall_us = wall;
+    stream.events.push_back(e);
+  };
+  // Task 1 straggles on worker 0; duplicate 2 launches on worker 1 at
+  // virtual 50 and wins with completion 120.
+  push(EventType::task_submit, 1, -1, 0.0, 0.0, 0, 1.0);
+  push(EventType::task_dispatch, 1, 0, 0.0, 0.0, 0, 2.0);
+  push(EventType::teq_enter, 1, 0, 0.0, 200.0, 1, 3.0);
+  push(EventType::hedge_launch, 2, 1, 50.0, 120.0, 1, 4.0);
+  push(EventType::hedge_win, 1, 0, 120.0, 80.0, 2, 5.0);
+  push(EventType::task_return, 1, 0, 120.0, 0.0, 0, 6.0);
+  stream.kernels[1] = "dgemm";
+  const LifecycleLog log = build_lifecycle(std::move(stream));
+  const std::vector<std::string> events = render_lifecycle_events(log, 1);
+  bool saw_hedge_start = false;
+  bool saw_hedge_finish = false;
+  bool saw_win = false;
+  for (const std::string& e : events) {
+    if (e.find("\"cat\":\"hedge\"") == std::string::npos) continue;
+    if (e.find("\"ph\":\"s\"") != std::string::npos) saw_hedge_start = true;
+    if (e.find("\"ph\":\"f\"") != std::string::npos) saw_hedge_finish = true;
+    if (e.find("hedge-win") != std::string::npos) saw_win = true;
+  }
+  EXPECT_TRUE(saw_hedge_start);
+  EXPECT_TRUE(saw_hedge_finish);
+  EXPECT_TRUE(saw_win);
+}
+
+}  // namespace
+}  // namespace tasksim::trace

@@ -1,0 +1,169 @@
+// analyze.cpp — offline trace forensics: "why is this run slow, and why
+// did it regress?" (DESIGN.md §13).
+//
+// Subcommands over saved traces (text_io format; v2 traces carry the blame
+// annotations the harness persists when ExperimentConfig::blame is on):
+//
+//   analyze blame --trace run.trace [--json] [--out report.json] [--top N]
+//     Tile the makespan into mutually-exclusive wait-state categories
+//     along the executed critical path and print the budget + waterfall.
+//
+//   analyze waterfall --trace run.trace [--top N] [--json]
+//     The chain-link view: every binding-chain link in timeline order with
+//     its gap tiling — the long-form version of blame's ranked summary.
+//
+//   analyze diff --baseline a.trace --trace b.trace [--json] [--top N]
+//     Align the two runs by stable task identity (kernel, ordinal) and
+//     attribute the makespan delta to tasks, kernel classes, and blame
+//     categories: "dgemm grew 40% and the shift is retry_backoff".
+//
+// --json prints the stable machine-readable document ("tasksim-blame-v1" /
+// "tasksim-diff-v1") instead of text; --out writes it to a file as well.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "trace/blame.hpp"
+#include "trace/diff.hpp"
+#include "trace/text_io.hpp"
+
+using namespace tasksim;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <blame|waterfall|diff> [options]\n"
+               "  blame      --trace FILE [--json] [--out FILE] [--top N]\n"
+               "  waterfall  --trace FILE [--json] [--top N]\n"
+               "  diff       --baseline FILE --trace FILE [--json] "
+               "[--out FILE] [--top N]\n"
+               "run '%s <subcommand> --help' for details\n",
+               argv0, argv0);
+  return 1;
+}
+
+/// Write `document` to `path` (used for --out alongside stdout output).
+void write_file(const std::string& path, const std::string& document) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("cannot open output file '" + path + "'");
+  out << document << "\n";
+}
+
+int run_blame(int argc, char** argv, bool waterfall_view) {
+  std::string trace_path, out_path;
+  bool json = false;
+  int top = waterfall_view ? 0 : 12;
+  CliParser cli(waterfall_view ? "analyze waterfall" : "analyze blame",
+                waterfall_view
+                    ? "chain-link waterfall of a saved trace's makespan"
+                    : "makespan blame budget of a saved trace");
+  cli.add_string("trace", &trace_path, "trace file to analyze (text format)");
+  cli.add_flag("json", &json, "print the tasksim-blame-v1 JSON document");
+  cli.add_string("out", &out_path, "also write the JSON document here");
+  cli.add_int("top", &top, "waterfall links to print (0 = all)");
+  if (!cli.parse(argc, argv)) return 0;
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "error: --trace is required\n%s", cli.usage().c_str());
+    return 1;
+  }
+  const trace::Trace trace = trace::load_trace(trace_path);
+  const trace::BlameReport report = trace::build_blame(trace);
+  if (!out_path.empty()) write_file(out_path, report.to_json());
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+    return 0;
+  }
+  if (waterfall_view) {
+    std::printf("waterfall: %s (%zu links, makespan %s)\n", trace_path.c_str(),
+                report.waterfall.size(),
+                format_duration_us(report.makespan_us).c_str());
+    const std::size_t limit =
+        top > 0 ? static_cast<std::size_t>(top) : report.waterfall.size();
+    std::size_t shown = 0;
+    for (const trace::BlameStep& step : report.waterfall) {
+      if (shown++ >= limit) break;
+      std::printf("  [%9.1f, %9.1f] w%-2d %-24s",
+                  step.virtual_start_us - report.t0_us,
+                  step.virtual_end_us - report.t0_us, step.worker,
+                  (step.kernel + strprintf("#%llu",
+                                           static_cast<unsigned long long>(
+                                               step.task_id)))
+                      .c_str());
+      for (int c = 0; c < trace::kBlameCategoryCount; ++c) {
+        const double us = step.parts[static_cast<std::size_t>(c)];
+        if (us <= 0.0) continue;
+        std::printf(" %s=%.1f",
+                    trace::to_string(static_cast<trace::BlameCategory>(c)),
+                    us);
+      }
+      std::printf("\n");
+    }
+    if (report.waterfall.size() > limit) {
+      std::printf("  ... %zu more links (raise --top)\n",
+                  report.waterfall.size() - limit);
+    }
+    std::printf("coverage: %.1f%% of the makespan attributed%s\n",
+                100.0 * report.coverage(),
+                report.annotated ? "" : " [no annotations: floors collapsed]");
+  } else {
+    std::fputs(
+        report.to_string(top > 0 ? static_cast<std::size_t>(top) : 12).c_str(),
+        stdout);
+  }
+  return 0;
+}
+
+int run_diff(int argc, char** argv) {
+  std::string baseline_path, trace_path, out_path;
+  bool json = false;
+  int top = 10;
+  CliParser cli("analyze diff",
+                "attribute the makespan delta between two saved traces");
+  cli.add_string("baseline", &baseline_path, "baseline (run A) trace file");
+  cli.add_string("trace", &trace_path, "regressed (run B) trace file");
+  cli.add_flag("json", &json, "print the tasksim-diff-v1 JSON document");
+  cli.add_string("out", &out_path, "also write the JSON document here");
+  cli.add_int("top", &top, "regressing tasks to rank");
+  if (!cli.parse(argc, argv)) return 0;
+  if (baseline_path.empty() || trace_path.empty()) {
+    std::fprintf(stderr, "error: --baseline and --trace are required\n%s",
+                 cli.usage().c_str());
+    return 1;
+  }
+  const trace::Trace a = trace::load_trace(baseline_path);
+  const trace::Trace b = trace::load_trace(trace_path);
+  const trace::TraceDiff diff = trace::diff_traces(
+      a, b, top > 0 ? static_cast<std::size_t>(top) : 0);
+  if (!out_path.empty()) write_file(out_path, diff.to_json());
+  if (json) {
+    std::printf("%s\n", diff.to_json().c_str());
+  } else {
+    std::fputs(
+        diff.to_string(top > 0 ? static_cast<std::size_t>(top) : 10).c_str(),
+        stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string subcommand = argv[1];
+  // Shift the subcommand out so CliParser sees its own argv[0].
+  argv[1] = argv[0];
+  try {
+    if (subcommand == "blame") return run_blame(argc - 1, argv + 1, false);
+    if (subcommand == "waterfall") return run_blame(argc - 1, argv + 1, true);
+    if (subcommand == "diff") return run_diff(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", subcommand.c_str());
+  return usage(argv[0]);
+}

@@ -83,6 +83,27 @@ def rows_tail(doc):
             yield ("tail", name, "race violations", fmt(cell["violations"]))
 
 
+def rows_blame(doc):
+    # Per-scheduler blame-category shares; only nonzero shares get a row so
+    # the all-compute baseline stays one line per scheduler.  Both sections
+    # are optional — a partial document still renders.
+    for cell in doc.get("cells", []):
+        name = cell.get("scheduler", "-")
+        if "coverage" in cell:
+            yield ("blame", name, "coverage %", fmt(100.0 * cell["coverage"]))
+        for category, share in sorted(cell.get("shares", {}).items()):
+            if share:
+                yield ("blame", name, f"{category} share %",
+                       fmt(100.0 * share))
+    for diff in doc.get("diffs", []):
+        name = diff.get("name", "-")
+        culprit = (f"{diff.get('dominant_kernel', '?')}/"
+                   f"{diff.get('dominant_category', '?')}")
+        yield ("blame-diff", name, "culprit", culprit)
+        if "delta_us" in diff:
+            yield ("blame-diff", name, "delta us", fmt(diff["delta_us"]))
+
+
 def rows_sweep(doc):
     yield ("sweep", "fleet", "speedup", fmt(doc["speedup"]))
     fleet = doc.get("sweep", {}).get("fleet", {})
@@ -104,6 +125,7 @@ RENDERERS = {
     "tasksim-bench-overhead-v1": rows_overhead,
     "tasksim-bench-lookahead-v1": rows_lookahead,
     "tasksim-bench-tail-v1": rows_tail,
+    "tasksim-bench-blame-v1": rows_blame,
     "tasksim-bench-sweep-v1": rows_sweep,
 }
 
